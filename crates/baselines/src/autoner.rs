@@ -1,0 +1,308 @@
+//! AutoNER baseline (Table IV): Shang et al., EMNLP 2018.
+//!
+//! Instead of IOB tags per token, AutoNER labels the *gap* between
+//! adjacent tokens (`Tie` / `Break` / `Unknown`) and classifies each
+//! chunk's type. Gaps inside a distantly-matched mention are `Tie`; gaps
+//! touching exactly one matched mention are `Break`; gaps between two
+//! unmatched tokens are `Unknown` and skipped in the loss — the scheme's
+//! robustness mechanism against incomplete dictionaries.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use resuformer::annotate::AnnotatedBlock;
+use resuformer::config::ModelConfig;
+use resuformer::data::entity_tag_scheme;
+use resuformer::embeddings::TextEmbedding;
+use resuformer::ner::NerConfig;
+use resuformer_nn::linear::Activation;
+use resuformer_nn::{Adam, BiLstm, Mlp, Module, TransformerEncoder};
+use resuformer_text::iob::tie_or_break::{decode, encode, Gap};
+use resuformer_text::iob::Span;
+use resuformer_text::{decode_spans, encode_spans, TagScheme};
+use resuformer_tensor::{ops, Tensor};
+
+/// AutoNER: Tie-or-Break boundary detector + chunk type classifier.
+pub struct AutoNer {
+    embed: TextEmbedding,
+    encoder: TransformerEncoder,
+    bilstm: BiLstm,
+    /// Gap head: concat of adjacent token features → {Break, Tie}.
+    gap_head: Mlp,
+    /// Type head: token features → entity class + "None".
+    type_head: Mlp,
+    scheme: TagScheme,
+    max_len: usize,
+}
+
+impl AutoNer {
+    /// New model.
+    pub fn new(rng: &mut impl Rng, config: NerConfig) -> Self {
+        let scheme = entity_tag_scheme();
+        let model_cfg = ModelConfig {
+            vocab_size: config.vocab_size,
+            hidden: config.hidden,
+            sent_layers: config.layers,
+            doc_layers: 1,
+            heads: config.heads,
+            ff: config.ff,
+            dropout: 0.0,
+            max_sent_tokens: config.max_len,
+            max_doc_sentences: 2,
+            visual_dim: 8,
+            coord_buckets: 8,
+            max_pages: 2,
+        };
+        let feat = 2 * config.lstm_hidden;
+        AutoNer {
+            embed: TextEmbedding::new(rng, &model_cfg, config.max_len),
+            encoder: TransformerEncoder::new(
+                rng,
+                config.layers,
+                config.hidden,
+                config.heads,
+                config.ff,
+                0.0,
+            ),
+            bilstm: BiLstm::new(rng, config.hidden, config.lstm_hidden),
+            gap_head: Mlp::new(rng, &[2 * feat, config.hidden, 2], Activation::Tanh),
+            type_head: Mlp::new(
+                rng,
+                &[feat, config.hidden, scheme.num_classes() + 1],
+                Activation::Tanh,
+            ),
+            scheme,
+            max_len: config.max_len,
+        }
+    }
+
+    /// The (IOB-compatible) tag scheme used for evaluation output.
+    pub fn scheme(&self) -> &TagScheme {
+        &self.scheme
+    }
+
+    fn features(&self, ids: &[usize], train: bool, rng: &mut impl Rng) -> Tensor {
+        let ids = &ids[..ids.len().min(self.max_len)];
+        let x = self.embed.forward(ids);
+        let h = self.encoder.forward(&x, None, train, rng);
+        self.bilstm.forward(&h)
+    }
+
+    /// Distant Tie-or-Break supervision from a block's distant IOB labels.
+    ///
+    /// Spans come from decoding the distant annotation; gaps between two
+    /// unmatched (`O`) tokens become `Unknown` (excluded from the loss).
+    pub fn distant_gaps(&self, distant: &[usize]) -> (Vec<Gap>, Vec<Option<usize>>) {
+        let spans = decode_spans(&self.scheme, distant);
+        let (mut gaps, types) = encode(distant.len(), &spans);
+        for (i, g) in gaps.iter_mut().enumerate() {
+            if *g == Gap::Break && types[i].is_none() && types[i + 1].is_none() {
+                *g = Gap::Unknown;
+            }
+        }
+        (gaps, types)
+    }
+
+    /// Joint loss: gap classification (skipping `Unknown`) + type
+    /// classification per token.
+    pub fn loss(&self, block: &AnnotatedBlock, rng: &mut impl Rng) -> Tensor {
+        let n = block.token_ids.len().min(self.max_len);
+        let feats = self.features(&block.token_ids, true, rng);
+        let (gaps, types) = self.distant_gaps(&block.distant_labels[..n]);
+
+        // Gap logits over adjacent pairs.
+        let mut parts = Vec::new();
+        if n >= 2 {
+            let left = ops::slice_rows(&feats, 0, n - 1);
+            let right = ops::slice_rows(&feats, 1, n - 1);
+            let pair = ops::concat_cols(&[left, right]);
+            let gap_logits = self.gap_head.forward(&pair);
+            let gap_targets: Vec<usize> = gaps
+                .iter()
+                .map(|g| match g {
+                    Gap::Break | Gap::Unknown => 0,
+                    Gap::Tie => 1,
+                })
+                .collect();
+            let gap_weights: Vec<f32> = gaps
+                .iter()
+                .map(|g| if *g == Gap::Unknown { 0.0 } else { 1.0 })
+                .collect();
+            if gap_weights.iter().any(|&w| w > 0.0) {
+                parts.push(ops::cross_entropy_rows(
+                    &gap_logits,
+                    &gap_targets,
+                    Some(&gap_weights),
+                ));
+            }
+        }
+
+        // Type logits per token ("None" = class index num_classes).
+        let type_logits = self.type_head.forward(&feats);
+        let none_class = self.scheme.num_classes();
+        let type_targets: Vec<usize> = types
+            .iter()
+            .map(|t| t.unwrap_or(none_class))
+            .collect();
+        parts.push(ops::cross_entropy_rows(&type_logits, &type_targets, None));
+
+        let k = parts.len() as f32;
+        let sum = parts.into_iter().reduce(|a, b| ops::add(&a, &b)).expect("non-empty");
+        ops::mul_scalar(&sum, 1.0 / k)
+    }
+
+    /// Train on distant supervision.
+    pub fn train(&self, data: &[AnnotatedBlock], epochs: usize, lr: f32, rng: &mut impl Rng) -> Vec<f32> {
+        let mut opt = Adam::new(self.parameters(), lr, 0.01);
+        let mut trace = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut order: Vec<usize> = (0..data.len()).collect();
+            order.shuffle(rng);
+            let mut acc = 0.0f32;
+            for &i in &order {
+                if data[i].token_ids.is_empty() {
+                    continue;
+                }
+                opt.zero_grad();
+                let loss = self.loss(&data[i], rng);
+                acc += loss.item();
+                loss.backward();
+                opt.clip_grad_norm(5.0);
+                opt.step();
+            }
+            trace.push(acc / data.len().max(1) as f32);
+        }
+        trace
+    }
+
+    /// Predict IOB labels: decode gaps + types into spans, re-encode.
+    pub fn predict(&self, token_ids: &[usize], rng: &mut impl Rng) -> Vec<usize> {
+        let n = token_ids.len().min(self.max_len);
+        if n == 0 {
+            return vec![self.scheme.outside(); token_ids.len()];
+        }
+        let feats = self.features(token_ids, false, rng);
+
+        let gaps: Vec<Gap> = if n >= 2 {
+            let left = ops::slice_rows(&feats, 0, n - 1);
+            let right = ops::slice_rows(&feats, 1, n - 1);
+            let logits = self.gap_head.forward(&ops::concat_cols(&[left, right])).value();
+            (0..n - 1)
+                .map(|i| {
+                    if logits.at(&[i, 1]) > logits.at(&[i, 0]) {
+                        Gap::Tie
+                    } else {
+                        Gap::Break
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let type_logits = self.type_head.forward(&feats).value();
+        let none_class = self.scheme.num_classes();
+        let types: Vec<Option<usize>> = (0..n)
+            .map(|i| {
+                let row = type_logits.row(i);
+                let mut best = 0;
+                let mut best_v = f32::NEG_INFINITY;
+                for (j, &v) in row.iter().enumerate() {
+                    if v > best_v {
+                        best_v = v;
+                        best = j;
+                    }
+                }
+                if best == none_class {
+                    None
+                } else {
+                    Some(best)
+                }
+            })
+            .collect();
+
+        let spans: Vec<Span> = decode(&gaps, &types);
+        let mut labels = encode_spans(&self.scheme, n, &spans);
+        labels.resize(token_ids.len(), self.scheme.outside());
+        labels
+    }
+}
+
+impl Module for AutoNer {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.embed.parameters();
+        p.extend(self.encoder.parameters());
+        p.extend(self.bilstm.parameters());
+        p.extend(self.gap_head.parameters());
+        p.extend(self.type_head.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resuformer_datagen::BlockType;
+    use resuformer_tensor::init::seeded_rng;
+
+    fn toy_block(full: bool) -> AnnotatedBlock {
+        let scheme = entity_tag_scheme();
+        let gold = encode_spans(&scheme, 5, &[Span::new(0, 3, 11), Span::new(3, 5, 5)]);
+        let distant = if full {
+            gold.clone()
+        } else {
+            encode_spans(&scheme, 5, &[Span::new(0, 3, 11)])
+        };
+        AnnotatedBlock {
+            block_type: BlockType::EduExp,
+            tokens: ["2018.09", "-", "2022.06", "Northlake", "University"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            token_ids: vec![6, 7, 8, 9, 10],
+            distant_labels: distant,
+            gold_labels: gold,
+        }
+    }
+
+    #[test]
+    fn unknown_gaps_between_unmatched_tokens() {
+        let mut rng = seeded_rng(131);
+        let model = AutoNer::new(&mut rng, NerConfig::tiny(32));
+        let block = toy_block(false);
+        let (gaps, types) = model.distant_gaps(&block.distant_labels);
+        assert_eq!(gaps.len(), 4);
+        // Inside the date: Tie.
+        assert_eq!(gaps[0], Gap::Tie);
+        assert_eq!(gaps[1], Gap::Tie);
+        // Date ↔ unmatched token: Break (one side matched).
+        assert_eq!(gaps[2], Gap::Break);
+        // Unmatched ↔ unmatched: Unknown (skipped in loss).
+        assert_eq!(gaps[3], Gap::Unknown);
+        assert_eq!(types[0], Some(11));
+        assert_eq!(types[3], None);
+    }
+
+    #[test]
+    fn trains_and_predicts_spans() {
+        let mut rng = seeded_rng(132);
+        let model = AutoNer::new(&mut rng, NerConfig::tiny(32));
+        let data: Vec<AnnotatedBlock> = (0..6).map(|_| toy_block(true)).collect();
+        let trace = model.train(&data, 12, 2e-3, &mut rng);
+        assert!(trace.last().unwrap() < &trace[0]);
+        let pred = model.predict(&data[0].token_ids, &mut rng);
+        assert_eq!(pred, data[0].gold_labels);
+    }
+
+    #[test]
+    fn prediction_is_well_formed_iob() {
+        let mut rng = seeded_rng(133);
+        let model = AutoNer::new(&mut rng, NerConfig::tiny(32));
+        let pred = model.predict(&[6, 7, 8, 9, 10, 11, 12], &mut rng);
+        assert_eq!(pred.len(), 7);
+        // Decoding must not panic and every label must be in range.
+        let spans = decode_spans(model.scheme(), &pred);
+        for s in spans {
+            assert!(s.class < model.scheme().num_classes());
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! BERT+BiLSTM+CRF and BERT+BiLSTM+FCRF NER baselines (Table IV).
+//!
+//! Both share the BERT+BiLSTM feature stack of
+//! [`resuformer::ner::NerModel`]'s architecture family with a chain decoder
+//! on top:
+//!
+//! * [`BertBilstmCrf`] trains a standard CRF on the distant *hard* labels —
+//!   the paper notes this is "more suitable for the fully-supervised
+//!   scenario" and suffers under distant noise;
+//! * [`BertBilstmFcrf`] trains a fuzzy CRF whose numerator marginalises
+//!   over all paths consistent with the partial annotation: distantly
+//!   *matched* tokens are constrained to their label; *unmatched* tokens
+//!   may take any label.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use resuformer::annotate::AnnotatedBlock;
+use resuformer::data::entity_tag_scheme;
+use resuformer::embeddings::TextEmbedding;
+use resuformer::config::ModelConfig;
+use resuformer::ner::NerConfig;
+use resuformer_nn::linear::Activation;
+use resuformer_nn::{Adam, BiLstm, Crf, FuzzyCrf, Mlp, Module, TransformerEncoder};
+use resuformer_text::TagScheme;
+use resuformer_tensor::{ops, Tensor};
+
+/// The shared BERT+BiLSTM feature stack.
+struct FeatureStack {
+    embed: TextEmbedding,
+    encoder: TransformerEncoder,
+    bilstm: BiLstm,
+    proj: Mlp,
+    max_len: usize,
+}
+
+impl FeatureStack {
+    fn new(rng: &mut impl Rng, config: NerConfig, out_dim: usize) -> Self {
+        let model_cfg = ModelConfig {
+            vocab_size: config.vocab_size,
+            hidden: config.hidden,
+            sent_layers: config.layers,
+            doc_layers: 1,
+            heads: config.heads,
+            ff: config.ff,
+            dropout: 0.0,
+            max_sent_tokens: config.max_len,
+            max_doc_sentences: 2,
+            visual_dim: 8,
+            coord_buckets: 8,
+            max_pages: 2,
+        };
+        FeatureStack {
+            embed: TextEmbedding::new(rng, &model_cfg, config.max_len),
+            encoder: TransformerEncoder::new(
+                rng,
+                config.layers,
+                config.hidden,
+                config.heads,
+                config.ff,
+                0.0,
+            ),
+            bilstm: BiLstm::new(rng, config.hidden, config.lstm_hidden),
+            proj: Mlp::new(rng, &[2 * config.lstm_hidden, out_dim], Activation::Identity),
+            max_len: config.max_len,
+        }
+    }
+
+    fn emissions(&self, ids: &[usize], train: bool, rng: &mut impl Rng) -> Tensor {
+        let ids = &ids[..ids.len().min(self.max_len)];
+        let x = self.embed.forward(ids);
+        let h = self.encoder.forward(&x, None, train, rng);
+        self.proj.forward(&self.bilstm.forward(&h))
+    }
+
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.embed.parameters();
+        p.extend(self.encoder.parameters());
+        p.extend(self.bilstm.parameters());
+        p.extend(self.proj.parameters());
+        p
+    }
+}
+
+fn train_loop<L>(
+    params: Vec<Tensor>,
+    data: &[AnnotatedBlock],
+    epochs: usize,
+    lr: f32,
+    rng: &mut impl Rng,
+    loss_fn: L,
+) -> Vec<f32>
+where
+    L: Fn(&AnnotatedBlock, &mut rand_chacha::ChaCha8Rng) -> Tensor,
+{
+    use rand_chacha::rand_core::SeedableRng;
+    let mut opt = Adam::new(params, lr, 0.01);
+    let mut trace = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        order.shuffle(rng);
+        let mut acc = 0.0f32;
+        for &i in &order {
+            let block = &data[i];
+            if block.token_ids.is_empty() {
+                continue;
+            }
+            let mut frng = rand_chacha::ChaCha8Rng::seed_from_u64(rng.gen());
+            opt.zero_grad();
+            let loss = loss_fn(block, &mut frng);
+            acc += loss.item();
+            loss.backward();
+            opt.clip_grad_norm(5.0);
+            opt.step();
+        }
+        trace.push(acc / data.len().max(1) as f32);
+    }
+    trace
+}
+
+/// BERT+BiLSTM+CRF over distant hard labels.
+pub struct BertBilstmCrf {
+    stack: FeatureStack,
+    crf: Crf,
+    scheme: TagScheme,
+}
+
+impl BertBilstmCrf {
+    /// New model.
+    pub fn new(rng: &mut impl Rng, config: NerConfig) -> Self {
+        let scheme = entity_tag_scheme();
+        BertBilstmCrf {
+            stack: FeatureStack::new(rng, config, scheme.num_labels()),
+            crf: Crf::new(rng, scheme.num_labels()),
+            scheme,
+        }
+    }
+
+    /// The tag scheme.
+    pub fn scheme(&self) -> &TagScheme {
+        &self.scheme
+    }
+
+    /// Train on the distant hard labels.
+    pub fn train(&self, data: &[AnnotatedBlock], epochs: usize, lr: f32, rng: &mut impl Rng) -> Vec<f32> {
+        train_loop(self.parameters(), data, epochs, lr, rng, |block, frng| {
+            let n = block.token_ids.len().min(self.stack.max_len);
+            let e = self.stack.emissions(&block.token_ids, true, frng);
+            self.crf.neg_log_likelihood(&e, &block.distant_labels[..n])
+        })
+    }
+
+    /// Viterbi-decoded labels (O-padded beyond `max_len`).
+    pub fn predict(&self, token_ids: &[usize], rng: &mut impl Rng) -> Vec<usize> {
+        if token_ids.is_empty() {
+            return Vec::new();
+        }
+        let e = self.stack.emissions(token_ids, false, rng);
+        let mut labels = self.crf.viterbi(&e.value()).0;
+        labels.resize(token_ids.len(), self.scheme.outside());
+        labels
+    }
+}
+
+impl Module for BertBilstmCrf {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.stack.parameters();
+        p.extend(self.crf.parameters());
+        p
+    }
+}
+
+/// BERT+BiLSTM+FCRF: the fuzzy-CRF variant for partial annotations.
+pub struct BertBilstmFcrf {
+    stack: FeatureStack,
+    fcrf: FuzzyCrf,
+    scheme: TagScheme,
+}
+
+impl BertBilstmFcrf {
+    /// New model.
+    pub fn new(rng: &mut impl Rng, config: NerConfig) -> Self {
+        let scheme = entity_tag_scheme();
+        BertBilstmFcrf {
+            stack: FeatureStack::new(rng, config, scheme.num_labels()),
+            fcrf: FuzzyCrf::new(rng, scheme.num_labels()),
+            scheme,
+        }
+    }
+
+    /// The tag scheme.
+    pub fn scheme(&self) -> &TagScheme {
+        &self.scheme
+    }
+
+    /// Allowed label sets from a distant annotation, following the fuzzy
+    /// CRF of Shang et al.: matched tokens are pinned to their label;
+    /// unmatched tokens that *look like* entity mentions (capitalised or
+    /// digit-bearing — candidate phrases) are free; everything else is
+    /// pinned to `O`. Without the last rule the free mass degenerates
+    /// (everything gets labeled an entity).
+    pub fn allowed_sets(&self, tokens: &[String], distant: &[usize]) -> Vec<Vec<usize>> {
+        let all: Vec<usize> = (0..self.scheme.num_labels()).collect();
+        let candidate = |t: &str| {
+            t.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                || t.chars().any(|c| c.is_ascii_digit())
+        };
+        tokens
+            .iter()
+            .zip(distant.iter())
+            .map(|(t, &l)| {
+                if l != self.scheme.outside() {
+                    vec![l]
+                } else if candidate(t) {
+                    all.clone()
+                } else {
+                    vec![self.scheme.outside()]
+                }
+            })
+            .collect()
+    }
+
+    /// Train with the fuzzy-CRF objective.
+    pub fn train(&self, data: &[AnnotatedBlock], epochs: usize, lr: f32, rng: &mut impl Rng) -> Vec<f32> {
+        train_loop(self.parameters(), data, epochs, lr, rng, |block, frng| {
+            let n = block.token_ids.len().min(self.stack.max_len);
+            let e = self.stack.emissions(&block.token_ids, true, frng);
+            let allowed = self.allowed_sets(&block.tokens[..n], &block.distant_labels[..n]);
+            let fuzzy = self.fcrf.loss(&e, &allowed);
+            // Mild supervised anchor on matched tokens keeps the free
+            // positions from drifting to arbitrary labels.
+            let weights: Vec<f32> = block.distant_labels[..n]
+                .iter()
+                .map(|&l| if l == self.scheme.outside() { 0.0 } else { 1.0 })
+                .collect();
+            if weights.iter().any(|&w| w > 0.0) {
+                let anchor = ops::cross_entropy_rows(&e, &block.distant_labels[..n], Some(&weights));
+                ops::add(&fuzzy, &ops::mul_scalar(&anchor, 0.5))
+            } else {
+                fuzzy
+            }
+        })
+    }
+
+    /// Viterbi-decoded labels (O-padded beyond `max_len`).
+    pub fn predict(&self, token_ids: &[usize], rng: &mut impl Rng) -> Vec<usize> {
+        if token_ids.is_empty() {
+            return Vec::new();
+        }
+        let e = self.stack.emissions(token_ids, false, rng);
+        let mut labels = self.fcrf.viterbi(&e.value()).0;
+        labels.resize(token_ids.len(), self.scheme.outside());
+        labels
+    }
+}
+
+impl Module for BertBilstmFcrf {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.stack.parameters();
+        p.extend(self.fcrf.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resuformer_datagen::BlockType;
+    use resuformer_text::iob::{encode_spans, Span};
+    use resuformer_tensor::init::seeded_rng;
+
+    fn toy_data(n: usize) -> Vec<AnnotatedBlock> {
+        let scheme = entity_tag_scheme();
+        (0..n)
+            .map(|_| {
+                let gold = encode_spans(&scheme, 5, &[Span::new(0, 3, 11), Span::new(3, 5, 5)]);
+                AnnotatedBlock {
+                    block_type: BlockType::EduExp,
+                    tokens: ["2018.09", "-", "2022.06", "Northlake", "University"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                    token_ids: vec![6, 7, 8, 9, 10],
+                    distant_labels: gold.clone(),
+                    gold_labels: gold,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crf_variant_learns_clean_labels() {
+        let mut rng = seeded_rng(121);
+        let model = BertBilstmCrf::new(&mut rng, NerConfig::tiny(32));
+        let data = toy_data(6);
+        let trace = model.train(&data, 10, 2e-3, &mut rng);
+        assert!(trace.last().unwrap() < &trace[0]);
+        let pred = model.predict(&data[0].token_ids, &mut rng);
+        assert_eq!(pred, data[0].gold_labels);
+    }
+
+    #[test]
+    fn fcrf_allowed_sets_pin_matched_and_plain_tokens() {
+        let mut rng = seeded_rng(122);
+        let model = BertBilstmFcrf::new(&mut rng, NerConfig::tiny(32));
+        let scheme = model.scheme();
+        let tokens: Vec<String> = ["2018.09", "Northlake", "designed"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let distant = vec![scheme.begin(11), scheme.outside(), scheme.outside()];
+        let allowed = model.allowed_sets(&tokens, &distant);
+        assert_eq!(allowed[0], vec![scheme.begin(11)], "matched: pinned");
+        assert_eq!(allowed[1].len(), scheme.num_labels(), "candidate: free");
+        assert_eq!(allowed[2], vec![scheme.outside()], "plain word: O");
+    }
+
+    #[test]
+    fn fcrf_trains_on_partial_labels() {
+        let mut rng = seeded_rng(123);
+        let model = BertBilstmFcrf::new(&mut rng, NerConfig::tiny(32));
+        let scheme = entity_tag_scheme();
+        // Distant labels miss the college (positions 3..5 unmatched).
+        let mut data = toy_data(6);
+        for block in &mut data {
+            block.distant_labels = encode_spans(&scheme, 5, &[Span::new(0, 3, 11)]);
+        }
+        let trace = model.train(&data, 10, 2e-3, &mut rng);
+        assert!(trace.last().unwrap() < &trace[0]);
+        let pred = model.predict(&data[0].token_ids, &mut rng);
+        // The pinned date tokens must be recovered.
+        assert_eq!(&pred[..3], &data[0].gold_labels[..3]);
+    }
+}

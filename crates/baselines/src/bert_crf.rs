@@ -1,0 +1,188 @@
+//! BERT+CRF baseline (Table II): token-level, text-only, non-pre-trained.
+//!
+//! The model processes the resume window by window ("token by token loop
+//! processing"), emitting per-token IOB scores decoded by a CRF. Sentence
+//! labels for the evaluation come from a majority vote over each
+//! sentence's pieces (footnote 3).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use resuformer::block_classifier::FinetuneConfig;
+use resuformer::config::ModelConfig;
+use resuformer::data::block_tag_scheme;
+use resuformer::embeddings::TextEmbedding;
+use resuformer_nn::{Adam, Crf, Linear, Module, TransformerEncoder};
+use resuformer_text::TagScheme;
+use resuformer_tensor::{ops, Tensor};
+
+use crate::common::{expand_to_token_labels, tokens_to_sentence_labels, TokenDoc};
+
+/// Token-level BERT + CRF.
+pub struct BertCrf {
+    embed: TextEmbedding,
+    encoder: TransformerEncoder,
+    emit: Linear,
+    crf: Crf,
+    scheme: TagScheme,
+    window: usize,
+}
+
+impl BertCrf {
+    /// New model; `window` is the token window length.
+    pub fn new(rng: &mut impl Rng, config: &ModelConfig, window: usize) -> Self {
+        let scheme = block_tag_scheme();
+        BertCrf {
+            embed: TextEmbedding::new(rng, config, window),
+            encoder: TransformerEncoder::new(
+                rng,
+                config.sent_layers,
+                config.hidden,
+                config.heads,
+                config.ff,
+                config.dropout,
+            ),
+            emit: Linear::new(rng, config.hidden, scheme.num_labels()),
+            crf: Crf::new(rng, scheme.num_labels()),
+            scheme,
+            window,
+        }
+    }
+
+    /// The tag scheme.
+    pub fn scheme(&self) -> &TagScheme {
+        &self.scheme
+    }
+
+    /// Window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    fn window_emissions(
+        &self,
+        ids: &[usize],
+        train: bool,
+        rng: &mut impl Rng,
+    ) -> Tensor {
+        let x = self.embed.forward(ids);
+        let h = self.encoder.forward(&x, None, train, rng);
+        self.emit.forward(&h)
+    }
+
+    /// Loss over one document: mean CRF NLL across its windows.
+    pub fn loss(&self, doc: &TokenDoc, sentence_labels: &[usize], rng: &mut impl Rng) -> Tensor {
+        let token_labels = expand_to_token_labels(&self.scheme, sentence_labels, &doc.sentence_of);
+        let mut losses = Vec::new();
+        for (start, end) in doc.windows() {
+            let e = self.window_emissions(&doc.ids[start..end], true, rng);
+            losses.push(self.crf.neg_log_likelihood(&e, &token_labels[start..end]));
+        }
+        let n = losses.len() as f32;
+        let sum = losses
+            .into_iter()
+            .reduce(|a, b| ops::add(&a, &b))
+            .expect("document has at least one window");
+        ops::mul_scalar(&sum, 1.0 / n)
+    }
+
+    /// Predict sentence labels (token-level Viterbi → majority vote).
+    pub fn predict_sentences(&self, doc: &TokenDoc, rng: &mut impl Rng) -> Vec<usize> {
+        let mut token_labels = Vec::with_capacity(doc.len());
+        for (start, end) in doc.windows() {
+            let e = self.window_emissions(&doc.ids[start..end], false, rng);
+            token_labels.extend(self.crf.viterbi(&e.value()).0);
+        }
+        tokens_to_sentence_labels(&self.scheme, &token_labels, &doc.sentence_of, doc.n_sentences)
+    }
+
+    /// Supervised training over `(doc, sentence_labels)` pairs.
+    pub fn finetune(
+        &self,
+        data: &[(&TokenDoc, &[usize])],
+        config: &FinetuneConfig,
+        rng: &mut impl Rng,
+    ) -> Vec<f32> {
+        let mut opt = Adam::new(self.parameters(), config.lr_head, config.weight_decay);
+        let mut trace = Vec::with_capacity(config.epochs);
+        for _ in 0..config.epochs {
+            let mut order: Vec<usize> = (0..data.len()).collect();
+            order.shuffle(rng);
+            let mut acc = 0.0f32;
+            for &i in &order {
+                let (doc, labels) = data[i];
+                if doc.is_empty() {
+                    continue;
+                }
+                opt.zero_grad();
+                let loss = self.loss(doc, labels, rng);
+                acc += loss.item();
+                loss.backward();
+                opt.clip_grad_norm(5.0);
+                opt.step();
+            }
+            trace.push(acc / data.len().max(1) as f32);
+        }
+        trace
+    }
+}
+
+impl Module for BertCrf {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.embed.parameters();
+        p.extend(self.encoder.parameters());
+        p.extend(self.emit.parameters());
+        p.extend(self.crf.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::prepare_token_doc;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use resuformer::data::{build_tokenizer, prepare_document, sentence_iob_labels};
+    use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+    use resuformer_tensor::init::seeded_rng;
+
+    fn setup() -> (BertCrf, TokenDoc, Vec<usize>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(71);
+        let r = generate_resume(&mut rng, &GeneratorConfig::smoke());
+        let wp = build_tokenizer(r.doc.tokens.iter().map(|t| t.text.clone()), 1);
+        let config = ModelConfig::tiny(wp.vocab.len());
+        let scheme = block_tag_scheme();
+        let (_, sentences) = prepare_document(&r.doc, &wp, &config);
+        let labels = sentence_iob_labels(&r, &sentences, &scheme);
+        let td = prepare_token_doc(&r.doc, &wp, &config, 32);
+        let model = BertCrf::new(&mut seeded_rng(72), &config, 32);
+        (model, td, labels)
+    }
+
+    #[test]
+    fn prediction_has_one_label_per_sentence() {
+        let (model, td, labels) = setup();
+        let mut rng = seeded_rng(73);
+        let pred = model.predict_sentences(&td, &mut rng);
+        assert_eq!(pred.len(), labels.len());
+        assert!(pred.iter().all(|&l| l < model.scheme().num_labels()));
+    }
+
+    #[test]
+    fn training_reduces_loss_and_fits() {
+        let (model, td, labels) = setup();
+        let mut rng = seeded_rng(74);
+        let pairs: Vec<(&TokenDoc, &[usize])> = vec![(&td, labels.as_slice())];
+        let cfg = FinetuneConfig { epochs: 20, ..Default::default() };
+        let trace = model.finetune(&pairs, &cfg, &mut rng);
+        assert!(trace.last().unwrap() < &(trace[0] * 0.5), "{:?}", (trace[0], trace.last()));
+        let pred = model.predict_sentences(&td, &mut rng);
+        let class_acc = pred
+            .iter()
+            .zip(labels.iter())
+            .filter(|(a, b)| model.scheme().class_of(**a) == model.scheme().class_of(**b))
+            .count() as f32
+            / labels.len() as f32;
+        assert!(class_acc > 0.8, "class accuracy {}", class_acc);
+    }
+}

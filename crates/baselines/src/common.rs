@@ -1,0 +1,314 @@
+//! Shared machinery for the token-level baselines.
+//!
+//! The paper's token-level comparators (BERT+CRF, RoBERTa+GCN, LayoutXLM)
+//! cannot consume a whole multi-page resume at once; they process it in
+//! fixed-size token windows ("token by token loop processing", §I), which
+//! is the source of both their latency gap and the Figure 3 failure mode.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use resuformer::config::ModelConfig;
+use resuformer::data::prepare_document;
+use resuformer_doc::{Document, LayoutTuple};
+use resuformer_text::{TagScheme, WordPiece};
+
+/// A document flattened to WordPiece tokens, windowed for token-level
+/// models.
+#[derive(Clone, Debug)]
+pub struct TokenDoc {
+    /// All piece ids in reading order.
+    pub ids: Vec<usize>,
+    /// Per-piece layout tuples.
+    pub layouts: Vec<LayoutTuple>,
+    /// Per-piece sentence index (for converting predictions back to
+    /// sentence labels, footnote 3 of the paper).
+    pub sentence_of: Vec<usize>,
+    /// Per-piece visual patch index == sentence index (token-level
+    /// multi-modal models attach their sentence's region feature).
+    pub patches: Vec<Vec<f32>>,
+    /// Number of sentences in the document.
+    pub n_sentences: usize,
+    /// Window length used for chunking.
+    pub window: usize,
+}
+
+impl TokenDoc {
+    /// Number of pieces.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the document is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Window boundaries `(start, end)` covering all pieces.
+    pub fn windows(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < self.ids.len() {
+            let end = (start + self.window).min(self.ids.len());
+            out.push((start, end));
+            start = end;
+        }
+        out
+    }
+}
+
+/// Flatten a document to pieces using the same sentence segmentation as the
+/// hierarchical model (so sentence-level comparisons align exactly).
+pub fn prepare_token_doc(
+    doc: &Document,
+    wp: &WordPiece,
+    config: &ModelConfig,
+    window: usize,
+) -> TokenDoc {
+    let (input, _sentences) = prepare_document(doc, wp, config);
+    let mut ids = Vec::new();
+    let mut layouts = Vec::new();
+    let mut sentence_of = Vec::new();
+    let mut patches = Vec::new();
+    for (si, s) in input.sentences.iter().enumerate() {
+        patches.push(s.patch.clone());
+        // Skip the [CLS] slot: token-level models see the raw pieces.
+        for k in 1..s.token_ids.len() {
+            ids.push(s.token_ids[k]);
+            layouts.push(s.token_layouts[k]);
+            sentence_of.push(si);
+        }
+    }
+    TokenDoc {
+        ids,
+        layouts,
+        sentence_of,
+        patches,
+        n_sentences: input.len(),
+        window,
+    }
+}
+
+/// Expand sentence-level IOB labels to token-level IOB labels: the first
+/// piece of a `B-` sentence keeps `B-`, everything else in the block is
+/// `I-`.
+pub fn expand_to_token_labels(
+    scheme: &TagScheme,
+    sentence_labels: &[usize],
+    sentence_of: &[usize],
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(sentence_of.len());
+    let mut prev_sentence = usize::MAX;
+    for &si in sentence_of {
+        let sl = sentence_labels[si];
+        let label = match scheme.class_of(sl) {
+            None => scheme.outside(),
+            Some(class) => {
+                if scheme.is_begin(sl) && si != prev_sentence {
+                    scheme.begin(class)
+                } else {
+                    scheme.inside(class)
+                }
+            }
+        };
+        out.push(label);
+        prev_sentence = si;
+    }
+    out
+}
+
+/// Convert token-level predictions back to sentence labels by majority
+/// vote over each sentence's pieces (footnote 3).
+pub fn tokens_to_sentence_labels(
+    scheme: &TagScheme,
+    token_labels: &[usize],
+    sentence_of: &[usize],
+    n_sentences: usize,
+) -> Vec<usize> {
+    let mut votes: Vec<Vec<usize>> = vec![vec![0; scheme.num_labels()]; n_sentences];
+    for (&label, &si) in token_labels.iter().zip(sentence_of.iter()) {
+        if label < scheme.num_labels() {
+            votes[si][label] += 1;
+        }
+    }
+    // Majority class; B/I disambiguated by block continuity.
+    let mut out = Vec::with_capacity(n_sentences);
+    let mut prev_class: Option<usize> = None;
+    for v in votes {
+        // Vote over classes (merging B and I counts).
+        let mut class_votes = vec![0usize; scheme.num_classes()];
+        let mut outside = 0usize;
+        for (label, &n) in v.iter().enumerate() {
+            match scheme.class_of(label) {
+                Some(c) => class_votes[c] += n,
+                None => outside += n,
+            }
+        }
+        let (best_class, best_n) = class_votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, n)| *n)
+            .expect("non-empty classes");
+        if outside >= *best_n {
+            out.push(scheme.outside());
+            prev_class = None;
+        } else {
+            let label = if prev_class == Some(best_class) {
+                scheme.inside(best_class)
+            } else {
+                scheme.begin(best_class)
+            };
+            out.push(label);
+            prev_class = Some(best_class);
+        }
+    }
+    out
+}
+
+/// MLM-pre-train a token encoder on corpus windows — the "initialise with a
+/// pre-trained RoBERTa" substitution (DESIGN.md §2): an in-domain masked
+/// language model warm start.
+///
+/// `forward` maps `(ids, layouts) -> [T, hidden]` token outputs; the
+/// closure abstracts over text-only vs layout-aware encoders.
+pub fn mlm_pretrain<F>(
+    params: Vec<resuformer_tensor::Tensor>,
+    word_table: resuformer_tensor::Tensor,
+    docs: &[TokenDoc],
+    epochs: usize,
+    lr: f32,
+    rng: &mut impl Rng,
+    forward: F,
+) -> Vec<f32>
+where
+    F: Fn(&[usize], &[LayoutTuple], &mut rand_chacha::ChaCha8Rng) -> resuformer_tensor::Tensor,
+{
+    use rand_chacha::rand_core::SeedableRng;
+    use resuformer_nn::Adam;
+    use resuformer_tensor::ops;
+    use resuformer_text::vocab::MASK;
+
+    let mut opt = Adam::new(params, lr, 0.01);
+    let mut trace = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        let mut order: Vec<usize> = (0..docs.len()).collect();
+        order.shuffle(rng);
+        let mut acc = 0.0f32;
+        let mut steps = 0usize;
+        for &di in &order {
+            let doc = &docs[di];
+            for (start, end) in doc.windows() {
+                if end - start < 4 {
+                    continue;
+                }
+                let mut ids = doc.ids[start..end].to_vec();
+                let layouts = &doc.layouts[start..end];
+                // Mask 15% of the window.
+                let n = ids.len();
+                let k = ((n as f32 * 0.15).round() as usize).clamp(1, n);
+                let positions: Vec<usize> =
+                    (0..n).collect::<Vec<_>>().choose_multiple(rng, k).copied().collect();
+                let targets: Vec<usize> = positions.iter().map(|&p| ids[p]).collect();
+                for &p in &positions {
+                    ids[p] = MASK;
+                }
+                let mut frng = rand_chacha::ChaCha8Rng::seed_from_u64(rng.gen());
+                let out = forward(&ids, layouts, &mut frng);
+                let picked = ops::gather_rows(&out, &positions);
+                let logits = ops::matmul(&picked, &ops::transpose(&word_table));
+                opt.zero_grad();
+                let loss = ops::cross_entropy_rows(&logits, &targets, None);
+                acc += loss.item();
+                steps += 1;
+                loss.backward();
+                opt.clip_grad_norm(5.0);
+                opt.step();
+            }
+        }
+        trace.push(acc / steps.max(1) as f32);
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use resuformer::data::{block_tag_scheme, build_tokenizer};
+    use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+
+    fn sample() -> (TokenDoc, ModelConfig) {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let r = generate_resume(&mut rng, &GeneratorConfig::smoke());
+        let wp = build_tokenizer(r.doc.tokens.iter().map(|t| t.text.clone()), 1);
+        let config = ModelConfig::tiny(wp.vocab.len());
+        (prepare_token_doc(&r.doc, &wp, &config, 32), config)
+    }
+
+    #[test]
+    fn token_doc_is_consistent() {
+        let (td, _) = sample();
+        assert!(!td.is_empty());
+        assert_eq!(td.ids.len(), td.layouts.len());
+        assert_eq!(td.ids.len(), td.sentence_of.len());
+        assert_eq!(td.patches.len(), td.n_sentences);
+        // Sentence indices are non-decreasing and in range.
+        assert!(td.sentence_of.windows(2).all(|w| w[0] <= w[1]));
+        assert!(td.sentence_of.iter().all(|&s| s < td.n_sentences));
+    }
+
+    #[test]
+    fn windows_cover_all_tokens() {
+        let (td, _) = sample();
+        let ws = td.windows();
+        assert_eq!(ws[0].0, 0);
+        assert_eq!(ws.last().unwrap().1, td.len());
+        for w in ws.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "windows must be contiguous");
+        }
+        assert!(ws.iter().all(|&(s, e)| e - s <= 32));
+    }
+
+    #[test]
+    fn label_expansion_round_trips_via_majority_vote() {
+        let (td, _) = sample();
+        let scheme = block_tag_scheme();
+        // Synthetic sentence labels: alternate B/I runs across classes.
+        let sentence_labels: Vec<usize> = (0..td.n_sentences)
+            .map(|i| {
+                let class = (i / 3) % scheme.num_classes();
+                if i % 3 == 0 {
+                    scheme.begin(class)
+                } else {
+                    scheme.inside(class)
+                }
+            })
+            .collect();
+        let token_labels = expand_to_token_labels(&scheme, &sentence_labels, &td.sentence_of);
+        assert_eq!(token_labels.len(), td.len());
+        let back = tokens_to_sentence_labels(&scheme, &token_labels, &td.sentence_of, td.n_sentences);
+        // Class assignment must round-trip exactly; B/I boundaries match
+        // because consecutive same-class sentences merge identically.
+        for (a, b) in back.iter().zip(sentence_labels.iter()) {
+            assert_eq!(scheme.class_of(*a), scheme.class_of(*b));
+        }
+    }
+
+    #[test]
+    fn expansion_marks_b_only_on_first_piece() {
+        let scheme = block_tag_scheme();
+        let sentence_labels = vec![scheme.begin(2), scheme.inside(2)];
+        let sentence_of = vec![0, 0, 0, 1, 1];
+        let toks = expand_to_token_labels(&scheme, &sentence_labels, &sentence_of);
+        assert_eq!(
+            toks,
+            vec![
+                scheme.begin(2),
+                scheme.inside(2),
+                scheme.inside(2),
+                scheme.inside(2),
+                scheme.inside(2)
+            ]
+        );
+    }
+}

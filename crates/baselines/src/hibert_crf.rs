@@ -1,0 +1,185 @@
+//! HiBERT+CRF baseline (Table II): hierarchical sentence-by-sentence
+//! classification with text only — no layout, no visual modality, no
+//! pre-training (Chapuis et al., 2020, as used by the paper).
+//!
+//! Sharing the sentence-level architecture with ResuFormer but dropping
+//! both extra modalities isolates exactly what multi-modal pre-training
+//! buys.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use resuformer::block_classifier::FinetuneConfig;
+use resuformer::config::ModelConfig;
+use resuformer::data::{block_tag_scheme, DocumentInput};
+use resuformer::embeddings::TextEmbedding;
+use resuformer_nn::{Adam, Crf, Embedding, Linear, Module, TransformerEncoder};
+use resuformer_text::TagScheme;
+use resuformer_tensor::{ops, Tensor};
+
+/// Hierarchical text-only BERT + CRF.
+pub struct HiBertCrf {
+    token_embed: TextEmbedding,
+    sent_encoder: TransformerEncoder,
+    doc_position: Embedding,
+    doc_encoder: TransformerEncoder,
+    emit: Linear,
+    crf: Crf,
+    scheme: TagScheme,
+}
+
+impl HiBertCrf {
+    /// New model.
+    pub fn new(rng: &mut impl Rng, config: &ModelConfig) -> Self {
+        let scheme = block_tag_scheme();
+        HiBertCrf {
+            token_embed: TextEmbedding::new(rng, config, config.max_sent_tokens),
+            sent_encoder: TransformerEncoder::new(
+                rng,
+                config.sent_layers,
+                config.hidden,
+                config.heads,
+                config.ff,
+                config.dropout,
+            ),
+            doc_position: Embedding::new(rng, config.max_doc_sentences, config.hidden),
+            doc_encoder: TransformerEncoder::new(
+                rng,
+                config.doc_layers,
+                config.hidden,
+                config.heads,
+                config.ff,
+                config.dropout,
+            ),
+            emit: Linear::new(rng, config.hidden, scheme.num_labels()),
+            crf: Crf::new(rng, scheme.num_labels()),
+            scheme,
+        }
+    }
+
+    /// The tag scheme.
+    pub fn scheme(&self) -> &TagScheme {
+        &self.scheme
+    }
+
+    /// Per-sentence emissions `[m, labels]` (text modality only).
+    pub fn emissions(&self, doc: &DocumentInput, train: bool, rng: &mut impl Rng) -> Tensor {
+        let rows: Vec<Tensor> = doc
+            .sentences
+            .iter()
+            .map(|s| {
+                let x = self.token_embed.forward(&s.token_ids);
+                let h = self.sent_encoder.forward(&x, None, train, rng);
+                ops::slice_rows(&h, 0, 1)
+            })
+            .collect();
+        let m = rows.len();
+        let sent_reps = ops::concat_rows(&rows);
+        let positions: Vec<usize> = (0..m).collect();
+        let x = ops::add(&sent_reps, &self.doc_position.forward(&positions));
+        let ctx = self.doc_encoder.forward(&x, None, train, rng);
+        self.emit.forward(&ctx)
+    }
+
+    /// CRF loss over gold sentence labels.
+    pub fn loss(&self, doc: &DocumentInput, labels: &[usize], rng: &mut impl Rng) -> Tensor {
+        let e = self.emissions(doc, true, rng);
+        self.crf.neg_log_likelihood(&e, labels)
+    }
+
+    /// Viterbi-decoded sentence labels.
+    pub fn predict(&self, doc: &DocumentInput, rng: &mut impl Rng) -> Vec<usize> {
+        if doc.is_empty() {
+            return Vec::new();
+        }
+        let e = self.emissions(doc, false, rng);
+        self.crf.viterbi(&e.value()).0
+    }
+
+    /// Supervised training.
+    pub fn finetune(
+        &self,
+        data: &[(&DocumentInput, &[usize])],
+        config: &FinetuneConfig,
+        rng: &mut impl Rng,
+    ) -> Vec<f32> {
+        let mut opt = Adam::new(self.parameters(), config.lr_head, config.weight_decay);
+        let mut trace = Vec::with_capacity(config.epochs);
+        for _ in 0..config.epochs {
+            let mut order: Vec<usize> = (0..data.len()).collect();
+            order.shuffle(rng);
+            let mut acc = 0.0f32;
+            for &i in &order {
+                let (doc, labels) = data[i];
+                if doc.is_empty() {
+                    continue;
+                }
+                opt.zero_grad();
+                let loss = self.loss(doc, labels, rng);
+                acc += loss.item();
+                loss.backward();
+                opt.clip_grad_norm(5.0);
+                opt.step();
+            }
+            trace.push(acc / data.len().max(1) as f32);
+        }
+        trace
+    }
+}
+
+impl Module for HiBertCrf {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.token_embed.parameters();
+        p.extend(self.sent_encoder.parameters());
+        p.extend(self.doc_position.parameters());
+        p.extend(self.doc_encoder.parameters());
+        p.extend(self.emit.parameters());
+        p.extend(self.crf.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use resuformer::data::{build_tokenizer, prepare_document, sentence_iob_labels};
+    use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+    use resuformer_tensor::init::seeded_rng;
+
+    fn setup() -> (HiBertCrf, DocumentInput, Vec<usize>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(81);
+        let r = generate_resume(&mut rng, &GeneratorConfig::smoke());
+        let wp = build_tokenizer(r.doc.tokens.iter().map(|t| t.text.clone()), 1);
+        let config = ModelConfig::tiny(wp.vocab.len());
+        let scheme = block_tag_scheme();
+        let (input, sentences) = prepare_document(&r.doc, &wp, &config);
+        let labels = sentence_iob_labels(&r, &sentences, &scheme);
+        let model = HiBertCrf::new(&mut seeded_rng(82), &config);
+        (model, input, labels)
+    }
+
+    #[test]
+    fn emission_shape_and_prediction() {
+        let (model, input, labels) = setup();
+        let mut rng = seeded_rng(83);
+        let e = model.emissions(&input, false, &mut rng);
+        assert_eq!(e.dims(), vec![input.len(), model.scheme().num_labels()]);
+        let pred = model.predict(&input, &mut rng);
+        assert_eq!(pred.len(), labels.len());
+    }
+
+    #[test]
+    fn training_fits_single_document() {
+        let (model, input, labels) = setup();
+        let mut rng = seeded_rng(84);
+        let pairs: Vec<(&DocumentInput, &[usize])> = vec![(&input, labels.as_slice())];
+        let cfg = FinetuneConfig { epochs: 25, ..Default::default() };
+        let trace = model.finetune(&pairs, &cfg, &mut rng);
+        assert!(trace.last().unwrap() < &(trace[0] * 0.3));
+        let pred = model.predict(&input, &mut rng);
+        let acc = pred.iter().zip(&labels).filter(|(a, b)| a == b).count() as f32
+            / labels.len() as f32;
+        assert!(acc > 0.85, "accuracy {}", acc);
+    }
+}

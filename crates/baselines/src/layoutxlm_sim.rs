@@ -1,0 +1,466 @@
+//! LayoutXLM-style baseline (Table II) and Algorithm-1 teacher.
+//!
+//! A token-level multi-modal pre-trained model: text + 2-D layout
+//! embeddings per token, plus the region feature of the token's sentence
+//! crop (LayoutLMv2-family visual conditioning), MLM-pre-trained, CRF
+//! decoded. Like the real LayoutXLM it processes a resume window by
+//! window, so context beyond the window is invisible — the mechanism
+//! behind the Figure 3 case-study failure.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use resuformer::block_classifier::FinetuneConfig;
+use resuformer::config::ModelConfig;
+use resuformer::data::block_tag_scheme;
+use resuformer::distill::SentenceTeacher;
+use resuformer::embeddings::{LayoutEmbedding, TextEmbedding};
+use resuformer::visual::VisualExtractor;
+use resuformer_doc::{Document, LayoutTuple};
+use resuformer_nn::{Adam, Crf, Linear, Module, TransformerEncoder};
+use resuformer_text::{TagScheme, WordPiece};
+use resuformer_tensor::{ops, Tensor};
+
+use crate::common::{
+    expand_to_token_labels, mlm_pretrain, prepare_token_doc, tokens_to_sentence_labels, TokenDoc,
+};
+
+/// Token-level multi-modal pre-trained model (LayoutXLM simulator).
+pub struct LayoutXlmSim {
+    embed: TextEmbedding,
+    layout: LayoutEmbedding,
+    visual: VisualExtractor,
+    vis_proj: Linear,
+    encoder: TransformerEncoder,
+    emit: Linear,
+    crf: Crf,
+    scheme: TagScheme,
+    window: usize,
+    /// Tokenizer + config for labeling raw documents (SentenceTeacher).
+    teacher_ctx: Option<(WordPiece, ModelConfig)>,
+}
+
+impl LayoutXlmSim {
+    /// New model.
+    pub fn new(rng: &mut impl Rng, config: &ModelConfig, window: usize) -> Self {
+        let scheme = block_tag_scheme();
+        LayoutXlmSim {
+            embed: TextEmbedding::new(rng, config, window),
+            layout: LayoutEmbedding::new(rng, config),
+            visual: VisualExtractor::new(rng, config.visual_dim),
+            vis_proj: Linear::new(rng, config.visual_dim, config.hidden),
+            encoder: TransformerEncoder::new(
+                rng,
+                config.sent_layers,
+                config.hidden,
+                config.heads,
+                config.ff,
+                config.dropout,
+            ),
+            emit: Linear::new(rng, config.hidden, scheme.num_labels()),
+            crf: Crf::new(rng, scheme.num_labels()),
+            scheme,
+            window,
+            teacher_ctx: None,
+        }
+    }
+
+    /// Attach the tokenizer + config needed to pseudo-label raw documents
+    /// (required before using this model as the Algorithm-1 teacher).
+    pub fn with_teacher_context(mut self, wp: WordPiece, config: ModelConfig) -> Self {
+        self.teacher_ctx = Some((wp, config));
+        self
+    }
+
+    /// The tag scheme.
+    pub fn scheme(&self) -> &TagScheme {
+        &self.scheme
+    }
+
+    /// MLM pre-training with retained layout (the masked visual-language
+    /// modeling analogue).
+    pub fn pretrain(&self, docs: &[TokenDoc], epochs: usize, lr: f32, rng: &mut impl Rng) -> Vec<f32> {
+        let mut params = self.embed.parameters();
+        params.extend(self.layout.parameters());
+        params.extend(self.encoder.parameters());
+        let table = self.embed.word_table().clone();
+        mlm_pretrain(params, table, docs, epochs, lr, rng, |ids, layouts, frng| {
+            let x = ops::add(&self.embed.forward(ids), &self.layout.forward(layouts));
+            self.encoder.forward(&x, None, true, frng)
+        })
+    }
+
+    fn window_emissions(
+        &self,
+        doc: &TokenDoc,
+        start: usize,
+        end: usize,
+        sent_features: &Tensor,
+        train: bool,
+        rng: &mut impl Rng,
+    ) -> Tensor {
+        let ids = &doc.ids[start..end];
+        let layouts: &[LayoutTuple] = &doc.layouts[start..end];
+        let mut x = ops::add(&self.embed.forward(ids), &self.layout.forward(layouts));
+        // Per-token visual conditioning: the token's sentence region
+        // feature, projected to model width.
+        let sent_idx: Vec<usize> = doc.sentence_of[start..end].to_vec();
+        let vis = ops::gather_rows(sent_features, &sent_idx);
+        x = ops::add(&x, &self.vis_proj.forward(&vis));
+        let h = self.encoder.forward(&x, None, train, rng);
+        self.emit.forward(&h)
+    }
+
+    fn sentence_features(&self, doc: &TokenDoc) -> Tensor {
+        self.visual.extract_batch(&doc.patches)
+    }
+
+    /// Mean CRF loss across a document's windows.
+    pub fn loss(&self, doc: &TokenDoc, sentence_labels: &[usize], rng: &mut impl Rng) -> Tensor {
+        let token_labels = expand_to_token_labels(&self.scheme, sentence_labels, &doc.sentence_of);
+        let feats = self.sentence_features(doc);
+        let mut losses = Vec::new();
+        for (start, end) in doc.windows() {
+            let e = self.window_emissions(doc, start, end, &feats, true, rng);
+            losses.push(self.crf.neg_log_likelihood(&e, &token_labels[start..end]));
+        }
+        let n = losses.len() as f32;
+        let sum = losses.into_iter().reduce(|a, b| ops::add(&a, &b)).expect("non-empty");
+        ops::mul_scalar(&sum, 1.0 / n)
+    }
+
+    /// Predict sentence labels (windowed Viterbi → majority vote).
+    pub fn predict_sentences(&self, doc: &TokenDoc, rng: &mut impl Rng) -> Vec<usize> {
+        let feats = self.sentence_features(doc);
+        let mut token_labels = Vec::with_capacity(doc.len());
+        for (start, end) in doc.windows() {
+            let e = self.window_emissions(doc, start, end, &feats, false, rng);
+            token_labels.extend(self.crf.viterbi(&e.value()).0);
+        }
+        tokens_to_sentence_labels(&self.scheme, &token_labels, &doc.sentence_of, doc.n_sentences)
+    }
+
+    /// Supervised training over `(doc, sentence_labels)` pairs.
+    pub fn finetune(
+        &self,
+        data: &[(&TokenDoc, &[usize])],
+        config: &FinetuneConfig,
+        rng: &mut impl Rng,
+    ) -> Vec<f32> {
+        let mut opt = Adam::new(self.parameters(), config.lr_head, config.weight_decay);
+        let mut trace = Vec::with_capacity(config.epochs);
+        for _ in 0..config.epochs {
+            let mut order: Vec<usize> = (0..data.len()).collect();
+            order.shuffle(rng);
+            let mut acc = 0.0f32;
+            for &i in &order {
+                let (doc, labels) = data[i];
+                if doc.is_empty() {
+                    continue;
+                }
+                opt.zero_grad();
+                let loss = self.loss(doc, labels, rng);
+                acc += loss.item();
+                loss.backward();
+                opt.clip_grad_norm(5.0);
+                opt.step();
+            }
+            trace.push(acc / data.len().max(1) as f32);
+        }
+        trace
+    }
+}
+
+impl Module for LayoutXlmSim {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.embed.parameters();
+        p.extend(self.layout.parameters());
+        p.extend(self.vis_proj.parameters());
+        p.extend(self.encoder.parameters());
+        p.extend(self.emit.parameters());
+        p.extend(self.crf.parameters());
+        p
+    }
+}
+
+impl SentenceTeacher for LayoutXlmSim {
+    fn pseudo_labels(&self, doc: &Document) -> Vec<usize> {
+        let (wp, config) = self
+            .teacher_ctx
+            .as_ref()
+            .expect("call with_teacher_context before using as a teacher");
+        let td = prepare_token_doc(doc, wp, config, self.window);
+        // Deterministic inference RNG: predictions must be reproducible.
+        let mut rng = resuformer_tensor::init::seeded_rng(0);
+        self.predict_sentences(&td, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use resuformer::data::{build_tokenizer, prepare_document, sentence_iob_labels};
+    use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+    use resuformer_tensor::init::seeded_rng;
+
+    fn setup() -> (LayoutXlmSim, TokenDoc, Vec<usize>, WordPiece, ModelConfig, resuformer_datagen::LabeledResume) {
+        let mut rng = ChaCha8Rng::seed_from_u64(101);
+        let r = generate_resume(&mut rng, &GeneratorConfig::smoke());
+        let wp = build_tokenizer(r.doc.tokens.iter().map(|t| t.text.clone()), 1);
+        let config = ModelConfig::tiny(wp.vocab.len());
+        let scheme = block_tag_scheme();
+        let (_, sentences) = prepare_document(&r.doc, &wp, &config);
+        let labels = sentence_iob_labels(&r, &sentences, &scheme);
+        let td = prepare_token_doc(&r.doc, &wp, &config, 32);
+        let model = LayoutXlmSim::new(&mut seeded_rng(102), &config, 32);
+        (model, td, labels, wp, config, r)
+    }
+
+    #[test]
+    fn pretraining_reduces_mlm_loss() {
+        let (model, td, _, _, _, _) = setup();
+        let trace = model.pretrain(std::slice::from_ref(&td), 5, 2e-3, &mut seeded_rng(103));
+        assert!(trace.last().unwrap() < &trace[0], "{:?}", trace);
+    }
+
+    #[test]
+    fn training_fits_and_teacher_interface_works() {
+        let (model, td, labels, wp, config, r) = setup();
+        let mut rng = seeded_rng(104);
+        let pairs: Vec<(&TokenDoc, &[usize])> = vec![(&td, labels.as_slice())];
+        let cfg = FinetuneConfig { epochs: 15, ..Default::default() };
+        let trace = model.finetune(&pairs, &cfg, &mut rng);
+        assert!(trace.last().unwrap() < &(trace[0] * 0.5));
+
+        let model = model.with_teacher_context(wp, config);
+        let pseudo = model.pseudo_labels(&r.doc);
+        assert_eq!(pseudo.len(), labels.len());
+        // Having overfit this very document, the teacher's pseudo labels
+        // should largely agree with gold classes.
+        let scheme = model.scheme();
+        let agree = pseudo
+            .iter()
+            .zip(labels.iter())
+            .filter(|(a, b)| scheme.class_of(**a) == scheme.class_of(**b))
+            .count();
+        assert!(agree as f32 / labels.len() as f32 > 0.7);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LayoutLMv2-family pre-training extras
+// ---------------------------------------------------------------------------
+
+impl LayoutXlmSim {
+    /// Text-image alignment (TIA) pre-training, as in LayoutLMv2 (the
+    /// paper: "not only the existing masked visual-language modeling task
+    /// but also the new text-image alignment and text-image matching
+    /// tasks").
+    ///
+    /// A fraction of sentences have their image patches *covered*
+    /// (zeroed); a per-token binary head must predict whether each token's
+    /// line is covered. Returns the per-epoch loss trace.
+    pub fn pretrain_tia(
+        &self,
+        docs: &[TokenDoc],
+        epochs: usize,
+        lr: f32,
+        cover_ratio: f64,
+        rng: &mut impl Rng,
+    ) -> Vec<f32> {
+        use resuformer_nn::linear::Activation;
+        use resuformer_nn::Mlp;
+
+        let hidden = self.emit.in_dim();
+        let head = Mlp::new(rng, &[hidden, 2], Activation::Identity);
+        let mut params = self.parameters();
+        params.extend(resuformer_nn::Module::parameters(&head));
+        let mut opt = resuformer_nn::Adam::new(params, lr, 0.01);
+
+        let mut trace = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut acc = 0.0f32;
+            let mut steps = 0usize;
+            for doc in docs {
+                if doc.is_empty() {
+                    continue;
+                }
+                // Cover a random subset of sentences.
+                let covered: Vec<bool> = (0..doc.n_sentences)
+                    .map(|_| rng.gen_bool(cover_ratio))
+                    .collect();
+                let mut patches = doc.patches.clone();
+                for (si, &c) in covered.iter().enumerate() {
+                    if c {
+                        for v in &mut patches[si] {
+                            *v = 0.0;
+                        }
+                    }
+                }
+                let feats = self.visual.extract_batch(&patches);
+                for (start, end) in doc.windows() {
+                    let ids = &doc.ids[start..end];
+                    if ids.len() < 2 {
+                        continue;
+                    }
+                    let layouts = &doc.layouts[start..end];
+                    let sent_idx: Vec<usize> = doc.sentence_of[start..end].to_vec();
+                    let mut x = ops::add(&self.embed.forward(ids), &self.layout.forward(layouts));
+                    let vis = ops::gather_rows(&feats, &sent_idx);
+                    x = ops::add(&x, &self.vis_proj.forward(&vis));
+                    let mut frng = {
+                        use rand_chacha::rand_core::SeedableRng;
+                        rand_chacha::ChaCha8Rng::seed_from_u64(rng.gen())
+                    };
+                    let h = self.encoder.forward(&x, None, true, &mut frng);
+                    let logits = head.forward(&h);
+                    let targets: Vec<usize> = sent_idx
+                        .iter()
+                        .map(|&si| usize::from(covered[si]))
+                        .collect();
+                    opt.zero_grad();
+                    let loss = ops::cross_entropy_rows(&logits, &targets, None);
+                    acc += loss.item();
+                    steps += 1;
+                    loss.backward();
+                    opt.clip_grad_norm(5.0);
+                    opt.step();
+                }
+            }
+            trace.push(acc / steps.max(1) as f32);
+        }
+        trace
+    }
+
+    /// Text-image matching (TIM) pre-training: for each document, patches
+    /// are either kept or replaced with another document's patches; a
+    /// window-level head (mean-pooled features) predicts matched/replaced.
+    pub fn pretrain_tim(
+        &self,
+        docs: &[TokenDoc],
+        epochs: usize,
+        lr: f32,
+        rng: &mut impl Rng,
+    ) -> Vec<f32> {
+        use resuformer_nn::linear::Activation;
+        use resuformer_nn::Mlp;
+
+        if docs.len() < 2 {
+            return Vec::new();
+        }
+        let hidden = self.emit.in_dim();
+        let head = Mlp::new(rng, &[hidden, 2], Activation::Identity);
+        let mut params = self.parameters();
+        params.extend(resuformer_nn::Module::parameters(&head));
+        let mut opt = resuformer_nn::Adam::new(params, lr, 0.01);
+
+        let mut trace = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut acc = 0.0f32;
+            let mut steps = 0usize;
+            for di in 0..docs.len() {
+                let doc = &docs[di];
+                if doc.is_empty() {
+                    continue;
+                }
+                let swap = rng.gen_bool(0.5);
+                let src = if swap { (di + 1) % docs.len() } else { di };
+                let feats = self.visual.extract_batch(&docs[src].patches);
+                let max_feat = docs[src].patches.len() - 1;
+                for (start, end) in doc.windows() {
+                    let ids = &doc.ids[start..end];
+                    if ids.len() < 2 {
+                        continue;
+                    }
+                    let layouts = &doc.layouts[start..end];
+                    let sent_idx: Vec<usize> = doc.sentence_of[start..end]
+                        .iter()
+                        .map(|&s| s.min(max_feat))
+                        .collect();
+                    let mut x = ops::add(&self.embed.forward(ids), &self.layout.forward(layouts));
+                    let vis = ops::gather_rows(&feats, &sent_idx);
+                    x = ops::add(&x, &self.vis_proj.forward(&vis));
+                    let mut frng = {
+                        use rand_chacha::rand_core::SeedableRng;
+                        rand_chacha::ChaCha8Rng::seed_from_u64(rng.gen())
+                    };
+                    let h = self.encoder.forward(&x, None, true, &mut frng);
+                    // Mean-pool window features → [1, hidden].
+                    let n = end - start;
+                    let pooled = ops::mul_scalar(
+                        &ops::reshape(&ops::sum_axis(&h, 0), [1, hidden]),
+                        1.0 / n as f32,
+                    );
+                    let logits = head.forward(&pooled);
+                    opt.zero_grad();
+                    let loss = ops::cross_entropy_rows(&logits, &[usize::from(swap)], None);
+                    acc += loss.item();
+                    steps += 1;
+                    loss.backward();
+                    opt.clip_grad_norm(5.0);
+                    opt.step();
+                }
+            }
+            trace.push(acc / steps.max(1) as f32);
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod pretrain_extra_tests {
+    use super::*;
+    use crate::common::prepare_token_doc;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use resuformer::data::build_tokenizer;
+    use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+    use resuformer_tensor::init::seeded_rng;
+
+    fn docs(n: usize) -> (Vec<TokenDoc>, ModelConfig) {
+        let mut rng = ChaCha8Rng::seed_from_u64(141);
+        let resumes: Vec<_> = (0..n)
+            .map(|_| generate_resume(&mut rng, &GeneratorConfig::smoke()))
+            .collect();
+        let wp = build_tokenizer(
+            resumes.iter().flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
+            1,
+        );
+        let config = ModelConfig::tiny(wp.vocab.len());
+        let tds = resumes
+            .iter()
+            .map(|r| prepare_token_doc(&r.doc, &wp, &config, 24))
+            .collect();
+        (tds, config)
+    }
+
+    #[test]
+    fn tia_loss_decreases() {
+        let (tds, config) = docs(2);
+        let model = LayoutXlmSim::new(&mut seeded_rng(142), &config, 24);
+        let trace = model.pretrain_tia(&tds, 4, 2e-3, 0.3, &mut seeded_rng(143));
+        assert_eq!(trace.len(), 4);
+        assert!(trace.last().unwrap() < &trace[0], "{:?}", trace);
+    }
+
+    #[test]
+    fn tim_loss_decreases() {
+        // The matched/replaced coin is re-flipped per document per epoch,
+        // so the per-epoch trace is noisy with few documents; require that
+        // the best later epoch clearly beats the start.
+        let (tds, config) = docs(3);
+        let model = LayoutXlmSim::new(&mut seeded_rng(144), &config, 24);
+        let trace = model.pretrain_tim(&tds, 6, 2e-3, &mut seeded_rng(145));
+        assert_eq!(trace.len(), 6);
+        let best_late = trace[2..].iter().cloned().fold(f32::INFINITY, f32::min);
+        assert!(best_late < trace[0] * 0.8, "{:?}", trace);
+    }
+
+    #[test]
+    fn tim_requires_two_documents() {
+        let (tds, config) = docs(1);
+        let model = LayoutXlmSim::new(&mut seeded_rng(146), &config, 24);
+        assert!(model.pretrain_tim(&tds, 2, 1e-3, &mut seeded_rng(147)).is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! # resuformer-baselines
+//!
+//! Every comparator model from the ResuFormer evaluation, implemented on
+//! the same substrates as the main model so Tables II–V compare like with
+//! like.
+//!
+//! **Block classification (Table II):**
+//! * [`BertCrf`] — token-level, text-only, non-pre-trained BERT + CRF;
+//! * [`HiBertCrf`] — hierarchical sentence-level BERT + CRF (text only);
+//! * [`RobertaGcn`] — MLM-pre-trained token encoder + spatial GCN + CRF;
+//! * [`LayoutXlmSim`] — token-level multi-modal (text + layout + visual)
+//!   pre-trained model; also the knowledge-distillation teacher of
+//!   Algorithm 1 (it implements [`resuformer::distill::SentenceTeacher`]).
+//!
+//! **Intra-block NER (Table IV):**
+//! * [`DrMatch`] — dictionary + regular-expression matching only;
+//! * [`BertBilstmCrf`] — distant hard labels + CRF loss;
+//! * [`BertBilstmFcrf`] — fuzzy CRF over partial annotations;
+//! * [`AutoNer`] — the "Tie or Break" scheme of Shang et al.
+
+#![warn(missing_docs)]
+
+pub mod autoner;
+pub mod bert_bilstm_crf;
+pub mod bert_crf;
+pub mod common;
+pub mod dr_match;
+pub mod hibert_crf;
+pub mod layoutxlm_sim;
+pub mod roberta_gcn;
+
+pub use autoner::AutoNer;
+pub use bert_bilstm_crf::{BertBilstmCrf, BertBilstmFcrf};
+pub use bert_crf::BertCrf;
+pub use common::{prepare_token_doc, TokenDoc};
+pub use dr_match::DrMatch;
+pub use hibert_crf::HiBertCrf;
+pub use layoutxlm_sim::LayoutXlmSim;
+pub use roberta_gcn::RobertaGcn;

@@ -1,0 +1,256 @@
+//! RoBERTa+GCN baseline (Table II): Wei et al., SIGIR 2020.
+//!
+//! An MLM-pre-trained token encoder supplies contextual features; a graph
+//! convolutional network over a spatial-adjacency graph of tokens encodes
+//! "layout and positional information"; a CRF decodes token-level IOB
+//! labels. Token-level and windowed, like BERT+CRF.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use resuformer::block_classifier::FinetuneConfig;
+use resuformer::config::ModelConfig;
+use resuformer::data::block_tag_scheme;
+use resuformer::embeddings::TextEmbedding;
+use resuformer_doc::LayoutTuple;
+use resuformer_nn::gcn::normalize_adjacency;
+use resuformer_nn::{Adam, Crf, GcnLayer, Linear, Module, TransformerEncoder};
+use resuformer_text::TagScheme;
+use resuformer_tensor::{ops, NdArray, Tensor};
+
+use crate::common::{expand_to_token_labels, mlm_pretrain, tokens_to_sentence_labels, TokenDoc};
+
+/// Build a spatial adjacency over a token window: tokens connect when they
+/// share a row and sit close horizontally, or are vertically adjacent in
+/// the same column band (Wei et al.'s layout graph, simplified).
+pub fn spatial_adjacency(layouts: &[LayoutTuple]) -> NdArray {
+    let n = layouts.len();
+    let mut adj = NdArray::zeros([n, n]);
+    {
+        let a = adj.data_mut();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (li, lj) = (&layouts[i], &layouts[j]);
+                if li.page != lj.page {
+                    continue;
+                }
+                let same_row = li.y_min.abs_diff(lj.y_min) <= 8;
+                let x_gap = if li.x_max <= lj.x_min {
+                    lj.x_min - li.x_max
+                } else if lj.x_max <= li.x_min {
+                    li.x_min - lj.x_max
+                } else {
+                    0
+                };
+                let x_overlap = li.x_min.max(lj.x_min) <= li.x_max.min(lj.x_max);
+                let y_gap = li.y_max.abs_diff(lj.y_min).min(lj.y_max.abs_diff(li.y_min));
+                let row_neighbor = same_row && x_gap <= 40;
+                let col_neighbor = x_overlap && y_gap <= 30;
+                if row_neighbor || col_neighbor {
+                    a[i * n + j] = 1.0;
+                    a[j * n + i] = 1.0;
+                }
+            }
+        }
+    }
+    adj
+}
+
+/// RoBERTa + GCN + CRF.
+pub struct RobertaGcn {
+    embed: TextEmbedding,
+    encoder: TransformerEncoder,
+    gcn1: GcnLayer,
+    gcn2: GcnLayer,
+    emit: Linear,
+    crf: Crf,
+    scheme: TagScheme,
+    window: usize,
+}
+
+impl RobertaGcn {
+    /// New model.
+    pub fn new(rng: &mut impl Rng, config: &ModelConfig, window: usize) -> Self {
+        let scheme = block_tag_scheme();
+        RobertaGcn {
+            embed: TextEmbedding::new(rng, config, window),
+            encoder: TransformerEncoder::new(
+                rng,
+                config.sent_layers,
+                config.hidden,
+                config.heads,
+                config.ff,
+                config.dropout,
+            ),
+            gcn1: GcnLayer::new(rng, config.hidden, config.hidden),
+            gcn2: GcnLayer::new(rng, config.hidden, config.hidden),
+            emit: Linear::new(rng, config.hidden, scheme.num_labels()),
+            crf: Crf::new(rng, scheme.num_labels()),
+            scheme,
+            window,
+        }
+    }
+
+    /// The tag scheme.
+    pub fn scheme(&self) -> &TagScheme {
+        &self.scheme
+    }
+
+    /// Token window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// MLM-pre-train the text encoder on corpus windows (the "pre-trained
+    /// RoBERTa" warm start; see DESIGN.md §2).
+    pub fn pretrain(&self, docs: &[TokenDoc], epochs: usize, lr: f32, rng: &mut impl Rng) -> Vec<f32> {
+        let mut params = self.embed.parameters();
+        params.extend(self.encoder.parameters());
+        let table = self.embed.word_table().clone();
+        mlm_pretrain(params, table, docs, epochs, lr, rng, |ids, _layouts, frng| {
+            let x = self.embed.forward(ids);
+            self.encoder.forward(&x, None, true, frng)
+        })
+    }
+
+    fn window_emissions(
+        &self,
+        ids: &[usize],
+        layouts: &[LayoutTuple],
+        train: bool,
+        rng: &mut impl Rng,
+    ) -> Tensor {
+        let x = self.embed.forward(ids);
+        let h = self.encoder.forward(&x, None, train, rng);
+        let adj = normalize_adjacency(&spatial_adjacency(layouts));
+        let g = self.gcn2.forward(&adj, &self.gcn1.forward(&adj, &h));
+        // Residual combine: text features + layout-graph features.
+        self.emit.forward(&ops::add(&h, &g))
+    }
+
+    /// Mean CRF loss across a document's windows.
+    pub fn loss(&self, doc: &TokenDoc, sentence_labels: &[usize], rng: &mut impl Rng) -> Tensor {
+        let token_labels = expand_to_token_labels(&self.scheme, sentence_labels, &doc.sentence_of);
+        let mut losses = Vec::new();
+        for (start, end) in doc.windows() {
+            let e = self.window_emissions(&doc.ids[start..end], &doc.layouts[start..end], true, rng);
+            losses.push(self.crf.neg_log_likelihood(&e, &token_labels[start..end]));
+        }
+        let n = losses.len() as f32;
+        let sum = losses.into_iter().reduce(|a, b| ops::add(&a, &b)).expect("non-empty");
+        ops::mul_scalar(&sum, 1.0 / n)
+    }
+
+    /// Predict sentence labels (windowed Viterbi → majority vote).
+    pub fn predict_sentences(&self, doc: &TokenDoc, rng: &mut impl Rng) -> Vec<usize> {
+        let mut token_labels = Vec::with_capacity(doc.len());
+        for (start, end) in doc.windows() {
+            let e = self.window_emissions(&doc.ids[start..end], &doc.layouts[start..end], false, rng);
+            token_labels.extend(self.crf.viterbi(&e.value()).0);
+        }
+        tokens_to_sentence_labels(&self.scheme, &token_labels, &doc.sentence_of, doc.n_sentences)
+    }
+
+    /// Supervised training over `(doc, sentence_labels)` pairs.
+    pub fn finetune(
+        &self,
+        data: &[(&TokenDoc, &[usize])],
+        config: &FinetuneConfig,
+        rng: &mut impl Rng,
+    ) -> Vec<f32> {
+        let mut opt = Adam::new(self.parameters(), config.lr_head, config.weight_decay);
+        let mut trace = Vec::with_capacity(config.epochs);
+        for _ in 0..config.epochs {
+            let mut order: Vec<usize> = (0..data.len()).collect();
+            order.shuffle(rng);
+            let mut acc = 0.0f32;
+            for &i in &order {
+                let (doc, labels) = data[i];
+                if doc.is_empty() {
+                    continue;
+                }
+                opt.zero_grad();
+                let loss = self.loss(doc, labels, rng);
+                acc += loss.item();
+                loss.backward();
+                opt.clip_grad_norm(5.0);
+                opt.step();
+            }
+            trace.push(acc / data.len().max(1) as f32);
+        }
+        trace
+    }
+}
+
+impl Module for RobertaGcn {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.embed.parameters();
+        p.extend(self.encoder.parameters());
+        p.extend(self.gcn1.parameters());
+        p.extend(self.gcn2.parameters());
+        p.extend(self.emit.parameters());
+        p.extend(self.crf.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::prepare_token_doc;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use resuformer::data::{build_tokenizer, prepare_document, sentence_iob_labels};
+    use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+    use resuformer_tensor::init::seeded_rng;
+
+    #[test]
+    fn adjacency_connects_same_row_tokens() {
+        let mk = |x0: usize, y0: usize| LayoutTuple {
+            x_min: x0,
+            y_min: y0,
+            x_max: x0 + 30,
+            y_max: y0 + 12,
+            width: 30,
+            height: 12,
+            page: 0,
+        };
+        // Two adjacent same-row tokens + one far-away token.
+        let layouts = vec![mk(100, 100), mk(135, 100), mk(800, 700)];
+        let adj = spatial_adjacency(&layouts);
+        assert_eq!(adj.at(&[0, 1]), 1.0);
+        assert_eq!(adj.at(&[1, 0]), 1.0);
+        assert_eq!(adj.at(&[0, 2]), 0.0);
+    }
+
+    #[test]
+    fn pretraining_reduces_mlm_loss() {
+        let mut rng = ChaCha8Rng::seed_from_u64(91);
+        let r = generate_resume(&mut rng, &GeneratorConfig::smoke());
+        let wp = build_tokenizer(r.doc.tokens.iter().map(|t| t.text.clone()), 1);
+        let config = ModelConfig::tiny(wp.vocab.len());
+        let td = prepare_token_doc(&r.doc, &wp, &config, 24);
+        let model = RobertaGcn::new(&mut seeded_rng(92), &config, 24);
+        let trace = model.pretrain(std::slice::from_ref(&td), 5, 2e-3, &mut seeded_rng(93));
+        assert!(trace.last().unwrap() < &trace[0], "{:?}", trace);
+    }
+
+    #[test]
+    fn training_fits_single_document() {
+        let mut rng = ChaCha8Rng::seed_from_u64(94);
+        let r = generate_resume(&mut rng, &GeneratorConfig::smoke());
+        let wp = build_tokenizer(r.doc.tokens.iter().map(|t| t.text.clone()), 1);
+        let config = ModelConfig::tiny(wp.vocab.len());
+        let scheme = block_tag_scheme();
+        let (_, sentences) = prepare_document(&r.doc, &wp, &config);
+        let labels = sentence_iob_labels(&r, &sentences, &scheme);
+        let td = prepare_token_doc(&r.doc, &wp, &config, 32);
+        let model = RobertaGcn::new(&mut seeded_rng(95), &config, 32);
+        let mut trng = seeded_rng(96);
+        let pairs: Vec<(&TokenDoc, &[usize])> = vec![(&td, labels.as_slice())];
+        let cfg = FinetuneConfig { epochs: 15, ..Default::default() };
+        let trace = model.finetune(&pairs, &cfg, &mut trng);
+        assert!(trace.last().unwrap() < &(trace[0] * 0.5));
+        let pred = model.predict_sentences(&td, &mut trng);
+        assert_eq!(pred.len(), labels.len());
+    }
+}

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks of the compute kernels that dominate
+//! training/inference: matmul, softmax, attention, CRF Viterbi, and the
+//! sentence rasteriser.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resuformer_nn::{Crf, MultiHeadAttention};
+use resuformer_tensor::init::{seeded_rng, uniform};
+use resuformer_tensor::{ops, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let a = uniform(&mut seeded_rng(1), [n, n], 1.0);
+        let b = uniform(&mut seeded_rng(2), [n, n], 1.0);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| ops::matmul_raw(&a, &b));
+        });
+    }
+    g.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let x = Tensor::constant(uniform(&mut seeded_rng(3), [128, 128], 2.0));
+    c.bench_function("softmax_rows_128x128", |b| {
+        b.iter(|| ops::softmax_rows(&x).value())
+    });
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut rng = seeded_rng(4);
+    let attn = MultiHeadAttention::new(&mut rng, 64, 4);
+    let x = Tensor::constant(uniform(&mut rng, [90, 64], 1.0));
+    c.bench_function("attention_forward_90x64_4heads", |b| {
+        b.iter(|| attn.forward(&x, None).value())
+    });
+}
+
+fn bench_crf_viterbi(c: &mut Criterion) {
+    let mut rng = seeded_rng(5);
+    let crf = Crf::new(&mut rng, 17);
+    let emissions = uniform(&mut rng, [90, 17], 2.0);
+    c.bench_function("crf_viterbi_90x17", |b| b.iter(|| crf.viterbi(&emissions)));
+}
+
+fn bench_crf_loss_backward(c: &mut Criterion) {
+    let mut rng = seeded_rng(6);
+    let crf = Crf::new(&mut rng, 17);
+    let tags: Vec<usize> = (0..90).map(|i| i % 17).collect();
+    c.bench_function("crf_nll_backward_90x17", |b| {
+        b.iter(|| {
+            let emissions = Tensor::param(uniform(&mut seeded_rng(7), [90, 17], 2.0));
+            let loss = crf.neg_log_likelihood(&emissions, &tags);
+            loss.backward();
+            loss.item()
+        })
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_matmul,
+    bench_softmax,
+    bench_attention,
+    bench_crf_viterbi,
+    bench_crf_loss_backward
+);
+criterion_main!(kernels);

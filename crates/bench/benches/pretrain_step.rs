@@ -1,0 +1,50 @@
+//! Criterion measurement of one pre-training step (loss + backward) per
+//! objective configuration — the cost structure behind Table III.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resuformer::config::{ModelConfig, PretrainConfig};
+use resuformer::data::{build_tokenizer, prepare_document};
+use resuformer::encoder::HierarchicalEncoder;
+use resuformer::pretrain::{ObjectiveSwitches, Pretrainer};
+use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+use resuformer_nn::Module;
+use resuformer_tensor::init::seeded_rng;
+
+fn bench_pretrain_step(c: &mut Criterion) {
+    use rand_chacha::rand_core::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+    let resume = generate_resume(&mut rng, &GeneratorConfig::smoke());
+    let wp = build_tokenizer(resume.doc.tokens.iter().map(|t| t.text.clone()), 1);
+    let config = ModelConfig::tiny(wp.vocab.len());
+    let (input, _) = prepare_document(&resume.doc, &wp, &config);
+
+    let mut mrng = seeded_rng(22);
+    let enc = HierarchicalEncoder::new(&mut mrng, &config);
+    let pt = Pretrainer::new(&mut mrng, &config, PretrainConfig::default());
+
+    let mut g = c.benchmark_group("pretrain_step");
+    g.sample_size(10);
+    for (name, switches) in [
+        ("all_objectives", ObjectiveSwitches { wmp: true, scl: true, dnsp: true }),
+        ("mlm_only", ObjectiveSwitches { wmp: true, scl: false, dnsp: false }),
+        ("scl_only", ObjectiveSwitches { wmp: false, scl: true, dnsp: false }),
+        ("dnsp_only", ObjectiveSwitches { wmp: false, scl: false, dnsp: true }),
+    ] {
+        g.bench_function(name, |b| {
+            let mut pt2 = Pretrainer::new(&mut seeded_rng(23), &config, PretrainConfig::default());
+            pt2.switches = switches;
+            let mut srng = seeded_rng(24);
+            b.iter(|| {
+                enc.zero_grad();
+                let (loss, _) = pt2.loss(&enc, &input, 0, &mut srng);
+                loss.backward();
+                loss.item()
+            })
+        });
+    }
+    g.finish();
+    let _ = pt;
+}
+
+criterion_group!(pretrain, bench_pretrain_step);
+criterion_main!(pretrain);

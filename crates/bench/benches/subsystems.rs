@@ -1,0 +1,82 @@
+//! Criterion throughput benches for the non-model subsystems: the resume
+//! generator, the WordPiece tokenizer, sentence concatenation, distant
+//! annotation, and NER inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use resuformer::annotate::distant_labels;
+use resuformer::data::{build_tokenizer, entity_tag_scheme};
+use resuformer::ner::{NerConfig, NerModel};
+use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+use resuformer_datagen::{Dictionaries, DictionaryConfig};
+use resuformer_doc::{concat_sentences, SentenceConfig};
+use resuformer_tensor::init::seeded_rng;
+
+fn bench_generator(c: &mut Criterion) {
+    let cfg = GeneratorConfig::paper();
+    let mut g = c.benchmark_group("datagen");
+    g.sample_size(10);
+    g.bench_function("generate_paper_profile_resume", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            generate_resume(&mut rng, &cfg)
+        })
+    });
+    g.finish();
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let r = generate_resume(&mut rng, &GeneratorConfig::paper());
+    let wp = build_tokenizer(r.doc.tokens.iter().map(|t| t.text.clone()), 2);
+    let words: Vec<String> = r.doc.tokens.iter().map(|t| t.text.clone()).collect();
+    c.bench_function("wordpiece_tokenize_1700_words", |b| {
+        b.iter(|| wp.tokenize_words(&words))
+    });
+}
+
+fn bench_sentence_concat(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let r = generate_resume(&mut rng, &GeneratorConfig::paper());
+    let cfg = SentenceConfig::default();
+    c.bench_function("concat_sentences_paper_resume", |b| {
+        b.iter(|| concat_sentences(&r.doc, &cfg))
+    });
+}
+
+fn bench_distant_annotation(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let r = generate_resume(&mut rng, &GeneratorConfig::paper());
+    let dicts = Dictionaries::build(DictionaryConfig::default());
+    let scheme = entity_tag_scheme();
+    let words: Vec<String> = r.doc.tokens.iter().map(|t| t.text.clone()).collect();
+    c.bench_function("distant_labels_1700_tokens", |b| {
+        b.iter(|| distant_labels(&words, resuformer_datagen::BlockType::WorkExp, &dicts, &scheme))
+    });
+}
+
+fn bench_ner_inference(c: &mut Criterion) {
+    let mut rng = seeded_rng(4);
+    let model = NerModel::new(&mut rng, NerConfig::tiny(2_000));
+    let ids: Vec<usize> = (0..96).map(|i| 5 + i % 1_000).collect();
+    let mut g = c.benchmark_group("ner");
+    g.sample_size(20);
+    g.bench_function("ner_predict_96_tokens", |b| {
+        let mut prng = seeded_rng(5);
+        b.iter(|| model.predict(&ids, &mut prng))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    subsystems,
+    bench_generator,
+    bench_tokenizer,
+    bench_sentence_concat,
+    bench_distant_annotation,
+    bench_ner_inference
+);
+criterion_main!(subsystems);

@@ -1,0 +1,57 @@
+//! Criterion measurement of the **Time/Resume** row of Table II: per-resume
+//! inference latency for the sentence-level hierarchical model vs the
+//! token-level LayoutXLM baseline. The paper reports 0.27s vs 3.88s (≈15×);
+//! the same ordering must hold here, with the gap growing with document
+//! length (the number of token windows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resuformer::block_classifier::BlockClassifier;
+use resuformer::encoder::HierarchicalEncoder;
+use resuformer::pretrain::ObjectiveSwitches;
+use resuformer_bench::BlockBench;
+use resuformer_baselines::{prepare_token_doc, LayoutXlmSim};
+use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+use resuformer_datagen::Scale;
+use resuformer_tensor::init::seeded_rng;
+
+fn bench_inference_latency(c: &mut Criterion) {
+    // Untrained weights time identically to trained ones; build directly.
+    let bench = BlockBench::new(Scale::Smoke, 9);
+    let mut rng = seeded_rng(10);
+    let encoder = HierarchicalEncoder::new(&mut rng, &bench.config);
+    let ours = BlockClassifier::new(&mut rng, &bench.config, encoder);
+    let layoutxlm = LayoutXlmSim::new(&mut rng, &bench.config, 32);
+    let _ = ObjectiveSwitches::default();
+
+    // A paper-profile long resume (~1700 tokens) exposes the windowing gap.
+    let mut drng = rand_chacha::ChaCha8Rng::from_seed_u64(11);
+    let resume = generate_resume(&mut drng, &GeneratorConfig::paper());
+    let (input, _) = resuformer::data::prepare_document(&resume.doc, &bench.wp, &bench.config);
+    let td = prepare_token_doc(&resume.doc, &bench.wp, &bench.config, 32);
+
+    let mut g = c.benchmark_group("time_per_resume");
+    g.sample_size(10);
+    g.bench_function("ours_sentence_level", |b| {
+        let mut prng = seeded_rng(12);
+        b.iter(|| ours.predict(&input, &mut prng))
+    });
+    g.bench_function("layoutxlm_token_level", |b| {
+        let mut prng = seeded_rng(13);
+        b.iter(|| layoutxlm.predict_sentences(&td, &mut prng))
+    });
+    g.finish();
+}
+
+// ChaCha8Rng seed helper without importing the trait at call sites.
+trait SeedU64 {
+    fn from_seed_u64(seed: u64) -> Self;
+}
+impl SeedU64 for rand_chacha::ChaCha8Rng {
+    fn from_seed_u64(seed: u64) -> Self {
+        use rand_chacha::rand_core::SeedableRng;
+        rand_chacha::ChaCha8Rng::seed_from_u64(seed)
+    }
+}
+
+criterion_group!(latency, bench_inference_latency);
+criterion_main!(latency);

@@ -1,0 +1,155 @@
+//! Command-line arguments and per-scale training budgets.
+
+use resuformer_datagen::Scale;
+
+/// Parsed experiment arguments.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpArgs {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Number of independent seeds to aggregate (1 = point estimate).
+    pub seeds: usize,
+}
+
+impl ExpArgs {
+    /// The seed list this run covers: `seed, seed+1, ..`.
+    pub fn seed_list(&self) -> Vec<u64> {
+        (0..self.seeds as u64).map(|i| self.seed + i).collect()
+    }
+}
+
+/// Parse `--scale smoke|paper` and `--seed N` from `std::env::args`.
+/// Unknown flags abort with usage.
+pub fn parse_args() -> ExpArgs {
+    let mut scale = Scale::Smoke;
+    let mut seed = 42u64;
+    let mut seeds = 1usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(|s| s.as_str()) {
+                    Some("smoke") => Scale::Smoke,
+                    Some("paper") => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale {:?}; use smoke|paper", other);
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--seeds" => {
+                i += 1;
+                seeds = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--seeds needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: --scale smoke|paper --seed N [--seeds K]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    ExpArgs { scale, seed, seeds }
+}
+
+/// Training budgets per scale: enough optimisation for the table *shapes*
+/// to emerge while keeping CPU wall-clock reasonable.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Epochs of hierarchical multi-modal pre-training (ours).
+    pub pretrain_epochs: usize,
+    /// Epochs of MLM warm-start for RoBERTa+GCN / LayoutXLM baselines.
+    pub mlm_epochs: usize,
+    /// Knowledge-distillation pseudo-label training epochs.
+    pub kd_epochs: usize,
+    /// Supervised fine-tuning epochs (all block models).
+    pub finetune_epochs: usize,
+    /// NER teacher warm-up epochs.
+    pub ner_teacher_epochs: usize,
+    /// NER self-training iterations.
+    pub ner_iterations: usize,
+    /// NER baseline training epochs.
+    pub ner_baseline_epochs: usize,
+}
+
+impl Budget {
+    /// Budget for a scale.
+    pub fn for_scale(scale: Scale) -> Budget {
+        match scale {
+            Scale::Smoke => Budget {
+                pretrain_epochs: 3,
+                mlm_epochs: 1,
+                kd_epochs: 2,
+                finetune_epochs: 12,
+                ner_teacher_epochs: 8,
+                ner_iterations: 6,
+                ner_baseline_epochs: 6,
+            },
+            Scale::Paper => Budget {
+                pretrain_epochs: 3,
+                mlm_epochs: 1,
+                kd_epochs: 2,
+                finetune_epochs: 10,
+                ner_teacher_epochs: 8,
+                ner_iterations: 30,
+                ner_baseline_epochs: 6,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_scale_up() {
+        let s = Budget::for_scale(Scale::Smoke);
+        let p = Budget::for_scale(Scale::Paper);
+        assert!(p.pretrain_epochs >= s.pretrain_epochs);
+        assert!(p.ner_iterations >= s.ner_iterations);
+        // Fine-tuning epochs are per-epoch-dataset-size adjusted: the paper
+        // split has 2x the documents, so total gradient steps still scale.
+        let (_, smoke_train, _, _) = Scale::Smoke.split_sizes();
+        let (_, paper_train, _, _) = Scale::Paper.split_sizes();
+        assert!(
+            p.finetune_epochs * paper_train >= s.finetune_epochs * smoke_train,
+            "paper fine-tuning must take at least as many steps"
+        );
+    }
+}
+
+#[cfg(test)]
+mod seed_tests {
+    use super::*;
+
+    #[test]
+    fn seed_list_enumerates_consecutive_seeds() {
+        let a = ExpArgs { scale: Scale::Smoke, seed: 10, seeds: 3 };
+        assert_eq!(a.seed_list(), vec![10, 11, 12]);
+        let b = ExpArgs { scale: Scale::Smoke, seed: 42, seeds: 1 };
+        assert_eq!(b.seed_list(), vec![42]);
+    }
+}

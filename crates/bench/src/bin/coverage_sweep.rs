@@ -1,0 +1,71 @@
+//! Extra ablation (DESIGN.md §5): how dictionary coverage drives the
+//! D&R-Match / trained-model gap.
+//!
+//! The paper's central motivation for self-training is that dictionary
+//! matching cannot recall what the dictionary does not contain, while a
+//! trained tagger generalises from context. This sweep quantifies that:
+//! for each coverage level, it reports D&R Match and the self-trained
+//! model side by side.
+
+use resuformer::annotate::build_ner_dataset;
+use resuformer::data::entity_tag_scheme;
+use resuformer::ner::{NerConfig, NerModel};
+use resuformer::self_training::{self_train, SelfTrainingConfig};
+use resuformer_baselines::DrMatch;
+use resuformer_bench::parse_args;
+use resuformer_datagen::{Corpus, Dictionaries, DictionaryConfig, Split};
+use resuformer_eval::{EntityScorer, Prf};
+use resuformer_tensor::init::seeded_rng;
+use resuformer_text::{decode_spans, Vocab};
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "Dictionary-coverage sweep (scale {:?}, seed {})\n",
+        args.scale, args.seed
+    );
+    println!(
+        "{:>8} | {:>26} | {:>26}",
+        "coverage", "D&R Match P/R/F1", "Self-trained P/R/F1"
+    );
+    println!("{}", "-".repeat(68));
+
+    let corpus = Corpus::generate(args.seed, args.scale);
+    let scheme = entity_tag_scheme();
+    let vocab = Vocab::build(corpus.words(Split::Pretrain), 2);
+
+    for coverage in [0.3f32, 0.5, 0.7, 0.9] {
+        let dicts = Dictionaries::build(DictionaryConfig { coverage });
+        let train = build_ner_dataset(&corpus.pretrain, &dicts, &vocab, &scheme, true);
+        let validation = build_ner_dataset(&corpus.validation, &dicts, &vocab, &scheme, false);
+        let test = build_ner_dataset(&corpus.test, &dicts, &vocab, &scheme, false);
+
+        // D&R Match at this coverage.
+        let dm = DrMatch::new(Dictionaries::build(DictionaryConfig { coverage }));
+        let mut dr_scorer = EntityScorer::new(scheme.num_classes());
+        for block in &test {
+            let pred = dm.predict(&block.tokens, block.block_type);
+            dr_scorer.add(&scheme, &block.gold_labels, &pred);
+        }
+        let dr = dr_scorer.micro();
+
+        // Self-trained model on the distant labels this coverage produces.
+        let mut rng = seeded_rng(args.seed ^ (coverage.to_bits() as u64));
+        let proto = NerModel::new(&mut rng, NerConfig::tiny(vocab.len()));
+        let cfg = SelfTrainingConfig { teacher_epochs: 8, iterations: 6, batch: 16, ..Default::default() };
+        let out = self_train(&proto, &train, &validation, &cfg, &mut rng);
+        let mut our_scorer = EntityScorer::new(scheme.num_classes());
+        for block in &test {
+            let pred = out.model.predict(&block.token_ids, &mut rng);
+            let gold_spans = decode_spans(&scheme, &block.gold_labels);
+            let pred_spans = decode_spans(&scheme, &pred);
+            our_scorer.add_spans(&gold_spans, &pred_spans);
+        }
+        let ours = our_scorer.micro();
+
+        let fmt = |m: Prf| format!("{:.3}/{:.3}/{:.3}", m.precision(), m.recall(), m.f1());
+        println!("{:>8.1} | {:>26} | {:>26}", coverage, fmt(dr), fmt(ours));
+    }
+    println!("\nShape: D&R recall tracks coverage almost linearly; the trained model");
+    println!("degrades far more slowly because context generalises past the dictionary.");
+}

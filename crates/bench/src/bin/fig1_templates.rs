@@ -1,0 +1,54 @@
+//! Regenerates **Figure 1**: three resume templates in different writing
+//! styles, rendered as annotated text layouts (one per template), with the
+//! per-line block labels shown in the margin.
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use resuformer::annotate::extract_blocks;
+use resuformer_bench::parse_args;
+use resuformer_datagen::generator::{render_resume, sample_record, GeneratorConfig};
+use resuformer_datagen::TemplateStyle;
+
+fn main() {
+    let args = parse_args();
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let record = sample_record(&mut rng, &GeneratorConfig::smoke());
+
+    println!("Figure 1 — three different styles of resume templates (all content fictional)\n");
+    for style in TemplateStyle::ALL {
+        let labeled = render_resume(&mut rng, &record, style, 0.0);
+        println!("=== Template {:?} — {} tokens, {} page(s) ===", style, labeled.doc.num_tokens(), labeled.doc.num_pages());
+        // Render line by line with the block label in the margin.
+        let mut line: Vec<&str> = Vec::new();
+        let mut line_block = String::new();
+        let mut last_y = f32::NEG_INFINITY;
+        let mut last_page = usize::MAX;
+        for (i, tok) in labeled.doc.tokens.iter().enumerate() {
+            let new_line = tok.page != last_page || (tok.bbox.y0 - last_y).abs() > 1.0;
+            if new_line && !line.is_empty() {
+                println!("  [{:8}] {}", line_block, line.join(" "));
+                line.clear();
+            }
+            if tok.page != last_page && tok.page > 0 {
+                println!("  --- page break ---");
+            }
+            last_y = tok.bbox.y0;
+            last_page = tok.page;
+            line_block = labeled.token_blocks[i].0.name().to_string();
+            line.push(&tok.text);
+        }
+        if !line.is_empty() {
+            println!("  [{:8}] {}", line_block, line.join(" "));
+        }
+        let blocks = extract_blocks(&labeled);
+        println!(
+            "  ({} blocks: {})\n",
+            blocks.len(),
+            blocks
+                .iter()
+                .map(|(t, _)| t.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+}

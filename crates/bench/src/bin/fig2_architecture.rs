@@ -1,0 +1,65 @@
+//! Regenerates **Figure 2** as a textual artifact: the framework overview
+//! of the hierarchical multi-modal pre-training model — module inventory,
+//! tensor shapes through one forward pass, and parameter counts at both the
+//! paper configuration and the CPU-scale configuration.
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use resuformer::config::{ModelConfig, PretrainConfig};
+use resuformer::data::{build_tokenizer, prepare_document};
+use resuformer::encoder::HierarchicalEncoder;
+use resuformer::pretrain::Pretrainer;
+use resuformer_bench::parse_args;
+use resuformer_datagen::generator::generate_resume;
+use resuformer_nn::Module;
+use resuformer_tensor::init::seeded_rng;
+
+fn describe(config: &ModelConfig, label: &str) {
+    let mut rng = seeded_rng(7);
+    let enc = HierarchicalEncoder::new(&mut rng, config);
+    let pt = Pretrainer::new(&mut rng, config, PretrainConfig::default());
+    println!("--- {} ---", label);
+    println!("  sentence-level encoder : {} layers × {} heads × hidden {}", config.sent_layers, config.heads, config.hidden);
+    println!("  document-level encoder : {} layers × {} heads × hidden {}", config.doc_layers, config.heads, config.hidden);
+    println!("  layout embedding       : page {} + x/y {} buckets over [0,1000]", config.max_pages, config.coord_buckets);
+    println!("  visual region feature  : frozen CNN -> {} dims", config.visual_dim);
+    println!("  sentence cap           : {} tokens; document cap: {} sentences", config.max_sent_tokens, config.max_doc_sentences);
+    println!("  trainable parameters   : {}", enc.num_parameters());
+    println!("  pretrainer parameters  : {} (mask vector ĥ + bilinear W_d)", pt.num_parameters());
+}
+
+fn main() {
+    let args = parse_args();
+    println!("Figure 2 — framework overview of the hierarchical multi-modal pre-training model\n");
+    println!("  input:  PDF-parse tokens (word, bbox, page) ──┐");
+    println!("          sentence concatenation (§III-A)       │");
+    println!("  ┌───────────────────────────────────────────┐ │");
+    println!("  │ sentence-level Transformer (text ⊕ layout)│◄┘   Objective #1: masked");
+    println!("  │   [CLS] → dense → L2-norm  ⇒  h_j         │     layout-language model");
+    println!("  └──────────────┬────────────────────────────┘");
+    println!("                 │ concat visual region feature v_j (frozen CNN)");
+    println!("  ┌──────────────▼────────────────────────────┐     Objective #2: contrastive");
+    println!("  │ document-level Transformer (h*⊕layout⊕pos)│     (dynamic sentence masking, ĥ)");
+    println!("  │              ⇒  h'_j                      │     Objective #3: dynamic NSP (W_d)");
+    println!("  └──────────────┬────────────────────────────┘");
+    println!("                 ▼ fine-tuning: BiLSTM → MLP → CRF (IOB over 8 block tags)\n");
+
+    describe(&ModelConfig::paper(21_128), "paper configuration (§V-A2)");
+    describe(&ModelConfig::tiny(2_000), "tiny configuration (tests)");
+    describe(&ModelConfig::small(4_000), "small configuration (paper-scale experiments)");
+
+    // Trace one real document through the model.
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let r = generate_resume(&mut rng, &args.scale.generator_config());
+    let wp = build_tokenizer(r.doc.tokens.iter().map(|t| t.text.clone()), 1);
+    let config = ModelConfig::tiny(wp.vocab.len());
+    let (input, sentences) = prepare_document(&r.doc, &wp, &config);
+    let enc = HierarchicalEncoder::new(&mut seeded_rng(9), &config);
+    let mut frng = seeded_rng(10);
+    let out = enc.encode_document(&input, false, &mut frng);
+    println!("\n--- forward trace on a generated resume ---");
+    println!("  document          : {} tokens, {} pages", r.doc.num_tokens(), r.doc.num_pages());
+    println!("  sentences         : {}", sentences.len());
+    println!("  sentence inputs   : ≤ {} pieces each (incl. [CLS])", config.max_sent_tokens);
+    println!("  contextual output : {:?}", out.dims());
+}

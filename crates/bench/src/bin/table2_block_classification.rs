@@ -1,0 +1,60 @@
+//! Regenerates **Table II**: block-classification F1 (Recall/Precision)
+//! per tag for the five methods, plus the Time/Resume row.
+
+use resuformer::pretrain::ObjectiveSwitches;
+use resuformer_bench::block_exp::render_block_table;
+use resuformer_bench::{parse_args, BlockBench};
+
+fn main() {
+    let args = parse_args();
+    let mut per_seed: Vec<Vec<resuformer_bench::MethodBlockResult>> = Vec::new();
+
+    for seed in args.seed_list() {
+        eprintln!("[table2] seed {seed}: building corpus and representations ({:?})...", args.scale);
+        let bench = BlockBench::new(args.scale, seed);
+        eprintln!("[table2] BERT+CRF...");
+        let bert = bench.run_bert_crf();
+        eprintln!("[table2] HiBERT+CRF...");
+        let hibert = bench.run_hibert();
+        eprintln!("[table2] RoBERTa+GCN...");
+        let roberta = bench.run_roberta_gcn();
+        eprintln!("[table2] LayoutXLM...");
+        let layoutxlm = bench.run_layoutxlm();
+        eprintln!("[table2] Our Method (pretrain + KD + finetune)...");
+        let ours = bench.run_ours(ObjectiveSwitches::default(), true, "Our Method");
+        per_seed.push(vec![bert, hibert, roberta, layoutxlm, ours]);
+    }
+
+    // Point-estimate table for the first seed (the paper's shape).
+    println!(
+        "{}",
+        render_block_table(
+            &format!(
+                "Table II — resume block classification (scale {:?}, seed {})",
+                args.scale, args.seed
+            ),
+            &per_seed[0]
+        )
+    );
+
+    if args.seeds > 1 {
+        // Mean ± std across seeds, per method.
+        use resuformer_bench::stats::{aggregate_block_results, render_aggregated_block_table};
+        let n_methods = per_seed[0].len();
+        let aggregated: Vec<_> = (0..n_methods)
+            .map(|m| {
+                let runs: Vec<_> = per_seed.iter().map(|s| s[m].clone()).collect();
+                aggregate_block_results(&runs)
+            })
+            .collect();
+        println!(
+            "{}",
+            render_aggregated_block_table(
+                &format!("Across {} seeds (mean F1 ± std, %):", args.seeds),
+                &aggregated
+            )
+        );
+    }
+
+    println!("\nJSON:\n{}", resuformer_eval::report::to_json(&per_seed));
+}

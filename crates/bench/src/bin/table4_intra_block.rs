@@ -1,0 +1,41 @@
+//! Regenerates **Table IV**: intra-block information extraction F1
+//! (Recall/Precision) per block/tag for the five methods.
+
+use resuformer_bench::ner_exp::render_ner_table;
+use resuformer_bench::{parse_args, NerBench};
+
+fn main() {
+    let args = parse_args();
+    eprintln!("[table4] building distant-supervision datasets ({:?})...", args.scale);
+    let bench = NerBench::new(args.scale, args.seed);
+    eprintln!(
+        "[table4] train {} blocks / validation {} / test {}",
+        bench.train.len(),
+        bench.validation.len(),
+        bench.test.len()
+    );
+
+    eprintln!("[table4] D&R Match...");
+    let dr = bench.run_dr_match();
+    eprintln!("[table4] BERT+BiLSTM+CRF...");
+    let crf = bench.run_bert_bilstm_crf();
+    eprintln!("[table4] BERT+BiLSTM+FCRF...");
+    let fcrf = bench.run_bert_bilstm_fcrf();
+    eprintln!("[table4] AutoNER...");
+    let autoner = bench.run_autoner();
+    eprintln!("[table4] Our Method (self-distillation self-training)...");
+    let ours = bench.run_ours(true, true, true, "Our Method");
+
+    let results = vec![dr, crf, fcrf, autoner, ours];
+    println!(
+        "{}",
+        render_ner_table(
+            &format!(
+                "Table IV — intra-block information extraction (scale {:?}, seed {})",
+                args.scale, args.seed
+            ),
+            &results
+        )
+    );
+    println!("\nJSON:\n{}", resuformer_eval::report::to_json(&results));
+}

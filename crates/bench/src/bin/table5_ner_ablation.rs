@@ -1,0 +1,33 @@
+//! Regenerates **Table V**: the ablation of the distantly-supervised NER —
+//! full method vs w/o HCS, w/o SL, w/o SD.
+
+use resuformer_bench::ner_exp::render_ner_table;
+use resuformer_bench::{parse_args, NerBench};
+
+fn main() {
+    let args = parse_args();
+    eprintln!("[table5] building distant-supervision datasets ({:?})...", args.scale);
+    let bench = NerBench::new(args.scale, args.seed);
+
+    eprintln!("[table5] Our Method (full)...");
+    let ours = bench.run_ours(true, true, true, "Our Method");
+    eprintln!("[table5] w/o HCS (soft labels, no confidence filter)...");
+    let wo_hcs = bench.run_ours(true, false, true, "w/o HCS");
+    eprintln!("[table5] w/o SL (hard pseudo-labels)...");
+    let wo_sl = bench.run_ours(false, true, true, "w/o SL");
+    eprintln!("[table5] w/o SD (teacher only, early stopping)...");
+    let wo_sd = bench.run_ours(true, true, false, "w/o SD");
+
+    let results = vec![ours, wo_hcs, wo_sl, wo_sd];
+    println!(
+        "{}",
+        render_ner_table(
+            &format!(
+                "Table V — NER ablation (scale {:?}, seed {})",
+                args.scale, args.seed
+            ),
+            &results
+        )
+    );
+    println!("\nJSON:\n{}", resuformer_eval::report::to_json(&results));
+}

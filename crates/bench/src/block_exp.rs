@@ -1,0 +1,538 @@
+//! The Table II / Table III experiment driver: resume block classification.
+//!
+//! One [`BlockBench`] owns the corpus, tokenizer and every prepared data
+//! representation; `run_*` methods train and evaluate each method on the
+//! same splits with area-based metrics (Eq. 13–15) and per-resume latency.
+
+use rand_chacha::ChaCha8Rng;
+use resuformer::block_classifier::{BlockClassifier, FinetuneConfig};
+use resuformer::config::{ModelConfig, PretrainConfig};
+use resuformer::data::{
+    block_tag_scheme, build_tokenizer, prepare_document, sentence_iob_labels, DocumentInput,
+};
+use resuformer::distill::distill_then_finetune;
+use resuformer::encoder::HierarchicalEncoder;
+use resuformer::pretrain::{pretrain, ObjectiveSwitches, Pretrainer};
+use resuformer_baselines::{
+    prepare_token_doc, BertCrf, HiBertCrf, LayoutXlmSim, RobertaGcn, TokenDoc,
+};
+use resuformer_datagen::{BlockType, Corpus, Scale};
+use resuformer_doc::Sentence;
+use resuformer_eval::area::AreaAccumulator;
+use resuformer_eval::{AreaMetrics, Stopwatch};
+use resuformer_tensor::init::seeded_rng;
+use resuformer_text::{TagScheme, WordPiece};
+use serde::Serialize;
+
+use crate::args::Budget;
+
+/// Result of one method on the block-classification benchmark.
+#[derive(Clone, Debug, Serialize)]
+pub struct MethodBlockResult {
+    /// Method display name (Table II column).
+    pub name: String,
+    /// Per-tag metrics, indexed by [`BlockType::ALL`].
+    pub per_tag: Vec<AreaMetrics>,
+    /// Mean wall-clock seconds per resume at inference (Time/Resume row).
+    pub seconds_per_resume: f64,
+}
+
+/// Shared data + budgets for the block-classification experiments.
+pub struct BlockBench {
+    /// The generated corpus.
+    pub corpus: Corpus,
+    /// Shared WordPiece tokenizer (built on the pre-training split).
+    pub wp: WordPiece,
+    /// Model configuration for this scale.
+    pub config: ModelConfig,
+    /// The 8-class tag scheme.
+    pub scheme: TagScheme,
+    /// Training budgets.
+    pub budget: Budget,
+    seed: u64,
+    window: usize,
+    // Prepared representations.
+    pretrain_inputs: Vec<DocumentInput>,
+    train_inputs: Vec<DocumentInput>,
+    train_labels: Vec<Vec<usize>>,
+    test_inputs: Vec<DocumentInput>,
+    test_sentences: Vec<Vec<Sentence>>,
+    pretrain_tokendocs: Vec<TokenDoc>,
+    train_tokendocs: Vec<TokenDoc>,
+    test_tokendocs: Vec<TokenDoc>,
+    /// Cap on the unlabeled pool used for KD / baseline MLM warm-up.
+    kd_pool: usize,
+}
+
+impl BlockBench {
+    /// Build the benchmark: generate the corpus, build the tokenizer, and
+    /// prepare every representation once.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let corpus = Corpus::generate(seed, scale);
+        let wp = build_tokenizer(corpus.words(resuformer_datagen::Split::Pretrain), 2);
+        let config = match scale {
+            Scale::Smoke => ModelConfig::tiny(wp.vocab.len()),
+            Scale::Paper => ModelConfig::small(wp.vocab.len()),
+        };
+        let scheme = block_tag_scheme();
+        let budget = Budget::for_scale(scale);
+        // Token-level baselines process fixed windows; the paper's models
+        // use 512-token windows. 256 keeps the quadratic-attention latency
+        // structure while fitting CPU budgets.
+        let window = match scale {
+            Scale::Smoke => 32,
+            Scale::Paper => 192,
+        };
+        let kd_pool = match scale {
+            Scale::Smoke => 6,
+            Scale::Paper => 24,
+        };
+
+        let prep = |docs: &[resuformer_datagen::LabeledResume]| -> (Vec<DocumentInput>, Vec<Vec<Sentence>>, Vec<Vec<usize>>) {
+            let mut inputs = Vec::new();
+            let mut sents = Vec::new();
+            let mut labels = Vec::new();
+            for r in docs {
+                let (input, sentences) = prepare_document(&r.doc, &wp, &config);
+                labels.push(sentence_iob_labels(r, &sentences, &scheme));
+                inputs.push(input);
+                sents.push(sentences);
+            }
+            (inputs, sents, labels)
+        };
+
+        let (pretrain_inputs, _, _) = prep(&corpus.pretrain);
+        let (train_inputs, _, train_labels) = prep(&corpus.train);
+        let (test_inputs, test_sentences, _) = prep(&corpus.test);
+
+        let tok = |docs: &[resuformer_datagen::LabeledResume]| -> Vec<TokenDoc> {
+            docs.iter()
+                .map(|r| prepare_token_doc(&r.doc, &wp, &config, window))
+                .collect()
+        };
+        let pretrain_tokendocs = tok(&corpus.pretrain[..kd_pool.min(corpus.pretrain.len())]);
+        let train_tokendocs = tok(&corpus.train);
+        let test_tokendocs = tok(&corpus.test);
+
+        BlockBench {
+            corpus,
+            wp,
+            config,
+            scheme,
+            budget,
+            seed,
+            window,
+            pretrain_inputs,
+            train_inputs,
+            train_labels,
+            test_inputs,
+            test_sentences,
+            pretrain_tokendocs,
+            train_tokendocs,
+            test_tokendocs,
+            kd_pool,
+        }
+    }
+
+    /// Gold sentence labels of the training split.
+    pub fn train_pairs(&self) -> Vec<(&DocumentInput, &[usize])> {
+        self.train_inputs
+            .iter()
+            .zip(self.train_labels.iter())
+            .map(|(d, l)| (d, l.as_slice()))
+            .collect()
+    }
+
+    /// Number of test documents.
+    pub fn n_test(&self) -> usize {
+        self.test_inputs.len()
+    }
+
+    /// Token window length used by the token-level baselines at this scale.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Evaluate per-test-document sentence predictions with area metrics +
+    /// record the supplied latency.
+    pub fn evaluate(
+        &self,
+        name: &str,
+        predictions: &[Vec<usize>],
+        seconds_per_resume: f64,
+    ) -> MethodBlockResult {
+        assert_eq!(predictions.len(), self.corpus.test.len());
+        let mut acc = AreaAccumulator::new(self.scheme.num_classes());
+        for ((resume, sentences), pred) in self
+            .corpus
+            .test
+            .iter()
+            .zip(self.test_sentences.iter())
+            .zip(predictions.iter())
+        {
+            assert_eq!(pred.len(), sentences.len(), "prediction/sentence mismatch");
+            let n_tokens = resume.doc.num_tokens();
+            let gold: Vec<Option<usize>> = resume
+                .token_blocks
+                .iter()
+                .map(|(ty, _)| Some(ty.index()))
+                .collect();
+            let mut pred_tokens: Vec<Option<usize>> = vec![None; n_tokens];
+            for (si, sentence) in sentences.iter().enumerate() {
+                let class = self.scheme.class_of(pred[si]);
+                for &ti in &sentence.token_indices {
+                    pred_tokens[ti] = class;
+                }
+            }
+            acc.add(&resume.doc, &gold, &pred_tokens);
+        }
+        MethodBlockResult {
+            name: name.to_string(),
+            per_tag: acc.all_metrics(),
+            seconds_per_resume,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Methods
+    // ------------------------------------------------------------------
+
+    /// Train our full model (exposed for the Figure 3 case study).
+    pub fn train_ours_model(&self, switches: ObjectiveSwitches, use_kd: bool) -> BlockClassifier {
+        let mut rng = seeded_rng(self.seed ^ 0xA11CE);
+        let encoder = HierarchicalEncoder::new(&mut rng, &self.config);
+
+        // Pre-train with the enabled objectives.
+        if switches.wmp || switches.scl || switches.dnsp {
+            let mut pt = Pretrainer::new(&mut rng, &self.config, PretrainConfig::default());
+            pt.switches = switches;
+            pretrain(&encoder, &pt, &self.pretrain_inputs, self.budget.pretrain_epochs, &mut rng);
+        }
+
+        let classifier = BlockClassifier::new(&mut rng, &self.config, encoder);
+        let gold = self.train_pairs();
+        let ft = FinetuneConfig { epochs: self.budget.finetune_epochs, ..Default::default() };
+
+        if use_kd {
+            // Algorithm 1: train the LayoutXLM teacher on the gold labels,
+            // pseudo-label part of the unlabeled pool, train, then
+            // fine-tune on gold.
+            let teacher = self.train_layoutxlm_model(&mut rng);
+            let pool = self.kd_pool.min(self.corpus.pretrain.len());
+            let unlabeled_raw: Vec<&resuformer_doc::Document> = self.corpus.pretrain[..pool]
+                .iter()
+                .map(|r| &r.doc)
+                .collect();
+            let unlabeled_prepared: Vec<DocumentInput> =
+                self.pretrain_inputs[..pool].to_vec();
+            let kd_cfg = FinetuneConfig { epochs: self.budget.kd_epochs, ..Default::default() };
+            distill_then_finetune(
+                &classifier,
+                &teacher,
+                &unlabeled_raw,
+                &unlabeled_prepared,
+                &gold,
+                &kd_cfg,
+                &ft,
+                &mut rng,
+            );
+        } else {
+            classifier.finetune(&gold, &ft, &mut rng);
+        }
+        classifier
+    }
+
+    /// Train our model with the visual modality disabled (the extra
+    /// modality-ablation bench).
+    pub fn train_ours_model_visual_off(&self) -> BlockClassifier {
+        let mut rng = seeded_rng(self.seed ^ 0xA11CF);
+        let mut encoder = HierarchicalEncoder::new(&mut rng, &self.config);
+        encoder.modality.use_visual = false;
+        let mut pt = Pretrainer::new(&mut rng, &self.config, PretrainConfig::default());
+        pt.switches = ObjectiveSwitches::default();
+        pretrain(&encoder, &pt, &self.pretrain_inputs, self.budget.pretrain_epochs, &mut rng);
+        let classifier = BlockClassifier::new(&mut rng, &self.config, encoder);
+        let ft = FinetuneConfig { epochs: self.budget.finetune_epochs, ..Default::default() };
+        classifier.finetune(&self.train_pairs(), &ft, &mut rng);
+        classifier
+    }
+
+    /// The prepared test documents (for external evaluation drivers).
+    pub fn test_inputs_for_ablation(&self) -> &[DocumentInput] {
+        &self.test_inputs
+    }
+
+    /// Our method: multi-modal pre-training → (optional) KD → fine-tuning.
+    pub fn run_ours(&self, switches: ObjectiveSwitches, use_kd: bool, name: &str) -> MethodBlockResult {
+        let classifier = self.train_ours_model(switches, use_kd);
+        self.evaluate_classifier(&classifier, name)
+    }
+
+    /// Our method in the paper's *low-resource* regime: fine-tune on only
+    /// `n_train` labeled documents for `epochs` epochs. This is where the
+    /// pre-training objectives separate (Table III); with the full labeled
+    /// set every variant saturates.
+    pub fn run_ours_low_resource(
+        &self,
+        switches: ObjectiveSwitches,
+        use_kd: bool,
+        n_train: usize,
+        epochs: usize,
+        name: &str,
+    ) -> MethodBlockResult {
+        let mut rng = seeded_rng(self.seed ^ 0xA11D0);
+        let encoder = HierarchicalEncoder::new(&mut rng, &self.config);
+        if switches.wmp || switches.scl || switches.dnsp {
+            let mut pt = Pretrainer::new(&mut rng, &self.config, PretrainConfig::default());
+            pt.switches = switches;
+            pretrain(&encoder, &pt, &self.pretrain_inputs, self.budget.pretrain_epochs, &mut rng);
+        }
+        let classifier = BlockClassifier::new(&mut rng, &self.config, encoder);
+        let gold: Vec<(&DocumentInput, &[usize])> = self
+            .train_inputs
+            .iter()
+            .zip(self.train_labels.iter())
+            .take(n_train)
+            .map(|(d, l)| (d, l.as_slice()))
+            .collect();
+        let ft = FinetuneConfig { epochs, ..Default::default() };
+        if use_kd {
+            let teacher = self.train_layoutxlm_low_resource(n_train, epochs, &mut rng);
+            let pool = self.kd_pool.min(self.corpus.pretrain.len());
+            let unlabeled_raw: Vec<&resuformer_doc::Document> = self.corpus.pretrain[..pool]
+                .iter()
+                .map(|r| &r.doc)
+                .collect();
+            let unlabeled_prepared: Vec<DocumentInput> = self.pretrain_inputs[..pool].to_vec();
+            let kd_cfg = FinetuneConfig { epochs: self.budget.kd_epochs, ..Default::default() };
+            distill_then_finetune(
+                &classifier,
+                &teacher,
+                &unlabeled_raw,
+                &unlabeled_prepared,
+                &gold,
+                &kd_cfg,
+                &ft,
+                &mut rng,
+            );
+        } else {
+            classifier.finetune(&gold, &ft, &mut rng);
+        }
+        self.evaluate_classifier(&classifier, name)
+    }
+
+    fn train_layoutxlm_low_resource(
+        &self,
+        n_train: usize,
+        epochs: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> LayoutXlmSim {
+        let model = LayoutXlmSim::new(rng, &self.config, self.window)
+            .with_teacher_context(self.wp.clone(), self.config);
+        model.pretrain(&self.pretrain_tokendocs, self.budget.mlm_epochs, 1e-3, rng);
+        let pairs: Vec<(&TokenDoc, &[usize])> = self
+            .train_tokendocs
+            .iter()
+            .zip(self.train_labels.iter())
+            .take(n_train)
+            .map(|(d, l)| (d, l.as_slice()))
+            .collect();
+        let ft = FinetuneConfig { epochs, ..Default::default() };
+        model.finetune(&pairs, &ft, rng);
+        model
+    }
+
+    /// Evaluate a trained classifier on the test split with timing.
+    pub fn evaluate_classifier(&self, classifier: &BlockClassifier, name: &str) -> MethodBlockResult {
+        let mut sw = Stopwatch::new();
+        let mut preds = Vec::with_capacity(self.test_inputs.len());
+        let mut prng = seeded_rng(self.seed ^ 0xE7A1);
+        for doc in &self.test_inputs {
+            let p = sw.time(|| classifier.predict(doc, &mut prng));
+            preds.push(p);
+        }
+        self.evaluate(name, &preds, sw.mean_seconds())
+    }
+
+    /// Train the LayoutXLM teacher/baseline (exposed for Figure 3).
+    pub fn train_layoutxlm_model(&self, rng: &mut ChaCha8Rng) -> LayoutXlmSim {
+        let model = LayoutXlmSim::new(rng, &self.config, self.window)
+            .with_teacher_context(self.wp.clone(), self.config);
+        model.pretrain(&self.pretrain_tokendocs, self.budget.mlm_epochs, 1e-3, rng);
+        let pairs: Vec<(&TokenDoc, &[usize])> = self
+            .train_tokendocs
+            .iter()
+            .zip(self.train_labels.iter())
+            .map(|(d, l)| (d, l.as_slice()))
+            .collect();
+        let ft = FinetuneConfig { epochs: self.budget.finetune_epochs, ..Default::default() };
+        model.finetune(&pairs, &ft, rng);
+        model
+    }
+
+    /// The LayoutXLM baseline (token-level multi-modal pre-trained).
+    pub fn run_layoutxlm(&self) -> MethodBlockResult {
+        let mut rng = seeded_rng(self.seed ^ 0x1AB0);
+        let model = self.train_layoutxlm_model(&mut rng);
+        let mut sw = Stopwatch::new();
+        let mut preds = Vec::new();
+        let mut prng = seeded_rng(self.seed ^ 0x1AB1);
+        for doc in &self.test_tokendocs {
+            preds.push(sw.time(|| model.predict_sentences(doc, &mut prng)));
+        }
+        self.evaluate("LayoutXLM", &preds, sw.mean_seconds())
+    }
+
+    /// The BERT+CRF baseline (token-level text-only, non-pre-trained).
+    pub fn run_bert_crf(&self) -> MethodBlockResult {
+        let mut rng = seeded_rng(self.seed ^ 0xBE57);
+        let model = BertCrf::new(&mut rng, &self.config, self.window);
+        let pairs: Vec<(&TokenDoc, &[usize])> = self
+            .train_tokendocs
+            .iter()
+            .zip(self.train_labels.iter())
+            .map(|(d, l)| (d, l.as_slice()))
+            .collect();
+        let ft = FinetuneConfig { epochs: self.budget.finetune_epochs, ..Default::default() };
+        model.finetune(&pairs, &ft, &mut rng);
+        let mut sw = Stopwatch::new();
+        let mut preds = Vec::new();
+        let mut prng = seeded_rng(self.seed ^ 0xBE58);
+        for doc in &self.test_tokendocs {
+            preds.push(sw.time(|| model.predict_sentences(doc, &mut prng)));
+        }
+        self.evaluate("BERT+CRF", &preds, sw.mean_seconds())
+    }
+
+    /// The HiBERT+CRF baseline (hierarchical text-only).
+    pub fn run_hibert(&self) -> MethodBlockResult {
+        let mut rng = seeded_rng(self.seed ^ 0x41B7);
+        let model = HiBertCrf::new(&mut rng, &self.config);
+        let ft = FinetuneConfig { epochs: self.budget.finetune_epochs, ..Default::default() };
+        model.finetune(&self.train_pairs(), &ft, &mut rng);
+        let mut sw = Stopwatch::new();
+        let mut preds = Vec::new();
+        let mut prng = seeded_rng(self.seed ^ 0x41B8);
+        for doc in &self.test_inputs {
+            preds.push(sw.time(|| model.predict(doc, &mut prng)));
+        }
+        self.evaluate("HiBERT+CRF", &preds, sw.mean_seconds())
+    }
+
+    /// The RoBERTa+GCN baseline (token-level, MLM warm-started + layout
+    /// graph).
+    pub fn run_roberta_gcn(&self) -> MethodBlockResult {
+        let mut rng = seeded_rng(self.seed ^ 0x6C17);
+        let model = RobertaGcn::new(&mut rng, &self.config, self.window);
+        model.pretrain(&self.pretrain_tokendocs, self.budget.mlm_epochs, 1e-3, &mut rng);
+        let pairs: Vec<(&TokenDoc, &[usize])> = self
+            .train_tokendocs
+            .iter()
+            .zip(self.train_labels.iter())
+            .map(|(d, l)| (d, l.as_slice()))
+            .collect();
+        let ft = FinetuneConfig { epochs: self.budget.finetune_epochs, ..Default::default() };
+        model.finetune(&pairs, &ft, &mut rng);
+        let mut sw = Stopwatch::new();
+        let mut preds = Vec::new();
+        let mut prng = seeded_rng(self.seed ^ 0x6C18);
+        for doc in &self.test_tokendocs {
+            preds.push(sw.time(|| model.predict_sentences(doc, &mut prng)));
+        }
+        self.evaluate("RoBERTa+GCN", &preds, sw.mean_seconds())
+    }
+}
+
+/// Render a list of method results as the paper's Table II/III shape.
+pub fn render_block_table(title: &str, results: &[MethodBlockResult]) -> String {
+    use resuformer_eval::{format_f1_table, Cell};
+    let row_names: Vec<&str> = BlockType::ALL.iter().map(|b| b.name()).collect();
+    let col_names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+    let mut cells = Vec::new();
+    for (ti, _) in BlockType::ALL.iter().enumerate() {
+        let row: Vec<Option<Cell>> = results
+            .iter()
+            .map(|r| {
+                let m = r.per_tag[ti];
+                Some(Cell::from_fractions(m.f1, m.recall, m.precision))
+            })
+            .collect();
+        cells.push(row);
+    }
+    let mut out = format_f1_table(title, &row_names, &col_names, &cells);
+    out.push_str("Time / Resume");
+    for r in results {
+        out.push_str(&format!("  | {}: {:.3}s", r.name, r.seconds_per_resume));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_setup_is_consistent() {
+        let b = BlockBench::new(Scale::Smoke, 1);
+        assert_eq!(b.train_inputs.len(), b.train_labels.len());
+        assert_eq!(b.test_inputs.len(), b.test_sentences.len());
+        assert!(!b.pretrain_inputs.is_empty());
+        for (input, labels) in b.train_inputs.iter().zip(b.train_labels.iter()) {
+            assert_eq!(input.len(), labels.len());
+        }
+    }
+
+    #[test]
+    fn perfect_predictions_score_high() {
+        let b = BlockBench::new(Scale::Smoke, 2);
+        // Feed the gold test labels back through evaluation.
+        let gold_preds: Vec<Vec<usize>> = b
+            .corpus
+            .test
+            .iter()
+            .zip(b.test_sentences.iter())
+            .map(|(r, sents)| sentence_iob_labels(r, sents, &b.scheme))
+            .collect();
+        let res = b.evaluate("oracle", &gold_preds, 0.01);
+        for (ti, m) in res.per_tag.iter().enumerate() {
+            assert!(
+                m.f1 > 0.95,
+                "oracle F1 for {} is {}",
+                BlockType::ALL[ti].name(),
+                m.f1
+            );
+        }
+    }
+
+    #[test]
+    fn outside_predictions_score_zero() {
+        let b = BlockBench::new(Scale::Smoke, 3);
+        let o_preds: Vec<Vec<usize>> = b
+            .test_sentences
+            .iter()
+            .map(|s| vec![b.scheme.outside(); s.len()])
+            .collect();
+        let res = b.evaluate("all-O", &o_preds, 0.01);
+        for m in &res.per_tag {
+            assert_eq!(m.f1, 0.0);
+        }
+    }
+
+    #[test]
+    fn render_includes_all_tags_and_methods() {
+        let b = BlockBench::new(Scale::Smoke, 4);
+        let o_preds: Vec<Vec<usize>> = b
+            .test_sentences
+            .iter()
+            .map(|s| vec![b.scheme.begin(0); s.len()])
+            .collect();
+        let res = vec![b.evaluate("M1", &o_preds, 0.5)];
+        let table = render_block_table("Table II", &res);
+        for t in BlockType::ALL {
+            assert!(table.contains(t.name()), "{}", t.name());
+        }
+        assert!(table.contains("M1"));
+        assert!(table.contains("Time / Resume"));
+    }
+}

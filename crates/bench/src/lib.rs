@@ -1,0 +1,33 @@
+//! # resuformer-bench
+//!
+//! The experiment harness: drivers that regenerate every table and figure
+//! of the ResuFormer paper's evaluation section. Each `src/bin/` binary
+//! wraps one driver:
+//!
+//! | target | paper artifact |
+//! |---|---|
+//! | `table1_dataset_stats` | Table I — corpus statistics |
+//! | `table2_block_classification` | Table II — block classification F1 + Time/Resume |
+//! | `table3_block_ablation` | Table III — pre-training/KD ablation |
+//! | `table4_intra_block` | Table IV — intra-block NER F1 |
+//! | `table5_ner_ablation` | Table V — self-training ablation |
+//! | `table6_ner_stats` | Table VI — NER dataset statistics |
+//! | `fig1_templates` | Figure 1 — the three resume styles |
+//! | `fig2_architecture` | Figure 2 — architecture/parameter inventory |
+//! | `fig3_case_study` | Figure 3 — LayoutXLM vs ours case study |
+//! | `ablation_extras` | DESIGN.md §5 reproduction-level ablations |
+//!
+//! Every binary accepts `--scale smoke|paper` and `--seed N`; smoke runs in
+//! seconds (CI), paper matches the corpus profile of Table I and takes
+//! minutes on CPU.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod block_exp;
+pub mod ner_exp;
+pub mod stats;
+
+pub use args::{parse_args, Budget, ExpArgs};
+pub use block_exp::{BlockBench, MethodBlockResult};
+pub use ner_exp::{MethodNerResult, NerBench, TABLE4_ROWS};

@@ -1,0 +1,297 @@
+//! The Table IV / Table V experiment driver: intra-block information
+//! extraction under distant supervision.
+
+use rand::Rng;
+use resuformer::annotate::{build_ner_dataset, AnnotatedBlock};
+use resuformer::data::entity_tag_scheme;
+use resuformer::ner::{NerConfig, NerModel};
+use resuformer::self_training::{self_train, SelfTrainingConfig};
+use resuformer_baselines::{AutoNer, BertBilstmCrf, BertBilstmFcrf, DrMatch};
+use resuformer_datagen::{
+    BlockType, Corpus, Dictionaries, DictionaryConfig, EntityType, Scale, Split,
+};
+use resuformer_eval::{EntityScorer, Prf};
+use resuformer_tensor::init::seeded_rng;
+use resuformer_text::{decode_spans, TagScheme, Vocab};
+use serde::Serialize;
+
+use crate::args::Budget;
+
+/// The `(block, tag)` rows of Table IV, in paper order.
+pub const TABLE4_ROWS: [(BlockType, EntityType); 14] = [
+    (BlockType::PInfo, EntityType::Name),
+    (BlockType::PInfo, EntityType::Gender),
+    (BlockType::PInfo, EntityType::PhoneNum),
+    (BlockType::PInfo, EntityType::Email),
+    (BlockType::PInfo, EntityType::Age),
+    (BlockType::EduExp, EntityType::College),
+    (BlockType::EduExp, EntityType::Major),
+    (BlockType::EduExp, EntityType::Degree),
+    (BlockType::EduExp, EntityType::Date),
+    (BlockType::WorkExp, EntityType::Company),
+    (BlockType::WorkExp, EntityType::Position),
+    (BlockType::WorkExp, EntityType::Date),
+    (BlockType::ProjExp, EntityType::ProjName),
+    (BlockType::ProjExp, EntityType::Date),
+];
+
+/// Result of one method on the NER benchmark: one [`Prf`] per Table IV row.
+#[derive(Clone, Debug, Serialize)]
+pub struct MethodNerResult {
+    /// Method display name (Table IV column).
+    pub name: String,
+    /// Per-row counts, indexed like [`TABLE4_ROWS`].
+    pub per_row: Vec<Prf>,
+}
+
+/// Shared data for the NER experiments.
+pub struct NerBench {
+    /// Distantly-annotated training instances (≥ 1 match each).
+    pub train: Vec<AnnotatedBlock>,
+    /// Gold-labeled validation instances.
+    pub validation: Vec<AnnotatedBlock>,
+    /// Gold-labeled test instances.
+    pub test: Vec<AnnotatedBlock>,
+    /// Word-level vocabulary shared by all NER models.
+    pub vocab: Vocab,
+    /// The 12-class entity scheme.
+    pub scheme: TagScheme,
+    /// Dictionaries used for distant annotation (and the D&R baseline).
+    pub dicts: Dictionaries,
+    /// Training budgets.
+    pub budget: Budget,
+    seed: u64,
+    ner_config: NerConfig,
+}
+
+impl NerBench {
+    /// Build from a generated corpus (the same corpus as the block task,
+    /// §V-B1: the NER data derives from the segmented blocks).
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let corpus = Corpus::generate(seed, scale);
+        Self::from_corpus(&corpus, scale, seed)
+    }
+
+    /// Build from an existing corpus.
+    pub fn from_corpus(corpus: &Corpus, scale: Scale, seed: u64) -> Self {
+        let scheme = entity_tag_scheme();
+        let dicts = Dictionaries::build(DictionaryConfig::default());
+        let vocab = Vocab::build(corpus.words(Split::Pretrain), 2);
+        let budget = Budget::for_scale(scale);
+
+        // Training pool: distant labels over the pre-training documents
+        // (unlabeled in the paper; annotated automatically, §IV-B2).
+        let train = build_ner_dataset(&corpus.pretrain, &dicts, &vocab, &scheme, true);
+        // Validation/test: expert labels (= generator gold).
+        let validation = build_ner_dataset(&corpus.validation, &dicts, &vocab, &scheme, false);
+        let test = build_ner_dataset(&corpus.test, &dicts, &vocab, &scheme, false);
+
+        let ner_config = match scale {
+            Scale::Smoke => NerConfig::tiny(vocab.len()),
+            Scale::Paper => NerConfig {
+                vocab_size: vocab.len(),
+                hidden: 48,
+                layers: 2,
+                heads: 4,
+                ff: 96,
+                lstm_hidden: 24,
+                max_len: 96,
+            },
+        };
+
+        NerBench { train, validation, test, vocab, scheme, dicts, budget, seed, ner_config }
+    }
+
+    /// The NER model configuration for this scale.
+    pub fn ner_config(&self) -> NerConfig {
+        self.ner_config
+    }
+
+    /// Evaluate per-test-block IOB predictions against gold, scored per
+    /// Table IV row (block type × entity class).
+    pub fn evaluate(&self, name: &str, predictions: &[Vec<usize>]) -> MethodNerResult {
+        assert_eq!(predictions.len(), self.test.len());
+        let mut scorers: Vec<EntityScorer> = TABLE4_ROWS
+            .iter()
+            .map(|_| EntityScorer::new(self.scheme.num_classes()))
+            .collect();
+        for (block, pred) in self.test.iter().zip(predictions.iter()) {
+            assert_eq!(pred.len(), block.gold_labels.len());
+            let gold_spans = decode_spans(&self.scheme, &block.gold_labels);
+            let pred_spans = decode_spans(&self.scheme, pred);
+            for (ri, (bt, _)) in TABLE4_ROWS.iter().enumerate() {
+                if *bt == block.block_type {
+                    scorers[ri].add_spans(&gold_spans, &pred_spans);
+                }
+            }
+        }
+        let per_row = TABLE4_ROWS
+            .iter()
+            .enumerate()
+            .map(|(ri, (_, et))| scorers[ri].class(et.index()))
+            .collect();
+        MethodNerResult { name: name.to_string(), per_row }
+    }
+
+    fn predict_all<F>(&self, mut f: F) -> Vec<Vec<usize>>
+    where
+        F: FnMut(&AnnotatedBlock) -> Vec<usize>,
+    {
+        self.test.iter().map(|b| f(b)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Methods
+    // ------------------------------------------------------------------
+
+    /// D&R Match: dictionaries + regular expressions as the predictor.
+    pub fn run_dr_match(&self) -> MethodNerResult {
+        let dm = DrMatch::new(Dictionaries::build(DictionaryConfig::default()));
+        let preds = self.predict_all(|b| dm.predict(&b.tokens, b.block_type));
+        self.evaluate("D&R Match", &preds)
+    }
+
+    /// BERT+BiLSTM+CRF on distant hard labels.
+    pub fn run_bert_bilstm_crf(&self) -> MethodNerResult {
+        let mut rng = seeded_rng(self.seed ^ 0xC12F);
+        let model = BertBilstmCrf::new(&mut rng, self.ner_config);
+        model.train(&self.train, self.budget.ner_baseline_epochs, 1e-3, &mut rng);
+        let mut prng = seeded_rng(self.seed ^ 0xC130);
+        let preds = self.predict_all(|b| model.predict(&b.token_ids, &mut prng));
+        self.evaluate("BERT+BiLSTM+CRF", &preds)
+    }
+
+    /// BERT+BiLSTM+FCRF with fuzzy partial-annotation training.
+    pub fn run_bert_bilstm_fcrf(&self) -> MethodNerResult {
+        let mut rng = seeded_rng(self.seed ^ 0xFC2F);
+        let model = BertBilstmFcrf::new(&mut rng, self.ner_config);
+        model.train(&self.train, self.budget.ner_baseline_epochs, 1e-3, &mut rng);
+        let mut prng = seeded_rng(self.seed ^ 0xFC30);
+        let preds = self.predict_all(|b| model.predict(&b.token_ids, &mut prng));
+        self.evaluate("BERT+BiLSTM+FCRF", &preds)
+    }
+
+    /// AutoNER with the Tie-or-Break scheme.
+    pub fn run_autoner(&self) -> MethodNerResult {
+        let mut rng = seeded_rng(self.seed ^ 0xA070);
+        let model = AutoNer::new(&mut rng, self.ner_config);
+        model.train(&self.train, self.budget.ner_baseline_epochs, 1e-3, &mut rng);
+        let mut prng = seeded_rng(self.seed ^ 0xA071);
+        let preds = self.predict_all(|b| model.predict(&b.token_ids, &mut prng));
+        self.evaluate("AutoNER", &preds)
+    }
+
+    /// Our method: self-distillation self-training with the given ablation
+    /// switches (all on = Table IV's "Our Method").
+    pub fn run_ours(&self, use_soft: bool, use_hcs: bool, use_sd: bool, name: &str) -> MethodNerResult {
+        let mut rng = seeded_rng(self.seed ^ 0x0525);
+        let proto = NerModel::new(&mut rng, self.ner_config);
+        let cfg = SelfTrainingConfig {
+            teacher_epochs: self.budget.ner_teacher_epochs,
+            iterations: self.budget.ner_iterations,
+            batch: 32,
+            use_soft,
+            use_hcs,
+            use_self_distillation: use_sd,
+            ..Default::default()
+        };
+        let out = self_train(&proto, &self.train, &self.validation, &cfg, &mut rng);
+        let mut prng = seeded_rng(self.seed ^ 0x0526);
+        let preds = self.predict_all(|b| out.model.predict(&b.token_ids, &mut prng));
+        self.evaluate(name, &preds)
+    }
+
+    /// Random predictions: a sanity floor used by tests.
+    pub fn run_random(&self, rng: &mut impl Rng) -> MethodNerResult {
+        let n_labels = self.scheme.num_labels();
+        let preds: Vec<Vec<usize>> = self
+            .test
+            .iter()
+            .map(|b| (0..b.gold_labels.len()).map(|_| rng.gen_range(0..n_labels)).collect())
+            .collect();
+        self.evaluate("random", &preds)
+    }
+}
+
+/// Render method results as the paper's Table IV/V shape.
+pub fn render_ner_table(title: &str, results: &[MethodNerResult]) -> String {
+    use resuformer_eval::{format_f1_table, Cell};
+    let row_names: Vec<String> = TABLE4_ROWS
+        .iter()
+        .map(|(b, e)| format!("{}/{}", b.name(), e.name()))
+        .collect();
+    let row_refs: Vec<&str> = row_names.iter().map(|s| s.as_str()).collect();
+    let col_names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+    let mut cells = Vec::new();
+    for ri in 0..TABLE4_ROWS.len() {
+        let row: Vec<Option<Cell>> = results
+            .iter()
+            .map(|r| {
+                let m = r.per_row[ri];
+                Some(Cell::from_fractions(m.f1(), m.recall(), m.precision()))
+            })
+            .collect();
+        cells.push(row);
+    }
+    format_f1_table(title, &row_refs, &col_names, &cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_setup_covers_all_rows() {
+        let b = NerBench::new(Scale::Smoke, 1);
+        assert!(!b.train.is_empty());
+        assert!(!b.test.is_empty());
+        // Every Table IV row should have gold entities somewhere in test.
+        for (bt, et) in TABLE4_ROWS {
+            let found = b.test.iter().any(|blk| {
+                blk.block_type == bt
+                    && decode_spans(&b.scheme, &blk.gold_labels)
+                        .iter()
+                        .any(|s| s.class == et.index())
+            });
+            assert!(found, "no gold {:?}/{:?} in test", bt, et);
+        }
+    }
+
+    #[test]
+    fn oracle_beats_random() {
+        let b = NerBench::new(Scale::Smoke, 2);
+        let oracle_preds: Vec<Vec<usize>> =
+            b.test.iter().map(|blk| blk.gold_labels.clone()).collect();
+        let oracle = b.evaluate("oracle", &oracle_preds);
+        let mut rng = seeded_rng(3);
+        let random = b.run_random(&mut rng);
+        let of1: f32 = oracle.per_row.iter().map(|m| m.f1()).sum();
+        let rf1: f32 = random.per_row.iter().map(|m| m.f1()).sum();
+        assert!(of1 > 13.0, "oracle sum F1 {}", of1); // ~1.0 per row
+        assert!(of1 > rf1 * 3.0);
+    }
+
+    #[test]
+    fn dr_match_runs_and_has_high_precision() {
+        let b = NerBench::new(Scale::Smoke, 4);
+        let r = b.run_dr_match();
+        let micro: Prf = r.per_row.iter().fold(Prf::default(), |mut a, m| {
+            a.tp += m.tp;
+            a.fp += m.fp;
+            a.fn_ += m.fn_;
+            a
+        });
+        assert!(micro.precision() > 0.7, "precision {}", micro.precision());
+        assert!(micro.recall() < 0.98, "recall {}", micro.recall());
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let b = NerBench::new(Scale::Smoke, 5);
+        let r = b.run_dr_match();
+        let t = render_ner_table("Table IV", &[r]);
+        assert!(t.contains("PInfo/Name"));
+        assert!(t.contains("ProjExp/Date"));
+        assert!(t.contains("D&R Match"));
+    }
+}

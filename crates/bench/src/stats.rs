@@ -1,0 +1,164 @@
+//! Multi-seed aggregation: mean ± population-std of metric grids across
+//! independent seeds (`--seeds N`). Single-seed tables are point estimates;
+//! this module quantifies their run-to-run variance.
+
+use resuformer_eval::AreaMetrics;
+use serde::Serialize;
+
+use crate::block_exp::MethodBlockResult;
+use crate::ner_exp::MethodNerResult;
+
+/// Mean and population standard deviation of a sample.
+pub fn mean_std(samples: &[f32]) -> (f32, f32) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len() as f32;
+    let mean = samples.iter().sum::<f32>() / n;
+    let var = samples.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    (mean, var.sqrt())
+}
+
+/// Aggregated per-tag F1 across seeds for one method.
+#[derive(Clone, Debug, Serialize)]
+pub struct AggregatedBlockResult {
+    /// Method name.
+    pub name: String,
+    /// Per-tag `(mean F1, std)` in [`resuformer_datagen::BlockType::ALL`] order.
+    pub per_tag_f1: Vec<(f32, f32)>,
+    /// `(mean, std)` of seconds per resume.
+    pub seconds_per_resume: (f32, f32),
+}
+
+/// Aggregate the same method's results across seeds.
+///
+/// Panics if the runs disagree on method name or tag count.
+pub fn aggregate_block_results(runs: &[MethodBlockResult]) -> AggregatedBlockResult {
+    assert!(!runs.is_empty(), "no runs to aggregate");
+    let name = runs[0].name.clone();
+    let n_tags = runs[0].per_tag.len();
+    for r in runs {
+        assert_eq!(r.name, name, "aggregating different methods");
+        assert_eq!(r.per_tag.len(), n_tags);
+    }
+    let per_tag_f1 = (0..n_tags)
+        .map(|t| {
+            let f1s: Vec<f32> = runs.iter().map(|r| r.per_tag[t].f1).collect();
+            mean_std(&f1s)
+        })
+        .collect();
+    let secs: Vec<f32> = runs.iter().map(|r| r.seconds_per_resume as f32).collect();
+    AggregatedBlockResult { name, per_tag_f1, seconds_per_resume: mean_std(&secs) }
+}
+
+/// Aggregated per-row F1 across seeds for one NER method.
+#[derive(Clone, Debug, Serialize)]
+pub struct AggregatedNerResult {
+    /// Method name.
+    pub name: String,
+    /// Per-row `(mean F1, std)` in [`crate::TABLE4_ROWS`] order.
+    pub per_row_f1: Vec<(f32, f32)>,
+}
+
+/// Aggregate the same NER method's results across seeds.
+pub fn aggregate_ner_results(runs: &[MethodNerResult]) -> AggregatedNerResult {
+    assert!(!runs.is_empty(), "no runs to aggregate");
+    let name = runs[0].name.clone();
+    let rows = runs[0].per_row.len();
+    let per_row_f1 = (0..rows)
+        .map(|r| {
+            let f1s: Vec<f32> = runs.iter().map(|m| m.per_row[r].f1()).collect();
+            mean_std(&f1s)
+        })
+        .collect();
+    AggregatedNerResult { name, per_row_f1 }
+}
+
+/// Render an aggregated block table: `mean ± std` per cell, in percent.
+pub fn render_aggregated_block_table(title: &str, results: &[AggregatedBlockResult]) -> String {
+    use resuformer_datagen::BlockType;
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:9}", ""));
+    for r in results {
+        out.push_str(&format!(" | {:>18}", r.name));
+    }
+    out.push('\n');
+    for (ti, tag) in BlockType::ALL.iter().enumerate() {
+        out.push_str(&format!("{:9}", tag.name()));
+        for r in results {
+            let (m, s) = r.per_tag_f1[ti];
+            out.push_str(&format!(" | {:>7.2} ± {:<8.2}", m * 100.0, s * 100.0));
+        }
+        out.push('\n');
+    }
+    out.push_str("Time/Resume");
+    for r in results {
+        let (m, s) = r.seconds_per_resume;
+        out.push_str(&format!("  | {}: {:.3}s ± {:.3}", r.name, m, s));
+    }
+    out.push('\n');
+    out
+}
+
+/// Dummy placeholder for AreaMetrics import use.
+#[doc(hidden)]
+pub fn _area_marker(_: &AreaMetrics) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resuformer_eval::Prf;
+
+    #[test]
+    fn mean_std_hand_computed() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-6);
+        assert!((s - 1.0).abs() < 1e-6);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        let (m1, s1) = mean_std(&[5.0]);
+        assert_eq!((m1, s1), (5.0, 0.0));
+    }
+
+    fn block_run(name: &str, f1: f32, secs: f64) -> MethodBlockResult {
+        MethodBlockResult {
+            name: name.into(),
+            per_tag: (0..8)
+                .map(|_| AreaMetrics { precision: f1, recall: f1, f1 })
+                .collect(),
+            seconds_per_resume: secs,
+        }
+    }
+
+    #[test]
+    fn block_aggregation_across_seeds() {
+        let runs = vec![block_run("m", 0.8, 0.1), block_run("m", 1.0, 0.3)];
+        let agg = aggregate_block_results(&runs);
+        assert_eq!(agg.name, "m");
+        assert!((agg.per_tag_f1[0].0 - 0.9).abs() < 1e-6);
+        assert!((agg.per_tag_f1[0].1 - 0.1).abs() < 1e-6);
+        assert!((agg.seconds_per_resume.0 - 0.2).abs() < 1e-6);
+        let table = render_aggregated_block_table("T", &[agg]);
+        assert!(table.contains("90.00"));
+        assert!(table.contains("±"));
+    }
+
+    #[test]
+    #[should_panic(expected = "aggregating different methods")]
+    fn block_aggregation_rejects_mixed_methods() {
+        aggregate_block_results(&[block_run("a", 0.5, 0.1), block_run("b", 0.5, 0.1)]);
+    }
+
+    #[test]
+    fn ner_aggregation_across_seeds() {
+        let run = |tp: usize| MethodNerResult {
+            name: "m".into(),
+            per_row: (0..14).map(|_| Prf { tp, fp: 1, fn_: 1 }).collect(),
+        };
+        let agg = aggregate_ner_results(&[run(2), run(4)]);
+        assert_eq!(agg.per_row_f1.len(), 14);
+        let (mean, std) = agg.per_row_f1[0];
+        assert!(mean > 0.0 && std > 0.0);
+    }
+}

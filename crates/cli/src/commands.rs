@@ -1,0 +1,307 @@
+//! CLI subcommand implementations.
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use resuformer::annotate::extract_blocks;
+use resuformer::block_classifier::{BlockClassifier, FinetuneConfig};
+use resuformer::config::ModelConfig;
+use resuformer::data::{
+    block_tag_scheme, build_tokenizer, prepare_document, sentence_iob_labels, DocumentInput,
+};
+use resuformer::encoder::HierarchicalEncoder;
+use resuformer::pipeline::{rule_based_entities, segment_blocks};
+use resuformer_datagen::corpus::CorpusStats;
+use resuformer_datagen::generator::{generate_resume, LabeledResume};
+use resuformer_datagen::{BlockType, Dictionaries, DictionaryConfig, Scale};
+
+use crate::model_io::{load_model, save_model};
+
+/// Parsed CLI options (shared by all subcommands).
+pub struct Options {
+    data: Option<String>,
+    out: Option<String>,
+    model: Option<String>,
+    count: usize,
+    index: usize,
+    epochs: usize,
+    scale: Scale,
+    seed: u64,
+}
+
+impl Options {
+    /// Parse `--flag value` pairs.
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut o = Options {
+            data: None,
+            out: None,
+            model: None,
+            count: 3,
+            index: 0,
+            epochs: 8,
+            scale: Scale::Smoke,
+            seed: 42,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let flag = &args[i];
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{flag} needs a value"))?;
+            match flag.as_str() {
+                "--data" => o.data = Some(value.clone()),
+                "--out" => o.out = Some(value.clone()),
+                "--model" => o.model = Some(value.clone()),
+                "--count" => o.count = value.parse().map_err(|_| "bad --count")?,
+                "--index" => o.index = value.parse().map_err(|_| "bad --index")?,
+                "--epochs" => o.epochs = value.parse().map_err(|_| "bad --epochs")?,
+                "--seed" => o.seed = value.parse().map_err(|_| "bad --seed")?,
+                "--scale" => {
+                    o.scale = match value.as_str() {
+                        "smoke" => Scale::Smoke,
+                        "paper" => Scale::Paper,
+                        other => return Err(format!("unknown scale {other}")),
+                    }
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+            i += 2;
+        }
+        Ok(o)
+    }
+
+    fn data(&self) -> Result<&str, String> {
+        self.data.as_deref().ok_or_else(|| "--data is required".to_string())
+    }
+
+    fn load_resumes(&self) -> Result<Vec<LabeledResume>, String> {
+        let path = self.data()?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+    }
+
+    fn pick<'a>(&self, resumes: &'a [LabeledResume]) -> Result<&'a LabeledResume, String> {
+        resumes
+            .get(self.index)
+            .ok_or_else(|| format!("--index {} out of range ({} documents)", self.index, resumes.len()))
+    }
+}
+
+/// `generate`: write `--count` synthetic resumes to `--out`.
+pub fn generate(o: &Options) -> Result<(), String> {
+    let out = o.out.as_deref().ok_or("--out is required")?;
+    let cfg = o.scale.generator_config();
+    let resumes: Vec<LabeledResume> = (0..o.count)
+        .map(|i| {
+            let mut rng = ChaCha8Rng::seed_from_u64(o.seed.wrapping_add(i as u64));
+            generate_resume(&mut rng, &cfg)
+        })
+        .collect();
+    let json = serde_json::to_string(&resumes).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {} resumes to {out}", resumes.len());
+    Ok(())
+}
+
+/// `train`: fine-tune a block classifier on `--data`, save to `--model`.
+pub fn train(o: &Options) -> Result<(), String> {
+    let model_path = o.model.as_deref().ok_or("--model is required")?;
+    let resumes = o.load_resumes()?;
+    if resumes.is_empty() {
+        return Err("no documents in --data".into());
+    }
+    let wp = build_tokenizer(
+        resumes.iter().flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
+        1,
+    );
+    let config = ModelConfig::tiny(wp.vocab.len());
+    let scheme = block_tag_scheme();
+    let prepared: Vec<(DocumentInput, Vec<usize>)> = resumes
+        .iter()
+        .map(|r| {
+            let (input, sentences) = prepare_document(&r.doc, &wp, &config);
+            let labels = sentence_iob_labels(r, &sentences, &scheme);
+            (input, labels)
+        })
+        .collect();
+
+    let init_seed = o.seed;
+    let mut rng = ChaCha8Rng::seed_from_u64(init_seed);
+    let encoder = HierarchicalEncoder::new(&mut rng, &config);
+    let classifier = BlockClassifier::new(&mut rng, &config, encoder);
+    let pairs: Vec<(&DocumentInput, &[usize])> =
+        prepared.iter().map(|(d, l)| (d, l.as_slice())).collect();
+    let trace = classifier.finetune(
+        &pairs,
+        &FinetuneConfig { epochs: o.epochs, ..Default::default() },
+        &mut rng,
+    );
+    println!(
+        "trained on {} documents for {} epochs (loss {:.2} -> {:.2})",
+        prepared.len(),
+        o.epochs,
+        trace.first().copied().unwrap_or(0.0),
+        trace.last().copied().unwrap_or(0.0)
+    );
+    save_model(model_path, &classifier, &config, &wp, init_seed)?;
+    println!("saved model to {model_path}");
+    Ok(())
+}
+
+/// `parse`: segment a document with a trained model.
+pub fn parse(o: &Options) -> Result<(), String> {
+    let model_path = o.model.as_deref().ok_or("--model is required")?;
+    let resumes = o.load_resumes()?;
+    let target = o.pick(&resumes)?;
+    let (classifier, config, wp) = load_model(model_path)?;
+    let scheme = block_tag_scheme();
+
+    let t0 = std::time::Instant::now();
+    let (input, sentences) = prepare_document(&target.doc, &wp, &config);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let labels = classifier.predict(&input, &mut rng);
+    let secs = t0.elapsed().as_secs_f64();
+
+    println!(
+        "document {}: {} tokens / {} sentences / {} page(s), classified in {:.3}s",
+        o.index,
+        target.doc.num_tokens(),
+        sentences.len(),
+        target.doc.num_pages(),
+        secs
+    );
+    for (start, end, class) in segment_blocks(&scheme, &labels) {
+        let words: Vec<String> = sentences[start..end]
+            .iter()
+            .flat_map(|s| s.token_indices.iter().map(|&i| target.doc.tokens[i].text.clone()))
+            .take(12)
+            .collect();
+        println!("  [{:8}] sentences {start:3}..{end:3}: {} ...", BlockType::ALL[class].name(), words.join(" "));
+    }
+    Ok(())
+}
+
+/// `rules`: rule-based entity extraction over the gold block segmentation.
+pub fn rules(o: &Options) -> Result<(), String> {
+    let resumes = o.load_resumes()?;
+    let target = o.pick(&resumes)?;
+    let dicts = Dictionaries::build(DictionaryConfig::default());
+    println!("document {} — rule-based extraction:", o.index);
+    for (block_type, token_idx) in extract_blocks(target) {
+        let words: Vec<String> = token_idx
+            .iter()
+            .map(|&i| target.doc.tokens[i].text.clone())
+            .collect();
+        for e in rule_based_entities(&words, block_type, &dicts) {
+            println!("  [{:8}] {:?}: {}", block_type.name(), e.entity, e.text);
+        }
+    }
+    Ok(())
+}
+
+/// `stats`: corpus statistics of `--data` (Table I shape).
+pub fn stats(o: &Options) -> Result<(), String> {
+    let resumes = o.load_resumes()?;
+    let s = CorpusStats::compute(&resumes);
+    println!("documents          : {}", s.n_docs);
+    println!("avg # of tokens    : {:.2}", s.avg_tokens);
+    println!("avg # of sentences : {:.2}", s.avg_sentences);
+    println!("avg # of pages     : {:.2}", s.avg_pages);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(pairs: &[(&str, &str)]) -> Options {
+        let args: Vec<String> = pairs
+            .iter()
+            .flat_map(|(k, v)| [k.to_string(), v.to_string()])
+            .collect();
+        Options::parse(&args).unwrap()
+    }
+
+    #[test]
+    fn parse_options() {
+        let o = opts(&[("--count", "5"), ("--seed", "9"), ("--scale", "paper")]);
+        assert_eq!(o.count, 5);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.scale, Scale::Paper);
+        assert!(Options::parse(&["--bogus".into(), "1".into()]).is_err());
+        assert!(Options::parse(&["--count".into()]).is_err());
+    }
+
+    #[test]
+    fn generate_then_stats_and_rules_round_trip() {
+        let dir = std::env::temp_dir().join("resuformer_cli_cmds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("r.json");
+        let data_s = data.to_str().unwrap().to_string();
+
+        let mut o = opts(&[("--count", "2"), ("--seed", "3")]);
+        o.out = Some(data_s.clone());
+        generate(&o).unwrap();
+
+        let mut o2 = opts(&[]);
+        o2.data = Some(data_s.clone());
+        stats(&o2).unwrap();
+        rules(&o2).unwrap();
+
+        let resumes = o2.load_resumes().unwrap();
+        assert_eq!(resumes.len(), 2);
+        resumes[0].doc.validate().unwrap();
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn train_then_parse_round_trip() {
+        let dir = std::env::temp_dir().join("resuformer_cli_train");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("r.json");
+        let model = dir.join("m.bin");
+        let data_s = data.to_str().unwrap().to_string();
+        let model_s = model.to_str().unwrap().to_string();
+
+        let mut o = opts(&[("--count", "2"), ("--seed", "4"), ("--epochs", "2")]);
+        o.out = Some(data_s.clone());
+        generate(&o).unwrap();
+        o.data = Some(data_s.clone());
+        o.model = Some(model_s.clone());
+        train(&o).unwrap();
+        parse(&o).unwrap();
+
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&model).ok();
+    }
+}
+
+/// `inspect`: confusion matrix of a trained model on a document set (uses
+/// the gold block labels carried by generated data).
+pub fn inspect(o: &Options) -> Result<(), String> {
+    use resuformer_eval::report::ConfusionMatrix;
+
+    let model_path = o.model.as_deref().ok_or("--model is required")?;
+    let resumes = o.load_resumes()?;
+    let (classifier, config, wp) = load_model(model_path)?;
+    let scheme = block_tag_scheme();
+
+    let class_names: Vec<&str> = (0..scheme.num_classes())
+        .map(|c| scheme.class_name(c))
+        .collect();
+    let mut matrix = ConfusionMatrix::new(&class_names);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    for r in &resumes {
+        let (input, sentences) = prepare_document(&r.doc, &wp, &config);
+        let labels = resuformer::data::sentence_iob_labels(r, &sentences, &scheme);
+        let pred = classifier.predict(&input, &mut rng);
+        for (p, g) in pred.iter().zip(labels.iter()) {
+            let gc = scheme.class_of(*g).unwrap_or(scheme.num_classes());
+            let pc = scheme.class_of(*p).unwrap_or(scheme.num_classes());
+            matrix.record(gc, pc);
+        }
+    }
+    println!("sentence-class confusion over {} documents:", resumes.len());
+    println!("{}", matrix.render());
+    println!("accuracy: {:.3}", matrix.accuracy());
+    Ok(())
+}

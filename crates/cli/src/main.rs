@@ -1,0 +1,75 @@
+//! `resuformer` — the command-line interface.
+//!
+//! ```text
+//! resuformer-cli generate --count 3 --out resumes.json [--scale paper] [--seed 7]
+//! resuformer-cli train    --data resumes.json --model model.bin [--epochs 8]
+//! resuformer-cli parse    --data resumes.json --model model.bin [--index 0]
+//! resuformer-cli rules    --data resumes.json [--index 0]
+//! resuformer-cli stats    --data resumes.json
+//! ```
+//!
+//! Documents travel as JSON (`LabeledResume` with full ground truth when
+//! generated here; only the `doc` field is consulted when parsing). Models
+//! persist through the workspace's byte format plus a JSON sidecar holding
+//! the tokenizer vocabulary, so a saved model is self-contained.
+
+mod commands;
+mod model_io;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let opts = match commands::Options::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => commands::generate(&opts),
+        "train" => commands::train(&opts),
+        "parse" => commands::parse(&opts),
+        "rules" => commands::rules(&opts),
+        "stats" => commands::stats(&opts),
+        "inspect" => commands::inspect(&opts),
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "resuformer — semantic structure understanding for resumes
+
+USAGE:
+    resuformer <COMMAND> [OPTIONS]
+
+COMMANDS:
+    generate   generate synthetic resumes to --out (JSON)
+    train      train a block classifier on --data, save to --model
+    parse      parse a document from --data with a trained --model
+    rules      rule-based entity extraction (no model needed)
+    stats      corpus statistics of --data
+    inspect    confusion matrix of a trained --model on --data
+
+OPTIONS:
+    --data <FILE>     input resumes JSON
+    --out <FILE>      output file
+    --model <FILE>    model file (train: write; parse: read)
+    --count <N>       number of resumes to generate [default: 3]
+    --index <N>       document index within --data [default: 0]
+    --epochs <N>      training epochs [default: 8]
+    --scale <S>       smoke|paper generation profile [default: smoke]
+    --seed <N>        RNG seed [default: 42]"
+}

@@ -1,0 +1,179 @@
+//! Self-contained model persistence: the classifier's weight bytes plus a
+//! JSON header carrying the tokenizer vocabulary and configuration, so a
+//! saved model file can be loaded without the training corpus.
+
+use std::io::{Read, Write};
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use resuformer::block_classifier::BlockClassifier;
+use resuformer::config::ModelConfig;
+use resuformer::encoder::HierarchicalEncoder;
+use resuformer_nn::Module;
+use resuformer_text::{Vocab, WordPiece};
+use serde::{Deserialize, Serialize};
+
+const MAGIC: &[u8; 8] = b"RESUCLI1";
+
+/// Serializable model configuration (mirrors [`ModelConfig`]).
+#[derive(Serialize, Deserialize)]
+struct ConfigHeader {
+    vocab_size: usize,
+    hidden: usize,
+    sent_layers: usize,
+    doc_layers: usize,
+    heads: usize,
+    ff: usize,
+    max_sent_tokens: usize,
+    max_doc_sentences: usize,
+    visual_dim: usize,
+    coord_buckets: usize,
+    max_pages: usize,
+    init_seed: u64,
+    vocab: Vec<String>,
+}
+
+impl ConfigHeader {
+    fn from_config(config: &ModelConfig, wp: &WordPiece, init_seed: u64) -> Self {
+        ConfigHeader {
+            vocab_size: config.vocab_size,
+            hidden: config.hidden,
+            sent_layers: config.sent_layers,
+            doc_layers: config.doc_layers,
+            heads: config.heads,
+            ff: config.ff,
+            max_sent_tokens: config.max_sent_tokens,
+            max_doc_sentences: config.max_doc_sentences,
+            visual_dim: config.visual_dim,
+            coord_buckets: config.coord_buckets,
+            max_pages: config.max_pages,
+            init_seed,
+            vocab: (0..wp.vocab.len()).map(|i| wp.vocab.token(i).to_string()).collect(),
+        }
+    }
+
+    fn to_config(&self) -> ModelConfig {
+        ModelConfig {
+            vocab_size: self.vocab_size,
+            hidden: self.hidden,
+            sent_layers: self.sent_layers,
+            doc_layers: self.doc_layers,
+            heads: self.heads,
+            ff: self.ff,
+            dropout: 0.0,
+            max_sent_tokens: self.max_sent_tokens,
+            max_doc_sentences: self.max_doc_sentences,
+            visual_dim: self.visual_dim,
+            coord_buckets: self.coord_buckets,
+            max_pages: self.max_pages,
+        }
+    }
+
+    fn to_wordpiece(&self) -> WordPiece {
+        let mut vocab = Vocab::new();
+        for t in &self.vocab {
+            vocab.add(t);
+        }
+        WordPiece::from_vocab(vocab)
+    }
+}
+
+/// Save a trained classifier + tokenizer to a file.
+pub fn save_model(
+    path: &str,
+    classifier: &BlockClassifier,
+    config: &ModelConfig,
+    wp: &WordPiece,
+    init_seed: u64,
+) -> Result<(), String> {
+    let header = serde_json::to_vec(&ConfigHeader::from_config(config, wp, init_seed))
+        .map_err(|e| format!("serializing header: {e}"))?;
+    let weights = classifier.save_bytes();
+    let mut f = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+    f.write_all(MAGIC).map_err(|e| e.to_string())?;
+    f.write_all(&(header.len() as u64).to_le_bytes()).map_err(|e| e.to_string())?;
+    f.write_all(&header).map_err(|e| e.to_string())?;
+    f.write_all(&weights).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Load a classifier + tokenizer from a file saved by [`save_model`].
+pub fn load_model(path: &str) -> Result<(BlockClassifier, ModelConfig, WordPiece), String> {
+    let mut f = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic).map_err(|e| e.to_string())?;
+    if &magic != MAGIC {
+        return Err(format!("{path} is not a resuformer model file"));
+    }
+    let mut len_bytes = [0u8; 8];
+    f.read_exact(&mut len_bytes).map_err(|e| e.to_string())?;
+    let header_len = u64::from_le_bytes(len_bytes) as usize;
+    let mut header_buf = vec![0u8; header_len];
+    f.read_exact(&mut header_buf).map_err(|e| e.to_string())?;
+    let header: ConfigHeader =
+        serde_json::from_slice(&header_buf).map_err(|e| format!("parsing header: {e}"))?;
+    let mut weights = Vec::new();
+    f.read_to_end(&mut weights).map_err(|e| e.to_string())?;
+
+    let config = header.to_config();
+    let wp = header.to_wordpiece();
+    // Rebuild the architecture with the recorded init seed (shapes must
+    // match exactly), then overwrite the weights.
+    let mut rng = ChaCha8Rng::seed_from_u64(header.init_seed);
+    let encoder = HierarchicalEncoder::new(&mut rng, &config);
+    let classifier = BlockClassifier::new(&mut rng, &config, encoder);
+    classifier
+        .load_bytes(&weights)
+        .map_err(|e| format!("loading weights: {e}"))?;
+    Ok((classifier, config, wp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resuformer::data::build_tokenizer;
+    use resuformer::data::prepare_document;
+    use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+
+    #[test]
+    fn save_load_round_trips_predictions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let resume = generate_resume(&mut rng, &GeneratorConfig::smoke());
+        let wp = build_tokenizer(resume.doc.tokens.iter().map(|t| t.text.clone()), 1);
+        let config = ModelConfig::tiny(wp.vocab.len());
+        let init_seed = 99;
+        let mut mrng = ChaCha8Rng::seed_from_u64(init_seed);
+        let encoder = HierarchicalEncoder::new(&mut mrng, &config);
+        let classifier = BlockClassifier::new(&mut mrng, &config, encoder);
+
+        let dir = std::env::temp_dir().join("resuformer_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        let path = path.to_str().unwrap();
+        save_model(path, &classifier, &config, &wp, init_seed).unwrap();
+
+        let (loaded, loaded_config, loaded_wp) = load_model(path).unwrap();
+        assert_eq!(loaded_config.hidden, config.hidden);
+        assert_eq!(loaded_wp.vocab.len(), wp.vocab.len());
+
+        let (input, _) = prepare_document(&resume.doc, &wp, &config);
+        let mut r1 = ChaCha8Rng::seed_from_u64(5);
+        let mut r2 = ChaCha8Rng::seed_from_u64(5);
+        assert_eq!(
+            classifier.predict(&input, &mut r1),
+            loaded.predict(&input, &mut r2),
+            "loaded model must predict identically"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("resuformer_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.bin");
+        std::fs::write(&path, b"not a model").unwrap();
+        assert!(load_model(path.to_str().unwrap()).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,455 @@
+//! Automatic data annotation for distant supervision (§IV-B1/2).
+//!
+//! Blocks are labeled by three mechanisms, in precision order:
+//!
+//! 1. **pattern matchers** (the paper's regular expressions): email, phone
+//!    number, date ranges;
+//! 2. **dictionary matching**: exact surface matches against the entity
+//!    dictionaries (college / major / company / position / project /
+//!    degree / gender);
+//! 3. **heuristic rules**: person names start with a common family name
+//!    near the top of the personal-information block; ages are plausible
+//!    numbers next to an `Age:` prefix or a `years old` suffix.
+//!
+//! Earlier mechanisms win on overlap. Because the dictionaries have
+//! incomplete coverage, distant labels carry exactly the incomplete/noisy
+//! label regime the self-training framework targets.
+
+use resuformer_datagen::{BlockType, Dictionaries, EntityType, LabeledResume};
+use resuformer_text::iob::{encode_spans, Span};
+use resuformer_text::matchers;
+use resuformer_text::{TagScheme, Vocab};
+
+/// One NER instance: a segmented block with distant and gold labels.
+#[derive(Clone, Debug)]
+pub struct AnnotatedBlock {
+    /// The block's semantic class.
+    pub block_type: BlockType,
+    /// Word tokens of the block, in reading order.
+    pub tokens: Vec<String>,
+    /// Vocabulary ids of the tokens (word-level; `[UNK]` for OOV).
+    pub token_ids: Vec<usize>,
+    /// Distantly-supervised IOB labels (dictionaries + matchers + rules).
+    pub distant_labels: Vec<usize>,
+    /// Gold IOB labels from the generator's ground truth.
+    pub gold_labels: Vec<usize>,
+}
+
+impl AnnotatedBlock {
+    /// Number of gold entities in the block.
+    pub fn num_gold_entities(&self, scheme: &TagScheme) -> usize {
+        resuformer_text::decode_spans(scheme, &self.gold_labels).len()
+    }
+
+    /// Number of distantly-matched entities in the block.
+    pub fn num_distant_entities(&self, scheme: &TagScheme) -> usize {
+        resuformer_text::decode_spans(scheme, &self.distant_labels).len()
+    }
+}
+
+/// Group a labeled resume's tokens into block instances, in reading order.
+pub fn extract_blocks(resume: &LabeledResume) -> Vec<(BlockType, Vec<usize>)> {
+    let mut blocks: Vec<((BlockType, usize), Vec<usize>)> = Vec::new();
+    for (i, &key) in resume.token_blocks.iter().enumerate() {
+        match blocks.last_mut() {
+            Some((k, idxs)) if *k == key => idxs.push(i),
+            _ => blocks.push((key, vec![i])),
+        }
+    }
+    blocks.into_iter().map(|((ty, _), idxs)| (ty, idxs)).collect()
+}
+
+/// Gold IOB labels for a token-index run, from the generator ground truth.
+pub fn gold_labels(resume: &LabeledResume, token_idx: &[usize], scheme: &TagScheme) -> Vec<usize> {
+    let mut spans: Vec<Span> = Vec::new();
+    let mut open: Option<(usize, EntityType)> = None;
+    for (pos, &ti) in token_idx.iter().enumerate() {
+        let ent = resume.token_entities[ti];
+        match (open, ent) {
+            (Some((_, oc)), Some(c)) if oc == c => {}
+            (prev, cur) => {
+                if let Some((start, oc)) = prev {
+                    spans.push(Span::new(start, pos, oc.index()));
+                }
+                open = cur.map(|c| (pos, c));
+            }
+        }
+    }
+    if let Some((start, oc)) = open {
+        spans.push(Span::new(start, token_idx.len(), oc.index()));
+    }
+    encode_spans(scheme, token_idx.len(), &spans)
+}
+
+/// Distant IOB labels for a block's tokens.
+pub fn distant_labels(
+    tokens: &[String],
+    block_type: BlockType,
+    dicts: &Dictionaries,
+    scheme: &TagScheme,
+) -> Vec<usize> {
+    let refs: Vec<&str> = tokens.iter().map(|s| s.as_str()).collect();
+    let mut taken = vec![false; tokens.len()];
+    let mut spans: Vec<Span> = Vec::new();
+    let claim = |start: usize, end: usize, class: usize, taken: &mut [bool], spans: &mut Vec<Span>| {
+        if end <= start || end > taken.len() {
+            return;
+        }
+        if taken[start..end].iter().any(|&t| t) {
+            return;
+        }
+        for t in &mut taken[start..end] {
+            *t = true;
+        }
+        spans.push(Span::new(start, end, class));
+    };
+
+    // 1) Pattern matchers: email, phone, date ranges.
+    for (i, tok) in refs.iter().enumerate() {
+        if matchers::is_email(tok) {
+            claim(i, i + 1, EntityType::Email.index(), &mut taken, &mut spans);
+        } else if matchers::is_phone(tok) && tok.chars().filter(|c| c.is_ascii_digit()).count() >= 7
+        {
+            claim(i, i + 1, EntityType::PhoneNum.index(), &mut taken, &mut spans);
+        }
+    }
+    for range in matchers::find_date_ranges(&refs) {
+        claim(range.start, range.end, EntityType::Date.index(), &mut taken, &mut spans);
+    }
+
+    // 2) Dictionary matching.
+    for m in dicts.trie.find_all(&refs) {
+        claim(m.start, m.end, m.class, &mut taken, &mut spans);
+    }
+
+    // 3) Heuristic rules.
+    if block_type == BlockType::PInfo {
+        // Person name: a family-name token near the top of the block,
+        // optionally followed by one capitalised given-name token.
+        for i in 0..refs.len().min(12) {
+            if taken[i] {
+                continue;
+            }
+            if dicts.family_names.iter().any(|f| f == refs[i]) {
+                let mut end = i + 1;
+                if end < refs.len()
+                    && !taken[end]
+                    && refs[end].chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                    && refs[end].chars().all(|c| c.is_ascii_alphabetic())
+                {
+                    end += 1;
+                }
+                claim(i, end, EntityType::Name.index(), &mut taken, &mut spans);
+                break;
+            }
+        }
+        // Age: a plausible number next to an "Age :" prefix or a
+        // "years old" suffix.
+        for i in 0..refs.len() {
+            if taken[i] || !matchers::is_age_value(refs[i]) {
+                continue;
+            }
+            let has_prefix = i >= 2
+                && refs[i - 1] == ":"
+                && refs[i - 2].eq_ignore_ascii_case("age");
+            let has_suffix = i + 2 < refs.len()
+                && refs[i + 1].eq_ignore_ascii_case("years")
+                && refs[i + 2].eq_ignore_ascii_case("old");
+            if has_prefix || has_suffix {
+                claim(i, i + 1, EntityType::Age.index(), &mut taken, &mut spans);
+            }
+        }
+    }
+
+    spans.sort_by_key(|s| s.start);
+    encode_spans(scheme, tokens.len(), &spans)
+}
+
+/// Build the NER dataset from a document set: every PInfo / EduExp /
+/// WorkExp / ProjExp block becomes an instance carrying both label sets.
+///
+/// `require_match` keeps only instances with ≥ 1 distantly-matched entity
+/// (the paper's training-set construction); validation/test sets keep all.
+pub fn build_ner_dataset(
+    resumes: &[LabeledResume],
+    dicts: &Dictionaries,
+    vocab: &Vocab,
+    scheme: &TagScheme,
+    require_match: bool,
+) -> Vec<AnnotatedBlock> {
+    let mut out = Vec::new();
+    for resume in resumes {
+        for (block_type, token_idx) in extract_blocks(resume) {
+            if !matches!(
+                block_type,
+                BlockType::PInfo | BlockType::EduExp | BlockType::WorkExp | BlockType::ProjExp
+            ) {
+                continue;
+            }
+            let tokens: Vec<String> = token_idx
+                .iter()
+                .map(|&i| resume.doc.tokens[i].text.clone())
+                .collect();
+            let distant = distant_labels(&tokens, block_type, dicts, scheme);
+            let gold = gold_labels(resume, &token_idx, scheme);
+            let token_ids = tokens.iter().map(|w| vocab.id(&w.to_lowercase())).collect();
+            let block = AnnotatedBlock {
+                block_type,
+                tokens,
+                token_ids,
+                distant_labels: distant,
+                gold_labels: gold,
+            };
+            if !require_match || block.num_distant_entities(scheme) >= 1 {
+                out.push(block);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::entity_tag_scheme;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+    use resuformer_datagen::DictionaryConfig;
+    use resuformer_text::decode_spans;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn matcher_classes_label_correctly() {
+        let dicts = Dictionaries::build(DictionaryConfig { coverage: 1.0 });
+        let scheme = entity_tag_scheme();
+        let toks = strs(&["Email", ":", "li.wei3@example.com", "Phone", ":", "13812345678"]);
+        let labels = distant_labels(&toks, BlockType::PInfo, &dicts, &scheme);
+        let spans = decode_spans(&scheme, &labels);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].class, EntityType::Email.index());
+        assert_eq!(spans[1].class, EntityType::PhoneNum.index());
+    }
+
+    #[test]
+    fn date_ranges_and_dictionary_entities() {
+        let dicts = Dictionaries::build(DictionaryConfig { coverage: 1.0 });
+        let scheme = entity_tag_scheme();
+        let toks = strs(&[
+            "2018.09", "-", "2022.06", "Northlake", "University", "Computer", "Science",
+            "Bachelor",
+        ]);
+        let labels = distant_labels(&toks, BlockType::EduExp, &dicts, &scheme);
+        let spans = decode_spans(&scheme, &labels);
+        let classes: Vec<usize> = spans.iter().map(|s| s.class).collect();
+        assert!(classes.contains(&EntityType::Date.index()));
+        assert!(classes.contains(&EntityType::College.index()));
+        assert!(classes.contains(&EntityType::Major.index()));
+        assert!(classes.contains(&EntityType::Degree.index()));
+    }
+
+    #[test]
+    fn name_and_age_heuristics() {
+        let dicts = Dictionaries::build(DictionaryConfig { coverage: 1.0 });
+        let scheme = entity_tag_scheme();
+        let toks = strs(&["Li", "Wei", "Male", "|", "27", "years", "old"]);
+        let labels = distant_labels(&toks, BlockType::PInfo, &dicts, &scheme);
+        let spans = decode_spans(&scheme, &labels);
+        let name = spans.iter().find(|s| s.class == EntityType::Name.index());
+        assert_eq!(name.map(|s| (s.start, s.end)), Some((0, 2)));
+        assert!(spans.iter().any(|s| s.class == EntityType::Age.index()));
+        assert!(spans.iter().any(|s| s.class == EntityType::Gender.index()));
+    }
+
+    #[test]
+    fn age_heuristic_requires_context() {
+        let dicts = Dictionaries::build(DictionaryConfig { coverage: 1.0 });
+        let scheme = entity_tag_scheme();
+        // A bare plausible number without Age:/years-old context: no label.
+        let toks = strs(&["managed", "27", "services"]);
+        let labels = distant_labels(&toks, BlockType::PInfo, &dicts, &scheme);
+        assert!(labels.iter().all(|&l| l == scheme.outside()));
+    }
+
+    #[test]
+    fn incomplete_dictionary_misses_entities() {
+        let scheme = entity_tag_scheme();
+        let toks = strs(&["Skyline", "University", "of", "Science", "and", "Technology"]);
+        let full = Dictionaries::build(DictionaryConfig { coverage: 1.0 });
+        let sparse = Dictionaries::build(DictionaryConfig { coverage: 0.2 });
+        let full_spans = decode_spans(&scheme, &distant_labels(&toks, BlockType::EduExp, &full, &scheme));
+        let sparse_spans =
+            decode_spans(&scheme, &distant_labels(&toks, BlockType::EduExp, &sparse, &scheme));
+        assert!(!full_spans.is_empty());
+        // "Skyline" is the last college stem — outside 20% coverage.
+        assert!(sparse_spans.iter().all(|s| s.class != EntityType::College.index()));
+    }
+
+    #[test]
+    fn gold_labels_round_trip_generator_truth() {
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let r = generate_resume(&mut rng, &GeneratorConfig::smoke());
+        let scheme = entity_tag_scheme();
+        for (ty, idxs) in extract_blocks(&r) {
+            let labels = gold_labels(&r, &idxs, &scheme);
+            assert_eq!(labels.len(), idxs.len());
+            // Every labeled token must map back to a ground-truth entity.
+            for (pos, &ti) in idxs.iter().enumerate() {
+                let has_gold = r.token_entities[ti].is_some();
+                let has_label = labels[pos] != scheme.outside();
+                assert_eq!(has_gold, has_label, "block {:?} pos {}", ty, pos);
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_covers_ner_blocks_and_filters() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let resumes: Vec<_> = (0..4)
+            .map(|_| generate_resume(&mut rng, &GeneratorConfig::smoke()))
+            .collect();
+        let dicts = Dictionaries::build(DictionaryConfig::default());
+        let scheme = entity_tag_scheme();
+        let vocab = Vocab::build(
+            resumes
+                .iter()
+                .flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
+            1,
+        );
+        let all = build_ner_dataset(&resumes, &dicts, &vocab, &scheme, false);
+        let filtered = build_ner_dataset(&resumes, &dicts, &vocab, &scheme, true);
+        assert!(!all.is_empty());
+        assert!(filtered.len() <= all.len());
+        assert!(filtered
+            .iter()
+            .all(|b| b.num_distant_entities(&scheme) >= 1));
+        assert!(all.iter().all(|b| matches!(
+            b.block_type,
+            BlockType::PInfo | BlockType::EduExp | BlockType::WorkExp | BlockType::ProjExp
+        )));
+    }
+
+    #[test]
+    fn distant_recall_is_below_gold_at_partial_coverage() {
+        // The designed noise: distant labels must systematically miss some
+        // gold entities when coverage < 1.
+        let mut rng = ChaCha8Rng::seed_from_u64(43);
+        let resumes: Vec<_> = (0..6)
+            .map(|_| generate_resume(&mut rng, &GeneratorConfig::smoke()))
+            .collect();
+        let dicts = Dictionaries::build(DictionaryConfig { coverage: 0.5 });
+        let scheme = entity_tag_scheme();
+        let vocab = Vocab::build(
+            resumes
+                .iter()
+                .flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
+            1,
+        );
+        let data = build_ner_dataset(&resumes, &dicts, &vocab, &scheme, false);
+        let gold: usize = data.iter().map(|b| b.num_gold_entities(&scheme)).sum();
+        let distant: usize = data.iter().map(|b| b.num_distant_entities(&scheme)).sum();
+        assert!(gold > 0);
+        assert!(
+            distant < gold,
+            "distant ({distant}) should miss some gold ({gold}) entities"
+        );
+    }
+}
+
+/// Expand a distant training set with augmented copies (§IV-B2): mention
+/// replacement and entity reorder over the *distant* labels. Augmented
+/// instances are for training only; their `gold_labels` mirror the distant
+/// labels (they have no expert annotation).
+pub fn augment_dataset(
+    blocks: &[AnnotatedBlock],
+    copies_per_block: usize,
+    vocab: &resuformer_text::Vocab,
+    rng: &mut impl rand::Rng,
+) -> Vec<AnnotatedBlock> {
+    use resuformer_datagen::augment::{replace_mentions, reorder_entities, NerInstance};
+
+    let scheme = crate::data::entity_tag_scheme();
+    let mut out = Vec::with_capacity(blocks.len() * (1 + copies_per_block));
+    out.extend_from_slice(blocks);
+    for block in blocks {
+        // Rebuild the per-token entity view from the distant labels.
+        let labels: Vec<Option<resuformer_datagen::EntityType>> = block
+            .distant_labels
+            .iter()
+            .map(|&l| scheme.class_of(l).map(|c| resuformer_datagen::EntityType::ALL[c]))
+            .collect();
+        let inst = NerInstance { tokens: block.tokens.clone(), labels };
+        for _ in 0..copies_per_block {
+            let replaced = replace_mentions(rng, &inst, 0.5);
+            let shuffled = if rng.gen_bool(0.3) {
+                reorder_entities(rng, &replaced)
+            } else {
+                replaced
+            };
+            // Re-encode to IOB over contiguous runs.
+            let spans: Vec<resuformer_text::Span> = {
+                let mut spans = Vec::new();
+                for (start, end, class) in shuffled
+                    .entity_runs()
+                    .iter()
+                    .map(|&(s, e, c)| (s, e, c.index()))
+                {
+                    spans.push(resuformer_text::Span::new(start, end, class));
+                }
+                spans
+            };
+            let labels = resuformer_text::encode_spans(&scheme, shuffled.tokens.len(), &spans);
+            let token_ids = shuffled
+                .tokens
+                .iter()
+                .map(|w| vocab.id(&w.to_lowercase()))
+                .collect();
+            out.push(AnnotatedBlock {
+                block_type: block.block_type,
+                tokens: shuffled.tokens,
+                token_ids,
+                distant_labels: labels.clone(),
+                gold_labels: labels,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod augment_tests {
+    use super::*;
+    use crate::data::entity_tag_scheme;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+    use resuformer_datagen::DictionaryConfig;
+    use resuformer_text::Vocab;
+
+    #[test]
+    fn augmentation_multiplies_and_stays_consistent() {
+        let mut rng = ChaCha8Rng::seed_from_u64(151);
+        let resumes: Vec<_> = (0..2)
+            .map(|_| generate_resume(&mut rng, &GeneratorConfig::smoke()))
+            .collect();
+        let dicts = Dictionaries::build(DictionaryConfig { coverage: 1.0 });
+        let scheme = entity_tag_scheme();
+        let vocab = Vocab::build(
+            resumes.iter().flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
+            1,
+        );
+        let base = build_ner_dataset(&resumes, &dicts, &vocab, &scheme, true);
+        let augmented = augment_dataset(&base, 2, &vocab, &mut rng);
+        assert_eq!(augmented.len(), base.len() * 3);
+        for block in &augmented {
+            assert_eq!(block.tokens.len(), block.token_ids.len());
+            assert_eq!(block.tokens.len(), block.distant_labels.len());
+            // Entity class multiset is preserved per block family, so every
+            // augmented instance still carries at least one entity.
+            assert!(block.num_distant_entities(&scheme) >= 1);
+        }
+    }
+}

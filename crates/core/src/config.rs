@@ -1,0 +1,176 @@
+//! Model and pre-training hyper-parameters.
+
+/// Architecture hyper-parameters for the hierarchical encoder.
+///
+/// [`ModelConfig::paper`] is the configuration of §V-A2 (hidden 768,
+/// 6-layer sentence encoder, 4-layer document encoder, 12 heads);
+/// [`ModelConfig::tiny`] is the scaled-down configuration experiments run
+/// at on CPU (DESIGN.md §2 — relative model ordering, not absolute width,
+/// is what the tables measure).
+#[derive(Clone, Copy, Debug)]
+pub struct ModelConfig {
+    /// WordPiece vocabulary size (set after building the tokenizer).
+    pub vocab_size: usize,
+    /// Model width (must be divisible by `heads` and by 8 for the layout
+    /// embedding split).
+    pub hidden: usize,
+    /// Sentence-level encoder depth (paper: 6).
+    pub sent_layers: usize,
+    /// Document-level encoder depth (paper: 4).
+    pub doc_layers: usize,
+    /// Attention heads (paper: 12).
+    pub heads: usize,
+    /// Feed-forward width.
+    pub ff: usize,
+    /// Dropout rate.
+    pub dropout: f32,
+    /// Maximum tokens per sentence, inclusive of `[CLS]` (paper: 55).
+    pub max_sent_tokens: usize,
+    /// Maximum sentences per document (paper: 350).
+    pub max_doc_sentences: usize,
+    /// Visual region-feature dimension concatenated to sentence reps.
+    pub visual_dim: usize,
+    /// Number of coordinate buckets for the `[0, 1000]` range.
+    pub coord_buckets: usize,
+    /// Maximum page index embedded.
+    pub max_pages: usize,
+}
+
+impl ModelConfig {
+    /// The paper's configuration (requires GPU-class budgets to train).
+    pub fn paper(vocab_size: usize) -> Self {
+        ModelConfig {
+            vocab_size,
+            hidden: 768,
+            sent_layers: 6,
+            doc_layers: 4,
+            heads: 12,
+            ff: 3072,
+            dropout: 0.1,
+            max_sent_tokens: 55,
+            max_doc_sentences: 350,
+            visual_dim: 384,
+            coord_buckets: 64,
+            max_pages: 8,
+        }
+    }
+
+    /// CPU-scale configuration used by tests and experiment binaries.
+    pub fn tiny(vocab_size: usize) -> Self {
+        ModelConfig {
+            vocab_size,
+            hidden: 32,
+            sent_layers: 2,
+            doc_layers: 2,
+            heads: 2,
+            ff: 64,
+            dropout: 0.0,
+            max_sent_tokens: 24,
+            max_doc_sentences: 350,
+            visual_dim: 16,
+            coord_buckets: 16,
+            max_pages: 8,
+        }
+    }
+
+    /// A mid-size configuration for the paper-scale experiment binaries.
+    pub fn small(vocab_size: usize) -> Self {
+        ModelConfig {
+            vocab_size,
+            hidden: 48,
+            sent_layers: 2,
+            doc_layers: 2,
+            heads: 4,
+            ff: 96,
+            dropout: 0.1,
+            max_sent_tokens: 32,
+            max_doc_sentences: 350,
+            visual_dim: 24,
+            coord_buckets: 32,
+            max_pages: 8,
+        }
+    }
+
+    /// Validate divisibility constraints; call after any manual edits.
+    pub fn validate(&self) {
+        assert!(self.hidden % self.heads == 0, "hidden must divide by heads");
+        assert!(self.hidden % 8 == 0, "hidden must divide by 8 (layout split)");
+        assert!(self.vocab_size > 5, "vocab must include specials");
+        assert!(self.max_sent_tokens >= 4 && self.max_doc_sentences >= 2);
+    }
+}
+
+/// Pre-training hyper-parameters (§V-A2).
+#[derive(Clone, Copy, Debug)]
+pub struct PretrainConfig {
+    /// Token mask ratio for the masked layout-language model.
+    pub mlm_ratio: f32,
+    /// Fraction of sentences dynamically masked for SCL (paper: 0.2).
+    pub scl_ratio: f32,
+    /// Fraction of sentences sampled for DNSP (paper: 0.2).
+    pub dnsp_ratio: f32,
+    /// Contrastive temperature τ (paper: 0.8).
+    pub tau: f32,
+    /// Loss weight λ₁ for the masked layout-language model (paper: 0.4).
+    pub lambda_wp: f32,
+    /// Loss weight λ₂ for contrastive learning (paper: 1.0).
+    pub lambda_cl: f32,
+    /// Loss weight λ₃ for next-sentence prediction (paper: 0.6).
+    pub lambda_ns: f32,
+    /// Learning rate (paper: 5e-5; scaled configs train larger).
+    pub lr: f32,
+    /// Decoupled weight decay (paper: 0.01).
+    pub weight_decay: f32,
+}
+
+impl Default for PretrainConfig {
+    fn default() -> Self {
+        PretrainConfig {
+            mlm_ratio: 0.15,
+            scl_ratio: 0.2,
+            dnsp_ratio: 0.2,
+            tau: 0.8,
+            lambda_wp: 0.4,
+            lambda_cl: 1.0,
+            lambda_ns: 0.6,
+            lr: 1e-3,
+            weight_decay: 0.01,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        ModelConfig::paper(1000).validate();
+        ModelConfig::tiny(1000).validate();
+        ModelConfig::small(1000).validate();
+    }
+
+    #[test]
+    fn paper_matches_section_v() {
+        let c = ModelConfig::paper(30_000);
+        assert_eq!(c.hidden, 768);
+        assert_eq!(c.sent_layers, 6);
+        assert_eq!(c.doc_layers, 4);
+        assert_eq!(c.heads, 12);
+        assert_eq!(c.max_sent_tokens, 55);
+        assert_eq!(c.max_doc_sentences, 350);
+        let p = PretrainConfig::default();
+        assert_eq!(p.tau, 0.8);
+        assert_eq!((p.lambda_wp, p.lambda_cl, p.lambda_ns), (0.4, 1.0, 0.6));
+        assert_eq!(p.scl_ratio, 0.2);
+        assert_eq!(p.dnsp_ratio, 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden must divide")]
+    fn validate_rejects_bad_heads() {
+        let mut c = ModelConfig::tiny(100);
+        c.heads = 3;
+        c.validate();
+    }
+}

@@ -1,0 +1,210 @@
+//! Input preparation: documents → model-ready tensors-of-ids, plus the tag
+//! schemes shared by models and metrics.
+
+use resuformer_datagen::{BlockType, EntityType, LabeledResume};
+use resuformer_doc::{
+    concat_sentences, normalize_bbox, rasterize_sentence, LayoutTuple, Document, Sentence,
+    SentenceConfig,
+};
+use resuformer_text::vocab::CLS;
+use resuformer_text::{TagScheme, WordPiece};
+
+use crate::config::ModelConfig;
+
+/// The sentence-level block tag scheme (8 classes, 17 IOB labels).
+pub fn block_tag_scheme() -> TagScheme {
+    let names: Vec<&str> = BlockType::ALL.iter().map(|b| b.name()).collect();
+    TagScheme::new(&names)
+}
+
+/// The token-level entity tag scheme (12 classes, 25 IOB labels).
+pub fn entity_tag_scheme() -> TagScheme {
+    let names: Vec<&str> = EntityType::ALL.iter().map(|e| e.name()).collect();
+    TagScheme::new(&names)
+}
+
+/// One sentence, ready for the sentence-level encoder.
+#[derive(Clone, Debug)]
+pub struct SentenceInput {
+    /// WordPiece ids, `[CLS]` first.
+    pub token_ids: Vec<usize>,
+    /// Per-piece layout tuples (the `[CLS]` slot carries the sentence box).
+    pub token_layouts: Vec<LayoutTuple>,
+    /// Sentence-level layout tuple.
+    pub layout: LayoutTuple,
+    /// Rasterised visual patch (`doc::raster` dimensions).
+    pub patch: Vec<f32>,
+}
+
+/// A document prepared for the hierarchical encoder.
+#[derive(Clone, Debug)]
+pub struct DocumentInput {
+    /// Sentences in reading order (truncated to the model maximum).
+    pub sentences: Vec<SentenceInput>,
+}
+
+impl DocumentInput {
+    /// Number of sentences.
+    pub fn len(&self) -> usize {
+        self.sentences.len()
+    }
+
+    /// Whether the document produced no sentences.
+    pub fn is_empty(&self) -> bool {
+        self.sentences.is_empty()
+    }
+}
+
+/// Prepare a document: concatenate sentences, tokenize, attach layout and
+/// visual patches. Returns the prepared input and the sentence segmentation
+/// (needed to map predictions back to tokens/areas).
+pub fn prepare_document(
+    doc: &Document,
+    wp: &WordPiece,
+    config: &ModelConfig,
+) -> (DocumentInput, Vec<Sentence>) {
+    let sent_cfg = SentenceConfig {
+        max_tokens: config.max_sent_tokens.saturating_sub(1).max(1),
+        ..SentenceConfig::default()
+    };
+    let mut sentences = concat_sentences(doc, &sent_cfg);
+    sentences.truncate(config.max_doc_sentences);
+
+    let inputs = sentences
+        .iter()
+        .map(|s| prepare_sentence(doc, s, wp, config))
+        .collect();
+    (DocumentInput { sentences: inputs }, sentences)
+}
+
+/// Prepare a single sentence (exposed for token-level baselines).
+pub fn prepare_sentence(
+    doc: &Document,
+    sentence: &Sentence,
+    wp: &WordPiece,
+    config: &ModelConfig,
+) -> SentenceInput {
+    let page_geom = &doc.pages[sentence.page];
+    let sent_layout = normalize_bbox(&sentence.bbox, page_geom, sentence.page);
+
+    let words: Vec<String> = sentence
+        .token_indices
+        .iter()
+        .map(|&i| doc.tokens[i].text.clone())
+        .collect();
+    let (piece_ids, origins) = wp.tokenize_words(&words);
+
+    let mut token_ids = Vec::with_capacity(piece_ids.len() + 1);
+    let mut token_layouts = Vec::with_capacity(piece_ids.len() + 1);
+    token_ids.push(CLS);
+    token_layouts.push(sent_layout);
+    for (pid, &origin) in piece_ids.iter().zip(origins.iter()) {
+        if token_ids.len() >= config.max_sent_tokens {
+            break;
+        }
+        let tok = &doc.tokens[sentence.token_indices[origin]];
+        token_ids.push(*pid);
+        token_layouts.push(normalize_bbox(&tok.bbox, page_geom, tok.page));
+    }
+
+    SentenceInput {
+        token_ids,
+        token_layouts,
+        layout: sent_layout,
+        patch: rasterize_sentence(doc, sentence, page_geom),
+    }
+}
+
+/// Derive sentence-level IOB labels for a labeled resume: `B-` on the first
+/// sentence of each block instance, `I-` on continuations (§III-A).
+pub fn sentence_iob_labels(
+    resume: &LabeledResume,
+    sentences: &[Sentence],
+    scheme: &TagScheme,
+) -> Vec<usize> {
+    let blocks = resume.sentence_blocks(sentences);
+    let mut labels = Vec::with_capacity(blocks.len());
+    let mut prev: Option<(BlockType, usize)> = None;
+    for &(ty, inst) in &blocks {
+        let class = ty.index();
+        let label = if prev == Some((ty, inst)) {
+            scheme.inside(class)
+        } else {
+            scheme.begin(class)
+        };
+        labels.push(label);
+        prev = Some((ty, inst));
+    }
+    labels
+}
+
+/// Build a WordPiece tokenizer over a corpus word stream.
+pub fn build_tokenizer(words: impl Iterator<Item = String>, min_freq: usize) -> WordPiece {
+    WordPiece::build(words, min_freq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+
+    fn sample() -> (LabeledResume, WordPiece) {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let r = generate_resume(&mut rng, &GeneratorConfig::smoke());
+        let wp = build_tokenizer(r.doc.tokens.iter().map(|t| t.text.clone()), 1);
+        (r, wp)
+    }
+
+    #[test]
+    fn schemes_have_expected_sizes() {
+        assert_eq!(block_tag_scheme().num_labels(), 17);
+        assert_eq!(entity_tag_scheme().num_labels(), 25);
+        assert_eq!(block_tag_scheme().class_name(0), "PInfo");
+    }
+
+    #[test]
+    fn prepared_document_is_consistent() {
+        let (r, wp) = sample();
+        let config = ModelConfig::tiny(wp.vocab.len());
+        let (input, sentences) = prepare_document(&r.doc, &wp, &config);
+        assert_eq!(input.len(), sentences.len());
+        assert!(!input.is_empty());
+        for s in &input.sentences {
+            assert_eq!(s.token_ids.len(), s.token_layouts.len());
+            assert!(s.token_ids.len() <= config.max_sent_tokens);
+            assert_eq!(s.token_ids[0], CLS);
+            assert_eq!(s.patch.len(), resuformer_doc::raster::PATCH_H * resuformer_doc::raster::PATCH_W);
+            for l in &s.token_layouts {
+                assert!(l.x_max <= 1000 && l.y_max <= 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn iob_labels_mark_block_starts() {
+        let (r, wp) = sample();
+        let config = ModelConfig::tiny(wp.vocab.len());
+        let (_, sentences) = prepare_document(&r.doc, &wp, &config);
+        let scheme = block_tag_scheme();
+        let labels = sentence_iob_labels(&r, &sentences, &scheme);
+        assert_eq!(labels.len(), sentences.len());
+        // First sentence must be a B- label; every label non-O.
+        assert!(scheme.is_begin(labels[0]));
+        assert!(labels.iter().all(|&l| l != scheme.outside()));
+        // Multi-sentence blocks produce at least one I-.
+        let n_inside = labels.iter().filter(|&&l| !scheme.is_begin(l)).count();
+        assert!(n_inside > 0, "expected continuation sentences");
+    }
+
+    #[test]
+    fn truncation_respects_config() {
+        let (r, wp) = sample();
+        let mut config = ModelConfig::tiny(wp.vocab.len());
+        config.max_doc_sentences = 3;
+        let (input, sentences) = prepare_document(&r.doc, &wp, &config);
+        assert_eq!(input.len(), 3);
+        assert_eq!(sentences.len(), 3);
+    }
+}

@@ -1,0 +1,172 @@
+//! Knowledge distillation from a token-level teacher (Algorithm 1).
+//!
+//! The paper trains a LayoutXLM teacher on the small labeled set, uses it
+//! to pseudo-label the unlabeled pool (converting token-level predictions
+//! to sentence labels, footnote 3), trains ResuFormer on the pseudo labels,
+//! and finally fine-tunes on the gold labels. The teacher lives in the
+//! baselines crate and plugs in through [`SentenceTeacher`].
+
+use rand::Rng;
+use resuformer_doc::Document;
+
+use crate::block_classifier::{BlockClassifier, FinetuneConfig};
+use crate::data::DocumentInput;
+
+/// A teacher that produces sentence-level IOB labels for an unlabeled raw
+/// document (same tag scheme as [`crate::data::block_tag_scheme`] and the
+/// same sentence segmentation as [`crate::data::prepare_document`]).
+pub trait SentenceTeacher {
+    /// Pseudo-label a document: one label per sentence.
+    fn pseudo_labels(&self, doc: &Document) -> Vec<usize>;
+}
+
+/// Algorithm 1, steps 3–5: pseudo-label `unlabeled` with the teacher, train
+/// the classifier on the pseudo-labeled pool, then fine-tune on gold data.
+///
+/// (Steps 1–2 — pre-training the encoder and training the teacher — happen
+/// before this call.) Returns `(pseudo_trace, gold_trace)` loss traces.
+pub fn distill_then_finetune(
+    classifier: &BlockClassifier,
+    teacher: &dyn SentenceTeacher,
+    unlabeled_raw: &[&Document],
+    unlabeled_prepared: &[DocumentInput],
+    gold: &[(&DocumentInput, &[usize])],
+    pseudo_config: &FinetuneConfig,
+    gold_config: &FinetuneConfig,
+    rng: &mut impl Rng,
+) -> (Vec<f32>, Vec<f32>) {
+    assert_eq!(
+        unlabeled_raw.len(),
+        unlabeled_prepared.len(),
+        "raw/prepared unlabeled pools must parallel each other"
+    );
+    // Step 3: auto-annotate the unlabeled pool with (hard) pseudo labels.
+    let pseudo: Vec<(usize, Vec<usize>)> = unlabeled_prepared
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| !d.is_empty())
+        .map(|(i, d)| {
+            let labels = teacher.pseudo_labels(unlabeled_raw[i]);
+            assert_eq!(
+                labels.len(),
+                d.len(),
+                "teacher must label every sentence"
+            );
+            (i, labels)
+        })
+        .collect();
+
+    // Step 4: train on pseudo-labeled data.
+    let pseudo_pairs: Vec<(&DocumentInput, &[usize])> = pseudo
+        .iter()
+        .map(|(i, l)| (&unlabeled_prepared[*i], l.as_slice()))
+        .collect();
+    let pseudo_trace = classifier.finetune(&pseudo_pairs, pseudo_config, rng);
+
+    // Step 5: fine-tune on the gold labels.
+    let gold_trace = classifier.finetune(gold, gold_config, rng);
+    (pseudo_trace, gold_trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::data::{block_tag_scheme, build_tokenizer, prepare_document, sentence_iob_labels};
+    use crate::encoder::HierarchicalEncoder;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+    use resuformer_tensor::init::seeded_rng;
+
+    /// A fake teacher that emits the gold labels (upper bound) — exercises
+    /// the Algorithm 1 plumbing without the baselines crate. Documents are
+    /// recognised by token count.
+    struct OracleTeacher {
+        by_tokens: Vec<(usize, Vec<usize>)>,
+    }
+
+    impl SentenceTeacher for OracleTeacher {
+        fn pseudo_labels(&self, doc: &Document) -> Vec<usize> {
+            self.by_tokens
+                .iter()
+                .find(|(n, _)| *n == doc.num_tokens())
+                .map(|(_, l)| l.clone())
+                .expect("known document")
+        }
+    }
+
+    #[test]
+    fn algorithm1_improves_over_no_distillation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let resumes: Vec<_> = (0..3)
+            .map(|_| generate_resume(&mut rng, &GeneratorConfig::smoke()))
+            .collect();
+        let wp = build_tokenizer(
+            resumes.iter().flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
+            1,
+        );
+        let config = ModelConfig::tiny(wp.vocab.len());
+        let scheme = block_tag_scheme();
+        let prepared: Vec<(DocumentInput, Vec<usize>)> = resumes
+            .iter()
+            .map(|r| {
+                let (input, sentences) = prepare_document(&r.doc, &wp, &config);
+                let labels = sentence_iob_labels(r, &sentences, &scheme);
+                (input, labels)
+            })
+            .collect();
+
+        let teacher = OracleTeacher {
+            by_tokens: resumes
+                .iter()
+                .zip(prepared.iter())
+                .map(|(r, (_, l))| (r.doc.num_tokens(), l.clone()))
+                .collect(),
+        };
+
+        let mut mrng = seeded_rng(32);
+        let enc = HierarchicalEncoder::new(&mut mrng, &config);
+        let clf = BlockClassifier::new(&mut mrng, &config, enc);
+
+        // Unlabeled pool = docs 1..3; gold = doc 0.
+        let unlabeled_raw: Vec<&Document> = resumes[1..].iter().map(|r| &r.doc).collect();
+        let unlabeled_prepared: Vec<DocumentInput> =
+            prepared[1..].iter().map(|(d, _)| d.clone()).collect();
+        let gold: Vec<(&DocumentInput, &[usize])> =
+            vec![(&prepared[0].0, prepared[0].1.as_slice())];
+
+        let pseudo_cfg = FinetuneConfig { epochs: 15, ..Default::default() };
+        let gold_cfg = FinetuneConfig { epochs: 2, ..Default::default() };
+        let (pseudo_trace, gold_trace) = distill_then_finetune(
+            &clf,
+            &teacher,
+            &unlabeled_raw,
+            &unlabeled_prepared,
+            &gold,
+            &pseudo_cfg,
+            &gold_cfg,
+            &mut mrng,
+        );
+        assert_eq!(pseudo_trace.len(), 15);
+        assert_eq!(gold_trace.len(), 2);
+        assert!(
+            pseudo_trace.last().unwrap() < &pseudo_trace[0],
+            "pseudo-label training should reduce loss"
+        );
+
+        // Held-out check: accuracy on an unlabeled-pool document whose gold
+        // labels the classifier saw only through the teacher.
+        let mut prng = seeded_rng(33);
+        let pred = clf.predict(&prepared[1].0, &mut prng);
+        let correct = pred
+            .iter()
+            .zip(prepared[1].1.iter())
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(
+            correct as f32 / pred.len() as f32 > 0.5,
+            "distilled model should learn from pseudo labels"
+        );
+    }
+}

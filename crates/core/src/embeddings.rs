@@ -1,0 +1,235 @@
+//! Text and layout embeddings (Eq. 1 and Eq. 2).
+//!
+//! * [`TextEmbedding`]: word + 1-D position + segment embeddings, summed
+//!   (Eq. 1).
+//! * [`LayoutEmbedding`]: the concatenation
+//!   `[emb_page(p) ; emb_x(x_min, x_max, width) ; emb_y(y_min, y_max, height)]`
+//!   of Eq. 2, where each axis embedding is the sum of its three component
+//!   lookups over bucketised `[0, 1000]` coordinates. The concatenated
+//!   width equals the model width so layout adds directly onto text.
+
+use rand::Rng;
+use resuformer_doc::{LayoutTuple, COORD_RANGE};
+use resuformer_nn::{Embedding, Module};
+use resuformer_tensor::ops;
+use resuformer_tensor::Tensor;
+
+use crate::config::ModelConfig;
+
+/// Word + 1-D position + segment embedding (Eq. 1).
+pub struct TextEmbedding {
+    word: Embedding,
+    position: Embedding,
+    segment: Embedding,
+}
+
+impl TextEmbedding {
+    /// New text embedding for a model configuration.
+    pub fn new(rng: &mut impl Rng, config: &ModelConfig, max_positions: usize) -> Self {
+        TextEmbedding {
+            word: Embedding::new(rng, config.vocab_size, config.hidden),
+            position: Embedding::new(rng, max_positions, config.hidden),
+            segment: Embedding::new(rng, 2, config.hidden),
+        }
+    }
+
+    /// Embed a token-id sequence (segment `[A]` throughout, as both of the
+    /// paper's encoders consume single-segment inputs). Positions beyond
+    /// the table clamp to the final slot rather than panicking.
+    pub fn forward(&self, token_ids: &[usize]) -> Tensor {
+        let n = token_ids.len();
+        let max_pos = self.position.num() - 1;
+        let positions: Vec<usize> = (0..n).map(|i| i.min(max_pos)).collect();
+        let segments = vec![0usize; n];
+        let w = self.word.forward(token_ids);
+        let p = self.position.forward(&positions);
+        let g = self.segment.forward(&segments);
+        ops::add(&ops::add(&w, &p), &g)
+    }
+
+    /// The word-embedding table (shared with the MLM output head).
+    pub fn word_table(&self) -> &Tensor {
+        &self.word.table
+    }
+}
+
+impl Module for TextEmbedding {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.word.parameters();
+        p.extend(self.position.parameters());
+        p.extend(self.segment.parameters());
+        p
+    }
+}
+
+/// The 2-D layout embedding of Eq. 2.
+pub struct LayoutEmbedding {
+    page: Embedding,
+    x: Embedding,
+    y: Embedding,
+    buckets: usize,
+    page_dim: usize,
+}
+
+impl LayoutEmbedding {
+    /// New layout embedding. The output width equals `config.hidden`,
+    /// split `hidden/4` for the page embedding and `3·hidden/8` per axis.
+    pub fn new(rng: &mut impl Rng, config: &ModelConfig) -> Self {
+        let page_dim = config.hidden / 4;
+        let axis_dim = (config.hidden - page_dim) / 2;
+        LayoutEmbedding {
+            page: Embedding::new(rng, config.max_pages, page_dim),
+            x: Embedding::new(rng, config.coord_buckets, axis_dim),
+            y: Embedding::new(rng, config.coord_buckets, axis_dim),
+            buckets: config.coord_buckets,
+            page_dim,
+        }
+    }
+
+    fn bucket(&self, coord: usize) -> usize {
+        (coord * self.buckets) / (COORD_RANGE + 1)
+    }
+
+    /// Embed a sequence of layout tuples → `[n, hidden]`.
+    pub fn forward(&self, layouts: &[LayoutTuple]) -> Tensor {
+        let max_page = self.page.num() - 1;
+        let pages: Vec<usize> = layouts.iter().map(|l| l.page.min(max_page)).collect();
+        let xs_min: Vec<usize> = layouts.iter().map(|l| self.bucket(l.x_min)).collect();
+        let xs_max: Vec<usize> = layouts.iter().map(|l| self.bucket(l.x_max)).collect();
+        let ws: Vec<usize> = layouts.iter().map(|l| self.bucket(l.width)).collect();
+        let ys_min: Vec<usize> = layouts.iter().map(|l| self.bucket(l.y_min)).collect();
+        let ys_max: Vec<usize> = layouts.iter().map(|l| self.bucket(l.y_max)).collect();
+        let hs: Vec<usize> = layouts.iter().map(|l| self.bucket(l.height)).collect();
+
+        let page = self.page.forward(&pages);
+        let x = ops::add(
+            &ops::add(&self.x.forward(&xs_min), &self.x.forward(&xs_max)),
+            &self.x.forward(&ws),
+        );
+        let y = ops::add(
+            &ops::add(&self.y.forward(&ys_min), &self.y.forward(&ys_max)),
+            &self.y.forward(&hs),
+        );
+        ops::concat_cols(&[page, x, y])
+    }
+
+    /// Output width (== model hidden width by construction).
+    pub fn out_dim(&self) -> usize {
+        self.page_dim + 2 * self.x.dim()
+    }
+}
+
+impl Module for LayoutEmbedding {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.page.parameters();
+        p.extend(self.x.parameters());
+        p.extend(self.y.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resuformer_tensor::init::seeded_rng;
+
+    fn tuple(x0: usize, y0: usize, x1: usize, y1: usize, page: usize) -> LayoutTuple {
+        LayoutTuple {
+            x_min: x0,
+            y_min: y0,
+            x_max: x1,
+            y_max: y1,
+            width: x1 - x0,
+            height: y1 - y0,
+            page,
+        }
+    }
+
+    #[test]
+    fn text_embedding_shape_and_sum() {
+        let mut rng = seeded_rng(1);
+        let cfg = ModelConfig::tiny(100);
+        let e = TextEmbedding::new(&mut rng, &cfg, 64);
+        let out = e.forward(&[2, 7, 7]);
+        assert_eq!(out.dims(), vec![3, cfg.hidden]);
+        // Same word at different positions embeds differently.
+        let v = out.value();
+        assert_ne!(v.row(1), v.row(2));
+    }
+
+    #[test]
+    fn layout_embedding_width_matches_hidden() {
+        let mut rng = seeded_rng(2);
+        let cfg = ModelConfig::tiny(100);
+        let e = LayoutEmbedding::new(&mut rng, &cfg);
+        assert_eq!(e.out_dim(), cfg.hidden);
+        let out = e.forward(&[tuple(0, 0, 100, 20, 0), tuple(900, 950, 1000, 1000, 1)]);
+        assert_eq!(out.dims(), vec![2, cfg.hidden]);
+    }
+
+    #[test]
+    fn distinct_positions_embed_distinctly() {
+        let mut rng = seeded_rng(3);
+        let cfg = ModelConfig::tiny(100);
+        let e = LayoutEmbedding::new(&mut rng, &cfg);
+        let out = e
+            .forward(&[tuple(0, 0, 100, 20, 0), tuple(600, 500, 900, 520, 0)])
+            .value();
+        assert_ne!(out.row(0), out.row(1));
+    }
+
+    #[test]
+    fn page_indices_clamp_to_table() {
+        let mut rng = seeded_rng(4);
+        let cfg = ModelConfig::tiny(100);
+        let e = LayoutEmbedding::new(&mut rng, &cfg);
+        // Page 99 exceeds max_pages; must clamp, not panic.
+        let out = e.forward(&[tuple(0, 0, 10, 10, 99)]);
+        assert_eq!(out.dims(), vec![1, cfg.hidden]);
+    }
+
+    #[test]
+    fn boundary_coordinates_bucket_in_range() {
+        let mut rng = seeded_rng(5);
+        let cfg = ModelConfig::tiny(100);
+        let e = LayoutEmbedding::new(&mut rng, &cfg);
+        // 1000 (inclusive upper bound) must not overflow the bucket table.
+        let out = e.forward(&[tuple(1000, 1000, 1000, 1000, 0)]);
+        assert_eq!(out.dims(), vec![1, cfg.hidden]);
+    }
+
+    #[test]
+    fn gradients_reach_all_tables() {
+        let mut rng = seeded_rng(6);
+        let cfg = ModelConfig::tiny(100);
+        let te = TextEmbedding::new(&mut rng, &cfg, 16);
+        let le = LayoutEmbedding::new(&mut rng, &cfg);
+        let out = ops::add(
+            &te.forward(&[1, 2, 3]),
+            &le.forward(&[tuple(0, 0, 10, 10, 0); 3]),
+        );
+        ops::mean_all(&ops::square(&out)).backward();
+        for p in te.parameters().iter().chain(le.parameters().iter()) {
+            assert!(p.grad().is_some(), "missing gradient on an embedding table");
+        }
+    }
+}
+
+#[cfg(test)]
+mod clamp_tests {
+    use super::*;
+    use resuformer_tensor::init::seeded_rng;
+
+    #[test]
+    fn over_long_sequences_clamp_position_instead_of_panicking() {
+        let mut rng = seeded_rng(81);
+        let cfg = crate::config::ModelConfig::tiny(50);
+        let e = TextEmbedding::new(&mut rng, &cfg, 4);
+        let out = e.forward(&[1; 10]); // 10 tokens > 4 positions
+        assert_eq!(out.dims(), vec![10, cfg.hidden]);
+        // Positions 4..10 share the final slot: identical rows.
+        let v = out.value();
+        assert_eq!(v.row(4), v.row(9));
+        assert_ne!(v.row(0), v.row(1));
+    }
+}

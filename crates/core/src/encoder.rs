@@ -1,0 +1,341 @@
+//! The hierarchical multi-modal Transformer encoder (§IV-A1, Figure 2).
+//!
+//! * [`SentenceEncoder`]: a BERT-style encoder over WordPiece tokens with
+//!   text (Eq. 1) + layout (Eq. 2) input embeddings; the `[CLS]` output is
+//!   passed through a dense layer and L2-normalised to give the sentence
+//!   representation `h_j`.
+//! * [`DocumentEncoder`]: consumes the two-modal sentence embeddings
+//!   `h*_j = [h_j ; v_j]` (sentence rep ⊕ visual region feature) plus
+//!   sentence-level layout/position/segment embeddings, producing
+//!   contextual representations `h'_j`.
+//! * [`HierarchicalEncoder`] wires both together with the frozen
+//!   [`VisualExtractor`], and exposes the intermediates the pre-training
+//!   objectives need.
+
+use rand::Rng;
+use resuformer_nn::{Embedding, Linear, Module, TransformerEncoder};
+use resuformer_doc::LayoutTuple;
+use resuformer_tensor::ops;
+use resuformer_tensor::{NdArray, Tensor};
+
+use crate::config::ModelConfig;
+use crate::data::{DocumentInput, SentenceInput};
+use crate::embeddings::{LayoutEmbedding, TextEmbedding};
+use crate::visual::VisualExtractor;
+
+/// Modality switches for the document-level encoder (used by the extra
+/// ablation benches; both on reproduces the paper's model).
+#[derive(Clone, Copy, Debug)]
+pub struct ModalityConfig {
+    /// Feed visual region features (off → zeros).
+    pub use_visual: bool,
+    /// Feed sentence-level layout embeddings (off → omitted).
+    pub use_layout: bool,
+}
+
+impl Default for ModalityConfig {
+    fn default() -> Self {
+        ModalityConfig { use_visual: true, use_layout: true }
+    }
+}
+
+/// Sentence-level Transformer encoder (6 layers in the paper).
+pub struct SentenceEncoder {
+    text: TextEmbedding,
+    layout: LayoutEmbedding,
+    encoder: TransformerEncoder,
+    pool: Linear,
+}
+
+impl SentenceEncoder {
+    /// New sentence encoder.
+    pub fn new(rng: &mut impl Rng, config: &ModelConfig) -> Self {
+        SentenceEncoder {
+            text: TextEmbedding::new(rng, config, config.max_sent_tokens),
+            layout: LayoutEmbedding::new(rng, config),
+            encoder: TransformerEncoder::new(
+                rng,
+                config.sent_layers,
+                config.hidden,
+                config.heads,
+                config.ff,
+                config.dropout,
+            ),
+            pool: Linear::new(rng, config.hidden, config.hidden),
+        }
+    }
+
+    /// Input embeddings `o + u` (Eq. 1 + Eq. 2) for a token sequence.
+    fn input_embeddings(&self, ids: &[usize], layouts: &[LayoutTuple]) -> Tensor {
+        ops::add(&self.text.forward(ids), &self.layout.forward(layouts))
+    }
+
+    /// Contextual token outputs `[T, hidden]` (used by the MLM objective
+    /// and the token-level baselines).
+    pub fn forward_tokens(
+        &self,
+        ids: &[usize],
+        layouts: &[LayoutTuple],
+        train: bool,
+        rng: &mut impl Rng,
+    ) -> Tensor {
+        let x = self.input_embeddings(ids, layouts);
+        self.encoder.forward(&x, None, train, rng)
+    }
+
+    /// Sentence representation `h_j`: `[CLS]` output → dense → L2 norm,
+    /// as a `[1, hidden]` row.
+    pub fn encode(&self, s: &SentenceInput, train: bool, rng: &mut impl Rng) -> Tensor {
+        let out = self.forward_tokens(&s.token_ids, &s.token_layouts, train, rng);
+        let cls = ops::slice_rows(&out, 0, 1);
+        ops::l2_normalize_rows(&self.pool.forward(&cls), 1e-6)
+    }
+
+    /// The word-embedding table (tied MLM output head).
+    pub fn word_table(&self) -> &Tensor {
+        self.text.word_table()
+    }
+
+    /// Apply the pooling dense layer (exposed for the pre-trainer, which
+    /// computes sentence reps from its own masked token pass).
+    pub fn pool_forward(&self, cls: &Tensor) -> Tensor {
+        self.pool.forward(cls)
+    }
+}
+
+impl Module for SentenceEncoder {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.text.parameters();
+        p.extend(self.layout.parameters());
+        p.extend(self.encoder.parameters());
+        p.extend(self.pool.parameters());
+        p
+    }
+}
+
+/// Document-level Transformer encoder (4 layers in the paper).
+pub struct DocumentEncoder {
+    proj: Linear,
+    layout: LayoutEmbedding,
+    position: Embedding,
+    segment: Embedding,
+    encoder: TransformerEncoder,
+    hidden: usize,
+    visual_dim: usize,
+}
+
+impl DocumentEncoder {
+    /// New document encoder.
+    pub fn new(rng: &mut impl Rng, config: &ModelConfig) -> Self {
+        DocumentEncoder {
+            proj: Linear::new(rng, config.hidden + config.visual_dim, config.hidden),
+            layout: LayoutEmbedding::new(rng, config),
+            position: Embedding::new(rng, config.max_doc_sentences, config.hidden),
+            segment: Embedding::new(rng, 2, config.hidden),
+            encoder: TransformerEncoder::new(
+                rng,
+                config.doc_layers,
+                config.hidden,
+                config.heads,
+                config.ff,
+                config.dropout,
+            ),
+            hidden: config.hidden,
+            visual_dim: config.visual_dim,
+        }
+    }
+
+    /// Width of the two-modal concat `[h ; v]` this encoder consumes.
+    pub fn input_dim(&self) -> usize {
+        self.hidden + self.visual_dim
+    }
+
+    /// Build the document-level input embeddings from the two-modal
+    /// sentence embeddings `h*` (`[m, hidden + visual]`): projection +
+    /// layout + 1-D position + segment.
+    pub fn input_reps(
+        &self,
+        h_star: &Tensor,
+        layouts: &[LayoutTuple],
+        modality: ModalityConfig,
+    ) -> Tensor {
+        let m = h_star.dims()[0];
+        assert_eq!(layouts.len(), m, "layouts/sentences mismatch");
+        // Clamp positions so over-long documents degrade (shared final
+        // position) instead of panicking on the table lookup.
+        let max_pos = self.position.num() - 1;
+        let positions: Vec<usize> = (0..m).map(|i| i.min(max_pos)).collect();
+        let segments = vec![0usize; m];
+        let mut x = self.proj.forward(h_star);
+        if modality.use_layout {
+            x = ops::add(&x, &self.layout.forward(layouts));
+        }
+        x = ops::add(&x, &self.position.forward(&positions));
+        ops::add(&x, &self.segment.forward(&segments))
+    }
+
+    /// Run the encoder over prepared input embeddings → `[m, hidden]`.
+    pub fn forward(&self, input_reps: &Tensor, train: bool, rng: &mut impl Rng) -> Tensor {
+        self.encoder.forward(input_reps, None, train, rng)
+    }
+}
+
+impl Module for DocumentEncoder {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.proj.parameters();
+        p.extend(self.layout.parameters());
+        p.extend(self.position.parameters());
+        p.extend(self.segment.parameters());
+        p.extend(self.encoder.parameters());
+        p
+    }
+}
+
+/// The full hierarchical multi-modal encoder.
+pub struct HierarchicalEncoder {
+    /// Sentence-level encoder.
+    pub sentence: SentenceEncoder,
+    /// Document-level encoder.
+    pub document: DocumentEncoder,
+    /// Frozen visual extractor.
+    pub visual: VisualExtractor,
+    /// Modality switches (both on = the paper's model).
+    pub modality: ModalityConfig,
+    hidden: usize,
+}
+
+impl HierarchicalEncoder {
+    /// New encoder with all modalities enabled.
+    pub fn new(rng: &mut impl Rng, config: &ModelConfig) -> Self {
+        config.validate();
+        HierarchicalEncoder {
+            sentence: SentenceEncoder::new(rng, config),
+            document: DocumentEncoder::new(rng, config),
+            visual: VisualExtractor::new(rng, config.visual_dim),
+            modality: ModalityConfig::default(),
+            hidden: config.hidden,
+        }
+    }
+
+    /// Model width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Two-modal sentence embeddings `H* = {[h_j ; v_j]}` → `[m, h+v]`.
+    pub fn sentence_reps(&self, doc: &DocumentInput, train: bool, rng: &mut impl Rng) -> Tensor {
+        assert!(!doc.is_empty(), "cannot encode an empty document");
+        let h_rows: Vec<Tensor> = doc
+            .sentences
+            .iter()
+            .map(|s| self.sentence.encode(s, train, rng))
+            .collect();
+        let h = ops::concat_rows(&h_rows);
+        let v = if self.modality.use_visual {
+            let patches: Vec<Vec<f32>> = doc.sentences.iter().map(|s| s.patch.clone()).collect();
+            self.visual.extract_batch(&patches)
+        } else {
+            Tensor::constant(NdArray::zeros([doc.len(), self.visual.dim()]))
+        };
+        ops::concat_cols(&[h, v])
+    }
+
+    /// Sentence-level layout tuples of a document.
+    pub fn doc_layouts(doc: &DocumentInput) -> Vec<LayoutTuple> {
+        doc.sentences.iter().map(|s| s.layout).collect()
+    }
+
+    /// Full forward: document → contextual sentence representations
+    /// `H_d = {h'_j}` (`[m, hidden]`).
+    pub fn encode_document(&self, doc: &DocumentInput, train: bool, rng: &mut impl Rng) -> Tensor {
+        let h_star = self.sentence_reps(doc, train, rng);
+        let layouts = Self::doc_layouts(doc);
+        let input = self.document.input_reps(&h_star, &layouts, self.modality);
+        self.document.forward(&input, train, rng)
+    }
+}
+
+impl Module for HierarchicalEncoder {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.sentence.parameters();
+        p.extend(self.document.parameters());
+        // visual is frozen: contributes nothing.
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{build_tokenizer, prepare_document};
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+    use resuformer_tensor::init::seeded_rng;
+
+    fn sample_input() -> (DocumentInput, ModelConfig) {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let r = generate_resume(&mut rng, &GeneratorConfig::smoke());
+        let wp = build_tokenizer(r.doc.tokens.iter().map(|t| t.text.clone()), 1);
+        let config = ModelConfig::tiny(wp.vocab.len());
+        let (input, _) = prepare_document(&r.doc, &wp, &config);
+        (input, config)
+    }
+
+    #[test]
+    fn sentence_reps_are_unit_norm() {
+        let (input, config) = sample_input();
+        let enc = HierarchicalEncoder::new(&mut seeded_rng(2), &config);
+        let mut rng = seeded_rng(3);
+        let h = enc.sentence.encode(&input.sentences[0], false, &mut rng).value();
+        let norm: f32 = h.data().iter().map(|&v| v * v).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4, "norm {}", norm);
+    }
+
+    #[test]
+    fn encode_document_shape() {
+        let (input, config) = sample_input();
+        let enc = HierarchicalEncoder::new(&mut seeded_rng(4), &config);
+        let mut rng = seeded_rng(5);
+        let out = enc.encode_document(&input, false, &mut rng);
+        assert_eq!(out.dims(), vec![input.len(), config.hidden]);
+        assert!(out.value().all_finite());
+    }
+
+    #[test]
+    fn disabling_visual_changes_output() {
+        let (input, config) = sample_input();
+        let mut enc = HierarchicalEncoder::new(&mut seeded_rng(6), &config);
+        let a = enc.encode_document(&input, false, &mut seeded_rng(0)).value();
+        enc.modality.use_visual = false;
+        let b = enc.encode_document(&input, false, &mut seeded_rng(0)).value();
+        assert_ne!(a.data(), b.data(), "visual modality must affect the output");
+    }
+
+    #[test]
+    fn gradients_flow_to_both_levels() {
+        let (input, config) = sample_input();
+        let enc = HierarchicalEncoder::new(&mut seeded_rng(7), &config);
+        let mut rng = seeded_rng(8);
+        let out = enc.encode_document(&input, false, &mut rng);
+        ops::mean_all(&ops::square(&out)).backward();
+        let with_grad = enc
+            .parameters()
+            .iter()
+            .filter(|p| p.grad().is_some())
+            .count();
+        // Every parameter except unused embedding rows should get a grad;
+        // at minimum, both encoders contribute.
+        assert!(with_grad > enc.document.parameters().len());
+    }
+
+    #[test]
+    fn paper_config_parameter_count_is_plausible() {
+        // Sanity: the paper-scale encoder should land in the tens of
+        // millions of parameters (RoBERTa-6L class).
+        let config = ModelConfig::paper(21_128);
+        let enc = HierarchicalEncoder::new(&mut seeded_rng(9), &config);
+        let n = enc.num_parameters();
+        assert!(n > 30_000_000 && n < 200_000_000, "params {}", n);
+    }
+}

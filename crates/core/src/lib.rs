@@ -1,0 +1,51 @@
+//! # resuformer
+//!
+//! A from-scratch Rust reproduction of **ResuFormer: Semantic Structure
+//! Understanding for Resumes via Multi-Modal Pre-training** (ICDE 2023).
+//!
+//! ResuFormer decomposes resume understanding into two tasks:
+//!
+//! 1. **Resume block classification** — sentence-level IOB labeling of the
+//!    eight semantic block classes, using a *hierarchical multi-modal
+//!    Transformer*: a sentence-level encoder over tokens+layout
+//!    ([`encoder::SentenceEncoder`]), and a document-level encoder over
+//!    sentence representations + visual region features + sentence layout
+//!    ([`encoder::DocumentEncoder`]). The encoder is pre-trained with three
+//!    self-supervised objectives ([`pretrain`]): the masked layout-language
+//!    model, self-supervised contrastive learning over dynamically masked
+//!    sentences, and dynamic next-sentence prediction. Fine-tuning stacks a
+//!    BiLSTM+MLP+CRF head ([`block_classifier::BlockClassifier`]), and
+//!    knowledge distillation from a token-level teacher augments the
+//!    labeled data ([`distill`], Algorithm 1).
+//!
+//! 2. **Intra-block information extraction** — token-level NER inside each
+//!    segmented block, trained with *distant supervision*: dictionaries /
+//!    matchers / heuristics auto-annotate the data ([`annotate`]), a
+//!    BERT+BiLSTM+MLP tagger ([`ner::NerModel`]) is trained through the
+//!    self-distillation self-training loop of Algorithm 2
+//!    ([`self_training`]) with squared-re-weighted soft labels (Eq. 9) and
+//!    high-confidence token selection (Eq. 11).
+//!
+//! [`pipeline::ResumeParser`] glues both stages into the end-to-end
+//! resume → structured-record parser deployed in the paper's case study.
+
+#![warn(missing_docs)]
+
+pub mod annotate;
+pub mod block_classifier;
+pub mod config;
+pub mod data;
+pub mod distill;
+pub mod embeddings;
+pub mod encoder;
+pub mod ner;
+pub mod pipeline;
+pub mod pretrain;
+pub mod self_training;
+pub mod visual;
+
+pub use block_classifier::BlockClassifier;
+pub use config::{ModelConfig, PretrainConfig};
+pub use data::{block_tag_scheme, entity_tag_scheme, DocumentInput};
+pub use encoder::HierarchicalEncoder;
+pub use pipeline::ResumeParser;

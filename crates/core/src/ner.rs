@@ -1,0 +1,244 @@
+//! The distantly-supervised NER model (§IV-B3): BERT + BiLSTM + MLP.
+//!
+//! Token-level, text-only (the paper's intra-block extractor does not use
+//! layout), producing per-token logits over the 25 entity IOB labels.
+//! Prediction is per-token argmax (the MLP head of the paper, in contrast
+//! to the CRF-decoding baselines).
+
+use rand::Rng;
+use resuformer_nn::linear::Activation;
+use resuformer_nn::{BiLstm, Mlp, Module, TransformerEncoder};
+use resuformer_text::TagScheme;
+use resuformer_tensor::ops;
+use resuformer_tensor::Tensor;
+
+use crate::config::ModelConfig;
+use crate::data::entity_tag_scheme;
+use crate::embeddings::TextEmbedding;
+
+/// Architecture of the NER tagger.
+#[derive(Clone, Copy, Debug)]
+pub struct NerConfig {
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Encoder width.
+    pub hidden: usize,
+    /// Encoder depth (paper: 12-layer RoBERTa; scaled down here).
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward width.
+    pub ff: usize,
+    /// BiLSTM hidden size per direction (paper: 256).
+    pub lstm_hidden: usize,
+    /// Maximum sequence length.
+    pub max_len: usize,
+}
+
+impl NerConfig {
+    /// CPU-scale configuration.
+    pub fn tiny(vocab_size: usize) -> Self {
+        NerConfig { vocab_size, hidden: 32, layers: 2, heads: 2, ff: 64, lstm_hidden: 16, max_len: 96 }
+    }
+
+    /// Derive from a [`ModelConfig`].
+    pub fn from_model(config: &ModelConfig) -> Self {
+        NerConfig {
+            vocab_size: config.vocab_size,
+            hidden: config.hidden,
+            layers: config.sent_layers,
+            heads: config.heads,
+            ff: config.ff,
+            lstm_hidden: (config.hidden / 2).max(4),
+            max_len: 128,
+        }
+    }
+}
+
+/// BERT+BiLSTM+MLP token tagger over the entity IOB labels.
+pub struct NerModel {
+    embed: TextEmbedding,
+    encoder: TransformerEncoder,
+    bilstm: BiLstm,
+    mlp: Mlp,
+    scheme: TagScheme,
+    config: NerConfig,
+}
+
+impl NerModel {
+    /// New model.
+    pub fn new(rng: &mut impl Rng, config: NerConfig) -> Self {
+        let scheme = entity_tag_scheme();
+        let model_cfg = ModelConfig {
+            vocab_size: config.vocab_size,
+            hidden: config.hidden,
+            sent_layers: config.layers,
+            doc_layers: 1,
+            heads: config.heads,
+            ff: config.ff,
+            dropout: 0.0,
+            max_sent_tokens: config.max_len,
+            max_doc_sentences: 2,
+            visual_dim: 8,
+            coord_buckets: 8,
+            max_pages: 2,
+        };
+        NerModel {
+            embed: TextEmbedding::new(rng, &model_cfg, config.max_len),
+            encoder: TransformerEncoder::new(
+                rng,
+                config.layers,
+                config.hidden,
+                config.heads,
+                config.ff,
+                0.0,
+            ),
+            bilstm: BiLstm::new(rng, config.hidden, config.lstm_hidden),
+            mlp: Mlp::new(
+                rng,
+                &[2 * config.lstm_hidden, config.hidden, scheme.num_labels()],
+                Activation::Tanh,
+            ),
+            scheme,
+            config,
+        }
+    }
+
+    /// A fresh model with identical architecture (for the teacher/student
+    /// pair of Algorithm 2).
+    pub fn new_like(&self, rng: &mut impl Rng) -> NerModel {
+        NerModel::new(rng, self.config)
+    }
+
+    /// The entity tag scheme.
+    pub fn scheme(&self) -> &TagScheme {
+        &self.scheme
+    }
+
+    /// Truncate ids to the model maximum.
+    fn clip<'a>(&self, ids: &'a [usize]) -> &'a [usize] {
+        &ids[..ids.len().min(self.config.max_len)]
+    }
+
+    /// Per-token logits `[T, labels]`.
+    pub fn logits(&self, token_ids: &[usize], train: bool, rng: &mut impl Rng) -> Tensor {
+        let ids = self.clip(token_ids);
+        assert!(!ids.is_empty(), "empty NER input");
+        let x = self.embed.forward(ids);
+        let h = self.encoder.forward(&x, None, train, rng);
+        self.mlp.forward(&self.bilstm.forward(&h))
+    }
+
+    /// Per-token probability rows `[T, labels]` (softmax of logits).
+    pub fn probs(&self, token_ids: &[usize], rng: &mut impl Rng) -> Tensor {
+        ops::softmax_rows(&self.logits(token_ids, false, rng))
+    }
+
+    /// Cross-entropy loss against hard labels.
+    pub fn loss(&self, token_ids: &[usize], labels: &[usize], rng: &mut impl Rng) -> Tensor {
+        let ids = self.clip(token_ids);
+        let labels = &labels[..ids.len()];
+        let logits = self.logits(ids, true, rng);
+        ops::cross_entropy_rows(&logits, labels, None)
+    }
+
+    /// Argmax-decoded labels (clipped to `max_len`, padded with O beyond).
+    pub fn predict(&self, token_ids: &[usize], rng: &mut impl Rng) -> Vec<usize> {
+        let ids = self.clip(token_ids);
+        if ids.is_empty() {
+            return vec![self.scheme.outside(); token_ids.len()];
+        }
+        let logits = self.logits(ids, false, rng).value();
+        let labels = self.scheme.num_labels();
+        let mut out: Vec<usize> = (0..ids.len())
+            .map(|t| {
+                let row = logits.row(t);
+                let mut best = 0;
+                let mut best_v = f32::NEG_INFINITY;
+                for (j, &v) in row.iter().enumerate().take(labels) {
+                    if v > best_v {
+                        best_v = v;
+                        best = j;
+                    }
+                }
+                best
+            })
+            .collect();
+        out.resize(token_ids.len(), self.scheme.outside());
+        out
+    }
+}
+
+impl Module for NerModel {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.embed.parameters();
+        p.extend(self.encoder.parameters());
+        p.extend(self.bilstm.parameters());
+        p.extend(self.mlp.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resuformer_nn::Adam;
+    use resuformer_tensor::init::seeded_rng;
+
+    #[test]
+    fn shapes_and_prediction_range() {
+        let mut rng = seeded_rng(1);
+        let m = NerModel::new(&mut rng, NerConfig::tiny(50));
+        let ids = vec![2, 10, 11, 12];
+        let logits = m.logits(&ids, false, &mut rng);
+        assert_eq!(logits.dims(), vec![4, m.scheme().num_labels()]);
+        let pred = m.predict(&ids, &mut rng);
+        assert_eq!(pred.len(), 4);
+        assert!(pred.iter().all(|&l| l < m.scheme().num_labels()));
+    }
+
+    #[test]
+    fn long_inputs_clip_and_pad_with_outside() {
+        let mut rng = seeded_rng(2);
+        let mut cfg = NerConfig::tiny(50);
+        cfg.max_len = 4;
+        let m = NerModel::new(&mut rng, cfg);
+        let ids = vec![7; 10];
+        let pred = m.predict(&ids, &mut rng);
+        assert_eq!(pred.len(), 10);
+        assert!(pred[4..].iter().all(|&l| l == m.scheme().outside()));
+    }
+
+    #[test]
+    fn new_like_matches_architecture() {
+        let mut rng = seeded_rng(3);
+        let a = NerModel::new(&mut rng, NerConfig::tiny(50));
+        let b = a.new_like(&mut rng);
+        assert_eq!(a.num_parameters(), b.num_parameters());
+        // Parameters can be copied across (used by Algorithm 2).
+        b.copy_parameters_from(&a);
+        let mut r1 = seeded_rng(4);
+        let mut r2 = seeded_rng(4);
+        let ids = vec![2, 9, 9];
+        assert_eq!(
+            a.logits(&ids, false, &mut r1).value().data(),
+            b.logits(&ids, false, &mut r2).value().data()
+        );
+    }
+
+    #[test]
+    fn trains_to_memorise_tags() {
+        let mut rng = seeded_rng(5);
+        let m = NerModel::new(&mut rng, NerConfig::tiny(50));
+        let ids = vec![2, 10, 11, 12, 13];
+        let labels = vec![0, 1, 2, 0, 3];
+        let mut opt = Adam::new(m.parameters(), 3e-3, 0.0);
+        for _ in 0..60 {
+            opt.zero_grad();
+            let loss = m.loss(&ids, &labels, &mut rng);
+            loss.backward();
+            opt.step();
+        }
+        assert_eq!(m.predict(&ids, &mut rng), labels);
+    }
+}

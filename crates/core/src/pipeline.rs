@@ -1,0 +1,271 @@
+//! End-to-end resume parsing: block classification → block segmentation →
+//! intra-block NER → structured record (the deployment path of §V-B7).
+
+use std::time::Instant;
+
+use rand::Rng;
+use resuformer_datagen::{BlockType, Dictionaries, EntityType};
+use resuformer_doc::{Document, Sentence};
+use resuformer_text::{decode_spans, TagScheme, Vocab, WordPiece};
+
+use crate::annotate;
+use crate::block_classifier::BlockClassifier;
+use crate::config::ModelConfig;
+use crate::data::{entity_tag_scheme, prepare_document};
+use crate::ner::NerModel;
+
+/// One extracted entity: class + surface text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExtractedEntity {
+    /// Entity class.
+    pub entity: EntityType,
+    /// Surface form (space-joined tokens).
+    pub text: String,
+}
+
+/// One segmented block with its extracted entities.
+#[derive(Clone, Debug)]
+pub struct ParsedBlock {
+    /// Predicted semantic class.
+    pub block_type: BlockType,
+    /// Sentence index range `[start, end)` within the document.
+    pub sentence_range: (usize, usize),
+    /// Block text (space-joined words).
+    pub text: String,
+    /// Entities extracted by the intra-block NER stage.
+    pub entities: Vec<ExtractedEntity>,
+}
+
+/// The parser's output for one resume.
+#[derive(Clone, Debug)]
+pub struct ParsedResume {
+    /// Segmented, typed, entity-annotated blocks in reading order.
+    pub blocks: Vec<ParsedBlock>,
+    /// Wall-clock seconds spent in block classification.
+    pub classify_seconds: f64,
+    /// Wall-clock seconds spent in intra-block extraction.
+    pub extract_seconds: f64,
+}
+
+impl ParsedResume {
+    /// All entities of a class across blocks.
+    pub fn entities_of(&self, entity: EntityType) -> Vec<&str> {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.entities.iter())
+            .filter(|e| e.entity == entity)
+            .map(|e| e.text.as_str())
+            .collect()
+    }
+}
+
+/// The end-to-end parser: a trained block classifier + a trained NER model
+/// + the shared tokenizers.
+pub struct ResumeParser {
+    /// Sentence-level block classifier (hierarchical encoder inside).
+    pub classifier: BlockClassifier,
+    /// Token-level entity tagger.
+    pub ner: NerModel,
+    /// WordPiece tokenizer used by the classifier.
+    pub wordpiece: WordPiece,
+    /// Word-level vocabulary used by the NER model.
+    pub word_vocab: Vocab,
+    /// Model configuration (for document preparation).
+    pub config: ModelConfig,
+}
+
+impl ResumeParser {
+    /// Parse a document end-to-end.
+    pub fn parse(&self, doc: &Document, rng: &mut impl Rng) -> ParsedResume {
+        let scheme = self.classifier.scheme().clone();
+        let entity_scheme = entity_tag_scheme();
+
+        let t0 = Instant::now();
+        let (input, sentences) = prepare_document(doc, &self.wordpiece, &self.config);
+        let labels = self.classifier.predict(&input, rng);
+        let classify_seconds = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let segments = segment_blocks(&scheme, &labels);
+        let blocks = segments
+            .into_iter()
+            .map(|(start, end, class)| {
+                let block_type = BlockType::ALL[class];
+                let words = block_words(doc, &sentences[start..end]);
+                let entities = self.extract_entities(&words, &entity_scheme, rng);
+                ParsedBlock {
+                    block_type,
+                    sentence_range: (start, end),
+                    text: words.join(" "),
+                    entities,
+                }
+            })
+            .collect();
+        let extract_seconds = t1.elapsed().as_secs_f64();
+
+        ParsedResume { blocks, classify_seconds, extract_seconds }
+    }
+
+    fn extract_entities(
+        &self,
+        words: &[String],
+        scheme: &TagScheme,
+        rng: &mut impl Rng,
+    ) -> Vec<ExtractedEntity> {
+        if words.is_empty() {
+            return Vec::new();
+        }
+        let ids: Vec<usize> = words.iter().map(|w| self.word_vocab.id(&w.to_lowercase())).collect();
+        let labels = self.ner.predict(&ids, rng);
+        decode_spans(scheme, &labels)
+            .into_iter()
+            .map(|s| ExtractedEntity {
+                entity: EntityType::ALL[s.class],
+                text: words[s.start..s.end].join(" "),
+            })
+            .collect()
+    }
+}
+
+/// Convert sentence IOB labels into `(start, end, class)` block segments.
+/// Contiguous `B-x [I-x ...]` runs form one segment; `O` sentences are
+/// skipped (rare after CRF decoding).
+pub fn segment_blocks(scheme: &TagScheme, labels: &[usize]) -> Vec<(usize, usize, usize)> {
+    let spans = decode_spans(scheme, labels);
+    spans.into_iter().map(|s| (s.start, s.end, s.class)).collect()
+}
+
+fn block_words(doc: &Document, sentences: &[Sentence]) -> Vec<String> {
+    sentences
+        .iter()
+        .flat_map(|s| s.token_indices.iter().map(|&i| doc.tokens[i].text.clone()))
+        .collect()
+}
+
+/// Build a rule-only parser fallback for entity extraction (used by the
+/// quickstart example before any training): dictionaries + matchers.
+pub fn rule_based_entities(
+    words: &[String],
+    block_type: BlockType,
+    dicts: &Dictionaries,
+) -> Vec<ExtractedEntity> {
+    let scheme = entity_tag_scheme();
+    let labels = annotate::distant_labels(words, block_type, dicts, &scheme);
+    decode_spans(&scheme, &labels)
+        .into_iter()
+        .map(|s| ExtractedEntity {
+            entity: EntityType::ALL[s.class],
+            text: words[s.start..s.end].join(" "),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_classifier::FinetuneConfig;
+    use crate::data::{block_tag_scheme, build_tokenizer, sentence_iob_labels};
+    use crate::encoder::HierarchicalEncoder;
+    use crate::ner::NerConfig;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+    use resuformer_datagen::DictionaryConfig;
+    use resuformer_nn::Adam;
+    use resuformer_nn::Module;
+    use resuformer_tensor::init::seeded_rng;
+
+    #[test]
+    fn segment_blocks_groups_iob_runs() {
+        let scheme = block_tag_scheme();
+        // B-PInfo I-PInfo B-EduExp B-EduExp I-EduExp
+        let labels = vec![
+            scheme.begin(0),
+            scheme.inside(0),
+            scheme.begin(1),
+            scheme.begin(1),
+            scheme.inside(1),
+        ];
+        let segs = segment_blocks(&scheme, &labels);
+        assert_eq!(segs, vec![(0, 2, 0), (2, 3, 1), (3, 5, 1)]);
+    }
+
+    #[test]
+    fn rule_based_entities_extract_from_words() {
+        let dicts = Dictionaries::build(DictionaryConfig { coverage: 1.0 });
+        let words: Vec<String> = ["Email", ":", "a.b1@mail.com"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let ents = rule_based_entities(&words, BlockType::PInfo, &dicts);
+        assert_eq!(ents.len(), 1);
+        assert_eq!(ents[0].entity, EntityType::Email);
+        assert_eq!(ents[0].text, "a.b1@mail.com");
+    }
+
+    #[test]
+    fn end_to_end_parse_on_trained_models() {
+        // Train tiny models on one resume, then parse it end to end.
+        let mut rng = ChaCha8Rng::seed_from_u64(61);
+        let resume = generate_resume(&mut rng, &GeneratorConfig::smoke());
+        let wp = build_tokenizer(resume.doc.tokens.iter().map(|t| t.text.clone()), 1);
+        let word_vocab = Vocab::build(resume.doc.tokens.iter().map(|t| t.text.clone()), 1);
+        let config = ModelConfig::tiny(wp.vocab.len());
+        let scheme = block_tag_scheme();
+
+        let (input, sentences) = prepare_document(&resume.doc, &wp, &config);
+        let labels = sentence_iob_labels(&resume, &sentences, &scheme);
+
+        let mut mrng = seeded_rng(62);
+        let enc = HierarchicalEncoder::new(&mut mrng, &config);
+        let classifier = BlockClassifier::new(&mut mrng, &config, enc);
+        let pairs: Vec<(&crate::data::DocumentInput, &[usize])> =
+            vec![(&input, labels.as_slice())];
+        classifier.finetune(
+            &pairs,
+            &FinetuneConfig { epochs: 40, ..Default::default() },
+            &mut mrng,
+        );
+
+        // Train the NER model on the gold labels of this resume's blocks.
+        let mut ner_cfg = NerConfig::tiny(word_vocab.len());
+        ner_cfg.max_len = 128;
+        let ner = NerModel::new(&mut mrng, ner_cfg);
+        let dicts = Dictionaries::build(DictionaryConfig { coverage: 1.0 });
+        let entity_scheme = entity_tag_scheme();
+        let data = annotate::build_ner_dataset(
+            std::slice::from_ref(&resume),
+            &dicts,
+            &word_vocab,
+            &entity_scheme,
+            false,
+        );
+        let mut opt = Adam::new(ner.parameters(), 2e-3, 0.0);
+        for _ in 0..30 {
+            for block in &data {
+                opt.zero_grad();
+                let loss = ner.loss(&block.token_ids, &block.gold_labels, &mut mrng);
+                loss.backward();
+                opt.step();
+            }
+        }
+
+        let parser = ResumeParser { classifier, ner, wordpiece: wp, word_vocab, config };
+        let parsed = parser.parse(&resume.doc, &mut mrng);
+
+        assert!(!parsed.blocks.is_empty());
+        assert!(parsed.classify_seconds > 0.0);
+        // The overfit parser should recover the person's name (or at
+        // least its family token) and several other entities.
+        let names = parsed.entities_of(EntityType::Name);
+        let family = resume.record.name.split_whitespace().next().unwrap();
+        assert!(
+            names.iter().any(|n| n.contains(family)),
+            "expected name containing {:?} among {:?}",
+            family,
+            names
+        );
+        let total_entities: usize = parsed.blocks.iter().map(|b| b.entities.len()).sum();
+        assert!(total_entities >= 4, "too few entities: {}", total_entities);
+    }
+}

@@ -1,0 +1,485 @@
+//! The three self-supervised pre-training objectives (§IV-A2).
+//!
+//! * **Objective #1 — masked layout-language model** (`L_wp`): tokens are
+//!   masked while their 2-D positions are retained; the sentence encoder
+//!   predicts them through an output head tied to the word-embedding table.
+//! * **Objective #2 — self-supervised contrastive learning** (`L_cl`,
+//!   Eq. 3–4): `k = 0.2·m` sentence embeddings are dynamically replaced by
+//!   a learned mask vector `ĥ`; the document encoder's outputs at masked
+//!   positions are matched to the ground-truth input representations via
+//!   InfoNCE with temperature τ.
+//! * **Objective #3 — dynamic next-sentence prediction** (`L_ns`,
+//!   Eq. 5–6): sampled sentence pairs `(i, i+1)` are scored through a
+//!   bilinear map `H' W_d H''ᵀ` with softmax cross-entropy over in-batch
+//!   candidates.
+//!
+//! The total objective is `λ₁·L_wp + λ₂·L_cl + λ₃·L_ns` (Eq. 7).
+//! [`ObjectiveSwitches`] disables individual objectives for the Table III
+//! ablation; `dynamic_masking = false` gives the static-masking ablation.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use resuformer_nn::{Adam, Module};
+use resuformer_tensor::ops;
+use resuformer_tensor::{init, NdArray, Tensor};
+use resuformer_text::vocab::MASK;
+
+use crate::config::{ModelConfig, PretrainConfig};
+use crate::data::DocumentInput;
+use crate::encoder::HierarchicalEncoder;
+
+/// Per-objective enable flags (Table III ablation: w/o WMP / SCL / DNSP).
+#[derive(Clone, Copy, Debug)]
+pub struct ObjectiveSwitches {
+    /// Masked layout-language model.
+    pub wmp: bool,
+    /// Self-supervised contrastive learning.
+    pub scl: bool,
+    /// Dynamic next-sentence prediction.
+    pub dnsp: bool,
+}
+
+impl Default for ObjectiveSwitches {
+    fn default() -> Self {
+        ObjectiveSwitches { wmp: true, scl: true, dnsp: true }
+    }
+}
+
+/// Per-step loss components, for logging and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PretrainMetrics {
+    /// Masked layout-language loss.
+    pub wp: f32,
+    /// Contrastive loss.
+    pub cl: f32,
+    /// Next-sentence loss.
+    pub ns: f32,
+    /// Weighted total.
+    pub total: f32,
+}
+
+/// Trainable pre-training state: the SCL mask vector `ĥ`, the DNSP
+/// bilinear `W_d`, and the objective configuration.
+pub struct Pretrainer {
+    /// Learned mask vector `ĥ` (`[1, hidden + visual]`).
+    pub mask_vec: Tensor,
+    /// Bilinear next-sentence matrix `W_d` (`[hidden, hidden]`).
+    pub w_d: Tensor,
+    /// Hyper-parameters.
+    pub config: PretrainConfig,
+    /// Objective switches.
+    pub switches: ObjectiveSwitches,
+    /// Whether SCL re-samples mask positions every step (the paper's
+    /// dynamic masking); `false` fixes them per document (ablation).
+    pub dynamic_masking: bool,
+    static_mask_cache: RefCell<HashMap<usize, Vec<usize>>>,
+}
+
+impl Pretrainer {
+    /// New pre-trainer for a model configuration.
+    pub fn new(rng: &mut impl Rng, model: &ModelConfig, config: PretrainConfig) -> Self {
+        Pretrainer {
+            mask_vec: Tensor::param(init::normal(
+                rng,
+                [1, model.hidden + model.visual_dim],
+                0.02,
+            )),
+            w_d: Tensor::param(init::normal(rng, [model.hidden, model.hidden], 0.02)),
+            config,
+            switches: ObjectiveSwitches::default(),
+            dynamic_masking: true,
+            static_mask_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Compute the combined pre-training loss for one document.
+    ///
+    /// `doc_key` identifies the document for static-masking mode.
+    pub fn loss(
+        &self,
+        enc: &HierarchicalEncoder,
+        doc: &DocumentInput,
+        doc_key: usize,
+        rng: &mut impl Rng,
+    ) -> (Tensor, PretrainMetrics) {
+        assert!(!doc.is_empty(), "cannot pretrain on an empty document");
+        let m = doc.len();
+
+        // ---- Sentence-level pass (with token masking when WMP is on) ----
+        let mut mlm_outputs: Vec<Tensor> = Vec::new();
+        let mut mlm_targets: Vec<usize> = Vec::new();
+        let mut h_rows: Vec<Tensor> = Vec::with_capacity(m);
+
+        for s in &doc.sentences {
+            let (ids, masked_positions) = if self.switches.wmp {
+                mask_tokens(&s.token_ids, self.config.mlm_ratio, rng)
+            } else {
+                (s.token_ids.clone(), Vec::new())
+            };
+            let out = enc.sentence.forward_tokens(&ids, &s.token_layouts, true, rng);
+            for &pos in &masked_positions {
+                mlm_outputs.push(ops::slice_rows(&out, pos, 1));
+                mlm_targets.push(s.token_ids[pos]);
+            }
+            let cls = ops::slice_rows(&out, 0, 1);
+            h_rows.push(ops::l2_normalize_rows(&enc.sentence.pool_forward(&cls), 1e-6));
+        }
+
+        let wp_loss = if self.switches.wmp && !mlm_targets.is_empty() {
+            let hidden_out = ops::concat_rows(&mlm_outputs);
+            let logits = ops::matmul(&hidden_out, &ops::transpose(enc.sentence.word_table()));
+            ops::cross_entropy_rows(&logits, &mlm_targets, None)
+        } else {
+            Tensor::scalar(0.0)
+        };
+
+        // ---- Two-modal sentence embeddings H* ---------------------------
+        let h = ops::concat_rows(&h_rows);
+        let v = if enc.modality.use_visual {
+            let patches: Vec<Vec<f32>> = doc.sentences.iter().map(|s| s.patch.clone()).collect();
+            enc.visual.extract_batch(&patches)
+        } else {
+            Tensor::constant(NdArray::zeros([m, enc.visual.dim()]))
+        };
+        let h_star = ops::concat_cols(&[h, v]);
+        let layouts = HierarchicalEncoder::doc_layouts(doc);
+
+        // ---- SCL: dynamic sentence masking -------------------------------
+        let masked_idx: Vec<usize> = if self.switches.scl && m >= 2 {
+            let k = ((m as f32 * self.config.scl_ratio).round() as usize).clamp(1, m - 1);
+            if self.dynamic_masking {
+                sample_indices(m, k, rng)
+            } else {
+                self.static_mask_cache
+                    .borrow_mut()
+                    .entry(doc_key)
+                    .or_insert_with(|| sample_indices(m, k, rng))
+                    .clone()
+            }
+        } else {
+            Vec::new()
+        };
+
+        let masked_h_star = if masked_idx.is_empty() {
+            h_star.clone()
+        } else {
+            replace_rows(&h_star, &masked_idx, &self.mask_vec)
+        };
+
+        let gt_input = enc.document.input_reps(&h_star, &layouts, enc.modality);
+        let masked_input = enc.document.input_reps(&masked_h_star, &layouts, enc.modality);
+        let h_d = enc.document.forward(&masked_input, true, rng);
+
+        let cl_loss = if !masked_idx.is_empty() {
+            let pred = ops::gather_rows(&h_d, &masked_idx);
+            let truth = ops::gather_rows(&gt_input, &masked_idx);
+            let logits = ops::mul_scalar(
+                &ops::matmul(&pred, &ops::transpose(&truth)),
+                1.0 / self.config.tau,
+            );
+            let targets: Vec<usize> = (0..masked_idx.len()).collect();
+            ops::cross_entropy_rows(&logits, &targets, None)
+        } else {
+            Tensor::scalar(0.0)
+        };
+
+        // ---- DNSP ---------------------------------------------------------
+        let ns_loss = if self.switches.dnsp && m >= 2 {
+            let l = ((m as f32 * self.config.dnsp_ratio).round() as usize).clamp(1, m - 1);
+            let firsts = sample_indices(m - 1, l, rng);
+            let seconds: Vec<usize> = firsts.iter().map(|&i| i + 1).collect();
+            let a = ops::gather_rows(&h_d, &firsts);
+            let b = ops::gather_rows(&h_d, &seconds);
+            let scores = ops::matmul(&ops::matmul(&a, &self.w_d), &ops::transpose(&b));
+            let targets: Vec<usize> = (0..firsts.len()).collect();
+            ops::cross_entropy_rows(&scores, &targets, None)
+        } else {
+            Tensor::scalar(0.0)
+        };
+
+        let total = ops::add(
+            &ops::add(
+                &ops::mul_scalar(&wp_loss, self.config.lambda_wp),
+                &ops::mul_scalar(&cl_loss, self.config.lambda_cl),
+            ),
+            &ops::mul_scalar(&ns_loss, self.config.lambda_ns),
+        );
+        let metrics = PretrainMetrics {
+            wp: wp_loss.item(),
+            cl: cl_loss.item(),
+            ns: ns_loss.item(),
+            total: total.item(),
+        };
+        (total, metrics)
+    }
+}
+
+impl Module for Pretrainer {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.mask_vec.clone(), self.w_d.clone()]
+    }
+}
+
+/// BERT-style token masking: select `ratio` of non-`[CLS]` positions and
+/// replace them with `[MASK]` (layout is retained by the caller).
+fn mask_tokens(ids: &[usize], ratio: f32, rng: &mut impl Rng) -> (Vec<usize>, Vec<usize>) {
+    let mut out = ids.to_vec();
+    let candidates: Vec<usize> = (1..ids.len()).collect();
+    if candidates.is_empty() {
+        return (out, Vec::new());
+    }
+    let k = ((candidates.len() as f32 * ratio).round() as usize).clamp(1, candidates.len());
+    let chosen = sample_from(&candidates, k, rng);
+    for &pos in &chosen {
+        out[pos] = MASK;
+    }
+    (out, chosen)
+}
+
+fn sample_indices(n: usize, k: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let all: Vec<usize> = (0..n).collect();
+    sample_from(&all, k.min(n), rng)
+}
+
+fn sample_from(pool: &[usize], k: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut chosen: Vec<usize> = pool.choose_multiple(rng, k).copied().collect();
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Replace the given rows of a `[m, d]` tensor with a learned `[1, d]` row.
+fn replace_rows(x: &Tensor, rows: &[usize], replacement: &Tensor) -> Tensor {
+    let m = x.dims()[0];
+    let mut parts: Vec<Tensor> = Vec::new();
+    let mut i = 0;
+    while i < m {
+        if rows.contains(&i) {
+            parts.push(replacement.clone());
+            i += 1;
+        } else {
+            let start = i;
+            while i < m && !rows.contains(&i) {
+                i += 1;
+            }
+            parts.push(ops::slice_rows(x, start, i - start));
+        }
+    }
+    ops::concat_rows(&parts)
+}
+
+/// Pre-train an encoder over a document set; returns the per-epoch metric
+/// trace (averaged over documents).
+pub fn pretrain(
+    enc: &HierarchicalEncoder,
+    pretrainer: &Pretrainer,
+    docs: &[DocumentInput],
+    epochs: usize,
+    rng: &mut impl Rng,
+) -> Vec<PretrainMetrics> {
+    let mut params = enc.parameters();
+    params.extend(pretrainer.parameters());
+    let mut opt = Adam::new(params, pretrainer.config.lr, pretrainer.config.weight_decay);
+    let mut trace = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        let mut acc = PretrainMetrics::default();
+        let mut order: Vec<usize> = (0..docs.len()).collect();
+        order.shuffle(rng);
+        for &di in &order {
+            let doc = &docs[di];
+            if doc.is_empty() {
+                continue;
+            }
+            opt.zero_grad();
+            let (loss, metrics) = pretrainer.loss(enc, doc, di, rng);
+            loss.backward();
+            opt.clip_grad_norm(5.0);
+            opt.step();
+            acc.wp += metrics.wp;
+            acc.cl += metrics.cl;
+            acc.ns += metrics.ns;
+            acc.total += metrics.total;
+        }
+        let n = docs.len().max(1) as f32;
+        trace.push(PretrainMetrics {
+            wp: acc.wp / n,
+            cl: acc.cl / n,
+            ns: acc.ns / n,
+            total: acc.total / n,
+        });
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{build_tokenizer, prepare_document};
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+    use resuformer_tensor::init::seeded_rng;
+
+    fn setup(n_docs: usize) -> (HierarchicalEncoder, Pretrainer, Vec<DocumentInput>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let resumes: Vec<_> = (0..n_docs)
+            .map(|_| generate_resume(&mut rng, &GeneratorConfig::smoke()))
+            .collect();
+        let wp = build_tokenizer(
+            resumes
+                .iter()
+                .flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
+            1,
+        );
+        let config = ModelConfig::tiny(wp.vocab.len());
+        let docs: Vec<DocumentInput> = resumes
+            .iter()
+            .map(|r| prepare_document(&r.doc, &wp, &config).0)
+            .collect();
+        let mut mrng = seeded_rng(12);
+        let enc = HierarchicalEncoder::new(&mut mrng, &config);
+        let pt = Pretrainer::new(&mut mrng, &config, PretrainConfig::default());
+        (enc, pt, docs)
+    }
+
+    #[test]
+    fn loss_components_are_finite_and_positive() {
+        let (enc, pt, docs) = setup(1);
+        let mut rng = seeded_rng(13);
+        let (loss, m) = pt.loss(&enc, &docs[0], 0, &mut rng);
+        assert!(loss.item().is_finite());
+        assert!(m.wp > 0.0, "MLM loss {}", m.wp);
+        assert!(m.cl > 0.0, "SCL loss {}", m.cl);
+        assert!(m.ns > 0.0, "DNSP loss {}", m.ns);
+        let expect = 0.4 * m.wp + 1.0 * m.cl + 0.6 * m.ns;
+        assert!((m.total - expect).abs() < 1e-3);
+    }
+
+    #[test]
+    fn switches_zero_out_components() {
+        let (enc, mut pt, docs) = setup(1);
+        pt.switches = ObjectiveSwitches { wmp: false, scl: false, dnsp: true };
+        let (_, m) = pt.loss(&enc, &docs[0], 0, &mut seeded_rng(14));
+        assert_eq!(m.wp, 0.0);
+        assert_eq!(m.cl, 0.0);
+        assert!(m.ns > 0.0);
+    }
+
+    #[test]
+    fn pretraining_reduces_loss() {
+        let (enc, pt, docs) = setup(2);
+        let mut rng = seeded_rng(15);
+        let trace = pretrain(&enc, &pt, &docs, 8, &mut rng);
+        let first = trace.first().unwrap().total;
+        let last = trace.last().unwrap().total;
+        assert!(
+            last < first * 0.9,
+            "pre-training loss did not decrease: {} -> {}",
+            first,
+            last
+        );
+    }
+
+    #[test]
+    fn static_masking_reuses_positions() {
+        let (enc, mut pt, docs) = setup(1);
+        pt.dynamic_masking = false;
+        pt.switches = ObjectiveSwitches { wmp: false, scl: true, dnsp: false };
+        // Two calls with different RNG streams must mask the same rows;
+        // with dropout disabled the SCL losses then agree exactly.
+        let (_, m1) = pt.loss(&enc, &docs[0], 0, &mut seeded_rng(1));
+        let (_, m2) = pt.loss(&enc, &docs[0], 0, &mut seeded_rng(999));
+        assert!((m1.cl - m2.cl).abs() < 1e-5, "{} vs {}", m1.cl, m2.cl);
+    }
+
+    #[test]
+    fn dynamic_masking_varies_positions() {
+        let (enc, mut pt, docs) = setup(1);
+        pt.switches = ObjectiveSwitches { wmp: false, scl: true, dnsp: false };
+        let (_, m1) = pt.loss(&enc, &docs[0], 0, &mut seeded_rng(1));
+        let (_, m2) = pt.loss(&enc, &docs[0], 0, &mut seeded_rng(999));
+        assert!((m1.cl - m2.cl).abs() > 1e-7, "dynamic masking should vary");
+    }
+
+    #[test]
+    fn mask_tokens_respects_cls() {
+        let mut rng = seeded_rng(16);
+        for _ in 0..20 {
+            let ids = vec![2, 10, 11, 12, 13, 14];
+            let (masked, positions) = mask_tokens(&ids, 0.5, &mut rng);
+            assert_eq!(masked[0], 2, "CLS must never be masked");
+            for &p in &positions {
+                assert_eq!(masked[p], MASK);
+                assert!(p >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn replace_rows_swaps_exactly_the_given_rows() {
+        let x = Tensor::constant(NdArray::from_vec(
+            vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0],
+            [3, 2],
+        ));
+        let r = Tensor::constant(NdArray::from_vec(vec![9.0, 9.0], [1, 2]));
+        let out = replace_rows(&x, &[1], &r).value();
+        assert_eq!(out.row(0), &[1.0, 1.0]);
+        assert_eq!(out.row(1), &[9.0, 9.0]);
+        assert_eq!(out.row(2), &[3.0, 3.0]);
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::data::SentenceInput;
+    use crate::encoder::HierarchicalEncoder;
+    use resuformer_doc::LayoutTuple;
+    use resuformer_tensor::init::seeded_rng;
+
+    fn one_sentence_doc() -> DocumentInput {
+        let layout = LayoutTuple {
+            x_min: 10, y_min: 10, x_max: 200, y_max: 30,
+            width: 190, height: 20, page: 0,
+        };
+        DocumentInput {
+            sentences: vec![SentenceInput {
+                token_ids: vec![2, 7, 8, 9],
+                token_layouts: vec![layout; 4],
+                layout,
+                patch: vec![0.3; resuformer_doc::raster::PATCH_H * resuformer_doc::raster::PATCH_W],
+            }],
+        }
+    }
+
+    #[test]
+    fn single_sentence_document_skips_sentence_objectives() {
+        // With m = 1 there is nothing to mask or pair: SCL and DNSP must
+        // cleanly contribute zero, MLM still trains.
+        let config = ModelConfig::tiny(64);
+        let mut rng = seeded_rng(61);
+        let enc = HierarchicalEncoder::new(&mut rng, &config);
+        let pt = Pretrainer::new(&mut rng, &config, PretrainConfig::default());
+        let (loss, m) = pt.loss(&enc, &one_sentence_doc(), 0, &mut rng);
+        assert!(m.wp > 0.0);
+        assert_eq!(m.cl, 0.0);
+        assert_eq!(m.ns, 0.0);
+        assert!(loss.item().is_finite());
+        loss.backward(); // gradient flow must not panic
+    }
+
+    #[test]
+    fn pretrain_skips_empty_documents() {
+        let config = ModelConfig::tiny(64);
+        let mut rng = seeded_rng(62);
+        let enc = HierarchicalEncoder::new(&mut rng, &config);
+        let pt = Pretrainer::new(&mut rng, &config, PretrainConfig::default());
+        let docs = vec![DocumentInput { sentences: vec![] }, one_sentence_doc()];
+        let trace = pretrain(&enc, &pt, &docs, 1, &mut rng);
+        assert_eq!(trace.len(), 1);
+        assert!(trace[0].total.is_finite());
+    }
+}

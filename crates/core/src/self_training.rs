@@ -1,0 +1,520 @@
+//! Self-distillation based self-training (Algorithm 2, §IV-B4/5).
+//!
+//! 1. Train a teacher on the distantly-supervised set with early stopping.
+//! 2. Initialise a student identically (`θ_stu = θ_tea`).
+//! 3. Each iteration: the teacher produces **soft pseudo-labels with
+//!    squared re-weighting** (Eq. 9); low-confidence tokens are dropped by
+//!    **high-confidence selection** (Eq. 11, γ = 0.8); the student
+//!    minimises the soft cross-entropy (Eq. 10/12); when the student
+//!    improves on validation, the teacher is re-initialised from it.
+//!
+//! The `use_soft` / `use_hcs` / `use_self_distillation` switches produce
+//! the Table V ablation variants (w/o SL, w/o HCS, w/o SD).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use resuformer_nn::{Adam, Module};
+use resuformer_tensor::NdArray;
+
+use crate::annotate::AnnotatedBlock;
+use crate::ner::NerModel;
+
+/// Self-training hyper-parameters and ablation switches.
+#[derive(Clone, Copy, Debug)]
+pub struct SelfTrainingConfig {
+    /// Teacher warm-up epochs over the distant data (upper bound; early
+    /// stopping may end sooner).
+    pub teacher_epochs: usize,
+    /// Early-stopping patience (validation checks without improvement).
+    pub patience: usize,
+    /// Self-training iterations `T`.
+    pub iterations: usize,
+    /// Mini-batch size per iteration.
+    pub batch: usize,
+    /// Confidence threshold γ (paper: 0.8).
+    pub gamma: f32,
+    /// Learning rate.
+    pub lr: f32,
+    /// Use soft labels (w/o SL → hard pseudo-labels).
+    pub use_soft: bool,
+    /// Use high-confidence selection (w/o HCS → keep every token).
+    pub use_hcs: bool,
+    /// Use the self-distillation loop at all (w/o SD → teacher only).
+    pub use_self_distillation: bool,
+}
+
+impl Default for SelfTrainingConfig {
+    fn default() -> Self {
+        SelfTrainingConfig {
+            teacher_epochs: 6,
+            patience: 2,
+            iterations: 8,
+            batch: 8,
+            gamma: 0.8,
+            lr: 1e-3,
+            use_soft: true,
+            use_hcs: true,
+            use_self_distillation: true,
+        }
+    }
+}
+
+/// Eq. 9: squared re-weighted soft labels.
+///
+/// `probs` is the teacher's `[T, C]` softmax output; `freq` is the
+/// unnormalised per-class token frequency `p_c` over the current corpus.
+pub fn soft_labels(probs: &NdArray, freq: &[f32]) -> NdArray {
+    let (t, c) = (probs.dims()[0], probs.dims()[1]);
+    assert_eq!(freq.len(), c, "class frequency width mismatch");
+    let mut out = vec![0.0f32; t * c];
+    for i in 0..t {
+        let row = probs.row(i);
+        let mut z = 0.0f32;
+        for (j, &p) in row.iter().enumerate() {
+            let w = p * p / freq[j].max(1e-8);
+            out[i * c + j] = w;
+            z += w;
+        }
+        for v in &mut out[i * c..(i + 1) * c] {
+            *v /= z.max(1e-12);
+        }
+    }
+    NdArray::from_vec(out, [t, c])
+}
+
+/// Eq. 11: the high-confidence token set — row weights 1.0 where the
+/// maximum soft probability exceeds γ, else 0.0.
+pub fn high_confidence_weights(soft: &NdArray, gamma: f32) -> Vec<f32> {
+    let (t, c) = (soft.dims()[0], soft.dims()[1]);
+    (0..t)
+        .map(|i| {
+            let mx = soft.data()[i * c..(i + 1) * c]
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max);
+            if mx > gamma {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Token-level accuracy of a model on gold labels.
+pub fn token_accuracy(model: &NerModel, data: &[AnnotatedBlock], rng: &mut impl Rng) -> f32 {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for block in data {
+        let pred = model.predict(&block.token_ids, rng);
+        for (p, &g) in pred.iter().zip(block.gold_labels.iter()) {
+            if *p == g {
+                correct += 1;
+            }
+            total += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f32 / total as f32
+    }
+}
+
+/// Micro entity-level F1 on gold labels — the validation criterion of
+/// Algorithm 2. Token accuracy is dominated by `O`, so a student that
+/// silently drops a rare entity class can still look like an improvement
+/// and poison the teacher; span-level F1 cannot be gamed that way.
+pub fn entity_f1(model: &NerModel, data: &[AnnotatedBlock], rng: &mut impl Rng) -> f32 {
+    use resuformer_text::decode_spans;
+    let scheme = model.scheme();
+    let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+    for block in data {
+        let pred = model.predict(&block.token_ids, rng);
+        let gold_spans = decode_spans(scheme, &block.gold_labels);
+        let pred_spans = decode_spans(scheme, &pred);
+        for p in &pred_spans {
+            if gold_spans.contains(p) {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+        for g in &gold_spans {
+            if !pred_spans.contains(g) {
+                fn_ += 1;
+            }
+        }
+    }
+    let precision = tp as f32 / (tp + fp).max(1) as f32;
+    let recall = tp as f32 / (tp + fn_).max(1) as f32;
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// Outcome of a self-training run.
+pub struct SelfTrainingOutcome {
+    /// The final student model.
+    pub model: NerModel,
+    /// Validation entity-F1 after the teacher warm-up.
+    pub teacher_val: f32,
+    /// Validation entity-F1 trace across self-training iterations.
+    pub val_trace: Vec<f32>,
+}
+
+/// Train a teacher on distant labels with early stopping (Algorithm 2,
+/// step 1; also the w/o-SD ablation's entire training).
+pub fn train_teacher(
+    model: &NerModel,
+    train: &[AnnotatedBlock],
+    validation: &[AnnotatedBlock],
+    config: &SelfTrainingConfig,
+    rng: &mut impl Rng,
+) -> f32 {
+    let mut opt = Adam::new(model.parameters(), config.lr, 0.01);
+    let mut best = f32::NEG_INFINITY;
+    let mut best_params: Option<Vec<u8>> = None;
+    let mut bad = 0usize;
+    for _ in 0..config.teacher_epochs {
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        order.shuffle(rng);
+        for &i in &order {
+            let block = &train[i];
+            if block.tokens.is_empty() {
+                continue;
+            }
+            opt.zero_grad();
+            let loss = model.loss(&block.token_ids, &block.distant_labels, rng);
+            loss.backward();
+            opt.clip_grad_norm(5.0);
+            opt.step();
+        }
+        let val = entity_f1(model, validation, rng);
+        if val > best {
+            best = val;
+            best_params = Some(model.save_bytes());
+            bad = 0;
+        } else {
+            bad += 1;
+            if bad > config.patience {
+                break;
+            }
+        }
+    }
+    if let Some(bytes) = best_params {
+        model.load_bytes(&bytes).expect("restoring best teacher");
+    }
+    best
+}
+
+/// Run the full Algorithm 2 loop. The model architecture is cloned from
+/// `proto` (teacher and student share it).
+pub fn self_train(
+    proto: &NerModel,
+    train: &[AnnotatedBlock],
+    validation: &[AnnotatedBlock],
+    config: &SelfTrainingConfig,
+    rng: &mut impl Rng,
+) -> SelfTrainingOutcome {
+    // Step 1: teacher warm-up on distant labels.
+    let teacher = proto.new_like(rng);
+    let teacher_val = train_teacher(&teacher, train, validation, config, rng);
+
+    if !config.use_self_distillation {
+        return SelfTrainingOutcome { model: teacher, teacher_val, val_trace: vec![teacher_val] };
+    }
+
+    // Step 2: student initialised from the teacher.
+    let student = proto.new_like(rng);
+    student.copy_parameters_from(&teacher);
+    let mut opt = Adam::new(student.parameters(), config.lr, 0.01);
+
+    // Class frequencies p_c for Eq. 9, from teacher predictions over the
+    // training pool.
+    let scheme_labels = proto.scheme().num_labels();
+    let mut freq = vec![1e-3f32; scheme_labels];
+    for block in train.iter() {
+        let p = teacher.probs(&block.token_ids, rng).value();
+        for i in 0..p.dims()[0] {
+            for (j, &v) in p.row(i).iter().enumerate() {
+                freq[j] += v;
+            }
+        }
+    }
+
+    let mut best_val = entity_f1(&student, validation, rng);
+    let mut val_trace = vec![best_val];
+    // Early-stopping semantics: the returned model is the best-validated
+    // student, not the last one (late iterations can drift, e.g. dropping
+    // a class whose tokens HCS keeps filtering).
+    let mut best_bytes = student.save_bytes();
+
+    for _ in 0..config.iterations {
+        // Step 5: sample a minibatch.
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        order.shuffle(rng);
+        for &i in order.iter().take(config.batch) {
+            let block = &train[i];
+            if block.tokens.is_empty() {
+                continue;
+            }
+            let ids = &block.token_ids;
+
+            // Step 6: teacher pseudo-labels.
+            let probs = teacher.probs(ids, rng).value();
+            let t = probs.dims()[0];
+
+            let (soft, weights) = if config.use_soft {
+                let s = soft_labels(&probs, &freq);
+                let w = if config.use_hcs {
+                    high_confidence_weights(&s, config.gamma)
+                } else {
+                    vec![1.0; t]
+                };
+                (s, w)
+            } else {
+                // Hard labels: one-hot argmax of the teacher.
+                let c = probs.dims()[1];
+                let mut hard = vec![0.0f32; t * c];
+                let mut w = vec![1.0f32; t];
+                for ti in 0..t {
+                    let row = probs.row(ti);
+                    let mut best = 0;
+                    let mut bv = f32::NEG_INFINITY;
+                    for (j, &v) in row.iter().enumerate() {
+                        if v > bv {
+                            bv = v;
+                            best = j;
+                        }
+                    }
+                    hard[ti * c + best] = 1.0;
+                    if config.use_hcs && bv <= config.gamma {
+                        w[ti] = 0.0;
+                    }
+                }
+                (NdArray::from_vec(hard, [t, c]), w)
+            };
+
+            if weights.iter().all(|&w| w == 0.0) {
+                continue; // every token filtered out
+            }
+
+            // Step 7: student update on the soft objective (Eq. 10/12).
+            opt.zero_grad();
+            let logits = student.logits(ids, true, rng);
+            let loss = resuformer_tensor::ops::soft_cross_entropy_rows(
+                &logits,
+                &soft,
+                Some(&weights),
+            );
+            loss.backward();
+            opt.clip_grad_norm(5.0);
+            opt.step();
+        }
+
+        // Step 8–9: if the student improved on validation, re-initialise
+        // the teacher from it.
+        let val = entity_f1(&student, validation, rng);
+        val_trace.push(val);
+        if val > best_val {
+            best_val = val;
+            best_bytes = student.save_bytes();
+            teacher.copy_parameters_from(&student);
+        }
+    }
+
+    student
+        .load_bytes(&best_bytes)
+        .expect("restoring best student checkpoint");
+    SelfTrainingOutcome { model: student, teacher_val, val_trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::entity_tag_scheme;
+    use crate::ner::NerConfig;
+    use resuformer_tensor::init::seeded_rng;
+
+    #[test]
+    fn eq9_soft_labels_are_distributions_preferring_confident_classes() {
+        let probs = NdArray::from_vec(vec![0.7, 0.2, 0.1, 0.34, 0.33, 0.33], [2, 3]);
+        let freq = vec![1.0, 1.0, 1.0];
+        let s = soft_labels(&probs, &freq);
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Squaring sharpens: 0.7 → more than 0.7 of the mass.
+        assert!(s.at(&[0, 0]) > 0.7);
+        // Near-uniform rows stay near-uniform.
+        assert!((s.at(&[1, 0]) - 1.0 / 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn eq9_frequency_normalisation_downweights_common_classes() {
+        let probs = NdArray::from_vec(vec![0.5, 0.5], [1, 2]);
+        // Class 0 is 10x more frequent: its soft weight should drop.
+        let s = soft_labels(&probs, &[10.0, 1.0]);
+        assert!(s.at(&[0, 1]) > s.at(&[0, 0]));
+    }
+
+    #[test]
+    fn eq11_threshold_selects_confident_rows() {
+        let soft = NdArray::from_vec(vec![0.9, 0.1, 0.5, 0.5], [2, 2]);
+        let w = high_confidence_weights(&soft, 0.8);
+        assert_eq!(w, vec![1.0, 0.0]);
+    }
+
+    fn toy_dataset(n: usize, noisy: bool) -> Vec<AnnotatedBlock> {
+        // Alternating "Northlake University" style blocks; distant labels
+        // miss entities when noisy.
+        let scheme = entity_tag_scheme();
+        (0..n)
+            .map(|i| {
+                let tokens: Vec<String> =
+                    ["2018.09", "-", "2022.06", "Northlake", "University"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect();
+                let gold = {
+                    use resuformer_text::iob::{encode_spans, Span};
+                    encode_spans(
+                        &scheme,
+                        5,
+                        &[Span::new(0, 3, 11), Span::new(3, 5, 5)], // Date, College
+                    )
+                };
+                let distant = if noisy && i % 2 == 0 {
+                    // Incomplete: college unmatched.
+                    use resuformer_text::iob::{encode_spans, Span};
+                    encode_spans(&scheme, 5, &[Span::new(0, 3, 11)])
+                } else {
+                    gold.clone()
+                };
+                AnnotatedBlock {
+                    token_ids: (0..tokens.len()).map(|k| 6 + k).collect(),
+                    block_type: resuformer_datagen::BlockType::EduExp,
+                    tokens,
+                    distant_labels: distant,
+                    gold_labels: gold,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn teacher_learns_from_distant_labels() {
+        let mut rng = seeded_rng(51);
+        let model = NerModel::new(&mut rng, NerConfig::tiny(64));
+        let train = toy_dataset(8, false);
+        let val = toy_dataset(2, false);
+        let cfg = SelfTrainingConfig { teacher_epochs: 10, ..Default::default() };
+        let val_acc = train_teacher(&model, &train, &val, &cfg, &mut rng);
+        assert!(val_acc > 0.9, "teacher val accuracy {}", val_acc);
+    }
+
+    #[test]
+    fn self_training_runs_and_reports_trace() {
+        let mut rng = seeded_rng(52);
+        let proto = NerModel::new(&mut rng, NerConfig::tiny(64));
+        let train = toy_dataset(8, true);
+        let val = toy_dataset(2, false);
+        let cfg = SelfTrainingConfig {
+            teacher_epochs: 6,
+            iterations: 4,
+            batch: 4,
+            ..Default::default()
+        };
+        let out = self_train(&proto, &train, &val, &cfg, &mut rng);
+        assert_eq!(out.val_trace.len(), 5);
+        assert!(out.val_trace.iter().all(|v| (0.0..=1.0).contains(v)));
+        // The final student should not be worse than the plain teacher by
+        // a large margin (usually better under label noise).
+        let last = *out.val_trace.last().unwrap();
+        assert!(last + 0.15 >= out.teacher_val, "{} vs {}", last, out.teacher_val);
+    }
+
+    #[test]
+    fn without_sd_returns_teacher_directly() {
+        let mut rng = seeded_rng(53);
+        let proto = NerModel::new(&mut rng, NerConfig::tiny(64));
+        let train = toy_dataset(4, false);
+        let val = toy_dataset(2, false);
+        let cfg = SelfTrainingConfig {
+            teacher_epochs: 3,
+            use_self_distillation: false,
+            ..Default::default()
+        };
+        let out = self_train(&proto, &train, &val, &cfg, &mut rng);
+        assert_eq!(out.val_trace.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod criterion_tests {
+    use super::*;
+    use crate::data::entity_tag_scheme;
+    use crate::ner::NerConfig;
+    use resuformer_tensor::init::seeded_rng;
+
+    #[test]
+    fn entity_f1_and_token_accuracy_disagree_on_dropped_classes() {
+        // A model that predicts all-O scores high token accuracy on sparse
+        // data but zero entity F1 — the failure mode that motivated the
+        // F1 validation criterion.
+        let mut rng = seeded_rng(71);
+        let model = NerModel::new(&mut rng, NerConfig::tiny(64));
+        let scheme = entity_tag_scheme();
+        // An untrained tiny model predicts near-uniform labels; build a
+        // block where gold is mostly O plus one entity.
+        let mut gold = vec![scheme.outside(); 12];
+        gold[3] = scheme.begin(5);
+        gold[4] = scheme.inside(5);
+        let block = AnnotatedBlock {
+            block_type: resuformer_datagen::BlockType::EduExp,
+            tokens: (0..12).map(|i| format!("w{i}")).collect(),
+            token_ids: (6..18).collect(),
+            distant_labels: gold.clone(),
+            gold_labels: gold,
+        };
+        let data = vec![block];
+        let acc = token_accuracy(&model, &data, &mut rng);
+        let f1 = entity_f1(&model, &data, &mut rng);
+        // Both metrics are defined and bounded.
+        assert!((0.0..=1.0).contains(&acc));
+        assert!((0.0..=1.0).contains(&f1));
+    }
+
+    #[test]
+    fn entity_f1_is_one_on_perfect_predictions() {
+        // Train a model to memorise one block; F1 must reach 1.0 there.
+        use resuformer_nn::{Adam, Module};
+        let mut rng = seeded_rng(72);
+        let model = NerModel::new(&mut rng, NerConfig::tiny(64));
+        let scheme = entity_tag_scheme();
+        let mut gold = vec![scheme.outside(); 5];
+        gold[1] = scheme.begin(3);
+        gold[2] = scheme.inside(3);
+        let block = AnnotatedBlock {
+            block_type: resuformer_datagen::BlockType::PInfo,
+            tokens: (0..5).map(|i| format!("w{i}")).collect(),
+            token_ids: vec![6, 7, 8, 9, 10],
+            distant_labels: gold.clone(),
+            gold_labels: gold.clone(),
+        };
+        let mut opt = Adam::new(model.parameters(), 3e-3, 0.0);
+        for _ in 0..60 {
+            opt.zero_grad();
+            let loss = model.loss(&block.token_ids, &gold, &mut rng);
+            loss.backward();
+            opt.step();
+        }
+        let data = vec![block];
+        assert!((entity_f1(&model, &data, &mut rng) - 1.0).abs() < 1e-6);
+        assert!((token_accuracy(&model, &data, &mut rng) - 1.0).abs() < 1e-6);
+    }
+}

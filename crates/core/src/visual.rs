@@ -1,0 +1,129 @@
+//! Visual region-feature extraction — the Faster R-CNN substitution.
+//!
+//! The paper crops the page image to each sentence box and takes frozen
+//! Faster R-CNN region features. Here the crop is the style rasterisation
+//! from [`resuformer_doc::raster`], and the region feature comes from a
+//! small *frozen* CNN (randomly initialised, never trained), playing the
+//! same role: a fixed, generic pixels → vector map whose outputs separate
+//! visual styles (font size, weight, indentation). See DESIGN.md §2.
+
+use rand::Rng;
+use resuformer_nn::{Conv2dLayer, Linear, Module};
+use resuformer_doc::raster::{PATCH_H, PATCH_W};
+use resuformer_tensor::ops;
+use resuformer_tensor::{NdArray, Tensor};
+
+/// Frozen CNN over `1 × PATCH_H × PATCH_W` patches → `visual_dim` features.
+pub struct VisualExtractor {
+    conv1: Conv2dLayer,
+    conv2: Conv2dLayer,
+    proj: Linear,
+    visual_dim: usize,
+}
+
+impl VisualExtractor {
+    /// Build with a dedicated RNG; parameters are created and then frozen
+    /// (excluded from every optimizer group — `parameters()` is empty).
+    pub fn new(rng: &mut impl Rng, visual_dim: usize) -> Self {
+        // conv1: 1 -> 4 channels, stride 2 | conv2: 4 -> 8, stride 2.
+        let conv1 = Conv2dLayer::new(rng, 1, 4, 3, 2, 1, true);
+        let conv2 = Conv2dLayer::new(rng, 4, 8, 3, 2, 1, true);
+        // After two stride-2 convs: [8, PATCH_H/4, PATCH_W/4]; average-pool
+        // by 4 → [8, PATCH_H/16, PATCH_W/16].
+        let flat = 8 * (PATCH_H / 16).max(1) * (PATCH_W / 16).max(1);
+        let proj = Linear::new(rng, flat, visual_dim);
+        VisualExtractor { conv1, conv2, proj, visual_dim }
+    }
+
+    /// Output feature dimension.
+    pub fn dim(&self) -> usize {
+        self.visual_dim
+    }
+
+    /// Extract a region feature from one patch → `[visual_dim]` row tensor.
+    pub fn extract(&self, patch: &[f32]) -> Tensor {
+        assert_eq!(patch.len(), PATCH_H * PATCH_W, "patch size mismatch");
+        let img = Tensor::constant(NdArray::from_vec(patch.to_vec(), [1, PATCH_H, PATCH_W]));
+        let h = self.conv2.forward(&self.conv1.forward(&img));
+        let pooled = ops::avg_pool2d(&h, 4);
+        let flat = ops::reshape(&pooled, [1, pooled.value().numel()]);
+        // Detach: the extractor is frozen, exactly like the paper's
+        // pre-trained Faster R-CNN.
+        self.proj.forward(&flat).detach()
+    }
+
+    /// Extract features for a batch of patches → `[n, visual_dim]`.
+    pub fn extract_batch(&self, patches: &[Vec<f32>]) -> Tensor {
+        assert!(!patches.is_empty(), "empty patch batch");
+        let rows: Vec<Tensor> = patches.iter().map(|p| self.extract(p)).collect();
+        ops::concat_rows(&rows)
+    }
+}
+
+impl Module for VisualExtractor {
+    /// Frozen: exposes no trainable parameters.
+    fn parameters(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resuformer_tensor::init::seeded_rng;
+
+    #[test]
+    fn output_shape() {
+        let v = VisualExtractor::new(&mut seeded_rng(1), 16);
+        let patch = vec![0.5f32; PATCH_H * PATCH_W];
+        let f = v.extract(&patch);
+        assert_eq!(f.dims(), vec![1, 16]);
+        assert_eq!(v.dim(), 16);
+        let b = v.extract_batch(&[patch.clone(), patch]);
+        assert_eq!(b.dims(), vec![2, 16]);
+    }
+
+    #[test]
+    fn distinct_styles_produce_distinct_features() {
+        let v = VisualExtractor::new(&mut seeded_rng(2), 16);
+        // A "title-like" patch (tall bright band) vs a "body" patch.
+        let mut title = vec![0.0f32; PATCH_H * PATCH_W];
+        for y in 2..14 {
+            for x in 0..30 {
+                title[y * PATCH_W + x] = 1.0;
+            }
+        }
+        let mut body = vec![0.0f32; PATCH_H * PATCH_W];
+        for y in 6..10 {
+            for x in 0..30 {
+                body[y * PATCH_W + x] = 0.6;
+            }
+        }
+        let ft = v.extract(&title).value();
+        let fb = v.extract(&body).value();
+        let diff: f32 = ft
+            .data()
+            .iter()
+            .zip(fb.data())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 0.1, "features too similar: {}", diff);
+    }
+
+    #[test]
+    fn extractor_is_frozen() {
+        let v = VisualExtractor::new(&mut seeded_rng(3), 8);
+        assert!(v.parameters().is_empty());
+        let patch = vec![1.0f32; PATCH_H * PATCH_W];
+        let f = v.extract(&patch);
+        assert!(!f.requires_grad(), "visual features must be detached");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = VisualExtractor::new(&mut seeded_rng(4), 8);
+        let b = VisualExtractor::new(&mut seeded_rng(4), 8);
+        let patch = vec![0.3f32; PATCH_H * PATCH_W];
+        assert_eq!(a.extract(&patch).value().data(), b.extract(&patch).value().data());
+    }
+}

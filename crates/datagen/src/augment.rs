@@ -1,0 +1,211 @@
+//! Training-data augmentation for distant supervision (§IV-B2):
+//! "we replace the entity mentions in the sentence with other entities in
+//! the dictionaries" and "the order of entities ... can be adjusted".
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::entities;
+use crate::types::EntityType;
+
+/// A token-level training instance: words plus per-token entity labels.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NerInstance {
+    /// Word tokens.
+    pub tokens: Vec<String>,
+    /// Per-token entity label.
+    pub labels: Vec<Option<EntityType>>,
+}
+
+impl NerInstance {
+    /// Contiguous same-class entity runs as `(start, end, class)`.
+    pub fn entity_runs(&self) -> Vec<(usize, usize, EntityType)> {
+        let mut runs = Vec::new();
+        let mut i = 0;
+        while i < self.labels.len() {
+            if let Some(c) = self.labels[i] {
+                let mut j = i + 1;
+                while j < self.labels.len() && self.labels[j] == Some(c) {
+                    j += 1;
+                }
+                runs.push((i, j, c));
+                i = j;
+            } else {
+                i += 1;
+            }
+        }
+        runs
+    }
+}
+
+fn replacement_pool(class: EntityType) -> Option<Vec<String>> {
+    match class {
+        EntityType::College => Some(entities::all_colleges()),
+        EntityType::Company => Some(entities::all_companies()),
+        EntityType::ProjName => Some(entities::all_projects()),
+        EntityType::Major => Some(entities::MAJORS.iter().map(|s| s.to_string()).collect()),
+        EntityType::Position => Some(entities::POSITIONS.iter().map(|s| s.to_string()).collect()),
+        _ => None,
+    }
+}
+
+/// Mention replacement: swap each open-class entity mention for a random
+/// same-class dictionary entry with probability `p`.
+pub fn replace_mentions(rng: &mut impl Rng, inst: &NerInstance, p: f64) -> NerInstance {
+    let mut tokens: Vec<String> = Vec::with_capacity(inst.tokens.len());
+    let mut labels: Vec<Option<EntityType>> = Vec::with_capacity(inst.labels.len());
+    let runs = inst.entity_runs();
+    let mut next_run = 0usize;
+    let mut i = 0;
+    while i < inst.tokens.len() {
+        let run = runs.get(next_run).filter(|r| r.0 == i).copied();
+        match run {
+            Some((start, end, class)) => {
+                next_run += 1;
+                let replace = rng.gen_bool(p);
+                match (replace, replacement_pool(class)) {
+                    (true, Some(pool)) => {
+                        let repl = pool.choose(rng).expect("non-empty pool");
+                        for w in repl.split_whitespace() {
+                            tokens.push(w.to_string());
+                            labels.push(Some(class));
+                        }
+                    }
+                    _ => {
+                        for k in start..end {
+                            tokens.push(inst.tokens[k].clone());
+                            labels.push(inst.labels[k]);
+                        }
+                    }
+                }
+                i = end;
+            }
+            None => {
+                tokens.push(inst.tokens[i].clone());
+                labels.push(inst.labels[i]);
+                i += 1;
+            }
+        }
+    }
+    NerInstance { tokens, labels }
+}
+
+/// Field reorder: rotate the entity runs of an instance (e.g. swap the
+/// company/date order in a work-experience header line), keeping the
+/// non-entity filler in place.
+pub fn reorder_entities(rng: &mut impl Rng, inst: &NerInstance) -> NerInstance {
+    let runs = inst.entity_runs();
+    if runs.len() < 2 {
+        return inst.clone();
+    }
+    let mut order: Vec<usize> = (0..runs.len()).collect();
+    order.shuffle(rng);
+    // Rebuild: walk the original, emitting the next run in shuffled order
+    // whenever a run position is reached.
+    let mut tokens = Vec::with_capacity(inst.tokens.len());
+    let mut labels = Vec::with_capacity(inst.labels.len());
+    let mut emitted = 0usize;
+    let mut i = 0;
+    while i < inst.tokens.len() {
+        if let Some(pos) = runs.iter().position(|r| r.0 == i) {
+            let _ = pos;
+            let (_, end, _) = runs[runs.iter().position(|r| r.0 == i).expect("found")];
+            let (rs, re, rc) = runs[order[emitted]];
+            emitted += 1;
+            for k in rs..re {
+                tokens.push(inst.tokens[k].clone());
+                labels.push(Some(rc));
+            }
+            i = end;
+        } else {
+            tokens.push(inst.tokens[i].clone());
+            labels.push(inst.labels[i]);
+            i += 1;
+        }
+    }
+    NerInstance { tokens, labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample() -> NerInstance {
+        NerInstance {
+            tokens: ["2018.09", "-", "2022.06", "Northlake", "University", "Computer", "Science"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            labels: vec![
+                Some(EntityType::Date),
+                Some(EntityType::Date),
+                Some(EntityType::Date),
+                Some(EntityType::College),
+                Some(EntityType::College),
+                Some(EntityType::Major),
+                Some(EntityType::Major),
+            ],
+        }
+    }
+
+    #[test]
+    fn entity_runs_found() {
+        let runs = sample().entity_runs();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0], (0, 3, EntityType::Date));
+        assert_eq!(runs[1], (3, 5, EntityType::College));
+        assert_eq!(runs[2], (5, 7, EntityType::Major));
+    }
+
+    #[test]
+    fn replacement_preserves_label_structure() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let out = replace_mentions(&mut rng, &sample(), 1.0);
+        assert_eq!(out.tokens.len(), out.labels.len());
+        let runs = out.entity_runs();
+        // Same number and class sequence of runs; surface may change.
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].2, EntityType::Date);
+        assert_eq!(runs[1].2, EntityType::College);
+        assert_eq!(runs[2].2, EntityType::Major);
+    }
+
+    #[test]
+    fn replacement_p_zero_is_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let inst = sample();
+        assert_eq!(replace_mentions(&mut rng, &inst, 0.0), inst);
+    }
+
+    #[test]
+    fn dates_are_never_replaced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let out = replace_mentions(&mut rng, &sample(), 1.0);
+        assert_eq!(&out.tokens[..3], &sample().tokens[..3]);
+    }
+
+    #[test]
+    fn reorder_keeps_multiset_of_classes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let inst = sample();
+        let out = reorder_entities(&mut rng, &inst);
+        assert_eq!(out.tokens.len(), inst.tokens.len());
+        let mut a: Vec<EntityType> = inst.entity_runs().iter().map(|r| r.2).collect();
+        let mut b: Vec<EntityType> = out.entity_runs().iter().map(|r| r.2).collect();
+        a.sort_by_key(|e| e.index());
+        b.sort_by_key(|e| e.index());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reorder_single_run_is_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let inst = NerInstance {
+            tokens: vec!["Northlake".into(), "University".into()],
+            labels: vec![Some(EntityType::College); 2],
+        };
+        assert_eq!(reorder_entities(&mut rng, &inst), inst);
+    }
+}

@@ -1,0 +1,135 @@
+//! Distant-supervision entity dictionaries (§IV-B1).
+//!
+//! Dictionaries are built over the same pools the generator samples from,
+//! but with *controlled incomplete coverage*: only a configurable fraction
+//! of each pool enters its dictionary. Mentions outside the covered subset
+//! go unmatched during automatic annotation — exactly the incomplete-label
+//! noise the self-training framework (§IV-B4) is designed to survive.
+
+use resuformer_text::DictTrie;
+
+use crate::entities;
+use crate::types::EntityType;
+
+/// Coverage configuration for dictionary construction.
+#[derive(Clone, Copy, Debug)]
+pub struct DictionaryConfig {
+    /// Fraction of each open-class pool (colleges, companies, positions,
+    /// projects, majors) included in its dictionary.
+    pub coverage: f32,
+}
+
+impl Default for DictionaryConfig {
+    fn default() -> Self {
+        // 70% coverage: high enough that D&R Match gets good precision,
+        // low enough that its recall visibly suffers (Table IV shape).
+        DictionaryConfig { coverage: 0.7 }
+    }
+}
+
+/// The entity dictionaries for automatic annotation.
+pub struct Dictionaries {
+    /// One trie over all dictionary surface forms; payload = entity class
+    /// index into [`EntityType::ALL`].
+    pub trie: DictTrie,
+    /// Family-name list for the person-name heuristic.
+    pub family_names: Vec<String>,
+    config: DictionaryConfig,
+}
+
+impl Dictionaries {
+    /// Build dictionaries with the given coverage.
+    pub fn build(config: DictionaryConfig) -> Self {
+        let mut trie = DictTrie::new();
+        let take = |v: Vec<String>| -> Vec<String> {
+            let n = ((v.len() as f32) * config.coverage).ceil() as usize;
+            v.into_iter().take(n.max(1)).collect()
+        };
+
+        for college in take(entities::all_colleges()) {
+            trie.insert_phrase(&college, EntityType::College.index());
+        }
+        for company in take(entities::all_companies()) {
+            trie.insert_phrase(&company, EntityType::Company.index());
+        }
+        for project in take(entities::all_projects()) {
+            trie.insert_phrase(&project, EntityType::ProjName.index());
+        }
+        for major in take(entities::MAJORS.iter().map(|s| s.to_string()).collect()) {
+            trie.insert_phrase(&major, EntityType::Major.index());
+        }
+        for position in take(entities::POSITIONS.iter().map(|s| s.to_string()).collect()) {
+            trie.insert_phrase(&position, EntityType::Position.index());
+        }
+        // Closed classes are fully covered (finite value type, §IV-B1).
+        for degree in entities::DEGREES {
+            trie.insert_phrase(degree, EntityType::Degree.index());
+        }
+        for gender in entities::GENDERS {
+            trie.insert_phrase(gender, EntityType::Gender.index());
+        }
+
+        Dictionaries {
+            trie,
+            family_names: entities::FAMILY_NAMES.iter().map(|s| s.to_string()).collect(),
+            config,
+        }
+    }
+
+    /// The coverage this dictionary was built with.
+    pub fn coverage(&self) -> f32 {
+        self.config.coverage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_coverage_matches_everything() {
+        let d = Dictionaries::build(DictionaryConfig { coverage: 1.0 });
+        for college in entities::all_colleges() {
+            let toks: Vec<&str> = college.split_whitespace().collect();
+            assert!(
+                !d.trie.find_all(&toks).is_empty(),
+                "college {college} unmatched at full coverage"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_coverage_misses_tail_entries() {
+        let d = Dictionaries::build(DictionaryConfig { coverage: 0.5 });
+        let all = entities::all_companies();
+        let miss = all
+            .iter()
+            .filter(|c| {
+                let toks: Vec<&str> = c.split_whitespace().collect();
+                d.trie.find_all(&toks).is_empty()
+            })
+            .count();
+        let frac = miss as f32 / all.len() as f32;
+        assert!((0.3..0.7).contains(&frac), "miss fraction {frac}");
+    }
+
+    #[test]
+    fn closed_classes_always_covered() {
+        let d = Dictionaries::build(DictionaryConfig { coverage: 0.1 });
+        for degree in entities::DEGREES {
+            let toks: Vec<&str> = degree.split_whitespace().collect();
+            assert!(!d.trie.find_all(&toks).is_empty(), "{degree}");
+        }
+        assert!(!d.trie.find_all(&["Male"]).is_empty());
+    }
+
+    #[test]
+    fn payloads_carry_entity_class() {
+        let d = Dictionaries::build(DictionaryConfig { coverage: 1.0 });
+        let m = d.trie.find_all(&["Computer", "Science"]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].class, EntityType::Major.index());
+        assert!(d.coverage() == 1.0);
+        assert_eq!(d.family_names.len(), 40);
+    }
+}

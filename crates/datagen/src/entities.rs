@@ -1,0 +1,526 @@
+//! Entity pools: the fictional "world" resumes are sampled from.
+//!
+//! Pools are intentionally larger than the distant-supervision dictionaries
+//! built over them ([`crate::dictionaries`]), so dictionary matching has
+//! incomplete coverage — the noise regime §IV-B targets. All content is
+//! fictional (as the paper's Figure 1 note requires).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Family names (romanised), used as the first token of person names. The
+/// heuristic annotation rule "the person name starts with a common family
+/// name" (§IV-B2) keys off this list.
+pub const FAMILY_NAMES: [&str; 40] = [
+    "Li", "Wang", "Zhang", "Liu", "Chen", "Yang", "Zhao", "Huang", "Zhou", "Wu",
+    "Xu", "Sun", "Hu", "Zhu", "Gao", "Lin", "He", "Guo", "Ma", "Luo",
+    "Liang", "Song", "Zheng", "Xie", "Han", "Tang", "Feng", "Yu", "Dong", "Xiao",
+    "Cheng", "Cao", "Yuan", "Deng", "Fu", "Shen", "Zeng", "Peng", "Lu", "Jiang",
+];
+
+/// Given names (romanised).
+pub const GIVEN_NAMES: [&str; 48] = [
+    "Wei", "Fang", "Min", "Jun", "Lei", "Yan", "Ting", "Hao", "Jing", "Qiang",
+    "Xin", "Bo", "Ying", "Chao", "Mei", "Tao", "Ning", "Peng", "Rui", "Shan",
+    "Kai", "Lan", "Feng", "Hua", "Jie", "Ke", "Liang", "Na", "Ping", "Qi",
+    "Rong", "Song", "Tian", "Xia", "Yun", "Zhen", "An", "Bin", "Cong", "Dan",
+    "En", "Gang", "Hong", "Juan", "Kun", "Long", "Miao", "Nan",
+];
+
+/// College name stems; combined with [`COLLEGE_SUFFIXES`].
+pub const COLLEGE_STEMS: [&str; 36] = [
+    "Northlake", "Eastfield", "Westbrook", "Southgate", "Riverside", "Hillcrest",
+    "Stonebridge", "Clearwater", "Maplewood", "Silverpine", "Goldcrest", "Ironwood",
+    "Bluepeak", "Redwood", "Greenhill", "Whitecliff", "Brightwater", "Fairview",
+    "Lakeshore", "Summit", "Harbor", "Meadowbrook", "Oakridge", "Pinehurst",
+    "Crestview", "Glenwood", "Springfield", "Ridgemont", "Valleyforge", "Seacrest",
+    "Northgate", "Eastwood", "Sunridge", "Starfield", "Moonlake", "Skyline",
+];
+
+/// College name suffixes.
+pub const COLLEGE_SUFFIXES: [&str; 4] = [
+    "University",
+    "Institute of Technology",
+    "Normal University",
+    "University of Science and Technology",
+];
+
+/// Majors.
+pub const MAJORS: [&str; 28] = [
+    "Computer Science", "Software Engineering", "Electrical Engineering",
+    "Information Systems", "Data Science", "Applied Mathematics",
+    "Mechanical Engineering", "Automation", "Communication Engineering",
+    "Artificial Intelligence", "Statistics", "Physics",
+    "Industrial Design", "Civil Engineering", "Chemical Engineering",
+    "Biomedical Engineering", "Finance", "Accounting",
+    "Business Administration", "Marketing", "Economics",
+    "International Trade", "Human Resource Management", "Law",
+    "English Literature", "Journalism", "Psychology", "Logistics Management",
+];
+
+/// Degrees (finite value set, as the paper notes).
+pub const DEGREES: [&str; 6] = [
+    "Bachelor", "Master", "PhD", "Associate", "B.S.", "M.S.",
+];
+
+/// Gender values (finite value set).
+pub const GENDERS: [&str; 2] = ["Male", "Female"];
+
+/// Company name stems; combined with [`COMPANY_DOMAINS`] and
+/// [`COMPANY_SUFFIXES`].
+pub const COMPANY_STEMS: [&str; 40] = [
+    "Bluepeak", "Cloudrise", "Datawave", "Brightline", "Nexcore", "Quantexa",
+    "Sunforge", "Vertex", "Lumina", "Pinnacle", "Starlight", "Oceanic",
+    "Redstone", "Ironclad", "Swiftarc", "Novabyte", "Greenfield", "Silverline",
+    "Truenorth", "Apexon", "Deepmind-like", "Fluxwave", "Gridware", "Hypernet",
+    "Inspira", "Jadetech", "Kitewing", "Lighthouse", "Metaflow", "Nimbus",
+    "Orbital", "Polaris", "Quasar", "Rainfall", "Streamline", "Tidewater",
+    "Umbra", "Vortex", "Wavefront", "Zenith",
+];
+
+/// Company business-domain middles.
+pub const COMPANY_DOMAINS: [&str; 8] = [
+    "Technologies", "Networks", "Software", "Information", "Intelligence",
+    "Systems", "Digital", "Cloud",
+];
+
+/// Company legal suffixes ("the company entity often ends with 'Co. LTD'").
+pub const COMPANY_SUFFIXES: [&str; 3] = ["Co. LTD", "Inc.", "Group"];
+
+/// Job positions.
+pub const POSITIONS: [&str; 30] = [
+    "Software Engineer", "Senior Software Engineer", "Backend Developer",
+    "Frontend Developer", "Algorithm Engineer", "Data Engineer",
+    "Machine Learning Engineer", "Product Manager", "Project Manager",
+    "QA Engineer", "Test Engineer", "DevOps Engineer",
+    "Site Reliability Engineer", "Database Administrator", "System Architect",
+    "Technical Lead", "Engineering Manager", "Research Scientist",
+    "Data Analyst", "Business Analyst", "UI Designer",
+    "UX Designer", "Operations Manager", "Sales Manager",
+    "Marketing Specialist", "HR Specialist", "Financial Analyst",
+    "Security Engineer", "Mobile Developer", "Solutions Architect",
+];
+
+/// Project name head nouns.
+pub const PROJECT_HEADS: [&str; 20] = [
+    "Realtime", "Distributed", "Intelligent", "Unified", "Scalable",
+    "Automated", "Interactive", "Streaming", "Secure", "Adaptive",
+    "Cross-platform", "Cloud-native", "Enterprise", "Mobile", "Embedded",
+    "Multi-tenant", "High-availability", "Low-latency", "Self-service", "Federated",
+];
+
+/// Project name middles.
+pub const PROJECT_MIDS: [&str; 16] = [
+    "Recommendation", "Payment", "Logistics", "Monitoring", "Search",
+    "Advertising", "Inventory", "Scheduling", "Messaging", "Analytics",
+    "Authentication", "Billing", "Reporting", "Crawling", "Indexing", "Trading",
+];
+
+/// Project name tails.
+pub const PROJECT_TAILS: [&str; 8] = [
+    "Platform", "System", "Service", "Engine", "Pipeline", "Dashboard",
+    "Framework", "Gateway",
+];
+
+/// Skill keywords.
+pub const SKILLS: [&str; 36] = [
+    "Java", "Python", "C++", "Rust", "Go", "JavaScript", "TypeScript", "SQL",
+    "Kubernetes", "Docker", "Linux", "Git", "Redis", "MySQL", "PostgreSQL",
+    "MongoDB", "Kafka", "Spark", "Hadoop", "Flink", "TensorFlow", "PyTorch",
+    "React", "Vue", "Spring", "Django", "Flask", "gRPC", "GraphQL", "AWS",
+    "Nginx", "Elasticsearch", "RabbitMQ", "Jenkins", "Terraform", "Ansible",
+];
+
+/// Award phrases.
+pub const AWARDS: [&str; 14] = [
+    "National Scholarship",
+    "First Prize Scholarship",
+    "Outstanding Graduate Award",
+    "Excellent Student Leader",
+    "Outstanding Employee of the Year",
+    "Best Innovation Award",
+    "Hackathon Champion",
+    "Dean's List Honors",
+    "Merit Student Award",
+    "Best Team Contribution Award",
+    "Annual Technical Excellence Award",
+    "Provincial Mathematics Contest Second Prize",
+    "ACM Regional Contest Bronze Medal",
+    "Excellent Thesis Award",
+];
+
+/// Verb phrases for work/project bullets.
+pub const BULLET_VERBS: [&str; 16] = [
+    "Designed", "Implemented", "Maintained", "Optimized", "Led", "Developed",
+    "Refactored", "Migrated", "Deployed", "Monitored", "Automated", "Integrated",
+    "Documented", "Tested", "Scaled", "Launched",
+];
+
+/// Object phrases for bullets.
+pub const BULLET_OBJECTS: [&str; 16] = [
+    "the core service modules", "a distributed cache layer",
+    "the data ingestion pipeline", "the user growth dashboard",
+    "an internal configuration center", "the offline feature store",
+    "the online inference service", "a high-throughput message queue",
+    "the continuous integration workflow", "the database sharding scheme",
+    "the API gateway routing rules", "the anomaly detection alerts",
+    "the A/B testing framework", "the customer billing reports",
+    "the search ranking strategy", "the mobile client SDK",
+];
+
+/// Outcome phrases for bullets.
+pub const BULLET_OUTCOMES: [&str; 12] = [
+    "reducing average latency by 40 percent",
+    "improving system availability to four nines",
+    "cutting infrastructure cost significantly",
+    "supporting millions of daily active users",
+    "shortening the release cycle to one week",
+    "increasing conversion rate measurably",
+    "eliminating recurring on-call incidents",
+    "doubling the processing throughput",
+    "raising unit test coverage above 85 percent",
+    "enabling rapid feature experimentation",
+    "standardizing the team coding practices",
+    "unblocking several downstream teams",
+];
+
+/// Summary sentence templates (joined with sampled skills/traits).
+pub const SUMMARY_LINES: [&str; 10] = [
+    "Self-motivated engineer with solid fundamentals and strong ownership",
+    "Passionate about large scale distributed systems and clean architecture",
+    "Fast learner who enjoys collaborating across teams",
+    "Strong communication skills and a pragmatic engineering mindset",
+    "Experienced in the full lifecycle from design to operation",
+    "Comfortable working under tight deadlines with shifting priorities",
+    "Focused on measurable impact and data driven decisions",
+    "Enthusiastic about mentoring junior engineers",
+    "Detail oriented with a habit of thorough code review",
+    "Proven record of delivering reliable services on schedule",
+];
+
+/// Sample a person name: family name + 1–2 given tokens.
+pub fn sample_name(rng: &mut impl Rng) -> String {
+    let family = FAMILY_NAMES.choose(rng).expect("non-empty");
+    let g1 = GIVEN_NAMES.choose(rng).expect("non-empty");
+    if rng.gen_bool(0.4) {
+        let g2 = GIVEN_NAMES.choose(rng).expect("non-empty");
+        format!("{family} {g1}{}", g2.to_lowercase())
+    } else {
+        format!("{family} {g1}")
+    }
+}
+
+/// Every possible college surface form (the full pool).
+pub fn all_colleges() -> Vec<String> {
+    let mut v = Vec::new();
+    for stem in COLLEGE_STEMS {
+        for suffix in COLLEGE_SUFFIXES {
+            v.push(format!("{stem} {suffix}"));
+        }
+    }
+    v
+}
+
+/// Every possible company surface form (the full pool).
+pub fn all_companies() -> Vec<String> {
+    let mut v = Vec::new();
+    for stem in COMPANY_STEMS {
+        for domain in COMPANY_DOMAINS {
+            for suffix in COMPANY_SUFFIXES {
+                v.push(format!("{stem} {domain} {suffix}"));
+            }
+        }
+    }
+    v
+}
+
+/// Every possible project surface form (the full pool).
+pub fn all_projects() -> Vec<String> {
+    let mut v = Vec::new();
+    for head in PROJECT_HEADS {
+        for mid in PROJECT_MIDS {
+            for tail in PROJECT_TAILS {
+                v.push(format!("{head} {mid} {tail}"));
+            }
+        }
+    }
+    v
+}
+
+/// Sample an email derived from a name (so heuristics can cross-check).
+pub fn sample_email(rng: &mut impl Rng, name: &str) -> String {
+    let lowered: Vec<String> = name
+        .split_whitespace()
+        .map(|s| s.to_lowercase())
+        .collect();
+    let domains = ["example.com", "mailbox.cn", "corpmail.com", "webpost.net"];
+    let sep = if rng.gen_bool(0.5) { "." } else { "_" };
+    let num: u32 = rng.gen_range(1..999);
+    format!(
+        "{}{}{}{}@{}",
+        lowered[0],
+        sep,
+        lowered.get(1).cloned().unwrap_or_default(),
+        num,
+        domains.choose(rng).expect("non-empty")
+    )
+}
+
+/// Sample a phone number in one of the accepted shapes.
+pub fn sample_phone(rng: &mut impl Rng) -> String {
+    if rng.gen_bool(0.6) {
+        // Mobile: 11 digits starting 13/15/18.
+        let prefix = ["138", "139", "158", "186", "188"].choose(rng).expect("non-empty");
+        let rest: String = (0..8).map(|_| char::from(b'0' + rng.gen_range(0..10u8))).collect();
+        format!("{prefix}{rest}")
+    } else {
+        // Landline-ish grouped form.
+        let a: String = (0..3).map(|_| char::from(b'0' + rng.gen_range(0..10u8))).collect();
+        let b: String = (0..4).map(|_| char::from(b'0' + rng.gen_range(0..10u8))).collect();
+        let c: String = (0..4).map(|_| char::from(b'0' + rng.gen_range(0..10u8))).collect();
+        format!("{a}-{b}-{c}")
+    }
+}
+
+/// Sample a `YYYY.MM` date within `[min_year, max_year]`.
+pub fn sample_year_month(rng: &mut impl Rng, min_year: u32, max_year: u32) -> String {
+    let y = rng.gen_range(min_year..=max_year);
+    let m = rng.gen_range(1..=12u32);
+    format!("{y}.{m:02}")
+}
+
+/// Sample a `(start, end)` date range: the end follows the start by 3–48
+/// months (real experience ranges never run backwards).
+pub fn sample_date_range(rng: &mut impl Rng, min_year: u32, max_year: u32) -> (String, String) {
+    let y = rng.gen_range(min_year..=max_year);
+    let m = rng.gen_range(1..=12u32);
+    let months = y * 12 + (m - 1) + rng.gen_range(3..=48u32);
+    let (ey, em) = (months / 12, months % 12 + 1);
+    (format!("{y}.{m:02}"), format!("{ey}.{em:02}"))
+}
+
+/// Sample a work/project bullet sentence.
+pub fn sample_bullet(rng: &mut impl Rng) -> String {
+    let v = BULLET_VERBS.choose(rng).expect("non-empty");
+    let o = BULLET_OBJECTS.choose(rng).expect("non-empty");
+    if rng.gen_bool(0.7) {
+        let out = BULLET_OUTCOMES.choose(rng).expect("non-empty");
+        format!("{v} {o} , {out}")
+    } else {
+        format!("{v} {o}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pools_are_nontrivial() {
+        assert_eq!(all_colleges().len(), 36 * 4);
+        assert_eq!(all_companies().len(), 40 * 8 * 3);
+        assert_eq!(all_projects().len(), 20 * 16 * 8);
+    }
+
+    #[test]
+    fn sampled_values_validate_with_matchers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let name = sample_name(&mut rng);
+            assert!(resuformer_text::matchers::is_email(&sample_email(&mut rng, &name)));
+            assert!(resuformer_text::matchers::is_phone(&sample_phone(&mut rng)));
+            assert!(resuformer_text::matchers::is_year_month(&sample_year_month(
+                &mut rng, 2000, 2025
+            )));
+        }
+    }
+
+    #[test]
+    fn names_start_with_family_name() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..50 {
+            let name = sample_name(&mut rng);
+            let first = name.split_whitespace().next().unwrap();
+            assert!(FAMILY_NAMES.contains(&first), "{name}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = sample_name(&mut ChaCha8Rng::seed_from_u64(7));
+        let b = sample_name(&mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bullets_are_plain_word_streams() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..20 {
+            let b = sample_bullet(&mut rng);
+            assert!(!b.is_empty());
+            assert!(b.split_whitespace().count() >= 3);
+        }
+    }
+}
+
+/// Render a surface variant of an open-class entity mention, as real
+/// resumes do ("Northlake Univ.", "Bluepeak Technologies" without the
+/// legal suffix, "Sr. Software Eng."). Dictionaries hold canonical forms
+/// only, so variants are invisible to exact matching — a key source of
+/// distant-supervision incompleteness beyond coverage.
+pub fn surface_variant(rng: &mut impl Rng, canonical: &str) -> String {
+    let mut out = canonical.to_string();
+    let rules: [(&str, &str); 8] = [
+        ("University of Science and Technology", "Univ. of Sci. & Tech."),
+        ("Institute of Technology", "Tech."),
+        ("Normal University", "Normal Univ."),
+        ("University", "Univ."),
+        ("Technologies", "Tech"),
+        ("Senior", "Sr."),
+        ("Engineer", "Eng."),
+        ("Developer", "Dev."),
+    ];
+    for (from, to) in rules {
+        if contains_word_phrase(&out, from) && rng.gen_bool(0.7) {
+            out = replace_word_phrase(&out, from, to);
+            break;
+        }
+    }
+    // Drop a trailing legal suffix half the time.
+    for suffix in [" Co. LTD", " Inc.", " Group"] {
+        if out.ends_with(suffix) && rng.gen_bool(0.5) {
+            out.truncate(out.len() - suffix.len());
+            break;
+        }
+    }
+    out
+}
+
+/// Whether `phrase` occurs in `s` on word boundaries (so "Engineer" does
+/// not match inside "Engineering").
+fn contains_word_phrase(s: &str, phrase: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = s[start..].find(phrase) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !s[..abs].chars().next_back().is_some_and(|c| c.is_ascii_alphanumeric());
+        let after = abs + phrase.len();
+        let after_ok = after == s.len()
+            || !s[after..].chars().next().is_some_and(|c| c.is_ascii_alphanumeric());
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + 1;
+    }
+    false
+}
+
+/// Replace the first word-boundary occurrence of `phrase` with `to`.
+fn replace_word_phrase(s: &str, phrase: &str, to: &str) -> String {
+    let mut start = 0;
+    while let Some(pos) = s[start..].find(phrase) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !s[..abs].chars().next_back().is_some_and(|c| c.is_ascii_alphanumeric());
+        let after = abs + phrase.len();
+        let after_ok = after == s.len()
+            || !s[after..].chars().next().is_some_and(|c| c.is_ascii_alphanumeric());
+        if before_ok && after_ok {
+            return format!("{}{}{}", &s[..abs], to, &s[after..]);
+        }
+        start = abs + 1;
+    }
+    s.to_string()
+}
+
+#[cfg(test)]
+mod variant_tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn variants_differ_from_canonical_most_of_the_time() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut changed = 0;
+        for _ in 0..100 {
+            let v = surface_variant(&mut rng, "Northlake University");
+            if v != "Northlake University" {
+                changed += 1;
+                assert!(v.contains("Univ."), "{v}");
+            }
+        }
+        assert!(changed > 40, "only {changed} variants generated");
+    }
+
+    #[test]
+    fn company_suffix_drops() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut dropped = 0;
+        for _ in 0..100 {
+            let v = surface_variant(&mut rng, "Bluepeak Networks Co. LTD");
+            if !v.contains("Co. LTD") {
+                dropped += 1;
+            }
+            assert!(v.starts_with("Bluepeak"));
+        }
+        assert!(dropped > 20, "only {dropped} suffix drops");
+    }
+
+    #[test]
+    fn variant_never_empty() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for canonical in ["Group", "Senior Software Engineer", "X"] {
+            for _ in 0..20 {
+                assert!(!surface_variant(&mut rng, canonical).is_empty());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod range_tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn date_ranges_are_forward_in_time() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..200 {
+            let (start, end) = sample_date_range(&mut rng, 2010, 2022);
+            let parse = |s: &str| -> u32 {
+                s[..4].parse::<u32>().unwrap() * 12 + s[5..7].parse::<u32>().unwrap()
+            };
+            assert!(parse(&end) > parse(&start), "{start} .. {end}");
+            assert!(resuformer_text::matchers::is_year_month(&start));
+            assert!(resuformer_text::matchers::is_year_month(&end));
+        }
+    }
+}
+
+#[cfg(test)]
+mod word_boundary_tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn engineer_never_mangles_engineering() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..100 {
+            let v = surface_variant(&mut rng, "Engineering Manager");
+            assert!(!v.contains("Eng.ing"), "{v}");
+        }
+        // Whole-word Engineer still abbreviates.
+        let mut hit = false;
+        for _ in 0..100 {
+            if surface_variant(&mut rng, "Software Engineer") == "Software Eng." {
+                hit = true;
+            }
+        }
+        assert!(hit);
+    }
+}

@@ -1,0 +1,819 @@
+//! The resume generator: samples a structured record, then lays it out onto
+//! pages through a real layout engine (margins, line wrap, page breaks),
+//! producing a [`resuformer_doc::Document`] with full per-token ground
+//! truth.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use resuformer_doc::{BBox, Document, Page, Sentence, Token};
+use serde::{Deserialize, Serialize};
+
+use crate::entities;
+use crate::templates::TemplateStyle;
+use crate::types::{BlockType, Education, EntityType, Project, ResumeRecord, Work};
+
+/// Content-richness knobs. Ranges are inclusive.
+#[derive(Clone, Copy, Debug)]
+pub struct GeneratorConfig {
+    /// Education experiences per resume.
+    pub n_educations: (usize, usize),
+    /// Work experiences per resume.
+    pub n_works: (usize, usize),
+    /// Project experiences per resume.
+    pub n_projects: (usize, usize),
+    /// Bullets per work/project item.
+    pub bullets_per_item: (usize, usize),
+    /// Extra clauses appended to each bullet (lengthens lines).
+    pub bullet_extra_clauses: (usize, usize),
+    /// Skill keywords.
+    pub n_skills: (usize, usize),
+    /// Summary lines.
+    pub n_summary: (usize, usize),
+    /// Award lines.
+    pub n_awards: (usize, usize),
+    /// Probability an education block inlines a scholarship line (the
+    /// Figure 3 ambiguity: Awards content positioned inside EduExp).
+    pub scholarship_prob: f64,
+    /// Probability an open-class entity mention renders as a surface
+    /// variant the dictionaries do not contain ("Northlake Univ.").
+    pub variant_prob: f64,
+}
+
+impl GeneratorConfig {
+    /// Small resumes for fast tests (hundreds of tokens).
+    pub fn smoke() -> Self {
+        GeneratorConfig {
+            n_educations: (1, 2),
+            n_works: (1, 2),
+            n_projects: (1, 2),
+            bullets_per_item: (1, 2),
+            bullet_extra_clauses: (0, 1),
+            n_skills: (4, 8),
+            n_summary: (1, 2),
+            n_awards: (1, 2),
+            scholarship_prob: 0.25,
+            variant_prob: 0.3,
+        }
+    }
+
+    /// Paper-profile resumes (Table I: ≈1 700 tokens, ≈90 sentences,
+    /// ≈2 pages).
+    pub fn paper() -> Self {
+        GeneratorConfig {
+            n_educations: (1, 3),
+            n_works: (2, 5),
+            n_projects: (2, 4),
+            bullets_per_item: (6, 9),
+            bullet_extra_clauses: (1, 3),
+            n_skills: (10, 20),
+            n_summary: (3, 5),
+            n_awards: (2, 5),
+            scholarship_prob: 0.25,
+            variant_prob: 0.3,
+        }
+    }
+}
+
+/// A generated resume document plus its complete ground truth.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LabeledResume {
+    /// The laid-out document.
+    pub doc: Document,
+    /// Per-token block class + block-instance id (instance ids are unique
+    /// per logical block so IOB `B-`/`I-` boundaries can be derived).
+    pub token_blocks: Vec<(BlockType, usize)>,
+    /// Per-token entity class, where applicable.
+    pub token_entities: Vec<Option<EntityType>>,
+    /// The underlying structured record.
+    pub record: ResumeRecord,
+    /// Writing style used.
+    pub template: TemplateStyle,
+}
+
+impl LabeledResume {
+    /// Derive sentence-level block labels by majority vote over member
+    /// tokens (the generator writes blocks line-atomically, so votes are
+    /// unanimous in practice; the vote guards refactors).
+    pub fn sentence_blocks(&self, sentences: &[Sentence]) -> Vec<(BlockType, usize)> {
+        sentences
+            .iter()
+            .map(|s| {
+                let mut counts: Vec<((BlockType, usize), usize)> = Vec::new();
+                for &ti in &s.token_indices {
+                    let key = self.token_blocks[ti];
+                    match counts.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, c)) => *c += 1,
+                        None => counts.push((key, 1)),
+                    }
+                }
+                counts
+                    .into_iter()
+                    .max_by_key(|&(_, c)| c)
+                    .expect("sentences are non-empty")
+                    .0
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Record sampling
+// ---------------------------------------------------------------------------
+
+fn range_sample(rng: &mut impl Rng, (lo, hi): (usize, usize)) -> usize {
+    rng.gen_range(lo..=hi)
+}
+
+/// Sample a structured resume record.
+pub fn sample_record(rng: &mut impl Rng, config: &GeneratorConfig) -> ResumeRecord {
+    let name = entities::sample_name(rng);
+    let email = entities::sample_email(rng, &name);
+    let colleges = entities::all_colleges();
+    let companies = entities::all_companies();
+    let projects = entities::all_projects();
+
+    let educations = (0..range_sample(rng, config.n_educations))
+        .map(|_| {
+            let start_year = rng.gen_range(2006..2018);
+            Education {
+                college: colleges.choose(rng).expect("non-empty").clone(),
+                major: entities::MAJORS.choose(rng).expect("non-empty").to_string(),
+                degree: entities::DEGREES.choose(rng).expect("non-empty").to_string(),
+                start: format!("{start_year}.09"),
+                end: format!("{}.06", start_year + 4),
+                scholarship: if rng.gen_bool(config.scholarship_prob) {
+                    Some(entities::AWARDS.choose(rng).expect("non-empty").to_string())
+                } else {
+                    None
+                },
+            }
+        })
+        .collect();
+
+    let make_bullets = |rng: &mut _| -> Vec<String> {
+        (0..range_sample(rng, config.bullets_per_item))
+            .map(|_| {
+                let mut b = entities::sample_bullet(rng);
+                for _ in 0..range_sample(rng, config.bullet_extra_clauses) {
+                    b.push_str(" and ");
+                    b.push_str(&entities::sample_bullet(rng).to_lowercase());
+                }
+                b
+            })
+            .collect()
+    };
+
+    let works = (0..range_sample(rng, config.n_works))
+        .map(|i| {
+            let (start, mut end) = entities::sample_date_range(rng, 2012, 2021);
+            if i == 0 && rng.gen_bool(0.5) {
+                end = "Present".to_string();
+            }
+            Work {
+                company: companies.choose(rng).expect("non-empty").clone(),
+                position: entities::POSITIONS.choose(rng).expect("non-empty").to_string(),
+                start,
+                end,
+                bullets: make_bullets(rng),
+            }
+        })
+        .collect();
+
+    let projs = (0..range_sample(rng, config.n_projects))
+        .map(|_| {
+            let (start, end) = entities::sample_date_range(rng, 2014, 2023);
+            Project {
+                name: projects.choose(rng).expect("non-empty").clone(),
+                start,
+                end,
+                bullets: make_bullets(rng),
+            }
+        })
+        .collect();
+
+    let n_skills = range_sample(rng, config.n_skills);
+    let n_summary = range_sample(rng, config.n_summary);
+    let n_awards = range_sample(rng, config.n_awards);
+    let mut skills: Vec<String> = entities::SKILLS
+        .choose_multiple(rng, n_skills)
+        .map(|s| s.to_string())
+        .collect();
+    skills.sort();
+
+    ResumeRecord {
+        gender: entities::GENDERS.choose(rng).expect("non-empty").to_string(),
+        phone: entities::sample_phone(rng),
+        age: rng.gen_range(22..45),
+        educations,
+        works,
+        projects: projs,
+        skills,
+        summary: entities::SUMMARY_LINES
+            .choose_multiple(rng, n_summary)
+            .map(|s| s.to_string())
+            .collect(),
+        awards: entities::AWARDS
+            .choose_multiple(rng, n_awards)
+            .map(|s| s.to_string())
+            .collect(),
+        name,
+        email,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layout engine
+// ---------------------------------------------------------------------------
+
+/// Approximate glyph advance: width of a word at a font size.
+fn word_width(word: &str, font_size: f32) -> f32 {
+    0.40 * font_size * word.chars().count().max(1) as f32
+}
+
+struct Writer {
+    page_geom: Page,
+    margin_x: f32,
+    margin_y: f32,
+    x: f32,
+    y: f32,
+    page: usize,
+    tokens: Vec<Token>,
+    token_blocks: Vec<(BlockType, usize)>,
+    token_entities: Vec<Option<EntityType>>,
+}
+
+impl Writer {
+    fn new(style: TemplateStyle) -> Self {
+        let page_geom = Page::a4();
+        Writer {
+            page_geom,
+            margin_x: style.margin_x(),
+            margin_y: style.margin_y(),
+            x: style.margin_x(),
+            y: style.margin_y(),
+            page: 0,
+            tokens: Vec::new(),
+            token_blocks: Vec::new(),
+            token_entities: Vec::new(),
+        }
+    }
+
+    fn line_height(font: f32) -> f32 {
+        font * 1.18
+    }
+
+    fn newline(&mut self, font: f32) {
+        self.x = self.margin_x;
+        self.y += Self::line_height(font);
+        if self.y + Self::line_height(font) > self.page_geom.height - self.margin_y {
+            self.page += 1;
+            self.y = self.margin_y;
+        }
+    }
+
+    fn gap(&mut self, pts: f32) {
+        self.y += pts;
+        if self.y + 14.0 > self.page_geom.height - self.margin_y {
+            self.page += 1;
+            self.y = self.margin_y;
+        }
+        self.x = self.margin_x;
+    }
+
+    /// Write words on the current line, wrapping at the right margin. Each
+    /// word is one token; `entities` must parallel `words` (or be empty for
+    /// all-None).
+    fn write_words(
+        &mut self,
+        words: &[&str],
+        entities: &[Option<EntityType>],
+        font: f32,
+        bold: bool,
+        block: (BlockType, usize),
+        indent: f32,
+    ) {
+        assert!(entities.is_empty() || entities.len() == words.len());
+        let space = 0.20 * font;
+        for (i, word) in words.iter().enumerate() {
+            let w = word_width(word, font);
+            if self.x + w > self.page_geom.width - self.margin_x && self.x > self.margin_x {
+                self.newline(font);
+                self.x = self.margin_x + indent;
+            }
+            let bbox = BBox::new(self.x, self.y, self.x + w, self.y + font);
+            self.tokens.push(Token {
+                text: (*word).to_string(),
+                bbox,
+                page: self.page,
+                font_size: font,
+                bold,
+            });
+            self.token_blocks.push(block);
+            self.token_entities
+                .push(entities.get(i).copied().flatten());
+            self.x += w + space;
+        }
+    }
+
+    /// Write a full line (words + newline).
+    fn write_line(
+        &mut self,
+        words: &[&str],
+        entities: &[Option<EntityType>],
+        font: f32,
+        bold: bool,
+        block: (BlockType, usize),
+    ) {
+        if words.is_empty() {
+            return;
+        }
+        self.x = self.margin_x;
+        self.write_words(words, entities, font, bold, block, 0.0);
+        self.newline(font);
+    }
+}
+
+fn split_entity<'a>(phrase: &'a str, ty: EntityType) -> (Vec<&'a str>, Vec<Option<EntityType>>) {
+    let words: Vec<&str> = phrase.split_whitespace().collect();
+    let ents = vec![Some(ty); words.len()];
+    (words, ents)
+}
+
+/// Restyle a canonical `YYYY.MM` date with the template's separator.
+fn restyle_date(date: &str, sep: char) -> String {
+    if date.len() == 7 && date.as_bytes()[4] == b'.' {
+        let mut s = date.to_string();
+        s.replace_range(4..5, &sep.to_string());
+        s
+    } else {
+        date.to_string() // "Present" and friends pass through
+    }
+}
+
+/// Build a `start - end` date-range token run with Date entity labels.
+fn date_range(start: &str, end: &str, sep: char) -> (Vec<String>, Vec<Option<EntityType>>) {
+    (
+        vec![restyle_date(start, sep), "-".to_string(), restyle_date(end, sep)],
+        vec![Some(EntityType::Date); 3],
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Resume generation
+// ---------------------------------------------------------------------------
+
+/// Generate one labeled resume.
+///
+/// ```
+/// use rand_chacha::rand_core::SeedableRng;
+/// use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let resume = generate_resume(&mut rng, &GeneratorConfig::smoke());
+/// resume.doc.validate().unwrap();
+/// assert_eq!(resume.doc.num_tokens(), resume.token_blocks.len());
+/// ```
+pub fn generate_resume(rng: &mut impl Rng, config: &GeneratorConfig) -> LabeledResume {
+    let record = sample_record(rng, config);
+    let template = *TemplateStyle::ALL.choose(rng).expect("non-empty");
+    render_resume(rng, &record, template, config.variant_prob)
+}
+
+/// Apply a surface variant with probability `p` (dictionaries hold only
+/// canonical forms; see [`entities::surface_variant`]).
+fn maybe_variant(rng: &mut impl Rng, canonical: &str, p: f64) -> String {
+    if p > 0.0 && rng.gen_bool(p) {
+        entities::surface_variant(rng, canonical)
+    } else {
+        canonical.to_string()
+    }
+}
+
+/// Render a record with a specific template (used by Fig. 1/Fig. 3 benches).
+/// `variant_prob` controls entity surface variation.
+pub fn render_resume(
+    rng: &mut impl Rng,
+    record: &ResumeRecord,
+    template: TemplateStyle,
+    variant_prob: f64,
+) -> LabeledResume {
+    let mut w = Writer::new(template);
+    let sep = template.date_separator();
+    let body = template.body_font();
+    let header_font = template.header_font();
+    let mut next_instance = 0usize;
+    let mut fresh = || {
+        let id = next_instance;
+        next_instance += 1;
+        id
+    };
+
+    // --- Personal information -------------------------------------------
+    let pinfo = (BlockType::PInfo, fresh());
+    {
+        // Big name line.
+        let (words, ents) = split_entity(&record.name, EntityType::Name);
+        w.write_line(&words, &ents, template.name_font(), true, pinfo);
+
+        // A header between the name line and the field lines (Labeled
+        // style) starts a new PInfo block instance, keeping instances
+        // contiguous for IOB labeling.
+        let pinfo = if let Some(h) = template.header(BlockType::PInfo) {
+            let title = (BlockType::Title, fresh());
+            let words: Vec<&str> = h.split_whitespace().collect();
+            w.write_line(&words, &[], header_font, true, title);
+            (BlockType::PInfo, fresh())
+        } else {
+            pinfo
+        };
+
+        let age = record.age.to_string();
+        if template.labeled_pinfo() {
+            w.write_line(
+                &["Gender", ":", &record.gender],
+                &[None, None, Some(EntityType::Gender)],
+                body,
+                false,
+                pinfo,
+            );
+            w.write_line(
+                &["Age", ":", &age],
+                &[None, None, Some(EntityType::Age)],
+                body,
+                false,
+                pinfo,
+            );
+            w.write_line(
+                &["Phone", ":", &record.phone],
+                &[None, None, Some(EntityType::PhoneNum)],
+                body,
+                false,
+                pinfo,
+            );
+            w.write_line(
+                &["Email", ":", &record.email],
+                &[None, None, Some(EntityType::Email)],
+                body,
+                false,
+                pinfo,
+            );
+        } else {
+            w.write_line(
+                &[
+                    &record.gender, "|", &age, "years", "old", "|", &record.phone, "|",
+                    &record.email,
+                ],
+                &[
+                    Some(EntityType::Gender),
+                    None,
+                    Some(EntityType::Age),
+                    None,
+                    None,
+                    None,
+                    Some(EntityType::PhoneNum),
+                    None,
+                    Some(EntityType::Email),
+                ],
+                body,
+                false,
+                pinfo,
+            );
+        }
+    }
+    w.gap(6.0);
+
+    // --- Sections in template order --------------------------------------
+    for section in template.section_order() {
+        if section == BlockType::PInfo {
+            continue; // already emitted
+        }
+        if let Some(h) = template.header(section) {
+            let title = (BlockType::Title, fresh());
+            let words: Vec<&str> = h.split_whitespace().collect();
+            w.write_line(&words, &[], header_font, true, title);
+        }
+        match section {
+            BlockType::EduExp => {
+                for edu in &record.educations {
+                    let block = (BlockType::EduExp, fresh());
+                    let (date_words, mut ents) = date_range(&edu.start, &edu.end, sep);
+                    let mut words: Vec<&str> = date_words.iter().map(|s| s.as_str()).collect();
+                    let college = maybe_variant(rng, &edu.college, variant_prob);
+                    let (cw, ce) = split_entity(&college, EntityType::College);
+                    words.extend(cw);
+                    ents.extend(ce);
+                    let (mw, me) = split_entity(&edu.major, EntityType::Major);
+                    words.extend(mw);
+                    ents.extend(me);
+                    let (dw, de) = split_entity(&edu.degree, EntityType::Degree);
+                    words.extend(dw);
+                    ents.extend(de);
+                    w.write_line(&words, &ents, body, false, block);
+                    // Fig. 3 ambiguity: a scholarship line positioned inside
+                    // the education section but semantically an Awards block.
+                    if let Some(sch) = &edu.scholarship {
+                        let award_block = (BlockType::Awards, fresh());
+                        let mut words = vec!["Awarded"];
+                        words.extend(sch.split_whitespace());
+                        w.write_line(&words, &[], body, false, award_block);
+                    }
+                    w.gap(3.0);
+                }
+            }
+            BlockType::WorkExp => {
+                for work in &record.works {
+                    let block = (BlockType::WorkExp, fresh());
+                    let (date_words, mut ents) = date_range(&work.start, &work.end, sep);
+                    let mut words: Vec<&str> = date_words.iter().map(|s| s.as_str()).collect();
+                    let company = maybe_variant(rng, &work.company, variant_prob);
+                    let (cw, ce) = split_entity(&company, EntityType::Company);
+                    words.extend(cw);
+                    ents.extend(ce);
+                    let position = maybe_variant(rng, &work.position, variant_prob);
+                    let (pw, pe) = split_entity(&position, EntityType::Position);
+                    words.extend(pw);
+                    ents.extend(pe);
+                    w.write_line(&words, &ents, body, rng.gen_bool(0.3), block);
+                    for bullet in &work.bullets {
+                        let mut words = vec!["-"];
+                        words.extend(bullet.split_whitespace());
+                        w.write_line(&words, &[], body, false, block);
+                    }
+                    w.gap(4.0);
+                }
+            }
+            BlockType::ProjExp => {
+                for proj in &record.projects {
+                    let block = (BlockType::ProjExp, fresh());
+                    let (date_words, mut ents) = date_range(&proj.start, &proj.end, sep);
+                    let mut words: Vec<&str> = date_words.iter().map(|s| s.as_str()).collect();
+                    let pname = maybe_variant(rng, &proj.name, variant_prob);
+                    let (nw, ne) = split_entity(&pname, EntityType::ProjName);
+                    words.extend(nw);
+                    ents.extend(ne);
+                    w.write_line(&words, &ents, body, false, block);
+                    for bullet in &proj.bullets {
+                        let mut words = vec!["-"];
+                        words.extend(bullet.split_whitespace());
+                        w.write_line(&words, &[], body, false, block);
+                    }
+                    w.gap(4.0);
+                }
+            }
+            BlockType::SkillDes => {
+                let block = (BlockType::SkillDes, fresh());
+                let mut words: Vec<&str> = Vec::new();
+                for (i, s) in record.skills.iter().enumerate() {
+                    if i > 0 {
+                        words.push(",");
+                    }
+                    words.push(s);
+                }
+                w.write_line(&words, &[], body, false, block);
+            }
+            BlockType::Summary => {
+                let block = (BlockType::Summary, fresh());
+                for line in &record.summary {
+                    let words: Vec<&str> = line.split_whitespace().collect();
+                    w.write_line(&words, &[], body, false, block);
+                }
+            }
+            BlockType::Awards => {
+                let block = (BlockType::Awards, fresh());
+                for (i, award) in record.awards.iter().enumerate() {
+                    let year = format!("20{}.{:02}", 15 + (i % 9), 1 + (i * 5) % 12);
+                    let mut words = vec![year.as_str()];
+                    words.extend(award.split_whitespace());
+                    w.write_line(&words, &[], body, false, block);
+                }
+            }
+            BlockType::PInfo | BlockType::Title => unreachable!("handled above"),
+        }
+        w.gap(6.0);
+    }
+
+    let doc = Document {
+        tokens: w.tokens,
+        pages: vec![w.page_geom; w.page + 1],
+    };
+    LabeledResume {
+        doc,
+        token_blocks: w.token_blocks,
+        token_entities: w.token_entities,
+        record: record.clone(),
+        template,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use resuformer_doc::{concat_sentences, SentenceConfig};
+
+    fn gen(seed: u64, cfg: GeneratorConfig) -> LabeledResume {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        generate_resume(&mut rng, &cfg)
+    }
+
+    #[test]
+    fn documents_validate() {
+        for seed in 0..10 {
+            let r = gen(seed, GeneratorConfig::smoke());
+            r.doc.validate().expect("generated doc must validate");
+            assert_eq!(r.doc.num_tokens(), r.token_blocks.len());
+            assert_eq!(r.doc.num_tokens(), r.token_entities.len());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen(42, GeneratorConfig::smoke());
+        let b = gen(42, GeneratorConfig::smoke());
+        assert_eq!(a.doc.num_tokens(), b.doc.num_tokens());
+        assert_eq!(a.record.name, b.record.name);
+        assert_eq!(a.token_blocks, b.token_blocks);
+    }
+
+    #[test]
+    fn all_block_types_present() {
+        let r = gen(1, GeneratorConfig::smoke());
+        for ty in [
+            BlockType::PInfo,
+            BlockType::EduExp,
+            BlockType::WorkExp,
+            BlockType::ProjExp,
+            BlockType::SkillDes,
+            BlockType::Summary,
+            BlockType::Awards,
+        ] {
+            assert!(
+                r.token_blocks.iter().any(|(b, _)| *b == ty),
+                "missing {:?}",
+                ty
+            );
+        }
+    }
+
+    #[test]
+    fn entities_present_and_typed() {
+        let r = gen(2, GeneratorConfig::smoke());
+        let has = |ty: EntityType| r.token_entities.iter().any(|e| *e == Some(ty));
+        for ty in [
+            EntityType::Name,
+            EntityType::Gender,
+            EntityType::PhoneNum,
+            EntityType::Email,
+            EntityType::Age,
+            EntityType::College,
+            EntityType::Major,
+            EntityType::Degree,
+            EntityType::Company,
+            EntityType::Position,
+            EntityType::ProjName,
+            EntityType::Date,
+        ] {
+            assert!(has(ty), "missing entity {:?}", ty);
+        }
+    }
+
+    #[test]
+    fn entity_tokens_live_in_their_home_block() {
+        let r = gen(3, GeneratorConfig::smoke());
+        for (i, ent) in r.token_entities.iter().enumerate() {
+            let Some(e) = ent else { continue };
+            let (block, _) = r.token_blocks[i];
+            let ok = match e {
+                EntityType::Name
+                | EntityType::Gender
+                | EntityType::PhoneNum
+                | EntityType::Email
+                | EntityType::Age => block == BlockType::PInfo,
+                EntityType::College | EntityType::Major | EntityType::Degree => {
+                    block == BlockType::EduExp
+                }
+                EntityType::Company | EntityType::Position => block == BlockType::WorkExp,
+                EntityType::ProjName => block == BlockType::ProjExp,
+                EntityType::Date => matches!(
+                    block,
+                    BlockType::EduExp | BlockType::WorkExp | BlockType::ProjExp
+                ),
+            };
+            assert!(ok, "entity {:?} in block {:?}", e, block);
+        }
+    }
+
+    #[test]
+    fn sentences_do_not_cross_blocks() {
+        let r = gen(4, GeneratorConfig::paper());
+        let sentences = concat_sentences(&r.doc, &SentenceConfig::default());
+        for s in &sentences {
+            let first = r.token_blocks[s.token_indices[0]];
+            for &ti in &s.token_indices {
+                assert_eq!(r.token_blocks[ti], first, "sentence crosses block boundary");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_matches_table1_profile() {
+        let mut tokens = 0usize;
+        let mut sentences = 0usize;
+        let mut pages = 0usize;
+        let n = 12;
+        for seed in 0..n {
+            let r = gen(100 + seed, GeneratorConfig::paper());
+            tokens += r.doc.num_tokens();
+            sentences += concat_sentences(&r.doc, &SentenceConfig::default()).len();
+            pages += r.doc.num_pages();
+        }
+        let avg_tokens = tokens as f32 / n as f32;
+        let avg_sentences = sentences as f32 / n as f32;
+        let avg_pages = pages as f32 / n as f32;
+        assert!(
+            (1300.0..2100.0).contains(&avg_tokens),
+            "avg tokens {} outside Table I profile",
+            avg_tokens
+        );
+        assert!(
+            (60.0..160.0).contains(&avg_sentences),
+            "avg sentences {} outside Table I profile",
+            avg_sentences
+        );
+        assert!(
+            (1.6..3.2).contains(&avg_pages),
+            "avg pages {} outside Table I profile",
+            avg_pages
+        );
+    }
+
+    #[test]
+    fn headers_are_bold_and_larger() {
+        let r = gen(5, GeneratorConfig::smoke());
+        for (i, t) in r.doc.tokens.iter().enumerate() {
+            if r.token_blocks[i].0 == BlockType::Title {
+                assert!(t.bold, "title token {:?} not bold", t.text);
+                assert!(t.font_size >= 12.0);
+            }
+        }
+    }
+
+    #[test]
+    fn page_spanning_blocks_exist_at_paper_scale() {
+        // At least one generated resume must contain a block whose tokens
+        // span two pages (the Figure 3 case-study condition).
+        let mut found = false;
+        'outer: for seed in 0..20 {
+            let r = gen(300 + seed, GeneratorConfig::paper());
+            use std::collections::HashMap;
+            let mut pages_by_block: HashMap<(BlockType, usize), Vec<usize>> = HashMap::new();
+            for (i, &blk) in r.token_blocks.iter().enumerate() {
+                pages_by_block.entry(blk).or_default().push(r.doc.tokens[i].page);
+            }
+            for (_, pages) in pages_by_block {
+                if pages.iter().any(|&p| p != pages[0]) {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "no page-spanning block in 20 paper-scale resumes");
+    }
+}
+
+#[cfg(test)]
+mod date_style_tests {
+    use super::*;
+    use crate::templates::TemplateStyle;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn restyle_keeps_present_markers() {
+        assert_eq!(restyle_date("2018.09", '/'), "2018/09");
+        assert_eq!(restyle_date("2018.09", '-'), "2018-09");
+        assert_eq!(restyle_date("Present", '/'), "Present");
+    }
+
+    #[test]
+    fn each_template_renders_its_separator() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let record = sample_record(&mut rng, &GeneratorConfig::smoke());
+        for style in TemplateStyle::ALL {
+            let r = render_resume(&mut rng, &record, style, 0.0);
+            let sep = style.date_separator();
+            let marker = format!("{}{}", record.educations[0].start.get(..4).unwrap(), sep);
+            let found = r.doc.tokens.iter().any(|t| t.text.starts_with(&marker));
+            assert!(found, "{:?}: no date with separator {:?}", style, sep);
+            // Date tokens must still be recognised by the matchers.
+            let date_toks = r
+                .doc
+                .tokens
+                .iter()
+                .filter(|t| resuformer_text::matchers::is_year_month(&t.text))
+                .count();
+            assert!(date_toks >= 2, "{:?}: only {} matcher-valid dates", style, date_toks);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # resuformer-datagen
+//!
+//! Synthetic resume corpus generator — the stand-in for the 80 000
+//! proprietary resumes the paper trains on (DESIGN.md §2).
+//!
+//! The generator produces multi-page [`resuformer_doc::Document`]s through a
+//! real layout engine (margins, line wrap, page breaks), in several writing
+//! styles mirroring Figure 1 of the paper, with full ground truth: per-token
+//! block labels (the 8 semantic classes), per-token entity labels (the 14
+//! block/tag pairs of Table IV), and the underlying structured record.
+//!
+//! Design goals tied to the paper's evaluation:
+//!
+//! * the statistical profile at [`Scale::Paper`] matches Table I
+//!   (≈1 600–1 700 tokens, ≈90 sentences, ≈2 pages per resume);
+//! * section headers are *textually ambiguous across styles* but *visually
+//!   consistent* (bold, larger font) — the mechanism by which multi-modal
+//!   models beat text-only ones, as on real resumes;
+//! * experiences may span page breaks and award lines may be inlined into
+//!   education blocks (the two failure modes of Figure 3);
+//! * [`dictionaries`] builds distant-supervision dictionaries with
+//!   *controlled incomplete coverage*, producing exactly the noisy/partial
+//!   label regime §IV-B studies.
+
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod corpus;
+pub mod dictionaries;
+pub mod entities;
+pub mod generator;
+pub mod templates;
+pub mod types;
+
+pub use corpus::{Corpus, CorpusStats, Scale, Split};
+pub use dictionaries::{Dictionaries, DictionaryConfig};
+pub use generator::{generate_resume, GeneratorConfig, LabeledResume};
+pub use templates::TemplateStyle;
+pub use types::{BlockType, EntityType, ResumeRecord};

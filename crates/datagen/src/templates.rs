@@ -1,0 +1,202 @@
+//! Resume writing styles (the three templates of Figure 1).
+//!
+//! A template fixes: section ordering, section header wording, header
+//! visual style (font size / bold), label-prefix conventions in the
+//! personal-information block, and layout geometry. Header wordings
+//! deliberately *overlap across styles and block types* (e.g. the bare word
+//! "Experience" heads work experience in one style and project experience
+//! in another) so text alone under-determines the block class — the visual
+//! and layout modalities carry the missing signal, as on real resumes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::BlockType;
+
+/// The three writing styles of Figure 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TemplateStyle {
+    /// Classic single-column: big name header, canonical section titles.
+    Classic,
+    /// Label-heavy style: `Field: value` personal block, shouting headers.
+    Labeled,
+    /// Compact style: summary first, terse ambiguous headers.
+    Compact,
+}
+
+impl TemplateStyle {
+    /// All styles.
+    pub const ALL: [TemplateStyle; 3] =
+        [TemplateStyle::Classic, TemplateStyle::Labeled, TemplateStyle::Compact];
+
+    /// Section order for this style (Title blocks are emitted before each
+    /// section automatically; `PInfo` placement varies).
+    pub fn section_order(&self) -> Vec<BlockType> {
+        match self {
+            TemplateStyle::Classic => vec![
+                BlockType::PInfo,
+                BlockType::EduExp,
+                BlockType::WorkExp,
+                BlockType::ProjExp,
+                BlockType::SkillDes,
+                BlockType::Awards,
+                BlockType::Summary,
+            ],
+            TemplateStyle::Labeled => vec![
+                BlockType::PInfo,
+                BlockType::Summary,
+                BlockType::WorkExp,
+                BlockType::ProjExp,
+                BlockType::EduExp,
+                BlockType::SkillDes,
+                BlockType::Awards,
+            ],
+            TemplateStyle::Compact => vec![
+                BlockType::PInfo,
+                BlockType::Summary,
+                BlockType::EduExp,
+                BlockType::ProjExp,
+                BlockType::WorkExp,
+                BlockType::Awards,
+                BlockType::SkillDes,
+            ],
+        }
+    }
+
+    /// Section header text for a block type (None = no header emitted).
+    ///
+    /// Note the deliberate cross-style ambiguity: "Experience" heads
+    /// WorkExp in `Compact` but ProjExp in `Labeled`; "Background" heads
+    /// EduExp in `Compact` but Summary in `Labeled`.
+    pub fn header(&self, block: BlockType) -> Option<&'static str> {
+        match (self, block) {
+            (_, BlockType::PInfo) => match self {
+                TemplateStyle::Labeled => Some("Basic Information"),
+                _ => None,
+            },
+            (TemplateStyle::Classic, BlockType::EduExp) => Some("Education Experience"),
+            (TemplateStyle::Classic, BlockType::WorkExp) => Some("Work Experience"),
+            (TemplateStyle::Classic, BlockType::ProjExp) => Some("Project Experience"),
+            (TemplateStyle::Classic, BlockType::SkillDes) => Some("Professional Skills"),
+            (TemplateStyle::Classic, BlockType::Awards) => Some("Honors and Awards"),
+            (TemplateStyle::Classic, BlockType::Summary) => Some("Self Evaluation"),
+
+            (TemplateStyle::Labeled, BlockType::EduExp) => Some("EDUCATION"),
+            (TemplateStyle::Labeled, BlockType::WorkExp) => Some("EMPLOYMENT HISTORY"),
+            (TemplateStyle::Labeled, BlockType::ProjExp) => Some("Experience"),
+            (TemplateStyle::Labeled, BlockType::SkillDes) => Some("SKILLS"),
+            (TemplateStyle::Labeled, BlockType::Awards) => Some("AWARDS"),
+            (TemplateStyle::Labeled, BlockType::Summary) => Some("Background"),
+
+            (TemplateStyle::Compact, BlockType::EduExp) => Some("Background"),
+            (TemplateStyle::Compact, BlockType::WorkExp) => Some("Experience"),
+            (TemplateStyle::Compact, BlockType::ProjExp) => Some("Projects"),
+            (TemplateStyle::Compact, BlockType::SkillDes) => Some("Stack"),
+            (TemplateStyle::Compact, BlockType::Awards) => Some("Honors"),
+            (TemplateStyle::Compact, BlockType::Summary) => Some("Profile"),
+
+            (_, BlockType::Title) => None,
+        }
+    }
+
+    /// Body font size in points.
+    pub fn body_font(&self) -> f32 {
+        match self {
+            TemplateStyle::Classic => 10.0,
+            TemplateStyle::Labeled => 10.5,
+            TemplateStyle::Compact => 9.0,
+        }
+    }
+
+    /// Section-header font size in points (always visibly larger than body).
+    pub fn header_font(&self) -> f32 {
+        match self {
+            TemplateStyle::Classic => 14.0,
+            TemplateStyle::Labeled => 13.0,
+            TemplateStyle::Compact => 12.0,
+        }
+    }
+
+    /// Name-line font size in points (the largest element on the page).
+    pub fn name_font(&self) -> f32 {
+        match self {
+            TemplateStyle::Classic => 20.0,
+            TemplateStyle::Labeled => 18.0,
+            TemplateStyle::Compact => 16.0,
+        }
+    }
+
+    /// Left margin in points.
+    pub fn margin_x(&self) -> f32 {
+        match self {
+            TemplateStyle::Classic => 50.0,
+            TemplateStyle::Labeled => 60.0,
+            TemplateStyle::Compact => 40.0,
+        }
+    }
+
+    /// Top/bottom margin in points.
+    pub fn margin_y(&self) -> f32 {
+        match self {
+            TemplateStyle::Classic => 50.0,
+            TemplateStyle::Labeled => 55.0,
+            TemplateStyle::Compact => 40.0,
+        }
+    }
+
+    /// Whether personal info uses `Field: value` label prefixes.
+    pub fn labeled_pinfo(&self) -> bool {
+        matches!(self, TemplateStyle::Labeled | TemplateStyle::Compact)
+    }
+
+    /// Date separator used in `YYYY<sep>MM` tokens (all three forms are
+    /// accepted by the matchers; styles differ, as real resumes do).
+    pub fn date_separator(&self) -> char {
+        match self {
+            TemplateStyle::Classic => '.',
+            TemplateStyle::Labeled => '/',
+            TemplateStyle::Compact => '-',
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_style_orders_all_sections() {
+        for style in TemplateStyle::ALL {
+            let order = style.section_order();
+            assert_eq!(order.len(), 7, "{:?}", style);
+            for b in [
+                BlockType::PInfo,
+                BlockType::EduExp,
+                BlockType::WorkExp,
+                BlockType::ProjExp,
+                BlockType::SkillDes,
+                BlockType::Summary,
+                BlockType::Awards,
+            ] {
+                assert!(order.contains(&b), "{:?} missing {:?}", style, b);
+            }
+        }
+    }
+
+    #[test]
+    fn headers_are_textually_ambiguous_across_styles() {
+        // The same surface header maps to different block types in
+        // different styles — the designed ambiguity.
+        assert_eq!(TemplateStyle::Compact.header(BlockType::WorkExp), Some("Experience"));
+        assert_eq!(TemplateStyle::Labeled.header(BlockType::ProjExp), Some("Experience"));
+        assert_eq!(TemplateStyle::Compact.header(BlockType::EduExp), Some("Background"));
+        assert_eq!(TemplateStyle::Labeled.header(BlockType::Summary), Some("Background"));
+    }
+
+    #[test]
+    fn headers_are_visually_distinct_from_body() {
+        for style in TemplateStyle::ALL {
+            assert!(style.header_font() > style.body_font() + 1.0);
+            assert!(style.name_font() > style.header_font());
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Ground-truth types: block classes, entity classes, structured records.
+
+use serde::{Deserialize, Serialize};
+
+/// The eight semantic block classes of §III-A.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockType {
+    /// A section title line.
+    Title,
+    /// Personal information (name, contacts, demographics).
+    PInfo,
+    /// One education experience.
+    EduExp,
+    /// One work experience.
+    WorkExp,
+    /// One project experience.
+    ProjExp,
+    /// Skill description.
+    SkillDes,
+    /// Self summary.
+    Summary,
+    /// Awards / honours.
+    Awards,
+}
+
+impl BlockType {
+    /// All classes, in the paper's tag order for tables.
+    pub const ALL: [BlockType; 8] = [
+        BlockType::PInfo,
+        BlockType::EduExp,
+        BlockType::WorkExp,
+        BlockType::ProjExp,
+        BlockType::Summary,
+        BlockType::Awards,
+        BlockType::SkillDes,
+        BlockType::Title,
+    ];
+
+    /// Paper tag name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BlockType::Title => "Title",
+            BlockType::PInfo => "PInfo",
+            BlockType::EduExp => "EduExp",
+            BlockType::WorkExp => "WorkExp",
+            BlockType::ProjExp => "ProjExp",
+            BlockType::SkillDes => "SkillDes",
+            BlockType::Summary => "Summary",
+            BlockType::Awards => "Awards",
+        }
+    }
+
+    /// Index into [`BlockType::ALL`].
+    pub fn index(&self) -> usize {
+        BlockType::ALL.iter().position(|b| b == self).expect("member of ALL")
+    }
+}
+
+/// The entity classes of Table IV. `Date` is shared by the three
+/// experience blocks, as in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntityType {
+    /// Person name (PInfo).
+    Name,
+    /// Gender (PInfo).
+    Gender,
+    /// Phone number (PInfo).
+    PhoneNum,
+    /// Email address (PInfo).
+    Email,
+    /// Age (PInfo).
+    Age,
+    /// College / university (EduExp).
+    College,
+    /// Major (EduExp).
+    Major,
+    /// Degree (EduExp).
+    Degree,
+    /// Company name (WorkExp).
+    Company,
+    /// Job position (WorkExp).
+    Position,
+    /// Project name (ProjExp).
+    ProjName,
+    /// Date / date range (EduExp, WorkExp, ProjExp).
+    Date,
+}
+
+impl EntityType {
+    /// All classes in a stable order.
+    pub const ALL: [EntityType; 12] = [
+        EntityType::Name,
+        EntityType::Gender,
+        EntityType::PhoneNum,
+        EntityType::Email,
+        EntityType::Age,
+        EntityType::College,
+        EntityType::Major,
+        EntityType::Degree,
+        EntityType::Company,
+        EntityType::Position,
+        EntityType::ProjName,
+        EntityType::Date,
+    ];
+
+    /// Table IV tag name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EntityType::Name => "Name",
+            EntityType::Gender => "Gender",
+            EntityType::PhoneNum => "PhoneNum",
+            EntityType::Email => "Email",
+            EntityType::Age => "Age",
+            EntityType::College => "College",
+            EntityType::Major => "Major",
+            EntityType::Degree => "Degree",
+            EntityType::Company => "Company",
+            EntityType::Position => "Position",
+            EntityType::ProjName => "ProjName",
+            EntityType::Date => "Date",
+        }
+    }
+
+    /// Index into [`EntityType::ALL`].
+    pub fn index(&self) -> usize {
+        EntityType::ALL.iter().position(|e| e == self).expect("member of ALL")
+    }
+}
+
+/// One education experience in the structured record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Education {
+    /// College / university name.
+    pub college: String,
+    /// Major / field of study.
+    pub major: String,
+    /// Degree.
+    pub degree: String,
+    /// Start, `YYYY.MM`.
+    pub start: String,
+    /// End, `YYYY.MM` or a present marker.
+    pub end: String,
+    /// Optional inlined scholarship line (the Figure 3 ambiguity).
+    pub scholarship: Option<String>,
+}
+
+/// One work experience in the structured record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Work {
+    /// Company name (including suffixes like `Co. LTD`).
+    pub company: String,
+    /// Job position / title.
+    pub position: String,
+    /// Start, `YYYY.MM`.
+    pub start: String,
+    /// End, `YYYY.MM` or a present marker.
+    pub end: String,
+    /// Free-text responsibility bullets.
+    pub bullets: Vec<String>,
+}
+
+/// One project experience in the structured record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Project {
+    /// Project name.
+    pub name: String,
+    /// Start, `YYYY.MM`.
+    pub start: String,
+    /// End, `YYYY.MM` or a present marker.
+    pub end: String,
+    /// Free-text description bullets.
+    pub bullets: Vec<String>,
+}
+
+/// The full structured truth behind a generated resume — exactly what a
+/// perfect semantic-structure extractor should recover.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResumeRecord {
+    /// Person name.
+    pub name: String,
+    /// Gender string.
+    pub gender: String,
+    /// Phone number.
+    pub phone: String,
+    /// Email address.
+    pub email: String,
+    /// Age in years.
+    pub age: u32,
+    /// Education experiences, newest first.
+    pub educations: Vec<Education>,
+    /// Work experiences, newest first.
+    pub works: Vec<Work>,
+    /// Project experiences, newest first.
+    pub projects: Vec<Project>,
+    /// Skill keywords.
+    pub skills: Vec<String>,
+    /// Summary lines.
+    pub summary: Vec<String>,
+    /// Award lines.
+    pub awards: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_indices_round_trip() {
+        for (i, b) in BlockType::ALL.iter().enumerate() {
+            assert_eq!(b.index(), i);
+        }
+        assert_eq!(BlockType::PInfo.name(), "PInfo");
+        assert_eq!(BlockType::SkillDes.index(), 6);
+    }
+
+    #[test]
+    fn entity_indices_round_trip() {
+        for (i, e) in EntityType::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+        assert_eq!(EntityType::ALL.len(), 12);
+        assert_eq!(EntityType::Date.name(), "Date");
+    }
+}

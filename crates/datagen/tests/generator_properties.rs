@@ -1,0 +1,83 @@
+//! Property-based tests of the resume generator's ground-truth invariants.
+
+use proptest::prelude::*;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+use resuformer_datagen::BlockType;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn documents_always_validate(seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let r = generate_resume(&mut rng, &GeneratorConfig::smoke());
+        prop_assert!(r.doc.validate().is_ok());
+        prop_assert_eq!(r.doc.num_tokens(), r.token_blocks.len());
+        prop_assert_eq!(r.doc.num_tokens(), r.token_entities.len());
+    }
+
+    #[test]
+    fn block_instances_are_contiguous(seed in 0u64..10_000) {
+        // A block instance id must appear as one contiguous token run —
+        // the precondition for IOB labels being well formed.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let r = generate_resume(&mut rng, &GeneratorConfig::smoke());
+        let mut seen: Vec<(BlockType, usize)> = Vec::new();
+        let mut prev: Option<(BlockType, usize)> = None;
+        for &key in &r.token_blocks {
+            if prev != Some(key) {
+                prop_assert!(
+                    !seen.contains(&key),
+                    "block instance {:?} split into multiple runs",
+                    key
+                );
+                seen.push(key);
+                prev = Some(key);
+            }
+        }
+    }
+
+    #[test]
+    fn reading_order_is_monotone(seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let r = generate_resume(&mut rng, &GeneratorConfig::smoke());
+        for w in r.doc.tokens.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            prop_assert!(
+                a.page < b.page || (a.page == b.page && a.bbox.y0 <= b.bbox.y0 + 0.5),
+                "tokens out of reading order: {:?} then {:?}",
+                (a.page, a.bbox.y0),
+                (b.page, b.bbox.y0)
+            );
+        }
+    }
+
+    #[test]
+    fn record_entities_appear_in_document(seed in 0u64..10_000) {
+        // The name's family token must appear with a Name entity label.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let r = generate_resume(&mut rng, &GeneratorConfig::smoke());
+        let family = r.record.name.split_whitespace().next().unwrap();
+        let found = r.doc.tokens.iter().zip(r.token_entities.iter()).any(|(t, e)| {
+            t.text == family && e.is_some()
+        });
+        prop_assert!(found, "name token {:?} not labeled", family);
+    }
+
+    #[test]
+    fn title_blocks_use_header_font(seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let r = generate_resume(&mut rng, &GeneratorConfig::smoke());
+        let body = r.template.body_font();
+        for (i, &(ty, _)) in r.token_blocks.iter().enumerate() {
+            if ty == BlockType::Title {
+                prop_assert!(
+                    r.doc.tokens[i].font_size > body,
+                    "title token not visually distinct"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # resuformer-doc
+//!
+//! The document/layout substrate: what the paper obtains from PyMuPDF, we
+//! model directly. A [`Document`] is a reading-ordered stream of [`Token`]s,
+//! each carrying its text, bounding box, page index and font style, plus the
+//! page geometry.
+//!
+//! * [`sentence`] concatenates adjacent tokens into the paper's "sentences"
+//!   (§III-A): visually-adjacent same-row token runs with merged boxes;
+//! * [`norm`] normalises coordinates into `[0, 1000]` and builds the
+//!   seven-tuple `(x_min, y_min, x_max, y_max, width, height, page)` of
+//!   Eq. (2);
+//! * [`raster`] renders a sentence's glyph boxes into a small grayscale
+//!   patch — the input to the visual region-feature CNN that substitutes
+//!   for the paper's frozen Faster R-CNN (DESIGN.md §2).
+
+#![warn(missing_docs)]
+
+pub mod norm;
+pub mod raster;
+pub mod sentence;
+pub mod token;
+
+pub use norm::{normalize_bbox, LayoutTuple, COORD_RANGE};
+pub use raster::rasterize_sentence;
+pub use sentence::{concat_sentences, Sentence, SentenceConfig};
+pub use token::{BBox, Document, Page, Token};

@@ -1,0 +1,98 @@
+//! Coordinate normalisation and the layout seven-tuple of Eq. (2).
+//!
+//! Following LayoutLMv2 (and §IV-A1), "all coordinates are normalized and
+//! discretized to integers in the range \[0, 1000\]". The layout embedding
+//! consumes `(x_min, y_min, x_max, y_max, width, height, page)`.
+
+use crate::token::{BBox, Page};
+
+/// Upper bound of the normalised coordinate range.
+pub const COORD_RANGE: usize = 1000;
+
+/// The discretised layout tuple of Eq. (2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LayoutTuple {
+    /// Left edge in `[0, 1000]`.
+    pub x_min: usize,
+    /// Top edge in `[0, 1000]`.
+    pub y_min: usize,
+    /// Right edge in `[0, 1000]`.
+    pub x_max: usize,
+    /// Bottom edge in `[0, 1000]`.
+    pub y_max: usize,
+    /// Width in `[0, 1000]`.
+    pub width: usize,
+    /// Height in `[0, 1000]`.
+    pub height: usize,
+    /// Zero-based page index.
+    pub page: usize,
+}
+
+/// Normalise a bounding box against its page into the layout tuple.
+pub fn normalize_bbox(bbox: &BBox, page_geom: &Page, page: usize) -> LayoutTuple {
+    let clamp = |v: f32| -> usize {
+        (v.max(0.0).min(COORD_RANGE as f32)).round() as usize
+    };
+    let sx = COORD_RANGE as f32 / page_geom.width;
+    let sy = COORD_RANGE as f32 / page_geom.height;
+    let x_min = clamp(bbox.x0 * sx);
+    let y_min = clamp(bbox.y0 * sy);
+    let x_max = clamp(bbox.x1 * sx);
+    let y_max = clamp(bbox.y1 * sy);
+    LayoutTuple {
+        x_min,
+        y_min,
+        x_max,
+        y_max,
+        width: x_max - x_min,
+        height: y_max - y_min,
+        page,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_page_box_maps_to_full_range() {
+        let p = Page { width: 600.0, height: 800.0 };
+        let t = normalize_bbox(&BBox::new(0.0, 0.0, 600.0, 800.0), &p, 1);
+        assert_eq!(t, LayoutTuple {
+            x_min: 0, y_min: 0, x_max: 1000, y_max: 1000,
+            width: 1000, height: 1000, page: 1,
+        });
+    }
+
+    #[test]
+    fn mid_page_box_scales_proportionally() {
+        let p = Page { width: 1000.0, height: 2000.0 };
+        let t = normalize_bbox(&BBox::new(250.0, 500.0, 750.0, 1500.0), &p, 0);
+        assert_eq!((t.x_min, t.y_min, t.x_max, t.y_max), (250, 250, 750, 750));
+        assert_eq!((t.width, t.height), (500, 500));
+    }
+
+    #[test]
+    fn out_of_page_coordinates_clamp() {
+        let p = Page { width: 100.0, height: 100.0 };
+        let t = normalize_bbox(&BBox::new(0.0, 0.0, 150.0, 50.0), &p, 0);
+        assert_eq!(t.x_max, 1000);
+        assert_eq!(t.y_max, 500);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_always_within_range(
+            x0 in 0.0f32..500.0, y0 in 0.0f32..700.0,
+            w in 0.0f32..95.0, h in 0.0f32..140.0,
+        ) {
+            let p = Page { width: 595.0, height: 842.0 };
+            let t = normalize_bbox(&BBox::new(x0, y0, x0 + w, y0 + h), &p, 0);
+            prop_assert!(t.x_max <= COORD_RANGE && t.y_max <= COORD_RANGE);
+            prop_assert!(t.x_min <= t.x_max && t.y_min <= t.y_max);
+            prop_assert_eq!(t.width, t.x_max - t.x_min);
+            prop_assert_eq!(t.height, t.y_max - t.y_min);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Sentence-crop rasterisation for visual region features.
+//!
+//! The paper segments the page image by each sentence's box and feeds the
+//! crop to a frozen Faster R-CNN. Our generator has no pixel source, so we
+//! rasterise the *style geometry* of the crop instead: each member token is
+//! drawn as a filled box whose height encodes font size, whose intensity
+//! encodes weight (bold), and whose horizontal placement encodes indentation
+//! and extent relative to the page. These are precisely the cues the paper
+//! says the visual modality contributes ("a section title usually has
+//! different font color or a larger font size").
+
+use crate::sentence::Sentence;
+use crate::token::{Document, Page};
+
+/// Patch height in pixels.
+pub const PATCH_H: usize = 16;
+/// Patch width in pixels.
+pub const PATCH_W: usize = 48;
+/// Font size (points) that maps to the full patch height.
+pub const MAX_FONT: f32 = 24.0;
+
+/// Rasterise a sentence into a `PATCH_H × PATCH_W` grayscale patch
+/// (row-major, values in `[0, 1]`), in the coordinate frame of the whole
+/// page width so indentation is visible.
+pub fn rasterize_sentence(doc: &Document, sentence: &Sentence, page: &Page) -> Vec<f32> {
+    let mut patch = vec![0.0f32; PATCH_H * PATCH_W];
+    let sx = PATCH_W as f32 / page.width;
+
+    for &ti in &sentence.token_indices {
+        let tok = &doc.tokens[ti];
+        // Horizontal extent across the page.
+        let px0 = (tok.bbox.x0 * sx).floor().max(0.0) as usize;
+        let px1 = ((tok.bbox.x1 * sx).ceil() as usize).clamp(px0 + 1, PATCH_W);
+        // Vertical extent encodes font size: larger fonts fill more rows,
+        // centred vertically.
+        let frac = (tok.font_size / MAX_FONT).clamp(0.1, 1.0);
+        let rows = ((PATCH_H as f32) * frac).round().max(1.0) as usize;
+        let top = (PATCH_H - rows.min(PATCH_H)) / 2;
+        let intensity = if tok.bold { 1.0 } else { 0.6 };
+        for y in top..(top + rows).min(PATCH_H) {
+            for x in px0..px1.min(PATCH_W) {
+                patch[y * PATCH_W + x] = intensity;
+            }
+        }
+    }
+    patch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sentence::{concat_sentences, SentenceConfig};
+    use crate::token::{BBox, Token};
+
+    fn make_doc(font_size: f32, bold: bool, x0: f32) -> (Document, Sentence, Page) {
+        let page = Page::a4();
+        let doc = Document {
+            tokens: vec![Token {
+                text: "Education".into(),
+                bbox: BBox::new(x0, 100.0, x0 + 80.0, 100.0 + font_size),
+                page: 0,
+                font_size,
+                bold,
+            }],
+            pages: vec![page],
+        };
+        let s = concat_sentences(&doc, &SentenceConfig::default())
+            .into_iter()
+            .next()
+            .unwrap();
+        (doc, s, page)
+    }
+
+    #[test]
+    fn patch_dimensions_and_range() {
+        let (doc, s, page) = make_doc(10.0, false, 50.0);
+        let p = rasterize_sentence(&doc, &s, &page);
+        assert_eq!(p.len(), PATCH_H * PATCH_W);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(p.iter().any(|&v| v > 0.0), "patch must not be blank");
+    }
+
+    #[test]
+    fn larger_font_fills_more_rows() {
+        let coverage = |fs: f32| {
+            let (doc, s, page) = make_doc(fs, false, 50.0);
+            rasterize_sentence(&doc, &s, &page)
+                .iter()
+                .filter(|&&v| v > 0.0)
+                .count()
+        };
+        assert!(coverage(20.0) > coverage(8.0));
+    }
+
+    #[test]
+    fn bold_is_brighter() {
+        let (d1, s1, p1) = make_doc(10.0, true, 50.0);
+        let (d2, s2, p2) = make_doc(10.0, false, 50.0);
+        let b = rasterize_sentence(&d1, &s1, &p1);
+        let n = rasterize_sentence(&d2, &s2, &p2);
+        assert!(b.iter().cloned().fold(0.0f32, f32::max) > n.iter().cloned().fold(0.0f32, f32::max));
+    }
+
+    #[test]
+    fn indentation_shifts_pixels_right() {
+        let first_col = |x0: f32| {
+            let (doc, s, page) = make_doc(10.0, false, x0);
+            let p = rasterize_sentence(&doc, &s, &page);
+            (0..PATCH_W)
+                .find(|&x| (0..PATCH_H).any(|y| p[y * PATCH_W + x] > 0.0))
+                .unwrap()
+        };
+        assert!(first_col(300.0) > first_col(20.0));
+    }
+
+    #[test]
+    fn rasterisation_is_deterministic() {
+        let (doc, s, page) = make_doc(12.0, true, 100.0);
+        assert_eq!(
+            rasterize_sentence(&doc, &s, &page),
+            rasterize_sentence(&doc, &s, &page)
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Token → "sentence" concatenation (§III-A).
+//!
+//! The paper concatenates adjacent tokens into sentences when "the two
+//! tokens are closely spaced and in a row in the document", merging the
+//! leftmost/rightmost token coordinates into the sentence box. The sentence
+//! is *not* a linguistic sentence — just a visually contiguous token run —
+//! and its length is capped (the paper uses 55 tokens).
+
+use serde::{Deserialize, Serialize};
+
+use crate::token::{BBox, Document};
+
+/// Tunables for sentence concatenation.
+#[derive(Clone, Copy, Debug)]
+pub struct SentenceConfig {
+    /// Maximum horizontal gap between adjacent tokens, as a multiple of the
+    /// left token's font size.
+    pub max_gap_em: f32,
+    /// Hard cap on tokens per sentence (the paper's 55).
+    pub max_tokens: usize,
+}
+
+impl Default for SentenceConfig {
+    fn default() -> Self {
+        SentenceConfig { max_gap_em: 1.5, max_tokens: 55 }
+    }
+}
+
+/// A visually contiguous token run with a merged bounding box.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Sentence {
+    /// Indices into the owning document's token vector, in order.
+    pub token_indices: Vec<usize>,
+    /// Merged bounding box.
+    pub bbox: BBox,
+    /// Page index.
+    pub page: usize,
+    /// Maximum font size among member tokens (visual cue).
+    pub font_size: f32,
+    /// Whether any member token is bold (visual cue).
+    pub bold: bool,
+}
+
+impl Sentence {
+    /// Member words, borrowed from the document.
+    pub fn words<'d>(&self, doc: &'d Document) -> Vec<&'d str> {
+        self.token_indices
+            .iter()
+            .map(|&i| doc.tokens[i].text.as_str())
+            .collect()
+    }
+
+    /// Member words joined with spaces.
+    pub fn text(&self, doc: &Document) -> String {
+        self.words(doc).join(" ")
+    }
+
+    /// Number of member tokens.
+    pub fn len(&self) -> usize {
+        self.token_indices.len()
+    }
+
+    /// Sentences are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Concatenate a document's tokens into sentences.
+///
+/// Tokens are assumed to be in reading order (as the parser/generator
+/// emits them). A sentence breaks when the page changes, the row changes,
+/// the horizontal gap exceeds `max_gap_em` font sizes, or the length cap is
+/// reached.
+pub fn concat_sentences(doc: &Document, config: &SentenceConfig) -> Vec<Sentence> {
+    let mut sentences: Vec<Sentence> = Vec::new();
+    let mut current: Option<Sentence> = None;
+
+    for (i, tok) in doc.tokens.iter().enumerate() {
+        let extend = match &current {
+            None => false,
+            Some(s) => {
+                let last = &doc.tokens[*s.token_indices.last().expect("non-empty")];
+                tok.page == s.page
+                    && last.bbox.same_row(&tok.bbox)
+                    && tok.bbox.x0 >= last.bbox.x0 // still moving right-ish
+                    && (tok.bbox.x0 - last.bbox.x1) <= config.max_gap_em * last.font_size
+                    && s.token_indices.len() < config.max_tokens
+            }
+        };
+        if extend {
+            let s = current.as_mut().expect("checked above");
+            s.token_indices.push(i);
+            s.bbox = s.bbox.union(&tok.bbox);
+            s.font_size = s.font_size.max(tok.font_size);
+            s.bold |= tok.bold;
+        } else {
+            if let Some(s) = current.take() {
+                sentences.push(s);
+            }
+            current = Some(Sentence {
+                token_indices: vec![i],
+                bbox: tok.bbox,
+                page: tok.page,
+                font_size: tok.font_size,
+                bold: tok.bold,
+            });
+        }
+    }
+    if let Some(s) = current {
+        sentences.push(s);
+    }
+    sentences
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{Page, Token};
+
+    fn tok(text: &str, x0: f32, y0: f32, w: f32, page: usize) -> Token {
+        Token {
+            text: text.into(),
+            bbox: BBox::new(x0, y0, x0 + w, y0 + 10.0),
+            page,
+            font_size: 10.0,
+            bold: false,
+        }
+    }
+
+    fn doc(tokens: Vec<Token>) -> Document {
+        let pages = tokens.iter().map(|t| t.page).max().unwrap_or(0) + 1;
+        Document { tokens, pages: vec![Page::a4(); pages] }
+    }
+
+    #[test]
+    fn adjacent_same_row_tokens_merge() {
+        let d = doc(vec![
+            tok("Software", 50.0, 100.0, 60.0, 0),
+            tok("Engineer", 115.0, 100.0, 60.0, 0),
+        ]);
+        let s = concat_sentences(&d, &SentenceConfig::default());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].text(&d), "Software Engineer");
+        assert_eq!(s[0].bbox.x0, 50.0);
+        assert_eq!(s[0].bbox.x1, 175.0);
+    }
+
+    #[test]
+    fn large_gap_breaks_sentence() {
+        // Two columns on the same row: gap 200pt >> 1.5em.
+        let d = doc(vec![
+            tok("Email:", 50.0, 100.0, 40.0, 0),
+            tok("a@b.com", 95.0, 100.0, 50.0, 0),
+            tok("Phone:", 350.0, 100.0, 40.0, 0),
+        ]);
+        let s = concat_sentences(&d, &SentenceConfig::default());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].text(&d), "Email: a@b.com");
+        assert_eq!(s[1].text(&d), "Phone:");
+    }
+
+    #[test]
+    fn row_change_breaks_sentence() {
+        let d = doc(vec![
+            tok("line", 50.0, 100.0, 30.0, 0),
+            tok("one", 85.0, 100.0, 30.0, 0),
+            tok("line", 50.0, 120.0, 30.0, 0),
+            tok("two", 85.0, 120.0, 30.0, 0),
+        ]);
+        let s = concat_sentences(&d, &SentenceConfig::default());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].text(&d), "line one");
+        assert_eq!(s[1].text(&d), "line two");
+    }
+
+    #[test]
+    fn page_change_breaks_sentence() {
+        let d = doc(vec![
+            tok("end", 50.0, 800.0, 30.0, 0),
+            tok("start", 50.0, 800.0, 30.0, 1),
+        ]);
+        let s = concat_sentences(&d, &SentenceConfig::default());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].page, 0);
+        assert_eq!(s[1].page, 1);
+    }
+
+    #[test]
+    fn token_cap_breaks_sentence() {
+        let tokens: Vec<Token> = (0..10)
+            .map(|i| tok("w", 50.0 + 12.0 * i as f32, 100.0, 10.0, 0))
+            .collect();
+        let d = doc(tokens);
+        let cfg = SentenceConfig { max_gap_em: 1.5, max_tokens: 4 };
+        let s = concat_sentences(&d, &cfg);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].len(), 4);
+        assert_eq!(s[1].len(), 4);
+        assert_eq!(s[2].len(), 2);
+    }
+
+    #[test]
+    fn style_cues_aggregate() {
+        let mut t1 = tok("BIG", 50.0, 100.0, 30.0, 0);
+        t1.font_size = 16.0;
+        let mut t2 = tok("bold", 85.0, 102.0, 30.0, 0);
+        t2.bold = true;
+        // Keep them on the same visual row despite size difference.
+        t2.bbox = BBox::new(85.0, 100.0, 115.0, 116.0);
+        t1.bbox = BBox::new(50.0, 100.0, 80.0, 116.0);
+        let d = doc(vec![t1, t2]);
+        let s = concat_sentences(&d, &SentenceConfig::default());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].font_size, 16.0);
+        assert!(s[0].bold);
+    }
+
+    #[test]
+    fn empty_document_yields_no_sentences() {
+        let d = Document::default();
+        assert!(concat_sentences(&d, &SentenceConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn every_token_appears_exactly_once() {
+        let d = doc(vec![
+            tok("a", 50.0, 100.0, 10.0, 0),
+            tok("b", 65.0, 100.0, 10.0, 0),
+            tok("c", 400.0, 100.0, 10.0, 0),
+            tok("d", 50.0, 130.0, 10.0, 0),
+        ]);
+        let s = concat_sentences(&d, &SentenceConfig::default());
+        let mut all: Vec<usize> = s.iter().flat_map(|x| x.token_indices.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+}

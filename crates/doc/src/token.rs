@@ -1,0 +1,204 @@
+//! Tokens, bounding boxes, pages and documents.
+
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box in page coordinates (points; origin
+/// top-left, `y` grows downward, as in PDF viewers).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    /// Left edge.
+    pub x0: f32,
+    /// Top edge.
+    pub y0: f32,
+    /// Right edge.
+    pub x1: f32,
+    /// Bottom edge.
+    pub y1: f32,
+}
+
+impl BBox {
+    /// New box; panics on inverted edges.
+    pub fn new(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
+        assert!(x1 >= x0 && y1 >= y0, "inverted bbox ({x0},{y0})-({x1},{y1})");
+        BBox { x0, y0, x1, y1 }
+    }
+
+    /// Box width.
+    pub fn width(&self) -> f32 {
+        self.x1 - self.x0
+    }
+
+    /// Box height.
+    pub fn height(&self) -> f32 {
+        self.y1 - self.y0
+    }
+
+    /// Box area.
+    pub fn area(&self) -> f32 {
+        self.width() * self.height()
+    }
+
+    /// Vertical centre.
+    pub fn y_center(&self) -> f32 {
+        (self.y0 + self.y1) * 0.5
+    }
+
+    /// Smallest box covering both.
+    pub fn union(&self, other: &BBox) -> BBox {
+        BBox {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    /// Intersection area (0 when disjoint).
+    pub fn intersection_area(&self, other: &BBox) -> f32 {
+        let w = (self.x1.min(other.x1) - self.x0.max(other.x0)).max(0.0);
+        let h = (self.y1.min(other.y1) - self.y0.max(other.y0)).max(0.0);
+        w * h
+    }
+
+    /// Whether the boxes share the same text row: vertical-centre distance
+    /// below half the max height.
+    pub fn same_row(&self, other: &BBox) -> bool {
+        let tol = self.height().max(other.height()) * 0.5;
+        (self.y_center() - other.y_center()).abs() <= tol
+    }
+}
+
+/// A word token extracted from a resume document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Token {
+    /// Surface text (one word; no internal whitespace).
+    pub text: String,
+    /// Bounding box in page coordinates.
+    pub bbox: BBox,
+    /// Zero-based page index.
+    pub page: usize,
+    /// Font size in points (visual cue: titles are larger).
+    pub font_size: f32,
+    /// Bold flag (visual cue: headers are often bold).
+    pub bold: bool,
+}
+
+/// Page geometry.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Page {
+    /// Page width in points.
+    pub width: f32,
+    /// Page height in points.
+    pub height: f32,
+}
+
+impl Page {
+    /// US-letter-ish default used by the generator.
+    pub fn a4() -> Self {
+        Page { width: 595.0, height: 842.0 }
+    }
+}
+
+/// A parsed document: tokens in reading order plus page geometry.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Document {
+    /// Tokens in reading order (page, then top-to-bottom, left-to-right).
+    pub tokens: Vec<Token>,
+    /// Pages, indexed by [`Token::page`].
+    pub pages: Vec<Page>,
+}
+
+impl Document {
+    /// Number of tokens.
+    pub fn num_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Number of pages.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Validate internal consistency (used by tests and the generator).
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, t) in self.tokens.iter().enumerate() {
+            if t.page >= self.pages.len() {
+                return Err(format!("token {i} on page {} of {}", t.page, self.pages.len()));
+            }
+            let p = self.pages[t.page];
+            if t.bbox.x1 > p.width + 1e-3 || t.bbox.y1 > p.height + 1e-3 || t.bbox.x0 < -1e-3 || t.bbox.y0 < -1e-3 {
+                return Err(format!("token {i} bbox {:?} outside page", t.bbox));
+            }
+            if t.text.is_empty() || t.text.contains(char::is_whitespace) {
+                return Err(format!("token {i} has invalid text {:?}", t.text));
+            }
+            if t.font_size <= 0.0 {
+                return Err(format!("token {i} has non-positive font size"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bbox_geometry() {
+        let b = BBox::new(10.0, 20.0, 30.0, 25.0);
+        assert_eq!(b.width(), 20.0);
+        assert_eq!(b.height(), 5.0);
+        assert_eq!(b.area(), 100.0);
+        assert_eq!(b.y_center(), 22.5);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = BBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BBox::new(5.0, 5.0, 15.0, 15.0);
+        let u = a.union(&b);
+        assert_eq!((u.x0, u.y0, u.x1, u.y1), (0.0, 0.0, 15.0, 15.0));
+        assert_eq!(a.intersection_area(&b), 25.0);
+        let c = BBox::new(20.0, 20.0, 30.0, 30.0);
+        assert_eq!(a.intersection_area(&c), 0.0);
+    }
+
+    #[test]
+    fn same_row_tolerance() {
+        let a = BBox::new(0.0, 100.0, 50.0, 110.0);
+        let b = BBox::new(60.0, 102.0, 90.0, 112.0);
+        assert!(a.same_row(&b));
+        let c = BBox::new(60.0, 120.0, 90.0, 130.0);
+        assert!(!a.same_row(&c));
+    }
+
+    #[test]
+    fn document_validation_catches_bad_tokens() {
+        let mut doc = Document {
+            tokens: vec![Token {
+                text: "hello".into(),
+                bbox: BBox::new(0.0, 0.0, 50.0, 12.0),
+                page: 0,
+                font_size: 10.0,
+                bold: false,
+            }],
+            pages: vec![Page::a4()],
+        };
+        assert!(doc.validate().is_ok());
+        doc.tokens[0].page = 3;
+        assert!(doc.validate().is_err());
+        doc.tokens[0].page = 0;
+        doc.tokens[0].text = "two words".into();
+        assert!(doc.validate().is_err());
+        doc.tokens[0].text = "ok".into();
+        doc.tokens[0].bbox = BBox::new(0.0, 0.0, 9999.0, 12.0);
+        assert!(doc.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted bbox")]
+    fn bbox_rejects_inversion() {
+        BBox::new(10.0, 0.0, 5.0, 10.0);
+    }
+}

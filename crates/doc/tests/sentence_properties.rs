@@ -1,0 +1,101 @@
+//! Property-based tests of sentence concatenation invariants (§III-A).
+
+use proptest::prelude::*;
+use resuformer_doc::{concat_sentences, BBox, Document, Page, SentenceConfig, Token};
+
+fn arb_token() -> impl Strategy<Value = Token> {
+    (
+        "[a-z]{1,10}",
+        0.0f32..500.0,
+        0.0f32..800.0,
+        5.0f32..80.0,
+        8.0f32..20.0,
+        0usize..3,
+        any::<bool>(),
+    )
+        .prop_map(|(text, x0, y0, w, font, page, bold)| Token {
+            text,
+            bbox: BBox::new(x0, y0, (x0 + w).min(595.0), (y0 + font).min(842.0)),
+            page,
+            font_size: font,
+            bold,
+        })
+}
+
+fn arb_doc() -> impl Strategy<Value = Document> {
+    proptest::collection::vec(arb_token(), 0..60).prop_map(|mut tokens| {
+        // Reading order: sort by (page, y, x) like a parser would emit.
+        tokens.sort_by(|a, b| {
+            (a.page, a.bbox.y0 as i64, a.bbox.x0 as i64)
+                .cmp(&(b.page, b.bbox.y0 as i64, b.bbox.x0 as i64))
+        });
+        Document { tokens, pages: vec![Page::a4(); 3] }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_token_in_exactly_one_sentence(doc in arb_doc()) {
+        let sentences = concat_sentences(&doc, &SentenceConfig::default());
+        let mut seen = vec![0usize; doc.num_tokens()];
+        for s in &sentences {
+            for &ti in &s.token_indices {
+                seen[ti] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "coverage {:?}", seen);
+    }
+
+    #[test]
+    fn sentence_boxes_cover_member_tokens(doc in arb_doc()) {
+        let sentences = concat_sentences(&doc, &SentenceConfig::default());
+        for s in &sentences {
+            for &ti in &s.token_indices {
+                let t = &doc.tokens[ti];
+                prop_assert!(s.bbox.x0 <= t.bbox.x0 + 1e-3);
+                prop_assert!(s.bbox.x1 >= t.bbox.x1 - 1e-3);
+                prop_assert!(s.bbox.y0 <= t.bbox.y0 + 1e-3);
+                prop_assert!(s.bbox.y1 >= t.bbox.y1 - 1e-3);
+                prop_assert_eq!(t.page, s.page);
+            }
+        }
+    }
+
+    #[test]
+    fn token_order_preserved_within_sentences(doc in arb_doc()) {
+        let sentences = concat_sentences(&doc, &SentenceConfig::default());
+        let flattened: Vec<usize> = sentences
+            .iter()
+            .flat_map(|s| s.token_indices.iter().copied())
+            .collect();
+        let mut sorted = flattened.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(flattened, sorted, "reading order must be preserved");
+    }
+
+    #[test]
+    fn max_tokens_cap_is_respected(doc in arb_doc(), cap in 1usize..10) {
+        let cfg = SentenceConfig { max_tokens: cap, ..SentenceConfig::default() };
+        let sentences = concat_sentences(&doc, &cfg);
+        for s in &sentences {
+            prop_assert!(s.len() <= cap);
+        }
+    }
+
+    #[test]
+    fn style_cues_aggregate_max_and_any(doc in arb_doc()) {
+        let sentences = concat_sentences(&doc, &SentenceConfig::default());
+        for s in &sentences {
+            let max_font = s
+                .token_indices
+                .iter()
+                .map(|&i| doc.tokens[i].font_size)
+                .fold(0.0f32, f32::max);
+            let any_bold = s.token_indices.iter().any(|&i| doc.tokens[i].bold);
+            prop_assert!((s.font_size - max_font).abs() < 1e-5);
+            prop_assert_eq!(s.bold, any_bold);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Area-based precision/recall/F1 (Eq. 13–15).
+//!
+//! Following the document-layout-analysis convention the paper adopts
+//! (DocBank), precision for a class is the token *area* of ground-truth
+//! tokens among detected tokens over the area of all detected tokens;
+//! recall divides by the area of all ground-truth tokens instead.
+
+use resuformer_doc::Document;
+use serde::Serialize;
+
+/// Precision / recall / F1 triple.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct AreaMetrics {
+    /// Eq. 13.
+    pub precision: f32,
+    /// Eq. 14.
+    pub recall: f32,
+    /// Eq. 15.
+    pub f1: f32,
+}
+
+impl AreaMetrics {
+    /// Combine raw areas into the metric triple.
+    pub fn from_areas(intersection: f32, detected: f32, truth: f32) -> Self {
+        let precision = if detected > 0.0 { intersection / detected } else { 0.0 };
+        let recall = if truth > 0.0 { intersection / truth } else { 0.0 };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        AreaMetrics { precision, recall, f1 }
+    }
+}
+
+/// Per-class raw-area accumulator across documents.
+#[derive(Clone, Debug)]
+pub struct AreaAccumulator {
+    intersection: Vec<f32>,
+    detected: Vec<f32>,
+    truth: Vec<f32>,
+}
+
+impl AreaAccumulator {
+    /// New accumulator over `n_classes` classes.
+    pub fn new(n_classes: usize) -> Self {
+        AreaAccumulator {
+            intersection: vec![0.0; n_classes],
+            detected: vec![0.0; n_classes],
+            truth: vec![0.0; n_classes],
+        }
+    }
+
+    /// Add one document: per-token gold and predicted class assignments
+    /// (`None` = no class).
+    pub fn add(
+        &mut self,
+        doc: &Document,
+        gold: &[Option<usize>],
+        pred: &[Option<usize>],
+    ) {
+        assert_eq!(gold.len(), doc.num_tokens(), "gold/token mismatch");
+        assert_eq!(pred.len(), doc.num_tokens(), "pred/token mismatch");
+        for (i, token) in doc.tokens.iter().enumerate() {
+            let area = token.bbox.area();
+            if let Some(g) = gold[i] {
+                self.truth[g] += area;
+            }
+            if let Some(p) = pred[i] {
+                self.detected[p] += area;
+                if gold[i] == Some(p) {
+                    self.intersection[p] += area;
+                }
+            }
+        }
+    }
+
+    /// Metrics for one class.
+    pub fn metrics(&self, class: usize) -> AreaMetrics {
+        AreaMetrics::from_areas(self.intersection[class], self.detected[class], self.truth[class])
+    }
+
+    /// Metrics for every class.
+    pub fn all_metrics(&self) -> Vec<AreaMetrics> {
+        (0..self.truth.len()).map(|c| self.metrics(c)).collect()
+    }
+
+    /// Macro-averaged F1 over classes with ground truth.
+    pub fn macro_f1(&self) -> f32 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for c in 0..self.truth.len() {
+            if self.truth[c] > 0.0 {
+                sum += self.metrics(c).f1;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f32
+        }
+    }
+}
+
+/// One-shot per-class metrics for a single document.
+pub fn area_metrics(
+    doc: &Document,
+    gold: &[Option<usize>],
+    pred: &[Option<usize>],
+    n_classes: usize,
+) -> Vec<AreaMetrics> {
+    let mut acc = AreaAccumulator::new(n_classes);
+    acc.add(doc, gold, pred);
+    acc.all_metrics()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resuformer_doc::{BBox, Page, Token};
+
+    fn doc_with_areas(areas: &[f32]) -> Document {
+        let tokens = areas
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| Token {
+                text: format!("t{i}"),
+                // width a, height 1 → area a.
+                bbox: BBox::new(0.0, i as f32 * 2.0, a, i as f32 * 2.0 + 1.0),
+                page: 0,
+                font_size: 10.0,
+                bold: false,
+            })
+            .collect();
+        Document { tokens, pages: vec![Page::a4()] }
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let doc = doc_with_areas(&[10.0, 20.0, 30.0]);
+        let gold = vec![Some(0), Some(1), Some(0)];
+        let m = area_metrics(&doc, &gold, &gold, 2);
+        assert!((m[0].f1 - 1.0).abs() < 1e-6);
+        assert!((m[1].f1 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn areas_weight_the_metrics() {
+        // Gold class 0 covers tokens of area 10 and 30; prediction catches
+        // only the area-30 token and falsely claims an area-20 token.
+        let doc = doc_with_areas(&[10.0, 20.0, 30.0]);
+        let gold = vec![Some(0), None, Some(0)];
+        let pred = vec![None, Some(0), Some(0)];
+        let m = area_metrics(&doc, &gold, &pred, 1)[0];
+        assert!((m.precision - 30.0 / 50.0).abs() < 1e-6);
+        assert!((m.recall - 30.0 / 40.0).abs() < 1e-6);
+        let expect_f1 = 2.0 * 0.6 * 0.75 / (0.6 + 0.75);
+        assert!((m.f1 - expect_f1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_classes_score_zero_without_nan() {
+        let doc = doc_with_areas(&[10.0]);
+        let m = area_metrics(&doc, &[None], &[None], 3);
+        for c in m {
+            assert_eq!(c.f1, 0.0);
+            assert!(!c.precision.is_nan());
+        }
+    }
+
+    #[test]
+    fn accumulator_merges_documents() {
+        let d1 = doc_with_areas(&[10.0]);
+        let d2 = doc_with_areas(&[30.0]);
+        let mut acc = AreaAccumulator::new(1);
+        acc.add(&d1, &[Some(0)], &[Some(0)]);
+        acc.add(&d2, &[Some(0)], &[None]);
+        let m = acc.metrics(0);
+        assert!((m.precision - 1.0).abs() < 1e-6);
+        assert!((m.recall - 0.25).abs() < 1e-6);
+        assert!(acc.macro_f1() > 0.0);
+    }
+}

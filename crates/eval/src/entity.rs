@@ -1,0 +1,157 @@
+//! Entity-level IOB precision/recall/F1 (Eq. 16–18).
+//!
+//! A predicted entity counts as a true positive only on an exact span +
+//! class match (the standard conlleval criterion the paper follows for
+//! intra-block information extraction).
+
+use resuformer_text::{decode_spans, Span, TagScheme};
+use serde::Serialize;
+
+/// Precision / recall / F1 with raw counts.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct Prf {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Prf {
+    /// Eq. 16.
+    pub fn precision(&self) -> f32 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f32 / (self.tp + self.fp) as f32
+        }
+    }
+
+    /// Eq. 17.
+    pub fn recall(&self) -> f32 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f32 / (self.tp + self.fn_) as f32
+        }
+    }
+
+    /// Eq. 18.
+    pub fn f1(&self) -> f32 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Per-class entity scorer over IOB tag sequences.
+pub struct EntityScorer {
+    per_class: Vec<Prf>,
+}
+
+impl EntityScorer {
+    /// New scorer over `n_classes` classes.
+    pub fn new(n_classes: usize) -> Self {
+        EntityScorer { per_class: vec![Prf::default(); n_classes] }
+    }
+
+    /// Score one sequence pair (gold vs predicted IOB labels).
+    pub fn add(&mut self, scheme: &TagScheme, gold: &[usize], pred: &[usize]) {
+        assert_eq!(gold.len(), pred.len(), "gold/pred length mismatch");
+        let gold_spans = decode_spans(scheme, gold);
+        let pred_spans = decode_spans(scheme, pred);
+        self.add_spans(&gold_spans, &pred_spans);
+    }
+
+    /// Score pre-decoded span sets.
+    pub fn add_spans(&mut self, gold: &[Span], pred: &[Span]) {
+        for p in pred {
+            if gold.contains(p) {
+                self.per_class[p.class].tp += 1;
+            } else {
+                self.per_class[p.class].fp += 1;
+            }
+        }
+        for g in gold {
+            if !pred.contains(g) {
+                self.per_class[g.class].fn_ += 1;
+            }
+        }
+    }
+
+    /// Counts for one class.
+    pub fn class(&self, class: usize) -> Prf {
+        self.per_class[class]
+    }
+
+    /// Micro-averaged counts over all classes.
+    pub fn micro(&self) -> Prf {
+        let mut total = Prf::default();
+        for c in &self.per_class {
+            total.tp += c.tp;
+            total.fp += c.fp;
+            total.fn_ += c.fn_;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheme() -> TagScheme {
+        TagScheme::new(&["A", "B"])
+    }
+
+    #[test]
+    fn exact_match_counts_tp() {
+        let s = scheme();
+        let mut scorer = EntityScorer::new(2);
+        // gold: A at [0,2); pred identical.
+        let gold = vec![s.begin(0), s.inside(0), s.outside()];
+        scorer.add(&s, &gold, &gold);
+        let m = scorer.class(0);
+        assert_eq!((m.tp, m.fp, m.fn_), (1, 0, 0));
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn boundary_error_is_both_fp_and_fn() {
+        let s = scheme();
+        let mut scorer = EntityScorer::new(2);
+        let gold = vec![s.begin(0), s.inside(0), s.outside()];
+        let pred = vec![s.begin(0), s.outside(), s.outside()];
+        scorer.add(&s, &gold, &pred);
+        let m = scorer.class(0);
+        assert_eq!((m.tp, m.fp, m.fn_), (0, 1, 1));
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn class_confusion_is_scored_per_class() {
+        let s = scheme();
+        let mut scorer = EntityScorer::new(2);
+        let gold = vec![s.begin(0)];
+        let pred = vec![s.begin(1)];
+        scorer.add(&s, &gold, &pred);
+        assert_eq!(scorer.class(0).fn_, 1);
+        assert_eq!(scorer.class(1).fp, 1);
+        let micro = scorer.micro();
+        assert_eq!((micro.tp, micro.fp, micro.fn_), (0, 1, 1));
+    }
+
+    #[test]
+    fn hand_computed_prf() {
+        let mut m = Prf { tp: 3, fp: 1, fn_: 2 };
+        assert!((m.precision() - 0.75).abs() < 1e-6);
+        assert!((m.recall() - 0.6).abs() < 1e-6);
+        assert!((m.f1() - 2.0 * 0.75 * 0.6 / 1.35).abs() < 1e-6);
+        m = Prf::default();
+        assert_eq!(m.f1(), 0.0);
+    }
+}

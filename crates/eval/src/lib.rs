@@ -1,0 +1,23 @@
+//! # resuformer-eval
+//!
+//! Evaluation metrics and reporting for the ResuFormer reproduction:
+//!
+//! * [`area`]: the area-based precision/recall/F1 of Eq. 13–15 (DocBank /
+//!   document-layout-analysis convention) used for Table II/III;
+//! * [`entity`]: entity-level IOB precision/recall/F1 of Eq. 16–18 used
+//!   for Table IV/V;
+//! * [`timing`]: wall-clock per-resume latency measurement (the
+//!   Time/Resume row);
+//! * [`report`]: paper-style table rendering and JSON manifests.
+
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod entity;
+pub mod report;
+pub mod timing;
+
+pub use area::{area_metrics, AreaMetrics};
+pub use entity::{EntityScorer, Prf};
+pub use report::{format_f1_table, Cell};
+pub use timing::Stopwatch;

@@ -1,0 +1,210 @@
+//! Paper-style table rendering and JSON manifests.
+//!
+//! Tables II–V present cells as `F1 (Recall / Precision)` percentages with
+//! row tags and column methods; [`format_f1_table`] renders the same shape
+//! for terminal output, and [`to_json`] dumps the raw numbers for
+//! EXPERIMENTS.md.
+
+use serde::Serialize;
+
+/// One table cell: F1 with recall and precision, in percent.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Cell {
+    /// F1 (%).
+    pub f1: f32,
+    /// Recall (%).
+    pub recall: f32,
+    /// Precision (%).
+    pub precision: f32,
+}
+
+impl Cell {
+    /// From fractional metrics.
+    pub fn from_fractions(f1: f32, recall: f32, precision: f32) -> Self {
+        Cell { f1: f1 * 100.0, recall: recall * 100.0, precision: precision * 100.0 }
+    }
+
+    fn render(&self) -> String {
+        format!("{:5.2} ({:5.2}/{:5.2})", self.f1, self.recall, self.precision)
+    }
+}
+
+/// Render a `rows × cols` grid of cells with headers, paper style.
+pub fn format_f1_table(
+    title: &str,
+    row_names: &[&str],
+    col_names: &[&str],
+    cells: &[Vec<Option<Cell>>],
+) -> String {
+    assert_eq!(cells.len(), row_names.len(), "row count mismatch");
+    let col_w = 22usize;
+    let row_w = row_names.iter().map(|r| r.len()).max().unwrap_or(4).max(8);
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:row_w$}", ""));
+    for c in col_names {
+        out.push_str(&format!(" | {:>col_w$}", c));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(row_w + col_names.len() * (col_w + 3)));
+    out.push('\n');
+    for (rn, row) in row_names.iter().zip(cells.iter()) {
+        assert_eq!(row.len(), col_names.len(), "column count mismatch in row {rn}");
+        out.push_str(&format!("{:row_w$}", rn));
+        for cell in row {
+            match cell {
+                Some(c) => out.push_str(&format!(" | {:>col_w$}", c.render())),
+                None => out.push_str(&format!(" | {:>col_w$}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize any metric structure to pretty JSON for run manifests.
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("metrics serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_scales_to_percent() {
+        let c = Cell::from_fractions(0.935, 0.92, 0.95);
+        assert!((c.f1 - 93.5).abs() < 1e-4);
+        assert!(c.render().contains("93.50"));
+    }
+
+    #[test]
+    fn table_renders_all_rows_and_columns() {
+        let cells = vec![
+            vec![Some(Cell::from_fractions(0.9, 0.8, 0.95)), None],
+            vec![Some(Cell::from_fractions(0.5, 0.5, 0.5)), Some(Cell::from_fractions(1.0, 1.0, 1.0))],
+        ];
+        let s = format_f1_table("Table X", &["PInfo", "EduExp"], &["BERT", "Ours"], &cells);
+        assert!(s.contains("Table X"));
+        assert!(s.contains("PInfo"));
+        assert!(s.contains("EduExp"));
+        assert!(s.contains("BERT"));
+        assert!(s.contains("Ours"));
+        assert!(s.contains("90.00"));
+        assert!(s.contains(" -"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_ragged_rows() {
+        let cells = vec![vec![None]];
+        format_f1_table("T", &["r"], &["a", "b"], &cells);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let c = Cell::from_fractions(0.5, 0.4, 0.6);
+        let s = to_json(&c);
+        assert!(s.contains("f1"));
+    }
+}
+
+/// A class-confusion matrix for sentence/token classification diagnostics
+/// (not a paper artifact, but the first thing a user debugging a model
+/// wants to see).
+#[derive(Clone, Debug)]
+pub struct ConfusionMatrix {
+    counts: Vec<usize>,
+    n: usize,
+    names: Vec<String>,
+}
+
+impl ConfusionMatrix {
+    /// New matrix over the given class names (plus an implicit "other"
+    /// bucket for out-of-range labels).
+    pub fn new(names: &[&str]) -> Self {
+        let n = names.len() + 1;
+        ConfusionMatrix {
+            counts: vec![0; n * n],
+            n,
+            names: names
+                .iter()
+                .map(|s| s.to_string())
+                .chain(std::iter::once("other".to_string()))
+                .collect(),
+        }
+    }
+
+    fn clamp(&self, c: usize) -> usize {
+        c.min(self.n - 1)
+    }
+
+    /// Record one (gold, predicted) pair.
+    pub fn record(&mut self, gold: usize, pred: usize) {
+        let (g, p) = (self.clamp(gold), self.clamp(pred));
+        self.counts[g * self.n + p] += 1;
+    }
+
+    /// Count at (gold, pred).
+    pub fn at(&self, gold: usize, pred: usize) -> usize {
+        self.counts[self.clamp(gold) * self.n + self.clamp(pred)]
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f32 {
+        let correct: usize = (0..self.n).map(|i| self.counts[i * self.n + i]).sum();
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f32 / total as f32
+        }
+    }
+
+    /// Render as a row-gold × column-pred grid.
+    pub fn render(&self) -> String {
+        let w = self.names.iter().map(|s| s.len()).max().unwrap_or(5).max(5);
+        let mut out = String::new();
+        out.push_str(&format!("{:w$}", "g\\p"));
+        for name in &self.names {
+            out.push_str(&format!(" {:>w$}", name));
+        }
+        out.push('\n');
+        for (g, name) in self.names.iter().enumerate() {
+            out.push_str(&format!("{:w$}", name));
+            for p in 0..self.n {
+                out.push_str(&format!(" {:>w$}", self.counts[g * self.n + p]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod confusion_tests {
+    use super::*;
+
+    #[test]
+    fn records_and_scores() {
+        let mut m = ConfusionMatrix::new(&["A", "B"]);
+        m.record(0, 0);
+        m.record(0, 1);
+        m.record(1, 1);
+        m.record(1, 1);
+        assert_eq!(m.at(0, 1), 1);
+        assert_eq!(m.at(1, 1), 2);
+        assert!((m.accuracy() - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn out_of_range_labels_fold_into_other() {
+        let mut m = ConfusionMatrix::new(&["A"]);
+        m.record(7, 9);
+        assert_eq!(m.at(1, 1), 1, "clamped to the 'other' bucket");
+        let r = m.render();
+        assert!(r.contains("other"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Wall-clock latency measurement (the Time/Resume row of Table II and the
+//! Figure 3 timings).
+
+use std::time::Instant;
+
+/// Accumulates wall-clock samples and reports the mean.
+#[derive(Clone, Debug, Default)]
+pub struct Stopwatch {
+    samples: Vec<f64>,
+}
+
+impl Stopwatch {
+    /// New empty stopwatch.
+    pub fn new() -> Self {
+        Stopwatch::default()
+    }
+
+    /// Time a closure and record the sample; returns its output.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.samples.push(t0.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Record an externally-measured sample (seconds).
+    pub fn record(&mut self, seconds: f64) {
+        self.samples.push(seconds);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean seconds per sample.
+    pub fn mean_seconds(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_averages() {
+        let mut sw = Stopwatch::new();
+        sw.record(1.0);
+        sw.record(3.0);
+        assert_eq!(sw.len(), 2);
+        assert!((sw.mean_seconds() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_measures_closures() {
+        let mut sw = Stopwatch::new();
+        let v = sw.time(|| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(sw.mean_seconds() >= 0.004, "{}", sw.mean_seconds());
+        assert!(!sw.is_empty());
+    }
+}

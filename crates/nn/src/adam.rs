@@ -1,0 +1,183 @@
+//! Adam optimizer with decoupled weight decay and gradient clipping.
+//!
+//! The paper optimises every model with "the Adam optimizer with the weight
+//! decay of 0.01"; decay is applied decoupled (AdamW-style) so it does not
+//! leak into the moment estimates.
+
+use std::collections::HashMap;
+
+use resuformer_tensor::{NdArray, Tensor};
+
+/// Per-parameter Adam state.
+struct Slot {
+    m: NdArray,
+    v: NdArray,
+}
+
+/// Adam/AdamW optimizer over an explicit parameter group.
+///
+/// Multiple groups with different learning rates (the paper uses 5e-5 for
+/// the encoder and 1e-3 for the BiLSTM/CRF head) are expressed as multiple
+/// `Adam` instances stepped together.
+pub struct Adam {
+    params: Vec<Tensor>,
+    state: HashMap<u64, Slot>,
+    /// Learning rate.
+    pub lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+}
+
+impl Adam {
+    /// New optimizer over `params` with learning rate `lr` and decoupled
+    /// weight decay `weight_decay`.
+    pub fn new(params: Vec<Tensor>, lr: f32, weight_decay: f32) -> Self {
+        Adam {
+            params,
+            state: HashMap::new(),
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+        }
+    }
+
+    /// Number of optimised tensors.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Clip the global gradient norm of this group to `max_norm`.
+    /// Returns the pre-clip norm.
+    pub fn clip_grad_norm(&self, max_norm: f32) -> f32 {
+        let mut sq = 0.0f32;
+        for p in &self.params {
+            if let Some(g) = p.grad() {
+                sq += g.data().iter().map(|&v| v * v).sum::<f32>();
+            }
+        }
+        let norm = sq.sqrt();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for p in &self.params {
+                if let Some(mut g) = p.grad() {
+                    for v in g.data_mut() {
+                        *v *= scale;
+                    }
+                    p.zero_grad();
+                    p.accumulate_grad(&g);
+                }
+            }
+        }
+        norm
+    }
+
+    /// Apply one update from the accumulated gradients, then clear them.
+    pub fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in &self.params {
+            let Some(g) = p.grad() else { continue };
+            let slot = self.state.entry(p.id()).or_insert_with(|| Slot {
+                m: NdArray::zeros(g.shape().clone()),
+                v: NdArray::zeros(g.shape().clone()),
+            });
+            let mut value = p.value();
+            {
+                let md = slot.m.data_mut();
+                for (m, &gv) in md.iter_mut().zip(g.data().iter()) {
+                    *m = self.beta1 * *m + (1.0 - self.beta1) * gv;
+                }
+            }
+            {
+                let vd = slot.v.data_mut();
+                for (v, &gv) in vd.iter_mut().zip(g.data().iter()) {
+                    *v = self.beta2 * *v + (1.0 - self.beta2) * gv * gv;
+                }
+            }
+            {
+                let out = value.data_mut();
+                for ((x, &m), &v) in out.iter_mut().zip(slot.m.data()).zip(slot.v.data()) {
+                    let mhat = m / bc1;
+                    let vhat = v / bc2;
+                    *x -= self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * *x);
+                }
+            }
+            p.set_value(value);
+            p.zero_grad();
+        }
+    }
+
+    /// Zero gradients for all parameters in the group.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resuformer_tensor::init::{seeded_rng, uniform};
+    use resuformer_tensor::ops;
+
+    #[test]
+    fn converges_on_quadratic() {
+        // min (x - 3)^2 — Adam should get close to 3.
+        let x = Tensor::param(NdArray::scalar(0.0));
+        let mut opt = Adam::new(vec![x.clone()], 0.1, 0.0);
+        for _ in 0..300 {
+            opt.zero_grad();
+            let loss = ops::square(&ops::add_scalar(&x, -3.0));
+            loss.backward();
+            opt.step();
+        }
+        assert!((x.item() - 3.0).abs() < 0.05, "x = {}", x.item());
+    }
+
+    #[test]
+    fn weight_decay_shrinks_unused_weights() {
+        // A parameter with zero gradient but weight decay must decay only if
+        // it has a gradient entry; with no backward it stays put (Adam skips
+        // params without grads), and with a zero grad it decays.
+        let x = Tensor::param(NdArray::scalar(1.0));
+        let mut opt = Adam::new(vec![x.clone()], 0.01, 0.1);
+        opt.step();
+        assert_eq!(x.item(), 1.0, "no grad -> no update");
+        for _ in 0..200 {
+            x.accumulate_grad(&NdArray::scalar(0.0));
+            opt.step();
+        }
+        assert!(x.item() < 0.9, "decay should shrink the weight: {}", x.item());
+    }
+
+    #[test]
+    fn first_step_matches_hand_computed_adam() {
+        let x = Tensor::param(NdArray::scalar(2.0));
+        let mut opt = Adam::new(vec![x.clone()], 0.5, 0.0);
+        // d/dx x^2 = 4 at x=2.
+        let loss = ops::square(&x);
+        loss.backward();
+        opt.step();
+        // m̂ = g, v̂ = g², step = lr * g/|g| = lr (up to eps).
+        assert!((x.item() - 1.5).abs() < 1e-3, "x = {}", x.item());
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_gradients() {
+        let a = Tensor::param(uniform(&mut seeded_rng(1), [4], 1.0));
+        let opt = Adam::new(vec![a.clone()], 0.1, 0.0);
+        a.accumulate_grad(&NdArray::from_vec(vec![3.0, 4.0, 0.0, 0.0], [4]));
+        let pre = opt.clip_grad_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-5);
+        let g = a.grad().unwrap();
+        assert!((g.l2_norm() - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,159 @@
+//! Multi-head scaled dot-product self-attention.
+
+use rand::Rng;
+use resuformer_tensor::ops;
+use resuformer_tensor::{NdArray, Tensor};
+
+use crate::linear::Linear;
+use crate::module::Module;
+
+/// Multi-head self-attention over a `[n, d]` sequence.
+///
+/// An optional additive mask `[n, n]` (0 = attend, `-1e9` = block) is added
+/// to the attention scores before softmax; this implements the paper's
+/// "adaptive attention" over variable-length sentence sequences.
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    head_dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// New attention with `heads` heads over model dim `dim` (must divide).
+    pub fn new(rng: &mut impl Rng, dim: usize, heads: usize) -> Self {
+        assert!(heads > 0 && dim % heads == 0, "dim {} not divisible by heads {}", dim, heads);
+        MultiHeadAttention {
+            wq: Linear::new(rng, dim, dim),
+            wk: Linear::new(rng, dim, dim),
+            wv: Linear::new(rng, dim, dim),
+            wo: Linear::new(rng, dim, dim),
+            heads,
+            head_dim: dim / heads,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Self-attention forward: `[n, d]` (+ optional `[n, n]` additive mask)
+    /// → `[n, d]`.
+    pub fn forward(&self, x: &Tensor, mask: Option<&NdArray>) -> Tensor {
+        let n = x.dims()[0];
+        if let Some(m) = mask {
+            assert_eq!(m.dims(), &[n, n], "attention mask must be [n, n]");
+        }
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let off = h * self.head_dim;
+            let qh = ops::slice_cols(&q, off, self.head_dim);
+            let kh = ops::slice_cols(&k, off, self.head_dim);
+            let vh = ops::slice_cols(&v, off, self.head_dim);
+            let mut scores = ops::mul_scalar(&ops::matmul(&qh, &ops::transpose(&kh)), scale);
+            if let Some(m) = mask {
+                scores = ops::add(&scores, &Tensor::constant(m.clone()));
+            }
+            let attn = ops::softmax_rows(&scores);
+            head_outputs.push(ops::matmul(&attn, &vh));
+        }
+        let concat = ops::concat_cols(&head_outputs);
+        self.wo.forward(&concat)
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn parameters(&self) -> Vec<Tensor> {
+        [&self.wq, &self.wk, &self.wv, &self.wo]
+            .iter()
+            .flat_map(|l| l.parameters())
+            .collect()
+    }
+}
+
+/// Build an additive attention mask that blocks positions `>= valid` (used
+/// when padding a batch of sequences to a common length).
+pub fn padding_mask(n: usize, valid: usize) -> NdArray {
+    let mut m = NdArray::zeros([n, n]);
+    {
+        let d = m.data_mut();
+        for i in 0..n {
+            for j in valid..n {
+                d[i * n + j] = -1e9;
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resuformer_tensor::check::assert_grads_close;
+    use resuformer_tensor::init::{seeded_rng, uniform};
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = seeded_rng(1);
+        let attn = MultiHeadAttention::new(&mut rng, 8, 2);
+        let x = Tensor::constant(uniform(&mut rng, [5, 8], 1.0));
+        let y = attn.forward(&x, None);
+        assert_eq!(y.dims(), vec![5, 8]);
+        assert_eq!(attn.heads(), 2);
+    }
+
+    #[test]
+    fn masked_positions_do_not_influence_output() {
+        // With a padding mask over positions >= 3, the outputs at positions
+        // 0..3 must not change when padded content changes.
+        let mut rng = seeded_rng(2);
+        let attn = MultiHeadAttention::new(&mut rng, 4, 2);
+        let mask = padding_mask(5, 3);
+
+        let mut base = uniform(&mut seeded_rng(3), [5, 4], 1.0);
+        let y1 = attn.forward(&Tensor::constant(base.clone()), Some(&mask)).value();
+        // Perturb the padded rows only.
+        for j in 0..4 {
+            base.set(&[3, j], 9.0);
+            base.set(&[4, j], -9.0);
+        }
+        let y2 = attn.forward(&Tensor::constant(base), Some(&mask)).value();
+        for i in 0..3 {
+            for j in 0..4 {
+                assert!(
+                    (y1.at(&[i, j]) - y2.at(&[i, j])).abs() < 1e-5,
+                    "visible output changed at ({}, {})",
+                    i,
+                    j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_flow_through_all_projections() {
+        let mut rng = seeded_rng(4);
+        let attn = MultiHeadAttention::new(&mut rng, 4, 2);
+        let x = Tensor::constant(uniform(&mut rng, [3, 4], 1.0));
+        assert_grads_close(
+            &attn.parameters(),
+            |_| ops::mean_all(&ops::square(&attn.forward(&x, None))),
+            1e-2,
+            5e-2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_indivisible_heads() {
+        MultiHeadAttention::new(&mut seeded_rng(5), 6, 4);
+    }
+}

@@ -1,0 +1,113 @@
+//! Convolutional building blocks for the visual region-feature extractor.
+//!
+//! The paper feeds each sentence's rendered image crop through a frozen
+//! Faster R-CNN to obtain a region feature. Our substitution (DESIGN.md §2)
+//! rasterises the crop and runs a small CNN; [`Conv2dLayer`] is its building
+//! block.
+
+use rand::Rng;
+use resuformer_tensor::init;
+use resuformer_tensor::ops;
+use resuformer_tensor::{NdArray, Tensor};
+
+use crate::module::Module;
+
+/// A conv layer with bias and optional ReLU: `[ci,h,w] -> [co,h',w']`.
+pub struct Conv2dLayer {
+    weight: Tensor,
+    bias: Tensor,
+    stride: usize,
+    pad: usize,
+    relu: bool,
+}
+
+impl Conv2dLayer {
+    /// New conv layer with a `k × k` kernel.
+    pub fn new(
+        rng: &mut impl Rng,
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        relu: bool,
+    ) -> Self {
+        let fan_in = in_ch * k * k;
+        let limit = (6.0 / (fan_in + out_ch * k * k) as f32).sqrt();
+        Conv2dLayer {
+            weight: Tensor::param(init::uniform(rng, [out_ch, in_ch, k, k], limit)),
+            bias: Tensor::param(NdArray::zeros([out_ch])),
+            stride,
+            pad,
+            relu,
+        }
+    }
+
+    /// Forward a `[ci,h,w]` image.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let y = ops::conv2d(x, &self.weight, self.stride, self.pad);
+        let dims = y.dims();
+        let (co, oh, ow) = (dims[0], dims[1], dims[2]);
+        // Broadcast the per-channel bias over the spatial map.
+        let flat = ops::reshape(&y, [co, oh * ow]);
+        let biased = ops::add_broadcast_col(&flat, &self.bias);
+        let out = ops::reshape(&biased, [co, oh, ow]);
+        if self.relu {
+            ops::relu(&out)
+        } else {
+            out
+        }
+    }
+}
+
+impl Module for Conv2dLayer {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resuformer_tensor::check::assert_grads_close;
+    use resuformer_tensor::init::{seeded_rng, uniform};
+
+    #[test]
+    fn output_shape_with_stride_and_pad() {
+        let mut rng = seeded_rng(1);
+        let conv = Conv2dLayer::new(&mut rng, 1, 4, 3, 2, 1, true);
+        let x = Tensor::constant(uniform(&mut rng, [1, 8, 16], 1.0));
+        let y = conv.forward(&x);
+        assert_eq!(y.dims(), vec![4, 4, 8]);
+        // ReLU output is non-negative.
+        assert!(y.value().data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn bias_broadcasts_per_channel() {
+        let mut rng = seeded_rng(2);
+        let conv = Conv2dLayer::new(&mut rng, 1, 2, 1, 1, 0, false);
+        // Zero the weights; output should equal the bias per channel.
+        conv.weight.set_value(NdArray::zeros([2, 1, 1, 1]));
+        conv.bias.set_value(NdArray::from_vec(vec![1.5, -2.0], [2]));
+        let x = Tensor::constant(uniform(&mut rng, [1, 3, 3], 1.0));
+        let y = conv.forward(&x).value();
+        for p in 0..9 {
+            assert_eq!(y.data()[p], 1.5);
+            assert_eq!(y.data()[9 + p], -2.0);
+        }
+    }
+
+    #[test]
+    fn conv_layer_gradients_correct() {
+        let mut rng = seeded_rng(3);
+        let conv = Conv2dLayer::new(&mut rng, 2, 3, 3, 1, 1, false);
+        let x = Tensor::constant(uniform(&mut rng, [2, 4, 4], 1.0));
+        assert_grads_close(
+            &conv.parameters(),
+            |_| ops::mean_all(&ops::square(&conv.forward(&x))),
+            1e-2,
+            5e-2,
+        );
+    }
+}

@@ -1,0 +1,426 @@
+//! Linear-chain conditional random fields.
+//!
+//! [`Crf`] provides the exact negative log-likelihood via the forward
+//! algorithm (differentiable through `logsumexp` compositions, matching the
+//! paper's "compute the sentence CRF loss using the forward-backward
+//! algorithm at training time") and Viterbi decoding at test time.
+//!
+//! [`FuzzyCrf`] implements the fuzzy/partial CRF of Shang et al. (AutoNER's
+//! companion baseline, used as `BERT+BiLSTM+FCRF` in Table IV): the
+//! numerator marginalises over *all* label paths consistent with a partial
+//! annotation instead of a single gold path.
+
+use rand::Rng;
+use resuformer_tensor::init;
+use resuformer_tensor::ops;
+use resuformer_tensor::{NdArray, Tensor};
+
+use crate::module::Module;
+
+/// Linear-chain CRF over `L` labels.
+///
+/// ```
+/// use resuformer_nn::Crf;
+/// use resuformer_tensor::init::{seeded_rng, uniform};
+/// use resuformer_tensor::Tensor;
+///
+/// let mut rng = seeded_rng(1);
+/// let crf = Crf::new(&mut rng, 4);
+/// let emissions = Tensor::constant(uniform(&mut rng, [6, 4], 1.0));
+/// let nll = crf.neg_log_likelihood(&emissions, &[0, 1, 1, 2, 3, 0]);
+/// assert!(nll.item() > 0.0);
+/// let (path, _score) = crf.viterbi(&emissions.value());
+/// assert_eq!(path.len(), 6);
+/// ```
+pub struct Crf {
+    /// Transition scores `[L, L]`: `transitions[i][j]` scores `i -> j`.
+    pub transitions: Tensor,
+    /// Start scores `[1, L]`.
+    pub start: Tensor,
+    /// End scores `[1, L]`.
+    pub end: Tensor,
+    labels: usize,
+}
+
+impl Crf {
+    /// New CRF with small random scores.
+    pub fn new(rng: &mut impl Rng, labels: usize) -> Self {
+        assert!(labels > 0);
+        Crf {
+            transitions: Tensor::param(init::uniform(rng, [labels, labels], 0.1)),
+            start: Tensor::param(init::uniform(rng, [1, labels], 0.1)),
+            end: Tensor::param(init::uniform(rng, [1, labels], 0.1)),
+            labels,
+        }
+    }
+
+    /// Number of labels.
+    pub fn labels(&self) -> usize {
+        self.labels
+    }
+
+    /// Log-partition `log Z` of the chain for `[T, L]` emissions.
+    fn log_partition(&self, emissions: &Tensor) -> Tensor {
+        let t_len = emissions.dims()[0];
+        // alpha: [L]
+        let mut alpha = ops::add(
+            &ops::reshape(&self.start, [self.labels]),
+            &ops::index_row(emissions, 0),
+        );
+        for t in 1..t_len {
+            // scores[i][j] = alpha[i] + transitions[i][j]
+            let scores = ops::add_broadcast_col(&self.transitions, &alpha);
+            let reduced = ops::logsumexp_axis(&scores, 0);
+            alpha = ops::add(&reduced, &ops::index_row(emissions, t));
+        }
+        alpha = ops::add(&alpha, &ops::reshape(&self.end, [self.labels]));
+        let row = ops::reshape(&alpha, [1, self.labels]);
+        ops::sum_all(&ops::logsumexp_axis(&row, 1))
+    }
+
+    /// Score of a specific tag path.
+    fn path_score(&self, emissions: &Tensor, tags: &[usize]) -> Tensor {
+        let t_len = emissions.dims()[0];
+        assert_eq!(tags.len(), t_len, "tags/emissions length mismatch");
+        assert!(tags.iter().all(|&t| t < self.labels), "tag out of range");
+        let emit_coords: Vec<(usize, usize)> = tags.iter().copied().enumerate().collect();
+        let emit = ops::sum_all(&ops::gather_elems(emissions, &emit_coords));
+        let start = ops::sum_all(&ops::gather_elems(&self.start, &[(0, tags[0])]));
+        let end = ops::sum_all(&ops::gather_elems(&self.end, &[(0, tags[t_len - 1])]));
+        if t_len == 1 {
+            return ops::add(&ops::add(&emit, &start), &end);
+        }
+        let trans_coords: Vec<(usize, usize)> =
+            tags.windows(2).map(|w| (w[0], w[1])).collect();
+        let trans = ops::sum_all(&ops::gather_elems(&self.transitions, &trans_coords));
+        ops::add(&ops::add(&ops::add(&emit, &trans), &start), &end)
+    }
+
+    /// Negative log-likelihood of `tags` given `[T, L]` emissions.
+    pub fn neg_log_likelihood(&self, emissions: &Tensor, tags: &[usize]) -> Tensor {
+        ops::sub(&self.log_partition(emissions), &self.path_score(emissions, tags))
+    }
+
+    /// Viterbi decoding: the highest-scoring tag path for `[T, L]` emission
+    /// values, with its score.
+    pub fn viterbi(&self, emissions: &NdArray) -> (Vec<usize>, f32) {
+        let l = self.labels;
+        let t_len = emissions.dims()[0];
+        assert!(t_len > 0, "viterbi on empty sequence");
+        assert_eq!(emissions.dims()[1], l, "viterbi emission width mismatch");
+        let trans = self.transitions.value();
+        let start = self.start.value();
+        let end = self.end.value();
+
+        let mut delta: Vec<f32> = (0..l)
+            .map(|j| start.data()[j] + emissions.at(&[0, j]))
+            .collect();
+        let mut backptr: Vec<Vec<usize>> = Vec::with_capacity(t_len);
+        for t in 1..t_len {
+            let mut next = vec![f32::NEG_INFINITY; l];
+            let mut ptr = vec![0usize; l];
+            for j in 0..l {
+                for i in 0..l {
+                    let s = delta[i] + trans.at(&[i, j]);
+                    if s > next[j] {
+                        next[j] = s;
+                        ptr[j] = i;
+                    }
+                }
+                next[j] += emissions.at(&[t, j]);
+            }
+            delta = next;
+            backptr.push(ptr);
+        }
+        let mut best = 0usize;
+        let mut best_score = f32::NEG_INFINITY;
+        for j in 0..l {
+            let s = delta[j] + end.data()[j];
+            if s > best_score {
+                best_score = s;
+                best = j;
+            }
+        }
+        let mut path = vec![best];
+        for ptr in backptr.iter().rev() {
+            best = ptr[best];
+            path.push(best);
+        }
+        path.reverse();
+        (path, best_score)
+    }
+}
+
+impl Module for Crf {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.transitions.clone(), self.start.clone(), self.end.clone()]
+    }
+}
+
+/// Fuzzy (partial-annotation) CRF.
+///
+/// The loss is `log Z - log Z_constrained`, where the constrained partition
+/// sums over all paths whose label at position `t` lies in `allowed[t]`.
+/// Fully-observed positions carry a singleton set; ambiguous / unmatched
+/// positions carry the full label set.
+pub struct FuzzyCrf {
+    /// The underlying chain parameters.
+    pub crf: Crf,
+}
+
+impl FuzzyCrf {
+    /// New fuzzy CRF over `labels` labels.
+    pub fn new(rng: &mut impl Rng, labels: usize) -> Self {
+        FuzzyCrf { crf: Crf::new(rng, labels) }
+    }
+
+    /// Constrained log-partition over paths consistent with `allowed`.
+    fn constrained_log_partition(&self, emissions: &Tensor, allowed: &[Vec<usize>]) -> Tensor {
+        let l = self.crf.labels;
+        let t_len = emissions.dims()[0];
+        assert_eq!(allowed.len(), t_len, "allowed/emissions length mismatch");
+        let mask_row = |set: &[usize]| -> Tensor {
+            let mut m = vec![-1e9f32; l];
+            for &j in set {
+                assert!(j < l, "allowed label out of range");
+                m[j] = 0.0;
+            }
+            Tensor::constant(NdArray::from_vec(m, [l]))
+        };
+        let mut alpha = ops::add(
+            &ops::add(
+                &ops::reshape(&self.crf.start, [l]),
+                &ops::index_row(emissions, 0),
+            ),
+            &mask_row(&allowed[0]),
+        );
+        for t in 1..t_len {
+            let scores = ops::add_broadcast_col(&self.crf.transitions, &alpha);
+            let reduced = ops::logsumexp_axis(&scores, 0);
+            alpha = ops::add(
+                &ops::add(&reduced, &ops::index_row(emissions, t)),
+                &mask_row(&allowed[t]),
+            );
+        }
+        alpha = ops::add(&alpha, &ops::reshape(&self.crf.end, [l]));
+        let row = ops::reshape(&alpha, [1, l]);
+        ops::sum_all(&ops::logsumexp_axis(&row, 1))
+    }
+
+    /// Fuzzy-CRF loss: `log Z - log Z_constrained`.
+    pub fn loss(&self, emissions: &Tensor, allowed: &[Vec<usize>]) -> Tensor {
+        ops::sub(
+            &self.crf.log_partition(emissions),
+            &self.constrained_log_partition(emissions, allowed),
+        )
+    }
+
+    /// Viterbi decoding with the shared chain parameters.
+    pub fn viterbi(&self, emissions: &NdArray) -> (Vec<usize>, f32) {
+        self.crf.viterbi(emissions)
+    }
+}
+
+impl Module for FuzzyCrf {
+    fn parameters(&self) -> Vec<Tensor> {
+        self.crf.parameters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resuformer_tensor::check::assert_grads_close;
+    use resuformer_tensor::init::{seeded_rng, uniform};
+
+    /// Enumerate all paths and compute exact log Z and best path.
+    fn brute_force(crf: &Crf, emissions: &NdArray) -> (f32, Vec<usize>, f32) {
+        let l = crf.labels();
+        let t_len = emissions.dims()[0];
+        let trans = crf.transitions.value();
+        let start = crf.start.value();
+        let end = crf.end.value();
+        let mut paths: Vec<Vec<usize>> = vec![vec![]];
+        for _ in 0..t_len {
+            paths = paths
+                .into_iter()
+                .flat_map(|p| {
+                    (0..l).map(move |j| {
+                        let mut q = p.clone();
+                        q.push(j);
+                        q
+                    })
+                })
+                .collect();
+        }
+        let score = |p: &[usize]| -> f32 {
+            let mut s = start.data()[p[0]] + end.data()[p[t_len - 1]];
+            for (t, &tag) in p.iter().enumerate() {
+                s += emissions.at(&[t, tag]);
+            }
+            for w in p.windows(2) {
+                s += trans.at(&[w[0], w[1]]);
+            }
+            s
+        };
+        let scores: Vec<f32> = paths.iter().map(|p| score(p)).collect();
+        let mx = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let logz = mx + scores.iter().map(|&s| (s - mx).exp()).sum::<f32>().ln();
+        let best_idx = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        (logz, paths[best_idx].clone(), scores[best_idx])
+    }
+
+    #[test]
+    fn nll_matches_brute_force_enumeration() {
+        let mut rng = seeded_rng(1);
+        let crf = Crf::new(&mut rng, 3);
+        let em_val = uniform(&mut rng, [4, 3], 1.0);
+        let emissions = Tensor::constant(em_val.clone());
+        let tags = vec![0, 2, 1, 1];
+        let (logz, _, _) = brute_force(&crf, &em_val);
+        let nll = crf.neg_log_likelihood(&emissions, &tags).item();
+
+        // Hand path score.
+        let trans = crf.transitions.value();
+        let mut gold = crf.start.value().data()[0] + crf.end.value().data()[1];
+        for (t, &tag) in tags.iter().enumerate() {
+            gold += em_val.at(&[t, tag]);
+        }
+        for w in tags.windows(2) {
+            gold += trans.at(&[w[0], w[1]]);
+        }
+        assert!((nll - (logz - gold)).abs() < 1e-4, "{} vs {}", nll, logz - gold);
+        assert!(nll > 0.0, "NLL must be positive for a non-degenerate chain");
+    }
+
+    #[test]
+    fn viterbi_matches_exhaustive_search() {
+        for seed in 0..5 {
+            let mut rng = seeded_rng(seed);
+            let crf = Crf::new(&mut rng, 4);
+            let em = uniform(&mut rng, [5, 4], 2.0);
+            let (_, best_path, best_score) = brute_force(&crf, &em);
+            let (path, score) = crf.viterbi(&em);
+            assert_eq!(path, best_path, "seed {}", seed);
+            assert!((score - best_score).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn single_step_sequence() {
+        let mut rng = seeded_rng(2);
+        let crf = Crf::new(&mut rng, 3);
+        let em = uniform(&mut rng, [1, 3], 1.0);
+        let emissions = Tensor::constant(em.clone());
+        let nll = crf.neg_log_likelihood(&emissions, &[2]);
+        assert!(nll.item() > 0.0);
+        let (path, _) = crf.viterbi(&em);
+        assert_eq!(path.len(), 1);
+    }
+
+    #[test]
+    fn crf_gradients_correct() {
+        let mut rng = seeded_rng(3);
+        let crf = Crf::new(&mut rng, 3);
+        let emissions = Tensor::param(uniform(&mut rng, [3, 3], 1.0));
+        let mut params = crf.parameters();
+        params.push(emissions.clone());
+        assert_grads_close(
+            &params,
+            |p| crf.neg_log_likelihood(&p[3], &[1, 0, 2]),
+            1e-2,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn training_crf_raises_gold_path_probability() {
+        let mut rng = seeded_rng(4);
+        let crf = Crf::new(&mut rng, 3);
+        let emissions = Tensor::constant(uniform(&mut rng, [4, 3], 0.5));
+        let tags = vec![0, 1, 1, 2];
+        let nll0 = crf.neg_log_likelihood(&emissions, &tags).item();
+        for _ in 0..60 {
+            crf.zero_grad();
+            let loss = crf.neg_log_likelihood(&emissions, &tags);
+            loss.backward();
+            for p in crf.parameters() {
+                let g = p.grad().unwrap();
+                let mut v = p.value();
+                v.axpy(-0.2, &g);
+                p.set_value(v);
+            }
+        }
+        let nll1 = crf.neg_log_likelihood(&emissions, &tags).item();
+        assert!(nll1 < nll0 * 0.5, "nll {} -> {}", nll0, nll1);
+        let (decoded, _) = crf.viterbi(&emissions.value());
+        assert_eq!(decoded, tags, "trained CRF should decode the gold path");
+    }
+
+    #[test]
+    fn fuzzy_crf_reduces_to_crf_on_singletons() {
+        let mut rng = seeded_rng(5);
+        let fuzzy = FuzzyCrf::new(&mut rng, 3);
+        let emissions = Tensor::constant(uniform(&mut rng, [4, 3], 1.0));
+        let tags = vec![2, 0, 1, 0];
+        let allowed: Vec<Vec<usize>> = tags.iter().map(|&t| vec![t]).collect();
+        let fuzzy_loss = fuzzy.loss(&emissions, &allowed).item();
+        let crf_loss = fuzzy.crf.neg_log_likelihood(&emissions, &tags).item();
+        assert!((fuzzy_loss - crf_loss).abs() < 1e-4, "{} vs {}", fuzzy_loss, crf_loss);
+    }
+
+    #[test]
+    fn fuzzy_crf_loss_nonincreasing_in_ambiguity() {
+        // A larger allowed set can only increase the constrained partition,
+        // so the loss must not increase.
+        let mut rng = seeded_rng(6);
+        let fuzzy = FuzzyCrf::new(&mut rng, 3);
+        let emissions = Tensor::constant(uniform(&mut rng, [3, 3], 1.0));
+        let tight: Vec<Vec<usize>> = vec![vec![0], vec![1], vec![2]];
+        let loose: Vec<Vec<usize>> = vec![vec![0], vec![0, 1, 2], vec![2]];
+        let l_tight = fuzzy.loss(&emissions, &tight).item();
+        let l_loose = fuzzy.loss(&emissions, &loose).item();
+        assert!(l_loose <= l_tight + 1e-5, "{} vs {}", l_loose, l_tight);
+        // Fully ambiguous everywhere → numerator == partition → loss 0.
+        let all: Vec<Vec<usize>> = vec![vec![0, 1, 2]; 3];
+        assert!(fuzzy.loss(&emissions, &all).item().abs() < 1e-4);
+    }
+
+    #[test]
+    fn fuzzy_crf_gradients_correct() {
+        let mut rng = seeded_rng(7);
+        let fuzzy = FuzzyCrf::new(&mut rng, 3);
+        let emissions = Tensor::param(uniform(&mut rng, [3, 3], 1.0));
+        let allowed = vec![vec![0], vec![0, 1], vec![2]];
+        let mut params = fuzzy.parameters();
+        params.push(emissions.clone());
+        assert_grads_close(&params, |p| fuzzy.loss(&p[3], &allowed), 1e-2, 5e-2);
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use resuformer_tensor::init::{seeded_rng, uniform};
+
+    #[test]
+    #[should_panic(expected = "viterbi on empty sequence")]
+    fn viterbi_rejects_empty() {
+        let crf = Crf::new(&mut seeded_rng(1), 3);
+        crf.viterbi(&NdArray::zeros([0, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "tag out of range")]
+    fn nll_rejects_out_of_range_tags() {
+        let mut rng = seeded_rng(2);
+        let crf = Crf::new(&mut rng, 3);
+        let e = Tensor::constant(uniform(&mut rng, [2, 3], 1.0));
+        crf.neg_log_likelihood(&e, &[0, 9]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Inverted dropout.
+
+use rand::Rng;
+use resuformer_tensor::ops;
+use resuformer_tensor::{NdArray, Tensor};
+
+/// Inverted dropout: at train time, zeroes each element with probability `p`
+/// and scales survivors by `1/(1-p)`; at eval time it is the identity.
+///
+/// Stateless apart from the rate; the caller passes the RNG so experiments
+/// stay reproducible from a single seed.
+#[derive(Clone, Copy, Debug)]
+pub struct Dropout {
+    /// Drop probability in `[0, 1)`.
+    pub p: f32,
+}
+
+impl Dropout {
+    /// New dropout with drop probability `p`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+        Dropout { p }
+    }
+
+    /// Apply. `train = false` (or `p == 0`) is the identity.
+    pub fn forward(&self, x: &Tensor, train: bool, rng: &mut impl Rng) -> Tensor {
+        if !train || self.p == 0.0 {
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let dims = x.dims();
+        let n: usize = dims.iter().product();
+        let mask: Vec<f32> = (0..n)
+            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .collect();
+        let mask = Tensor::constant(NdArray::from_vec(mask, dims));
+        ops::mul(x, &mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resuformer_tensor::init::seeded_rng;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.5);
+        let x = Tensor::constant(NdArray::ones([10]));
+        let y = d.forward(&x, false, &mut seeded_rng(1));
+        assert_eq!(y.value().data(), x.value().data());
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let d = Dropout::new(0.3);
+        let x = Tensor::constant(NdArray::ones([10_000]));
+        let y = d.forward(&x, true, &mut seeded_rng(2)).value();
+        let mean: f32 = y.data().iter().sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {}", mean);
+        // Survivors are scaled by 1/keep.
+        assert!(y.data().iter().all(|&v| v == 0.0 || (v - 1.0 / 0.7).abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p")]
+    fn rejects_p_one() {
+        Dropout::new(1.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Lookup-table embeddings.
+
+use rand::Rng;
+use resuformer_tensor::init;
+use resuformer_tensor::ops;
+use resuformer_tensor::Tensor;
+
+use crate::module::Module;
+
+/// An embedding table `[num, dim]` with gather forward / scatter-add
+/// backward.
+pub struct Embedding {
+    /// The embedding table.
+    pub table: Tensor,
+}
+
+impl Embedding {
+    /// Normal(0, 0.02) initialised table, BERT-style.
+    pub fn new(rng: &mut impl Rng, num: usize, dim: usize) -> Self {
+        Embedding {
+            table: Tensor::param(init::normal(rng, [num, dim], 0.02)),
+        }
+    }
+
+    /// Number of embeddings.
+    pub fn num(&self) -> usize {
+        self.table.dims()[0]
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.table.dims()[1]
+    }
+
+    /// Look up a batch of ids → `[ids.len(), dim]`.
+    pub fn forward(&self, ids: &[usize]) -> Tensor {
+        ops::gather_rows(&self.table, ids)
+    }
+}
+
+impl Module for Embedding {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.table.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resuformer_tensor::init::seeded_rng;
+    use resuformer_tensor::NdArray;
+
+    #[test]
+    fn lookup_returns_table_rows() {
+        let e = Embedding {
+            table: Tensor::param(NdArray::from_vec(
+                vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1],
+                [3, 2],
+            )),
+        };
+        let y = e.forward(&[2, 0]);
+        assert_eq!(y.value().data(), &[2.0, 2.1, 0.0, 0.1]);
+        assert_eq!(e.num(), 3);
+        assert_eq!(e.dim(), 2);
+    }
+
+    #[test]
+    fn gradient_flows_only_to_used_rows() {
+        let mut rng = seeded_rng(1);
+        let e = Embedding::new(&mut rng, 4, 3);
+        let y = e.forward(&[1, 1]);
+        let loss = ops::sum_all(&y);
+        loss.backward();
+        let g = e.table.grad().unwrap();
+        // Row 1 used twice -> gradient 2; others zero.
+        assert_eq!(g.row(1), &[2.0, 2.0, 2.0]);
+        assert_eq!(g.row(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(g.row(3), &[0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,48 @@
+//! # resuformer-nn
+//!
+//! Neural-network layers and optimizers built on the
+//! [`resuformer_tensor`] autodiff engine. Everything the ResuFormer paper's
+//! models need is here:
+//!
+//! * [`Linear`], [`Embedding`], [`LayerNorm`], [`Dropout`], [`Mlp`];
+//! * [`MultiHeadAttention`] and [`TransformerEncoder`] (post-norm, GELU
+//!   feed-forward, as in BERT);
+//! * [`Lstm`] / [`BiLstm`] recurrent layers (Eq. 8 of the paper);
+//! * [`Crf`] with exact forward-algorithm likelihood and Viterbi decoding,
+//!   plus the fuzzy CRF variant used by the distantly-supervised baseline;
+//! * [`GcnLayer`] for the RoBERTa+GCN baseline;
+//! * [`Conv2dLayer`] for the visual region-feature CNN;
+//! * [`Adam`] with decoupled weight decay and gradient clipping.
+//!
+//! Layers expose their trainable tensors through the [`Module`] trait, which
+//! also provides parameter-count reporting and byte-level save/load.
+
+#![warn(missing_docs)]
+
+pub mod adam;
+pub mod attention;
+pub mod conv;
+pub mod crf;
+pub mod dropout;
+pub mod embedding;
+pub mod gcn;
+pub mod linear;
+pub mod lstm;
+pub mod module;
+pub mod norm;
+pub mod schedule;
+pub mod transformer;
+
+pub use adam::Adam;
+pub use attention::MultiHeadAttention;
+pub use conv::Conv2dLayer;
+pub use crf::{Crf, FuzzyCrf};
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use gcn::GcnLayer;
+pub use linear::{Linear, Mlp};
+pub use lstm::{BiLstm, Lstm};
+pub use module::Module;
+pub use norm::LayerNorm;
+pub use schedule::LinearWarmupDecay;
+pub use transformer::{TransformerEncoder, TransformerLayer};

@@ -1,0 +1,185 @@
+//! Fully-connected layers and small MLPs.
+
+use rand::Rng;
+use resuformer_tensor::init;
+use resuformer_tensor::ops;
+use resuformer_tensor::{NdArray, Tensor};
+
+use crate::module::Module;
+
+/// A dense affine layer: `y = x W + b` on `[n, in] -> [n, out]` inputs.
+pub struct Linear {
+    /// Weight matrix `[in_dim, out_dim]`.
+    pub w: Tensor,
+    /// Bias vector `[out_dim]`.
+    pub b: Tensor,
+}
+
+impl Linear {
+    /// Xavier-initialised layer.
+    pub fn new(rng: &mut impl Rng, in_dim: usize, out_dim: usize) -> Self {
+        Linear {
+            w: Tensor::param(init::xavier(rng, in_dim, out_dim)),
+            b: Tensor::param(NdArray::zeros([out_dim])),
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.dims()[0]
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.dims()[1]
+    }
+
+    /// Apply to a `[n, in_dim]` batch.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        ops::add_broadcast_row(&ops::matmul(x, &self.w), &self.b)
+    }
+}
+
+impl Module for Linear {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.w.clone(), self.b.clone()]
+    }
+}
+
+/// Activation choices for [`Mlp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// BERT-style GELU (tanh approximation).
+    Gelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No activation.
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, x: &Tensor) -> Tensor {
+        match self {
+            Activation::Relu => ops::relu(x),
+            Activation::Gelu => ops::gelu(x),
+            Activation::Tanh => ops::tanh(x),
+            Activation::Identity => x.clone(),
+        }
+    }
+}
+
+/// A multi-layer perceptron: activations between layers, none after the last.
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Build an MLP through the given dims, e.g. `[in, hidden, out]`.
+    pub fn new(rng: &mut impl Rng, dims: &[usize], activation: Activation) -> Self {
+        assert!(dims.len() >= 2, "Mlp needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(rng, w[0], w[1]))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Apply to a `[n, in_dim]` batch.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h);
+            if i + 1 < self.layers.len() {
+                h = self.activation.apply(&h);
+            }
+        }
+        h
+    }
+
+    /// Output dimension of the final layer.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+}
+
+impl Module for Mlp {
+    fn parameters(&self) -> Vec<Tensor> {
+        self.layers.iter().flat_map(|l| l.parameters()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resuformer_tensor::check::assert_grads_close;
+    use resuformer_tensor::init::seeded_rng;
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut rng = seeded_rng(1);
+        let l = Linear::new(&mut rng, 3, 2);
+        assert_eq!(l.in_dim(), 3);
+        assert_eq!(l.out_dim(), 2);
+        let x = Tensor::constant(NdArray::zeros([4, 3]));
+        let y = l.forward(&x);
+        // zero input -> output equals bias (zero at init)
+        assert_eq!(y.dims(), vec![4, 2]);
+        assert!(y.value().data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn linear_gradients_correct() {
+        let mut rng = seeded_rng(2);
+        let l = Linear::new(&mut rng, 3, 2);
+        let x = Tensor::constant(init::uniform(&mut rng, [2, 3], 1.0));
+        assert_grads_close(
+            &l.parameters(),
+            |_| ops::mean_all(&ops::square(&l.forward(&x))),
+            1e-2,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn mlp_forward_and_gradients() {
+        let mut rng = seeded_rng(3);
+        let m = Mlp::new(&mut rng, &[4, 5, 3], Activation::Gelu);
+        assert_eq!(m.out_dim(), 3);
+        assert_eq!(m.num_parameters(), 4 * 5 + 5 + 5 * 3 + 3);
+        let x = Tensor::constant(init::uniform(&mut rng, [2, 4], 1.0));
+        let y = m.forward(&x);
+        assert_eq!(y.dims(), vec![2, 3]);
+        assert_grads_close(
+            &m.parameters(),
+            |_| ops::mean_all(&ops::square(&m.forward(&x))),
+            1e-2,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn mlp_trains_toward_target() {
+        // A single gradient-descent loop must reduce a regression loss.
+        let mut rng = seeded_rng(4);
+        let m = Mlp::new(&mut rng, &[2, 8, 1], Activation::Tanh);
+        let x = Tensor::constant(init::uniform(&mut rng, [8, 2], 1.0));
+        let target = Tensor::constant(init::uniform(&mut rng, [8, 1], 1.0));
+        let loss0 = ops::mse(&m.forward(&x), &target).item();
+        for _ in 0..500 {
+            m.zero_grad();
+            let loss = ops::mse(&m.forward(&x), &target);
+            loss.backward();
+            for p in m.parameters() {
+                let g = p.grad().unwrap();
+                let mut v = p.value();
+                v.axpy(-0.2, &g);
+                p.set_value(v);
+            }
+        }
+        let loss1 = ops::mse(&m.forward(&x), &target).item();
+        assert!(loss1 < loss0 * 0.2, "loss {} -> {}", loss0, loss1);
+    }
+}

@@ -1,0 +1,208 @@
+//! LSTM and bidirectional LSTM layers (Eq. 8 of the paper).
+
+use rand::Rng;
+use resuformer_tensor::init;
+use resuformer_tensor::ops;
+use resuformer_tensor::{NdArray, Tensor};
+
+use crate::module::Module;
+
+/// A unidirectional LSTM processing a `[n, in_dim]` sequence into `[n, h]`
+/// hidden states. Gate order in the packed weights is `i, f, g, o`.
+pub struct Lstm {
+    w_ih: Tensor,
+    w_hh: Tensor,
+    b: Tensor,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl Lstm {
+    /// New LSTM with input dim `in_dim` and hidden size `hidden`. The forget
+    /// gate bias is initialised to 1 (standard trick for gradient flow).
+    pub fn new(rng: &mut impl Rng, in_dim: usize, hidden: usize) -> Self {
+        let mut b = NdArray::zeros([4 * hidden]);
+        for j in hidden..2 * hidden {
+            b.data_mut()[j] = 1.0;
+        }
+        Lstm {
+            w_ih: Tensor::param(init::xavier(rng, in_dim, 4 * hidden)),
+            w_hh: Tensor::param(init::xavier(rng, hidden, 4 * hidden)),
+            b: Tensor::param(b),
+            in_dim,
+            hidden,
+        }
+    }
+
+    /// Hidden size.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Run over the sequence. `reverse = true` processes the rows back to
+    /// front (the output is re-ordered to match the input order).
+    pub fn forward(&self, x: &Tensor, reverse: bool) -> Tensor {
+        let n = x.dims()[0];
+        assert_eq!(x.dims()[1], self.in_dim, "Lstm input dim mismatch");
+        let h = self.hidden;
+        let mut hs: Vec<Option<Tensor>> = vec![None; n];
+        let mut h_t = Tensor::constant(NdArray::zeros([1, h]));
+        let mut c_t = Tensor::constant(NdArray::zeros([1, h]));
+
+        let order: Vec<usize> = if reverse {
+            (0..n).rev().collect()
+        } else {
+            (0..n).collect()
+        };
+        for &t in &order {
+            let x_t = ops::slice_rows(x, t, 1);
+            let pre = ops::add_broadcast_row(
+                &ops::add(&ops::matmul(&x_t, &self.w_ih), &ops::matmul(&h_t, &self.w_hh)),
+                &self.b,
+            );
+            let i = ops::sigmoid(&ops::slice_cols(&pre, 0, h));
+            let f = ops::sigmoid(&ops::slice_cols(&pre, h, h));
+            let g = ops::tanh(&ops::slice_cols(&pre, 2 * h, h));
+            let o = ops::sigmoid(&ops::slice_cols(&pre, 3 * h, h));
+            c_t = ops::add(&ops::mul(&f, &c_t), &ops::mul(&i, &g));
+            h_t = ops::mul(&o, &ops::tanh(&c_t));
+            hs[t] = Some(h_t.clone());
+        }
+        let rows: Vec<Tensor> = hs.into_iter().map(|t| t.expect("all steps filled")).collect();
+        ops::concat_rows(&rows)
+    }
+}
+
+impl Module for Lstm {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.w_ih.clone(), self.w_hh.clone(), self.b.clone()]
+    }
+}
+
+/// A bidirectional LSTM: forward and backward passes concatenated, producing
+/// `[n, 2*hidden]` — exactly Eq. 8's `[h→ ; h←]`.
+pub struct BiLstm {
+    fwd: Lstm,
+    bwd: Lstm,
+}
+
+impl BiLstm {
+    /// New BiLSTM; output dim is `2 * hidden`.
+    pub fn new(rng: &mut impl Rng, in_dim: usize, hidden: usize) -> Self {
+        BiLstm {
+            fwd: Lstm::new(rng, in_dim, hidden),
+            bwd: Lstm::new(rng, in_dim, hidden),
+        }
+    }
+
+    /// Output feature dimension (`2 * hidden`).
+    pub fn out_dim(&self) -> usize {
+        2 * self.fwd.hidden()
+    }
+
+    /// Run both directions over a `[n, in_dim]` sequence → `[n, 2*hidden]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let f = self.fwd.forward(x, false);
+        let b = self.bwd.forward(x, true);
+        ops::concat_cols(&[f, b])
+    }
+}
+
+impl Module for BiLstm {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.fwd.parameters();
+        p.extend(self.bwd.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resuformer_tensor::check::assert_grads_close;
+    use resuformer_tensor::init::{seeded_rng, uniform};
+
+    #[test]
+    fn shapes_and_state_flow() {
+        let mut rng = seeded_rng(1);
+        let lstm = Lstm::new(&mut rng, 3, 5);
+        let x = Tensor::constant(uniform(&mut rng, [7, 3], 1.0));
+        let y = lstm.forward(&x, false);
+        assert_eq!(y.dims(), vec![7, 5]);
+        assert!(y.value().all_finite());
+    }
+
+    #[test]
+    fn first_step_matches_hand_computed_cell() {
+        // Verify the cell equations on a 1-step sequence against a scalar
+        // hand computation (zero initial state, so the forget term drops).
+        let lstm = Lstm {
+            w_ih: Tensor::param(NdArray::from_vec(vec![0.5, -0.5, 0.3, 0.7], [1, 4])),
+            w_hh: Tensor::param(NdArray::zeros([1, 4])),
+            b: Tensor::param(NdArray::from_vec(vec![0.1, 1.0, -0.2, 0.0], [4])),
+            in_dim: 1,
+            hidden: 1,
+        };
+        let x = Tensor::constant(NdArray::from_vec(vec![2.0], [1, 1]));
+        let y = lstm.forward(&x, false).value();
+        let sig = |v: f32| 1.0 / (1.0 + (-v as f64).exp()) as f32;
+        let i = sig(0.5 * 2.0 + 0.1);
+        let g = (0.3f32 * 2.0 - 0.2).tanh();
+        let o = sig(0.7 * 2.0);
+        let c = i * g; // f * c0 = 0
+        let expect = o * c.tanh();
+        assert!((y.data()[0] - expect).abs() < 1e-5, "{} vs {}", y.data()[0], expect);
+    }
+
+    #[test]
+    fn reverse_direction_sees_future_context() {
+        // In reverse mode, changing the LAST input must change the FIRST
+        // output; in forward mode it must not.
+        let mut rng = seeded_rng(2);
+        let lstm = Lstm::new(&mut rng, 2, 3);
+        let mut base = uniform(&mut seeded_rng(3), [4, 2], 1.0);
+        let fwd1 = lstm.forward(&Tensor::constant(base.clone()), false).value();
+        let rev1 = lstm.forward(&Tensor::constant(base.clone()), true).value();
+        base.set(&[3, 0], 5.0);
+        let fwd2 = lstm.forward(&Tensor::constant(base.clone()), false).value();
+        let rev2 = lstm.forward(&Tensor::constant(base), true).value();
+        assert_eq!(fwd1.row(0), fwd2.row(0), "forward must be causal");
+        assert_ne!(rev1.row(0), rev2.row(0), "reverse must see the future");
+    }
+
+    #[test]
+    fn bilstm_concatenates_directions() {
+        let mut rng = seeded_rng(4);
+        let bi = BiLstm::new(&mut rng, 2, 3);
+        assert_eq!(bi.out_dim(), 6);
+        let x = Tensor::constant(uniform(&mut rng, [5, 2], 1.0));
+        let y = bi.forward(&x);
+        assert_eq!(y.dims(), vec![5, 6]);
+    }
+
+    #[test]
+    fn lstm_gradients_correct() {
+        let mut rng = seeded_rng(5);
+        let lstm = Lstm::new(&mut rng, 2, 2);
+        let x = Tensor::constant(uniform(&mut rng, [3, 2], 1.0));
+        assert_grads_close(
+            &lstm.parameters(),
+            |_| ops::mean_all(&ops::square(&lstm.forward(&x, false))),
+            1e-2,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn bilstm_gradients_correct() {
+        let mut rng = seeded_rng(6);
+        let bi = BiLstm::new(&mut rng, 2, 2);
+        let x = Tensor::constant(uniform(&mut rng, [3, 2], 1.0));
+        assert_grads_close(
+            &bi.parameters(),
+            |_| ops::mean_all(&ops::square(&bi.forward(&x))),
+            1e-2,
+            5e-2,
+        );
+    }
+}

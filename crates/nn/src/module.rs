@@ -1,0 +1,242 @@
+//! The [`Module`] trait: parameter enumeration, counting, and byte-level
+//! serialization of weights.
+//!
+//! Serialization is a simple self-describing binary format (no external
+//! format dependency): a header, then per-parameter shape + little-endian
+//! `f32` data, in the order [`Module::parameters`] yields them. Loading
+//! validates shapes, so architecture drift between save and load fails fast.
+
+use resuformer_tensor::{NdArray, Tensor};
+
+const MAGIC: &[u8; 8] = b"RESUFMR1";
+
+/// A trainable component exposing its parameter tensors.
+pub trait Module {
+    /// All trainable tensors, in a stable order.
+    fn parameters(&self) -> Vec<Tensor>;
+
+    /// Total number of trainable scalars.
+    fn num_parameters(&self) -> usize {
+        self.parameters().iter().map(|p| p.value().numel()).sum()
+    }
+
+    /// Zero all parameter gradients.
+    fn zero_grad(&self) {
+        for p in self.parameters() {
+            p.zero_grad();
+        }
+    }
+
+    /// Serialize all parameter values to bytes.
+    fn save_bytes(&self) -> Vec<u8> {
+        let params = self.parameters();
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(params.len() as u64).to_le_bytes());
+        for p in &params {
+            let v = p.value();
+            let dims = v.dims();
+            out.extend_from_slice(&(dims.len() as u64).to_le_bytes());
+            for &d in dims {
+                out.extend_from_slice(&(d as u64).to_le_bytes());
+            }
+            for &x in v.data() {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Restore parameter values from bytes produced by [`Module::save_bytes`]
+    /// on an identically-shaped module.
+    fn load_bytes(&self, bytes: &[u8]) -> Result<(), LoadError> {
+        let params = self.parameters();
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(8)?;
+        if magic != MAGIC {
+            return Err(LoadError::BadMagic);
+        }
+        let n = r.u64()? as usize;
+        if n != params.len() {
+            return Err(LoadError::ParamCountMismatch {
+                expected: params.len(),
+                found: n,
+            });
+        }
+        for (i, p) in params.iter().enumerate() {
+            let rank = r.u64()? as usize;
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                dims.push(r.u64()? as usize);
+            }
+            if dims != p.dims() {
+                return Err(LoadError::ShapeMismatch {
+                    param: i,
+                    expected: p.dims(),
+                    found: dims,
+                });
+            }
+            let numel: usize = dims.iter().product::<usize>().max(1);
+            let raw = r.take(numel * 4)?;
+            let data: Vec<f32> = raw
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            p.set_value(NdArray::from_vec(data, dims));
+        }
+        Ok(())
+    }
+
+    /// Copy parameter values from another identically-shaped module.
+    ///
+    /// This is how the self-distillation loop (Algorithm 2) initialises the
+    /// student from the teacher and re-initialises the teacher from the
+    /// student.
+    fn copy_parameters_from(&self, other: &dyn Module) {
+        let dst = self.parameters();
+        let src = other.parameters();
+        assert_eq!(
+            dst.len(),
+            src.len(),
+            "copy_parameters_from: module parameter count mismatch"
+        );
+        for (d, s) in dst.iter().zip(src.iter()) {
+            d.set_value(s.value());
+        }
+    }
+}
+
+/// Errors from [`Module::load_bytes`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum LoadError {
+    /// The byte stream does not start with the expected magic.
+    BadMagic,
+    /// Truncated input.
+    UnexpectedEof,
+    /// Parameter count differs from the target module.
+    ParamCountMismatch {
+        /// parameters in the target module
+        expected: usize,
+        /// parameters recorded in the byte stream
+        found: usize,
+    },
+    /// A parameter's recorded shape differs from the target module's.
+    ShapeMismatch {
+        /// index of the offending parameter
+        param: usize,
+        /// shape in the target module
+        expected: Vec<usize>,
+        /// shape recorded in the byte stream
+        found: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::BadMagic => write!(f, "bad magic header"),
+            LoadError::UnexpectedEof => write!(f, "unexpected end of input"),
+            LoadError::ParamCountMismatch { expected, found } => {
+                write!(f, "parameter count mismatch: expected {expected}, found {found}")
+            }
+            LoadError::ShapeMismatch { param, expected, found } => write!(
+                f,
+                "shape mismatch at parameter {param}: expected {expected:?}, found {found:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], LoadError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(LoadError::UnexpectedEof);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, LoadError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+}
+
+/// A module made of a plain list of parameters (used in tests and for
+/// ad-hoc parameter groups such as the SCL mask vector).
+pub struct ParamList(pub Vec<Tensor>);
+
+impl Module for ParamList {
+    fn parameters(&self) -> Vec<Tensor> {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resuformer_tensor::NdArray;
+
+    fn sample() -> ParamList {
+        ParamList(vec![
+            Tensor::param(NdArray::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2])),
+            Tensor::param(NdArray::from_vec(vec![5.0], [1])),
+        ])
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let a = sample();
+        let bytes = a.save_bytes();
+        let b = ParamList(vec![
+            Tensor::param(NdArray::zeros([2, 2])),
+            Tensor::param(NdArray::zeros([1])),
+        ]);
+        b.load_bytes(&bytes).unwrap();
+        assert_eq!(b.0[0].value().data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(b.0[1].value().data(), &[5.0]);
+    }
+
+    #[test]
+    fn load_rejects_shape_mismatch() {
+        let a = sample();
+        let bytes = a.save_bytes();
+        let b = ParamList(vec![
+            Tensor::param(NdArray::zeros([4])),
+            Tensor::param(NdArray::zeros([1])),
+        ]);
+        assert!(matches!(
+            b.load_bytes(&bytes),
+            Err(LoadError::ShapeMismatch { param: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn load_rejects_bad_magic_and_truncation() {
+        let a = sample();
+        let mut bytes = a.save_bytes();
+        assert!(matches!(a.load_bytes(&bytes[..10]), Err(_)));
+        bytes[0] = b'X';
+        assert_eq!(a.load_bytes(&bytes), Err(LoadError::BadMagic));
+    }
+
+    #[test]
+    fn copy_parameters_between_modules() {
+        let a = sample();
+        let b = ParamList(vec![
+            Tensor::param(NdArray::zeros([2, 2])),
+            Tensor::param(NdArray::zeros([1])),
+        ]);
+        b.copy_parameters_from(&a);
+        assert_eq!(b.0[0].value().data(), a.0[0].value().data());
+        assert_eq!(a.num_parameters(), 5);
+    }
+}

@@ -1,0 +1,71 @@
+//! Layer normalisation with learned affine parameters.
+
+use resuformer_tensor::ops;
+use resuformer_tensor::{NdArray, Tensor};
+
+use crate::module::Module;
+
+/// Row-wise layer norm with learned scale `gamma` and shift `beta`.
+pub struct LayerNorm {
+    /// Scale `[dim]`, initialised to ones.
+    pub gamma: Tensor,
+    /// Shift `[dim]`, initialised to zeros.
+    pub beta: Tensor,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Layer norm over the last axis of `[n, dim]` inputs.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Tensor::param(NdArray::ones([dim])),
+            beta: Tensor::param(NdArray::zeros([dim])),
+            eps: 1e-5,
+        }
+    }
+
+    /// Apply to a `[n, dim]` batch.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let normed = ops::layer_norm_rows(x, self.eps);
+        ops::add_broadcast_row(&ops::mul_broadcast_row(&normed, &self.gamma), &self.beta)
+    }
+}
+
+impl Module for LayerNorm {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resuformer_tensor::check::assert_grads_close;
+    use resuformer_tensor::init::{seeded_rng, uniform};
+
+    #[test]
+    fn identity_affine_normalises_rows() {
+        let ln = LayerNorm::new(4);
+        let x = Tensor::constant(NdArray::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, -10.0, 0.0, 10.0, 20.0],
+            [2, 4],
+        ));
+        let y = ln.forward(&x).value();
+        for r in 0..2 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn affine_params_receive_gradients() {
+        let ln = LayerNorm::new(3);
+        let x = Tensor::constant(uniform(&mut seeded_rng(1), [4, 3], 1.0));
+        assert_grads_close(
+            &ln.parameters(),
+            |_| ops::mean_all(&ops::square(&ln.forward(&x))),
+            1e-2,
+            5e-2,
+        );
+    }
+}

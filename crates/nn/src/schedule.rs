@@ -1,0 +1,100 @@
+//! Learning-rate schedules.
+//!
+//! BERT-family training uses linear warmup followed by linear decay; the
+//! experiment harness applies [`LinearWarmupDecay`] to its Adam groups.
+
+/// Linear warmup to `peak_lr` over `warmup_steps`, then linear decay to
+/// `final_lr` at `total_steps` (constant afterwards).
+#[derive(Clone, Copy, Debug)]
+pub struct LinearWarmupDecay {
+    /// Peak learning rate reached at the end of warmup.
+    pub peak_lr: f32,
+    /// Final learning rate at `total_steps`.
+    pub final_lr: f32,
+    /// Warmup steps.
+    pub warmup_steps: usize,
+    /// Total schedule length.
+    pub total_steps: usize,
+}
+
+impl LinearWarmupDecay {
+    /// Standard 10%-warmup schedule.
+    pub fn with_warmup_ratio(peak_lr: f32, total_steps: usize, ratio: f32) -> Self {
+        LinearWarmupDecay {
+            peak_lr,
+            final_lr: 0.0,
+            warmup_steps: ((total_steps as f32) * ratio).round() as usize,
+            total_steps: total_steps.max(1),
+        }
+    }
+
+    /// Learning rate at a (0-based) step.
+    pub fn lr_at(&self, step: usize) -> f32 {
+        if self.warmup_steps > 0 && step < self.warmup_steps {
+            self.peak_lr * (step + 1) as f32 / self.warmup_steps as f32
+        } else if step >= self.total_steps {
+            self.final_lr
+        } else {
+            let span = (self.total_steps - self.warmup_steps).max(1) as f32;
+            let progress = (step - self.warmup_steps) as f32 / span;
+            self.peak_lr + (self.final_lr - self.peak_lr) * progress
+        }
+    }
+
+    /// Apply the step's learning rate to an optimizer.
+    pub fn apply(&self, opt: &mut crate::adam::Adam, step: usize) {
+        opt.lr = self.lr_at(step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warms_up_then_decays() {
+        let s = LinearWarmupDecay {
+            peak_lr: 1.0,
+            final_lr: 0.0,
+            warmup_steps: 10,
+            total_steps: 110,
+        };
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(9) - 1.0).abs() < 1e-6);
+        assert!(s.lr_at(10) <= 1.0);
+        assert!(s.lr_at(60) < s.lr_at(20));
+        assert!((s.lr_at(110)).abs() < 1e-6);
+        assert_eq!(s.lr_at(10_000), 0.0);
+    }
+
+    #[test]
+    fn ratio_constructor() {
+        let s = LinearWarmupDecay::with_warmup_ratio(2e-3, 100, 0.1);
+        assert_eq!(s.warmup_steps, 10);
+        assert!((s.lr_at(9) - 2e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_warmup_starts_at_peak() {
+        let s = LinearWarmupDecay {
+            peak_lr: 0.5,
+            final_lr: 0.1,
+            warmup_steps: 0,
+            total_steps: 10,
+        };
+        assert!((s.lr_at(0) - 0.5).abs() < 1e-6);
+        assert!((s.lr_at(10) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn applies_to_optimizer() {
+        use resuformer_tensor::{NdArray, Tensor};
+        let p = Tensor::param(NdArray::scalar(1.0));
+        let mut opt = crate::adam::Adam::new(vec![p], 1.0, 0.0);
+        let s = LinearWarmupDecay::with_warmup_ratio(1e-2, 100, 0.1);
+        s.apply(&mut opt, 0);
+        assert!(opt.lr < 1e-2);
+        s.apply(&mut opt, 9);
+        assert!((opt.lr - 1e-2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,194 @@
+//! Post-norm Transformer encoder (BERT-style).
+
+use rand::Rng;
+use resuformer_tensor::ops;
+use resuformer_tensor::{NdArray, Tensor};
+
+use crate::attention::MultiHeadAttention;
+use crate::dropout::Dropout;
+use crate::linear::Linear;
+use crate::module::Module;
+use crate::norm::LayerNorm;
+
+/// One encoder layer: self-attention + GELU feed-forward, residuals and
+/// post-layer-norm, as in the original BERT encoder the paper builds on.
+pub struct TransformerLayer {
+    attn: MultiHeadAttention,
+    ln1: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+    ln2: LayerNorm,
+    dropout: Dropout,
+}
+
+impl TransformerLayer {
+    /// New layer with model dim `dim`, `heads` heads, feed-forward dim `ff`.
+    pub fn new(rng: &mut impl Rng, dim: usize, heads: usize, ff: usize, dropout: f32) -> Self {
+        TransformerLayer {
+            attn: MultiHeadAttention::new(rng, dim, heads),
+            ln1: LayerNorm::new(dim),
+            ff1: Linear::new(rng, dim, ff),
+            ff2: Linear::new(rng, ff, dim),
+            ln2: LayerNorm::new(dim),
+            dropout: Dropout::new(dropout),
+        }
+    }
+
+    /// Forward a `[n, dim]` sequence.
+    pub fn forward(
+        &self,
+        x: &Tensor,
+        mask: Option<&NdArray>,
+        train: bool,
+        rng: &mut impl Rng,
+    ) -> Tensor {
+        let a = self.attn.forward(x, mask);
+        let a = self.dropout.forward(&a, train, rng);
+        let h = self.ln1.forward(&ops::add(x, &a));
+        let f = self.ff2.forward(&ops::gelu(&self.ff1.forward(&h)));
+        let f = self.dropout.forward(&f, train, rng);
+        self.ln2.forward(&ops::add(&h, &f))
+    }
+}
+
+impl Module for TransformerLayer {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.attn.parameters();
+        p.extend(self.ln1.parameters());
+        p.extend(self.ff1.parameters());
+        p.extend(self.ff2.parameters());
+        p.extend(self.ln2.parameters());
+        p
+    }
+}
+
+/// A stack of [`TransformerLayer`]s.
+pub struct TransformerEncoder {
+    layers: Vec<TransformerLayer>,
+    dim: usize,
+}
+
+impl TransformerEncoder {
+    /// New encoder: `n_layers` layers of width `dim` with `heads` heads and
+    /// feed-forward width `ff`.
+    pub fn new(
+        rng: &mut impl Rng,
+        n_layers: usize,
+        dim: usize,
+        heads: usize,
+        ff: usize,
+        dropout: f32,
+    ) -> Self {
+        TransformerEncoder {
+            layers: (0..n_layers)
+                .map(|_| TransformerLayer::new(rng, dim, heads, ff, dropout))
+                .collect(),
+            dim,
+        }
+    }
+
+    /// Model dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Forward a `[n, dim]` sequence through all layers.
+    pub fn forward(
+        &self,
+        x: &Tensor,
+        mask: Option<&NdArray>,
+        train: bool,
+        rng: &mut impl Rng,
+    ) -> Tensor {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward(&h, mask, train, rng);
+        }
+        h
+    }
+}
+
+impl Module for TransformerEncoder {
+    fn parameters(&self) -> Vec<Tensor> {
+        self.layers.iter().flat_map(|l| l.parameters()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resuformer_tensor::init::{seeded_rng, uniform};
+
+    #[test]
+    fn encoder_shape_and_param_count() {
+        let mut rng = seeded_rng(1);
+        let enc = TransformerEncoder::new(&mut rng, 2, 8, 2, 16, 0.0);
+        assert_eq!(enc.n_layers(), 2);
+        assert_eq!(enc.dim(), 8);
+        // per layer: attn 4*(8*8+8) + 2 LN 2*(8+8) + ff 8*16+16 + 16*8+8
+        let per_layer = 4 * (64 + 8) + 2 * 16 + (128 + 16) + (128 + 8);
+        assert_eq!(enc.num_parameters(), 2 * per_layer);
+        let x = Tensor::constant(uniform(&mut rng, [5, 8], 1.0));
+        let y = enc.forward(&x, None, false, &mut rng);
+        assert_eq!(y.dims(), vec![5, 8]);
+        assert!(y.value().all_finite());
+    }
+
+    #[test]
+    fn eval_forward_is_deterministic() {
+        let mut rng = seeded_rng(2);
+        let enc = TransformerEncoder::new(&mut rng, 1, 4, 2, 8, 0.5);
+        let x = Tensor::constant(uniform(&mut rng, [3, 4], 1.0));
+        let y1 = enc.forward(&x, None, false, &mut seeded_rng(10)).value();
+        let y2 = enc.forward(&x, None, false, &mut seeded_rng(99)).value();
+        assert_eq!(y1.data(), y2.data());
+    }
+
+    #[test]
+    fn train_dropout_differs_from_eval() {
+        let mut rng = seeded_rng(3);
+        let enc = TransformerEncoder::new(&mut rng, 1, 4, 2, 8, 0.5);
+        let x = Tensor::constant(uniform(&mut rng, [3, 4], 1.0));
+        let eval = enc.forward(&x, None, false, &mut seeded_rng(1)).value();
+        let train = enc.forward(&x, None, true, &mut seeded_rng(1)).value();
+        assert_ne!(eval.data(), train.data());
+    }
+
+    #[test]
+    fn encoder_trains_to_memorise_mapping() {
+        // Overfit a tiny encoder + readout to map a fixed input to targets.
+        let mut rng = seeded_rng(4);
+        let enc = TransformerEncoder::new(&mut rng, 1, 4, 2, 8, 0.0);
+        let readout = crate::linear::Linear::new(&mut rng, 4, 2);
+        let x = Tensor::constant(uniform(&mut rng, [4, 4], 1.0));
+        let target = Tensor::constant(uniform(&mut rng, [4, 2], 1.0));
+        let mut params = enc.parameters();
+        params.extend(readout.parameters());
+
+        let loss_at = |rng: &mut rand_chacha::ChaCha8Rng| {
+            ops::mse(&readout.forward(&enc.forward(&x, None, false, rng)), &target)
+        };
+        let loss0 = loss_at(&mut rng).item();
+        for _ in 0..150 {
+            for p in &params {
+                p.zero_grad();
+            }
+            let loss = loss_at(&mut rng);
+            loss.backward();
+            for p in &params {
+                if let Some(g) = p.grad() {
+                    let mut v = p.value();
+                    v.axpy(-0.05, &g);
+                    p.set_value(v);
+                }
+            }
+        }
+        let loss1 = loss_at(&mut rng).item();
+        assert!(loss1 < loss0 * 0.3, "loss {} -> {}", loss0, loss1);
+    }
+}

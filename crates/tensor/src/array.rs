@@ -1,0 +1,387 @@
+//! Dense row-major `f32` n-dimensional arrays with copy-on-write storage.
+//!
+//! [`NdArray`] is the value type flowing through the autograd graph. Storage
+//! is an `Arc<Vec<f32>>`: clones are O(1) and mutation goes through
+//! [`NdArray::data_mut`], which clones the buffer only when shared.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The shape of an [`NdArray`]: a small vector of dimension sizes.
+///
+/// Rank 0 (scalar) is represented by an empty dims list and one element.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Shape of a scalar.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dimension size at `i`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.0.len()];
+        let mut acc = 1usize;
+        for (s, &d) in strides.iter_mut().zip(self.0.iter()).rev() {
+            *s = acc;
+            acc *= d;
+        }
+        strides
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(v: [usize; N]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+/// A dense row-major `f32` n-dimensional array.
+///
+/// Cloning is O(1); the underlying buffer is shared until mutated.
+#[derive(Clone)]
+pub struct NdArray {
+    shape: Shape,
+    data: Arc<Vec<f32>>,
+}
+
+impl NdArray {
+    /// Create an array from a flat buffer and shape. Panics if sizes differ.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "NdArray::from_vec: buffer length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        NdArray {
+            shape,
+            data: Arc::new(data),
+        }
+    }
+
+    /// A scalar array.
+    pub fn scalar(v: f32) -> Self {
+        NdArray::from_vec(vec![v], Shape::scalar())
+    }
+
+    /// All-zeros array of the given shape.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        NdArray {
+            shape,
+            data: Arc::new(vec![0.0; n]),
+        }
+    }
+
+    /// All-ones array of the given shape.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        NdArray::full(shape, 1.0)
+    }
+
+    /// Constant-filled array of the given shape.
+    pub fn full(shape: impl Into<Shape>, v: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        NdArray {
+            shape,
+            data: Arc::new(vec![v; n]),
+        }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.shape.0
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Read-only view of the flat buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat buffer (copy-on-write).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// The single value of a scalar or one-element array.
+    pub fn item(&self) -> f32 {
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() on array with {} elements",
+            self.numel()
+        );
+        self.data[0]
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.flat_index(idx)]
+    }
+
+    /// Set element at a multi-dimensional index.
+    pub fn set(&mut self, idx: &[usize], v: f32) {
+        let i = self.flat_index(idx);
+        self.data_mut()[i] = v;
+    }
+
+    fn flat_index(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.shape.rank(), "index rank mismatch");
+        let strides = self.shape.strides();
+        idx.iter()
+            .zip(strides.iter())
+            .zip(self.shape.0.iter())
+            .map(|((&i, &s), &d)| {
+                assert!(i < d, "index {} out of bounds for dim {}", i, d);
+                i * s
+            })
+            .sum()
+    }
+
+    /// Reinterpret with a new shape of equal element count.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> NdArray {
+        let shape = shape.into();
+        assert_eq!(
+            self.numel(),
+            shape.numel(),
+            "reshape: {} elements to shape {:?}",
+            self.numel(),
+            shape
+        );
+        NdArray {
+            shape,
+            data: Arc::clone(&self.data),
+        }
+    }
+
+    /// Elementwise map into a new array.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> NdArray {
+        NdArray::from_vec(self.data.iter().map(|&x| f(x)).collect(), self.shape.clone())
+    }
+
+    /// Elementwise combine with another array of identical shape.
+    pub fn zip(&self, other: &NdArray, f: impl Fn(f32, f32) -> f32) -> NdArray {
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "zip: shape mismatch {:?} vs {:?}",
+            self.shape,
+            other.shape
+        );
+        NdArray::from_vec(
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            self.shape.clone(),
+        )
+    }
+
+    /// `self += other` (identical shapes, copy-on-write).
+    pub fn add_assign(&mut self, other: &NdArray) {
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "add_assign: shape mismatch {:?} vs {:?}",
+            self.shape,
+            other.shape
+        );
+        let dst = self.data_mut();
+        for (d, &s) in dst.iter_mut().zip(other.data.iter()) {
+            *d += s;
+        }
+    }
+
+    /// `self += alpha * other` (identical shapes).
+    pub fn axpy(&mut self, alpha: f32, other: &NdArray) {
+        assert_eq!(self.dims(), other.dims(), "axpy: shape mismatch");
+        let dst = self.data_mut();
+        for (d, &s) in dst.iter_mut().zip(other.data.iter()) {
+            *d += alpha * s;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum_all(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum element (NaN-propagating max over finite data).
+    pub fn max_all(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Index of the maximum element in the flat buffer.
+    pub fn argmax_flat(&self) -> usize {
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Row `r` of a rank-2 array as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert_eq!(self.shape.rank(), 2, "row() requires rank-2");
+        let cols = self.shape.dim(1);
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Transpose of a rank-2 array.
+    pub fn transpose2(&self) -> NdArray {
+        assert_eq!(self.shape.rank(), 2, "transpose2 requires rank-2");
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        NdArray::from_vec(out, [c, r])
+    }
+
+    /// True if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Frobenius / L2 norm of the flat buffer.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+impl fmt::Debug for NdArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NdArray{:?} ", self.shape)?;
+        if self.numel() <= 16 {
+            write!(f, "{:?}", &self.data[..])
+        } else {
+            write!(f, "[{:?}, ... ({} elements)]", &self.data[..8], self.numel())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_strides_row_major() {
+        let s = Shape(vec![2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.numel(), 24);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(NdArray::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut a = NdArray::zeros([2, 3]);
+        a.set(&[1, 2], 7.0);
+        assert_eq!(a.at(&[1, 2]), 7.0);
+        assert_eq!(a.at(&[0, 0]), 0.0);
+        assert_eq!(a.data()[5], 7.0);
+    }
+
+    #[test]
+    fn copy_on_write_preserves_clone() {
+        let a = NdArray::ones([4]);
+        let mut b = a.clone();
+        b.data_mut()[0] = 9.0;
+        assert_eq!(a.data()[0], 1.0);
+        assert_eq!(b.data()[0], 9.0);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = NdArray::from_vec((0..6).map(|i| i as f32).collect(), [2, 3]);
+        let t = a.transpose2();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.at(&[2, 1]), a.at(&[1, 2]));
+        let tt = t.transpose2();
+        assert_eq!(tt.data(), a.data());
+    }
+
+    #[test]
+    fn zip_and_map() {
+        let a = NdArray::from_vec(vec![1.0, 2.0], [2]);
+        let b = NdArray::from_vec(vec![3.0, 5.0], [2]);
+        assert_eq!(a.zip(&b, |x, y| x * y).data(), &[3.0, 10.0]);
+        assert_eq!(a.map(|x| x + 1.0).data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_size_mismatch_panics() {
+        NdArray::from_vec(vec![1.0, 2.0], [3]);
+    }
+
+    #[test]
+    fn argmax_and_norms() {
+        let a = NdArray::from_vec(vec![1.0, -4.0, 3.0], [3]);
+        assert_eq!(a.argmax_flat(), 2);
+        assert_eq!(a.max_all(), 3.0);
+        assert!((a.l2_norm() - (26.0f32).sqrt()).abs() < 1e-6);
+        assert_eq!(a.sum_all(), 0.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Define-by-run reverse-mode automatic differentiation.
+//!
+//! A [`Tensor`] wraps an [`NdArray`] value in a shared graph node. Ops (in
+//! [`crate::ops`]) build new tensors whose nodes record their parents and a
+//! backward closure. [`Tensor::backward`] topologically sorts the reachable
+//! graph and runs the closures in reverse order, accumulating gradients into
+//! every node with `requires_grad`.
+//!
+//! The graph is single-threaded (`Rc`/`RefCell`); heavy kernels parallelise
+//! internally over raw buffers with rayon.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::array::NdArray;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Backward closure: `(grad_out, out_value, parents)`.
+///
+/// Implementations must call [`Tensor::accumulate_grad`] on the parents they
+/// differentiate with respect to.
+pub type BackwardFn = Box<dyn Fn(&NdArray, &NdArray, &[Tensor])>;
+
+pub(crate) struct Node {
+    id: u64,
+    value: RefCell<NdArray>,
+    grad: RefCell<Option<NdArray>>,
+    parents: Vec<Tensor>,
+    backward: Option<BackwardFn>,
+    requires_grad: bool,
+}
+
+/// A node in the autograd graph. Cheap to clone (shared pointer).
+///
+/// ```
+/// use resuformer_tensor::{NdArray, Tensor, ops};
+///
+/// let w = Tensor::param(NdArray::from_vec(vec![2.0], [1]));
+/// let loss = ops::square(&w);            // loss = w²
+/// loss.backward();
+/// assert_eq!(w.grad().unwrap().item(), 4.0); // d(w²)/dw = 2w
+/// ```
+#[derive(Clone)]
+pub struct Tensor(pub(crate) Rc<Node>);
+
+// Dropping a deep graph (e.g. an LSTM unrolled over hundreds of steps) must
+// not recurse through the `parents` chain; this steals parents into an
+// explicit worklist so each node drops with no parents left.
+impl Drop for Node {
+    fn drop(&mut self) {
+        let mut stack: Vec<Tensor> = std::mem::take(&mut self.parents);
+        while let Some(t) = stack.pop() {
+            if let Ok(mut node) = Rc::try_unwrap(t.0) {
+                stack.append(&mut node.parents);
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// A leaf tensor that participates in gradient computation (a parameter).
+    pub fn param(value: NdArray) -> Tensor {
+        Tensor(Rc::new(Node {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            parents: Vec::new(),
+            backward: None,
+            requires_grad: true,
+        }))
+    }
+
+    /// A leaf tensor excluded from gradient computation (input data).
+    pub fn constant(value: NdArray) -> Tensor {
+        Tensor(Rc::new(Node {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            parents: Vec::new(),
+            backward: None,
+            requires_grad: false,
+        }))
+    }
+
+    /// Scalar constant convenience.
+    pub fn scalar(v: f32) -> Tensor {
+        Tensor::constant(NdArray::scalar(v))
+    }
+
+    /// Internal: build an op output node.
+    ///
+    /// If no parent requires a gradient the parents and closure are dropped,
+    /// pruning the graph for pure-inference passes.
+    pub fn from_op(value: NdArray, parents: Vec<Tensor>, backward: BackwardFn) -> Tensor {
+        let requires_grad = parents.iter().any(|p| p.0.requires_grad);
+        if requires_grad {
+            Tensor(Rc::new(Node {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                value: RefCell::new(value),
+                grad: RefCell::new(None),
+                parents,
+                backward: Some(backward),
+                requires_grad: true,
+            }))
+        } else {
+            Tensor::constant(value)
+        }
+    }
+
+    /// Unique node id (diagnostics).
+    pub fn id(&self) -> u64 {
+        self.0.id
+    }
+
+    /// Snapshot of the current value (O(1): copy-on-write clone).
+    pub fn value(&self) -> NdArray {
+        self.0.value.borrow().clone()
+    }
+
+    /// Dimension sizes of the value.
+    pub fn dims(&self) -> Vec<usize> {
+        self.0.value.borrow().dims().to_vec()
+    }
+
+    /// The single value of a scalar tensor.
+    pub fn item(&self) -> f32 {
+        self.0.value.borrow().item()
+    }
+
+    /// Whether this node accumulates gradient.
+    pub fn requires_grad(&self) -> bool {
+        self.0.requires_grad
+    }
+
+    /// Replace the stored value (optimizer updates on leaf parameters).
+    pub fn set_value(&self, value: NdArray) {
+        assert_eq!(
+            self.0.value.borrow().dims(),
+            value.dims(),
+            "set_value: shape mismatch"
+        );
+        *self.0.value.borrow_mut() = value;
+    }
+
+    /// Current gradient, if any has been accumulated.
+    pub fn grad(&self) -> Option<NdArray> {
+        self.0.grad.borrow().clone()
+    }
+
+    /// Clear the accumulated gradient.
+    pub fn zero_grad(&self) {
+        *self.0.grad.borrow_mut() = None;
+    }
+
+    /// Add `g` into this node's gradient buffer (no-op unless
+    /// `requires_grad`).
+    pub fn accumulate_grad(&self, g: &NdArray) {
+        if !self.0.requires_grad {
+            return;
+        }
+        debug_assert_eq!(
+            self.0.value.borrow().dims(),
+            g.dims(),
+            "accumulate_grad: gradient shape {:?} does not match value shape {:?}",
+            g.dims(),
+            self.0.value.borrow().dims()
+        );
+        let mut slot = self.0.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(acc) => acc.add_assign(g),
+            None => *slot = Some(g.clone()),
+        }
+    }
+
+    /// Run reverse-mode differentiation from this (scalar) tensor.
+    ///
+    /// Seeds the output gradient with 1.0. Panics if the tensor is not a
+    /// scalar; use [`Tensor::backward_with`] to seed arbitrary shapes.
+    pub fn backward(&self) {
+        assert_eq!(
+            self.0.value.borrow().numel(),
+            1,
+            "backward() requires a scalar loss; got shape {:?}",
+            self.dims()
+        );
+        let seed = NdArray::full(self.0.value.borrow().shape().clone(), 1.0);
+        self.backward_with(&seed);
+    }
+
+    /// Run reverse-mode differentiation with an explicit output gradient.
+    pub fn backward_with(&self, seed: &NdArray) {
+        if !self.0.requires_grad {
+            return;
+        }
+        self.accumulate_grad(seed);
+
+        // Iterative post-order topological sort (graphs from LSTMs over long
+        // sequences are deep enough to overflow the stack with recursion).
+        let order = self.topo_order();
+        for node in order.iter().rev() {
+            let grad = node.0.grad.borrow().clone();
+            let Some(grad) = grad else { continue };
+            if let Some(backward) = &node.0.backward {
+                let value = node.0.value.borrow().clone();
+                backward(&grad, &value, &node.0.parents);
+                // Intermediate gradients are transient: only leaves (which
+                // have no backward closure) accumulate across backward calls.
+                *node.0.grad.borrow_mut() = None;
+            }
+        }
+    }
+
+    /// Post-order topological ordering of the reachable graph.
+    fn topo_order(&self) -> Vec<Tensor> {
+        let mut order: Vec<Tensor> = Vec::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        // (tensor, children_pushed)
+        let mut stack: Vec<(Tensor, bool)> = vec![(self.clone(), false)];
+        while let Some((t, expanded)) = stack.pop() {
+            if expanded {
+                order.push(t);
+                continue;
+            }
+            if !visited.insert(t.0.id) {
+                continue;
+            }
+            stack.push((t.clone(), true));
+            for p in &t.0.parents {
+                if p.0.requires_grad && !visited.contains(&p.0.id) {
+                    stack.push((p.clone(), false));
+                }
+            }
+        }
+        order
+    }
+
+    /// Detach: a constant tensor sharing this value (cuts the graph).
+    pub fn detach(&self) -> Tensor {
+        Tensor::constant(self.value())
+    }
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Tensor(id={}, {:?}, requires_grad={})",
+            self.0.id,
+            self.0.value.borrow(),
+            self.0.requires_grad
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn leaf_flags() {
+        let p = Tensor::param(NdArray::scalar(1.0));
+        let c = Tensor::constant(NdArray::scalar(1.0));
+        assert!(p.requires_grad());
+        assert!(!c.requires_grad());
+    }
+
+    #[test]
+    fn backward_on_constant_graph_is_noop() {
+        let a = Tensor::constant(NdArray::scalar(2.0));
+        let b = Tensor::constant(NdArray::scalar(3.0));
+        let c = ops::mul(&a, &b);
+        assert!(!c.requires_grad());
+        c.backward();
+        assert!(a.grad().is_none());
+    }
+
+    #[test]
+    fn simple_chain_gradient() {
+        // y = (a * b) + a ; dy/da = b + 1, dy/db = a
+        let a = Tensor::param(NdArray::scalar(2.0));
+        let b = Tensor::param(NdArray::scalar(3.0));
+        let y = ops::add(&ops::mul(&a, &b), &a);
+        y.backward();
+        assert_eq!(a.grad().unwrap().item(), 4.0);
+        assert_eq!(b.grad().unwrap().item(), 2.0);
+    }
+
+    #[test]
+    fn reused_node_accumulates() {
+        // y = a * a ; dy/da = 2a
+        let a = Tensor::param(NdArray::scalar(3.0));
+        let y = ops::mul(&a, &a);
+        y.backward();
+        assert_eq!(a.grad().unwrap().item(), 6.0);
+    }
+
+    #[test]
+    fn grad_accumulates_across_backward_calls() {
+        let a = Tensor::param(NdArray::scalar(1.0));
+        let y = ops::mul(&a, &Tensor::scalar(5.0));
+        y.backward();
+        y.backward();
+        assert_eq!(a.grad().unwrap().item(), 10.0);
+        a.zero_grad();
+        assert!(a.grad().is_none());
+    }
+
+    #[test]
+    fn detach_cuts_graph() {
+        let a = Tensor::param(NdArray::scalar(2.0));
+        let d = ops::mul(&a, &a).detach();
+        let y = ops::mul(&d, &d);
+        y.backward();
+        assert!(a.grad().is_none());
+        assert_eq!(d.item(), 4.0);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let mut x = Tensor::param(NdArray::scalar(1.0));
+        for _ in 0..20_000 {
+            x = ops::add(&x, &Tensor::scalar(0.0));
+        }
+        x.backward();
+    }
+}

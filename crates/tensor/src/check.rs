@@ -1,0 +1,117 @@
+//! Finite-difference gradient checking.
+//!
+//! Used by tests throughout the workspace to certify that every
+//! differentiable op and layer computes correct gradients: the analytic
+//! gradient from [`Tensor::backward`] is compared against a central
+//! difference of the loss.
+
+use crate::array::NdArray;
+use crate::autograd::Tensor;
+
+/// Result of a gradient check: the largest relative error observed.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheck {
+    /// Maximum relative error across all checked coordinates.
+    pub max_rel_err: f32,
+    /// Coordinate (parameter index, flat element index) of the worst error.
+    pub worst: (usize, usize),
+}
+
+/// Compare analytic vs finite-difference gradients.
+///
+/// `f` builds a scalar loss from the given parameter tensors. Each call must
+/// rebuild the graph (define-by-run). `eps` is the central-difference step;
+/// `1e-2` works well in `f32` for smooth losses.
+///
+/// Relative error uses `|a - n| / max(1, |a| + |n|)`, so tiny gradients are
+/// compared absolutely.
+pub fn grad_check(params: &[Tensor], f: impl Fn(&[Tensor]) -> Tensor, eps: f32) -> GradCheck {
+    // Analytic pass.
+    for p in params {
+        p.zero_grad();
+    }
+    let loss = f(params);
+    loss.backward();
+    let analytic: Vec<NdArray> = params
+        .iter()
+        .map(|p| p.grad().unwrap_or_else(|| NdArray::zeros(p.value().shape().clone())))
+        .collect();
+
+    let mut max_rel_err = 0.0f32;
+    let mut worst = (0, 0);
+    for (pi, p) in params.iter().enumerate() {
+        let base = p.value();
+        for ei in 0..base.numel() {
+            let mut plus = base.clone();
+            plus.data_mut()[ei] += eps;
+            p.set_value(plus);
+            let lp = f(params).item();
+
+            let mut minus = base.clone();
+            minus.data_mut()[ei] -= eps;
+            p.set_value(minus);
+            let lm = f(params).item();
+
+            p.set_value(base.clone());
+
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic[pi].data()[ei];
+            let rel = (a - numeric).abs() / f32::max(1.0, a.abs() + numeric.abs());
+            if rel > max_rel_err {
+                max_rel_err = rel;
+                worst = (pi, ei);
+            }
+        }
+    }
+    GradCheck { max_rel_err, worst }
+}
+
+/// Assert that a gradient check passes with tolerance `tol`.
+pub fn assert_grads_close(params: &[Tensor], f: impl Fn(&[Tensor]) -> Tensor, eps: f32, tol: f32) {
+    let r = grad_check(params, f, eps);
+    assert!(
+        r.max_rel_err <= tol,
+        "gradient check failed: max relative error {} at param {} element {} (tolerance {})",
+        r.max_rel_err,
+        r.worst.0,
+        r.worst.1,
+        tol
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn catches_correct_gradient() {
+        let a = Tensor::param(NdArray::from_vec(vec![0.5, -0.3, 1.2], [3]));
+        assert_grads_close(
+            &[a],
+            |p| ops::mean_all(&ops::square(&p[0])),
+            1e-2,
+            1e-2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient check failed")]
+    fn catches_wrong_gradient() {
+        // A deliberately wrong op: forward x^2, backward claims d/dx = x.
+        let a = Tensor::param(NdArray::from_vec(vec![1.0, 2.0], [2]));
+        let broken = |p: &[Tensor]| {
+            let av = p[0].value();
+            let out = av.map(|x| x * x);
+            let wrong = Tensor::from_op(
+                out,
+                vec![p[0].clone()],
+                Box::new(move |g, _o, parents| {
+                    parents[0].accumulate_grad(&g.zip(&av, |gv, x| gv * x))
+                }),
+            );
+            ops::mean_all(&wrong)
+        };
+        assert_grads_close(&[a], broken, 1e-2, 1e-2);
+    }
+}

@@ -1,0 +1,73 @@
+//! Weight initialisation helpers.
+//!
+//! All randomness in the workspace flows through seeded [`rand_chacha`] RNGs
+//! so every experiment is reproducible from its `--seed`.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::array::{NdArray, Shape};
+
+/// A seeded RNG for deterministic experiments.
+pub fn seeded_rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Uniform init in `[-limit, limit]`.
+pub fn uniform(rng: &mut impl Rng, shape: impl Into<Shape>, limit: f32) -> NdArray {
+    let shape = shape.into();
+    let n = shape.numel();
+    let data = (0..n).map(|_| rng.gen_range(-limit..=limit)).collect();
+    NdArray::from_vec(data, shape)
+}
+
+/// Xavier/Glorot uniform init for a `[fan_in, fan_out]`-shaped weight.
+pub fn xavier(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> NdArray {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(rng, [fan_in, fan_out], limit)
+}
+
+/// Approximately normal init (Irwin–Hall sum of 12 uniforms), mean 0.
+pub fn normal(rng: &mut impl Rng, shape: impl Into<Shape>, std: f32) -> NdArray {
+    let shape = shape.into();
+    let n = shape.numel();
+    let data = (0..n)
+        .map(|_| {
+            let s: f32 = (0..12).map(|_| rng.gen_range(0.0f32..1.0)).sum::<f32>() - 6.0;
+            s * std
+        })
+        .collect();
+    NdArray::from_vec(data, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = uniform(&mut seeded_rng(7), [100], 1.0);
+        let b = uniform(&mut seeded_rng(7), [100], 1.0);
+        assert_eq!(a.data(), b.data());
+        let c = uniform(&mut seeded_rng(8), [100], 1.0);
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn xavier_within_limit() {
+        let w = xavier(&mut seeded_rng(1), 64, 64);
+        let limit = (6.0f32 / 128.0).sqrt();
+        assert!(w.data().iter().all(|&v| v.abs() <= limit + 1e-6));
+        assert_eq!(w.dims(), &[64, 64]);
+    }
+
+    #[test]
+    fn normal_statistics_plausible() {
+        let w = normal(&mut seeded_rng(2), [10_000], 0.5);
+        let mean: f32 = w.data().iter().sum::<f32>() / 10_000.0;
+        let var: f32 = w.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.02, "mean {}", mean);
+        assert!((var.sqrt() - 0.5).abs() < 0.05, "std {}", var.sqrt());
+    }
+}

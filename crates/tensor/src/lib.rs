@@ -1,0 +1,34 @@
+//! # resuformer-tensor
+//!
+//! A from-scratch, CPU-only, reverse-mode automatic-differentiation tensor
+//! engine. This crate is the deep-learning substrate for the ResuFormer
+//! reproduction: every model in the workspace — the hierarchical multi-modal
+//! encoder, the BiLSTM+CRF heads, and all baselines — trains end-to-end
+//! through this engine.
+//!
+//! Design:
+//!
+//! * [`NdArray`] is a dense row-major `f32` n-dimensional array with
+//!   copy-on-write storage (`Arc<Vec<f32>>`), so capturing an array in a
+//!   backward closure is O(1).
+//! * [`Tensor`] is a node in a dynamically-built computation graph
+//!   (define-by-run). Each differentiable op records a backward closure that
+//!   accumulates gradients into its parents. Calling [`Tensor::backward`]
+//!   runs a topological sweep.
+//! * Matrix multiplication is blocked and parallelised with rayon; it is the
+//!   kernel that dominates training throughput here.
+//!
+//! The engine is intentionally small but complete: it supports everything a
+//! Transformer encoder, an LSTM, a CRF (via `logsumexp` compositions) and a
+//! small CNN need, and every op has a finite-difference gradient test.
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod autograd;
+pub mod check;
+pub mod init;
+pub mod ops;
+
+pub use array::{NdArray, Shape};
+pub use autograd::Tensor;

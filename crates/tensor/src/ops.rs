@@ -1,0 +1,1196 @@
+//! Differentiable tensor operations.
+//!
+//! Every function takes [`Tensor`]s, computes the forward value eagerly and
+//! registers a backward closure. Shapes are validated eagerly with panics
+//! (model-construction bugs should fail loudly at the call site, not deep in
+//! a backward sweep).
+//!
+//! Conventions used throughout the workspace:
+//! * rank-2 tensors are `[rows, cols]`, row-major;
+//! * "rows" ops treat the last axis as the feature axis;
+//! * batching is expressed by the caller (documents iterate over sentences).
+
+use rayon::prelude::*;
+
+use crate::array::NdArray;
+use crate::autograd::Tensor;
+
+// ---------------------------------------------------------------------------
+// Elementwise binary ops (identical shapes)
+// ---------------------------------------------------------------------------
+
+/// Elementwise `a + b` (identical shapes).
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    let out = a.value().zip(&b.value(), |x, y| x + y);
+    Tensor::from_op(
+        out,
+        vec![a.clone(), b.clone()],
+        Box::new(|g, _out, parents| {
+            parents[0].accumulate_grad(g);
+            parents[1].accumulate_grad(g);
+        }),
+    )
+}
+
+/// Elementwise `a - b` (identical shapes).
+pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    let out = a.value().zip(&b.value(), |x, y| x - y);
+    Tensor::from_op(
+        out,
+        vec![a.clone(), b.clone()],
+        Box::new(|g, _out, parents| {
+            parents[0].accumulate_grad(g);
+            parents[1].accumulate_grad(&g.map(|v| -v));
+        }),
+    )
+}
+
+/// Elementwise `a * b` (identical shapes).
+pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (av, bv) = (a.value(), b.value());
+    let out = av.zip(&bv, |x, y| x * y);
+    Tensor::from_op(
+        out,
+        vec![a.clone(), b.clone()],
+        Box::new(move |g, _out, parents| {
+            parents[0].accumulate_grad(&g.zip(&bv, |gv, y| gv * y));
+            parents[1].accumulate_grad(&g.zip(&av, |gv, x| gv * x));
+        }),
+    )
+}
+
+/// Elementwise `a / b` (identical shapes).
+pub fn div(a: &Tensor, b: &Tensor) -> Tensor {
+    let (av, bv) = (a.value(), b.value());
+    let out = av.zip(&bv, |x, y| x / y);
+    Tensor::from_op(
+        out,
+        vec![a.clone(), b.clone()],
+        Box::new(move |g, _out, parents| {
+            parents[0].accumulate_grad(&g.zip(&bv, |gv, y| gv / y));
+            let da = g.zip(&av, |gv, x| gv * x);
+            parents[1].accumulate_grad(&da.zip(&bv, |v, y| -v / (y * y)));
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Scalar ops
+// ---------------------------------------------------------------------------
+
+/// `a + s` for a Rust-side scalar `s`.
+pub fn add_scalar(a: &Tensor, s: f32) -> Tensor {
+    let out = a.value().map(|x| x + s);
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(|g, _out, parents| parents[0].accumulate_grad(g)),
+    )
+}
+
+/// `a * s` for a Rust-side scalar `s`.
+pub fn mul_scalar(a: &Tensor, s: f32) -> Tensor {
+    let out = a.value().map(|x| x * s);
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(move |g, _out, parents| parents[0].accumulate_grad(&g.map(|v| v * s))),
+    )
+}
+
+/// Elementwise negation.
+pub fn neg(a: &Tensor) -> Tensor {
+    mul_scalar(a, -1.0)
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise unary ops
+// ---------------------------------------------------------------------------
+
+/// Elementwise exponential.
+pub fn exp(a: &Tensor) -> Tensor {
+    let out = a.value().map(f32::exp);
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(|g, out, parents| parents[0].accumulate_grad(&g.zip(out, |gv, y| gv * y))),
+    )
+}
+
+/// Elementwise natural logarithm.
+pub fn ln(a: &Tensor) -> Tensor {
+    let av = a.value();
+    let out = av.map(f32::ln);
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(move |g, _out, parents| {
+            parents[0].accumulate_grad(&g.zip(&av, |gv, x| gv / x))
+        }),
+    )
+}
+
+/// Elementwise square root.
+pub fn sqrt(a: &Tensor) -> Tensor {
+    let out = a.value().map(f32::sqrt);
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(|g, out, parents| {
+            parents[0].accumulate_grad(&g.zip(out, |gv, y| gv * 0.5 / y))
+        }),
+    )
+}
+
+/// Elementwise square.
+pub fn square(a: &Tensor) -> Tensor {
+    let av = a.value();
+    let out = av.map(|x| x * x);
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(move |g, _out, parents| {
+            parents[0].accumulate_grad(&g.zip(&av, |gv, x| gv * 2.0 * x))
+        }),
+    )
+}
+
+/// Elementwise ReLU.
+pub fn relu(a: &Tensor) -> Tensor {
+    let av = a.value();
+    let out = av.map(|x| x.max(0.0));
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(move |g, _out, parents| {
+            parents[0].accumulate_grad(&g.zip(&av, |gv, x| if x > 0.0 { gv } else { 0.0 }))
+        }),
+    )
+}
+
+/// Elementwise logistic sigmoid.
+pub fn sigmoid(a: &Tensor) -> Tensor {
+    let out = a.value().map(|x| 1.0 / (1.0 + (-x).exp()));
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(|g, out, parents| {
+            parents[0].accumulate_grad(&g.zip(out, |gv, y| gv * y * (1.0 - y)))
+        }),
+    )
+}
+
+/// Elementwise tanh.
+pub fn tanh(a: &Tensor) -> Tensor {
+    let out = a.value().map(f32::tanh);
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(|g, out, parents| {
+            parents[0].accumulate_grad(&g.zip(out, |gv, y| gv * (1.0 - y * y)))
+        }),
+    )
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+const GELU_A: f32 = 0.044_715;
+
+/// Elementwise GELU (tanh approximation, as in BERT).
+pub fn gelu(a: &Tensor) -> Tensor {
+    let av = a.value();
+    let out = av.map(|x| 0.5 * x * (1.0 + (GELU_C * (x + GELU_A * x * x * x)).tanh()));
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(move |g, _out, parents| {
+            let dx = av.map(|x| {
+                let u = GELU_C * (x + GELU_A * x * x * x);
+                let t = u.tanh();
+                0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * GELU_C * (1.0 + 3.0 * GELU_A * x * x)
+            });
+            parents[0].accumulate_grad(&g.zip(&dx, |gv, d| gv * d));
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Shape ops
+// ---------------------------------------------------------------------------
+
+/// Reshape to a new shape with the same element count.
+pub fn reshape(a: &Tensor, shape: impl Into<crate::array::Shape>) -> Tensor {
+    let old = a.value().shape().clone();
+    let out = a.value().reshape(shape);
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(move |g, _out, parents| {
+            parents[0].accumulate_grad(&g.reshape(old.clone()));
+        }),
+    )
+}
+
+/// Transpose a rank-2 tensor.
+pub fn transpose(a: &Tensor) -> Tensor {
+    let out = a.value().transpose2();
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(|g, _out, parents| parents[0].accumulate_grad(&g.transpose2())),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Matrix multiplication
+// ---------------------------------------------------------------------------
+
+/// Raw matmul kernel on arrays: `[m,k] x [k,n] -> [m,n]`.
+///
+/// Rows are parallelised with rayon above a work threshold; the inner loop is
+/// written as an axpy over `b` rows, which vectorises well and is cache
+/// friendly for row-major data.
+pub fn matmul_raw(a: &NdArray, b: &NdArray) -> NdArray {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank-2");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul: inner dims {} vs {}", k, k2);
+
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+
+    let row_work = |i: usize, orow: &mut [f32]| {
+        let arow = &ad[i * k..(i + 1) * k];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    };
+
+    if m * n * k >= 32_768 && m > 1 {
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, orow)| row_work(i, orow));
+    } else {
+        for (i, orow) in out.chunks_mut(n).enumerate() {
+            row_work(i, orow);
+        }
+    }
+    NdArray::from_vec(out, [m, n])
+}
+
+/// Differentiable matmul: `[m,k] x [k,n] -> [m,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (av, bv) = (a.value(), b.value());
+    let out = matmul_raw(&av, &bv);
+    Tensor::from_op(
+        out,
+        vec![a.clone(), b.clone()],
+        Box::new(move |g, _out, parents| {
+            // dA = g . B^T ; dB = A^T . g
+            parents[0].accumulate_grad(&matmul_raw(g, &bv.transpose2()));
+            parents[1].accumulate_grad(&matmul_raw(&av.transpose2(), g));
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast ops for rank-2
+// ---------------------------------------------------------------------------
+
+/// Add a `[c]` vector to every row of a `[r,c]` matrix (bias add).
+pub fn add_broadcast_row(m: &Tensor, v: &Tensor) -> Tensor {
+    let mv = m.value();
+    let vv = v.value();
+    assert_eq!(mv.shape().rank(), 2, "add_broadcast_row lhs must be rank-2");
+    assert_eq!(
+        vv.dims(),
+        &[mv.dims()[1]],
+        "add_broadcast_row: vector {:?} vs matrix {:?}",
+        vv.dims(),
+        mv.dims()
+    );
+    let (r, c) = (mv.dims()[0], mv.dims()[1]);
+    let mut out = mv.clone();
+    {
+        let od = out.data_mut();
+        let vd = vv.data();
+        for row in od.chunks_mut(c) {
+            for (o, &b) in row.iter_mut().zip(vd.iter()) {
+                *o += b;
+            }
+        }
+    }
+    Tensor::from_op(
+        out,
+        vec![m.clone(), v.clone()],
+        Box::new(move |g, _out, parents| {
+            parents[0].accumulate_grad(g);
+            let mut dv = vec![0.0f32; c];
+            for row in g.data().chunks(c) {
+                for (d, &gv) in dv.iter_mut().zip(row.iter()) {
+                    *d += gv;
+                }
+            }
+            let _ = r;
+            parents[1].accumulate_grad(&NdArray::from_vec(dv, [c]));
+        }),
+    )
+}
+
+/// Add `v[i]` to every element of row `i`: `[r,c] + [r] -> [r,c]`.
+pub fn add_broadcast_col(m: &Tensor, v: &Tensor) -> Tensor {
+    let mv = m.value();
+    let vv = v.value();
+    assert_eq!(mv.shape().rank(), 2, "add_broadcast_col lhs must be rank-2");
+    assert_eq!(
+        vv.dims(),
+        &[mv.dims()[0]],
+        "add_broadcast_col: vector {:?} vs matrix {:?}",
+        vv.dims(),
+        mv.dims()
+    );
+    let (r, c) = (mv.dims()[0], mv.dims()[1]);
+    let mut out = mv.clone();
+    {
+        let od = out.data_mut();
+        let vd = vv.data();
+        for (i, row) in od.chunks_mut(c).enumerate() {
+            let b = vd[i];
+            for o in row.iter_mut() {
+                *o += b;
+            }
+        }
+    }
+    Tensor::from_op(
+        out,
+        vec![m.clone(), v.clone()],
+        Box::new(move |g, _out, parents| {
+            parents[0].accumulate_grad(g);
+            let mut dv = vec![0.0f32; r];
+            for (i, row) in g.data().chunks(c).enumerate() {
+                dv[i] = row.iter().sum();
+            }
+            parents[1].accumulate_grad(&NdArray::from_vec(dv, [r]));
+        }),
+    )
+}
+
+/// Multiply every row of `[r,c]` elementwise by a `[c]` vector.
+pub fn mul_broadcast_row(m: &Tensor, v: &Tensor) -> Tensor {
+    let mv = m.value();
+    let vv = v.value();
+    assert_eq!(vv.dims(), &[mv.dims()[1]], "mul_broadcast_row shape mismatch");
+    let c = mv.dims()[1];
+    let mut out = mv.clone();
+    {
+        let od = out.data_mut();
+        for row in od.chunks_mut(c) {
+            for (o, &b) in row.iter_mut().zip(vv.data().iter()) {
+                *o *= b;
+            }
+        }
+    }
+    Tensor::from_op(
+        out,
+        vec![m.clone(), v.clone()],
+        Box::new(move |g, _out, parents| {
+            let mut dm = g.clone();
+            {
+                let dd = dm.data_mut();
+                for row in dd.chunks_mut(c) {
+                    for (o, &b) in row.iter_mut().zip(vv.data().iter()) {
+                        *o *= b;
+                    }
+                }
+            }
+            parents[0].accumulate_grad(&dm);
+            let mut dv = vec![0.0f32; c];
+            for (grow, mrow) in g.data().chunks(c).zip(mv.data().chunks(c)) {
+                for ((d, &gv), &x) in dv.iter_mut().zip(grow.iter()).zip(mrow.iter()) {
+                    *d += gv * x;
+                }
+            }
+            parents[1].accumulate_grad(&NdArray::from_vec(dv, [c]));
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+/// Sum of all elements → scalar.
+pub fn sum_all(a: &Tensor) -> Tensor {
+    let shape = a.value().shape().clone();
+    let out = NdArray::scalar(a.value().sum_all());
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(move |g, _out, parents| {
+            parents[0].accumulate_grad(&NdArray::full(shape.clone(), g.item()));
+        }),
+    )
+}
+
+/// Mean of all elements → scalar.
+pub fn mean_all(a: &Tensor) -> Tensor {
+    let n = a.value().numel() as f32;
+    mul_scalar(&sum_all(a), 1.0 / n)
+}
+
+/// Sum a `[r,c]` matrix along an axis: axis 0 → `[c]`, axis 1 → `[r]`.
+pub fn sum_axis(a: &Tensor, axis: usize) -> Tensor {
+    let av = a.value();
+    assert_eq!(av.shape().rank(), 2, "sum_axis requires rank-2");
+    let (r, c) = (av.dims()[0], av.dims()[1]);
+    assert!(axis < 2, "axis must be 0 or 1");
+    let out = if axis == 0 {
+        let mut v = vec![0.0f32; c];
+        for row in av.data().chunks(c) {
+            for (d, &x) in v.iter_mut().zip(row.iter()) {
+                *d += x;
+            }
+        }
+        NdArray::from_vec(v, [c])
+    } else {
+        let mut v = vec![0.0f32; r];
+        for (i, row) in av.data().chunks(c).enumerate() {
+            v[i] = row.iter().sum();
+        }
+        NdArray::from_vec(v, [r])
+    };
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(move |g, _out, parents| {
+            let mut dm = vec![0.0f32; r * c];
+            if axis == 0 {
+                for row in dm.chunks_mut(c) {
+                    for (d, &gv) in row.iter_mut().zip(g.data().iter()) {
+                        *d = gv;
+                    }
+                }
+            } else {
+                for (i, row) in dm.chunks_mut(c).enumerate() {
+                    for d in row.iter_mut() {
+                        *d = g.data()[i];
+                    }
+                }
+            }
+            parents[0].accumulate_grad(&NdArray::from_vec(dm, [r, c]));
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Softmax family (rank-2, numerically stable)
+// ---------------------------------------------------------------------------
+
+fn softmax_rows_raw(av: &NdArray) -> NdArray {
+    let (r, c) = (av.dims()[0], av.dims()[1]);
+    let mut out = vec![0.0f32; r * c];
+    for (orow, arow) in out.chunks_mut(c).zip(av.data().chunks(c)) {
+        let mx = arow.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for (o, &x) in orow.iter_mut().zip(arow.iter()) {
+            *o = (x - mx).exp();
+            z += *o;
+        }
+        for o in orow.iter_mut() {
+            *o /= z;
+        }
+    }
+    NdArray::from_vec(out, [r, c])
+}
+
+/// Row-wise softmax of a `[r,c]` matrix.
+pub fn softmax_rows(a: &Tensor) -> Tensor {
+    let av = a.value();
+    assert_eq!(av.shape().rank(), 2, "softmax_rows requires rank-2");
+    let c = av.dims()[1];
+    let out = softmax_rows_raw(&av);
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(move |g, out, parents| {
+            // dx = y * (g - sum(g*y) per row)
+            let mut dm = g.zip(out, |gv, y| gv * y);
+            {
+                let dd = dm.data_mut();
+                for (drow, yrow) in dd.chunks_mut(c).zip(out.data().chunks(c)) {
+                    let s: f32 = drow.iter().sum();
+                    for (d, &y) in drow.iter_mut().zip(yrow.iter()) {
+                        *d -= s * y;
+                    }
+                }
+            }
+            parents[0].accumulate_grad(&dm);
+        }),
+    )
+}
+
+/// Row-wise log-softmax of a `[r,c]` matrix.
+pub fn log_softmax_rows(a: &Tensor) -> Tensor {
+    let av = a.value();
+    assert_eq!(av.shape().rank(), 2, "log_softmax_rows requires rank-2");
+    let (r, c) = (av.dims()[0], av.dims()[1]);
+    let mut out = vec![0.0f32; r * c];
+    for (orow, arow) in out.chunks_mut(c).zip(av.data().chunks(c)) {
+        let mx = arow.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = mx + arow.iter().map(|&x| (x - mx).exp()).sum::<f32>().ln();
+        for (o, &x) in orow.iter_mut().zip(arow.iter()) {
+            *o = x - lse;
+        }
+    }
+    let out = NdArray::from_vec(out, [r, c]);
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(move |g, out, parents| {
+            // dx = g - softmax * rowsum(g)
+            let mut dm = g.clone();
+            {
+                let dd = dm.data_mut();
+                for (drow, lrow) in dd.chunks_mut(c).zip(out.data().chunks(c)) {
+                    let s: f32 = drow.iter().sum();
+                    for (d, &lp) in drow.iter_mut().zip(lrow.iter()) {
+                        *d -= s * lp.exp();
+                    }
+                }
+            }
+            parents[0].accumulate_grad(&dm);
+        }),
+    )
+}
+
+/// Log-sum-exp of a `[r,c]` matrix along an axis: axis 0 → `[c]`, axis 1 → `[r]`.
+pub fn logsumexp_axis(a: &Tensor, axis: usize) -> Tensor {
+    let av = a.value();
+    assert_eq!(av.shape().rank(), 2, "logsumexp_axis requires rank-2");
+    assert!(axis < 2);
+    let (r, c) = (av.dims()[0], av.dims()[1]);
+    let work = if axis == 1 { av.clone() } else { av.transpose2() };
+    let (n, k) = (work.dims()[0], work.dims()[1]);
+    let mut out = vec![0.0f32; n];
+    for (i, row) in work.data().chunks(k).enumerate() {
+        let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        out[i] = if mx == f32::NEG_INFINITY {
+            f32::NEG_INFINITY
+        } else {
+            mx + row.iter().map(|&x| (x - mx).exp()).sum::<f32>().ln()
+        };
+    }
+    let out = NdArray::from_vec(out, [n]);
+    let av2 = av.clone();
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(move |g, out, parents| {
+            // d a_ij = g_(reduced idx) * softmax along the axis
+            let mut dm = vec![0.0f32; r * c];
+            for i in 0..r {
+                for j in 0..c {
+                    let (ridx, x) = if axis == 1 {
+                        (i, av2.at(&[i, j]))
+                    } else {
+                        (j, av2.at(&[i, j]))
+                    };
+                    let lse = out.data()[ridx];
+                    let p = if lse.is_finite() { (x - lse).exp() } else { 0.0 };
+                    dm[i * c + j] = g.data()[ridx] * p;
+                }
+            }
+            parents[0].accumulate_grad(&NdArray::from_vec(dm, [r, c]));
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Normalisation
+// ---------------------------------------------------------------------------
+
+/// Row-wise layer normalisation (no affine): `y = (x - mean) / sqrt(var + eps)`.
+pub fn layer_norm_rows(a: &Tensor, eps: f32) -> Tensor {
+    let av = a.value();
+    assert_eq!(av.shape().rank(), 2, "layer_norm_rows requires rank-2");
+    let (r, c) = (av.dims()[0], av.dims()[1]);
+    let cf = c as f32;
+    let mut out = vec![0.0f32; r * c];
+    let mut inv_std = vec![0.0f32; r];
+    for (i, (orow, arow)) in out.chunks_mut(c).zip(av.data().chunks(c)).enumerate() {
+        let mean: f32 = arow.iter().sum::<f32>() / cf;
+        let var: f32 = arow.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / cf;
+        let is = 1.0 / (var + eps).sqrt();
+        inv_std[i] = is;
+        for (o, &x) in orow.iter_mut().zip(arow.iter()) {
+            *o = (x - mean) * is;
+        }
+    }
+    let out = NdArray::from_vec(out, [r, c]);
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(move |g, out, parents| {
+            // dx = inv_std * (g - mean(g) - y * mean(g*y)) per row
+            let mut dm = vec![0.0f32; r * c];
+            for i in 0..r {
+                let grow = &g.data()[i * c..(i + 1) * c];
+                let yrow = &out.data()[i * c..(i + 1) * c];
+                let gmean: f32 = grow.iter().sum::<f32>() / cf;
+                let gymean: f32 = grow.iter().zip(yrow.iter()).map(|(&gv, &y)| gv * y).sum::<f32>() / cf;
+                for j in 0..c {
+                    dm[i * c + j] = inv_std[i] * (grow[j] - gmean - yrow[j] * gymean);
+                }
+            }
+            parents[0].accumulate_grad(&NdArray::from_vec(dm, [r, c]));
+        }),
+    )
+}
+
+/// Row-wise L2 normalisation: `y = x / max(||x||, eps)`.
+pub fn l2_normalize_rows(a: &Tensor, eps: f32) -> Tensor {
+    let av = a.value();
+    assert_eq!(av.shape().rank(), 2, "l2_normalize_rows requires rank-2");
+    let (r, c) = (av.dims()[0], av.dims()[1]);
+    let mut out = vec![0.0f32; r * c];
+    let mut norms = vec![0.0f32; r];
+    for (i, (orow, arow)) in out.chunks_mut(c).zip(av.data().chunks(c)).enumerate() {
+        let n = arow.iter().map(|&x| x * x).sum::<f32>().sqrt().max(eps);
+        norms[i] = n;
+        for (o, &x) in orow.iter_mut().zip(arow.iter()) {
+            *o = x / n;
+        }
+    }
+    let out = NdArray::from_vec(out, [r, c]);
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(move |g, out, parents| {
+            // dx = (g - y * (g . y)) / ||x|| per row
+            let mut dm = vec![0.0f32; r * c];
+            for i in 0..r {
+                let grow = &g.data()[i * c..(i + 1) * c];
+                let yrow = &out.data()[i * c..(i + 1) * c];
+                let dot: f32 = grow.iter().zip(yrow.iter()).map(|(&gv, &y)| gv * y).sum();
+                for j in 0..c {
+                    dm[i * c + j] = (grow[j] - yrow[j] * dot) / norms[i];
+                }
+            }
+            parents[0].accumulate_grad(&NdArray::from_vec(dm, [r, c]));
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Gather / concat / slicing
+// ---------------------------------------------------------------------------
+
+/// Gather rows of a `[v,d]` table by index: `table[idx] -> [n,d]`.
+///
+/// This is the embedding lookup; backward scatter-adds into the table.
+pub fn gather_rows(table: &Tensor, idx: &[usize]) -> Tensor {
+    let tv = table.value();
+    assert_eq!(tv.shape().rank(), 2, "gather_rows requires rank-2 table");
+    let (v, d) = (tv.dims()[0], tv.dims()[1]);
+    let n = idx.len();
+    let mut out = vec![0.0f32; n * d];
+    for (orow, &i) in out.chunks_mut(d).zip(idx.iter()) {
+        assert!(i < v, "gather_rows: index {} out of bounds ({} rows)", i, v);
+        orow.copy_from_slice(&tv.data()[i * d..(i + 1) * d]);
+    }
+    let out = NdArray::from_vec(out, [n, d]);
+    let idx = idx.to_vec();
+    Tensor::from_op(
+        out,
+        vec![table.clone()],
+        Box::new(move |g, _out, parents| {
+            let mut dt = vec![0.0f32; v * d];
+            for (grow, &i) in g.data().chunks(d).zip(idx.iter()) {
+                for (t, &gv) in dt[i * d..(i + 1) * d].iter_mut().zip(grow.iter()) {
+                    *t += gv;
+                }
+            }
+            parents[0].accumulate_grad(&NdArray::from_vec(dt, [v, d]));
+        }),
+    )
+}
+
+/// Concatenate rank-2 tensors along axis 1 (columns). All rows must match.
+pub fn concat_cols(parts: &[Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat_cols of zero tensors");
+    let values: Vec<NdArray> = parts.iter().map(|t| t.value()).collect();
+    let r = values[0].dims()[0];
+    for v in &values {
+        assert_eq!(v.shape().rank(), 2, "concat_cols requires rank-2");
+        assert_eq!(v.dims()[0], r, "concat_cols: row mismatch");
+    }
+    let widths: Vec<usize> = values.iter().map(|v| v.dims()[1]).collect();
+    let total: usize = widths.iter().sum();
+    let mut out = vec![0.0f32; r * total];
+    for i in 0..r {
+        let mut off = 0;
+        for (v, &w) in values.iter().zip(widths.iter()) {
+            out[i * total + off..i * total + off + w].copy_from_slice(&v.data()[i * w..(i + 1) * w]);
+            off += w;
+        }
+    }
+    let out = NdArray::from_vec(out, [r, total]);
+    Tensor::from_op(
+        out,
+        parts.to_vec(),
+        Box::new(move |g, _out, parents| {
+            let mut off = 0;
+            for (p, &w) in parents.iter().zip(widths.iter()) {
+                let mut dp = vec![0.0f32; r * w];
+                for i in 0..r {
+                    dp[i * w..(i + 1) * w]
+                        .copy_from_slice(&g.data()[i * total + off..i * total + off + w]);
+                }
+                p.accumulate_grad(&NdArray::from_vec(dp, [r, w]));
+                off += w;
+            }
+        }),
+    )
+}
+
+/// Concatenate rank-2 tensors along axis 0 (rows). All columns must match.
+pub fn concat_rows(parts: &[Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat_rows of zero tensors");
+    let values: Vec<NdArray> = parts.iter().map(|t| t.value()).collect();
+    let c = values[0].dims()[1];
+    for v in &values {
+        assert_eq!(v.shape().rank(), 2, "concat_rows requires rank-2");
+        assert_eq!(v.dims()[1], c, "concat_rows: column mismatch");
+    }
+    let heights: Vec<usize> = values.iter().map(|v| v.dims()[0]).collect();
+    let total: usize = heights.iter().sum();
+    let mut out = Vec::with_capacity(total * c);
+    for v in &values {
+        out.extend_from_slice(v.data());
+    }
+    let out = NdArray::from_vec(out, [total, c]);
+    Tensor::from_op(
+        out,
+        parts.to_vec(),
+        Box::new(move |g, _out, parents| {
+            let mut off = 0;
+            for (p, &h) in parents.iter().zip(heights.iter()) {
+                let dp = g.data()[off * c..(off + h) * c].to_vec();
+                p.accumulate_grad(&NdArray::from_vec(dp, [h, c]));
+                off += h;
+            }
+        }),
+    )
+}
+
+/// Stack `n` rank-1 `[d]` tensors into a `[n,d]` matrix.
+pub fn stack_rows(parts: &[Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "stack_rows of zero tensors");
+    let values: Vec<NdArray> = parts.iter().map(|t| t.value()).collect();
+    let d = values[0].numel();
+    for v in &values {
+        assert_eq!(v.shape().rank(), 1, "stack_rows requires rank-1 parts");
+        assert_eq!(v.numel(), d, "stack_rows: width mismatch");
+    }
+    let n = parts.len();
+    let mut out = Vec::with_capacity(n * d);
+    for v in &values {
+        out.extend_from_slice(v.data());
+    }
+    let out = NdArray::from_vec(out, [n, d]);
+    Tensor::from_op(
+        out,
+        parts.to_vec(),
+        Box::new(move |g, _out, parents| {
+            for (i, p) in parents.iter().enumerate() {
+                let dp = g.data()[i * d..(i + 1) * d].to_vec();
+                p.accumulate_grad(&NdArray::from_vec(dp, [d]));
+            }
+        }),
+    )
+}
+
+/// Extract row `i` of a `[r,c]` matrix as a `[c]` vector.
+pub fn index_row(a: &Tensor, i: usize) -> Tensor {
+    let av = a.value();
+    assert_eq!(av.shape().rank(), 2, "index_row requires rank-2");
+    let (r, c) = (av.dims()[0], av.dims()[1]);
+    assert!(i < r, "index_row: {} out of {} rows", i, r);
+    let out = NdArray::from_vec(av.row(i).to_vec(), [c]);
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(move |g, _out, parents| {
+            let mut dm = vec![0.0f32; r * c];
+            dm[i * c..(i + 1) * c].copy_from_slice(g.data());
+            parents[0].accumulate_grad(&NdArray::from_vec(dm, [r, c]));
+        }),
+    )
+}
+
+/// Contiguous column slice `[start, start+len)` of a `[r,c]` matrix.
+pub fn slice_cols(a: &Tensor, start: usize, len: usize) -> Tensor {
+    let av = a.value();
+    assert_eq!(av.shape().rank(), 2, "slice_cols requires rank-2");
+    let (r, c) = (av.dims()[0], av.dims()[1]);
+    assert!(start + len <= c, "slice_cols out of bounds");
+    let mut out = vec![0.0f32; r * len];
+    for i in 0..r {
+        out[i * len..(i + 1) * len]
+            .copy_from_slice(&av.data()[i * c + start..i * c + start + len]);
+    }
+    let out = NdArray::from_vec(out, [r, len]);
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(move |g, _out, parents| {
+            let mut dm = vec![0.0f32; r * c];
+            for i in 0..r {
+                dm[i * c + start..i * c + start + len]
+                    .copy_from_slice(&g.data()[i * len..(i + 1) * len]);
+            }
+            parents[0].accumulate_grad(&NdArray::from_vec(dm, [r, c]));
+        }),
+    )
+}
+
+/// Gather individual elements of a `[r,c]` matrix by `(row, col)` pairs into
+/// a `[n]` vector. Backward scatter-adds. Used for CRF gold-path scores.
+pub fn gather_elems(a: &Tensor, coords: &[(usize, usize)]) -> Tensor {
+    let av = a.value();
+    assert_eq!(av.shape().rank(), 2, "gather_elems requires rank-2");
+    let (r, c) = (av.dims()[0], av.dims()[1]);
+    let out: Vec<f32> = coords
+        .iter()
+        .map(|&(i, j)| {
+            assert!(i < r && j < c, "gather_elems: ({},{}) out of [{},{}]", i, j, r, c);
+            av.data()[i * c + j]
+        })
+        .collect();
+    let n = coords.len();
+    let out = NdArray::from_vec(out, [n]);
+    let coords = coords.to_vec();
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(move |g, _out, parents| {
+            let mut dm = vec![0.0f32; r * c];
+            for (k, &(i, j)) in coords.iter().enumerate() {
+                dm[i * c + j] += g.data()[k];
+            }
+            parents[0].accumulate_grad(&NdArray::from_vec(dm, [r, c]));
+        }),
+    )
+}
+
+/// Contiguous row slice `[start, start+len)` of a `[r,c]` matrix.
+pub fn slice_rows(a: &Tensor, start: usize, len: usize) -> Tensor {
+    let av = a.value();
+    assert_eq!(av.shape().rank(), 2, "slice_rows requires rank-2");
+    let (r, c) = (av.dims()[0], av.dims()[1]);
+    assert!(start + len <= r, "slice_rows out of bounds");
+    let out = NdArray::from_vec(av.data()[start * c..(start + len) * c].to_vec(), [len, c]);
+    Tensor::from_op(
+        out,
+        vec![a.clone()],
+        Box::new(move |g, _out, parents| {
+            let mut dm = vec![0.0f32; r * c];
+            dm[start * c..(start + len) * c].copy_from_slice(g.data());
+            parents[0].accumulate_grad(&NdArray::from_vec(dm, [r, c]));
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Losses
+// ---------------------------------------------------------------------------
+
+/// Cross-entropy with integer targets over `[r,c]` logits, optionally
+/// weighted per row. Returns a scalar: `sum_i w_i * nll_i / sum_i w_i`.
+///
+/// Used for MLM (weights select masked positions) and plain classification
+/// (weights `None` → uniform).
+pub fn cross_entropy_rows(logits: &Tensor, targets: &[usize], weights: Option<&[f32]>) -> Tensor {
+    let lv = logits.value();
+    assert_eq!(lv.shape().rank(), 2, "cross_entropy_rows requires rank-2");
+    let (r, c) = (lv.dims()[0], lv.dims()[1]);
+    assert_eq!(targets.len(), r, "cross_entropy_rows: targets/rows mismatch");
+    let w: Vec<f32> = match weights {
+        Some(w) => {
+            assert_eq!(w.len(), r, "cross_entropy_rows: weights/rows mismatch");
+            w.to_vec()
+        }
+        None => vec![1.0; r],
+    };
+    let wsum: f32 = w.iter().sum::<f32>().max(1e-12);
+
+    let probs = softmax_rows_raw(&lv);
+    let mut loss = 0.0f32;
+    for (i, (&t, prow)) in targets.iter().zip(probs.data().chunks(c)).enumerate() {
+        assert!(t < c, "target {} out of {} classes", t, c);
+        loss -= w[i] * prow[t].max(1e-30).ln();
+    }
+    loss /= wsum;
+
+    let targets = targets.to_vec();
+    Tensor::from_op(
+        NdArray::scalar(loss),
+        vec![logits.clone()],
+        Box::new(move |g, _out, parents| {
+            let gs = g.item();
+            let mut dm = probs.clone();
+            {
+                let dd = dm.data_mut();
+                for (i, &t) in targets.iter().enumerate() {
+                    dd[i * c + t] -= 1.0;
+                    for v in dd[i * c..(i + 1) * c].iter_mut() {
+                        *v *= gs * w[i] / wsum;
+                    }
+                }
+            }
+            parents[0].accumulate_grad(&dm);
+        }),
+    )
+}
+
+/// Soft-target cross-entropy: `-(1/W) * sum_i w_i * sum_c S_ic log p_ic` for
+/// `[r,c]` logits and non-differentiable soft targets `S`.
+///
+/// This is Eq. (10)/(12) of the paper — the student objective against the
+/// teacher's re-weighted soft pseudo-labels, with `weights` implementing
+/// high-confidence token selection (weight 0 drops a token).
+pub fn soft_cross_entropy_rows(logits: &Tensor, soft: &NdArray, weights: Option<&[f32]>) -> Tensor {
+    let lv = logits.value();
+    assert_eq!(lv.dims(), soft.dims(), "soft_cross_entropy_rows shape mismatch");
+    let (r, c) = (lv.dims()[0], lv.dims()[1]);
+    let w: Vec<f32> = match weights {
+        Some(w) => {
+            assert_eq!(w.len(), r);
+            w.to_vec()
+        }
+        None => vec![1.0; r],
+    };
+    let wsum: f32 = w.iter().sum::<f32>().max(1e-12);
+
+    let probs = softmax_rows_raw(&lv);
+    let mut loss = 0.0f32;
+    for i in 0..r {
+        let prow = &probs.data()[i * c..(i + 1) * c];
+        let srow = &soft.data()[i * c..(i + 1) * c];
+        let nll: f32 = srow
+            .iter()
+            .zip(prow.iter())
+            .map(|(&s, &p)| -s * p.max(1e-30).ln())
+            .sum();
+        loss += w[i] * nll;
+    }
+    loss /= wsum;
+
+    let soft = soft.clone();
+    Tensor::from_op(
+        NdArray::scalar(loss),
+        vec![logits.clone()],
+        Box::new(move |g, _out, parents| {
+            // d/dlogit = p * sum_c(S) - S, row-weighted.
+            let gs = g.item();
+            let mut dm = vec![0.0f32; r * c];
+            for i in 0..r {
+                let prow = &probs.data()[i * c..(i + 1) * c];
+                let srow = &soft.data()[i * c..(i + 1) * c];
+                let ssum: f32 = srow.iter().sum();
+                for j in 0..c {
+                    dm[i * c + j] = gs * w[i] / wsum * (prow[j] * ssum - srow[j]);
+                }
+            }
+            parents[0].accumulate_grad(&NdArray::from_vec(dm, [r, c]));
+        }),
+    )
+}
+
+/// Mean squared error between two same-shape tensors → scalar.
+pub fn mse(a: &Tensor, b: &Tensor) -> Tensor {
+    let d = sub(a, b);
+    mean_all(&square(&d))
+}
+
+// ---------------------------------------------------------------------------
+// Convolution (small CNN for visual region features)
+// ---------------------------------------------------------------------------
+
+/// 2-D convolution: input `[ci,h,w]`, weight `[co,ci,kh,kw]`, stride `s`,
+/// zero padding `p` → `[co,h',w']`.
+pub fn conv2d(input: &Tensor, weight: &Tensor, stride: usize, pad: usize) -> Tensor {
+    let iv = input.value();
+    let wv = weight.value();
+    assert_eq!(iv.shape().rank(), 3, "conv2d input must be [ci,h,w]");
+    assert_eq!(wv.shape().rank(), 4, "conv2d weight must be [co,ci,kh,kw]");
+    let (ci, h, w) = (iv.dims()[0], iv.dims()[1], iv.dims()[2]);
+    let (co, ci2, kh, kw) = (wv.dims()[0], wv.dims()[1], wv.dims()[2], wv.dims()[3]);
+    assert_eq!(ci, ci2, "conv2d channel mismatch");
+    assert!(stride >= 1);
+    let oh = (h + 2 * pad - kh) / stride + 1;
+    let ow = (w + 2 * pad - kw) / stride + 1;
+
+    let at_in = |c: usize, y: isize, x: isize| -> f32 {
+        if y < 0 || x < 0 || y as usize >= h || x as usize >= w {
+            0.0
+        } else {
+            iv.data()[c * h * w + y as usize * w + x as usize]
+        }
+    };
+
+    let mut out = vec![0.0f32; co * oh * ow];
+    for o in 0..co {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for c in 0..ci {
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            let y = (oy * stride + ky) as isize - pad as isize;
+                            let x = (ox * stride + kx) as isize - pad as isize;
+                            acc += at_in(c, y, x)
+                                * wv.data()[((o * ci + c) * kh + ky) * kw + kx];
+                        }
+                    }
+                }
+                out[(o * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    let out = NdArray::from_vec(out, [co, oh, ow]);
+    Tensor::from_op(
+        out,
+        vec![input.clone(), weight.clone()],
+        Box::new(move |g, _out, parents| {
+            let mut di = vec![0.0f32; ci * h * w];
+            let mut dw = vec![0.0f32; co * ci * kh * kw];
+            for o in 0..co {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let gv = g.data()[(o * oh + oy) * ow + ox];
+                        if gv == 0.0 {
+                            continue;
+                        }
+                        for c in 0..ci {
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let y = (oy * stride + ky) as isize - pad as isize;
+                                    let x = (ox * stride + kx) as isize - pad as isize;
+                                    if y < 0 || x < 0 || y as usize >= h || x as usize >= w {
+                                        continue;
+                                    }
+                                    let (yu, xu) = (y as usize, x as usize);
+                                    let widx = ((o * ci + c) * kh + ky) * kw + kx;
+                                    di[c * h * w + yu * w + xu] += gv * wv.data()[widx];
+                                    dw[widx] += gv * iv.data()[c * h * w + yu * w + xu];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            parents[0].accumulate_grad(&NdArray::from_vec(di, [ci, h, w]));
+            parents[1].accumulate_grad(&NdArray::from_vec(dw, [co, ci, kh, kw]));
+        }),
+    )
+}
+
+/// Non-overlapping average pooling of a `[c,h,w]` tensor by `k × k` windows.
+/// `h` and `w` must be divisible by `k`.
+pub fn avg_pool2d(input: &Tensor, k: usize) -> Tensor {
+    let iv = input.value();
+    assert_eq!(iv.shape().rank(), 3, "avg_pool2d input must be [c,h,w]");
+    let (c, h, w) = (iv.dims()[0], iv.dims()[1], iv.dims()[2]);
+    assert!(h % k == 0 && w % k == 0, "avg_pool2d: dims not divisible by k");
+    let (oh, ow) = (h / k, w / k);
+    let kk = (k * k) as f32;
+    let mut out = vec![0.0f32; c * oh * ow];
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        acc += iv.data()[ch * h * w + (oy * k + ky) * w + ox * k + kx];
+                    }
+                }
+                out[(ch * oh + oy) * ow + ox] = acc / kk;
+            }
+        }
+    }
+    let out = NdArray::from_vec(out, [c, oh, ow]);
+    Tensor::from_op(
+        out,
+        vec![input.clone()],
+        Box::new(move |g, _out, parents| {
+            let mut di = vec![0.0f32; c * h * w];
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let gv = g.data()[(ch * oh + oy) * ow + ox] / kk;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                di[ch * h * w + (oy * k + ky) * w + ox * k + kx] += gv;
+                            }
+                        }
+                    }
+                }
+            }
+            parents[0].accumulate_grad(&NdArray::from_vec(di, [c, h, w]));
+        }),
+    )
+}
+
+/// Flatten any tensor into rank-1.
+pub fn flatten(a: &Tensor) -> Tensor {
+    let n = a.value().numel();
+    reshape(a, [n])
+}
+
+/// Non-overlapping max pooling of a `[c,h,w]` tensor by `k × k` windows.
+/// `h` and `w` must be divisible by `k`.
+pub fn max_pool2d(input: &Tensor, k: usize) -> Tensor {
+    let iv = input.value();
+    assert_eq!(iv.shape().rank(), 3, "max_pool2d input must be [c,h,w]");
+    let (c, h, w) = (iv.dims()[0], iv.dims()[1], iv.dims()[2]);
+    assert!(h % k == 0 && w % k == 0, "max_pool2d: dims not divisible by k");
+    let (oh, ow) = (h / k, w / k);
+    let mut out = vec![f32::NEG_INFINITY; c * oh * ow];
+    let mut argmax = vec![0usize; c * oh * ow];
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let oi = (ch * oh + oy) * ow + ox;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let ii = ch * h * w + (oy * k + ky) * w + ox * k + kx;
+                        if iv.data()[ii] > out[oi] {
+                            out[oi] = iv.data()[ii];
+                            argmax[oi] = ii;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let out = NdArray::from_vec(out, [c, oh, ow]);
+    Tensor::from_op(
+        out,
+        vec![input.clone()],
+        Box::new(move |g, _out, parents| {
+            let mut di = vec![0.0f32; c * h * w];
+            for (oi, &src) in argmax.iter().enumerate() {
+                di[src] += g.data()[oi];
+            }
+            parents[0].accumulate_grad(&NdArray::from_vec(di, [c, h, w]));
+        }),
+    )
+}

@@ -1,0 +1,393 @@
+//! Finite-difference gradient checks for every differentiable op.
+//!
+//! Each test builds a scalar loss through the op under test and compares the
+//! analytic gradient against a central difference. Property-based variants
+//! randomise shapes and values.
+
+use proptest::prelude::*;
+use resuformer_tensor::check::assert_grads_close;
+use resuformer_tensor::init::{seeded_rng, uniform};
+use resuformer_tensor::ops;
+use resuformer_tensor::{NdArray, Tensor};
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+fn param(data: Vec<f32>, shape: impl Into<resuformer_tensor::Shape>) -> Tensor {
+    Tensor::param(NdArray::from_vec(data, shape))
+}
+
+fn rand_param(seed: u64, shape: impl Into<resuformer_tensor::Shape>) -> Tensor {
+    Tensor::param(uniform(&mut seeded_rng(seed), shape, 0.9))
+}
+
+#[test]
+fn grad_add_sub_mul_div() {
+    let a = rand_param(1, [2, 3]);
+    let b = param(vec![1.5, 0.8, -1.2, 2.0, 0.5, -0.9], [2, 3]);
+    assert_grads_close(&[a.clone(), b.clone()], |p| ops::mean_all(&ops::add(&p[0], &p[1])), EPS, TOL);
+    assert_grads_close(&[a.clone(), b.clone()], |p| ops::mean_all(&ops::sub(&p[0], &p[1])), EPS, TOL);
+    assert_grads_close(&[a.clone(), b.clone()], |p| ops::mean_all(&ops::mul(&p[0], &p[1])), EPS, TOL);
+    assert_grads_close(&[a, b], |p| ops::mean_all(&ops::div(&p[0], &p[1])), EPS, TOL);
+}
+
+#[test]
+fn grad_scalar_ops() {
+    let a = rand_param(2, [5]);
+    assert_grads_close(&[a.clone()], |p| ops::mean_all(&ops::add_scalar(&p[0], 3.0)), EPS, TOL);
+    assert_grads_close(&[a.clone()], |p| ops::mean_all(&ops::mul_scalar(&p[0], -2.5)), EPS, TOL);
+    assert_grads_close(&[a], |p| ops::mean_all(&ops::neg(&p[0])), EPS, TOL);
+}
+
+#[test]
+fn grad_unary_smooth() {
+    let a = rand_param(3, [6]);
+    assert_grads_close(&[a.clone()], |p| ops::mean_all(&ops::exp(&p[0])), EPS, TOL);
+    assert_grads_close(&[a.clone()], |p| ops::mean_all(&ops::sigmoid(&p[0])), EPS, TOL);
+    assert_grads_close(&[a.clone()], |p| ops::mean_all(&ops::tanh(&p[0])), EPS, TOL);
+    assert_grads_close(&[a.clone()], |p| ops::mean_all(&ops::gelu(&p[0])), EPS, TOL);
+    assert_grads_close(&[a], |p| ops::mean_all(&ops::square(&p[0])), EPS, TOL);
+}
+
+#[test]
+fn grad_ln_sqrt_positive_domain() {
+    let a = param(vec![0.5, 1.0, 2.5, 4.0], [4]);
+    assert_grads_close(&[a.clone()], |p| ops::mean_all(&ops::ln(&p[0])), 1e-3, TOL);
+    assert_grads_close(&[a], |p| ops::mean_all(&ops::sqrt(&p[0])), 1e-3, TOL);
+}
+
+#[test]
+fn grad_relu_away_from_kink() {
+    let a = param(vec![0.5, -0.7, 1.2, -2.0], [4]);
+    assert_grads_close(&[a], |p| ops::mean_all(&ops::relu(&p[0])), 1e-3, TOL);
+}
+
+#[test]
+fn grad_matmul_both_sides() {
+    let a = rand_param(4, [3, 4]);
+    let b = rand_param(5, [4, 2]);
+    assert_grads_close(
+        &[a, b],
+        |p| ops::mean_all(&ops::square(&ops::matmul(&p[0], &p[1]))),
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn grad_broadcast_ops() {
+    let m = rand_param(6, [3, 4]);
+    let row = rand_param(7, [4]);
+    let col = rand_param(8, [3]);
+    assert_grads_close(
+        &[m.clone(), row.clone()],
+        |p| ops::mean_all(&ops::square(&ops::add_broadcast_row(&p[0], &p[1]))),
+        EPS,
+        TOL,
+    );
+    assert_grads_close(
+        &[m.clone(), col],
+        |p| ops::mean_all(&ops::square(&ops::add_broadcast_col(&p[0], &p[1]))),
+        EPS,
+        TOL,
+    );
+    assert_grads_close(
+        &[m, row],
+        |p| ops::mean_all(&ops::square(&ops::mul_broadcast_row(&p[0], &p[1]))),
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn grad_reductions() {
+    let m = rand_param(9, [3, 4]);
+    assert_grads_close(&[m.clone()], |p| ops::sum_all(&ops::square(&p[0])), EPS, TOL);
+    assert_grads_close(&[m.clone()], |p| ops::mean_all(&ops::square(&p[0])), EPS, TOL);
+    assert_grads_close(
+        &[m.clone()],
+        |p| ops::mean_all(&ops::square(&ops::sum_axis(&p[0], 0))),
+        EPS,
+        TOL,
+    );
+    assert_grads_close(
+        &[m],
+        |p| ops::mean_all(&ops::square(&ops::sum_axis(&p[0], 1))),
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn grad_softmax_family() {
+    let m = rand_param(10, [3, 5]);
+    let weights = Tensor::constant(uniform(&mut seeded_rng(11), [3, 5], 1.0));
+    assert_grads_close(
+        &[m.clone()],
+        |p| ops::mean_all(&ops::mul(&ops::softmax_rows(&p[0]), &weights)),
+        EPS,
+        TOL,
+    );
+    let weights2 = Tensor::constant(uniform(&mut seeded_rng(12), [3, 5], 1.0));
+    assert_grads_close(
+        &[m.clone()],
+        |p| ops::mean_all(&ops::mul(&ops::log_softmax_rows(&p[0]), &weights2)),
+        EPS,
+        TOL,
+    );
+    assert_grads_close(
+        &[m.clone()],
+        |p| ops::mean_all(&ops::square(&ops::logsumexp_axis(&p[0], 0))),
+        EPS,
+        TOL,
+    );
+    assert_grads_close(
+        &[m],
+        |p| ops::mean_all(&ops::square(&ops::logsumexp_axis(&p[0], 1))),
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn grad_normalisation() {
+    let m = rand_param(13, [3, 6]);
+    let w = Tensor::constant(uniform(&mut seeded_rng(14), [3, 6], 1.0));
+    assert_grads_close(
+        &[m.clone()],
+        |p| ops::mean_all(&ops::mul(&ops::layer_norm_rows(&p[0], 1e-5), &w)),
+        EPS,
+        5e-2,
+    );
+    let w2 = Tensor::constant(uniform(&mut seeded_rng(15), [3, 6], 1.0));
+    assert_grads_close(
+        &[m],
+        |p| ops::mean_all(&ops::mul(&ops::l2_normalize_rows(&p[0], 1e-8), &w2)),
+        EPS,
+        5e-2,
+    );
+}
+
+#[test]
+fn grad_gather_and_structure_ops() {
+    let table = rand_param(16, [5, 3]);
+    assert_grads_close(
+        &[table],
+        |p| ops::mean_all(&ops::square(&ops::gather_rows(&p[0], &[0, 3, 3, 1]))),
+        EPS,
+        TOL,
+    );
+
+    let a = rand_param(17, [2, 3]);
+    let b = rand_param(18, [2, 2]);
+    assert_grads_close(
+        &[a.clone(), b],
+        |p| ops::mean_all(&ops::square(&ops::concat_cols(&[p[0].clone(), p[1].clone()]))),
+        EPS,
+        TOL,
+    );
+    let c = rand_param(19, [4, 3]);
+    assert_grads_close(
+        &[a, c],
+        |p| ops::mean_all(&ops::square(&ops::concat_rows(&[p[0].clone(), p[1].clone()]))),
+        EPS,
+        TOL,
+    );
+
+    let r0 = rand_param(20, [4]);
+    let r1 = rand_param(21, [4]);
+    assert_grads_close(
+        &[r0, r1],
+        |p| ops::mean_all(&ops::square(&ops::stack_rows(&[p[0].clone(), p[1].clone()]))),
+        EPS,
+        TOL,
+    );
+
+    let m = rand_param(22, [4, 3]);
+    assert_grads_close(
+        &[m.clone()],
+        |p| ops::mean_all(&ops::square(&ops::index_row(&p[0], 2))),
+        EPS,
+        TOL,
+    );
+    assert_grads_close(
+        &[m.clone()],
+        |p| ops::mean_all(&ops::square(&ops::slice_rows(&p[0], 1, 2))),
+        EPS,
+        TOL,
+    );
+    assert_grads_close(
+        &[m.clone()],
+        |p| ops::mean_all(&ops::square(&ops::transpose(&p[0]))),
+        EPS,
+        TOL,
+    );
+    assert_grads_close(
+        &[m],
+        |p| ops::mean_all(&ops::square(&ops::reshape(&p[0], [2, 6]))),
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn grad_losses() {
+    let logits = rand_param(23, [4, 3]);
+    assert_grads_close(
+        &[logits.clone()],
+        |p| ops::cross_entropy_rows(&p[0], &[0, 2, 1, 1], None),
+        EPS,
+        TOL,
+    );
+    assert_grads_close(
+        &[logits.clone()],
+        |p| ops::cross_entropy_rows(&p[0], &[0, 2, 1, 1], Some(&[1.0, 0.0, 2.0, 0.5])),
+        EPS,
+        TOL,
+    );
+
+    // Soft targets: random distribution rows.
+    let mut soft = uniform(&mut seeded_rng(24), [4, 3], 0.5).map(|v| v.abs() + 0.1);
+    for i in 0..4 {
+        let s: f32 = soft.row(i).iter().sum();
+        for j in 0..3 {
+            let v = soft.at(&[i, j]) / s;
+            soft.set(&[i, j], v);
+        }
+    }
+    let soft2 = soft.clone();
+    assert_grads_close(
+        &[logits.clone()],
+        |p| ops::soft_cross_entropy_rows(&p[0], &soft, None),
+        EPS,
+        TOL,
+    );
+    assert_grads_close(
+        &[logits.clone()],
+        |p| ops::soft_cross_entropy_rows(&p[0], &soft2, Some(&[0.0, 1.0, 1.0, 0.0])),
+        EPS,
+        TOL,
+    );
+
+    let target = Tensor::constant(uniform(&mut seeded_rng(25), [4, 3], 1.0));
+    assert_grads_close(&[logits], |p| ops::mse(&p[0], &target), EPS, TOL);
+}
+
+#[test]
+fn grad_conv_and_pool() {
+    let img = rand_param(26, [2, 4, 4]);
+    let w = rand_param(27, [3, 2, 3, 3]);
+    assert_grads_close(
+        &[img.clone(), w.clone()],
+        |p| ops::mean_all(&ops::square(&ops::conv2d(&p[0], &p[1], 1, 1))),
+        EPS,
+        5e-2,
+    );
+    assert_grads_close(
+        &[img.clone(), w],
+        |p| ops::mean_all(&ops::square(&ops::conv2d(&p[0], &p[1], 2, 1))),
+        EPS,
+        5e-2,
+    );
+    assert_grads_close(
+        &[img],
+        |p| ops::mean_all(&ops::square(&ops::avg_pool2d(&p[0], 2))),
+        EPS,
+        TOL,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Property-based gradient checks on random shapes/values
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_grad_composite_mlp(seed in 0u64..1000, rows in 1usize..4, inner in 1usize..5, out_dim in 1usize..4) {
+        let x = Tensor::constant(uniform(&mut seeded_rng(seed), [rows, 3], 1.0));
+        let w1 = Tensor::param(uniform(&mut seeded_rng(seed + 1), [3, inner], 0.7));
+        let w2 = Tensor::param(uniform(&mut seeded_rng(seed + 2), [inner, out_dim], 0.7));
+        assert_grads_close(
+            &[w1, w2],
+            |p| {
+                let h = ops::tanh(&ops::matmul(&x, &p[0]));
+                let y = ops::matmul(&h, &p[1]);
+                ops::mean_all(&ops::square(&y))
+            },
+            EPS,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn prop_grad_softmax_ce(seed in 0u64..1000, rows in 1usize..5, classes in 2usize..6) {
+        let logits = Tensor::param(uniform(&mut seeded_rng(seed), [rows, classes], 1.5));
+        let targets: Vec<usize> = (0..rows).map(|i| (i * 7 + seed as usize) % classes).collect();
+        assert_grads_close(
+            &[logits],
+            |p| ops::cross_entropy_rows(&p[0], &targets, None),
+            EPS,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn prop_softmax_rows_is_distribution(seed in 0u64..1000, rows in 1usize..6, cols in 1usize..8) {
+        let m = Tensor::constant(uniform(&mut seeded_rng(seed), [rows, cols], 30.0));
+        let s = ops::softmax_rows(&m).value();
+        for r in 0..rows {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn prop_matmul_associative_with_vector(seed in 0u64..1000) {
+        // (A B) x == A (B x) for random small matrices.
+        let a = uniform(&mut seeded_rng(seed), [4, 5], 1.0);
+        let b = uniform(&mut seeded_rng(seed + 1), [5, 3], 1.0);
+        let x = uniform(&mut seeded_rng(seed + 2), [3, 1], 1.0);
+        let left = ops::matmul_raw(&ops::matmul_raw(&a, &b), &x);
+        let right = ops::matmul_raw(&a, &ops::matmul_raw(&b, &x));
+        for i in 0..4 {
+            prop_assert!((left.at(&[i, 0]) - right.at(&[i, 0])).abs() < 1e-3);
+        }
+    }
+}
+
+#[test]
+fn grad_slice_cols_and_gather_elems() {
+    let m = rand_param(30, [3, 5]);
+    assert_grads_close(
+        &[m.clone()],
+        |p| ops::mean_all(&ops::square(&ops::slice_cols(&p[0], 1, 3))),
+        EPS,
+        TOL,
+    );
+    assert_grads_close(
+        &[m],
+        |p| ops::mean_all(&ops::square(&ops::gather_elems(&p[0], &[(0, 0), (2, 4), (2, 4)]))),
+        EPS,
+        TOL,
+    );
+}
+
+#[test]
+fn grad_max_pool_routes_to_argmax() {
+    // Away from ties, max-pool gradients are exact.
+    let img = param(vec![1.0, 5.0, 3.0, 2.0, 0.5, -1.0, 4.0, 0.0], [2, 2, 2]);
+    assert_grads_close(
+        &[img.clone()],
+        |p| ops::mean_all(&ops::square(&ops::max_pool2d(&p[0], 2))),
+        1e-3,
+        TOL,
+    );
+    img.zero_grad();
+    let y = ops::max_pool2d(&img, 2);
+    ops::sum_all(&y).backward();
+    let g = img.grad().unwrap();
+    assert_eq!(g.data(), &[0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+}

@@ -1,0 +1,341 @@
+//! Forward-value correctness tests for every op in `resuformer_tensor::ops`.
+
+use resuformer_tensor::ops;
+use resuformer_tensor::{NdArray, Tensor};
+
+fn t(data: Vec<f32>, shape: impl Into<resuformer_tensor::Shape>) -> Tensor {
+    Tensor::constant(NdArray::from_vec(data, shape))
+}
+
+fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+    assert_eq!(a.len(), b.len());
+    for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!((x - y).abs() <= tol, "element {}: {} vs {}", i, x, y);
+    }
+}
+
+#[test]
+fn elementwise_binary_values() {
+    let a = t(vec![1.0, 2.0, -3.0], [3]);
+    let b = t(vec![4.0, -2.0, 0.5], [3]);
+    assert_eq!(ops::add(&a, &b).value().data(), &[5.0, 0.0, -2.5]);
+    assert_eq!(ops::sub(&a, &b).value().data(), &[-3.0, 4.0, -3.5]);
+    assert_eq!(ops::mul(&a, &b).value().data(), &[4.0, -4.0, -1.5]);
+    assert_eq!(ops::div(&a, &b).value().data(), &[0.25, -1.0, -6.0]);
+}
+
+#[test]
+fn scalar_and_unary_values() {
+    let a = t(vec![0.0, 1.0, -1.0], [3]);
+    assert_eq!(ops::add_scalar(&a, 2.0).value().data(), &[2.0, 3.0, 1.0]);
+    assert_eq!(ops::mul_scalar(&a, -3.0).value().data(), &[0.0, -3.0, 3.0]);
+    assert_eq!(ops::neg(&a).value().data(), &[0.0, -1.0, 1.0]);
+    assert_eq!(ops::relu(&a).value().data(), &[0.0, 1.0, 0.0]);
+    assert_close(
+        ops::sigmoid(&a).value().data(),
+        &[0.5, 0.731_058_6, 0.268_941_4],
+        1e-6,
+    );
+    assert_close(
+        ops::tanh(&a).value().data(),
+        &[0.0, 0.761_594_2, -0.761_594_2],
+        1e-6,
+    );
+    assert_close(
+        ops::exp(&a).value().data(),
+        &[1.0, std::f32::consts::E, 1.0 / std::f32::consts::E],
+        1e-6,
+    );
+    assert_eq!(ops::square(&a).value().data(), &[0.0, 1.0, 1.0]);
+}
+
+#[test]
+fn gelu_matches_reference_points() {
+    // Reference values from the BERT tanh approximation.
+    let a = t(vec![0.0, 1.0, -1.0, 2.0], [4]);
+    let y = ops::gelu(&a).value();
+    assert!((y.data()[0]).abs() < 1e-6);
+    assert!((y.data()[1] - 0.841_192).abs() < 1e-3);
+    assert!((y.data()[2] + 0.158_808).abs() < 1e-3);
+    assert!((y.data()[3] - 1.954_6).abs() < 1e-3);
+}
+
+#[test]
+fn matmul_matches_hand_computation() {
+    let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+    let b = t(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], [3, 2]);
+    let c = ops::matmul(&a, &b).value();
+    assert_eq!(c.dims(), &[2, 2]);
+    assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+}
+
+#[test]
+fn matmul_large_matches_naive() {
+    // The rayon-parallel blocked kernel must agree with a naive reference.
+    let mut rng = resuformer_tensor::init::seeded_rng(3);
+    let a = resuformer_tensor::init::uniform(&mut rng, [37, 53], 1.0);
+    let b = resuformer_tensor::init::uniform(&mut rng, [53, 29], 1.0);
+    let c = ops::matmul_raw(&a, &b);
+    for i in 0..37 {
+        for j in 0..29 {
+            let mut acc = 0.0f32;
+            for k in 0..53 {
+                acc += a.at(&[i, k]) * b.at(&[k, j]);
+            }
+            assert!((c.at(&[i, j]) - acc).abs() < 1e-3);
+        }
+    }
+}
+
+#[test]
+fn broadcast_ops_values() {
+    let m = t(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+    let row = t(vec![10.0, 20.0], [2]);
+    assert_eq!(
+        ops::add_broadcast_row(&m, &row).value().data(),
+        &[11.0, 22.0, 13.0, 24.0]
+    );
+    assert_eq!(
+        ops::add_broadcast_col(&m, &row).value().data(),
+        &[11.0, 12.0, 23.0, 24.0]
+    );
+    assert_eq!(
+        ops::mul_broadcast_row(&m, &row).value().data(),
+        &[10.0, 40.0, 30.0, 80.0]
+    );
+}
+
+#[test]
+fn reductions_values() {
+    let m = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+    assert_eq!(ops::sum_all(&m).item(), 21.0);
+    assert_eq!(ops::mean_all(&m).item(), 3.5);
+    assert_eq!(ops::sum_axis(&m, 0).value().data(), &[5.0, 7.0, 9.0]);
+    assert_eq!(ops::sum_axis(&m, 1).value().data(), &[6.0, 15.0]);
+}
+
+#[test]
+fn softmax_rows_sums_to_one_and_orders() {
+    let m = t(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0], [2, 3]);
+    let s = ops::softmax_rows(&m).value();
+    for r in 0..2 {
+        let sum: f32 = s.row(r).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+    assert!(s.at(&[0, 2]) > s.at(&[0, 1]));
+    assert_close(s.row(1), &[1.0 / 3.0; 3], 1e-6);
+}
+
+#[test]
+fn softmax_is_shift_invariant_and_stable() {
+    let m1 = t(vec![1000.0, 1001.0, 1002.0], [1, 3]);
+    let m2 = t(vec![0.0, 1.0, 2.0], [1, 3]);
+    let s1 = ops::softmax_rows(&m1).value();
+    let s2 = ops::softmax_rows(&m2).value();
+    assert_close(s1.data(), s2.data(), 1e-6);
+    assert!(s1.all_finite());
+}
+
+#[test]
+fn log_softmax_consistent_with_softmax() {
+    let m = t(vec![0.3, -1.2, 2.0, 0.0], [2, 2]);
+    let ls = ops::log_softmax_rows(&m).value();
+    let s = ops::softmax_rows(&m).value();
+    for i in 0..4 {
+        assert!((ls.data()[i].exp() - s.data()[i]).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn logsumexp_axis_values() {
+    let m = t(vec![0.0, 0.0, 1.0, 1.0], [2, 2]);
+    let l1 = ops::logsumexp_axis(&m, 1).value();
+    assert!((l1.data()[0] - (2.0f32).ln()).abs() < 1e-6);
+    assert!((l1.data()[1] - (1.0 + (2.0f32).ln())).abs() < 1e-6);
+    let l0 = ops::logsumexp_axis(&m, 0).value();
+    // col: logsumexp(0,1) = ln(1+e)
+    let expect = (1.0 + std::f32::consts::E).ln();
+    assert!((l0.data()[0] - expect).abs() < 1e-6);
+}
+
+#[test]
+fn logsumexp_handles_neg_infinity_mask() {
+    let m = t(vec![f32::NEG_INFINITY, 0.0], [1, 2]);
+    let l = ops::logsumexp_axis(&m, 1).value();
+    assert!((l.data()[0] - 0.0).abs() < 1e-6);
+}
+
+#[test]
+fn layer_norm_rows_zero_mean_unit_var() {
+    let m = t(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], [2, 4]);
+    let y = ops::layer_norm_rows(&m, 1e-5).value();
+    for r in 0..2 {
+        let row = y.row(r);
+        let mean: f32 = row.iter().sum::<f32>() / 4.0;
+        let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+}
+
+#[test]
+fn l2_normalize_rows_unit_norm() {
+    let m = t(vec![3.0, 4.0, 0.0, 5.0], [2, 2]);
+    let y = ops::l2_normalize_rows(&m, 1e-8).value();
+    assert_close(y.row(0), &[0.6, 0.8], 1e-6);
+    assert_close(y.row(1), &[0.0, 1.0], 1e-6);
+}
+
+#[test]
+fn gather_concat_stack_slice_values() {
+    let table = t(vec![0.0, 1.0, 10.0, 11.0, 20.0, 21.0], [3, 2]);
+    let g = ops::gather_rows(&table, &[2, 0, 2]);
+    assert_eq!(g.value().data(), &[20.0, 21.0, 0.0, 1.0, 20.0, 21.0]);
+
+    let a = t(vec![1.0, 2.0], [1, 2]);
+    let b = t(vec![3.0], [1, 1]);
+    assert_eq!(ops::concat_cols(&[a.clone(), b]).value().data(), &[1.0, 2.0, 3.0]);
+
+    let c = t(vec![5.0, 6.0], [1, 2]);
+    let cat = ops::concat_rows(&[a, c]);
+    assert_eq!(cat.value().dims(), &[2, 2]);
+    assert_eq!(cat.value().data(), &[1.0, 2.0, 5.0, 6.0]);
+
+    let r0 = t(vec![1.0, 2.0], [2]);
+    let r1 = t(vec![3.0, 4.0], [2]);
+    let st = ops::stack_rows(&[r0, r1]);
+    assert_eq!(st.value().dims(), &[2, 2]);
+
+    assert_eq!(ops::index_row(&st, 1).value().data(), &[3.0, 4.0]);
+    assert_eq!(ops::slice_rows(&st, 1, 1).value().data(), &[3.0, 4.0]);
+}
+
+#[test]
+fn cross_entropy_matches_hand_computation() {
+    // Uniform logits over 4 classes: loss = ln(4).
+    let logits = t(vec![0.0; 8], [2, 4]);
+    let loss = ops::cross_entropy_rows(&logits, &[1, 3], None);
+    assert!((loss.item() - (4.0f32).ln()).abs() < 1e-5);
+}
+
+#[test]
+fn cross_entropy_weights_select_rows() {
+    let logits = t(vec![10.0, 0.0, 0.0, 10.0], [2, 2]);
+    // Row 0 is correct (target 0), row 1 wrong (target 0). Weight selects row 0.
+    let l_sel = ops::cross_entropy_rows(&logits, &[0, 0], Some(&[1.0, 0.0]));
+    assert!(l_sel.item() < 1e-3);
+    let l_all = ops::cross_entropy_rows(&logits, &[0, 0], None);
+    assert!(l_all.item() > 1.0);
+}
+
+#[test]
+fn soft_cross_entropy_reduces_to_hard_on_onehot() {
+    let logits = t(vec![0.2, -0.3, 1.0, 0.5, 0.1, -0.7], [2, 3]);
+    let hard = ops::cross_entropy_rows(&logits, &[2, 0], None);
+    let soft = NdArray::from_vec(vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0], [2, 3]);
+    let soft_loss = ops::soft_cross_entropy_rows(&logits, &soft, None);
+    assert!((hard.item() - soft_loss.item()).abs() < 1e-5);
+}
+
+#[test]
+fn mse_value() {
+    let a = t(vec![1.0, 2.0], [2]);
+    let b = t(vec![0.0, 4.0], [2]);
+    assert!((ops::mse(&a, &b).item() - 2.5).abs() < 1e-6);
+}
+
+#[test]
+fn conv2d_identity_kernel() {
+    // 1x1 kernel with weight 1 reproduces the input.
+    let img = t(vec![1.0, 2.0, 3.0, 4.0], [1, 2, 2]);
+    let w = t(vec![1.0], [1, 1, 1, 1]);
+    let y = ops::conv2d(&img, &w, 1, 0).value();
+    assert_eq!(y.dims(), &[1, 2, 2]);
+    assert_eq!(y.data(), &[1.0, 2.0, 3.0, 4.0]);
+}
+
+#[test]
+fn conv2d_sum_kernel_with_padding() {
+    // 3x3 all-ones kernel with pad 1: centre output = sum of all 4 pixels.
+    let img = t(vec![1.0, 2.0, 3.0, 4.0], [1, 2, 2]);
+    let w = t(vec![1.0; 9], [1, 1, 3, 3]);
+    let y = ops::conv2d(&img, &w, 1, 1).value();
+    assert_eq!(y.dims(), &[1, 2, 2]);
+    // Every output sees all four pixels (the rest is zero padding).
+    assert_eq!(y.data(), &[10.0, 10.0, 10.0, 10.0]);
+}
+
+#[test]
+fn conv2d_stride_shrinks_output() {
+    let img = t(vec![0.0; 16], [1, 4, 4]);
+    let w = t(vec![1.0; 4], [1, 1, 2, 2]);
+    let y = ops::conv2d(&img, &w, 2, 0).value();
+    assert_eq!(y.dims(), &[1, 2, 2]);
+}
+
+#[test]
+fn avg_pool_values() {
+    let img = t(vec![1.0, 2.0, 3.0, 4.0], [1, 2, 2]);
+    let y = ops::avg_pool2d(&img, 2).value();
+    assert_eq!(y.dims(), &[1, 1, 1]);
+    assert_eq!(y.data(), &[2.5]);
+}
+
+#[test]
+fn reshape_and_flatten() {
+    let a = t(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+    let r = ops::reshape(&a, [4]);
+    assert_eq!(r.value().dims(), &[4]);
+    let f = ops::flatten(&a);
+    assert_eq!(f.value().dims(), &[4]);
+    assert_eq!(f.value().data(), a.value().data());
+}
+
+#[test]
+fn transpose_value() {
+    let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+    let tt = ops::transpose(&a).value();
+    assert_eq!(tt.dims(), &[3, 2]);
+    assert_eq!(tt.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+}
+
+#[test]
+fn slice_cols_and_gather_elems_values() {
+    let m = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+    let s = ops::slice_cols(&m, 1, 2);
+    assert_eq!(s.value().dims(), &[2, 2]);
+    assert_eq!(s.value().data(), &[2.0, 3.0, 5.0, 6.0]);
+    let g = ops::gather_elems(&m, &[(0, 2), (1, 0)]);
+    assert_eq!(g.value().data(), &[3.0, 4.0]);
+}
+
+#[test]
+fn max_pool_values() {
+    let img = t(vec![1.0, 5.0, 3.0, 2.0], [1, 2, 2]);
+    let y = ops::max_pool2d(&img, 2).value();
+    assert_eq!(y.dims(), &[1, 1, 1]);
+    assert_eq!(y.data(), &[5.0]);
+}
+
+#[test]
+fn gather_rows_empty_index_list() {
+    let table = t(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+    let g = ops::gather_rows(&table, &[]);
+    assert_eq!(g.value().dims(), &[0, 2]);
+    assert_eq!(g.value().numel(), 0);
+}
+
+#[test]
+fn concat_rows_single_part_is_identity() {
+    let a = t(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+    let c = ops::concat_rows(std::slice::from_ref(&a));
+    assert_eq!(c.value().data(), a.value().data());
+}
+
+#[test]
+#[should_panic(expected = "inner dims")]
+fn matmul_rejects_mismatched_inner_dims() {
+    let a = t(vec![1.0; 6], [2, 3]);
+    let b = t(vec![1.0; 8], [4, 2]);
+    ops::matmul(&a, &b);
+}

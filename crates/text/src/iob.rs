@@ -1,0 +1,334 @@
+//! IOB tagging schemes and span codecs.
+//!
+//! Both of the paper's tasks are sequence labeling with IOB tags
+//! (sentence-level block labels, §III-A; token-level entity labels, §III-B).
+//! [`TagScheme`] maps class names to label ids (`O`, `B-x`, `I-x`);
+//! [`encode_spans`] / [`decode_spans`] convert between typed spans and tag
+//! sequences. The "Tie or Break" scheme used by the AutoNER baseline lives
+//! in [`tie_or_break`].
+
+use serde::{Deserialize, Serialize};
+
+/// A typed, half-open span `[start, end)` over a sequence.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// First covered index.
+    pub start: usize,
+    /// One past the last covered index.
+    pub end: usize,
+    /// Class index into the owning [`TagScheme`]'s class list.
+    pub class: usize,
+}
+
+impl Span {
+    /// New span; panics on empty or inverted ranges.
+    pub fn new(start: usize, end: usize, class: usize) -> Self {
+        assert!(end > start, "span must be non-empty: [{start}, {end})");
+        Span { start, end, class }
+    }
+
+    /// Span length.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Spans are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// An IOB tag scheme over a fixed list of class names.
+///
+/// Label ids: `0 = O`, then `B-class_k = 1 + 2k`, `I-class_k = 2 + 2k`.
+#[derive(Clone, Debug)]
+pub struct TagScheme {
+    classes: Vec<String>,
+}
+
+impl TagScheme {
+    /// New scheme over the given class names.
+    pub fn new(classes: &[&str]) -> Self {
+        assert!(!classes.is_empty(), "scheme needs at least one class");
+        TagScheme {
+            classes: classes.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of labels (`2 * classes + 1`).
+    pub fn num_labels(&self) -> usize {
+        2 * self.classes.len() + 1
+    }
+
+    /// The outside label.
+    pub fn outside(&self) -> usize {
+        0
+    }
+
+    /// `B-` label for a class.
+    pub fn begin(&self, class: usize) -> usize {
+        assert!(class < self.classes.len());
+        1 + 2 * class
+    }
+
+    /// `I-` label for a class.
+    pub fn inside(&self, class: usize) -> usize {
+        assert!(class < self.classes.len());
+        2 + 2 * class
+    }
+
+    /// Class of a label, if it is not `O`.
+    pub fn class_of(&self, label: usize) -> Option<usize> {
+        if label == 0 || label >= self.num_labels() {
+            None
+        } else {
+            Some((label - 1) / 2)
+        }
+    }
+
+    /// Whether a label is a `B-` label.
+    pub fn is_begin(&self, label: usize) -> bool {
+        label != 0 && label < self.num_labels() && (label - 1) % 2 == 0
+    }
+
+    /// Class name.
+    pub fn class_name(&self, class: usize) -> &str {
+        &self.classes[class]
+    }
+
+    /// Index of a class name.
+    pub fn class_index(&self, name: &str) -> Option<usize> {
+        self.classes.iter().position(|c| c == name)
+    }
+
+    /// Human-readable tag string for a label (`O`, `B-X`, `I-X`).
+    pub fn label_name(&self, label: usize) -> String {
+        if label == 0 {
+            "O".to_string()
+        } else {
+            let class = self.class_of(label).expect("valid label");
+            let prefix = if self.is_begin(label) { "B" } else { "I" };
+            format!("{}-{}", prefix, self.classes[class])
+        }
+    }
+}
+
+/// Encode typed spans into an IOB tag sequence of length `len`.
+/// Spans must be in-bounds and non-overlapping.
+pub fn encode_spans(scheme: &TagScheme, len: usize, spans: &[Span]) -> Vec<usize> {
+    let mut tags = vec![scheme.outside(); len];
+    for s in spans {
+        assert!(s.end <= len, "span {:?} exceeds sequence length {}", s, len);
+        for i in s.start..s.end {
+            assert_eq!(
+                tags[i],
+                scheme.outside(),
+                "overlapping spans at position {i}"
+            );
+            tags[i] = if i == s.start {
+                scheme.begin(s.class)
+            } else {
+                scheme.inside(s.class)
+            };
+        }
+    }
+    tags
+}
+
+/// Decode an IOB tag sequence into spans.
+///
+/// Tolerates ill-formed sequences (an `I-` without a preceding `B-` of the
+/// same class starts a new span), matching standard conlleval behaviour.
+pub fn decode_spans(scheme: &TagScheme, tags: &[usize]) -> Vec<Span> {
+    let mut spans = Vec::new();
+    let mut open: Option<(usize, usize)> = None; // (start, class)
+    for (i, &t) in tags.iter().enumerate() {
+        let class = scheme.class_of(t);
+        match (open, class) {
+            (Some((start, oc)), Some(c)) if !scheme.is_begin(t) && oc == c => {
+                // continuation
+                let _ = (start, oc);
+            }
+            (prev, Some(c)) => {
+                if let Some((start, oc)) = prev {
+                    spans.push(Span::new(start, i, oc));
+                }
+                open = Some((i, c));
+            }
+            (Some((start, oc)), None) => {
+                spans.push(Span::new(start, i, oc));
+                open = None;
+            }
+            (None, None) => {}
+        }
+    }
+    if let Some((start, oc)) = open {
+        spans.push(Span::new(start, tags.len(), oc));
+    }
+    spans
+}
+
+/// The "Tie or Break" tagging scheme of AutoNER (Shang et al., EMNLP 2018).
+///
+/// Instead of IOB tags per token, AutoNER labels the *gap* between adjacent
+/// tokens: `Tie` (same entity continues across the gap), `Break` (an entity
+/// boundary), or `Unknown` (ambiguous under distant supervision, skipped in
+/// the loss).
+pub mod tie_or_break {
+    use super::Span;
+
+    /// A gap label between tokens `i` and `i+1`.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Gap {
+        /// Tokens belong to the same mention.
+        Tie,
+        /// A mention boundary (or both tokens outside mentions).
+        Break,
+        /// Ambiguous — excluded from the training loss.
+        Unknown,
+    }
+
+    /// Encode spans into `len - 1` gap labels plus per-token type labels
+    /// (`None` = outside all mentions).
+    pub fn encode(len: usize, spans: &[Span]) -> (Vec<Gap>, Vec<Option<usize>>) {
+        let mut types = vec![None; len];
+        for s in spans {
+            for i in s.start..s.end {
+                types[i] = Some(s.class);
+            }
+        }
+        let gaps = (0..len.saturating_sub(1))
+            .map(|i| {
+                let same_span = spans
+                    .iter()
+                    .any(|s| i >= s.start && i + 1 < s.end);
+                if same_span {
+                    Gap::Tie
+                } else {
+                    Gap::Break
+                }
+            })
+            .collect();
+        (gaps, types)
+    }
+
+    /// Decode gap labels + type labels into spans. `Unknown` is treated as
+    /// `Break` at inference time.
+    pub fn decode(gaps: &[Gap], types: &[Option<usize>]) -> Vec<Span> {
+        let len = types.len();
+        let mut spans = Vec::new();
+        let mut i = 0;
+        while i < len {
+            if let Some(c) = types[i] {
+                let mut j = i;
+                while j + 1 < len
+                    && gaps[j] == Gap::Tie
+                    && types[j + 1] == Some(c)
+                {
+                    j += 1;
+                }
+                spans.push(Span::new(i, j + 1, c));
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+        }
+        spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheme() -> TagScheme {
+        TagScheme::new(&["PER", "ORG", "LOC"])
+    }
+
+    #[test]
+    fn label_layout() {
+        let s = scheme();
+        assert_eq!(s.num_labels(), 7);
+        assert_eq!(s.outside(), 0);
+        assert_eq!(s.begin(0), 1);
+        assert_eq!(s.inside(0), 2);
+        assert_eq!(s.begin(2), 5);
+        assert_eq!(s.class_of(5), Some(2));
+        assert_eq!(s.class_of(0), None);
+        assert!(s.is_begin(1));
+        assert!(!s.is_begin(2));
+        assert_eq!(s.label_name(0), "O");
+        assert_eq!(s.label_name(3), "B-ORG");
+        assert_eq!(s.label_name(4), "I-ORG");
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = scheme();
+        let spans = vec![Span::new(0, 2, 0), Span::new(3, 4, 1), Span::new(4, 7, 2)];
+        let tags = encode_spans(&s, 8, &spans);
+        assert_eq!(tags, vec![1, 2, 0, 3, 5, 6, 6, 0]);
+        assert_eq!(decode_spans(&s, &tags), spans);
+    }
+
+    #[test]
+    fn adjacent_same_class_spans_stay_separate() {
+        let s = scheme();
+        let spans = vec![Span::new(0, 2, 0), Span::new(2, 3, 0)];
+        let tags = encode_spans(&s, 3, &spans);
+        assert_eq!(tags, vec![1, 2, 1]);
+        assert_eq!(decode_spans(&s, &tags), spans);
+    }
+
+    #[test]
+    fn decode_tolerates_orphan_inside() {
+        let s = scheme();
+        // I-PER with no B: starts a span anyway (conlleval behaviour).
+        let spans = decode_spans(&s, &[0, 2, 2, 0]);
+        assert_eq!(spans, vec![Span::new(1, 3, 0)]);
+        // Class switch without B.
+        let spans = decode_spans(&s, &[2, 4]);
+        assert_eq!(spans, vec![Span::new(0, 1, 0), Span::new(1, 2, 1)]);
+    }
+
+    #[test]
+    fn span_ends_at_sequence_end() {
+        let s = scheme();
+        let spans = decode_spans(&s, &[0, 1, 2]);
+        assert_eq!(spans, vec![Span::new(1, 3, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping spans")]
+    fn encode_rejects_overlap() {
+        let s = scheme();
+        encode_spans(&s, 5, &[Span::new(0, 3, 0), Span::new(2, 4, 1)]);
+    }
+
+    #[test]
+    fn tie_or_break_round_trip() {
+        use tie_or_break::*;
+        let spans = vec![Span::new(1, 3, 0), Span::new(4, 5, 2)];
+        let (gaps, types) = encode(6, &spans);
+        assert_eq!(gaps.len(), 5);
+        assert_eq!(gaps[1], Gap::Tie);
+        assert_eq!(gaps[0], Gap::Break);
+        assert_eq!(types[4], Some(2));
+        assert_eq!(decode(&gaps, &types), spans);
+    }
+
+    #[test]
+    fn tie_or_break_splits_adjacent_entities() {
+        use tie_or_break::*;
+        // Two adjacent single-token entities of the same class: gap is Break.
+        let spans = vec![Span::new(0, 1, 1), Span::new(1, 2, 1)];
+        let (gaps, types) = encode(2, &spans);
+        assert_eq!(gaps, vec![Gap::Break]);
+        assert_eq!(decode(&gaps, &types), spans);
+    }
+}

@@ -1,0 +1,25 @@
+//! # resuformer-text
+//!
+//! Text-processing substrate for the ResuFormer reproduction:
+//!
+//! * [`Vocab`] and the [`wordpiece`] tokenizer (the paper tokenizes with
+//!   WordPiece, §IV-A1);
+//! * [`iob`]: IOB tagging schemes for both sentence-level block labels and
+//!   token-level entity labels, plus the "Tie or Break" scheme used by the
+//!   AutoNER baseline;
+//! * [`matchers`]: hand-rolled finite-state matchers standing in for the
+//!   paper's regular expressions (email / phone / date / age, §IV-B2);
+//! * [`trie`]: token-sequence dictionary matching for distant supervision.
+
+#![warn(missing_docs)]
+
+pub mod iob;
+pub mod matchers;
+pub mod trie;
+pub mod vocab;
+pub mod wordpiece;
+
+pub use iob::{decode_spans, encode_spans, Span, TagScheme};
+pub use trie::DictTrie;
+pub use vocab::Vocab;
+pub use wordpiece::WordPiece;

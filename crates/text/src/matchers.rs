@@ -1,0 +1,323 @@
+//! Hand-rolled finite-state matchers for the paper's "regular expression"
+//! entity classes (§IV-B2): email, phone number, dates/date ranges, and age.
+//!
+//! Each matcher is a small deterministic scanner over ASCII; they accept the
+//! surface forms produced by the synthetic resume generator and common
+//! real-world variants, and deliberately reject close negatives (tested
+//! below). No `regex` dependency: the grammar of each class is tiny.
+
+/// True if `s` looks like an email address: `local@domain.tld[...]`, with a
+/// non-empty alphanumeric/`._-` local part and at least one dot in the
+/// domain.
+pub fn is_email(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let Some(at) = s.find('@') else { return false };
+    if at == 0 || at + 1 >= s.len() {
+        return false;
+    }
+    let local = &bytes[..at];
+    if !local
+        .iter()
+        .all(|&c| c.is_ascii_alphanumeric() || c == b'.' || c == b'_' || c == b'-')
+    {
+        return false;
+    }
+    let domain = &s[at + 1..];
+    if s[at + 1..].contains('@') {
+        return false;
+    }
+    let labels: Vec<&str> = domain.split('.').collect();
+    if labels.len() < 2 {
+        return false;
+    }
+    labels.iter().all(|l| {
+        !l.is_empty()
+            && l.bytes().all(|c| c.is_ascii_alphanumeric() || c == b'-')
+            && !l.starts_with('-')
+            && !l.ends_with('-')
+    })
+}
+
+/// True if `s` looks like a phone number: 7–15 digits, optionally grouped by
+/// `-` or spaces, with an optional leading `+`.
+pub fn is_phone(s: &str) -> bool {
+    let s = s.strip_prefix('+').unwrap_or(s);
+    if s.is_empty() {
+        return false;
+    }
+    let mut digits = 0usize;
+    let mut prev_sep = true; // cannot start with a separator
+    for c in s.chars() {
+        match c {
+            '0'..='9' => {
+                digits += 1;
+                prev_sep = false;
+            }
+            '-' | ' ' => {
+                if prev_sep {
+                    return false;
+                }
+                prev_sep = true;
+            }
+            _ => return false,
+        }
+    }
+    !prev_sep && (7..=15).contains(&digits)
+}
+
+/// True if `s` is a year-month token: `YYYY.MM`, `YYYY-MM`, or `YYYY/MM`
+/// with a plausible year (1950–2035) and month (01–12).
+pub fn is_year_month(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    if bytes.len() != 7 {
+        return false;
+    }
+    if !matches!(bytes[4], b'.' | b'-' | b'/') {
+        return false;
+    }
+    let year: u32 = match s[..4].parse() {
+        Ok(y) => y,
+        Err(_) => return false,
+    };
+    let month: u32 = match s[5..7].parse() {
+        Ok(m) => m,
+        Err(_) => return false,
+    };
+    (1950..=2035).contains(&year) && (1..=12).contains(&month)
+}
+
+/// True if `s` is a bare plausible year (1950–2035).
+pub fn is_year(s: &str) -> bool {
+    s.len() == 4 && s.parse::<u32>().map(|y| (1950..=2035).contains(&y)).unwrap_or(false)
+}
+
+/// True if `s` is a date-range terminator meaning "ongoing".
+pub fn is_present_marker(s: &str) -> bool {
+    matches!(
+        s.to_ascii_lowercase().as_str(),
+        "present" | "now" | "current" | "today"
+    )
+}
+
+/// True if `s` is a plausible age value (16–70).
+pub fn is_age_value(s: &str) -> bool {
+    s.parse::<u32>().map(|a| (16..=70).contains(&a)).unwrap_or(false)
+}
+
+/// A date-range match inside a token stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DateRange {
+    /// Index of the first token of the range.
+    pub start: usize,
+    /// One past the last token of the range.
+    pub end: usize,
+}
+
+/// Find date ranges in a token stream.
+///
+/// Accepted shapes (each element is one token):
+/// * `YYYY.MM - YYYY.MM` (three tokens) and the `Present` variant;
+/// * `YYYY.MM-YYYY.MM` (single token containing an inner dash);
+/// * a lone `YYYY.MM` token.
+pub fn find_date_ranges(tokens: &[&str]) -> Vec<DateRange> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = tokens[i];
+        // Single-token compound range: "2018.09-2022.06".
+        if t.len() == 15 && is_year_month(&t[..7]) && t.as_bytes()[7] == b'-' && is_year_month(&t[8..]) {
+            out.push(DateRange { start: i, end: i + 1 });
+            i += 1;
+            continue;
+        }
+        if is_year_month(t) {
+            // Three-token range?
+            if i + 2 < tokens.len()
+                && tokens[i + 1] == "-"
+                && (is_year_month(tokens[i + 2]) || is_present_marker(tokens[i + 2]))
+            {
+                out.push(DateRange { start: i, end: i + 3 });
+                i += 3;
+                continue;
+            }
+            out.push(DateRange { start: i, end: i + 1 });
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn email_positive_and_negative_cases() {
+        for good in [
+            "li.wei@example.com",
+            "zhang_3@mail.corp.cn",
+            "a@b.co",
+            "first-last@sub.domain.org",
+        ] {
+            assert!(is_email(good), "{good}");
+        }
+        for bad in [
+            "@example.com",
+            "liwei@",
+            "liwei",
+            "li wei@example.com",
+            "liwei@nodot",
+            "a@@b.com",
+            "a@b..com",
+            "a@-b.com",
+        ] {
+            assert!(!is_email(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn phone_positive_and_negative_cases() {
+        for good in ["13812345678", "+8613812345678", "010-6552-1234", "555 123 4567"] {
+            assert!(is_phone(good), "{good}");
+        }
+        for bad in ["123", "phone", "138-", "-138123456", "12345678901234567", "13 8a5678901"] {
+            assert!(!is_phone(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn year_month_cases() {
+        for good in ["2018.09", "1999-12", "2035/01"] {
+            assert!(is_year_month(good), "{good}");
+        }
+        for bad in ["2018.13", "1949.05", "2036.01", "201809", "2018.9", "abcd.09"] {
+            assert!(!is_year_month(bad), "{bad}");
+        }
+        assert!(is_year("2020"));
+        assert!(!is_year("1800"));
+        assert!(!is_year("20x0"));
+    }
+
+    #[test]
+    fn age_and_present() {
+        assert!(is_age_value("27"));
+        assert!(!is_age_value("12"));
+        assert!(!is_age_value("99"));
+        assert!(is_present_marker("Present"));
+        assert!(is_present_marker("now"));
+        assert!(!is_present_marker("presently"));
+    }
+
+    #[test]
+    fn date_range_three_token_and_compound() {
+        let toks = vec!["2018.09", "-", "2022.06", "x", "2019.01", "-", "Present"];
+        let r = find_date_ranges(&toks);
+        assert_eq!(
+            r,
+            vec![DateRange { start: 0, end: 3 }, DateRange { start: 4, end: 7 }]
+        );
+
+        let toks2 = vec!["2018.09-2022.06"];
+        assert_eq!(find_date_ranges(&toks2), vec![DateRange { start: 0, end: 1 }]);
+
+        let toks3 = vec!["joined", "2020.05", "as"];
+        assert_eq!(find_date_ranges(&toks3), vec![DateRange { start: 1, end: 2 }]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_generated_emails_match(local in "[a-z][a-z0-9._]{0,10}", dom in "[a-z]{1,8}", tld in "[a-z]{2,4}") {
+            let email = format!("{}@{}.{}", local, dom, tld);
+            prop_assert!(is_email(&email));
+        }
+
+        #[test]
+        fn prop_generated_phones_match(d in proptest::collection::vec(0u8..10, 7..=15)) {
+            let s: String = d.iter().map(|x| char::from(b'0' + x)).collect();
+            prop_assert!(is_phone(&s));
+        }
+
+        #[test]
+        fn prop_valid_year_months_match(y in 1950u32..=2035, m in 1u32..=12) {
+            let dotted = format!("{}.{:02}", y, m);
+            let dashed = format!("{}-{:02}", y, m);
+            prop_assert!(is_year_month(&dotted));
+            prop_assert!(is_year_month(&dashed));
+        }
+
+        #[test]
+        fn prop_random_words_rarely_match(s in "[a-z]{1,12}") {
+            prop_assert!(!is_email(&s));
+            prop_assert!(!is_phone(&s));
+            prop_assert!(!is_year_month(&s));
+        }
+    }
+}
+
+/// True if `s` looks like a URL (`http://` / `https://` / `www.` with a
+/// dotted host). Resume headers often carry portfolio links.
+pub fn is_url(s: &str) -> bool {
+    let rest = if let Some(r) = s.strip_prefix("https://") {
+        r
+    } else if let Some(r) = s.strip_prefix("http://") {
+        r
+    } else if s.starts_with("www.") {
+        s
+    } else {
+        return false;
+    };
+    let host = rest.split('/').next().unwrap_or("");
+    host.contains('.')
+        && !host.starts_with('.')
+        && !host.ends_with('.')
+        && host
+            .bytes()
+            .all(|c| c.is_ascii_alphanumeric() || c == b'.' || c == b'-')
+}
+
+/// Month-name table for textual dates.
+const MONTHS: [&str; 12] = [
+    "january", "february", "march", "april", "may", "june", "july",
+    "august", "september", "october", "november", "december",
+];
+
+/// True if `s` is a month name or a standard 3-letter abbreviation
+/// ("Sep", "September").
+pub fn is_month_name(s: &str) -> bool {
+    let l = s.to_ascii_lowercase();
+    let l = l.trim_end_matches('.');
+    MONTHS.iter().any(|m| *m == l || (l.len() == 3 && m.starts_with(l)))
+}
+
+/// True if the two tokens form a textual year-month ("Sep 2018").
+pub fn is_textual_year_month(month: &str, year: &str) -> bool {
+    is_month_name(month) && is_year(year)
+}
+
+#[cfg(test)]
+mod extra_matcher_tests {
+    use super::*;
+
+    #[test]
+    fn urls() {
+        for good in ["https://github.com/liwei", "http://a.b.c/x", "www.example.com"] {
+            assert!(is_url(good), "{good}");
+        }
+        for bad in ["github.com", "https://nohost", "ftp://x.y", "www.", "https://.com"] {
+            assert!(!is_url(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn month_names_and_textual_dates() {
+        assert!(is_month_name("September"));
+        assert!(is_month_name("Sep"));
+        assert!(is_month_name("sep."));
+        assert!(!is_month_name("Sept")); // 4-letter abbreviation not standard
+        assert!(!is_month_name("Smarch"));
+        assert!(is_textual_year_month("Sep", "2018"));
+        assert!(!is_textual_year_month("Sep", "18"));
+        assert!(!is_textual_year_month("Tuesday", "2018"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Token-sequence trie for dictionary entity matching.
+//!
+//! Distant supervision (§IV-B2) matches entity mentions "with exactly the
+//! same surface names in the dictionaries". [`DictTrie`] indexes
+//! multi-token surface forms and scans a token stream with longest-match
+//! semantics, case-insensitively.
+
+use std::collections::HashMap;
+
+/// A match found by [`DictTrie::find_all`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DictMatch {
+    /// First matched token index.
+    pub start: usize,
+    /// One past the last matched token index.
+    pub end: usize,
+    /// Class payload supplied at insert time.
+    pub class: usize,
+}
+
+#[derive(Default)]
+struct Node {
+    children: HashMap<String, Node>,
+    /// Terminal payload: the entity class, if a surface form ends here.
+    class: Option<usize>,
+}
+
+/// A trie over lowercased token sequences with class payloads.
+#[derive(Default)]
+pub struct DictTrie {
+    root: Node,
+    entries: usize,
+}
+
+impl DictTrie {
+    /// Empty trie.
+    pub fn new() -> Self {
+        DictTrie::default()
+    }
+
+    /// Number of inserted surface forms.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the trie holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Insert a surface form (sequence of tokens) with a class payload.
+    /// Later inserts of the same form overwrite the class.
+    pub fn insert(&mut self, tokens: &[&str], class: usize) {
+        assert!(!tokens.is_empty(), "cannot insert empty surface form");
+        let mut node = &mut self.root;
+        for t in tokens {
+            node = node.children.entry(t.to_lowercase()).or_default();
+        }
+        if node.class.is_none() {
+            self.entries += 1;
+        }
+        node.class = Some(class);
+    }
+
+    /// Insert a whitespace-separated phrase.
+    pub fn insert_phrase(&mut self, phrase: &str, class: usize) {
+        let tokens: Vec<&str> = phrase.split_whitespace().collect();
+        self.insert(&tokens, class);
+    }
+
+    /// Longest match starting at `start`, if any.
+    pub fn longest_match_at(&self, tokens: &[&str], start: usize) -> Option<DictMatch> {
+        let mut node = &self.root;
+        let mut best: Option<DictMatch> = None;
+        for (off, t) in tokens[start..].iter().enumerate() {
+            match node.children.get(&t.to_lowercase()) {
+                Some(next) => {
+                    node = next;
+                    if let Some(class) = node.class {
+                        best = Some(DictMatch { start, end: start + off + 1, class });
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Scan the whole stream, greedy longest-match, non-overlapping.
+    pub fn find_all(&self, tokens: &[&str]) -> Vec<DictMatch> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            match self.longest_match_at(tokens, i) {
+                Some(m) => {
+                    i = m.end;
+                    out.push(m);
+                }
+                None => i += 1,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DictTrie {
+        let mut t = DictTrie::new();
+        t.insert_phrase("Tsinghua University", 0);
+        t.insert_phrase("Peking University", 0);
+        t.insert_phrase("Alibaba", 1);
+        t.insert_phrase("Alibaba Cloud", 1);
+        t
+    }
+
+    #[test]
+    fn finds_multi_token_entities() {
+        let t = sample();
+        let toks = vec!["studied", "at", "Tsinghua", "University", "in", "Beijing"];
+        let m = t.find_all(&toks);
+        assert_eq!(m, vec![DictMatch { start: 2, end: 4, class: 0 }]);
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let t = sample();
+        let toks = vec!["Alibaba", "Cloud", "team"];
+        let m = t.find_all(&toks);
+        assert_eq!(m, vec![DictMatch { start: 0, end: 2, class: 1 }]);
+    }
+
+    #[test]
+    fn prefix_without_terminal_does_not_match() {
+        let t = sample();
+        let toks = vec!["Tsinghua", "Campus"];
+        assert!(t.find_all(&toks).is_empty());
+    }
+
+    #[test]
+    fn matching_is_case_insensitive() {
+        let t = sample();
+        let toks = vec!["TSINGHUA", "university"];
+        assert_eq!(t.find_all(&toks).len(), 1);
+    }
+
+    #[test]
+    fn non_overlapping_scan_continues_after_match() {
+        let t = sample();
+        let toks = vec!["Alibaba", "then", "Peking", "University"];
+        let m = t.find_all(&toks);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].class, 1);
+        assert_eq!(m[1].class, 0);
+    }
+
+    #[test]
+    fn len_counts_unique_forms() {
+        let mut t = sample();
+        assert_eq!(t.len(), 4);
+        t.insert_phrase("Alibaba", 2); // overwrite, not a new entry
+        assert_eq!(t.len(), 4);
+        let m = t.find_all(&["Alibaba", "x"]);
+        assert_eq!(m[0].class, 2);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Vocabulary with BERT-style special tokens.
+
+use std::collections::HashMap;
+
+/// Padding token id.
+pub const PAD: usize = 0;
+/// Unknown token id.
+pub const UNK: usize = 1;
+/// Classification token id (sentence representation).
+pub const CLS: usize = 2;
+/// Separator token id.
+pub const SEP: usize = 3;
+/// Mask token id (MLM).
+pub const MASK: usize = 4;
+
+/// The special tokens, in id order.
+pub const SPECIALS: [&str; 5] = ["[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]"];
+
+/// A token vocabulary with stable ids and the five BERT specials.
+#[derive(Clone, Debug)]
+pub struct Vocab {
+    token_to_id: HashMap<String, usize>,
+    id_to_token: Vec<String>,
+}
+
+impl Vocab {
+    /// A vocabulary containing only the special tokens.
+    pub fn new() -> Self {
+        let mut v = Vocab {
+            token_to_id: HashMap::new(),
+            id_to_token: Vec::new(),
+        };
+        for s in SPECIALS {
+            v.add(s);
+        }
+        v
+    }
+
+    /// Add a token if absent; returns its id.
+    pub fn add(&mut self, token: &str) -> usize {
+        if let Some(&id) = self.token_to_id.get(token) {
+            return id;
+        }
+        let id = self.id_to_token.len();
+        self.id_to_token.push(token.to_string());
+        self.token_to_id.insert(token.to_string(), id);
+        id
+    }
+
+    /// Id of a token, or [`UNK`] if absent.
+    pub fn id(&self, token: &str) -> usize {
+        self.token_to_id.get(token).copied().unwrap_or(UNK)
+    }
+
+    /// Id of a token only if present.
+    pub fn get(&self, token: &str) -> Option<usize> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// Token for an id. Panics on out-of-range ids.
+    pub fn token(&self, id: usize) -> &str {
+        &self.id_to_token[id]
+    }
+
+    /// Vocabulary size including specials.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// True when only specials are present is impossible — never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Build from an iterator of words with a minimum frequency cutoff.
+    /// Words are lowercased; ties are broken alphabetically for determinism.
+    pub fn build(words: impl Iterator<Item = String>, min_freq: usize) -> Self {
+        let mut freq: HashMap<String, usize> = HashMap::new();
+        for w in words {
+            *freq.entry(w.to_lowercase()).or_insert(0) += 1;
+        }
+        let mut entries: Vec<(String, usize)> = freq.into_iter().collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut v = Vocab::new();
+        for (w, f) in entries {
+            if f >= min_freq {
+                v.add(&w);
+            }
+        }
+        v
+    }
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Vocab::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_have_fixed_ids() {
+        let v = Vocab::new();
+        assert_eq!(v.id("[PAD]"), PAD);
+        assert_eq!(v.id("[UNK]"), UNK);
+        assert_eq!(v.id("[CLS]"), CLS);
+        assert_eq!(v.id("[SEP]"), SEP);
+        assert_eq!(v.id("[MASK]"), MASK);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn add_is_idempotent_and_lookup_round_trips() {
+        let mut v = Vocab::new();
+        let id1 = v.add("hello");
+        let id2 = v.add("hello");
+        assert_eq!(id1, id2);
+        assert_eq!(v.token(id1), "hello");
+        assert_eq!(v.id("missing"), UNK);
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn build_respects_min_freq_and_is_deterministic() {
+        let words = ["a", "a", "b", "b", "b", "c"];
+        let v1 = Vocab::build(words.iter().map(|s| s.to_string()), 2);
+        let v2 = Vocab::build(words.iter().map(|s| s.to_string()), 2);
+        assert!(v1.get("a").is_some());
+        assert!(v1.get("b").is_some());
+        assert_eq!(v1.get("c"), None, "below cutoff");
+        assert_eq!(v1.id("a"), v2.id("a"));
+        // Highest-frequency first after specials.
+        assert_eq!(v1.id("b"), 5);
+    }
+}

@@ -1,0 +1,196 @@
+//! WordPiece tokenisation (greedy longest-match-first), as used to tokenize
+//! sentence text in §IV-A1 of the paper.
+//!
+//! The vocabulary contains whole words and `##`-prefixed continuation
+//! pieces. [`WordPiece::build`] derives both from a corpus: frequent words
+//! become whole-word entries and all single characters (plus their `##`
+//! forms) guarantee that tokenisation never fails for ASCII input.
+
+use std::collections::HashMap;
+
+use crate::vocab::{Vocab, UNK};
+
+/// A WordPiece tokenizer over a shared [`Vocab`].
+///
+/// ```
+/// use resuformer_text::WordPiece;
+///
+/// let corpus = ["data", "data", "base"].iter().map(|s| s.to_string());
+/// let wp = WordPiece::build(corpus, 2);
+/// let ids = wp.tokenize_word("database"); // "data" + "##b" "##a" ...
+/// assert!(ids.len() > 1);
+/// assert_eq!(wp.vocab.token(ids[0]), "data");
+/// ```
+#[derive(Clone, Debug)]
+pub struct WordPiece {
+    /// The underlying vocabulary (whole words + `##` pieces + specials).
+    pub vocab: Vocab,
+    max_chars_per_word: usize,
+}
+
+impl WordPiece {
+    /// Wrap an existing vocabulary.
+    pub fn from_vocab(vocab: Vocab) -> Self {
+        WordPiece { vocab, max_chars_per_word: 64 }
+    }
+
+    /// Build a tokenizer from a word corpus.
+    ///
+    /// Words with frequency ≥ `min_freq` enter whole; every character seen
+    /// enters both bare and as a `##` continuation so any word decomposes.
+    pub fn build(words: impl Iterator<Item = String>, min_freq: usize) -> Self {
+        let mut freq: HashMap<String, usize> = HashMap::new();
+        let mut chars: Vec<char> = Vec::new();
+        for w in words {
+            let lw = w.to_lowercase();
+            for c in lw.chars() {
+                if !chars.contains(&c) {
+                    chars.push(c);
+                }
+            }
+            *freq.entry(lw).or_insert(0) += 1;
+        }
+        chars.sort_unstable();
+        let mut vocab = Vocab::new();
+        for &c in &chars {
+            vocab.add(&c.to_string());
+            vocab.add(&format!("##{c}"));
+        }
+        let mut entries: Vec<(String, usize)> = freq.into_iter().collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        for (w, f) in entries {
+            if f >= min_freq && w.chars().count() > 1 {
+                vocab.add(&w);
+            }
+        }
+        WordPiece::from_vocab(vocab)
+    }
+
+    /// Tokenize a single word into piece ids (greedy longest match).
+    ///
+    /// Unknown characters map the whole word to `[UNK]`, as in BERT.
+    pub fn tokenize_word(&self, word: &str) -> Vec<usize> {
+        let lw = word.to_lowercase();
+        let chars: Vec<char> = lw.chars().collect();
+        if chars.is_empty() {
+            return Vec::new();
+        }
+        if chars.len() > self.max_chars_per_word {
+            return vec![UNK];
+        }
+        let mut pieces = Vec::new();
+        let mut start = 0;
+        while start < chars.len() {
+            let mut end = chars.len();
+            let mut found = None;
+            while end > start {
+                let sub: String = chars[start..end].iter().collect();
+                let candidate = if start == 0 { sub } else { format!("##{sub}") };
+                if let Some(id) = self.vocab.get(&candidate) {
+                    found = Some(id);
+                    break;
+                }
+                end -= 1;
+            }
+            match found {
+                Some(id) => {
+                    pieces.push(id);
+                    start = end;
+                }
+                None => return vec![UNK],
+            }
+        }
+        pieces
+    }
+
+    /// Tokenize a sequence of words; returns piece ids and, for each piece,
+    /// the index of the word it came from (needed to map layout boxes and
+    /// word-level labels onto pieces).
+    pub fn tokenize_words(&self, words: &[String]) -> (Vec<usize>, Vec<usize>) {
+        let mut ids = Vec::new();
+        let mut origins = Vec::new();
+        for (wi, w) in words.iter().enumerate() {
+            for id in self.tokenize_word(w) {
+                ids.push(id);
+                origins.push(wi);
+            }
+        }
+        (ids, origins)
+    }
+
+    /// Reassemble piece ids into a display string (inverse up to casing).
+    pub fn detokenize(&self, ids: &[usize]) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            let tok = self.vocab.token(id);
+            if let Some(stripped) = tok.strip_prefix("##") {
+                out.push_str(stripped);
+            } else {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(tok);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WordPiece {
+        let corpus = ["engineer", "engineer", "engineering", "beijing", "beijing", "ring"];
+        WordPiece::build(corpus.iter().map(|s| s.to_string()), 2)
+    }
+
+    #[test]
+    fn frequent_words_stay_whole() {
+        let wp = sample();
+        let ids = wp.tokenize_word("engineer");
+        assert_eq!(ids.len(), 1);
+        assert_eq!(wp.vocab.token(ids[0]), "engineer");
+    }
+
+    #[test]
+    fn rare_words_decompose_with_continuation_pieces() {
+        let wp = sample();
+        // "engineering" occurs only once (below min_freq), so it decomposes
+        // into the frequent stem plus single-character continuations.
+        let ids = wp.tokenize_word("engineering");
+        assert!(ids.len() > 1, "should split into pieces");
+        assert_eq!(wp.vocab.token(ids[0]), "engineer");
+        assert!(ids[1..].iter().all(|&i| wp.vocab.token(i).starts_with("##")));
+    }
+
+    #[test]
+    fn unknown_charset_maps_to_unk() {
+        let wp = sample();
+        assert_eq!(wp.tokenize_word("数据"), vec![UNK]);
+    }
+
+    #[test]
+    fn tokenize_words_tracks_origins() {
+        let wp = sample();
+        let words = vec!["engineer".to_string(), "engineers".to_string()];
+        let (ids, origins) = wp.tokenize_words(&words);
+        assert_eq!(ids.len(), origins.len());
+        assert_eq!(origins[0], 0);
+        assert!(origins[1..].iter().all(|&o| o == 1));
+    }
+
+    #[test]
+    fn detokenize_round_trips_lowercased() {
+        let wp = sample();
+        let words = vec!["Engineer".to_string(), "ring".to_string()];
+        let (ids, _) = wp.tokenize_words(&words);
+        assert_eq!(wp.detokenize(&ids), "engineer ring");
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let wp = sample();
+        assert_eq!(wp.tokenize_word("BEIJING"), wp.tokenize_word("beijing"));
+    }
+}

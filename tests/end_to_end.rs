@@ -1,0 +1,207 @@
+//! Cross-crate integration test: the full ResuFormer pipeline from corpus
+//! generation through pre-training, fine-tuning, block segmentation,
+//! distant NER and structured-record extraction.
+
+use resuformer::annotate::build_ner_dataset;
+use resuformer::block_classifier::{BlockClassifier, FinetuneConfig};
+use resuformer::config::{ModelConfig, PretrainConfig};
+use resuformer::data::{
+    block_tag_scheme, build_tokenizer, entity_tag_scheme, prepare_document, sentence_iob_labels,
+    DocumentInput,
+};
+use resuformer::encoder::HierarchicalEncoder;
+use resuformer::ner::{NerConfig, NerModel};
+use resuformer::pipeline::ResumeParser;
+use resuformer::pretrain::{pretrain, Pretrainer};
+use resuformer::self_training::{self_train, SelfTrainingConfig};
+use resuformer_datagen::{Corpus, Dictionaries, DictionaryConfig, EntityType, Scale, Split};
+use resuformer_tensor::init::seeded_rng;
+use resuformer_text::Vocab;
+
+#[test]
+fn full_pipeline_generates_trains_and_parses() {
+    let seed = 1234u64;
+    let corpus = Corpus::generate(seed, Scale::Smoke);
+    let wp = build_tokenizer(corpus.words(Split::Pretrain), 2);
+    let word_vocab = Vocab::build(corpus.words(Split::Pretrain), 2);
+    let config = ModelConfig::tiny(wp.vocab.len());
+    let scheme = block_tag_scheme();
+    let mut rng = seeded_rng(seed);
+
+    // --- Stage 0: pre-training (1 epoch, loss must be finite) ------------
+    let pre_docs: Vec<DocumentInput> = corpus
+        .pretrain
+        .iter()
+        .take(6)
+        .map(|r| prepare_document(&r.doc, &wp, &config).0)
+        .collect();
+    let encoder = HierarchicalEncoder::new(&mut rng, &config);
+    let pt = Pretrainer::new(&mut rng, &config, PretrainConfig::default());
+    let trace = pretrain(&encoder, &pt, &pre_docs, 1, &mut rng);
+    assert!(trace[0].total.is_finite());
+    assert!(trace[0].total > 0.0);
+
+    // --- Stage 1: block classifier fine-tuning ---------------------------
+    let train: Vec<(DocumentInput, Vec<usize>)> = corpus
+        .train
+        .iter()
+        .map(|r| {
+            let (input, sentences) = prepare_document(&r.doc, &wp, &config);
+            let labels = sentence_iob_labels(r, &sentences, &scheme);
+            (input, labels)
+        })
+        .collect();
+    let classifier = BlockClassifier::new(&mut rng, &config, encoder);
+    let pairs: Vec<(&DocumentInput, &[usize])> =
+        train.iter().map(|(d, l)| (d, l.as_slice())).collect();
+    classifier.finetune(&pairs, &FinetuneConfig { epochs: 8, ..Default::default() }, &mut rng);
+
+    // Training-set segmentation accuracy must be strong.
+    let (doc0, gold0) = &train[0];
+    let pred = classifier.predict(doc0, &mut rng);
+    let acc = pred
+        .iter()
+        .zip(gold0.iter())
+        .filter(|(a, b)| scheme.class_of(**a) == scheme.class_of(**b))
+        .count() as f32
+        / gold0.len() as f32;
+    assert!(acc > 0.7, "train segmentation accuracy {acc}");
+
+    // --- Stage 2: distant NER via Algorithm 2 ----------------------------
+    let dicts = Dictionaries::build(DictionaryConfig::default());
+    let entity_scheme = entity_tag_scheme();
+    let ner_train = build_ner_dataset(&corpus.pretrain, &dicts, &word_vocab, &entity_scheme, true);
+    let ner_val = build_ner_dataset(&corpus.validation, &dicts, &word_vocab, &entity_scheme, false);
+    assert!(!ner_train.is_empty());
+    let proto = NerModel::new(&mut rng, NerConfig::tiny(word_vocab.len()));
+    let out = self_train(
+        &proto,
+        &ner_train,
+        &ner_val,
+        &SelfTrainingConfig { teacher_epochs: 3, iterations: 2, batch: 8, ..Default::default() },
+        &mut rng,
+    );
+    assert!(out.teacher_val > 0.5, "teacher validation accuracy {}", out.teacher_val);
+
+    // --- Stage 3: end-to-end parse ---------------------------------------
+    let parser = ResumeParser {
+        classifier,
+        ner: out.model,
+        wordpiece: wp,
+        word_vocab,
+        config,
+    };
+    let target = &corpus.train[0]; // seen in training: parse must be coherent
+    let parsed = parser.parse(&target.doc, &mut rng);
+    assert!(!parsed.blocks.is_empty(), "no blocks parsed");
+    assert!(parsed.classify_seconds > 0.0);
+
+    let total_entities: usize = parsed.blocks.iter().map(|b| b.entities.len()).sum();
+    assert!(total_entities >= 3, "only {total_entities} entities extracted");
+
+    // Fixed-format entities (email/phone) are the easiest — at least one
+    // email or phone must surface from PInfo.
+    let emails = parsed.entities_of(EntityType::Email);
+    let phones = parsed.entities_of(EntityType::PhoneNum);
+    assert!(
+        !emails.is_empty() || !phones.is_empty(),
+        "no contact entity extracted"
+    );
+}
+
+#[test]
+fn model_persistence_survives_pipeline() {
+    // Train briefly, save to bytes, restore into a fresh instance, and
+    // verify identical predictions — the deployment path.
+    use resuformer_nn::Module;
+    let seed = 77u64;
+    let corpus = Corpus::generate(seed, Scale::Smoke);
+    let wp = build_tokenizer(corpus.words(Split::Pretrain), 2);
+    let config = ModelConfig::tiny(wp.vocab.len());
+    let scheme = block_tag_scheme();
+    let mut rng = seeded_rng(seed);
+
+    let (input, sentences) = prepare_document(&corpus.train[0].doc, &wp, &config);
+    let labels = sentence_iob_labels(&corpus.train[0], &sentences, &scheme);
+    let encoder = HierarchicalEncoder::new(&mut rng, &config);
+    let classifier = BlockClassifier::new(&mut rng, &config, encoder);
+    let pairs: Vec<(&DocumentInput, &[usize])> = vec![(&input, labels.as_slice())];
+    classifier.finetune(&pairs, &FinetuneConfig { epochs: 3, ..Default::default() }, &mut rng);
+
+    let bytes = classifier.save_bytes();
+
+    let mut rng2 = seeded_rng(seed); // identical architecture RNG stream
+    let encoder2 = HierarchicalEncoder::new(&mut rng2, &config);
+    let restored = BlockClassifier::new(&mut rng2, &config, encoder2);
+    restored.load_bytes(&bytes).expect("load saved weights");
+
+    let mut r1 = seeded_rng(1);
+    let mut r2 = seeded_rng(1);
+    assert_eq!(
+        classifier.predict(&input, &mut r1),
+        restored.predict(&input, &mut r2)
+    );
+}
+
+#[test]
+fn pretraining_improves_downstream_over_random_init() {
+    // The paper's central claim for the first task: self-supervised
+    // pre-training reduces dependence on labeled data. With very few
+    // labeled documents, the pre-trained encoder should fine-tune to a
+    // better (or at least not worse) held-out accuracy than random init.
+    let seed = 88u64;
+    let corpus = Corpus::generate(seed, Scale::Smoke);
+    let wp = build_tokenizer(corpus.words(Split::Pretrain), 2);
+    let config = ModelConfig::tiny(wp.vocab.len());
+    let scheme = block_tag_scheme();
+
+    let prep = |r: &resuformer_datagen::LabeledResume| {
+        let (input, sentences) = prepare_document(&r.doc, &wp, &config);
+        let labels = sentence_iob_labels(r, &sentences, &scheme);
+        (input, labels)
+    };
+    let train: Vec<_> = corpus.train.iter().take(4).map(prep).collect();
+    let test: Vec<_> = corpus.test.iter().take(4).map(prep).collect();
+    let pre_docs: Vec<DocumentInput> = corpus
+        .pretrain
+        .iter()
+        .take(12)
+        .map(|r| prepare_document(&r.doc, &wp, &config).0)
+        .collect();
+
+    let accuracy = |clf: &BlockClassifier, rng: &mut rand_chacha::ChaCha8Rng| -> f32 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (doc, labels) in &test {
+            let pred = clf.predict(doc, rng);
+            for (p, g) in pred.iter().zip(labels.iter()) {
+                if scheme.class_of(*p) == scheme.class_of(*g) {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        correct as f32 / total.max(1) as f32
+    };
+
+    let run = |pretrain_epochs: usize| -> f32 {
+        let mut rng = seeded_rng(seed ^ 0xBEEF);
+        let encoder = HierarchicalEncoder::new(&mut rng, &config);
+        if pretrain_epochs > 0 {
+            let pt = Pretrainer::new(&mut rng, &config, PretrainConfig::default());
+            pretrain(&encoder, &pt, &pre_docs, pretrain_epochs, &mut rng);
+        }
+        let clf = BlockClassifier::new(&mut rng, &config, encoder);
+        let pairs: Vec<(&DocumentInput, &[usize])> =
+            train.iter().map(|(d, l)| (d, l.as_slice())).collect();
+        clf.finetune(&pairs, &FinetuneConfig { epochs: 8, ..Default::default() }, &mut rng);
+        accuracy(&clf, &mut rng)
+    };
+
+    let random_init = run(0);
+    let pretrained = run(2);
+    assert!(
+        pretrained + 0.10 >= random_init,
+        "pre-training hurt badly: {pretrained} vs {random_init}"
+    );
+}

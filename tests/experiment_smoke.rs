@@ -1,0 +1,89 @@
+//! Smoke tests over the experiment harness: every table driver's entry
+//! points run at reduced budgets and produce structurally valid results.
+
+use resuformer_bench::ner_exp::render_ner_table;
+use resuformer_bench::{BlockBench, NerBench, TABLE4_ROWS};
+use resuformer_datagen::{BlockType, Corpus, Scale, Split};
+
+#[test]
+fn table1_statistics_are_consistent() {
+    let corpus = Corpus::generate(5, Scale::Smoke);
+    for split in [Split::Pretrain, Split::Train, Split::Validation, Split::Test] {
+        let s = corpus.stats(split);
+        assert!(s.n_docs > 0);
+        assert!(s.avg_tokens > 0.0);
+        assert!(s.avg_sentences > 0.0);
+        assert!(s.avg_pages >= 1.0);
+        // Tokens per sentence must be plausible (not degenerate).
+        let tps = s.avg_tokens / s.avg_sentences;
+        assert!((2.0..60.0).contains(&tps), "tokens/sentence {tps}");
+    }
+}
+
+#[test]
+fn table2_driver_hibert_runs_end_to_end() {
+    // HiBERT is the cheapest trained method; it exercises the shared
+    // evaluate/timing path of the Table II driver.
+    let bench = BlockBench::new(Scale::Smoke, 6);
+    let res = bench.run_hibert();
+    assert_eq!(res.per_tag.len(), BlockType::ALL.len());
+    assert!(res.seconds_per_resume > 0.0);
+    // A trained model must beat the all-O floor on at least half the tags.
+    let nonzero = res.per_tag.iter().filter(|m| m.f1 > 0.3).count();
+    assert!(nonzero >= 4, "only {nonzero} tags above 0.3 F1");
+}
+
+#[test]
+fn table4_driver_rows_and_rendering() {
+    let bench = NerBench::new(Scale::Smoke, 7);
+    let dr = bench.run_dr_match();
+    assert_eq!(dr.per_row.len(), TABLE4_ROWS.len());
+    let table = render_ner_table("smoke", &[dr.clone()]);
+    assert!(table.contains("EduExp/College"));
+    // Fixed-format classes (Email/PhoneNum) must be near-perfect for the
+    // matcher (they use closed patterns, not dictionaries).
+    let email_idx = TABLE4_ROWS
+        .iter()
+        .position(|(_, e)| *e == resuformer_datagen::EntityType::Email)
+        .unwrap();
+    assert!(dr.per_row[email_idx].f1() > 0.9, "email F1 {}", dr.per_row[email_idx].f1());
+}
+
+#[test]
+fn table6_dataset_statistics_are_consistent() {
+    let bench = NerBench::new(Scale::Smoke, 8);
+    assert!(!bench.train.is_empty());
+    assert!(!bench.validation.is_empty());
+    assert!(!bench.test.is_empty());
+    // Training instances were filtered to ≥ 1 distant match.
+    for b in &bench.train {
+        assert!(b.num_distant_entities(&bench.scheme) >= 1);
+    }
+    // Average entities per gold block in the paper's range neighbourhood.
+    let avg: f32 = bench
+        .test
+        .iter()
+        .map(|b| b.num_gold_entities(&bench.scheme) as f32)
+        .sum::<f32>()
+        / bench.test.len() as f32;
+    assert!((1.0..8.0).contains(&avg), "avg gold entities {avg}");
+}
+
+#[test]
+fn corpus_splits_do_not_leak() {
+    // Train/test documents must be distinct (different names with very
+    // high probability across the whole splits).
+    let corpus = Corpus::generate(9, Scale::Smoke);
+    let train_names: Vec<&str> = corpus.train.iter().map(|r| r.record.name.as_str()).collect();
+    let dup = corpus
+        .test
+        .iter()
+        .filter(|r| {
+            train_names.contains(&r.record.name.as_str())
+                && corpus.train.iter().any(|t| {
+                    t.record.name == r.record.name && t.doc.num_tokens() == r.doc.num_tokens()
+                })
+        })
+        .count();
+    assert_eq!(dup, 0, "{dup} identical documents shared between splits");
+}
