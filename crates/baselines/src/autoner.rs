@@ -16,10 +16,10 @@ use resuformer::embeddings::TextEmbedding;
 use resuformer::ner::NerConfig;
 use resuformer_nn::linear::Activation;
 use resuformer_nn::{Adam, BiLstm, Mlp, Module, TransformerEncoder};
+use resuformer_tensor::{ops, Tensor};
 use resuformer_text::iob::tie_or_break::{decode, encode, Gap};
 use resuformer_text::iob::Span;
 use resuformer_text::{decode_spans, encode_spans, TagScheme};
-use resuformer_tensor::{ops, Tensor};
 
 /// AutoNER: Tie-or-Break boundary detector + chunk type classifier.
 pub struct AutoNer {
@@ -139,19 +139,25 @@ impl AutoNer {
         // Type logits per token ("None" = class index num_classes).
         let type_logits = self.type_head.forward(&feats);
         let none_class = self.scheme.num_classes();
-        let type_targets: Vec<usize> = types
-            .iter()
-            .map(|t| t.unwrap_or(none_class))
-            .collect();
+        let type_targets: Vec<usize> = types.iter().map(|t| t.unwrap_or(none_class)).collect();
         parts.push(ops::cross_entropy_rows(&type_logits, &type_targets, None));
 
         let k = parts.len() as f32;
-        let sum = parts.into_iter().reduce(|a, b| ops::add(&a, &b)).expect("non-empty");
+        let sum = parts
+            .into_iter()
+            .reduce(|a, b| ops::add(&a, &b))
+            .expect("non-empty");
         ops::mul_scalar(&sum, 1.0 / k)
     }
 
     /// Train on distant supervision.
-    pub fn train(&self, data: &[AnnotatedBlock], epochs: usize, lr: f32, rng: &mut impl Rng) -> Vec<f32> {
+    pub fn train(
+        &self,
+        data: &[AnnotatedBlock],
+        epochs: usize,
+        lr: f32,
+        rng: &mut impl Rng,
+    ) -> Vec<f32> {
         let mut opt = Adam::new(self.parameters(), lr, 0.01);
         let mut trace = Vec::with_capacity(epochs);
         for _ in 0..epochs {
@@ -185,7 +191,10 @@ impl AutoNer {
         let gaps: Vec<Gap> = if n >= 2 {
             let left = ops::slice_rows(&feats, 0, n - 1);
             let right = ops::slice_rows(&feats, 1, n - 1);
-            let logits = self.gap_head.forward(&ops::concat_cols(&[left, right])).value();
+            let logits = self
+                .gap_head
+                .forward(&ops::concat_cols(&[left, right]))
+                .value();
             (0..n - 1)
                 .map(|i| {
                     if logits.at(&[i, 1]) > logits.at(&[i, 0]) {

@@ -15,14 +15,14 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 use resuformer::annotate::AnnotatedBlock;
+use resuformer::config::ModelConfig;
 use resuformer::data::entity_tag_scheme;
 use resuformer::embeddings::TextEmbedding;
-use resuformer::config::ModelConfig;
 use resuformer::ner::NerConfig;
 use resuformer_nn::linear::Activation;
 use resuformer_nn::{Adam, BiLstm, Crf, FuzzyCrf, Mlp, Module, TransformerEncoder};
-use resuformer_text::TagScheme;
 use resuformer_tensor::{ops, Tensor};
+use resuformer_text::TagScheme;
 
 /// The shared BERT+BiLSTM feature stack.
 struct FeatureStack {
@@ -60,7 +60,11 @@ impl FeatureStack {
                 0.0,
             ),
             bilstm: BiLstm::new(rng, config.hidden, config.lstm_hidden),
-            proj: Mlp::new(rng, &[2 * config.lstm_hidden, out_dim], Activation::Identity),
+            proj: Mlp::new(
+                rng,
+                &[2 * config.lstm_hidden, out_dim],
+                Activation::Identity,
+            ),
             max_len: config.max_len,
         }
     }
@@ -141,7 +145,13 @@ impl BertBilstmCrf {
     }
 
     /// Train on the distant hard labels.
-    pub fn train(&self, data: &[AnnotatedBlock], epochs: usize, lr: f32, rng: &mut impl Rng) -> Vec<f32> {
+    pub fn train(
+        &self,
+        data: &[AnnotatedBlock],
+        epochs: usize,
+        lr: f32,
+        rng: &mut impl Rng,
+    ) -> Vec<f32> {
         train_loop(self.parameters(), data, epochs, lr, rng, |block, frng| {
             let n = block.token_ids.len().min(self.stack.max_len);
             let e = self.stack.emissions(&block.token_ids, true, frng);
@@ -220,7 +230,13 @@ impl BertBilstmFcrf {
     }
 
     /// Train with the fuzzy-CRF objective.
-    pub fn train(&self, data: &[AnnotatedBlock], epochs: usize, lr: f32, rng: &mut impl Rng) -> Vec<f32> {
+    pub fn train(
+        &self,
+        data: &[AnnotatedBlock],
+        epochs: usize,
+        lr: f32,
+        rng: &mut impl Rng,
+    ) -> Vec<f32> {
         train_loop(self.parameters(), data, epochs, lr, rng, |block, frng| {
             let n = block.token_ids.len().min(self.stack.max_len);
             let e = self.stack.emissions(&block.token_ids, true, frng);
@@ -233,7 +249,8 @@ impl BertBilstmFcrf {
                 .map(|&l| if l == self.scheme.outside() { 0.0 } else { 1.0 })
                 .collect();
             if weights.iter().any(|&w| w > 0.0) {
-                let anchor = ops::cross_entropy_rows(&e, &block.distant_labels[..n], Some(&weights));
+                let anchor =
+                    ops::cross_entropy_rows(&e, &block.distant_labels[..n], Some(&weights));
                 ops::add(&fuzzy, &ops::mul_scalar(&anchor, 0.5))
             } else {
                 fuzzy
@@ -265,8 +282,8 @@ impl Module for BertBilstmFcrf {
 mod tests {
     use super::*;
     use resuformer_datagen::BlockType;
-    use resuformer_text::iob::{encode_spans, Span};
     use resuformer_tensor::init::seeded_rng;
+    use resuformer_text::iob::{encode_spans, Span};
 
     fn toy_data(n: usize) -> Vec<AnnotatedBlock> {
         let scheme = entity_tag_scheme();

@@ -12,8 +12,8 @@ use resuformer::config::ModelConfig;
 use resuformer::data::block_tag_scheme;
 use resuformer::embeddings::TextEmbedding;
 use resuformer_nn::{Adam, Crf, Linear, Module, TransformerEncoder};
-use resuformer_text::TagScheme;
 use resuformer_tensor::{ops, Tensor};
+use resuformer_text::TagScheme;
 
 use crate::common::{expand_to_token_labels, tokens_to_sentence_labels, TokenDoc};
 
@@ -58,12 +58,7 @@ impl BertCrf {
         self.window
     }
 
-    fn window_emissions(
-        &self,
-        ids: &[usize],
-        train: bool,
-        rng: &mut impl Rng,
-    ) -> Tensor {
+    fn window_emissions(&self, ids: &[usize], train: bool, rng: &mut impl Rng) -> Tensor {
         let x = self.embed.forward(ids);
         let h = self.encoder.forward(&x, None, train, rng);
         self.emit.forward(&h)
@@ -92,7 +87,12 @@ impl BertCrf {
             let e = self.window_emissions(&doc.ids[start..end], false, rng);
             token_labels.extend(self.crf.viterbi(&e.value()).0);
         }
-        tokens_to_sentence_labels(&self.scheme, &token_labels, &doc.sentence_of, doc.n_sentences)
+        tokens_to_sentence_labels(
+            &self.scheme,
+            &token_labels,
+            &doc.sentence_of,
+            doc.n_sentences,
+        )
     }
 
     /// Supervised training over `(doc, sentence_labels)` pairs.
@@ -173,9 +173,16 @@ mod tests {
         let (model, td, labels) = setup();
         let mut rng = seeded_rng(74);
         let pairs: Vec<(&TokenDoc, &[usize])> = vec![(&td, labels.as_slice())];
-        let cfg = FinetuneConfig { epochs: 20, ..Default::default() };
+        let cfg = FinetuneConfig {
+            epochs: 20,
+            ..Default::default()
+        };
         let trace = model.finetune(&pairs, &cfg, &mut rng);
-        assert!(trace.last().unwrap() < &(trace[0] * 0.5), "{:?}", (trace[0], trace.last()));
+        assert!(
+            trace.last().unwrap() < &(trace[0] * 0.5),
+            "{:?}",
+            (trace[0], trace.last())
+        );
         let pred = model.predict_sentences(&td, &mut rng);
         let class_acc = pred
             .iter()

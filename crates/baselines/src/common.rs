@@ -205,8 +205,11 @@ where
                 // Mask 15% of the window.
                 let n = ids.len();
                 let k = ((n as f32 * 0.15).round() as usize).clamp(1, n);
-                let positions: Vec<usize> =
-                    (0..n).collect::<Vec<_>>().choose_multiple(rng, k).copied().collect();
+                let positions: Vec<usize> = (0..n)
+                    .collect::<Vec<_>>()
+                    .choose_multiple(rng, k)
+                    .copied()
+                    .collect();
                 let targets: Vec<usize> = positions.iter().map(|&p| ids[p]).collect();
                 for &p in &positions {
                     ids[p] = MASK;
@@ -286,7 +289,8 @@ mod tests {
             .collect();
         let token_labels = expand_to_token_labels(&scheme, &sentence_labels, &td.sentence_of);
         assert_eq!(token_labels.len(), td.len());
-        let back = tokens_to_sentence_labels(&scheme, &token_labels, &td.sentence_of, td.n_sentences);
+        let back =
+            tokens_to_sentence_labels(&scheme, &token_labels, &td.sentence_of, td.n_sentences);
         // Class assignment must round-trip exactly; B/I boundaries match
         // because consecutive same-class sentences merge identically.
         for (a, b) in back.iter().zip(sentence_labels.iter()) {

@@ -16,7 +16,10 @@ pub struct DrMatch {
 impl DrMatch {
     /// New matcher over the given dictionaries.
     pub fn new(dicts: Dictionaries) -> Self {
-        DrMatch { dicts, scheme: entity_tag_scheme() }
+        DrMatch {
+            dicts,
+            scheme: entity_tag_scheme(),
+        }
     }
 
     /// The tag scheme.
@@ -63,7 +66,9 @@ mod tests {
         let dicts = Dictionaries::build(DictionaryConfig { coverage: 0.5 });
         let scheme = entity_tag_scheme();
         let vocab = Vocab::build(
-            resumes.iter().flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
+            resumes
+                .iter()
+                .flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
             1,
         );
         let data = build_ner_dataset(&resumes, &dicts, &vocab, &scheme, false);
@@ -92,7 +97,11 @@ mod tests {
         let precision = tp as f32 / (tp + fp).max(1) as f32;
         let recall = tp as f32 / (tp + fn_).max(1) as f32;
         assert!(precision > 0.8, "precision {}", precision);
-        assert!(recall < 0.95, "recall {} should be bounded by coverage", recall);
+        assert!(
+            recall < 0.95,
+            "recall {} should be bounded by coverage",
+            recall
+        );
         assert!(recall > 0.2, "recall {} suspiciously low", recall);
     }
 }

@@ -13,8 +13,8 @@ use resuformer::config::ModelConfig;
 use resuformer::data::{block_tag_scheme, DocumentInput};
 use resuformer::embeddings::TextEmbedding;
 use resuformer_nn::{Adam, Crf, Embedding, Linear, Module, TransformerEncoder};
-use resuformer_text::TagScheme;
 use resuformer_tensor::{ops, Tensor};
+use resuformer_text::TagScheme;
 
 /// Hierarchical text-only BERT + CRF.
 pub struct HiBertCrf {
@@ -174,12 +174,15 @@ mod tests {
         let (model, input, labels) = setup();
         let mut rng = seeded_rng(84);
         let pairs: Vec<(&DocumentInput, &[usize])> = vec![(&input, labels.as_slice())];
-        let cfg = FinetuneConfig { epochs: 25, ..Default::default() };
+        let cfg = FinetuneConfig {
+            epochs: 25,
+            ..Default::default()
+        };
         let trace = model.finetune(&pairs, &cfg, &mut rng);
         assert!(trace.last().unwrap() < &(trace[0] * 0.3));
         let pred = model.predict(&input, &mut rng);
-        let acc = pred.iter().zip(&labels).filter(|(a, b)| a == b).count() as f32
-            / labels.len() as f32;
+        let acc =
+            pred.iter().zip(&labels).filter(|(a, b)| a == b).count() as f32 / labels.len() as f32;
         assert!(acc > 0.85, "accuracy {}", acc);
     }
 }

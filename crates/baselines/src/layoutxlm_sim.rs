@@ -17,8 +17,8 @@ use resuformer::embeddings::{LayoutEmbedding, TextEmbedding};
 use resuformer::visual::VisualExtractor;
 use resuformer_doc::{Document, LayoutTuple};
 use resuformer_nn::{Adam, Crf, Linear, Module, TransformerEncoder};
-use resuformer_text::{TagScheme, WordPiece};
 use resuformer_tensor::{ops, Tensor};
+use resuformer_text::{TagScheme, WordPiece};
 
 use crate::common::{
     expand_to_token_labels, mlm_pretrain, prepare_token_doc, tokens_to_sentence_labels, TokenDoc,
@@ -78,15 +78,29 @@ impl LayoutXlmSim {
 
     /// MLM pre-training with retained layout (the masked visual-language
     /// modeling analogue).
-    pub fn pretrain(&self, docs: &[TokenDoc], epochs: usize, lr: f32, rng: &mut impl Rng) -> Vec<f32> {
+    pub fn pretrain(
+        &self,
+        docs: &[TokenDoc],
+        epochs: usize,
+        lr: f32,
+        rng: &mut impl Rng,
+    ) -> Vec<f32> {
         let mut params = self.embed.parameters();
         params.extend(self.layout.parameters());
         params.extend(self.encoder.parameters());
         let table = self.embed.word_table().clone();
-        mlm_pretrain(params, table, docs, epochs, lr, rng, |ids, layouts, frng| {
-            let x = ops::add(&self.embed.forward(ids), &self.layout.forward(layouts));
-            self.encoder.forward(&x, None, true, frng)
-        })
+        mlm_pretrain(
+            params,
+            table,
+            docs,
+            epochs,
+            lr,
+            rng,
+            |ids, layouts, frng| {
+                let x = ops::add(&self.embed.forward(ids), &self.layout.forward(layouts));
+                self.encoder.forward(&x, None, true, frng)
+            },
+        )
     }
 
     fn window_emissions(
@@ -124,7 +138,10 @@ impl LayoutXlmSim {
             losses.push(self.crf.neg_log_likelihood(&e, &token_labels[start..end]));
         }
         let n = losses.len() as f32;
-        let sum = losses.into_iter().reduce(|a, b| ops::add(&a, &b)).expect("non-empty");
+        let sum = losses
+            .into_iter()
+            .reduce(|a, b| ops::add(&a, &b))
+            .expect("non-empty");
         ops::mul_scalar(&sum, 1.0 / n)
     }
 
@@ -136,7 +153,12 @@ impl LayoutXlmSim {
             let e = self.window_emissions(doc, start, end, &feats, false, rng);
             token_labels.extend(self.crf.viterbi(&e.value()).0);
         }
-        tokens_to_sentence_labels(&self.scheme, &token_labels, &doc.sentence_of, doc.n_sentences)
+        tokens_to_sentence_labels(
+            &self.scheme,
+            &token_labels,
+            &doc.sentence_of,
+            doc.n_sentences,
+        )
     }
 
     /// Supervised training over `(doc, sentence_labels)` pairs.
@@ -204,7 +226,14 @@ mod tests {
     use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
     use resuformer_tensor::init::seeded_rng;
 
-    fn setup() -> (LayoutXlmSim, TokenDoc, Vec<usize>, WordPiece, ModelConfig, resuformer_datagen::LabeledResume) {
+    fn setup() -> (
+        LayoutXlmSim,
+        TokenDoc,
+        Vec<usize>,
+        WordPiece,
+        ModelConfig,
+        resuformer_datagen::LabeledResume,
+    ) {
         let mut rng = ChaCha8Rng::seed_from_u64(101);
         let r = generate_resume(&mut rng, &GeneratorConfig::smoke());
         let wp = build_tokenizer(r.doc.tokens.iter().map(|t| t.text.clone()), 1);
@@ -229,7 +258,10 @@ mod tests {
         let (model, td, labels, wp, config, r) = setup();
         let mut rng = seeded_rng(104);
         let pairs: Vec<(&TokenDoc, &[usize])> = vec![(&td, labels.as_slice())];
-        let cfg = FinetuneConfig { epochs: 15, ..Default::default() };
+        let cfg = FinetuneConfig {
+            epochs: 15,
+            ..Default::default()
+        };
         let trace = model.finetune(&pairs, &cfg, &mut rng);
         assert!(trace.last().unwrap() < &(trace[0] * 0.5));
 
@@ -424,7 +456,9 @@ mod pretrain_extra_tests {
             .map(|_| generate_resume(&mut rng, &GeneratorConfig::smoke()))
             .collect();
         let wp = build_tokenizer(
-            resumes.iter().flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
+            resumes
+                .iter()
+                .flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
             1,
         );
         let config = ModelConfig::tiny(wp.vocab.len());
@@ -461,6 +495,8 @@ mod pretrain_extra_tests {
     fn tim_requires_two_documents() {
         let (tds, config) = docs(1);
         let model = LayoutXlmSim::new(&mut seeded_rng(146), &config, 24);
-        assert!(model.pretrain_tim(&tds, 2, 1e-3, &mut seeded_rng(147)).is_empty());
+        assert!(model
+            .pretrain_tim(&tds, 2, 1e-3, &mut seeded_rng(147))
+            .is_empty());
     }
 }

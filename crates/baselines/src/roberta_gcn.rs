@@ -14,8 +14,8 @@ use resuformer::embeddings::TextEmbedding;
 use resuformer_doc::LayoutTuple;
 use resuformer_nn::gcn::normalize_adjacency;
 use resuformer_nn::{Adam, Crf, GcnLayer, Linear, Module, TransformerEncoder};
-use resuformer_text::TagScheme;
 use resuformer_tensor::{ops, NdArray, Tensor};
+use resuformer_text::TagScheme;
 
 use crate::common::{expand_to_token_labels, mlm_pretrain, tokens_to_sentence_labels, TokenDoc};
 
@@ -102,14 +102,28 @@ impl RobertaGcn {
 
     /// MLM-pre-train the text encoder on corpus windows (the "pre-trained
     /// RoBERTa" warm start; see DESIGN.md §2).
-    pub fn pretrain(&self, docs: &[TokenDoc], epochs: usize, lr: f32, rng: &mut impl Rng) -> Vec<f32> {
+    pub fn pretrain(
+        &self,
+        docs: &[TokenDoc],
+        epochs: usize,
+        lr: f32,
+        rng: &mut impl Rng,
+    ) -> Vec<f32> {
         let mut params = self.embed.parameters();
         params.extend(self.encoder.parameters());
         let table = self.embed.word_table().clone();
-        mlm_pretrain(params, table, docs, epochs, lr, rng, |ids, _layouts, frng| {
-            let x = self.embed.forward(ids);
-            self.encoder.forward(&x, None, true, frng)
-        })
+        mlm_pretrain(
+            params,
+            table,
+            docs,
+            epochs,
+            lr,
+            rng,
+            |ids, _layouts, frng| {
+                let x = self.embed.forward(ids);
+                self.encoder.forward(&x, None, true, frng)
+            },
+        )
     }
 
     fn window_emissions(
@@ -132,11 +146,15 @@ impl RobertaGcn {
         let token_labels = expand_to_token_labels(&self.scheme, sentence_labels, &doc.sentence_of);
         let mut losses = Vec::new();
         for (start, end) in doc.windows() {
-            let e = self.window_emissions(&doc.ids[start..end], &doc.layouts[start..end], true, rng);
+            let e =
+                self.window_emissions(&doc.ids[start..end], &doc.layouts[start..end], true, rng);
             losses.push(self.crf.neg_log_likelihood(&e, &token_labels[start..end]));
         }
         let n = losses.len() as f32;
-        let sum = losses.into_iter().reduce(|a, b| ops::add(&a, &b)).expect("non-empty");
+        let sum = losses
+            .into_iter()
+            .reduce(|a, b| ops::add(&a, &b))
+            .expect("non-empty");
         ops::mul_scalar(&sum, 1.0 / n)
     }
 
@@ -144,10 +162,16 @@ impl RobertaGcn {
     pub fn predict_sentences(&self, doc: &TokenDoc, rng: &mut impl Rng) -> Vec<usize> {
         let mut token_labels = Vec::with_capacity(doc.len());
         for (start, end) in doc.windows() {
-            let e = self.window_emissions(&doc.ids[start..end], &doc.layouts[start..end], false, rng);
+            let e =
+                self.window_emissions(&doc.ids[start..end], &doc.layouts[start..end], false, rng);
             token_labels.extend(self.crf.viterbi(&e.value()).0);
         }
-        tokens_to_sentence_labels(&self.scheme, &token_labels, &doc.sentence_of, doc.n_sentences)
+        tokens_to_sentence_labels(
+            &self.scheme,
+            &token_labels,
+            &doc.sentence_of,
+            doc.n_sentences,
+        )
     }
 
     /// Supervised training over `(doc, sentence_labels)` pairs.
@@ -247,7 +271,10 @@ mod tests {
         let model = RobertaGcn::new(&mut seeded_rng(95), &config, 32);
         let mut trng = seeded_rng(96);
         let pairs: Vec<(&TokenDoc, &[usize])> = vec![(&td, labels.as_slice())];
-        let cfg = FinetuneConfig { epochs: 15, ..Default::default() };
+        let cfg = FinetuneConfig {
+            epochs: 15,
+            ..Default::default()
+        };
         let trace = model.finetune(&pairs, &cfg, &mut trng);
         assert!(trace.last().unwrap() < &(trace[0] * 0.5));
         let pred = model.predict_sentences(&td, &mut trng);

@@ -25,10 +25,38 @@ fn bench_pretrain_step(c: &mut Criterion) {
     let mut g = c.benchmark_group("pretrain_step");
     g.sample_size(10);
     for (name, switches) in [
-        ("all_objectives", ObjectiveSwitches { wmp: true, scl: true, dnsp: true }),
-        ("mlm_only", ObjectiveSwitches { wmp: true, scl: false, dnsp: false }),
-        ("scl_only", ObjectiveSwitches { wmp: false, scl: true, dnsp: false }),
-        ("dnsp_only", ObjectiveSwitches { wmp: false, scl: false, dnsp: true }),
+        (
+            "all_objectives",
+            ObjectiveSwitches {
+                wmp: true,
+                scl: true,
+                dnsp: true,
+            },
+        ),
+        (
+            "mlm_only",
+            ObjectiveSwitches {
+                wmp: true,
+                scl: false,
+                dnsp: false,
+            },
+        ),
+        (
+            "scl_only",
+            ObjectiveSwitches {
+                wmp: false,
+                scl: true,
+                dnsp: false,
+            },
+        ),
+        (
+            "dnsp_only",
+            ObjectiveSwitches {
+                wmp: false,
+                scl: false,
+                dnsp: true,
+            },
+        ),
     ] {
         g.bench_function(name, |b| {
             let mut pt2 = Pretrainer::new(&mut seeded_rng(23), &config, PretrainConfig::default());

@@ -54,7 +54,14 @@ fn bench_distant_annotation(c: &mut Criterion) {
     let scheme = entity_tag_scheme();
     let words: Vec<String> = r.doc.tokens.iter().map(|t| t.text.clone()).collect();
     c.bench_function("distant_labels_1700_tokens", |b| {
-        b.iter(|| distant_labels(&words, resuformer_datagen::BlockType::WorkExp, &dicts, &scheme))
+        b.iter(|| {
+            distant_labels(
+                &words,
+                resuformer_datagen::BlockType::WorkExp,
+                &dicts,
+                &scheme,
+            )
+        })
     });
 }
 

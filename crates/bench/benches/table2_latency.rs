@@ -8,8 +8,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use resuformer::block_classifier::BlockClassifier;
 use resuformer::encoder::HierarchicalEncoder;
 use resuformer::pretrain::ObjectiveSwitches;
-use resuformer_bench::BlockBench;
 use resuformer_baselines::{prepare_token_doc, LayoutXlmSim};
+use resuformer_bench::BlockBench;
 use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
 use resuformer_datagen::Scale;
 use resuformer_tensor::init::seeded_rng;

@@ -43,13 +43,10 @@ pub fn parse_args() -> ExpArgs {
             }
             "--seed" => {
                 i += 1;
-                seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--seed needs an integer");
-                        std::process::exit(2);
-                    });
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
             }
             "--seeds" => {
                 i += 1;
@@ -147,9 +144,17 @@ mod seed_tests {
 
     #[test]
     fn seed_list_enumerates_consecutive_seeds() {
-        let a = ExpArgs { scale: Scale::Smoke, seed: 10, seeds: 3 };
+        let a = ExpArgs {
+            scale: Scale::Smoke,
+            seed: 10,
+            seeds: 3,
+        };
         assert_eq!(a.seed_list(), vec![10, 11, 12]);
-        let b = ExpArgs { scale: Scale::Smoke, seed: 42, seeds: 1 };
+        let b = ExpArgs {
+            scale: Scale::Smoke,
+            seed: 42,
+            seeds: 1,
+        };
         assert_eq!(b.seed_list(), vec![42]);
     }
 }

@@ -33,7 +33,11 @@ fn dynamic_vs_static_masking(scale: Scale, seed: u64) {
         let mut rng = seeded_rng(seed ^ 0xD1);
         let enc = HierarchicalEncoder::new(&mut rng, &config);
         let mut pt = Pretrainer::new(&mut rng, &config, PretrainConfig::default());
-        pt.switches = ObjectiveSwitches { wmp: false, scl: true, dnsp: false };
+        pt.switches = ObjectiveSwitches {
+            wmp: false,
+            scl: true,
+            dnsp: false,
+        };
         pt.dynamic_masking = dynamic;
         let trace = pretrain(&enc, &pt, &docs, 4, &mut rng);
         println!(
@@ -85,7 +89,10 @@ fn modality_ablation(bench: &BlockBench) {
         .map(|d| sw.time(|| classifier.predict(d, &mut rng)))
         .collect();
     let novis = bench.evaluate("text+layout", &preds, sw.mean_seconds());
-    println!("{}", render_block_table("modality ablation", &[full, novis]));
+    println!(
+        "{}",
+        render_block_table("modality ablation", &[full, novis])
+    );
 }
 
 fn main() {

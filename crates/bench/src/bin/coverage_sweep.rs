@@ -52,7 +52,12 @@ fn main() {
         // Self-trained model on the distant labels this coverage produces.
         let mut rng = seeded_rng(args.seed ^ (coverage.to_bits() as u64));
         let proto = NerModel::new(&mut rng, NerConfig::tiny(vocab.len()));
-        let cfg = SelfTrainingConfig { teacher_epochs: 8, iterations: 6, batch: 16, ..Default::default() };
+        let cfg = SelfTrainingConfig {
+            teacher_epochs: 8,
+            iterations: 6,
+            batch: 16,
+            ..Default::default()
+        };
         let out = self_train(&proto, &train, &validation, &cfg, &mut rng);
         let mut our_scorer = EntityScorer::new(scheme.num_classes());
         for block in &test {

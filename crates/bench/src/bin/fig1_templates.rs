@@ -17,7 +17,12 @@ fn main() {
     println!("Figure 1 — three different styles of resume templates (all content fictional)\n");
     for style in TemplateStyle::ALL {
         let labeled = render_resume(&mut rng, &record, style, 0.0);
-        println!("=== Template {:?} — {} tokens, {} page(s) ===", style, labeled.doc.num_tokens(), labeled.doc.num_pages());
+        println!(
+            "=== Template {:?} — {} tokens, {} page(s) ===",
+            style,
+            labeled.doc.num_tokens(),
+            labeled.doc.num_pages()
+        );
         // Render line by line with the block label in the margin.
         let mut line: Vec<&str> = Vec::new();
         let mut line_block = String::new();

@@ -19,13 +19,31 @@ fn describe(config: &ModelConfig, label: &str) {
     let enc = HierarchicalEncoder::new(&mut rng, config);
     let pt = Pretrainer::new(&mut rng, config, PretrainConfig::default());
     println!("--- {} ---", label);
-    println!("  sentence-level encoder : {} layers × {} heads × hidden {}", config.sent_layers, config.heads, config.hidden);
-    println!("  document-level encoder : {} layers × {} heads × hidden {}", config.doc_layers, config.heads, config.hidden);
-    println!("  layout embedding       : page {} + x/y {} buckets over [0,1000]", config.max_pages, config.coord_buckets);
-    println!("  visual region feature  : frozen CNN -> {} dims", config.visual_dim);
-    println!("  sentence cap           : {} tokens; document cap: {} sentences", config.max_sent_tokens, config.max_doc_sentences);
+    println!(
+        "  sentence-level encoder : {} layers × {} heads × hidden {}",
+        config.sent_layers, config.heads, config.hidden
+    );
+    println!(
+        "  document-level encoder : {} layers × {} heads × hidden {}",
+        config.doc_layers, config.heads, config.hidden
+    );
+    println!(
+        "  layout embedding       : page {} + x/y {} buckets over [0,1000]",
+        config.max_pages, config.coord_buckets
+    );
+    println!(
+        "  visual region feature  : frozen CNN -> {} dims",
+        config.visual_dim
+    );
+    println!(
+        "  sentence cap           : {} tokens; document cap: {} sentences",
+        config.max_sent_tokens, config.max_doc_sentences
+    );
     println!("  trainable parameters   : {}", enc.num_parameters());
-    println!("  pretrainer parameters  : {} (mask vector ĥ + bilinear W_d)", pt.num_parameters());
+    println!(
+        "  pretrainer parameters  : {} (mask vector ĥ + bilinear W_d)",
+        pt.num_parameters()
+    );
 }
 
 fn main() {
@@ -46,7 +64,10 @@ fn main() {
 
     describe(&ModelConfig::paper(21_128), "paper configuration (§V-A2)");
     describe(&ModelConfig::tiny(2_000), "tiny configuration (tests)");
-    describe(&ModelConfig::small(4_000), "small configuration (paper-scale experiments)");
+    describe(
+        &ModelConfig::small(4_000),
+        "small configuration (paper-scale experiments)",
+    );
 
     // Trace one real document through the model.
     let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
@@ -58,8 +79,15 @@ fn main() {
     let mut frng = seeded_rng(10);
     let out = enc.encode_document(&input, false, &mut frng);
     println!("\n--- forward trace on a generated resume ---");
-    println!("  document          : {} tokens, {} pages", r.doc.num_tokens(), r.doc.num_pages());
+    println!(
+        "  document          : {} tokens, {} pages",
+        r.doc.num_tokens(),
+        r.doc.num_pages()
+    );
     println!("  sentences         : {}", sentences.len());
-    println!("  sentence inputs   : ≤ {} pieces each (incl. [CLS])", config.max_sent_tokens);
+    println!(
+        "  sentence inputs   : ≤ {} pieces each (incl. [CLS])",
+        config.max_sent_tokens
+    );
     println!("  contextual output : {:?}", out.dims());
 }

@@ -15,8 +15,8 @@ use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use resuformer::data::{prepare_document, sentence_iob_labels};
 use resuformer::pretrain::ObjectiveSwitches;
-use resuformer_bench::{parse_args, BlockBench};
 use resuformer_baselines::prepare_token_doc;
+use resuformer_bench::{parse_args, BlockBench};
 use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
 use resuformer_datagen::{BlockType, LabeledResume};
 use resuformer_eval::Stopwatch;
@@ -79,7 +79,10 @@ fn describe_segmentation(name: &str, scheme: &resuformer_text::TagScheme, labels
 
 fn main() {
     let args = parse_args();
-    eprintln!("[fig3] building benchmark and training models ({:?})...", args.scale);
+    eprintln!(
+        "[fig3] building benchmark and training models ({:?})...",
+        args.scale
+    );
     let bench = BlockBench::new(args.scale, args.seed);
 
     let ours = bench.train_ours_model(ObjectiveSwitches::default(), true);
@@ -110,9 +113,10 @@ fn main() {
     describe_segmentation("Our Method", &bench.scheme, &pred_ours);
 
     // The two case-study phenomena.
-    let gold_awards_in_edu = sentences.iter().enumerate().filter(|(si, _)| {
-        bench.scheme.class_of(gold[*si]) == Some(BlockType::Awards.index())
-    });
+    let gold_awards_in_edu = sentences
+        .iter()
+        .enumerate()
+        .filter(|(si, _)| bench.scheme.class_of(gold[*si]) == Some(BlockType::Awards.index()));
     let n_awards_sentences = gold_awards_in_edu.count();
     println!("\nInlined scholarship sentences (gold Awards inside the education area): {n_awards_sentences}");
 

@@ -10,7 +10,10 @@ fn main() {
     let args = parse_args();
     let corpus = Corpus::generate(args.seed, args.scale);
 
-    println!("Table I — resume document dataset statistics (scale {:?}, seed {})\n", args.scale, args.seed);
+    println!(
+        "Table I — resume document dataset statistics (scale {:?}, seed {})\n",
+        args.scale, args.seed
+    );
     println!(
         "{:<22} | {:>12} | {:>10} | {:>12} | {:>10}",
         "", "Pre-training", "FT train", "FT validation", "FT test"

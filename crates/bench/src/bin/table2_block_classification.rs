@@ -10,7 +10,10 @@ fn main() {
     let mut per_seed: Vec<Vec<resuformer_bench::MethodBlockResult>> = Vec::new();
 
     for seed in args.seed_list() {
-        eprintln!("[table2] seed {seed}: building corpus and representations ({:?})...", args.scale);
+        eprintln!(
+            "[table2] seed {seed}: building corpus and representations ({:?})...",
+            args.scale
+        );
         let bench = BlockBench::new(args.scale, seed);
         eprintln!("[table2] BERT+CRF...");
         let bert = bench.run_bert_crf();

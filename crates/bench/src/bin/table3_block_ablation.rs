@@ -7,7 +7,10 @@ use resuformer_bench::{parse_args, BlockBench};
 
 fn main() {
     let args = parse_args();
-    eprintln!("[table3] building corpus and representations ({:?})...", args.scale);
+    eprintln!(
+        "[table3] building corpus and representations ({:?})...",
+        args.scale
+    );
     let bench = BlockBench::new(args.scale, args.seed);
 
     // The ablation runs in the paper's low-labeled-data regime ("fine-tune
@@ -45,7 +48,10 @@ fn main() {
     );
     eprintln!("[table3] w/o DNSP...");
     let wo_dnsp = bench.run_ours_low_resource(
-        ObjectiveSwitches { dnsp: false, ..full },
+        ObjectiveSwitches {
+            dnsp: false,
+            ..full
+        },
         true,
         n_train,
         epochs,

@@ -6,7 +6,10 @@ use resuformer_bench::{parse_args, NerBench};
 
 fn main() {
     let args = parse_args();
-    eprintln!("[table4] building distant-supervision datasets ({:?})...", args.scale);
+    eprintln!(
+        "[table4] building distant-supervision datasets ({:?})...",
+        args.scale
+    );
     let bench = NerBench::new(args.scale, args.seed);
     eprintln!(
         "[table4] train {} blocks / validation {} / test {}",

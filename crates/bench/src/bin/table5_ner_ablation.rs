@@ -6,7 +6,10 @@ use resuformer_bench::{parse_args, NerBench};
 
 fn main() {
     let args = parse_args();
-    eprintln!("[table5] building distant-supervision datasets ({:?})...", args.scale);
+    eprintln!(
+        "[table5] building distant-supervision datasets ({:?})...",
+        args.scale
+    );
     let bench = NerBench::new(args.scale, args.seed);
 
     eprintln!("[table5] Our Method (full)...");

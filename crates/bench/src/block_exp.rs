@@ -35,6 +35,9 @@ pub struct MethodBlockResult {
     pub per_tag: Vec<AreaMetrics>,
     /// Mean wall-clock seconds per resume at inference (Time/Resume row).
     pub seconds_per_resume: f64,
+    /// Latency percentiles `[p50, p95, p99]` in seconds, when per-resume
+    /// samples were collected (None for externally supplied means).
+    pub latency_percentiles: Option<[f64; 3]>,
 }
 
 /// Shared data + budgets for the block-classification experiments.
@@ -190,7 +193,22 @@ impl BlockBench {
             name: name.to_string(),
             per_tag: acc.all_metrics(),
             seconds_per_resume,
+            latency_percentiles: None,
         }
+    }
+
+    /// Like [`BlockBench::evaluate`], but sourcing the latency row from a
+    /// [`Stopwatch`] with one sample per test resume, so the table can
+    /// also report tail percentiles.
+    pub fn evaluate_with_latency(
+        &self,
+        name: &str,
+        predictions: &[Vec<usize>],
+        sw: &Stopwatch,
+    ) -> MethodBlockResult {
+        let mut result = self.evaluate(name, predictions, sw.mean_seconds());
+        result.latency_percentiles = Some([sw.p50_seconds(), sw.p95_seconds(), sw.p99_seconds()]);
+        result
     }
 
     // ------------------------------------------------------------------
@@ -206,12 +224,21 @@ impl BlockBench {
         if switches.wmp || switches.scl || switches.dnsp {
             let mut pt = Pretrainer::new(&mut rng, &self.config, PretrainConfig::default());
             pt.switches = switches;
-            pretrain(&encoder, &pt, &self.pretrain_inputs, self.budget.pretrain_epochs, &mut rng);
+            pretrain(
+                &encoder,
+                &pt,
+                &self.pretrain_inputs,
+                self.budget.pretrain_epochs,
+                &mut rng,
+            );
         }
 
         let classifier = BlockClassifier::new(&mut rng, &self.config, encoder);
         let gold = self.train_pairs();
-        let ft = FinetuneConfig { epochs: self.budget.finetune_epochs, ..Default::default() };
+        let ft = FinetuneConfig {
+            epochs: self.budget.finetune_epochs,
+            ..Default::default()
+        };
 
         if use_kd {
             // Algorithm 1: train the LayoutXLM teacher on the gold labels,
@@ -223,9 +250,11 @@ impl BlockBench {
                 .iter()
                 .map(|r| &r.doc)
                 .collect();
-            let unlabeled_prepared: Vec<DocumentInput> =
-                self.pretrain_inputs[..pool].to_vec();
-            let kd_cfg = FinetuneConfig { epochs: self.budget.kd_epochs, ..Default::default() };
+            let unlabeled_prepared: Vec<DocumentInput> = self.pretrain_inputs[..pool].to_vec();
+            let kd_cfg = FinetuneConfig {
+                epochs: self.budget.kd_epochs,
+                ..Default::default()
+            };
             distill_then_finetune(
                 &classifier,
                 &teacher,
@@ -250,9 +279,18 @@ impl BlockBench {
         encoder.modality.use_visual = false;
         let mut pt = Pretrainer::new(&mut rng, &self.config, PretrainConfig::default());
         pt.switches = ObjectiveSwitches::default();
-        pretrain(&encoder, &pt, &self.pretrain_inputs, self.budget.pretrain_epochs, &mut rng);
+        pretrain(
+            &encoder,
+            &pt,
+            &self.pretrain_inputs,
+            self.budget.pretrain_epochs,
+            &mut rng,
+        );
         let classifier = BlockClassifier::new(&mut rng, &self.config, encoder);
-        let ft = FinetuneConfig { epochs: self.budget.finetune_epochs, ..Default::default() };
+        let ft = FinetuneConfig {
+            epochs: self.budget.finetune_epochs,
+            ..Default::default()
+        };
         classifier.finetune(&self.train_pairs(), &ft, &mut rng);
         classifier
     }
@@ -263,7 +301,12 @@ impl BlockBench {
     }
 
     /// Our method: multi-modal pre-training → (optional) KD → fine-tuning.
-    pub fn run_ours(&self, switches: ObjectiveSwitches, use_kd: bool, name: &str) -> MethodBlockResult {
+    pub fn run_ours(
+        &self,
+        switches: ObjectiveSwitches,
+        use_kd: bool,
+        name: &str,
+    ) -> MethodBlockResult {
         let classifier = self.train_ours_model(switches, use_kd);
         self.evaluate_classifier(&classifier, name)
     }
@@ -285,7 +328,13 @@ impl BlockBench {
         if switches.wmp || switches.scl || switches.dnsp {
             let mut pt = Pretrainer::new(&mut rng, &self.config, PretrainConfig::default());
             pt.switches = switches;
-            pretrain(&encoder, &pt, &self.pretrain_inputs, self.budget.pretrain_epochs, &mut rng);
+            pretrain(
+                &encoder,
+                &pt,
+                &self.pretrain_inputs,
+                self.budget.pretrain_epochs,
+                &mut rng,
+            );
         }
         let classifier = BlockClassifier::new(&mut rng, &self.config, encoder);
         let gold: Vec<(&DocumentInput, &[usize])> = self
@@ -295,7 +344,10 @@ impl BlockBench {
             .take(n_train)
             .map(|(d, l)| (d, l.as_slice()))
             .collect();
-        let ft = FinetuneConfig { epochs, ..Default::default() };
+        let ft = FinetuneConfig {
+            epochs,
+            ..Default::default()
+        };
         if use_kd {
             let teacher = self.train_layoutxlm_low_resource(n_train, epochs, &mut rng);
             let pool = self.kd_pool.min(self.corpus.pretrain.len());
@@ -304,7 +356,10 @@ impl BlockBench {
                 .map(|r| &r.doc)
                 .collect();
             let unlabeled_prepared: Vec<DocumentInput> = self.pretrain_inputs[..pool].to_vec();
-            let kd_cfg = FinetuneConfig { epochs: self.budget.kd_epochs, ..Default::default() };
+            let kd_cfg = FinetuneConfig {
+                epochs: self.budget.kd_epochs,
+                ..Default::default()
+            };
             distill_then_finetune(
                 &classifier,
                 &teacher,
@@ -337,13 +392,20 @@ impl BlockBench {
             .take(n_train)
             .map(|(d, l)| (d, l.as_slice()))
             .collect();
-        let ft = FinetuneConfig { epochs, ..Default::default() };
+        let ft = FinetuneConfig {
+            epochs,
+            ..Default::default()
+        };
         model.finetune(&pairs, &ft, rng);
         model
     }
 
     /// Evaluate a trained classifier on the test split with timing.
-    pub fn evaluate_classifier(&self, classifier: &BlockClassifier, name: &str) -> MethodBlockResult {
+    pub fn evaluate_classifier(
+        &self,
+        classifier: &BlockClassifier,
+        name: &str,
+    ) -> MethodBlockResult {
         let mut sw = Stopwatch::new();
         let mut preds = Vec::with_capacity(self.test_inputs.len());
         let mut prng = seeded_rng(self.seed ^ 0xE7A1);
@@ -351,7 +413,7 @@ impl BlockBench {
             let p = sw.time(|| classifier.predict(doc, &mut prng));
             preds.push(p);
         }
-        self.evaluate(name, &preds, sw.mean_seconds())
+        self.evaluate_with_latency(name, &preds, &sw)
     }
 
     /// Train the LayoutXLM teacher/baseline (exposed for Figure 3).
@@ -365,7 +427,10 @@ impl BlockBench {
             .zip(self.train_labels.iter())
             .map(|(d, l)| (d, l.as_slice()))
             .collect();
-        let ft = FinetuneConfig { epochs: self.budget.finetune_epochs, ..Default::default() };
+        let ft = FinetuneConfig {
+            epochs: self.budget.finetune_epochs,
+            ..Default::default()
+        };
         model.finetune(&pairs, &ft, rng);
         model
     }
@@ -380,7 +445,7 @@ impl BlockBench {
         for doc in &self.test_tokendocs {
             preds.push(sw.time(|| model.predict_sentences(doc, &mut prng)));
         }
-        self.evaluate("LayoutXLM", &preds, sw.mean_seconds())
+        self.evaluate_with_latency("LayoutXLM", &preds, &sw)
     }
 
     /// The BERT+CRF baseline (token-level text-only, non-pre-trained).
@@ -393,7 +458,10 @@ impl BlockBench {
             .zip(self.train_labels.iter())
             .map(|(d, l)| (d, l.as_slice()))
             .collect();
-        let ft = FinetuneConfig { epochs: self.budget.finetune_epochs, ..Default::default() };
+        let ft = FinetuneConfig {
+            epochs: self.budget.finetune_epochs,
+            ..Default::default()
+        };
         model.finetune(&pairs, &ft, &mut rng);
         let mut sw = Stopwatch::new();
         let mut preds = Vec::new();
@@ -401,14 +469,17 @@ impl BlockBench {
         for doc in &self.test_tokendocs {
             preds.push(sw.time(|| model.predict_sentences(doc, &mut prng)));
         }
-        self.evaluate("BERT+CRF", &preds, sw.mean_seconds())
+        self.evaluate_with_latency("BERT+CRF", &preds, &sw)
     }
 
     /// The HiBERT+CRF baseline (hierarchical text-only).
     pub fn run_hibert(&self) -> MethodBlockResult {
         let mut rng = seeded_rng(self.seed ^ 0x41B7);
         let model = HiBertCrf::new(&mut rng, &self.config);
-        let ft = FinetuneConfig { epochs: self.budget.finetune_epochs, ..Default::default() };
+        let ft = FinetuneConfig {
+            epochs: self.budget.finetune_epochs,
+            ..Default::default()
+        };
         model.finetune(&self.train_pairs(), &ft, &mut rng);
         let mut sw = Stopwatch::new();
         let mut preds = Vec::new();
@@ -416,7 +487,7 @@ impl BlockBench {
         for doc in &self.test_inputs {
             preds.push(sw.time(|| model.predict(doc, &mut prng)));
         }
-        self.evaluate("HiBERT+CRF", &preds, sw.mean_seconds())
+        self.evaluate_with_latency("HiBERT+CRF", &preds, &sw)
     }
 
     /// The RoBERTa+GCN baseline (token-level, MLM warm-started + layout
@@ -424,14 +495,22 @@ impl BlockBench {
     pub fn run_roberta_gcn(&self) -> MethodBlockResult {
         let mut rng = seeded_rng(self.seed ^ 0x6C17);
         let model = RobertaGcn::new(&mut rng, &self.config, self.window);
-        model.pretrain(&self.pretrain_tokendocs, self.budget.mlm_epochs, 1e-3, &mut rng);
+        model.pretrain(
+            &self.pretrain_tokendocs,
+            self.budget.mlm_epochs,
+            1e-3,
+            &mut rng,
+        );
         let pairs: Vec<(&TokenDoc, &[usize])> = self
             .train_tokendocs
             .iter()
             .zip(self.train_labels.iter())
             .map(|(d, l)| (d, l.as_slice()))
             .collect();
-        let ft = FinetuneConfig { epochs: self.budget.finetune_epochs, ..Default::default() };
+        let ft = FinetuneConfig {
+            epochs: self.budget.finetune_epochs,
+            ..Default::default()
+        };
         model.finetune(&pairs, &ft, &mut rng);
         let mut sw = Stopwatch::new();
         let mut preds = Vec::new();
@@ -439,7 +518,7 @@ impl BlockBench {
         for doc in &self.test_tokendocs {
             preds.push(sw.time(|| model.predict_sentences(doc, &mut prng)));
         }
-        self.evaluate("RoBERTa+GCN", &preds, sw.mean_seconds())
+        self.evaluate_with_latency("RoBERTa+GCN", &preds, &sw)
     }
 }
 
@@ -463,6 +542,9 @@ pub fn render_block_table(title: &str, results: &[MethodBlockResult]) -> String 
     out.push_str("Time / Resume");
     for r in results {
         out.push_str(&format!("  | {}: {:.3}s", r.name, r.seconds_per_resume));
+        if let Some([p50, p95, p99]) = r.latency_percentiles {
+            out.push_str(&format!(" (p50 {p50:.3} / p95 {p95:.3} / p99 {p99:.3})"));
+        }
     }
     out.push('\n');
     out
@@ -527,12 +609,22 @@ mod tests {
             .iter()
             .map(|s| vec![b.scheme.begin(0); s.len()])
             .collect();
-        let res = vec![b.evaluate("M1", &o_preds, 0.5)];
+        let mut sw = Stopwatch::new();
+        for s in [0.4, 0.5, 0.6] {
+            sw.record(s);
+        }
+        let res = vec![
+            b.evaluate("M1", &o_preds, 0.5),
+            b.evaluate_with_latency("M2", &o_preds, &sw),
+        ];
         let table = render_block_table("Table II", &res);
         for t in BlockType::ALL {
             assert!(table.contains(t.name()), "{}", t.name());
         }
         assert!(table.contains("M1"));
         assert!(table.contains("Time / Resume"));
+        // M2 carries tail percentiles into the latency row; M1 does not.
+        assert!(table.contains("p50 0.500"), "missing percentiles: {table}");
+        assert!(table.contains("p99 0.600"), "missing percentiles: {table}");
     }
 }

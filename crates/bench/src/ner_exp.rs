@@ -99,7 +99,17 @@ impl NerBench {
             },
         };
 
-        NerBench { train, validation, test, vocab, scheme, dicts, budget, seed, ner_config }
+        NerBench {
+            train,
+            validation,
+            test,
+            vocab,
+            scheme,
+            dicts,
+            budget,
+            seed,
+            ner_config,
+        }
     }
 
     /// The NER model configuration for this scale.
@@ -130,7 +140,10 @@ impl NerBench {
             .enumerate()
             .map(|(ri, (_, et))| scorers[ri].class(et.index()))
             .collect();
-        MethodNerResult { name: name.to_string(), per_row }
+        MethodNerResult {
+            name: name.to_string(),
+            per_row,
+        }
     }
 
     fn predict_all<F>(&self, mut f: F) -> Vec<Vec<usize>>
@@ -183,7 +196,13 @@ impl NerBench {
 
     /// Our method: self-distillation self-training with the given ablation
     /// switches (all on = Table IV's "Our Method").
-    pub fn run_ours(&self, use_soft: bool, use_hcs: bool, use_sd: bool, name: &str) -> MethodNerResult {
+    pub fn run_ours(
+        &self,
+        use_soft: bool,
+        use_hcs: bool,
+        use_sd: bool,
+        name: &str,
+    ) -> MethodNerResult {
         let mut rng = seeded_rng(self.seed ^ 0x0525);
         let proto = NerModel::new(&mut rng, self.ner_config);
         let cfg = SelfTrainingConfig {
@@ -207,7 +226,11 @@ impl NerBench {
         let preds: Vec<Vec<usize>> = self
             .test
             .iter()
-            .map(|b| (0..b.gold_labels.len()).map(|_| rng.gen_range(0..n_labels)).collect())
+            .map(|b| {
+                (0..b.gold_labels.len())
+                    .map(|_| rng.gen_range(0..n_labels))
+                    .collect()
+            })
             .collect();
         self.evaluate("random", &preds)
     }

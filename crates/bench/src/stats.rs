@@ -15,7 +15,11 @@ pub fn mean_std(samples: &[f32]) -> (f32, f32) {
     }
     let n = samples.len() as f32;
     let mean = samples.iter().sum::<f32>() / n;
-    let var = samples.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let var = samples
+        .iter()
+        .map(|&v| (v - mean) * (v - mean))
+        .sum::<f32>()
+        / n;
     (mean, var.sqrt())
 }
 
@@ -48,7 +52,11 @@ pub fn aggregate_block_results(runs: &[MethodBlockResult]) -> AggregatedBlockRes
         })
         .collect();
     let secs: Vec<f32> = runs.iter().map(|r| r.seconds_per_resume as f32).collect();
-    AggregatedBlockResult { name, per_tag_f1, seconds_per_resume: mean_std(&secs) }
+    AggregatedBlockResult {
+        name,
+        per_tag_f1,
+        seconds_per_resume: mean_std(&secs),
+    }
 }
 
 /// Aggregated per-row F1 across seeds for one NER method.
@@ -125,9 +133,14 @@ mod tests {
         MethodBlockResult {
             name: name.into(),
             per_tag: (0..8)
-                .map(|_| AreaMetrics { precision: f1, recall: f1, f1 })
+                .map(|_| AreaMetrics {
+                    precision: f1,
+                    recall: f1,
+                    f1,
+                })
                 .collect(),
             seconds_per_resume: secs,
+            latency_percentiles: None,
         }
     }
 

@@ -2,19 +2,24 @@
 
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use resuformer::annotate::extract_blocks;
+use resuformer::annotate::{build_ner_dataset, extract_blocks};
 use resuformer::block_classifier::{BlockClassifier, FinetuneConfig};
 use resuformer::config::ModelConfig;
 use resuformer::data::{
-    block_tag_scheme, build_tokenizer, prepare_document, sentence_iob_labels, DocumentInput,
+    block_tag_scheme, build_tokenizer, entity_tag_scheme, prepare_document, sentence_iob_labels,
+    DocumentInput,
 };
 use resuformer::encoder::HierarchicalEncoder;
+use resuformer::model_io::{load_bundle, load_model, save_bundle, save_model, NerArtifacts};
+use resuformer::ner::{NerConfig, NerModel};
 use resuformer::pipeline::{rule_based_entities, segment_blocks};
 use resuformer_datagen::corpus::CorpusStats;
 use resuformer_datagen::generator::{generate_resume, LabeledResume};
 use resuformer_datagen::{BlockType, Dictionaries, DictionaryConfig, Scale};
-
-use crate::model_io::{load_model, save_model};
+use resuformer_eval::Stopwatch;
+use resuformer_nn::{Adam, Module};
+use resuformer_serve::{ModelRegistry, ServeConfig, Server};
+use resuformer_text::Vocab;
 
 /// Parsed CLI options (shared by all subcommands).
 pub struct Options {
@@ -23,13 +28,20 @@ pub struct Options {
     model: Option<String>,
     count: usize,
     index: usize,
+    all: bool,
     epochs: usize,
+    ner_epochs: usize,
     scale: Scale,
     seed: u64,
+    host: String,
+    port: u16,
+    workers: usize,
+    max_batch: usize,
+    max_wait_ms: u64,
 }
 
 impl Options {
-    /// Parse `--flag value` pairs.
+    /// Parse `--flag value` pairs (plus the boolean `--all`).
     pub fn parse(args: &[String]) -> Result<Options, String> {
         let mut o = Options {
             data: None,
@@ -37,13 +49,27 @@ impl Options {
             model: None,
             count: 3,
             index: 0,
+            all: false,
             epochs: 8,
+            ner_epochs: 0,
             scale: Scale::Smoke,
             seed: 42,
+            host: "127.0.0.1".to_string(),
+            port: 8080,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(2),
+            max_batch: 8,
+            max_wait_ms: 20,
         };
         let mut i = 0;
         while i < args.len() {
             let flag = &args[i];
+            if flag == "--all" {
+                o.all = true;
+                i += 1;
+                continue;
+            }
             let value = args
                 .get(i + 1)
                 .ok_or_else(|| format!("{flag} needs a value"))?;
@@ -54,7 +80,15 @@ impl Options {
                 "--count" => o.count = value.parse().map_err(|_| "bad --count")?,
                 "--index" => o.index = value.parse().map_err(|_| "bad --index")?,
                 "--epochs" => o.epochs = value.parse().map_err(|_| "bad --epochs")?,
+                "--ner-epochs" => o.ner_epochs = value.parse().map_err(|_| "bad --ner-epochs")?,
                 "--seed" => o.seed = value.parse().map_err(|_| "bad --seed")?,
+                "--host" => o.host = value.clone(),
+                "--port" => o.port = value.parse().map_err(|_| "bad --port")?,
+                "--workers" => o.workers = value.parse().map_err(|_| "bad --workers")?,
+                "--max-batch" => o.max_batch = value.parse().map_err(|_| "bad --max-batch")?,
+                "--max-wait-ms" => {
+                    o.max_wait_ms = value.parse().map_err(|_| "bad --max-wait-ms")?
+                }
                 "--scale" => {
                     o.scale = match value.as_str() {
                         "smoke" => Scale::Smoke,
@@ -70,7 +104,9 @@ impl Options {
     }
 
     fn data(&self) -> Result<&str, String> {
-        self.data.as_deref().ok_or_else(|| "--data is required".to_string())
+        self.data
+            .as_deref()
+            .ok_or_else(|| "--data is required".to_string())
     }
 
     fn load_resumes(&self) -> Result<Vec<LabeledResume>, String> {
@@ -80,9 +116,13 @@ impl Options {
     }
 
     fn pick<'a>(&self, resumes: &'a [LabeledResume]) -> Result<&'a LabeledResume, String> {
-        resumes
-            .get(self.index)
-            .ok_or_else(|| format!("--index {} out of range ({} documents)", self.index, resumes.len()))
+        resumes.get(self.index).ok_or_else(|| {
+            format!(
+                "--index {} out of range ({} documents)",
+                self.index,
+                resumes.len()
+            )
+        })
     }
 }
 
@@ -110,7 +150,9 @@ pub fn train(o: &Options) -> Result<(), String> {
         return Err("no documents in --data".into());
     }
     let wp = build_tokenizer(
-        resumes.iter().flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
+        resumes
+            .iter()
+            .flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
         1,
     );
     let config = ModelConfig::tiny(wp.vocab.len());
@@ -132,7 +174,10 @@ pub fn train(o: &Options) -> Result<(), String> {
         prepared.iter().map(|(d, l)| (d, l.as_slice())).collect();
     let trace = classifier.finetune(
         &pairs,
-        &FinetuneConfig { epochs: o.epochs, ..Default::default() },
+        &FinetuneConfig {
+            epochs: o.epochs,
+            ..Default::default()
+        },
         &mut rng,
     );
     println!(
@@ -142,15 +187,68 @@ pub fn train(o: &Options) -> Result<(), String> {
         trace.first().copied().unwrap_or(0.0),
         trace.last().copied().unwrap_or(0.0)
     );
-    save_model(model_path, &classifier, &config, &wp, init_seed)?;
+    if o.ner_epochs > 0 {
+        // Stage 2: distantly-supervised NER (Algorithm 2's teacher pass),
+        // bundled into the same file so `serve` gets neural extraction.
+        let word_vocab = Vocab::build(
+            resumes
+                .iter()
+                .flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
+            1,
+        );
+        let dicts = Dictionaries::build(DictionaryConfig::default());
+        let entity_scheme = entity_tag_scheme();
+        let dataset = build_ner_dataset(&resumes, &dicts, &word_vocab, &entity_scheme, false);
+        let ner_seed = o.seed ^ 0x4E52;
+        let mut nrng = ChaCha8Rng::seed_from_u64(ner_seed);
+        let ner = NerModel::new(&mut nrng, NerConfig::tiny(word_vocab.len()));
+        let mut opt = Adam::new(ner.parameters(), 2e-3, 0.0);
+        for _ in 0..o.ner_epochs {
+            for block in &dataset {
+                if block.token_ids.is_empty() {
+                    continue;
+                }
+                opt.zero_grad();
+                let loss = ner.loss(&block.token_ids, &block.distant_labels, &mut nrng);
+                loss.backward();
+                opt.clip_grad_norm(5.0);
+                opt.step();
+            }
+        }
+        println!(
+            "trained NER stage on {} blocks for {} epochs",
+            dataset.len(),
+            o.ner_epochs
+        );
+        let artifacts = NerArtifacts {
+            model: &ner,
+            config: ner.config(),
+            vocab: &word_vocab,
+            init_seed: ner_seed,
+        };
+        save_bundle(
+            model_path,
+            &classifier,
+            &config,
+            &wp,
+            init_seed,
+            Some(&artifacts),
+        )?;
+    } else {
+        save_model(model_path, &classifier, &config, &wp, init_seed)?;
+    }
     println!("saved model to {model_path}");
     Ok(())
 }
 
-/// `parse`: segment a document with a trained model.
+/// `parse`: segment a document with a trained model; with `--all`, batch
+/// parse the whole file through the end-to-end pipeline.
 pub fn parse(o: &Options) -> Result<(), String> {
     let model_path = o.model.as_deref().ok_or("--model is required")?;
     let resumes = o.load_resumes()?;
+    if o.all {
+        return parse_all(o, &resumes, model_path);
+    }
     let target = o.pick(&resumes)?;
     let (classifier, config, wp) = load_model(model_path)?;
     let scheme = block_tag_scheme();
@@ -172,11 +270,112 @@ pub fn parse(o: &Options) -> Result<(), String> {
     for (start, end, class) in segment_blocks(&scheme, &labels) {
         let words: Vec<String> = sentences[start..end]
             .iter()
-            .flat_map(|s| s.token_indices.iter().map(|&i| target.doc.tokens[i].text.clone()))
+            .flat_map(|s| {
+                s.token_indices
+                    .iter()
+                    .map(|&i| target.doc.tokens[i].text.clone())
+            })
             .take(12)
             .collect();
-        println!("  [{:8}] sentences {start:3}..{end:3}: {} ...", BlockType::ALL[class].name(), words.join(" "));
+        println!(
+            "  [{:8}] sentences {start:3}..{end:3}: {} ...",
+            BlockType::ALL[class].name(),
+            words.join(" ")
+        );
     }
+    Ok(())
+}
+
+/// `parse --all`: run the full parser over every document in `--data`
+/// through the batched entry point, with a per-document latency summary.
+fn parse_all(o: &Options, resumes: &[LabeledResume], model_path: &str) -> Result<(), String> {
+    if resumes.is_empty() {
+        return Err("no documents in --data".into());
+    }
+    let bundle = load_bundle(model_path)?;
+    let neural_ner = bundle.ner.is_some();
+    let parser = bundle.into_parser();
+    let docs: Vec<resuformer_doc::Document> = resumes.iter().map(|r| r.doc.clone()).collect();
+
+    let t0 = std::time::Instant::now();
+    let parsed = parser.parse_documents(&docs, o.seed);
+    let total = t0.elapsed().as_secs_f64();
+
+    let mut sw = Stopwatch::new();
+    for (i, p) in parsed.iter().enumerate() {
+        let seconds = p.classify_seconds + p.extract_seconds;
+        sw.record(seconds);
+        let entities: usize = p.blocks.iter().map(|b| b.entities.len()).sum();
+        println!(
+            "  doc {i:3}: {:2} blocks, {:3} entities ({:.3}s)",
+            p.blocks.len(),
+            entities,
+            seconds
+        );
+    }
+    println!(
+        "parsed {} documents in {:.2}s with {} entity extraction",
+        docs.len(),
+        total,
+        if neural_ner { "neural" } else { "rule-based" }
+    );
+    println!(
+        "per-document seconds: mean {:.3} | p50 {:.3} | p95 {:.3} | p99 {:.3}",
+        sw.mean_seconds(),
+        sw.p50_seconds(),
+        sw.p95_seconds(),
+        sw.p99_seconds()
+    );
+    Ok(())
+}
+
+/// `serve`: run the micro-batching HTTP inference server until SIGINT.
+pub fn serve(o: &Options) -> Result<(), String> {
+    let model_path = o.model.as_deref().ok_or("--model is required")?;
+    resuformer_serve::install_sigint_handler();
+    let registry = std::sync::Arc::new(ModelRegistry::load(model_path)?);
+    println!(
+        "loaded {model_path}: vocab {}, hidden {}, entity extraction: {}",
+        registry.info.vocab_size,
+        registry.info.hidden,
+        if registry.info.has_ner {
+            "neural"
+        } else {
+            "rule-based"
+        }
+    );
+    let server = Server::start(
+        registry,
+        ServeConfig {
+            addr: format!("{}:{}", o.host, o.port),
+            max_batch: o.max_batch,
+            max_wait_ms: o.max_wait_ms,
+            workers: o.workers,
+        },
+    )?;
+    println!(
+        "listening on http://{} ({} workers, max batch {}, window {}ms)",
+        server.local_addr(),
+        o.workers,
+        o.max_batch,
+        o.max_wait_ms
+    );
+    println!("  GET  /healthz      model metadata");
+    println!("  GET  /metrics      counters and latency percentiles");
+    println!("  POST /parse        Document JSON -> ParsedResume JSON");
+    println!("  POST /parse_batch  [Document] -> [ParsedResume]");
+    println!("press Ctrl-C to drain in-flight requests and stop");
+    while !resuformer_serve::sigint_received() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    println!("\nSIGINT received, draining...");
+    let metrics = server.metrics();
+    server.shutdown();
+    let s = metrics.snapshot();
+    println!(
+        "served {} requests in {} batches (mean batch size {:.2}, {} errors)",
+        s.requests, s.batches, s.mean_batch_size, s.errors
+    );
     Ok(())
 }
 
@@ -227,8 +426,23 @@ mod tests {
         assert_eq!(o.count, 5);
         assert_eq!(o.seed, 9);
         assert_eq!(o.scale, Scale::Paper);
+        assert!(!o.all);
         assert!(Options::parse(&["--bogus".into(), "1".into()]).is_err());
         assert!(Options::parse(&["--count".into()]).is_err());
+
+        // --all is a boolean flag: it takes no value and can sit between
+        // `--flag value` pairs.
+        let o = Options::parse(&[
+            "--all".into(),
+            "--port".into(),
+            "9000".into(),
+            "--max-wait-ms".into(),
+            "5".into(),
+        ])
+        .unwrap();
+        assert!(o.all);
+        assert_eq!(o.port, 9000);
+        assert_eq!(o.max_wait_ms, 5);
     }
 
     #[test]
@@ -268,6 +482,10 @@ mod tests {
         o.data = Some(data_s.clone());
         o.model = Some(model_s.clone());
         train(&o).unwrap();
+        parse(&o).unwrap();
+
+        // The same saved bundle drives the batched `--all` path.
+        o.all = true;
         parse(&o).unwrap();
 
         std::fs::remove_file(&data).ok();

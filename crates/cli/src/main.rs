@@ -2,19 +2,20 @@
 //!
 //! ```text
 //! resuformer-cli generate --count 3 --out resumes.json [--scale paper] [--seed 7]
-//! resuformer-cli train    --data resumes.json --model model.bin [--epochs 8]
-//! resuformer-cli parse    --data resumes.json --model model.bin [--index 0]
+//! resuformer-cli train    --data resumes.json --model model.bin [--epochs 8] [--ner-epochs 4]
+//! resuformer-cli parse    --data resumes.json --model model.bin [--index 0 | --all]
+//! resuformer-cli serve    --model model.bin [--port 8080] [--workers 2]
 //! resuformer-cli rules    --data resumes.json [--index 0]
 //! resuformer-cli stats    --data resumes.json
 //! ```
 //!
 //! Documents travel as JSON (`LabeledResume` with full ground truth when
 //! generated here; only the `doc` field is consulted when parsing). Models
-//! persist through the workspace's byte format plus a JSON sidecar holding
-//! the tokenizer vocabulary, so a saved model is self-contained.
+//! persist through `resuformer::model_io`'s versioned byte format — a JSON
+//! header embedding the tokenizer vocabulary plus the weight bytes, with
+//! an optional NER stage — so a saved model is self-contained.
 
 mod commands;
-mod model_io;
 
 use std::process::ExitCode;
 
@@ -35,6 +36,7 @@ fn main() -> ExitCode {
         "generate" => commands::generate(&opts),
         "train" => commands::train(&opts),
         "parse" => commands::parse(&opts),
+        "serve" => commands::serve(&opts),
         "rules" => commands::rules(&opts),
         "stats" => commands::stats(&opts),
         "inspect" => commands::inspect(&opts),
@@ -57,19 +59,28 @@ USAGE:
 
 COMMANDS:
     generate   generate synthetic resumes to --out (JSON)
-    train      train a block classifier on --data, save to --model
+    train      train a block classifier (and optionally the NER stage)
+               on --data, save to --model
     parse      parse a document from --data with a trained --model
+    serve      run the HTTP micro-batching inference server on --model
     rules      rule-based entity extraction (no model needed)
     stats      corpus statistics of --data
     inspect    confusion matrix of a trained --model on --data
 
 OPTIONS:
-    --data <FILE>     input resumes JSON
-    --out <FILE>      output file
-    --model <FILE>    model file (train: write; parse: read)
-    --count <N>       number of resumes to generate [default: 3]
-    --index <N>       document index within --data [default: 0]
-    --epochs <N>      training epochs [default: 8]
-    --scale <S>       smoke|paper generation profile [default: smoke]
-    --seed <N>        RNG seed [default: 42]"
+    --data <FILE>       input resumes JSON
+    --out <FILE>        output file
+    --model <FILE>      model file (train: write; parse/serve: read)
+    --count <N>         number of resumes to generate [default: 3]
+    --index <N>         document index within --data [default: 0]
+    --all               parse: batch-parse every document in --data
+    --epochs <N>        classifier training epochs [default: 8]
+    --ner-epochs <N>    also train the NER stage for N epochs [default: 0]
+    --scale <S>         smoke|paper generation profile [default: smoke]
+    --seed <N>          RNG seed [default: 42]
+    --host <ADDR>       serve: bind host [default: 127.0.0.1]
+    --port <N>          serve: bind port [default: 8080]
+    --workers <N>       serve: worker threads [default: #cores, max 4]
+    --max-batch <N>     serve: largest micro-batch [default: 8]
+    --max-wait-ms <N>   serve: batching window in ms [default: 20]"
 }

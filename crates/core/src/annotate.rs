@@ -56,7 +56,10 @@ pub fn extract_blocks(resume: &LabeledResume) -> Vec<(BlockType, Vec<usize>)> {
             _ => blocks.push((key, vec![i])),
         }
     }
-    blocks.into_iter().map(|((ty, _), idxs)| (ty, idxs)).collect()
+    blocks
+        .into_iter()
+        .map(|((ty, _), idxs)| (ty, idxs))
+        .collect()
 }
 
 /// Gold IOB labels for a token-index run, from the generator ground truth.
@@ -91,18 +94,19 @@ pub fn distant_labels(
     let refs: Vec<&str> = tokens.iter().map(|s| s.as_str()).collect();
     let mut taken = vec![false; tokens.len()];
     let mut spans: Vec<Span> = Vec::new();
-    let claim = |start: usize, end: usize, class: usize, taken: &mut [bool], spans: &mut Vec<Span>| {
-        if end <= start || end > taken.len() {
-            return;
-        }
-        if taken[start..end].iter().any(|&t| t) {
-            return;
-        }
-        for t in &mut taken[start..end] {
-            *t = true;
-        }
-        spans.push(Span::new(start, end, class));
-    };
+    let claim =
+        |start: usize, end: usize, class: usize, taken: &mut [bool], spans: &mut Vec<Span>| {
+            if end <= start || end > taken.len() {
+                return;
+            }
+            if taken[start..end].iter().any(|&t| t) {
+                return;
+            }
+            for t in &mut taken[start..end] {
+                *t = true;
+            }
+            spans.push(Span::new(start, end, class));
+        };
 
     // 1) Pattern matchers: email, phone, date ranges.
     for (i, tok) in refs.iter().enumerate() {
@@ -110,11 +114,23 @@ pub fn distant_labels(
             claim(i, i + 1, EntityType::Email.index(), &mut taken, &mut spans);
         } else if matchers::is_phone(tok) && tok.chars().filter(|c| c.is_ascii_digit()).count() >= 7
         {
-            claim(i, i + 1, EntityType::PhoneNum.index(), &mut taken, &mut spans);
+            claim(
+                i,
+                i + 1,
+                EntityType::PhoneNum.index(),
+                &mut taken,
+                &mut spans,
+            );
         }
     }
     for range in matchers::find_date_ranges(&refs) {
-        claim(range.start, range.end, EntityType::Date.index(), &mut taken, &mut spans);
+        claim(
+            range.start,
+            range.end,
+            EntityType::Date.index(),
+            &mut taken,
+            &mut spans,
+        );
     }
 
     // 2) Dictionary matching.
@@ -134,7 +150,10 @@ pub fn distant_labels(
                 let mut end = i + 1;
                 if end < refs.len()
                     && !taken[end]
-                    && refs[end].chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                    && refs[end]
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_uppercase())
                     && refs[end].chars().all(|c| c.is_ascii_alphabetic())
                 {
                     end += 1;
@@ -149,9 +168,8 @@ pub fn distant_labels(
             if taken[i] || !matchers::is_age_value(refs[i]) {
                 continue;
             }
-            let has_prefix = i >= 2
-                && refs[i - 1] == ":"
-                && refs[i - 2].eq_ignore_ascii_case("age");
+            let has_prefix =
+                i >= 2 && refs[i - 1] == ":" && refs[i - 2].eq_ignore_ascii_case("age");
             let has_suffix = i + 2 < refs.len()
                 && refs[i + 1].eq_ignore_ascii_case("years")
                 && refs[i + 2].eq_ignore_ascii_case("old");
@@ -226,7 +244,14 @@ mod tests {
     fn matcher_classes_label_correctly() {
         let dicts = Dictionaries::build(DictionaryConfig { coverage: 1.0 });
         let scheme = entity_tag_scheme();
-        let toks = strs(&["Email", ":", "li.wei3@example.com", "Phone", ":", "13812345678"]);
+        let toks = strs(&[
+            "Email",
+            ":",
+            "li.wei3@example.com",
+            "Phone",
+            ":",
+            "13812345678",
+        ]);
         let labels = distant_labels(&toks, BlockType::PInfo, &dicts, &scheme);
         let spans = decode_spans(&scheme, &labels);
         assert_eq!(spans.len(), 2);
@@ -239,7 +264,13 @@ mod tests {
         let dicts = Dictionaries::build(DictionaryConfig { coverage: 1.0 });
         let scheme = entity_tag_scheme();
         let toks = strs(&[
-            "2018.09", "-", "2022.06", "Northlake", "University", "Computer", "Science",
+            "2018.09",
+            "-",
+            "2022.06",
+            "Northlake",
+            "University",
+            "Computer",
+            "Science",
             "Bachelor",
         ]);
         let labels = distant_labels(&toks, BlockType::EduExp, &dicts, &scheme);
@@ -277,15 +308,29 @@ mod tests {
     #[test]
     fn incomplete_dictionary_misses_entities() {
         let scheme = entity_tag_scheme();
-        let toks = strs(&["Skyline", "University", "of", "Science", "and", "Technology"]);
+        let toks = strs(&[
+            "Skyline",
+            "University",
+            "of",
+            "Science",
+            "and",
+            "Technology",
+        ]);
         let full = Dictionaries::build(DictionaryConfig { coverage: 1.0 });
         let sparse = Dictionaries::build(DictionaryConfig { coverage: 0.2 });
-        let full_spans = decode_spans(&scheme, &distant_labels(&toks, BlockType::EduExp, &full, &scheme));
-        let sparse_spans =
-            decode_spans(&scheme, &distant_labels(&toks, BlockType::EduExp, &sparse, &scheme));
+        let full_spans = decode_spans(
+            &scheme,
+            &distant_labels(&toks, BlockType::EduExp, &full, &scheme),
+        );
+        let sparse_spans = decode_spans(
+            &scheme,
+            &distant_labels(&toks, BlockType::EduExp, &sparse, &scheme),
+        );
         assert!(!full_spans.is_empty());
         // "Skyline" is the last college stem — outside 20% coverage.
-        assert!(sparse_spans.iter().all(|s| s.class != EntityType::College.index()));
+        assert!(sparse_spans
+            .iter()
+            .all(|s| s.class != EntityType::College.index()));
     }
 
     #[test]
@@ -369,7 +414,7 @@ pub fn augment_dataset(
     vocab: &resuformer_text::Vocab,
     rng: &mut impl rand::Rng,
 ) -> Vec<AnnotatedBlock> {
-    use resuformer_datagen::augment::{replace_mentions, reorder_entities, NerInstance};
+    use resuformer_datagen::augment::{reorder_entities, replace_mentions, NerInstance};
 
     let scheme = crate::data::entity_tag_scheme();
     let mut out = Vec::with_capacity(blocks.len() * (1 + copies_per_block));
@@ -379,9 +424,16 @@ pub fn augment_dataset(
         let labels: Vec<Option<resuformer_datagen::EntityType>> = block
             .distant_labels
             .iter()
-            .map(|&l| scheme.class_of(l).map(|c| resuformer_datagen::EntityType::ALL[c]))
+            .map(|&l| {
+                scheme
+                    .class_of(l)
+                    .map(|c| resuformer_datagen::EntityType::ALL[c])
+            })
             .collect();
-        let inst = NerInstance { tokens: block.tokens.clone(), labels };
+        let inst = NerInstance {
+            tokens: block.tokens.clone(),
+            labels,
+        };
         for _ in 0..copies_per_block {
             let replaced = replace_mentions(rng, &inst, 0.5);
             let shuffled = if rng.gen_bool(0.3) {
@@ -438,7 +490,9 @@ mod augment_tests {
         let dicts = Dictionaries::build(DictionaryConfig { coverage: 1.0 });
         let scheme = entity_tag_scheme();
         let vocab = Vocab::build(
-            resumes.iter().flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
+            resumes
+                .iter()
+                .flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
             1,
         );
         let base = build_ner_dataset(&resumes, &dicts, &vocab, &scheme, true);

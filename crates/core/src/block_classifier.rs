@@ -10,8 +10,8 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use resuformer_nn::linear::Activation;
 use resuformer_nn::{Adam, BiLstm, Crf, Mlp, Module};
-use resuformer_text::TagScheme;
 use resuformer_tensor::Tensor;
+use resuformer_text::TagScheme;
 
 use crate::config::ModelConfig;
 use crate::data::{block_tag_scheme, DocumentInput};
@@ -34,7 +34,12 @@ impl Default for FinetuneConfig {
     fn default() -> Self {
         // The paper uses 5e-5 / 1e-3 at 768-wide scale; the CPU-scale
         // models train with proportionally larger rates.
-        FinetuneConfig { lr_encoder: 2e-3, lr_head: 5e-3, weight_decay: 0.01, epochs: 6 }
+        FinetuneConfig {
+            lr_encoder: 2e-3,
+            lr_head: 5e-3,
+            weight_decay: 0.01,
+            epochs: 6,
+        }
     }
 }
 
@@ -61,7 +66,13 @@ impl BlockClassifier {
             Activation::Tanh,
         );
         let crf = Crf::new(rng, scheme.num_labels());
-        BlockClassifier { encoder, bilstm, mlp, crf, scheme }
+        BlockClassifier {
+            encoder,
+            bilstm,
+            mlp,
+            crf,
+            scheme,
+        }
     }
 
     /// The IOB tag scheme.
@@ -107,7 +118,11 @@ impl BlockClassifier {
         config: &FinetuneConfig,
         rng: &mut impl Rng,
     ) -> Vec<f32> {
-        let mut enc_opt = Adam::new(self.encoder.parameters(), config.lr_encoder, config.weight_decay);
+        let mut enc_opt = Adam::new(
+            self.encoder.parameters(),
+            config.lr_encoder,
+            config.weight_decay,
+        );
         let mut head_opt = Adam::new(self.head_parameters(), config.lr_head, config.weight_decay);
         let mut trace = Vec::with_capacity(config.epochs);
         for _ in 0..config.epochs {
@@ -158,7 +173,9 @@ mod tests {
             .map(|_| generate_resume(&mut rng, &GeneratorConfig::smoke()))
             .collect();
         let wp = build_tokenizer(
-            resumes.iter().flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
+            resumes
+                .iter()
+                .flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
             1,
         );
         let config = ModelConfig::tiny(wp.vocab.len());
@@ -206,7 +223,10 @@ mod tests {
         let mut rng = seeded_rng(25);
         let (doc, labels) = &data[0];
         let pairs: Vec<(&DocumentInput, &[usize])> = vec![(doc, labels.as_slice())];
-        let cfg = FinetuneConfig { epochs: 30, ..Default::default() };
+        let cfg = FinetuneConfig {
+            epochs: 30,
+            ..Default::default()
+        };
         let trace = clf.finetune(&pairs, &cfg, &mut rng);
         assert!(
             trace.last().unwrap() < &(trace[0] * 0.2),
@@ -215,7 +235,11 @@ mod tests {
             trace.last().unwrap()
         );
         let pred = clf.predict(doc, &mut rng);
-        let correct = pred.iter().zip(labels.iter()).filter(|(a, b)| a == b).count();
+        let correct = pred
+            .iter()
+            .zip(labels.iter())
+            .filter(|(a, b)| a == b)
+            .count();
         let acc = correct as f32 / labels.len() as f32;
         assert!(acc > 0.9, "sentence label accuracy {} too low", acc);
     }

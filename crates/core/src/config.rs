@@ -94,7 +94,10 @@ impl ModelConfig {
     /// Validate divisibility constraints; call after any manual edits.
     pub fn validate(&self) {
         assert!(self.hidden % self.heads == 0, "hidden must divide by heads");
-        assert!(self.hidden % 8 == 0, "hidden must divide by 8 (layout split)");
+        assert!(
+            self.hidden % 8 == 0,
+            "hidden must divide by 8 (layout split)"
+        );
         assert!(self.vocab_size > 5, "vocab must include specials");
         assert!(self.max_sent_tokens >= 4 && self.max_doc_sentences >= 2);
     }

@@ -3,7 +3,7 @@
 
 use resuformer_datagen::{BlockType, EntityType, LabeledResume};
 use resuformer_doc::{
-    concat_sentences, normalize_bbox, rasterize_sentence, LayoutTuple, Document, Sentence,
+    concat_sentences, normalize_bbox, rasterize_sentence, Document, LayoutTuple, Sentence,
     SentenceConfig,
 };
 use resuformer_text::vocab::CLS;
@@ -175,7 +175,10 @@ mod tests {
             assert_eq!(s.token_ids.len(), s.token_layouts.len());
             assert!(s.token_ids.len() <= config.max_sent_tokens);
             assert_eq!(s.token_ids[0], CLS);
-            assert_eq!(s.patch.len(), resuformer_doc::raster::PATCH_H * resuformer_doc::raster::PATCH_W);
+            assert_eq!(
+                s.patch.len(),
+                resuformer_doc::raster::PATCH_H * resuformer_doc::raster::PATCH_W
+            );
             for l in &s.token_layouts {
                 assert!(l.x_max <= 1000 && l.y_max <= 1000);
             }

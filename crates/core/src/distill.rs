@@ -47,11 +47,7 @@ pub fn distill_then_finetune(
         .filter(|(_, d)| !d.is_empty())
         .map(|(i, d)| {
             let labels = teacher.pseudo_labels(unlabeled_raw[i]);
-            assert_eq!(
-                labels.len(),
-                d.len(),
-                "teacher must label every sentence"
-            );
+            assert_eq!(labels.len(), d.len(), "teacher must label every sentence");
             (i, labels)
         })
         .collect();
@@ -103,7 +99,9 @@ mod tests {
             .map(|_| generate_resume(&mut rng, &GeneratorConfig::smoke()))
             .collect();
         let wp = build_tokenizer(
-            resumes.iter().flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
+            resumes
+                .iter()
+                .flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
             1,
         );
         let config = ModelConfig::tiny(wp.vocab.len());
@@ -136,8 +134,14 @@ mod tests {
         let gold: Vec<(&DocumentInput, &[usize])> =
             vec![(&prepared[0].0, prepared[0].1.as_slice())];
 
-        let pseudo_cfg = FinetuneConfig { epochs: 15, ..Default::default() };
-        let gold_cfg = FinetuneConfig { epochs: 2, ..Default::default() };
+        let pseudo_cfg = FinetuneConfig {
+            epochs: 15,
+            ..Default::default()
+        };
+        let gold_cfg = FinetuneConfig {
+            epochs: 2,
+            ..Default::default()
+        };
         let (pseudo_trace, gold_trace) = distill_then_finetune(
             &clf,
             &teacher,

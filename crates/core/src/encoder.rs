@@ -13,8 +13,8 @@
 //!   objectives need.
 
 use rand::Rng;
-use resuformer_nn::{Embedding, Linear, Module, TransformerEncoder};
 use resuformer_doc::LayoutTuple;
+use resuformer_nn::{Embedding, Linear, Module, TransformerEncoder};
 use resuformer_tensor::ops;
 use resuformer_tensor::{NdArray, Tensor};
 
@@ -35,7 +35,10 @@ pub struct ModalityConfig {
 
 impl Default for ModalityConfig {
     fn default() -> Self {
-        ModalityConfig { use_visual: true, use_layout: true }
+        ModalityConfig {
+            use_visual: true,
+            use_layout: true,
+        }
     }
 }
 
@@ -287,7 +290,10 @@ mod tests {
         let (input, config) = sample_input();
         let enc = HierarchicalEncoder::new(&mut seeded_rng(2), &config);
         let mut rng = seeded_rng(3);
-        let h = enc.sentence.encode(&input.sentences[0], false, &mut rng).value();
+        let h = enc
+            .sentence
+            .encode(&input.sentences[0], false, &mut rng)
+            .value();
         let norm: f32 = h.data().iter().map(|&v| v * v).sum::<f32>().sqrt();
         assert!((norm - 1.0).abs() < 1e-4, "norm {}", norm);
     }
@@ -306,9 +312,13 @@ mod tests {
     fn disabling_visual_changes_output() {
         let (input, config) = sample_input();
         let mut enc = HierarchicalEncoder::new(&mut seeded_rng(6), &config);
-        let a = enc.encode_document(&input, false, &mut seeded_rng(0)).value();
+        let a = enc
+            .encode_document(&input, false, &mut seeded_rng(0))
+            .value();
         enc.modality.use_visual = false;
-        let b = enc.encode_document(&input, false, &mut seeded_rng(0)).value();
+        let b = enc
+            .encode_document(&input, false, &mut seeded_rng(0))
+            .value();
         assert_ne!(a.data(), b.data(), "visual modality must affect the output");
     }
 

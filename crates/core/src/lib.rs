@@ -38,6 +38,7 @@ pub mod data;
 pub mod distill;
 pub mod embeddings;
 pub mod encoder;
+pub mod model_io;
 pub mod ner;
 pub mod pipeline;
 pub mod pretrain;
@@ -48,4 +49,5 @@ pub use block_classifier::BlockClassifier;
 pub use config::{ModelConfig, PretrainConfig};
 pub use data::{block_tag_scheme, entity_tag_scheme, DocumentInput};
 pub use encoder::HierarchicalEncoder;
-pub use pipeline::ResumeParser;
+pub use model_io::{load_bundle, load_model, save_bundle, save_model, ModelBundle};
+pub use pipeline::{EntityExtractor, ResumeParser};

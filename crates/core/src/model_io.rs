@@ -1,0 +1,494 @@
+//! Self-contained model persistence for the deployment path.
+//!
+//! A saved file carries the block classifier's weight bytes plus a JSON
+//! header with the tokenizer vocabulary and configuration, so it loads
+//! without the training corpus. The format is versioned by an 8-byte
+//! magic:
+//!
+//! * `RESUCLI1` — classifier only: `magic | u64 header_len | header |
+//!   classifier weights to EOF` (the original CLI format, still written
+//!   when no NER stage is attached and still readable).
+//! * `RESUFMT2` — classifier + optional NER stage: `magic | u64
+//!   header_len | header | u64 clf_len | clf weights | u64 ner_len |
+//!   ner weights`. The header records both architectures and both
+//!   vocabularies.
+//!
+//! Byte-slice variants (`*_bytes`) back the serving layer, which keeps
+//! one copy of the file in memory and rebuilds a warm parser per worker
+//! thread (the autograd graph is `Rc`-based, hence not shareable across
+//! threads).
+
+use std::io::Write;
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use resuformer_datagen::{Dictionaries, DictionaryConfig};
+use resuformer_nn::Module;
+use resuformer_text::{Vocab, WordPiece};
+use serde::{Deserialize, Serialize};
+
+use crate::block_classifier::BlockClassifier;
+use crate::config::ModelConfig;
+use crate::encoder::HierarchicalEncoder;
+use crate::ner::{NerConfig, NerModel};
+use crate::pipeline::{EntityExtractor, ResumeParser};
+
+const MAGIC_V1: &[u8; 8] = b"RESUCLI1";
+const MAGIC_V2: &[u8; 8] = b"RESUFMT2";
+
+/// Serializable classifier configuration (mirrors [`ModelConfig`]).
+#[derive(Serialize, Deserialize)]
+struct ConfigHeader {
+    vocab_size: usize,
+    hidden: usize,
+    sent_layers: usize,
+    doc_layers: usize,
+    heads: usize,
+    ff: usize,
+    max_sent_tokens: usize,
+    max_doc_sentences: usize,
+    visual_dim: usize,
+    coord_buckets: usize,
+    max_pages: usize,
+    init_seed: u64,
+    vocab: Vec<String>,
+    /// NER stage description; absent/`null` in classifier-only files.
+    ner: Option<NerHeader>,
+}
+
+/// Serializable NER architecture + vocabulary (mirrors [`NerConfig`]).
+#[derive(Serialize, Deserialize)]
+struct NerHeader {
+    vocab_size: usize,
+    hidden: usize,
+    layers: usize,
+    heads: usize,
+    ff: usize,
+    lstm_hidden: usize,
+    max_len: usize,
+    init_seed: u64,
+    vocab: Vec<String>,
+}
+
+impl ConfigHeader {
+    fn from_config(config: &ModelConfig, wp: &WordPiece, init_seed: u64) -> Self {
+        ConfigHeader {
+            vocab_size: config.vocab_size,
+            hidden: config.hidden,
+            sent_layers: config.sent_layers,
+            doc_layers: config.doc_layers,
+            heads: config.heads,
+            ff: config.ff,
+            max_sent_tokens: config.max_sent_tokens,
+            max_doc_sentences: config.max_doc_sentences,
+            visual_dim: config.visual_dim,
+            coord_buckets: config.coord_buckets,
+            max_pages: config.max_pages,
+            init_seed,
+            vocab: (0..wp.vocab.len())
+                .map(|i| wp.vocab.token(i).to_string())
+                .collect(),
+            ner: None,
+        }
+    }
+
+    fn to_config(&self) -> ModelConfig {
+        ModelConfig {
+            vocab_size: self.vocab_size,
+            hidden: self.hidden,
+            sent_layers: self.sent_layers,
+            doc_layers: self.doc_layers,
+            heads: self.heads,
+            ff: self.ff,
+            dropout: 0.0,
+            max_sent_tokens: self.max_sent_tokens,
+            max_doc_sentences: self.max_doc_sentences,
+            visual_dim: self.visual_dim,
+            coord_buckets: self.coord_buckets,
+            max_pages: self.max_pages,
+        }
+    }
+
+    fn to_wordpiece(&self) -> WordPiece {
+        WordPiece::from_vocab(rebuild_vocab(&self.vocab))
+    }
+}
+
+impl NerHeader {
+    fn from_parts(config: &NerConfig, vocab: &Vocab, init_seed: u64) -> Self {
+        NerHeader {
+            vocab_size: config.vocab_size,
+            hidden: config.hidden,
+            layers: config.layers,
+            heads: config.heads,
+            ff: config.ff,
+            lstm_hidden: config.lstm_hidden,
+            max_len: config.max_len,
+            init_seed,
+            vocab: (0..vocab.len())
+                .map(|i| vocab.token(i).to_string())
+                .collect(),
+        }
+    }
+
+    fn to_config(&self) -> NerConfig {
+        NerConfig {
+            vocab_size: self.vocab_size,
+            hidden: self.hidden,
+            layers: self.layers,
+            heads: self.heads,
+            ff: self.ff,
+            lstm_hidden: self.lstm_hidden,
+            max_len: self.max_len,
+        }
+    }
+}
+
+fn rebuild_vocab(tokens: &[String]) -> Vocab {
+    let mut vocab = Vocab::new();
+    for t in tokens {
+        vocab.add(t);
+    }
+    vocab
+}
+
+/// The NER stage of a bundle, ready for [`EntityExtractor::Ner`].
+pub struct NerBundle {
+    /// The restored tagger.
+    pub model: NerModel,
+    /// Its architecture.
+    pub config: NerConfig,
+    /// Word-level vocabulary the tagger was trained with.
+    pub vocab: Vocab,
+}
+
+/// Everything a deployed parser needs, restored from one file.
+pub struct ModelBundle {
+    /// The restored block classifier.
+    pub classifier: BlockClassifier,
+    /// Classifier configuration.
+    pub config: ModelConfig,
+    /// WordPiece tokenizer for document preparation.
+    pub wordpiece: WordPiece,
+    /// Optional NER stage; `None` for classifier-only files.
+    pub ner: Option<NerBundle>,
+}
+
+impl ModelBundle {
+    /// Build an end-to-end parser. Bundles without an NER stage fall back
+    /// to the dictionary/matcher rules for intra-block extraction.
+    pub fn into_parser(self) -> ResumeParser {
+        let extractor = match self.ner {
+            Some(n) => EntityExtractor::Ner {
+                model: n.model,
+                vocab: n.vocab,
+            },
+            None => EntityExtractor::Rules(Dictionaries::build(DictionaryConfig::default())),
+        };
+        ResumeParser {
+            classifier: self.classifier,
+            extractor,
+            wordpiece: self.wordpiece,
+            config: self.config,
+        }
+    }
+}
+
+/// Borrowed NER stage to persist alongside the classifier.
+pub struct NerArtifacts<'a> {
+    /// The trained tagger.
+    pub model: &'a NerModel,
+    /// Its architecture.
+    pub config: &'a NerConfig,
+    /// Word-level vocabulary it was trained with.
+    pub vocab: &'a Vocab,
+    /// RNG seed used to initialise the architecture (shapes must rebuild
+    /// identically before the weights are overwritten).
+    pub init_seed: u64,
+}
+
+/// Serialize a classifier (+ optional NER stage) to bytes.
+pub fn save_bundle_bytes(
+    classifier: &BlockClassifier,
+    config: &ModelConfig,
+    wp: &WordPiece,
+    init_seed: u64,
+    ner: Option<&NerArtifacts>,
+) -> Result<Vec<u8>, String> {
+    let mut header = ConfigHeader::from_config(config, wp, init_seed);
+    if let Some(n) = ner {
+        header.ner = Some(NerHeader::from_parts(n.config, n.vocab, n.init_seed));
+    }
+    let header_bytes =
+        serde_json::to_vec(&header).map_err(|e| format!("serializing header: {e}"))?;
+    let clf_weights = classifier.save_bytes();
+
+    let mut out = Vec::new();
+    match ner {
+        None => {
+            // Classifier-only files keep the original v1 layout.
+            out.extend_from_slice(MAGIC_V1);
+            out.extend_from_slice(&(header_bytes.len() as u64).to_le_bytes());
+            out.extend_from_slice(&header_bytes);
+            out.extend_from_slice(&clf_weights);
+        }
+        Some(n) => {
+            let ner_weights = n.model.save_bytes();
+            out.extend_from_slice(MAGIC_V2);
+            out.extend_from_slice(&(header_bytes.len() as u64).to_le_bytes());
+            out.extend_from_slice(&header_bytes);
+            out.extend_from_slice(&(clf_weights.len() as u64).to_le_bytes());
+            out.extend_from_slice(&clf_weights);
+            out.extend_from_slice(&(ner_weights.len() as u64).to_le_bytes());
+            out.extend_from_slice(&ner_weights);
+        }
+    }
+    Ok(out)
+}
+
+/// Save a classifier (+ optional NER stage) to a file.
+pub fn save_bundle(
+    path: &str,
+    classifier: &BlockClassifier,
+    config: &ModelConfig,
+    wp: &WordPiece,
+    init_seed: u64,
+    ner: Option<&NerArtifacts>,
+) -> Result<(), String> {
+    let bytes = save_bundle_bytes(classifier, config, wp, init_seed, ner)?;
+    let mut f = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+    f.write_all(&bytes).map_err(|e| e.to_string())
+}
+
+/// Save a trained classifier + tokenizer to a file (no NER stage).
+pub fn save_model(
+    path: &str,
+    classifier: &BlockClassifier,
+    config: &ModelConfig,
+    wp: &WordPiece,
+    init_seed: u64,
+) -> Result<(), String> {
+    save_bundle(path, classifier, config, wp, init_seed, None)
+}
+
+/// A bounds-checked reader over a byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| "model file truncated".to_string())?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let raw = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(raw);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let slice = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        slice
+    }
+}
+
+/// Restore a bundle from bytes produced by [`save_bundle_bytes`] (either
+/// format version).
+pub fn load_bundle_bytes(bytes: &[u8]) -> Result<ModelBundle, String> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(8)?;
+    let v2 = if magic == MAGIC_V1 {
+        false
+    } else if magic == MAGIC_V2 {
+        true
+    } else {
+        return Err("not a resuformer model file".to_string());
+    };
+    let header_len = r.u64()? as usize;
+    let header: ConfigHeader =
+        serde_json::from_slice(r.take(header_len)?).map_err(|e| format!("parsing header: {e}"))?;
+    let (clf_weights, ner_weights) = if v2 {
+        let clf_len = r.u64()? as usize;
+        let clf = r.take(clf_len)?;
+        let ner = if header.ner.is_some() {
+            let ner_len = r.u64()? as usize;
+            Some(r.take(ner_len)?)
+        } else {
+            None
+        };
+        (clf, ner)
+    } else {
+        (r.rest(), None)
+    };
+
+    let config = header.to_config();
+    let wordpiece = header.to_wordpiece();
+    // Rebuild the architecture with the recorded init seed (shapes must
+    // match exactly), then overwrite the weights.
+    let mut rng = ChaCha8Rng::seed_from_u64(header.init_seed);
+    let encoder = HierarchicalEncoder::new(&mut rng, &config);
+    let classifier = BlockClassifier::new(&mut rng, &config, encoder);
+    classifier
+        .load_bytes(clf_weights)
+        .map_err(|e| format!("loading classifier weights: {e}"))?;
+
+    let ner = match (&header.ner, ner_weights) {
+        (Some(nh), Some(weights)) => {
+            let ner_config = nh.to_config();
+            let mut nrng = ChaCha8Rng::seed_from_u64(nh.init_seed);
+            let model = NerModel::new(&mut nrng, ner_config);
+            model
+                .load_bytes(weights)
+                .map_err(|e| format!("loading NER weights: {e}"))?;
+            Some(NerBundle {
+                model,
+                config: ner_config,
+                vocab: rebuild_vocab(&nh.vocab),
+            })
+        }
+        _ => None,
+    };
+
+    Ok(ModelBundle {
+        classifier,
+        config,
+        wordpiece,
+        ner,
+    })
+}
+
+/// Restore a bundle from a file saved by [`save_bundle`].
+pub fn load_bundle(path: &str) -> Result<ModelBundle, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("opening {path}: {e}"))?;
+    load_bundle_bytes(&bytes)
+}
+
+/// Load a classifier + tokenizer from a file (any format version),
+/// discarding the NER stage if present.
+pub fn load_model(path: &str) -> Result<(BlockClassifier, ModelConfig, WordPiece), String> {
+    let bundle = load_bundle(path)?;
+    Ok((bundle.classifier, bundle.config, bundle.wordpiece))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{build_tokenizer, prepare_document};
+    use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+
+    fn temp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join("resuformer_core_model_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn save_load_round_trips_predictions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let resume = generate_resume(&mut rng, &GeneratorConfig::smoke());
+        let wp = build_tokenizer(resume.doc.tokens.iter().map(|t| t.text.clone()), 1);
+        let config = ModelConfig::tiny(wp.vocab.len());
+        let init_seed = 99;
+        let mut mrng = ChaCha8Rng::seed_from_u64(init_seed);
+        let encoder = HierarchicalEncoder::new(&mut mrng, &config);
+        let classifier = BlockClassifier::new(&mut mrng, &config, encoder);
+
+        let path = temp_path("model.bin");
+        save_model(&path, &classifier, &config, &wp, init_seed).unwrap();
+
+        let (loaded, loaded_config, loaded_wp) = load_model(&path).unwrap();
+        assert_eq!(loaded_config.hidden, config.hidden);
+        assert_eq!(loaded_wp.vocab.len(), wp.vocab.len());
+
+        let (input, _) = prepare_document(&resume.doc, &wp, &config);
+        let mut r1 = ChaCha8Rng::seed_from_u64(5);
+        let mut r2 = ChaCha8Rng::seed_from_u64(5);
+        assert_eq!(
+            classifier.predict(&input, &mut r1),
+            loaded.predict(&input, &mut r2),
+            "loaded model must predict identically"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = temp_path("garbage.bin");
+        std::fs::write(&path, b"not a model").unwrap();
+        assert!(load_model(&path).is_err());
+        std::fs::write(&path, b"RESUCLI1").unwrap();
+        assert!(load_model(&path).is_err(), "truncated header must fail");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bundle_round_trips_ner_stage() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let resume = generate_resume(&mut rng, &GeneratorConfig::smoke());
+        let wp = build_tokenizer(resume.doc.tokens.iter().map(|t| t.text.clone()), 1);
+        let config = ModelConfig::tiny(wp.vocab.len());
+        let word_vocab = Vocab::build(resume.doc.tokens.iter().map(|t| t.text.clone()), 1);
+
+        let clf_seed = 7;
+        let mut crng = ChaCha8Rng::seed_from_u64(clf_seed);
+        let encoder = HierarchicalEncoder::new(&mut crng, &config);
+        let classifier = BlockClassifier::new(&mut crng, &config, encoder);
+
+        let ner_seed = 8;
+        let ner_config = NerConfig::tiny(word_vocab.len());
+        let mut nrng = ChaCha8Rng::seed_from_u64(ner_seed);
+        let ner = NerModel::new(&mut nrng, ner_config);
+
+        let bytes = save_bundle_bytes(
+            &classifier,
+            &config,
+            &wp,
+            clf_seed,
+            Some(&NerArtifacts {
+                model: &ner,
+                config: &ner_config,
+                vocab: &word_vocab,
+                init_seed: ner_seed,
+            }),
+        )
+        .unwrap();
+        let bundle = load_bundle_bytes(&bytes).unwrap();
+        let restored = bundle.ner.as_ref().expect("NER stage must survive");
+        assert_eq!(restored.vocab.len(), word_vocab.len());
+
+        let ids = vec![1usize, 2, 3, 1];
+        let mut r1 = ChaCha8Rng::seed_from_u64(4);
+        let mut r2 = ChaCha8Rng::seed_from_u64(4);
+        assert_eq!(
+            ner.predict(&ids, &mut r1),
+            restored.model.predict(&ids, &mut r2),
+            "restored NER model must predict identically"
+        );
+
+        // A classifier-only save still loads as a bundle with no NER and
+        // builds a rules-backed parser.
+        let v1 = save_bundle_bytes(&classifier, &config, &wp, clf_seed, None).unwrap();
+        assert_eq!(&v1[..8], b"RESUCLI1");
+        let v1_bundle = load_bundle_bytes(&v1).unwrap();
+        assert!(v1_bundle.ner.is_none());
+        let parser = v1_bundle.into_parser();
+        let mut prng = ChaCha8Rng::seed_from_u64(3);
+        let parsed = parser.parse(&resume.doc, &mut prng);
+        assert!(parsed.classify_seconds > 0.0);
+    }
+}

@@ -8,9 +8,9 @@
 use rand::Rng;
 use resuformer_nn::linear::Activation;
 use resuformer_nn::{BiLstm, Mlp, Module, TransformerEncoder};
-use resuformer_text::TagScheme;
 use resuformer_tensor::ops;
 use resuformer_tensor::Tensor;
+use resuformer_text::TagScheme;
 
 use crate::config::ModelConfig;
 use crate::data::entity_tag_scheme;
@@ -38,7 +38,15 @@ pub struct NerConfig {
 impl NerConfig {
     /// CPU-scale configuration.
     pub fn tiny(vocab_size: usize) -> Self {
-        NerConfig { vocab_size, hidden: 32, layers: 2, heads: 2, ff: 64, lstm_hidden: 16, max_len: 96 }
+        NerConfig {
+            vocab_size,
+            hidden: 32,
+            layers: 2,
+            heads: 2,
+            ff: 64,
+            lstm_hidden: 16,
+            max_len: 96,
+        }
     }
 
     /// Derive from a [`ModelConfig`].
@@ -113,6 +121,11 @@ impl NerModel {
     /// The entity tag scheme.
     pub fn scheme(&self) -> &TagScheme {
         &self.scheme
+    }
+
+    /// The architecture this model was built with (for persistence).
+    pub fn config(&self) -> &NerConfig {
+        &self.config
     }
 
     /// Truncate ids to the model maximum.

@@ -4,9 +4,12 @@
 use std::time::Instant;
 
 use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use resuformer_datagen::{BlockType, Dictionaries, EntityType};
 use resuformer_doc::{Document, Sentence};
 use resuformer_text::{decode_spans, TagScheme, Vocab, WordPiece};
+use serde::{Deserialize, Serialize};
 
 use crate::annotate;
 use crate::block_classifier::BlockClassifier;
@@ -15,7 +18,7 @@ use crate::data::{entity_tag_scheme, prepare_document};
 use crate::ner::NerModel;
 
 /// One extracted entity: class + surface text.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExtractedEntity {
     /// Entity class.
     pub entity: EntityType,
@@ -24,7 +27,7 @@ pub struct ExtractedEntity {
 }
 
 /// One segmented block with its extracted entities.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ParsedBlock {
     /// Predicted semantic class.
     pub block_type: BlockType,
@@ -37,7 +40,7 @@ pub struct ParsedBlock {
 }
 
 /// The parser's output for one resume.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ParsedResume {
     /// Segmented, typed, entity-annotated blocks in reading order.
     pub blocks: Vec<ParsedBlock>,
@@ -59,17 +62,64 @@ impl ParsedResume {
     }
 }
 
-/// The end-to-end parser: a trained block classifier + a trained NER model
-/// + the shared tokenizers.
+/// The intra-block entity-extraction stage: a trained NER tagger or the
+/// dictionary/matcher rules used for distant supervision (the fallback
+/// when a deployed model bundle carries no NER weights).
+pub enum EntityExtractor {
+    /// Trained token-level tagger plus the word vocabulary it was trained
+    /// with.
+    Ner {
+        /// The BERT+BiLSTM+MLP tagger.
+        model: NerModel,
+        /// Word-level vocabulary for id lookup.
+        vocab: Vocab,
+    },
+    /// Dictionaries + pattern matchers + heuristics (`annotate`).
+    Rules(Dictionaries),
+}
+
+impl EntityExtractor {
+    /// Extract entities from one block's words. `block_type` steers the
+    /// rule-based path (dictionaries are block-conditional); the NER path
+    /// ignores it.
+    pub fn extract(
+        &self,
+        words: &[String],
+        block_type: BlockType,
+        scheme: &TagScheme,
+        rng: &mut impl Rng,
+    ) -> Vec<ExtractedEntity> {
+        if words.is_empty() {
+            return Vec::new();
+        }
+        let labels = match self {
+            EntityExtractor::Ner { model, vocab } => {
+                let ids: Vec<usize> = words.iter().map(|w| vocab.id(&w.to_lowercase())).collect();
+                model.predict(&ids, rng)
+            }
+            EntityExtractor::Rules(dicts) => {
+                annotate::distant_labels(words, block_type, dicts, scheme)
+            }
+        };
+        decode_spans(scheme, &labels)
+            .into_iter()
+            .map(|s| ExtractedEntity {
+                entity: EntityType::ALL[s.class],
+                text: words[s.start..s.end].join(" "),
+            })
+            .collect()
+    }
+}
+
+/// The end-to-end parser: a trained block classifier + an entity
+/// extractor + the shared tokenizer.
 pub struct ResumeParser {
     /// Sentence-level block classifier (hierarchical encoder inside).
     pub classifier: BlockClassifier,
-    /// Token-level entity tagger.
-    pub ner: NerModel,
+    /// Intra-block entity extraction stage.
+    pub extractor: EntityExtractor,
     /// WordPiece tokenizer used by the classifier.
     pub wordpiece: WordPiece,
-    /// Word-level vocabulary used by the NER model.
-    pub word_vocab: Vocab,
     /// Model configuration (for document preparation).
     pub config: ModelConfig,
 }
@@ -92,7 +142,9 @@ impl ResumeParser {
             .map(|(start, end, class)| {
                 let block_type = BlockType::ALL[class];
                 let words = block_words(doc, &sentences[start..end]);
-                let entities = self.extract_entities(&words, &entity_scheme, rng);
+                let entities = self
+                    .extractor
+                    .extract(&words, block_type, &entity_scheme, rng);
                 ParsedBlock {
                     block_type,
                     sentence_range: (start, end),
@@ -103,25 +155,31 @@ impl ResumeParser {
             .collect();
         let extract_seconds = t1.elapsed().as_secs_f64();
 
-        ParsedResume { blocks, classify_seconds, extract_seconds }
+        ParsedResume {
+            blocks,
+            classify_seconds,
+            extract_seconds,
+        }
     }
 
-    fn extract_entities(
-        &self,
-        words: &[String],
-        scheme: &TagScheme,
-        rng: &mut impl Rng,
-    ) -> Vec<ExtractedEntity> {
-        if words.is_empty() {
-            return Vec::new();
-        }
-        let ids: Vec<usize> = words.iter().map(|w| self.word_vocab.id(&w.to_lowercase())).collect();
-        let labels = self.ner.predict(&ids, rng);
-        decode_spans(scheme, &labels)
-            .into_iter()
-            .map(|s| ExtractedEntity {
-                entity: EntityType::ALL[s.class],
-                text: words[s.start..s.end].join(" "),
+    /// Parse a batch of documents with one warm parser.
+    ///
+    /// Each document gets an independent deterministic RNG stream seeded
+    /// from `base_seed + index`, so results never depend on batch
+    /// composition or ordering — a batch of one is bit-identical to the
+    /// same document inside a batch of fifty.
+    ///
+    /// The loop is sequential by design: the autograd graph underneath the
+    /// models is `Rc`-based (single-threaded), so intra-process data
+    /// parallelism does not apply here. Throughput-oriented callers (the
+    /// `resuformer-serve` worker pool) run one warm parser per worker
+    /// thread and feed each a slice of the batch.
+    pub fn parse_documents(&self, docs: &[Document], base_seed: u64) -> Vec<ParsedResume> {
+        docs.iter()
+            .enumerate()
+            .map(|(i, doc)| {
+                let mut rng = ChaCha8Rng::seed_from_u64(base_seed.wrapping_add(i as u64));
+                self.parse(doc, &mut rng)
             })
             .collect()
     }
@@ -132,7 +190,10 @@ impl ResumeParser {
 /// skipped (rare after CRF decoding).
 pub fn segment_blocks(scheme: &TagScheme, labels: &[usize]) -> Vec<(usize, usize, usize)> {
     let spans = decode_spans(scheme, labels);
-    spans.into_iter().map(|s| (s.start, s.end, s.class)).collect()
+    spans
+        .into_iter()
+        .map(|s| (s.start, s.end, s.class))
+        .collect()
 }
 
 fn block_words(doc: &Document, sentences: &[Sentence]) -> Vec<String> {
@@ -219,11 +280,13 @@ mod tests {
         let mut mrng = seeded_rng(62);
         let enc = HierarchicalEncoder::new(&mut mrng, &config);
         let classifier = BlockClassifier::new(&mut mrng, &config, enc);
-        let pairs: Vec<(&crate::data::DocumentInput, &[usize])> =
-            vec![(&input, labels.as_slice())];
+        let pairs: Vec<(&crate::data::DocumentInput, &[usize])> = vec![(&input, labels.as_slice())];
         classifier.finetune(
             &pairs,
-            &FinetuneConfig { epochs: 40, ..Default::default() },
+            &FinetuneConfig {
+                epochs: 40,
+                ..Default::default()
+            },
             &mut mrng,
         );
 
@@ -250,7 +313,15 @@ mod tests {
             }
         }
 
-        let parser = ResumeParser { classifier, ner, wordpiece: wp, word_vocab, config };
+        let parser = ResumeParser {
+            classifier,
+            extractor: EntityExtractor::Ner {
+                model: ner,
+                vocab: word_vocab,
+            },
+            wordpiece: wp,
+            config,
+        };
         let parsed = parser.parse(&resume.doc, &mut mrng);
 
         assert!(!parsed.blocks.is_empty());
@@ -267,5 +338,43 @@ mod tests {
         );
         let total_entities: usize = parsed.blocks.iter().map(|b| b.entities.len()).sum();
         assert!(total_entities >= 4, "too few entities: {}", total_entities);
+
+        // Batched parsing with the same seed reproduces the single-document
+        // path exactly, regardless of batch composition.
+        let mut single_rng = ChaCha8Rng::seed_from_u64(9);
+        let single = parser.parse(&resume.doc, &mut single_rng);
+        let batch = parser.parse_documents(&[resume.doc.clone(), resume.doc.clone()], 9);
+        assert_eq!(batch.len(), 2);
+        let texts = |p: &ParsedResume| -> Vec<(BlockType, String, usize)> {
+            p.blocks
+                .iter()
+                .map(|b| (b.block_type, b.text.clone(), b.entities.len()))
+                .collect()
+        };
+        assert_eq!(texts(&single), texts(&batch[0]), "batch changed results");
+
+        // The parse result serializes to JSON and round-trips (the serving
+        // wire format).
+        let json = serde_json::to_string(&single).expect("serialize parse result");
+        let back: ParsedResume = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(texts(&single), texts(&back));
+    }
+
+    #[test]
+    fn rules_extractor_matches_rule_based_entities() {
+        let words: Vec<String> = ["Email", ":", "a.b1@mail.com"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let scheme = entity_tag_scheme();
+        let extractor =
+            EntityExtractor::Rules(Dictionaries::build(DictionaryConfig { coverage: 1.0 }));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let via_extractor = extractor.extract(&words, BlockType::PInfo, &scheme, &mut rng);
+        let dicts = Dictionaries::build(DictionaryConfig { coverage: 1.0 });
+        let via_rules = rule_based_entities(&words, BlockType::PInfo, &dicts);
+        assert_eq!(via_extractor, via_rules);
+        assert_eq!(via_extractor.len(), 1);
+        assert_eq!(via_extractor[0].entity, EntityType::Email);
     }
 }

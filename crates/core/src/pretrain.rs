@@ -44,7 +44,11 @@ pub struct ObjectiveSwitches {
 
 impl Default for ObjectiveSwitches {
     fn default() -> Self {
-        ObjectiveSwitches { wmp: true, scl: true, dnsp: true }
+        ObjectiveSwitches {
+            wmp: true,
+            scl: true,
+            dnsp: true,
+        }
     }
 }
 
@@ -119,13 +123,18 @@ impl Pretrainer {
             } else {
                 (s.token_ids.clone(), Vec::new())
             };
-            let out = enc.sentence.forward_tokens(&ids, &s.token_layouts, true, rng);
+            let out = enc
+                .sentence
+                .forward_tokens(&ids, &s.token_layouts, true, rng);
             for &pos in &masked_positions {
                 mlm_outputs.push(ops::slice_rows(&out, pos, 1));
                 mlm_targets.push(s.token_ids[pos]);
             }
             let cls = ops::slice_rows(&out, 0, 1);
-            h_rows.push(ops::l2_normalize_rows(&enc.sentence.pool_forward(&cls), 1e-6));
+            h_rows.push(ops::l2_normalize_rows(
+                &enc.sentence.pool_forward(&cls),
+                1e-6,
+            ));
         }
 
         let wp_loss = if self.switches.wmp && !mlm_targets.is_empty() {
@@ -170,7 +179,9 @@ impl Pretrainer {
         };
 
         let gt_input = enc.document.input_reps(&h_star, &layouts, enc.modality);
-        let masked_input = enc.document.input_reps(&masked_h_star, &layouts, enc.modality);
+        let masked_input = enc
+            .document
+            .input_reps(&masked_h_star, &layouts, enc.modality);
         let h_d = enc.document.forward(&masked_input, true, rng);
 
         let cl_loss = if !masked_idx.is_empty() {
@@ -360,7 +371,11 @@ mod tests {
     #[test]
     fn switches_zero_out_components() {
         let (enc, mut pt, docs) = setup(1);
-        pt.switches = ObjectiveSwitches { wmp: false, scl: false, dnsp: true };
+        pt.switches = ObjectiveSwitches {
+            wmp: false,
+            scl: false,
+            dnsp: true,
+        };
         let (_, m) = pt.loss(&enc, &docs[0], 0, &mut seeded_rng(14));
         assert_eq!(m.wp, 0.0);
         assert_eq!(m.cl, 0.0);
@@ -386,7 +401,11 @@ mod tests {
     fn static_masking_reuses_positions() {
         let (enc, mut pt, docs) = setup(1);
         pt.dynamic_masking = false;
-        pt.switches = ObjectiveSwitches { wmp: false, scl: true, dnsp: false };
+        pt.switches = ObjectiveSwitches {
+            wmp: false,
+            scl: true,
+            dnsp: false,
+        };
         // Two calls with different RNG streams must mask the same rows;
         // with dropout disabled the SCL losses then agree exactly.
         let (_, m1) = pt.loss(&enc, &docs[0], 0, &mut seeded_rng(1));
@@ -397,7 +416,11 @@ mod tests {
     #[test]
     fn dynamic_masking_varies_positions() {
         let (enc, mut pt, docs) = setup(1);
-        pt.switches = ObjectiveSwitches { wmp: false, scl: true, dnsp: false };
+        pt.switches = ObjectiveSwitches {
+            wmp: false,
+            scl: true,
+            dnsp: false,
+        };
         let (_, m1) = pt.loss(&enc, &docs[0], 0, &mut seeded_rng(1));
         let (_, m2) = pt.loss(&enc, &docs[0], 0, &mut seeded_rng(999));
         assert!((m1.cl - m2.cl).abs() > 1e-7, "dynamic masking should vary");
@@ -442,8 +465,13 @@ mod edge_tests {
 
     fn one_sentence_doc() -> DocumentInput {
         let layout = LayoutTuple {
-            x_min: 10, y_min: 10, x_max: 200, y_max: 30,
-            width: 190, height: 20, page: 0,
+            x_min: 10,
+            y_min: 10,
+            x_max: 200,
+            y_max: 30,
+            width: 190,
+            height: 20,
+            page: 0,
         };
         DocumentInput {
             sentences: vec![SentenceInput {

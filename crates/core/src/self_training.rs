@@ -224,7 +224,11 @@ pub fn self_train(
     let teacher_val = train_teacher(&teacher, train, validation, config, rng);
 
     if !config.use_self_distillation {
-        return SelfTrainingOutcome { model: teacher, teacher_val, val_trace: vec![teacher_val] };
+        return SelfTrainingOutcome {
+            model: teacher,
+            teacher_val,
+            val_trace: vec![teacher_val],
+        };
     }
 
     // Step 2: student initialised from the teacher.
@@ -305,11 +309,8 @@ pub fn self_train(
             // Step 7: student update on the soft objective (Eq. 10/12).
             opt.zero_grad();
             let logits = student.logits(ids, true, rng);
-            let loss = resuformer_tensor::ops::soft_cross_entropy_rows(
-                &logits,
-                &soft,
-                Some(&weights),
-            );
+            let loss =
+                resuformer_tensor::ops::soft_cross_entropy_rows(&logits, &soft, Some(&weights));
             loss.backward();
             opt.clip_grad_norm(5.0);
             opt.step();
@@ -329,7 +330,11 @@ pub fn self_train(
     student
         .load_bytes(&best_bytes)
         .expect("restoring best student checkpoint");
-    SelfTrainingOutcome { model: student, teacher_val, val_trace }
+    SelfTrainingOutcome {
+        model: student,
+        teacher_val,
+        val_trace,
+    }
 }
 
 #[cfg(test)]
@@ -375,11 +380,10 @@ mod tests {
         let scheme = entity_tag_scheme();
         (0..n)
             .map(|i| {
-                let tokens: Vec<String> =
-                    ["2018.09", "-", "2022.06", "Northlake", "University"]
-                        .iter()
-                        .map(|s| s.to_string())
-                        .collect();
+                let tokens: Vec<String> = ["2018.09", "-", "2022.06", "Northlake", "University"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
                 let gold = {
                     use resuformer_text::iob::{encode_spans, Span};
                     encode_spans(
@@ -412,7 +416,10 @@ mod tests {
         let model = NerModel::new(&mut rng, NerConfig::tiny(64));
         let train = toy_dataset(8, false);
         let val = toy_dataset(2, false);
-        let cfg = SelfTrainingConfig { teacher_epochs: 10, ..Default::default() };
+        let cfg = SelfTrainingConfig {
+            teacher_epochs: 10,
+            ..Default::default()
+        };
         let val_acc = train_teacher(&model, &train, &val, &cfg, &mut rng);
         assert!(val_acc > 0.9, "teacher val accuracy {}", val_acc);
     }
@@ -435,7 +442,12 @@ mod tests {
         // The final student should not be worse than the plain teacher by
         // a large margin (usually better under label noise).
         let last = *out.val_trace.last().unwrap();
-        assert!(last + 0.15 >= out.teacher_val, "{} vs {}", last, out.teacher_val);
+        assert!(
+            last + 0.15 >= out.teacher_val,
+            "{} vs {}",
+            last,
+            out.teacher_val
+        );
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! visual styles (font size, weight, indentation). See DESIGN.md §2.
 
 use rand::Rng;
-use resuformer_nn::{Conv2dLayer, Linear, Module};
 use resuformer_doc::raster::{PATCH_H, PATCH_W};
+use resuformer_nn::{Conv2dLayer, Linear, Module};
 use resuformer_tensor::ops;
 use resuformer_tensor::{NdArray, Tensor};
 
@@ -32,7 +32,12 @@ impl VisualExtractor {
         // by 4 → [8, PATCH_H/16, PATCH_W/16].
         let flat = 8 * (PATCH_H / 16).max(1) * (PATCH_W / 16).max(1);
         let proj = Linear::new(rng, flat, visual_dim);
-        VisualExtractor { conv1, conv2, proj, visual_dim }
+        VisualExtractor {
+            conv1,
+            conv2,
+            proj,
+            visual_dim,
+        }
     }
 
     /// Output feature dimension.
@@ -124,6 +129,9 @@ mod tests {
         let a = VisualExtractor::new(&mut seeded_rng(4), 8);
         let b = VisualExtractor::new(&mut seeded_rng(4), 8);
         let patch = vec![0.3f32; PATCH_H * PATCH_W];
-        assert_eq!(a.extract(&patch).value().data(), b.extract(&patch).value().data());
+        assert_eq!(
+            a.extract(&patch).value().data(),
+            b.extract(&patch).value().data()
+        );
     }
 }

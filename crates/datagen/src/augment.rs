@@ -134,10 +134,18 @@ mod tests {
 
     fn sample() -> NerInstance {
         NerInstance {
-            tokens: ["2018.09", "-", "2022.06", "Northlake", "University", "Computer", "Science"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
+            tokens: [
+                "2018.09",
+                "-",
+                "2022.06",
+                "Northlake",
+                "University",
+                "Computer",
+                "Science",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
             labels: vec![
                 Some(EntityType::Date),
                 Some(EntityType::Date),

@@ -81,7 +81,8 @@ impl Corpus {
             (0..n)
                 .map(|i| {
                     let mut rng = ChaCha8Rng::seed_from_u64(
-                        seed.wrapping_mul(0x9E37_79B9).wrapping_add(offset + i as u64),
+                        seed.wrapping_mul(0x9E37_79B9)
+                            .wrapping_add(offset + i as u64),
                     );
                     generate_resume(&mut rng, &cfg)
                 })
@@ -136,12 +137,20 @@ impl CorpusStats {
     /// Compute over a document set.
     pub fn compute(docs: &[LabeledResume]) -> Self {
         if docs.is_empty() {
-            return CorpusStats { n_docs: 0, avg_tokens: 0.0, avg_sentences: 0.0, avg_pages: 0.0 };
+            return CorpusStats {
+                n_docs: 0,
+                avg_tokens: 0.0,
+                avg_sentences: 0.0,
+                avg_pages: 0.0,
+            };
         }
         let n = docs.len() as f32;
         let cfg = SentenceConfig::default();
         let tokens: usize = docs.iter().map(|d| d.doc.num_tokens()).sum();
-        let sentences: usize = docs.iter().map(|d| concat_sentences(&d.doc, &cfg).len()).sum();
+        let sentences: usize = docs
+            .iter()
+            .map(|d| concat_sentences(&d.doc, &cfg).len())
+            .sum();
         let pages: usize = docs.iter().map(|d| d.doc.num_pages()).sum();
         CorpusStats {
             n_docs: docs.len(),
@@ -173,8 +182,14 @@ mod tests {
         let c = Corpus::generate(8, Scale::Smoke);
         assert_eq!(a.train[0].record.name, b.train[0].record.name);
         assert_ne!(
-            (a.train[0].record.name.clone(), a.train[1].record.name.clone()),
-            (c.train[0].record.name.clone(), c.train[1].record.name.clone())
+            (
+                a.train[0].record.name.clone(),
+                a.train[1].record.name.clone()
+            ),
+            (
+                c.train[0].record.name.clone(),
+                c.train[1].record.name.clone()
+            )
         );
     }
 

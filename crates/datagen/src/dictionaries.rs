@@ -71,7 +71,10 @@ impl Dictionaries {
 
         Dictionaries {
             trie,
-            family_names: entities::FAMILY_NAMES.iter().map(|s| s.to_string()).collect(),
+            family_names: entities::FAMILY_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             config,
         }
     }

@@ -12,29 +12,58 @@ use rand::Rng;
 /// heuristic annotation rule "the person name starts with a common family
 /// name" (§IV-B2) keys off this list.
 pub const FAMILY_NAMES: [&str; 40] = [
-    "Li", "Wang", "Zhang", "Liu", "Chen", "Yang", "Zhao", "Huang", "Zhou", "Wu",
-    "Xu", "Sun", "Hu", "Zhu", "Gao", "Lin", "He", "Guo", "Ma", "Luo",
-    "Liang", "Song", "Zheng", "Xie", "Han", "Tang", "Feng", "Yu", "Dong", "Xiao",
-    "Cheng", "Cao", "Yuan", "Deng", "Fu", "Shen", "Zeng", "Peng", "Lu", "Jiang",
+    "Li", "Wang", "Zhang", "Liu", "Chen", "Yang", "Zhao", "Huang", "Zhou", "Wu", "Xu", "Sun", "Hu",
+    "Zhu", "Gao", "Lin", "He", "Guo", "Ma", "Luo", "Liang", "Song", "Zheng", "Xie", "Han", "Tang",
+    "Feng", "Yu", "Dong", "Xiao", "Cheng", "Cao", "Yuan", "Deng", "Fu", "Shen", "Zeng", "Peng",
+    "Lu", "Jiang",
 ];
 
 /// Given names (romanised).
 pub const GIVEN_NAMES: [&str; 48] = [
-    "Wei", "Fang", "Min", "Jun", "Lei", "Yan", "Ting", "Hao", "Jing", "Qiang",
-    "Xin", "Bo", "Ying", "Chao", "Mei", "Tao", "Ning", "Peng", "Rui", "Shan",
-    "Kai", "Lan", "Feng", "Hua", "Jie", "Ke", "Liang", "Na", "Ping", "Qi",
-    "Rong", "Song", "Tian", "Xia", "Yun", "Zhen", "An", "Bin", "Cong", "Dan",
-    "En", "Gang", "Hong", "Juan", "Kun", "Long", "Miao", "Nan",
+    "Wei", "Fang", "Min", "Jun", "Lei", "Yan", "Ting", "Hao", "Jing", "Qiang", "Xin", "Bo", "Ying",
+    "Chao", "Mei", "Tao", "Ning", "Peng", "Rui", "Shan", "Kai", "Lan", "Feng", "Hua", "Jie", "Ke",
+    "Liang", "Na", "Ping", "Qi", "Rong", "Song", "Tian", "Xia", "Yun", "Zhen", "An", "Bin", "Cong",
+    "Dan", "En", "Gang", "Hong", "Juan", "Kun", "Long", "Miao", "Nan",
 ];
 
 /// College name stems; combined with [`COLLEGE_SUFFIXES`].
 pub const COLLEGE_STEMS: [&str; 36] = [
-    "Northlake", "Eastfield", "Westbrook", "Southgate", "Riverside", "Hillcrest",
-    "Stonebridge", "Clearwater", "Maplewood", "Silverpine", "Goldcrest", "Ironwood",
-    "Bluepeak", "Redwood", "Greenhill", "Whitecliff", "Brightwater", "Fairview",
-    "Lakeshore", "Summit", "Harbor", "Meadowbrook", "Oakridge", "Pinehurst",
-    "Crestview", "Glenwood", "Springfield", "Ridgemont", "Valleyforge", "Seacrest",
-    "Northgate", "Eastwood", "Sunridge", "Starfield", "Moonlake", "Skyline",
+    "Northlake",
+    "Eastfield",
+    "Westbrook",
+    "Southgate",
+    "Riverside",
+    "Hillcrest",
+    "Stonebridge",
+    "Clearwater",
+    "Maplewood",
+    "Silverpine",
+    "Goldcrest",
+    "Ironwood",
+    "Bluepeak",
+    "Redwood",
+    "Greenhill",
+    "Whitecliff",
+    "Brightwater",
+    "Fairview",
+    "Lakeshore",
+    "Summit",
+    "Harbor",
+    "Meadowbrook",
+    "Oakridge",
+    "Pinehurst",
+    "Crestview",
+    "Glenwood",
+    "Springfield",
+    "Ridgemont",
+    "Valleyforge",
+    "Seacrest",
+    "Northgate",
+    "Eastwood",
+    "Sunridge",
+    "Starfield",
+    "Moonlake",
+    "Skyline",
 ];
 
 /// College name suffixes.
@@ -47,21 +76,38 @@ pub const COLLEGE_SUFFIXES: [&str; 4] = [
 
 /// Majors.
 pub const MAJORS: [&str; 28] = [
-    "Computer Science", "Software Engineering", "Electrical Engineering",
-    "Information Systems", "Data Science", "Applied Mathematics",
-    "Mechanical Engineering", "Automation", "Communication Engineering",
-    "Artificial Intelligence", "Statistics", "Physics",
-    "Industrial Design", "Civil Engineering", "Chemical Engineering",
-    "Biomedical Engineering", "Finance", "Accounting",
-    "Business Administration", "Marketing", "Economics",
-    "International Trade", "Human Resource Management", "Law",
-    "English Literature", "Journalism", "Psychology", "Logistics Management",
+    "Computer Science",
+    "Software Engineering",
+    "Electrical Engineering",
+    "Information Systems",
+    "Data Science",
+    "Applied Mathematics",
+    "Mechanical Engineering",
+    "Automation",
+    "Communication Engineering",
+    "Artificial Intelligence",
+    "Statistics",
+    "Physics",
+    "Industrial Design",
+    "Civil Engineering",
+    "Chemical Engineering",
+    "Biomedical Engineering",
+    "Finance",
+    "Accounting",
+    "Business Administration",
+    "Marketing",
+    "Economics",
+    "International Trade",
+    "Human Resource Management",
+    "Law",
+    "English Literature",
+    "Journalism",
+    "Psychology",
+    "Logistics Management",
 ];
 
 /// Degrees (finite value set, as the paper notes).
-pub const DEGREES: [&str; 6] = [
-    "Bachelor", "Master", "PhD", "Associate", "B.S.", "M.S.",
-];
+pub const DEGREES: [&str; 6] = ["Bachelor", "Master", "PhD", "Associate", "B.S.", "M.S."];
 
 /// Gender values (finite value set).
 pub const GENDERS: [&str; 2] = ["Male", "Female"];
@@ -69,19 +115,58 @@ pub const GENDERS: [&str; 2] = ["Male", "Female"];
 /// Company name stems; combined with [`COMPANY_DOMAINS`] and
 /// [`COMPANY_SUFFIXES`].
 pub const COMPANY_STEMS: [&str; 40] = [
-    "Bluepeak", "Cloudrise", "Datawave", "Brightline", "Nexcore", "Quantexa",
-    "Sunforge", "Vertex", "Lumina", "Pinnacle", "Starlight", "Oceanic",
-    "Redstone", "Ironclad", "Swiftarc", "Novabyte", "Greenfield", "Silverline",
-    "Truenorth", "Apexon", "Deepmind-like", "Fluxwave", "Gridware", "Hypernet",
-    "Inspira", "Jadetech", "Kitewing", "Lighthouse", "Metaflow", "Nimbus",
-    "Orbital", "Polaris", "Quasar", "Rainfall", "Streamline", "Tidewater",
-    "Umbra", "Vortex", "Wavefront", "Zenith",
+    "Bluepeak",
+    "Cloudrise",
+    "Datawave",
+    "Brightline",
+    "Nexcore",
+    "Quantexa",
+    "Sunforge",
+    "Vertex",
+    "Lumina",
+    "Pinnacle",
+    "Starlight",
+    "Oceanic",
+    "Redstone",
+    "Ironclad",
+    "Swiftarc",
+    "Novabyte",
+    "Greenfield",
+    "Silverline",
+    "Truenorth",
+    "Apexon",
+    "Deepmind-like",
+    "Fluxwave",
+    "Gridware",
+    "Hypernet",
+    "Inspira",
+    "Jadetech",
+    "Kitewing",
+    "Lighthouse",
+    "Metaflow",
+    "Nimbus",
+    "Orbital",
+    "Polaris",
+    "Quasar",
+    "Rainfall",
+    "Streamline",
+    "Tidewater",
+    "Umbra",
+    "Vortex",
+    "Wavefront",
+    "Zenith",
 ];
 
 /// Company business-domain middles.
 pub const COMPANY_DOMAINS: [&str; 8] = [
-    "Technologies", "Networks", "Software", "Information", "Intelligence",
-    "Systems", "Digital", "Cloud",
+    "Technologies",
+    "Networks",
+    "Software",
+    "Information",
+    "Intelligence",
+    "Systems",
+    "Digital",
+    "Cloud",
 ];
 
 /// Company legal suffixes ("the company entity often ends with 'Co. LTD'").
@@ -89,46 +174,132 @@ pub const COMPANY_SUFFIXES: [&str; 3] = ["Co. LTD", "Inc.", "Group"];
 
 /// Job positions.
 pub const POSITIONS: [&str; 30] = [
-    "Software Engineer", "Senior Software Engineer", "Backend Developer",
-    "Frontend Developer", "Algorithm Engineer", "Data Engineer",
-    "Machine Learning Engineer", "Product Manager", "Project Manager",
-    "QA Engineer", "Test Engineer", "DevOps Engineer",
-    "Site Reliability Engineer", "Database Administrator", "System Architect",
-    "Technical Lead", "Engineering Manager", "Research Scientist",
-    "Data Analyst", "Business Analyst", "UI Designer",
-    "UX Designer", "Operations Manager", "Sales Manager",
-    "Marketing Specialist", "HR Specialist", "Financial Analyst",
-    "Security Engineer", "Mobile Developer", "Solutions Architect",
+    "Software Engineer",
+    "Senior Software Engineer",
+    "Backend Developer",
+    "Frontend Developer",
+    "Algorithm Engineer",
+    "Data Engineer",
+    "Machine Learning Engineer",
+    "Product Manager",
+    "Project Manager",
+    "QA Engineer",
+    "Test Engineer",
+    "DevOps Engineer",
+    "Site Reliability Engineer",
+    "Database Administrator",
+    "System Architect",
+    "Technical Lead",
+    "Engineering Manager",
+    "Research Scientist",
+    "Data Analyst",
+    "Business Analyst",
+    "UI Designer",
+    "UX Designer",
+    "Operations Manager",
+    "Sales Manager",
+    "Marketing Specialist",
+    "HR Specialist",
+    "Financial Analyst",
+    "Security Engineer",
+    "Mobile Developer",
+    "Solutions Architect",
 ];
 
 /// Project name head nouns.
 pub const PROJECT_HEADS: [&str; 20] = [
-    "Realtime", "Distributed", "Intelligent", "Unified", "Scalable",
-    "Automated", "Interactive", "Streaming", "Secure", "Adaptive",
-    "Cross-platform", "Cloud-native", "Enterprise", "Mobile", "Embedded",
-    "Multi-tenant", "High-availability", "Low-latency", "Self-service", "Federated",
+    "Realtime",
+    "Distributed",
+    "Intelligent",
+    "Unified",
+    "Scalable",
+    "Automated",
+    "Interactive",
+    "Streaming",
+    "Secure",
+    "Adaptive",
+    "Cross-platform",
+    "Cloud-native",
+    "Enterprise",
+    "Mobile",
+    "Embedded",
+    "Multi-tenant",
+    "High-availability",
+    "Low-latency",
+    "Self-service",
+    "Federated",
 ];
 
 /// Project name middles.
 pub const PROJECT_MIDS: [&str; 16] = [
-    "Recommendation", "Payment", "Logistics", "Monitoring", "Search",
-    "Advertising", "Inventory", "Scheduling", "Messaging", "Analytics",
-    "Authentication", "Billing", "Reporting", "Crawling", "Indexing", "Trading",
+    "Recommendation",
+    "Payment",
+    "Logistics",
+    "Monitoring",
+    "Search",
+    "Advertising",
+    "Inventory",
+    "Scheduling",
+    "Messaging",
+    "Analytics",
+    "Authentication",
+    "Billing",
+    "Reporting",
+    "Crawling",
+    "Indexing",
+    "Trading",
 ];
 
 /// Project name tails.
 pub const PROJECT_TAILS: [&str; 8] = [
-    "Platform", "System", "Service", "Engine", "Pipeline", "Dashboard",
-    "Framework", "Gateway",
+    "Platform",
+    "System",
+    "Service",
+    "Engine",
+    "Pipeline",
+    "Dashboard",
+    "Framework",
+    "Gateway",
 ];
 
 /// Skill keywords.
 pub const SKILLS: [&str; 36] = [
-    "Java", "Python", "C++", "Rust", "Go", "JavaScript", "TypeScript", "SQL",
-    "Kubernetes", "Docker", "Linux", "Git", "Redis", "MySQL", "PostgreSQL",
-    "MongoDB", "Kafka", "Spark", "Hadoop", "Flink", "TensorFlow", "PyTorch",
-    "React", "Vue", "Spring", "Django", "Flask", "gRPC", "GraphQL", "AWS",
-    "Nginx", "Elasticsearch", "RabbitMQ", "Jenkins", "Terraform", "Ansible",
+    "Java",
+    "Python",
+    "C++",
+    "Rust",
+    "Go",
+    "JavaScript",
+    "TypeScript",
+    "SQL",
+    "Kubernetes",
+    "Docker",
+    "Linux",
+    "Git",
+    "Redis",
+    "MySQL",
+    "PostgreSQL",
+    "MongoDB",
+    "Kafka",
+    "Spark",
+    "Hadoop",
+    "Flink",
+    "TensorFlow",
+    "PyTorch",
+    "React",
+    "Vue",
+    "Spring",
+    "Django",
+    "Flask",
+    "gRPC",
+    "GraphQL",
+    "AWS",
+    "Nginx",
+    "Elasticsearch",
+    "RabbitMQ",
+    "Jenkins",
+    "Terraform",
+    "Ansible",
 ];
 
 /// Award phrases.
@@ -151,21 +322,42 @@ pub const AWARDS: [&str; 14] = [
 
 /// Verb phrases for work/project bullets.
 pub const BULLET_VERBS: [&str; 16] = [
-    "Designed", "Implemented", "Maintained", "Optimized", "Led", "Developed",
-    "Refactored", "Migrated", "Deployed", "Monitored", "Automated", "Integrated",
-    "Documented", "Tested", "Scaled", "Launched",
+    "Designed",
+    "Implemented",
+    "Maintained",
+    "Optimized",
+    "Led",
+    "Developed",
+    "Refactored",
+    "Migrated",
+    "Deployed",
+    "Monitored",
+    "Automated",
+    "Integrated",
+    "Documented",
+    "Tested",
+    "Scaled",
+    "Launched",
 ];
 
 /// Object phrases for bullets.
 pub const BULLET_OBJECTS: [&str; 16] = [
-    "the core service modules", "a distributed cache layer",
-    "the data ingestion pipeline", "the user growth dashboard",
-    "an internal configuration center", "the offline feature store",
-    "the online inference service", "a high-throughput message queue",
-    "the continuous integration workflow", "the database sharding scheme",
-    "the API gateway routing rules", "the anomaly detection alerts",
-    "the A/B testing framework", "the customer billing reports",
-    "the search ranking strategy", "the mobile client SDK",
+    "the core service modules",
+    "a distributed cache layer",
+    "the data ingestion pipeline",
+    "the user growth dashboard",
+    "an internal configuration center",
+    "the offline feature store",
+    "the online inference service",
+    "a high-throughput message queue",
+    "the continuous integration workflow",
+    "the database sharding scheme",
+    "the API gateway routing rules",
+    "the anomaly detection alerts",
+    "the A/B testing framework",
+    "the customer billing reports",
+    "the search ranking strategy",
+    "the mobile client SDK",
 ];
 
 /// Outcome phrases for bullets.
@@ -249,10 +441,7 @@ pub fn all_projects() -> Vec<String> {
 
 /// Sample an email derived from a name (so heuristics can cross-check).
 pub fn sample_email(rng: &mut impl Rng, name: &str) -> String {
-    let lowered: Vec<String> = name
-        .split_whitespace()
-        .map(|s| s.to_lowercase())
-        .collect();
+    let lowered: Vec<String> = name.split_whitespace().map(|s| s.to_lowercase()).collect();
     let domains = ["example.com", "mailbox.cn", "corpmail.com", "webpost.net"];
     let sep = if rng.gen_bool(0.5) { "." } else { "_" };
     let num: u32 = rng.gen_range(1..999);
@@ -270,14 +459,24 @@ pub fn sample_email(rng: &mut impl Rng, name: &str) -> String {
 pub fn sample_phone(rng: &mut impl Rng) -> String {
     if rng.gen_bool(0.6) {
         // Mobile: 11 digits starting 13/15/18.
-        let prefix = ["138", "139", "158", "186", "188"].choose(rng).expect("non-empty");
-        let rest: String = (0..8).map(|_| char::from(b'0' + rng.gen_range(0..10u8))).collect();
+        let prefix = ["138", "139", "158", "186", "188"]
+            .choose(rng)
+            .expect("non-empty");
+        let rest: String = (0..8)
+            .map(|_| char::from(b'0' + rng.gen_range(0..10u8)))
+            .collect();
         format!("{prefix}{rest}")
     } else {
         // Landline-ish grouped form.
-        let a: String = (0..3).map(|_| char::from(b'0' + rng.gen_range(0..10u8))).collect();
-        let b: String = (0..4).map(|_| char::from(b'0' + rng.gen_range(0..10u8))).collect();
-        let c: String = (0..4).map(|_| char::from(b'0' + rng.gen_range(0..10u8))).collect();
+        let a: String = (0..3)
+            .map(|_| char::from(b'0' + rng.gen_range(0..10u8)))
+            .collect();
+        let b: String = (0..4)
+            .map(|_| char::from(b'0' + rng.gen_range(0..10u8)))
+            .collect();
+        let c: String = (0..4)
+            .map(|_| char::from(b'0' + rng.gen_range(0..10u8)))
+            .collect();
         format!("{a}-{b}-{c}")
     }
 }
@@ -329,11 +528,13 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         for _ in 0..100 {
             let name = sample_name(&mut rng);
-            assert!(resuformer_text::matchers::is_email(&sample_email(&mut rng, &name)));
-            assert!(resuformer_text::matchers::is_phone(&sample_phone(&mut rng)));
-            assert!(resuformer_text::matchers::is_year_month(&sample_year_month(
-                &mut rng, 2000, 2025
+            assert!(resuformer_text::matchers::is_email(&sample_email(
+                &mut rng, &name
             )));
+            assert!(resuformer_text::matchers::is_phone(&sample_phone(&mut rng)));
+            assert!(resuformer_text::matchers::is_year_month(
+                &sample_year_month(&mut rng, 2000, 2025)
+            ));
         }
     }
 
@@ -373,7 +574,10 @@ mod tests {
 pub fn surface_variant(rng: &mut impl Rng, canonical: &str) -> String {
     let mut out = canonical.to_string();
     let rules: [(&str, &str); 8] = [
-        ("University of Science and Technology", "Univ. of Sci. & Tech."),
+        (
+            "University of Science and Technology",
+            "Univ. of Sci. & Tech.",
+        ),
         ("Institute of Technology", "Tech."),
         ("Normal University", "Normal Univ."),
         ("University", "Univ."),
@@ -405,10 +609,16 @@ fn contains_word_phrase(s: &str, phrase: &str) -> bool {
     while let Some(pos) = s[start..].find(phrase) {
         let abs = start + pos;
         let before_ok = abs == 0
-            || !s[..abs].chars().next_back().is_some_and(|c| c.is_ascii_alphanumeric());
+            || !s[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_ascii_alphanumeric());
         let after = abs + phrase.len();
         let after_ok = after == s.len()
-            || !s[after..].chars().next().is_some_and(|c| c.is_ascii_alphanumeric());
+            || !s[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphanumeric());
         if before_ok && after_ok {
             return true;
         }
@@ -423,10 +633,16 @@ fn replace_word_phrase(s: &str, phrase: &str, to: &str) -> String {
     while let Some(pos) = s[start..].find(phrase) {
         let abs = start + pos;
         let before_ok = abs == 0
-            || !s[..abs].chars().next_back().is_some_and(|c| c.is_ascii_alphanumeric());
+            || !s[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_ascii_alphanumeric());
         let after = abs + phrase.len();
         let after_ok = after == s.len()
-            || !s[after..].chars().next().is_some_and(|c| c.is_ascii_alphanumeric());
+            || !s[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphanumeric());
         if before_ok && after_ok {
             return format!("{}{}{}", &s[..abs], to, &s[after..]);
         }

@@ -138,7 +138,10 @@ pub fn sample_record(rng: &mut impl Rng, config: &GeneratorConfig) -> ResumeReco
             Education {
                 college: colleges.choose(rng).expect("non-empty").clone(),
                 major: entities::MAJORS.choose(rng).expect("non-empty").to_string(),
-                degree: entities::DEGREES.choose(rng).expect("non-empty").to_string(),
+                degree: entities::DEGREES
+                    .choose(rng)
+                    .expect("non-empty")
+                    .to_string(),
                 start: format!("{start_year}.09"),
                 end: format!("{}.06", start_year + 4),
                 scholarship: if rng.gen_bool(config.scholarship_prob) {
@@ -171,7 +174,10 @@ pub fn sample_record(rng: &mut impl Rng, config: &GeneratorConfig) -> ResumeReco
             }
             Work {
                 company: companies.choose(rng).expect("non-empty").clone(),
-                position: entities::POSITIONS.choose(rng).expect("non-empty").to_string(),
+                position: entities::POSITIONS
+                    .choose(rng)
+                    .expect("non-empty")
+                    .to_string(),
                 start,
                 end,
                 bullets: make_bullets(rng),
@@ -201,7 +207,10 @@ pub fn sample_record(rng: &mut impl Rng, config: &GeneratorConfig) -> ResumeReco
     skills.sort();
 
     ResumeRecord {
-        gender: entities::GENDERS.choose(rng).expect("non-empty").to_string(),
+        gender: entities::GENDERS
+            .choose(rng)
+            .expect("non-empty")
+            .to_string(),
         phone: entities::sample_phone(rng),
         age: rng.gen_range(22..45),
         educations,
@@ -309,8 +318,7 @@ impl Writer {
                 bold,
             });
             self.token_blocks.push(block);
-            self.token_entities
-                .push(entities.get(i).copied().flatten());
+            self.token_entities.push(entities.get(i).copied().flatten());
             self.x += w + space;
         }
     }
@@ -353,7 +361,11 @@ fn restyle_date(date: &str, sep: char) -> String {
 /// Build a `start - end` date-range token run with Date entity labels.
 fn date_range(start: &str, end: &str, sep: char) -> (Vec<String>, Vec<Option<EntityType>>) {
     (
-        vec![restyle_date(start, sep), "-".to_string(), restyle_date(end, sep)],
+        vec![
+            restyle_date(start, sep),
+            "-".to_string(),
+            restyle_date(end, sep),
+        ],
         vec![Some(EntityType::Date); 3],
     )
 }
@@ -460,7 +472,14 @@ pub fn render_resume(
         } else {
             w.write_line(
                 &[
-                    &record.gender, "|", &age, "years", "old", "|", &record.phone, "|",
+                    &record.gender,
+                    "|",
+                    &age,
+                    "years",
+                    "old",
+                    "|",
+                    &record.phone,
+                    "|",
                     &record.email,
                 ],
                 &[
@@ -769,7 +788,10 @@ mod tests {
             use std::collections::HashMap;
             let mut pages_by_block: HashMap<(BlockType, usize), Vec<usize>> = HashMap::new();
             for (i, &blk) in r.token_blocks.iter().enumerate() {
-                pages_by_block.entry(blk).or_default().push(r.doc.tokens[i].page);
+                pages_by_block
+                    .entry(blk)
+                    .or_default()
+                    .push(r.doc.tokens[i].page);
             }
             for (_, pages) in pages_by_block {
                 if pages.iter().any(|&p| p != pages[0]) {
@@ -813,7 +835,12 @@ mod date_style_tests {
                 .iter()
                 .filter(|t| resuformer_text::matchers::is_year_month(&t.text))
                 .count();
-            assert!(date_toks >= 2, "{:?}: only {} matcher-valid dates", style, date_toks);
+            assert!(
+                date_toks >= 2,
+                "{:?}: only {} matcher-valid dates",
+                style,
+                date_toks
+            );
         }
     }
 }

@@ -25,8 +25,11 @@ pub enum TemplateStyle {
 
 impl TemplateStyle {
     /// All styles.
-    pub const ALL: [TemplateStyle; 3] =
-        [TemplateStyle::Classic, TemplateStyle::Labeled, TemplateStyle::Compact];
+    pub const ALL: [TemplateStyle; 3] = [
+        TemplateStyle::Classic,
+        TemplateStyle::Labeled,
+        TemplateStyle::Compact,
+    ];
 
     /// Section order for this style (Title blocks are emitted before each
     /// section automatically; `PInfo` placement varies).
@@ -186,10 +189,22 @@ mod tests {
     fn headers_are_textually_ambiguous_across_styles() {
         // The same surface header maps to different block types in
         // different styles — the designed ambiguity.
-        assert_eq!(TemplateStyle::Compact.header(BlockType::WorkExp), Some("Experience"));
-        assert_eq!(TemplateStyle::Labeled.header(BlockType::ProjExp), Some("Experience"));
-        assert_eq!(TemplateStyle::Compact.header(BlockType::EduExp), Some("Background"));
-        assert_eq!(TemplateStyle::Labeled.header(BlockType::Summary), Some("Background"));
+        assert_eq!(
+            TemplateStyle::Compact.header(BlockType::WorkExp),
+            Some("Experience")
+        );
+        assert_eq!(
+            TemplateStyle::Labeled.header(BlockType::ProjExp),
+            Some("Experience")
+        );
+        assert_eq!(
+            TemplateStyle::Compact.header(BlockType::EduExp),
+            Some("Background")
+        );
+        assert_eq!(
+            TemplateStyle::Labeled.header(BlockType::Summary),
+            Some("Background")
+        );
     }
 
     #[test]

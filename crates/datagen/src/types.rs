@@ -52,7 +52,10 @@ impl BlockType {
 
     /// Index into [`BlockType::ALL`].
     pub fn index(&self) -> usize {
-        BlockType::ALL.iter().position(|b| b == self).expect("member of ALL")
+        BlockType::ALL
+            .iter()
+            .position(|b| b == self)
+            .expect("member of ALL")
     }
 }
 
@@ -123,7 +126,10 @@ impl EntityType {
 
     /// Index into [`EntityType::ALL`].
     pub fn index(&self) -> usize {
-        EntityType::ALL.iter().position(|e| e == self).expect("member of ALL")
+        EntityType::ALL
+            .iter()
+            .position(|e| e == self)
+            .expect("member of ALL")
     }
 }
 

@@ -30,9 +30,7 @@ pub struct LayoutTuple {
 
 /// Normalise a bounding box against its page into the layout tuple.
 pub fn normalize_bbox(bbox: &BBox, page_geom: &Page, page: usize) -> LayoutTuple {
-    let clamp = |v: f32| -> usize {
-        (v.max(0.0).min(COORD_RANGE as f32)).round() as usize
-    };
+    let clamp = |v: f32| -> usize { (v.max(0.0).min(COORD_RANGE as f32)).round() as usize };
     let sx = COORD_RANGE as f32 / page_geom.width;
     let sy = COORD_RANGE as f32 / page_geom.height;
     let x_min = clamp(bbox.x0 * sx);
@@ -57,17 +55,31 @@ mod tests {
 
     #[test]
     fn full_page_box_maps_to_full_range() {
-        let p = Page { width: 600.0, height: 800.0 };
+        let p = Page {
+            width: 600.0,
+            height: 800.0,
+        };
         let t = normalize_bbox(&BBox::new(0.0, 0.0, 600.0, 800.0), &p, 1);
-        assert_eq!(t, LayoutTuple {
-            x_min: 0, y_min: 0, x_max: 1000, y_max: 1000,
-            width: 1000, height: 1000, page: 1,
-        });
+        assert_eq!(
+            t,
+            LayoutTuple {
+                x_min: 0,
+                y_min: 0,
+                x_max: 1000,
+                y_max: 1000,
+                width: 1000,
+                height: 1000,
+                page: 1,
+            }
+        );
     }
 
     #[test]
     fn mid_page_box_scales_proportionally() {
-        let p = Page { width: 1000.0, height: 2000.0 };
+        let p = Page {
+            width: 1000.0,
+            height: 2000.0,
+        };
         let t = normalize_bbox(&BBox::new(250.0, 500.0, 750.0, 1500.0), &p, 0);
         assert_eq!((t.x_min, t.y_min, t.x_max, t.y_max), (250, 250, 750, 750));
         assert_eq!((t.width, t.height), (500, 500));
@@ -75,7 +87,10 @@ mod tests {
 
     #[test]
     fn out_of_page_coordinates_clamp() {
-        let p = Page { width: 100.0, height: 100.0 };
+        let p = Page {
+            width: 100.0,
+            height: 100.0,
+        };
         let t = normalize_bbox(&BBox::new(0.0, 0.0, 150.0, 50.0), &p, 0);
         assert_eq!(t.x_max, 1000);
         assert_eq!(t.y_max, 500);

@@ -98,7 +98,9 @@ mod tests {
         let (d2, s2, p2) = make_doc(10.0, false, 50.0);
         let b = rasterize_sentence(&d1, &s1, &p1);
         let n = rasterize_sentence(&d2, &s2, &p2);
-        assert!(b.iter().cloned().fold(0.0f32, f32::max) > n.iter().cloned().fold(0.0f32, f32::max));
+        assert!(
+            b.iter().cloned().fold(0.0f32, f32::max) > n.iter().cloned().fold(0.0f32, f32::max)
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub struct SentenceConfig {
 
 impl Default for SentenceConfig {
     fn default() -> Self {
-        SentenceConfig { max_gap_em: 1.5, max_tokens: 55 }
+        SentenceConfig {
+            max_gap_em: 1.5,
+            max_tokens: 55,
+        }
     }
 }
 
@@ -130,7 +133,10 @@ mod tests {
 
     fn doc(tokens: Vec<Token>) -> Document {
         let pages = tokens.iter().map(|t| t.page).max().unwrap_or(0) + 1;
-        Document { tokens, pages: vec![Page::a4(); pages] }
+        Document {
+            tokens,
+            pages: vec![Page::a4(); pages],
+        }
     }
 
     #[test]
@@ -192,7 +198,10 @@ mod tests {
             .map(|i| tok("w", 50.0 + 12.0 * i as f32, 100.0, 10.0, 0))
             .collect();
         let d = doc(tokens);
-        let cfg = SentenceConfig { max_gap_em: 1.5, max_tokens: 4 };
+        let cfg = SentenceConfig {
+            max_gap_em: 1.5,
+            max_tokens: 4,
+        };
         let s = concat_sentences(&d, &cfg);
         assert_eq!(s.len(), 3);
         assert_eq!(s[0].len(), 4);

@@ -19,7 +19,10 @@ pub struct BBox {
 impl BBox {
     /// New box; panics on inverted edges.
     pub fn new(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
-        assert!(x1 >= x0 && y1 >= y0, "inverted bbox ({x0},{y0})-({x1},{y1})");
+        assert!(
+            x1 >= x0 && y1 >= y0,
+            "inverted bbox ({x0},{y0})-({x1},{y1})"
+        );
         BBox { x0, y0, x1, y1 }
     }
 
@@ -95,7 +98,10 @@ pub struct Page {
 impl Page {
     /// US-letter-ish default used by the generator.
     pub fn a4() -> Self {
-        Page { width: 595.0, height: 842.0 }
+        Page {
+            width: 595.0,
+            height: 842.0,
+        }
     }
 }
 
@@ -123,10 +129,18 @@ impl Document {
     pub fn validate(&self) -> Result<(), String> {
         for (i, t) in self.tokens.iter().enumerate() {
             if t.page >= self.pages.len() {
-                return Err(format!("token {i} on page {} of {}", t.page, self.pages.len()));
+                return Err(format!(
+                    "token {i} on page {} of {}",
+                    t.page,
+                    self.pages.len()
+                ));
             }
             let p = self.pages[t.page];
-            if t.bbox.x1 > p.width + 1e-3 || t.bbox.y1 > p.height + 1e-3 || t.bbox.x0 < -1e-3 || t.bbox.y0 < -1e-3 {
+            if t.bbox.x1 > p.width + 1e-3
+                || t.bbox.y1 > p.height + 1e-3
+                || t.bbox.x0 < -1e-3
+                || t.bbox.y0 < -1e-3
+            {
                 return Err(format!("token {i} bbox {:?} outside page", t.bbox));
             }
             if t.text.is_empty() || t.text.contains(char::is_whitespace) {

@@ -26,10 +26,16 @@ fn arb_doc() -> impl Strategy<Value = Document> {
     proptest::collection::vec(arb_token(), 0..60).prop_map(|mut tokens| {
         // Reading order: sort by (page, y, x) like a parser would emit.
         tokens.sort_by(|a, b| {
-            (a.page, a.bbox.y0 as i64, a.bbox.x0 as i64)
-                .cmp(&(b.page, b.bbox.y0 as i64, b.bbox.x0 as i64))
+            (a.page, a.bbox.y0 as i64, a.bbox.x0 as i64).cmp(&(
+                b.page,
+                b.bbox.y0 as i64,
+                b.bbox.x0 as i64,
+            ))
         });
-        Document { tokens, pages: vec![Page::a4(); 3] }
+        Document {
+            tokens,
+            pages: vec![Page::a4(); 3],
+        }
     })
 }
 

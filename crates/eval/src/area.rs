@@ -22,14 +22,26 @@ pub struct AreaMetrics {
 impl AreaMetrics {
     /// Combine raw areas into the metric triple.
     pub fn from_areas(intersection: f32, detected: f32, truth: f32) -> Self {
-        let precision = if detected > 0.0 { intersection / detected } else { 0.0 };
-        let recall = if truth > 0.0 { intersection / truth } else { 0.0 };
+        let precision = if detected > 0.0 {
+            intersection / detected
+        } else {
+            0.0
+        };
+        let recall = if truth > 0.0 {
+            intersection / truth
+        } else {
+            0.0
+        };
         let f1 = if precision + recall > 0.0 {
             2.0 * precision * recall / (precision + recall)
         } else {
             0.0
         };
-        AreaMetrics { precision, recall, f1 }
+        AreaMetrics {
+            precision,
+            recall,
+            f1,
+        }
     }
 }
 
@@ -53,12 +65,7 @@ impl AreaAccumulator {
 
     /// Add one document: per-token gold and predicted class assignments
     /// (`None` = no class).
-    pub fn add(
-        &mut self,
-        doc: &Document,
-        gold: &[Option<usize>],
-        pred: &[Option<usize>],
-    ) {
+    pub fn add(&mut self, doc: &Document, gold: &[Option<usize>], pred: &[Option<usize>]) {
         assert_eq!(gold.len(), doc.num_tokens(), "gold/token mismatch");
         assert_eq!(pred.len(), doc.num_tokens(), "pred/token mismatch");
         for (i, token) in doc.tokens.iter().enumerate() {
@@ -77,7 +84,11 @@ impl AreaAccumulator {
 
     /// Metrics for one class.
     pub fn metrics(&self, class: usize) -> AreaMetrics {
-        AreaMetrics::from_areas(self.intersection[class], self.detected[class], self.truth[class])
+        AreaMetrics::from_areas(
+            self.intersection[class],
+            self.detected[class],
+            self.truth[class],
+        )
     }
 
     /// Metrics for every class.
@@ -133,7 +144,10 @@ mod tests {
                 bold: false,
             })
             .collect();
-        Document { tokens, pages: vec![Page::a4()] }
+        Document {
+            tokens,
+            pages: vec![Page::a4()],
+        }
     }
 
     #[test]

@@ -56,7 +56,9 @@ pub struct EntityScorer {
 impl EntityScorer {
     /// New scorer over `n_classes` classes.
     pub fn new(n_classes: usize) -> Self {
-        EntityScorer { per_class: vec![Prf::default(); n_classes] }
+        EntityScorer {
+            per_class: vec![Prf::default(); n_classes],
+        }
     }
 
     /// Score one sequence pair (gold vs predicted IOB labels).
@@ -147,7 +149,11 @@ mod tests {
 
     #[test]
     fn hand_computed_prf() {
-        let mut m = Prf { tp: 3, fp: 1, fn_: 2 };
+        let mut m = Prf {
+            tp: 3,
+            fp: 1,
+            fn_: 2,
+        };
         assert!((m.precision() - 0.75).abs() < 1e-6);
         assert!((m.recall() - 0.6).abs() < 1e-6);
         assert!((m.f1() - 2.0 * 0.75 * 0.6 / 1.35).abs() < 1e-6);

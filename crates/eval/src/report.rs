@@ -21,11 +21,18 @@ pub struct Cell {
 impl Cell {
     /// From fractional metrics.
     pub fn from_fractions(f1: f32, recall: f32, precision: f32) -> Self {
-        Cell { f1: f1 * 100.0, recall: recall * 100.0, precision: precision * 100.0 }
+        Cell {
+            f1: f1 * 100.0,
+            recall: recall * 100.0,
+            precision: precision * 100.0,
+        }
     }
 
     fn render(&self) -> String {
-        format!("{:5.2} ({:5.2}/{:5.2})", self.f1, self.recall, self.precision)
+        format!(
+            "{:5.2} ({:5.2}/{:5.2})",
+            self.f1, self.recall, self.precision
+        )
     }
 }
 
@@ -51,7 +58,11 @@ pub fn format_f1_table(
     out.push_str(&"-".repeat(row_w + col_names.len() * (col_w + 3)));
     out.push('\n');
     for (rn, row) in row_names.iter().zip(cells.iter()) {
-        assert_eq!(row.len(), col_names.len(), "column count mismatch in row {rn}");
+        assert_eq!(
+            row.len(),
+            col_names.len(),
+            "column count mismatch in row {rn}"
+        );
         out.push_str(&format!("{:row_w$}", rn));
         for cell in row {
             match cell {
@@ -84,7 +95,10 @@ mod tests {
     fn table_renders_all_rows_and_columns() {
         let cells = vec![
             vec![Some(Cell::from_fractions(0.9, 0.8, 0.95)), None],
-            vec![Some(Cell::from_fractions(0.5, 0.5, 0.5)), Some(Cell::from_fractions(1.0, 1.0, 1.0))],
+            vec![
+                Some(Cell::from_fractions(0.5, 0.5, 0.5)),
+                Some(Cell::from_fractions(1.0, 1.0, 1.0)),
+            ],
         ];
         let s = format_f1_table("Table X", &["PInfo", "EduExp"], &["BERT", "Ours"], &cells);
         assert!(s.contains("Table X"));

@@ -46,6 +46,43 @@ impl Stopwatch {
             self.samples.iter().sum::<f64>() / self.samples.len() as f64
         }
     }
+
+    /// The `p`-th percentile (nearest rank over the sorted samples),
+    /// `p` in `[0, 100]`. Returns 0.0 with no samples.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+        sorted[rank.round() as usize]
+    }
+
+    /// Median seconds (p50).
+    pub fn p50_seconds(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile seconds.
+    pub fn p95_seconds(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th-percentile seconds.
+    pub fn p99_seconds(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// All recorded samples (seconds), in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Absorb another stopwatch's samples (for merging per-thread timers).
+    pub fn merge(&mut self, other: &Stopwatch) {
+        self.samples.extend_from_slice(&other.samples);
+    }
 }
 
 #[cfg(test)]
@@ -59,6 +96,53 @@ mod tests {
         sw.record(3.0);
         assert_eq!(sw.len(), 2);
         assert!((sw.mean_seconds() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let mut sw = Stopwatch::new();
+        for i in 1..=100 {
+            sw.record(i as f64);
+        }
+        assert!((sw.percentile(0.0) - 1.0).abs() < 1e-9);
+        assert!((sw.percentile(100.0) - 100.0).abs() < 1e-9);
+        assert!(
+            (sw.p50_seconds() - 50.0).abs() <= 1.5,
+            "{}",
+            sw.p50_seconds()
+        );
+        assert!(
+            (sw.p95_seconds() - 95.0).abs() <= 1.5,
+            "{}",
+            sw.p95_seconds()
+        );
+        assert!(
+            (sw.p99_seconds() - 99.0).abs() <= 1.5,
+            "{}",
+            sw.p99_seconds()
+        );
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        let empty = Stopwatch::new();
+        assert_eq!(empty.percentile(50.0), 0.0);
+        let mut one = Stopwatch::new();
+        one.record(7.0);
+        assert_eq!(one.percentile(0.0), 7.0);
+        assert_eq!(one.percentile(99.0), 7.0);
+        assert_eq!(one.samples(), &[7.0]);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Stopwatch::new();
+        a.record(1.0);
+        let mut b = Stopwatch::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!((a.mean_seconds() - 2.0).abs() < 1e-9);
     }
 
     #[test]

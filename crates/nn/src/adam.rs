@@ -155,7 +155,11 @@ mod tests {
             x.accumulate_grad(&NdArray::scalar(0.0));
             opt.step();
         }
-        assert!(x.item() < 0.9, "decay should shrink the weight: {}", x.item());
+        assert!(
+            x.item() < 0.9,
+            "decay should shrink the weight: {}",
+            x.item()
+        );
     }
 
     #[test]

@@ -24,7 +24,12 @@ pub struct MultiHeadAttention {
 impl MultiHeadAttention {
     /// New attention with `heads` heads over model dim `dim` (must divide).
     pub fn new(rng: &mut impl Rng, dim: usize, heads: usize) -> Self {
-        assert!(heads > 0 && dim % heads == 0, "dim {} not divisible by heads {}", dim, heads);
+        assert!(
+            heads > 0 && dim % heads == 0,
+            "dim {} not divisible by heads {}",
+            dim,
+            heads
+        );
         MultiHeadAttention {
             wq: Linear::new(rng, dim, dim),
             wk: Linear::new(rng, dim, dim),
@@ -119,7 +124,9 @@ mod tests {
         let mask = padding_mask(5, 3);
 
         let mut base = uniform(&mut seeded_rng(3), [5, 4], 1.0);
-        let y1 = attn.forward(&Tensor::constant(base.clone()), Some(&mask)).value();
+        let y1 = attn
+            .forward(&Tensor::constant(base.clone()), Some(&mask))
+            .value();
         // Perturb the padded rows only.
         for j in 0..4 {
             base.set(&[3, j], 9.0);

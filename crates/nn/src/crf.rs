@@ -90,15 +90,17 @@ impl Crf {
         if t_len == 1 {
             return ops::add(&ops::add(&emit, &start), &end);
         }
-        let trans_coords: Vec<(usize, usize)> =
-            tags.windows(2).map(|w| (w[0], w[1])).collect();
+        let trans_coords: Vec<(usize, usize)> = tags.windows(2).map(|w| (w[0], w[1])).collect();
         let trans = ops::sum_all(&ops::gather_elems(&self.transitions, &trans_coords));
         ops::add(&ops::add(&ops::add(&emit, &trans), &start), &end)
     }
 
     /// Negative log-likelihood of `tags` given `[T, L]` emissions.
     pub fn neg_log_likelihood(&self, emissions: &Tensor, tags: &[usize]) -> Tensor {
-        ops::sub(&self.log_partition(emissions), &self.path_score(emissions, tags))
+        ops::sub(
+            &self.log_partition(emissions),
+            &self.path_score(emissions, tags),
+        )
     }
 
     /// Viterbi decoding: the highest-scoring tag path for `[T, L]` emission
@@ -153,7 +155,11 @@ impl Crf {
 
 impl Module for Crf {
     fn parameters(&self) -> Vec<Tensor> {
-        vec![self.transitions.clone(), self.start.clone(), self.end.clone()]
+        vec![
+            self.transitions.clone(),
+            self.start.clone(),
+            self.end.clone(),
+        ]
     }
 }
 
@@ -171,7 +177,9 @@ pub struct FuzzyCrf {
 impl FuzzyCrf {
     /// New fuzzy CRF over `labels` labels.
     pub fn new(rng: &mut impl Rng, labels: usize) -> Self {
-        FuzzyCrf { crf: Crf::new(rng, labels) }
+        FuzzyCrf {
+            crf: Crf::new(rng, labels),
+        }
     }
 
     /// Constrained log-partition over paths consistent with `allowed`.
@@ -294,7 +302,12 @@ mod tests {
         for w in tags.windows(2) {
             gold += trans.at(&[w[0], w[1]]);
         }
-        assert!((nll - (logz - gold)).abs() < 1e-4, "{} vs {}", nll, logz - gold);
+        assert!(
+            (nll - (logz - gold)).abs() < 1e-4,
+            "{} vs {}",
+            nll,
+            logz - gold
+        );
         assert!(nll > 0.0, "NLL must be positive for a non-degenerate chain");
     }
 
@@ -371,7 +384,12 @@ mod tests {
         let allowed: Vec<Vec<usize>> = tags.iter().map(|&t| vec![t]).collect();
         let fuzzy_loss = fuzzy.loss(&emissions, &allowed).item();
         let crf_loss = fuzzy.crf.neg_log_likelihood(&emissions, &tags).item();
-        assert!((fuzzy_loss - crf_loss).abs() < 1e-4, "{} vs {}", fuzzy_loss, crf_loss);
+        assert!(
+            (fuzzy_loss - crf_loss).abs() < 1e-4,
+            "{} vs {}",
+            fuzzy_loss,
+            crf_loss
+        );
     }
 
     #[test]

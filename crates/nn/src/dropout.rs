@@ -31,7 +31,13 @@ impl Dropout {
         let dims = x.dims();
         let n: usize = dims.iter().product();
         let mask: Vec<f32> = (0..n)
-            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mask = Tensor::constant(NdArray::from_vec(mask, dims));
         ops::mul(x, &mask)
@@ -59,7 +65,10 @@ mod tests {
         let mean: f32 = y.data().iter().sum::<f32>() / 10_000.0;
         assert!((mean - 1.0).abs() < 0.05, "mean {}", mean);
         // Survivors are scaled by 1/keep.
-        assert!(y.data().iter().all(|&v| v == 0.0 || (v - 1.0 / 0.7).abs() < 1e-6));
+        assert!(y
+            .data()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 1.0 / 0.7).abs() < 1e-6));
     }
 
     #[test]

@@ -20,7 +20,9 @@ pub struct GcnLayer {
 impl GcnLayer {
     /// New layer mapping `in_dim` → `out_dim` node features.
     pub fn new(rng: &mut impl Rng, in_dim: usize, out_dim: usize) -> Self {
-        GcnLayer { proj: Linear::new(rng, in_dim, out_dim) }
+        GcnLayer {
+            proj: Linear::new(rng, in_dim, out_dim),
+        }
     }
 
     /// Forward: `adj_norm` is `[n, n]`, `x` is `[n, in_dim]`.

@@ -57,7 +57,10 @@ impl Lstm {
         for &t in &order {
             let x_t = ops::slice_rows(x, t, 1);
             let pre = ops::add_broadcast_row(
-                &ops::add(&ops::matmul(&x_t, &self.w_ih), &ops::matmul(&h_t, &self.w_hh)),
+                &ops::add(
+                    &ops::matmul(&x_t, &self.w_ih),
+                    &ops::matmul(&h_t, &self.w_hh),
+                ),
                 &self.b,
             );
             let i = ops::sigmoid(&ops::slice_cols(&pre, 0, h));
@@ -68,7 +71,10 @@ impl Lstm {
             h_t = ops::mul(&o, &ops::tanh(&c_t));
             hs[t] = Some(h_t.clone());
         }
-        let rows: Vec<Tensor> = hs.into_iter().map(|t| t.expect("all steps filled")).collect();
+        let rows: Vec<Tensor> = hs
+            .into_iter()
+            .map(|t| t.expect("all steps filled"))
+            .collect();
         ops::concat_rows(&rows)
     }
 }
@@ -151,7 +157,12 @@ mod tests {
         let o = sig(0.7 * 2.0);
         let c = i * g; // f * c0 = 0
         let expect = o * c.tanh();
-        assert!((y.data()[0] - expect).abs() < 1e-5, "{} vs {}", y.data()[0], expect);
+        assert!(
+            (y.data()[0] - expect).abs() < 1e-5,
+            "{} vs {}",
+            y.data()[0],
+            expect
+        );
     }
 
     #[test]

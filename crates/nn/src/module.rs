@@ -137,9 +137,16 @@ impl std::fmt::Display for LoadError {
             LoadError::BadMagic => write!(f, "bad magic header"),
             LoadError::UnexpectedEof => write!(f, "unexpected end of input"),
             LoadError::ParamCountMismatch { expected, found } => {
-                write!(f, "parameter count mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "parameter count mismatch: expected {expected}, found {found}"
+                )
             }
-            LoadError::ShapeMismatch { param, expected, found } => write!(
+            LoadError::ShapeMismatch {
+                param,
+                expected,
+                found,
+            } => write!(
                 f,
                 "shape mismatch at parameter {param}: expected {expected:?}, found {found:?}"
             ),
@@ -166,7 +173,9 @@ impl<'a> Reader<'a> {
 
     fn u64(&mut self) -> Result<u64, LoadError> {
         let b = self.take(8)?;
-        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 }
 

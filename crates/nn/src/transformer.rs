@@ -171,7 +171,10 @@ mod tests {
         params.extend(readout.parameters());
 
         let loss_at = |rng: &mut rand_chacha::ChaCha8Rng| {
-            ops::mse(&readout.forward(&enc.forward(&x, None, false, rng)), &target)
+            ops::mse(
+                &readout.forward(&enc.forward(&x, None, false, rng)),
+                &target,
+            )
         };
         let loss0 = loss_at(&mut rng).item();
         for _ in 0..150 {

@@ -1,0 +1,128 @@
+//! The dynamic micro-batching scheduler.
+//!
+//! Connection handlers enqueue [`Job`]s onto a crossbeam channel; one
+//! scheduler thread drains up to `max_batch` jobs or waits `max_wait`,
+//! whichever comes first, and hands the batch to the worker pool. Under
+//! load the wait never triggers (batches fill instantly); at low traffic
+//! a lone request pays at most `max_wait` of extra latency.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use resuformer::pipeline::ParsedResume;
+use resuformer_doc::Document;
+
+use crate::metrics::Metrics;
+
+/// One queued parse request: the document plus the response channel the
+/// connection handler is blocked on.
+pub struct Job {
+    /// The document to parse.
+    pub doc: Document,
+    /// When the request entered the queue (end-to-end latency anchor).
+    pub enqueued: Instant,
+    /// Where the worker sends the result.
+    pub resp: std::sync::mpsc::Sender<Result<ParsedResume, String>>,
+}
+
+/// Drain the request queue into batches until every request sender is
+/// dropped (the drain-on-shutdown path: handlers finish, the acceptor
+/// drops its sender, the queue empties, and only then does this loop —
+/// and with it the worker pool's batch channel — wind down).
+pub fn run_scheduler(
+    requests: Receiver<Job>,
+    batches: Sender<Vec<Job>>,
+    max_batch: usize,
+    max_wait: Duration,
+    metrics: Arc<Metrics>,
+) {
+    let max_batch = max_batch.max(1);
+    loop {
+        // Block for the first job of the next batch.
+        let first = match requests.recv_timeout(Duration::from_millis(100)) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => continue,
+            // All senders gone and the queue fully drained: shut down.
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + max_wait;
+        while batch.len() < max_batch {
+            match requests.recv_deadline(deadline) {
+                Ok(job) => batch.push(job),
+                Err(_) => break, // deadline hit or disconnected: ship what we have
+            }
+        }
+        metrics.note_batch_formed(batch.len());
+        if batches.send(batch).is_err() {
+            break; // worker pool gone
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    fn job(doc: Document) -> (Job, std::sync::mpsc::Receiver<Result<ParsedResume, String>>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (
+            Job {
+                doc,
+                enqueued: Instant::now(),
+                resp: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn scheduler_coalesces_queued_jobs_into_one_batch() {
+        let (req_tx, req_rx) = unbounded();
+        let (batch_tx, batch_rx) = unbounded();
+        let metrics = Arc::new(Metrics::new());
+
+        // Enqueue 5 jobs BEFORE the scheduler starts: they must coalesce
+        // into one batch of 4 (the cap) and one of 1.
+        let mut rxs = Vec::new();
+        for _ in 0..5 {
+            let (j, rx) = job(Document::default());
+            rxs.push(rx);
+            req_tx.send(j).unwrap();
+        }
+        drop(req_tx);
+
+        let m = metrics.clone();
+        let handle = std::thread::spawn(move || {
+            run_scheduler(req_rx, batch_tx, 4, Duration::from_millis(5), m);
+        });
+        handle.join().unwrap();
+
+        let sizes: Vec<usize> = batch_rx.iter().map(|b: Vec<Job>| b.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 5);
+        assert_eq!(sizes[0], 4, "first batch must fill to max_batch: {sizes:?}");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.queue_depth, 0, "scheduler must drain the queue");
+    }
+
+    #[test]
+    fn scheduler_ships_partial_batch_after_max_wait() {
+        let (req_tx, req_rx) = unbounded();
+        let (batch_tx, batch_rx) = unbounded();
+        let metrics = Arc::new(Metrics::new());
+
+        let handle = std::thread::spawn(move || {
+            run_scheduler(req_rx, batch_tx, 64, Duration::from_millis(10), metrics);
+        });
+        let (j, _rx) = job(Document::default());
+        req_tx.send(j).unwrap();
+        let batch = batch_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("lone job must ship after max_wait");
+        assert_eq!(batch.len(), 1);
+        drop(req_tx);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,211 @@
+//! Load generator for the ResuFormer inference server.
+//!
+//! Generates synthetic resumes, fires them at `/parse` from a pool of
+//! concurrent client threads, and reports throughput, client-side latency
+//! percentiles, and the server's own `/metrics` snapshot.
+//!
+//! ```bash
+//! cargo run --release -p resuformer-serve --bin loadgen -- \
+//!     --addr 127.0.0.1:8080 --requests 200 --concurrency 8
+//! ```
+//!
+//! Exits nonzero if any request fails — the acceptance gate for the
+//! serving stack is "zero errors under concurrency, mean batch size > 1".
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use resuformer_datagen::{generate_resume, GeneratorConfig};
+use resuformer_eval::Stopwatch;
+use resuformer_serve::client::http_request;
+use resuformer_serve::MetricsSnapshot;
+
+struct Args {
+    addr: String,
+    requests: usize,
+    concurrency: usize,
+    docs: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:8080".to_string(),
+        requests: 200,
+        concurrency: 8,
+        docs: 16,
+        seed: 7,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            return Err(String::new());
+        }
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        match flag {
+            "--addr" => args.addr = value.clone(),
+            "--requests" => {
+                args.requests = value
+                    .parse()
+                    .map_err(|_| format!("bad --requests: {value}"))?
+            }
+            "--concurrency" => {
+                args.concurrency = value
+                    .parse()
+                    .map_err(|_| format!("bad --concurrency: {value}"))?
+            }
+            "--docs" => args.docs = value.parse().map_err(|_| format!("bad --docs: {value}"))?,
+            "--seed" => args.seed = value.parse().map_err(|_| format!("bad --seed: {value}"))?,
+            _ => return Err(format!("unknown flag: {flag}")),
+        }
+        i += 2;
+    }
+    if args.requests == 0 || args.concurrency == 0 || args.docs == 0 {
+        return Err("--requests, --concurrency, and --docs must be positive".to_string());
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency N] [--docs N] [--seed N]"
+    );
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}");
+            }
+            usage();
+            std::process::exit(if e.is_empty() { 0 } else { 2 });
+        }
+    };
+
+    // Pre-serialize the request bodies so the hot loop measures the
+    // server, not the generator.
+    println!(
+        "Generating {} synthetic resumes (seed {})...",
+        args.docs, args.seed
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let config = GeneratorConfig::smoke();
+    let bodies: Arc<Vec<Vec<u8>>> = Arc::new(
+        (0..args.docs)
+            .map(|_| {
+                let resume = generate_resume(&mut rng, &config);
+                serde_json::to_vec(&resume.doc).expect("document serializes")
+            })
+            .collect(),
+    );
+
+    println!(
+        "Firing {} requests at {} with concurrency {}...",
+        args.requests, args.addr, args.concurrency
+    );
+    let next = Arc::new(AtomicUsize::new(0));
+    let errors = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let timeout = Duration::from_secs(60);
+    let mut handles = Vec::new();
+    for _ in 0..args.concurrency {
+        let next = next.clone();
+        let errors = errors.clone();
+        let bodies = bodies.clone();
+        let addr = args.addr.clone();
+        let total = args.requests;
+        handles.push(std::thread::spawn(move || {
+            let mut sw = Stopwatch::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let body = &bodies[i % bodies.len()];
+                let t0 = Instant::now();
+                match http_request(&addr, "POST", "/parse", body, timeout) {
+                    Ok(resp) if resp.status == 200 => {
+                        // A response only counts if it is a well-formed
+                        // parse, not just a 200.
+                        match serde_json::from_slice::<serde_json::Value>(&resp.body) {
+                            Ok(v) if v.get("blocks").is_some() => {
+                                sw.record(t0.elapsed().as_secs_f64());
+                            }
+                            _ => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                eprintln!("request {i}: 200 but malformed parse body");
+                            }
+                        }
+                    }
+                    Ok(resp) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "request {i}: status {} ({})",
+                            resp.status,
+                            String::from_utf8_lossy(&resp.body)
+                        );
+                    }
+                    Err(e) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("request {i}: {e}");
+                    }
+                }
+            }
+            sw
+        }));
+    }
+
+    let mut latency = Stopwatch::new();
+    for h in handles {
+        if let Ok(sw) = h.join() {
+            latency.merge(&sw);
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let failed = errors.load(Ordering::Relaxed);
+    let ok = args.requests - failed.min(args.requests);
+
+    println!("\n=== loadgen report ===");
+    println!("requests    : {} ok, {} failed", ok, failed);
+    println!(
+        "wall time   : {elapsed:.2}s  ({:.1} req/s)",
+        args.requests as f64 / elapsed
+    );
+    println!(
+        "latency ms  : mean {:.1} | p50 {:.1} | p95 {:.1} | p99 {:.1}",
+        latency.mean_seconds() * 1e3,
+        latency.p50_seconds() * 1e3,
+        latency.p95_seconds() * 1e3,
+        latency.p99_seconds() * 1e3,
+    );
+
+    match resuformer_serve::client::get_json::<MetricsSnapshot>(&args.addr, "/metrics", timeout) {
+        Ok(m) => {
+            println!(
+                "server      : {} requests in {} batches (mean batch size {:.2}), {} errors",
+                m.requests, m.batches, m.mean_batch_size, m.errors
+            );
+            println!(
+                "server ms   : request p50 {:.1} / p95 {:.1} / p99 {:.1} | batch p50 {:.1}",
+                m.request_latency_ms.p50,
+                m.request_latency_ms.p95,
+                m.request_latency_ms.p99,
+                m.batch_latency_ms.p50,
+            );
+        }
+        Err(e) => eprintln!("fetching /metrics failed: {e}"),
+    }
+
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,82 @@
+//! A tiny blocking HTTP client for the load generator and tests.
+//!
+//! Mirrors the server's dialect: one request per connection,
+//! `Content-Length` framing, no keep-alive.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Response from [`http_request`]: status code and raw body.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+/// Issue one blocking HTTP request and read the full response.
+///
+/// `addr` is `host:port`; `timeout` bounds connect, read, and write
+/// individually (not the total exchange).
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> Result<Response, String> {
+    let sock_addr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("bad address {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("address {addr} resolved to nothing"))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)
+        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    stream.set_read_timeout(Some(timeout)).ok();
+    stream.set_write_timeout(Some(timeout)).ok();
+
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|_| stream.write_all(body))
+        .map_err(|e| format!("sending request: {e}"))?;
+
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("reading response: {e}"))?;
+
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("malformed response: no header terminator")?;
+    let head_text = String::from_utf8_lossy(&raw[..header_end]);
+    let status_line = head_text.lines().next().unwrap_or_default();
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line: {status_line}"))?;
+    Ok(Response {
+        status,
+        body: raw[header_end + 4..].to_vec(),
+    })
+}
+
+/// Convenience: GET `path` and deserialize the JSON body.
+pub fn get_json<T: serde::de::DeserializeOwned>(
+    addr: &str,
+    path: &str,
+    timeout: Duration,
+) -> Result<T, String> {
+    let resp = http_request(addr, "GET", path, &[], timeout)?;
+    if resp.status != 200 {
+        return Err(format!("GET {path}: status {}", resp.status));
+    }
+    serde_json::from_slice(&resp.body).map_err(|e| format!("decoding {path}: {e}"))
+}

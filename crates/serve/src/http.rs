@@ -1,0 +1,107 @@
+//! A deliberately minimal HTTP/1.1 implementation over `std::net`.
+//!
+//! The server speaks exactly the subset the API needs: one request per
+//! connection (`Connection: close`), `Content-Length` bodies only (no
+//! chunked encoding), and small JSON payloads. Keeping this hand-rolled
+//! avoids pulling an async runtime or HTTP framework into the workspace.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on request body size (8 MiB) — a resume document is far smaller;
+/// anything bigger is rejected before allocation.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// A parsed inbound request: method, path, body.
+#[derive(Debug)]
+pub struct Request {
+    /// HTTP method, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path, query string included if present.
+    pub path: String,
+    /// Raw request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Read one HTTP/1.1 request off the stream. Returns a human-readable
+/// error for malformed framing; the caller maps that to a 400.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("reading request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let path = parts.next().ok_or("request line missing path")?.to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("reading header: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                let value = value.trim();
+                content_length = value
+                    .parse()
+                    .map_err(|_| format!("bad content-length: {value}"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!("body too large: {content_length} bytes"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("reading body: {e}"))?;
+    Ok(Request { method, path, body })
+}
+
+/// Write a complete response and close out the exchange.
+pub fn write_response(stream: &mut TcpStream, status: u16, content_type: &str, body: &[u8]) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    // Best effort: the client may already have hung up, and there is no
+    // useful recovery from a failed write on a closing connection.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body);
+    let _ = stream.flush();
+}
+
+/// Serialize `value` and send it as a JSON response.
+pub fn write_json<T: serde::Serialize>(stream: &mut TcpStream, status: u16, value: &T) {
+    match serde_json::to_vec(value) {
+        Ok(body) => write_response(stream, status, "application/json", &body),
+        Err(e) => {
+            let msg = format!("{{\"error\":\"serialization failed: {e}\"}}");
+            write_response(stream, 500, "application/json", msg.as_bytes());
+        }
+    }
+}
+
+/// Send a JSON error body `{"error": ...}` with the given status.
+pub fn write_error(stream: &mut TcpStream, status: u16, message: &str) {
+    #[derive(serde::Serialize)]
+    struct ErrorBody<'a> {
+        error: &'a str,
+    }
+    write_json(stream, status, &ErrorBody { error: message });
+}

@@ -1,0 +1,46 @@
+//! HTTP/JSON inference serving for the ResuFormer parse pipeline.
+//!
+//! This crate wraps the two-stage parser ([`resuformer::pipeline`]) in a
+//! production-shaped serving loop built entirely on `std::net` plus the
+//! workspace's existing concurrency crates — no async runtime, no HTTP
+//! framework:
+//!
+//! - **Micro-batching** ([`batch`]): concurrent requests are coalesced
+//!   into batches (up to `max_batch`, waiting at most `max_wait_ms`) so
+//!   the per-request fixed costs amortize under load.
+//! - **Model registry** ([`registry`]): the model bundle is read and
+//!   validated once at startup; each worker thread gets its own warm
+//!   parser replica (the autograd graph is `Rc`-based and cannot be
+//!   shared across threads).
+//! - **Observability** ([`metrics`]): request/batch counters, queue
+//!   depth, and p50/p95/p99 latency, served as JSON at `/metrics`.
+//! - **Graceful shutdown** ([`signal`], [`Server::shutdown`]): SIGINT
+//!   stops the acceptor, drains the queue, and joins every thread —
+//!   in-flight requests get answers, not resets.
+//!
+//! # Endpoints
+//!
+//! | Route | Method | Body | Response |
+//! |---|---|---|---|
+//! | `/healthz` | GET | — | model metadata |
+//! | `/metrics` | GET | — | [`metrics::MetricsSnapshot`] |
+//! | `/parse` | POST | `Document` JSON | `ParsedResume` JSON |
+//! | `/parse_batch` | POST | `[Document, ...]` | `[ParsedResume, ...]` |
+//!
+//! See `docs/SERVING.md` for the end-to-end walkthrough and
+//! `src/bin/loadgen.rs` for the load generator.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+pub mod signal;
+
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use registry::{ModelInfo, ModelRegistry};
+pub use server::{ServeConfig, Server};
+pub use signal::{install_sigint_handler, sigint_received};

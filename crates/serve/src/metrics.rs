@@ -1,0 +1,177 @@
+//! Serving observability: lock-free counters + latency distributions,
+//! exported as the `/metrics` JSON document.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use resuformer_eval::Stopwatch;
+use serde::{Deserialize, Serialize};
+
+/// Latency distribution summary in milliseconds.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct LatencyMs {
+    /// Mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl LatencyMs {
+    fn from_stopwatch(sw: &Stopwatch) -> Self {
+        LatencyMs {
+            mean: sw.mean_seconds() * 1e3,
+            p50: sw.p50_seconds() * 1e3,
+            p95: sw.p95_seconds() * 1e3,
+            p99: sw.p99_seconds() * 1e3,
+        }
+    }
+}
+
+/// Point-in-time view of the server counters (the `/metrics` body).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Seconds since the server started.
+    pub uptime_seconds: f64,
+    /// Completed parse requests (success only).
+    pub requests: u64,
+    /// Failed requests (bad input, timeouts, rejected during shutdown).
+    pub errors: u64,
+    /// Batches executed by the worker pool.
+    pub batches: u64,
+    /// Documents that went through batches (`batched_docs / batches` is
+    /// the mean batch size).
+    pub batched_docs: u64,
+    /// Mean documents per batch — > 1 means micro-batching is coalescing
+    /// concurrent requests.
+    pub mean_batch_size: f64,
+    /// Requests currently enqueued, waiting for a batch slot.
+    pub queue_depth: u64,
+    /// End-to-end request latency (enqueue → parsed), milliseconds.
+    pub request_latency_ms: LatencyMs,
+    /// Per-batch parse latency, milliseconds.
+    pub batch_latency_ms: LatencyMs,
+}
+
+/// Shared server counters. All methods take `&self`; cheap atomics on the
+/// hot path, a mutex only around the latency sample vectors.
+pub struct Metrics {
+    started: Instant,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    batches: AtomicU64,
+    batched_docs: AtomicU64,
+    enqueued: AtomicU64,
+    dequeued: AtomicU64,
+    request_latency: Mutex<Stopwatch>,
+    batch_latency: Mutex<Stopwatch>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh counters, clock starting now.
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_docs: AtomicU64::new(0),
+            enqueued: AtomicU64::new(0),
+            dequeued: AtomicU64::new(0),
+            request_latency: Mutex::new(Stopwatch::new()),
+            batch_latency: Mutex::new(Stopwatch::new()),
+        }
+    }
+
+    /// A request entered the batching queue.
+    pub fn note_enqueued(&self) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The scheduler formed a batch of `size` queued requests.
+    pub fn note_batch_formed(&self, size: usize) {
+        self.dequeued.fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    /// A worker finished a batch of `size` documents in `seconds`.
+    pub fn note_batch_done(&self, size: usize, seconds: f64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_docs.fetch_add(size as u64, Ordering::Relaxed);
+        self.batch_latency.lock().record(seconds);
+    }
+
+    /// A request completed successfully after `seconds` end to end.
+    pub fn note_request_done(&self, seconds: f64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.request_latency.lock().record(seconds);
+    }
+
+    /// A request failed (anywhere in the pipeline).
+    pub fn note_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot every counter for `/metrics`.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_docs = self.batched_docs.load(Ordering::Relaxed);
+        let enq = self.enqueued.load(Ordering::Relaxed);
+        let deq = self.dequeued.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            uptime_seconds: self.started.elapsed().as_secs_f64(),
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            batches,
+            batched_docs,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched_docs as f64 / batches as f64
+            },
+            queue_depth: enq.saturating_sub(deq),
+            request_latency_ms: LatencyMs::from_stopwatch(&self.request_latency.lock()),
+            batch_latency_ms: LatencyMs::from_stopwatch(&self.batch_latency.lock()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = Metrics::new();
+        m.note_enqueued();
+        m.note_enqueued();
+        m.note_enqueued();
+        m.note_batch_formed(2);
+        m.note_batch_done(2, 0.010);
+        m.note_request_done(0.012);
+        m.note_request_done(0.020);
+        m.note_error();
+        let s = m.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.batched_docs, 2);
+        assert!((s.mean_batch_size - 2.0).abs() < 1e-9);
+        assert_eq!(s.queue_depth, 1);
+        assert!(s.request_latency_ms.mean > 0.0);
+        assert!(s.batch_latency_ms.p50 > 0.0);
+
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.requests, 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! The model registry: loads and validates a saved model bundle once at
+//! startup, then stamps out one warm parser per worker thread.
+//!
+//! The autograd graph underneath the models is `Rc`-based and therefore
+//! neither `Send` nor `Sync`, so a loaded parser cannot cross threads.
+//! The registry holds only the raw file bytes (plain `Vec<u8>`, freely
+//! shareable behind an `Arc`) and rebuilds a parser inside each worker —
+//! paying the load cost once per worker at startup, never per request.
+
+use resuformer::model_io;
+use resuformer::pipeline::ResumeParser;
+use serde::Serialize;
+
+/// What `/healthz` reports about the loaded model.
+#[derive(Clone, Debug, Serialize)]
+pub struct ModelInfo {
+    /// File the model was loaded from.
+    pub path: String,
+    /// WordPiece vocabulary size.
+    pub vocab_size: usize,
+    /// Encoder width.
+    pub hidden: usize,
+    /// Document-length cap (sentences).
+    pub max_doc_sentences: usize,
+    /// Whether a trained NER stage is bundled; if not, entity extraction
+    /// falls back to the dictionary/matcher rules.
+    pub has_ner: bool,
+}
+
+/// Validated model bytes + metadata, shared across the worker pool.
+pub struct ModelRegistry {
+    bytes: Vec<u8>,
+    /// Descriptive metadata for `/healthz` and logs.
+    pub info: ModelInfo,
+}
+
+impl ModelRegistry {
+    /// Read and validate a model file. Validation actually constructs the
+    /// full bundle once, so a corrupt file fails here — at startup — and
+    /// not inside a worker thread.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+        ModelRegistry::from_bytes(bytes, path)
+    }
+
+    /// Build a registry straight from in-memory bytes (tests, embedding).
+    pub fn from_bytes(bytes: Vec<u8>, path: &str) -> Result<Self, String> {
+        let bundle = model_io::load_bundle_bytes(&bytes)?;
+        let info = ModelInfo {
+            path: path.to_string(),
+            vocab_size: bundle.wordpiece.vocab.len(),
+            hidden: bundle.config.hidden,
+            max_doc_sentences: bundle.config.max_doc_sentences,
+            has_ner: bundle.ner.is_some(),
+        };
+        Ok(ModelRegistry { bytes, info })
+    }
+
+    /// Rebuild a warm parser replica (called once per worker thread).
+    pub fn build_parser(&self) -> Result<ResumeParser, String> {
+        Ok(model_io::load_bundle_bytes(&self.bytes)?.into_parser())
+    }
+}

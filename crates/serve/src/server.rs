@@ -1,0 +1,426 @@
+//! The serving loop: accept connections, route requests, and run the
+//! micro-batching pipeline across a pool of warm parser replicas.
+//!
+//! Thread layout:
+//!
+//! ```text
+//! acceptor ──spawns──▶ connection handlers ──Job──▶ requests channel
+//!                                                        │
+//!                                                   scheduler (batching)
+//!                                                        │ Vec<Job>
+//!                                              batches channel (mpmc)
+//!                                               │        │        │
+//!                                            worker 0  worker 1  worker N
+//!                                            (each owns a parser replica)
+//! ```
+//!
+//! Shutdown drains rather than drops: the acceptor stops taking new
+//! connections, in-flight handlers finish enqueuing and get replies, the
+//! scheduler empties the queue, and only then do the workers exit.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Sender};
+use resuformer_doc::Document;
+use serde::Serialize;
+
+use crate::batch::{run_scheduler, Job};
+use crate::http::{read_request, write_error, write_json, Request};
+use crate::metrics::Metrics;
+use crate::registry::{ModelInfo, ModelRegistry};
+
+/// How long a connection handler waits for its parse result before
+/// answering 504. Generous: a batch on a cold replica takes well under a
+/// second even for large documents.
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Tunables for [`Server::start`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Largest batch the scheduler will form.
+    pub max_batch: usize,
+    /// Longest the scheduler waits to fill a batch before shipping it.
+    pub max_wait_ms: u64,
+    /// Worker threads, each with its own warm parser replica.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            max_batch: 8,
+            max_wait_ms: 20,
+            workers: 2,
+        }
+    }
+}
+
+/// A running inference server. Dropping the handle does NOT stop it; call
+/// [`Server::shutdown`] for the orderly drain.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
+    acceptor: Option<JoinHandle<()>>,
+    scheduler: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    active_connections: Arc<AtomicUsize>,
+}
+
+#[derive(Serialize)]
+struct Health<'a> {
+    status: &'a str,
+    model: &'a ModelInfo,
+}
+
+impl Server {
+    /// Bind, spin up the worker pool (validating that each replica loads),
+    /// and start accepting connections in the background.
+    pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| format!("resolving bound address: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("setting nonblocking accept: {e}"))?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(Metrics::new());
+        let active_connections = Arc::new(AtomicUsize::new(0));
+        let (req_tx, req_rx) = unbounded::<Job>();
+        let (batch_tx, batch_rx) = unbounded::<Vec<Job>>();
+
+        // Worker pool: one parser replica per thread, rebuilt from the
+        // shared model bytes (the autograd graph is Rc-based, so a loaded
+        // parser cannot cross threads). Seeds come from a shared counter
+        // so every document still gets a distinct deterministic stream.
+        let seed_counter = Arc::new(AtomicU64::new(0x5EED));
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for worker_id in 0..config.workers.max(1) {
+            let rx = batch_rx.clone();
+            let registry = registry.clone();
+            let metrics = metrics.clone();
+            let seed_counter = seed_counter.clone();
+            // Load on this thread, but fail startup if the replica can't
+            // be built: probe once here on the caller's thread first.
+            if worker_id == 0 {
+                registry
+                    .build_parser()
+                    .map_err(|e| format!("loading model replica: {e}"))?;
+            }
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("resuformer-worker-{worker_id}"))
+                    .spawn(move || {
+                        let parser = match registry.build_parser() {
+                            Ok(p) => p,
+                            Err(e) => {
+                                eprintln!("worker {worker_id}: failed to load parser: {e}");
+                                return;
+                            }
+                        };
+                        while let Ok(batch) = rx.recv() {
+                            let docs: Vec<Document> = batch.iter().map(|j| j.doc.clone()).collect();
+                            let base_seed =
+                                seed_counter.fetch_add(docs.len() as u64, Ordering::Relaxed);
+                            let start = Instant::now();
+                            let results = parser.parse_documents(&docs, base_seed);
+                            metrics.note_batch_done(batch.len(), start.elapsed().as_secs_f64());
+                            for (job, parsed) in batch.into_iter().zip(results) {
+                                metrics.note_request_done(job.enqueued.elapsed().as_secs_f64());
+                                let _ = job.resp.send(Ok(parsed));
+                            }
+                        }
+                    })
+                    .map_err(|e| format!("spawning worker: {e}"))?,
+            );
+        }
+        drop(batch_rx);
+
+        // Scheduler thread.
+        let scheduler = {
+            let metrics = metrics.clone();
+            let max_wait = Duration::from_millis(config.max_wait_ms);
+            let max_batch = config.max_batch;
+            std::thread::Builder::new()
+                .name("resuformer-scheduler".to_string())
+                .spawn(move || run_scheduler(req_rx, batch_tx, max_batch, max_wait, metrics))
+                .map_err(|e| format!("spawning scheduler: {e}"))?
+        };
+
+        // Acceptor thread: polls the nonblocking listener so it can also
+        // notice the shutdown flag between connections.
+        let acceptor = {
+            let shutdown = shutdown.clone();
+            let metrics = metrics.clone();
+            let active = active_connections.clone();
+            let info = registry.info.clone();
+            std::thread::Builder::new()
+                .name("resuformer-acceptor".to_string())
+                .spawn(move || {
+                    // req_tx moves in here: once the acceptor exits and
+                    // every handler finishes, all request senders are gone
+                    // and the scheduler drains to a stop.
+                    let req_tx = req_tx;
+                    loop {
+                        if shutdown.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                active.fetch_add(1, Ordering::SeqCst);
+                                let req_tx = req_tx.clone();
+                                let metrics = metrics.clone();
+                                let shutdown = shutdown.clone();
+                                let active = active.clone();
+                                let info = info.clone();
+                                let spawned = std::thread::Builder::new()
+                                    .name("resuformer-conn".to_string())
+                                    .spawn(move || {
+                                        handle_connection(
+                                            stream, &req_tx, &metrics, &shutdown, &info,
+                                        );
+                                        active.fetch_sub(1, Ordering::SeqCst);
+                                    });
+                                if spawned.is_err() {
+                                    active.fetch_sub(1, Ordering::SeqCst);
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                        }
+                    }
+                })
+                .map_err(|e| format!("spawning acceptor: {e}"))?
+        };
+
+        Ok(Server {
+            local_addr,
+            shutdown,
+            metrics,
+            acceptor: Some(acceptor),
+            scheduler: Some(scheduler),
+            workers,
+            active_connections,
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Shared metrics handle (same counters `/metrics` reports).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        self.metrics.clone()
+    }
+
+    /// Orderly shutdown: stop accepting, let in-flight requests finish,
+    /// drain the queue, and join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // Handlers still running hold request senders; give them (bounded)
+        // time to finish so their jobs get processed, not dropped.
+        let deadline = Instant::now() + RESPONSE_TIMEOUT;
+        while self.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Parse one request off the stream, route it, and reply.
+fn handle_connection(
+    mut stream: TcpStream,
+    req_tx: &Sender<Job>,
+    metrics: &Arc<Metrics>,
+    shutdown: &Arc<AtomicBool>,
+    info: &ModelInfo,
+) {
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    stream.set_write_timeout(Some(Duration::from_secs(10))).ok();
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            metrics.note_error();
+            write_error(&mut stream, 400, &e);
+            return;
+        }
+    };
+    match (
+        request.method.as_str(),
+        request.path.split('?').next().unwrap_or(""),
+    ) {
+        ("GET", "/healthz") => {
+            write_json(
+                &mut stream,
+                200,
+                &Health {
+                    status: "ok",
+                    model: info,
+                },
+            );
+        }
+        ("GET", "/metrics") => {
+            write_json(&mut stream, 200, &metrics.snapshot());
+        }
+        ("POST", "/parse") => handle_parse(stream, &request, req_tx, metrics, shutdown),
+        ("POST", "/parse_batch") => handle_parse_batch(stream, &request, req_tx, metrics, shutdown),
+        ("GET", _) | ("POST", _) => {
+            write_error(&mut stream, 404, "unknown path");
+        }
+        _ => {
+            write_error(&mut stream, 405, "method not allowed");
+        }
+    }
+}
+
+/// Validate a document before it enters the queue.
+fn check_document(doc: &Document) -> Result<(), String> {
+    if doc.tokens.is_empty() {
+        return Err("document has no tokens".to_string());
+    }
+    Ok(())
+}
+
+fn handle_parse(
+    mut stream: TcpStream,
+    request: &Request,
+    req_tx: &Sender<Job>,
+    metrics: &Arc<Metrics>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    if shutdown.load(Ordering::Relaxed) {
+        metrics.note_error();
+        write_error(&mut stream, 503, "server is shutting down");
+        return;
+    }
+    let doc: Document = match serde_json::from_slice(&request.body) {
+        Ok(d) => d,
+        Err(e) => {
+            metrics.note_error();
+            write_error(&mut stream, 400, &format!("invalid document JSON: {e}"));
+            return;
+        }
+    };
+    if let Err(e) = check_document(&doc) {
+        metrics.note_error();
+        write_error(&mut stream, 400, &e);
+        return;
+    }
+    let (resp_tx, resp_rx) = std::sync::mpsc::channel();
+    metrics.note_enqueued();
+    if req_tx
+        .send(Job {
+            doc,
+            enqueued: Instant::now(),
+            resp: resp_tx,
+        })
+        .is_err()
+    {
+        metrics.note_error();
+        write_error(&mut stream, 503, "request queue is closed");
+        return;
+    }
+    match resp_rx.recv_timeout(RESPONSE_TIMEOUT) {
+        Ok(Ok(parsed)) => write_json(&mut stream, 200, &parsed),
+        Ok(Err(e)) => {
+            metrics.note_error();
+            write_error(&mut stream, 500, &e);
+        }
+        Err(_) => {
+            metrics.note_error();
+            write_error(&mut stream, 504, "parse timed out");
+        }
+    }
+}
+
+fn handle_parse_batch(
+    mut stream: TcpStream,
+    request: &Request,
+    req_tx: &Sender<Job>,
+    metrics: &Arc<Metrics>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    if shutdown.load(Ordering::Relaxed) {
+        metrics.note_error();
+        write_error(&mut stream, 503, "server is shutting down");
+        return;
+    }
+    let docs: Vec<Document> = match serde_json::from_slice(&request.body) {
+        Ok(d) => d,
+        Err(e) => {
+            metrics.note_error();
+            write_error(
+                &mut stream,
+                400,
+                &format!("invalid document array JSON: {e}"),
+            );
+            return;
+        }
+    };
+    if docs.is_empty() {
+        metrics.note_error();
+        write_error(&mut stream, 400, "empty document array");
+        return;
+    }
+    if let Some(e) = docs.iter().find_map(|d| check_document(d).err()) {
+        metrics.note_error();
+        write_error(&mut stream, 400, &e);
+        return;
+    }
+    let mut receivers = Vec::with_capacity(docs.len());
+    for doc in docs {
+        let (resp_tx, resp_rx) = std::sync::mpsc::channel();
+        metrics.note_enqueued();
+        if req_tx
+            .send(Job {
+                doc,
+                enqueued: Instant::now(),
+                resp: resp_tx,
+            })
+            .is_err()
+        {
+            metrics.note_error();
+            write_error(&mut stream, 503, "request queue is closed");
+            return;
+        }
+        receivers.push(resp_rx);
+    }
+    let mut parsed = Vec::with_capacity(receivers.len());
+    for rx in receivers {
+        match rx.recv_timeout(RESPONSE_TIMEOUT) {
+            Ok(Ok(p)) => parsed.push(p),
+            Ok(Err(e)) => {
+                metrics.note_error();
+                write_error(&mut stream, 500, &e);
+                return;
+            }
+            Err(_) => {
+                metrics.note_error();
+                write_error(&mut stream, 504, "parse timed out");
+                return;
+            }
+        }
+    }
+    write_json(&mut stream, 200, &parsed);
+}

@@ -1,0 +1,48 @@
+//! Minimal SIGINT handling without a `libc` dependency.
+//!
+//! The handler only flips an `AtomicBool`; the serving loop polls it and
+//! runs the orderly drain-then-exit sequence from safe code. Registering
+//! uses the C `signal(2)` entry point directly — the only unsafe surface
+//! is the one-line FFI declaration.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGINT_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::*;
+
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // Async-signal-safe: a single relaxed atomic store.
+        SIGINT_RECEIVED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No-op on non-unix targets; Ctrl-C terminates the process directly.
+    pub fn install() {}
+}
+
+/// Install the SIGINT handler (idempotent).
+pub fn install_sigint_handler() {
+    imp::install();
+}
+
+/// Whether SIGINT has been received since the handler was installed.
+pub fn sigint_received() -> bool {
+    SIGINT_RECEIVED.load(Ordering::Relaxed)
+}

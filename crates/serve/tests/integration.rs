@@ -1,0 +1,135 @@
+//! End-to-end serving test: boot the server on an ephemeral port with a
+//! tiny (untrained) model, exercise every endpoint over real sockets, and
+//! check the wire contract — a deserializable `ParsedResume` and sane
+//! `/metrics`. Uses one test function so the socket work stays serial.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use resuformer::block_classifier::BlockClassifier;
+use resuformer::config::ModelConfig;
+use resuformer::data::build_tokenizer;
+use resuformer::encoder::HierarchicalEncoder;
+use resuformer::pipeline::ParsedResume;
+use resuformer_datagen::{generate_resume, GeneratorConfig};
+use resuformer_doc::Document;
+use resuformer_serve::client::{get_json, http_request};
+use resuformer_serve::{MetricsSnapshot, ModelRegistry, ServeConfig, Server};
+
+/// Build an in-memory registry around a tiny untrained model (random
+/// weights are fine: the test checks the serving contract, not accuracy)
+/// plus a handful of documents to send at it.
+fn tiny_registry(seed: u64) -> (Arc<ModelRegistry>, Vec<Document>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let gen = GeneratorConfig::smoke();
+    let resumes: Vec<_> = (0..6).map(|_| generate_resume(&mut rng, &gen)).collect();
+    let words = resumes
+        .iter()
+        .flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone()));
+    let wp = build_tokenizer(words, 1);
+    let config = ModelConfig::tiny(wp.vocab.len());
+    let encoder = HierarchicalEncoder::new(&mut rng, &config);
+    let classifier = BlockClassifier::new(&mut rng, &config, encoder);
+    let bytes = resuformer::model_io::save_bundle_bytes(&classifier, &config, &wp, seed, None)
+        .expect("bundle serializes");
+    let registry = ModelRegistry::from_bytes(bytes, "in-memory").expect("bundle loads back");
+    (
+        Arc::new(registry),
+        resumes.into_iter().map(|r| r.doc).collect(),
+    )
+}
+
+#[test]
+fn server_round_trip_over_real_sockets() {
+    let (registry, docs) = tiny_registry(41);
+    assert!(
+        !registry.info.has_ner,
+        "classifier-only bundle must report has_ner=false"
+    );
+
+    let server = Server::start(
+        registry,
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_batch: 4,
+            max_wait_ms: 5,
+            workers: 1,
+        },
+    )
+    .expect("server starts on an ephemeral port");
+    let addr = server.local_addr().to_string();
+    let timeout = Duration::from_secs(30);
+
+    // Health: status ok plus model metadata.
+    let resp = http_request(&addr, "GET", "/healthz", &[], timeout).expect("healthz reachable");
+    assert_eq!(resp.status, 200);
+    let health: serde_json::Value = serde_json::from_slice(&resp.body).expect("healthz is JSON");
+    assert_eq!(health["status"], "ok");
+    assert_eq!(health["model"]["has_ner"], false);
+
+    // A real document round-trips to a well-formed ParsedResume.
+    let body = serde_json::to_vec(&docs[0]).unwrap();
+    let resp = http_request(&addr, "POST", "/parse", &body, timeout).expect("parse reachable");
+    assert_eq!(
+        resp.status,
+        200,
+        "body: {}",
+        String::from_utf8_lossy(&resp.body)
+    );
+    let parsed: ParsedResume =
+        serde_json::from_slice(&resp.body).expect("response deserializes as ParsedResume");
+    assert!(
+        !parsed.blocks.is_empty(),
+        "parse must segment at least one block"
+    );
+
+    // Bad inputs are rejected at the edge, not inside a worker.
+    let resp = http_request(&addr, "POST", "/parse", b"{not json", timeout).unwrap();
+    assert_eq!(resp.status, 400);
+    let resp = http_request(
+        &addr,
+        "POST",
+        "/parse",
+        b"{\"tokens\":[],\"pages\":[]}",
+        timeout,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 400, "empty document must be a 400");
+    let resp = http_request(&addr, "GET", "/nope", &[], timeout).unwrap();
+    assert_eq!(resp.status, 404);
+
+    // Batch endpoint: N documents in, N parses out, in order.
+    let body = serde_json::to_vec(&docs[..3]).unwrap();
+    let resp = http_request(&addr, "POST", "/parse_batch", &body, timeout).unwrap();
+    assert_eq!(
+        resp.status,
+        200,
+        "body: {}",
+        String::from_utf8_lossy(&resp.body)
+    );
+    let parsed_batch: Vec<ParsedResume> = serde_json::from_slice(&resp.body).unwrap();
+    assert_eq!(parsed_batch.len(), 3);
+
+    // Metrics reflect what just happened.
+    let m: MetricsSnapshot = get_json(&addr, "/metrics", timeout).expect("metrics decodes");
+    assert!(
+        m.requests >= 4,
+        "1 parse + 3 batch docs expected, got {}",
+        m.requests
+    );
+    assert!(
+        m.errors >= 2,
+        "the two 400s must be counted, got {}",
+        m.errors
+    );
+    assert_eq!(m.queue_depth, 0, "queue must be drained when idle");
+    assert!(m.batches >= 1);
+    assert!(m.mean_batch_size >= 1.0);
+    assert!(m.request_latency_ms.p50 > 0.0);
+    assert!(m.uptime_seconds > 0.0);
+
+    // Graceful shutdown joins every thread without hanging the test.
+    server.shutdown();
+}

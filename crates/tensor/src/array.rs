@@ -204,7 +204,10 @@ impl NdArray {
 
     /// Elementwise map into a new array.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> NdArray {
-        NdArray::from_vec(self.data.iter().map(|&x| f(x)).collect(), self.shape.clone())
+        NdArray::from_vec(
+            self.data.iter().map(|&x| f(x)).collect(),
+            self.shape.clone(),
+        )
     }
 
     /// Elementwise combine with another array of identical shape.
@@ -310,7 +313,12 @@ impl fmt::Debug for NdArray {
         if self.numel() <= 16 {
             write!(f, "{:?}", &self.data[..])
         } else {
-            write!(f, "[{:?}, ... ({} elements)]", &self.data[..8], self.numel())
+            write!(
+                f,
+                "[{:?}, ... ({} elements)]",
+                &self.data[..8],
+                self.numel()
+            )
         }
     }
 }

@@ -34,7 +34,10 @@ pub fn grad_check(params: &[Tensor], f: impl Fn(&[Tensor]) -> Tensor, eps: f32) 
     loss.backward();
     let analytic: Vec<NdArray> = params
         .iter()
-        .map(|p| p.grad().unwrap_or_else(|| NdArray::zeros(p.value().shape().clone())))
+        .map(|p| {
+            p.grad()
+                .unwrap_or_else(|| NdArray::zeros(p.value().shape().clone()))
+        })
         .collect();
 
     let mut max_rel_err = 0.0f32;
@@ -87,12 +90,7 @@ mod tests {
     #[test]
     fn catches_correct_gradient() {
         let a = Tensor::param(NdArray::from_vec(vec![0.5, -0.3, 1.2], [3]));
-        assert_grads_close(
-            &[a],
-            |p| ops::mean_all(&ops::square(&p[0])),
-            1e-2,
-            1e-2,
-        );
+        assert_grads_close(&[a], |p| ops::mean_all(&ops::square(&p[0])), 1e-2, 1e-2);
     }
 
     #[test]

@@ -66,7 +66,12 @@ mod tests {
     fn normal_statistics_plausible() {
         let w = normal(&mut seeded_rng(2), [10_000], 0.5);
         let mean: f32 = w.data().iter().sum::<f32>() / 10_000.0;
-        let var: f32 = w.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 10_000.0;
+        let var: f32 = w
+            .data()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 10_000.0;
         assert!(mean.abs() < 0.02, "mean {}", mean);
         assert!((var.sqrt() - 0.5).abs() < 0.05, "std {}", var.sqrt());
     }

@@ -124,9 +124,7 @@ pub fn ln(a: &Tensor) -> Tensor {
     Tensor::from_op(
         out,
         vec![a.clone()],
-        Box::new(move |g, _out, parents| {
-            parents[0].accumulate_grad(&g.zip(&av, |gv, x| gv / x))
-        }),
+        Box::new(move |g, _out, parents| parents[0].accumulate_grad(&g.zip(&av, |gv, x| gv / x))),
     )
 }
 
@@ -136,9 +134,7 @@ pub fn sqrt(a: &Tensor) -> Tensor {
     Tensor::from_op(
         out,
         vec![a.clone()],
-        Box::new(|g, out, parents| {
-            parents[0].accumulate_grad(&g.zip(out, |gv, y| gv * 0.5 / y))
-        }),
+        Box::new(|g, out, parents| parents[0].accumulate_grad(&g.zip(out, |gv, y| gv * 0.5 / y))),
     )
 }
 
@@ -386,7 +382,11 @@ pub fn add_broadcast_col(m: &Tensor, v: &Tensor) -> Tensor {
 pub fn mul_broadcast_row(m: &Tensor, v: &Tensor) -> Tensor {
     let mv = m.value();
     let vv = v.value();
-    assert_eq!(vv.dims(), &[mv.dims()[1]], "mul_broadcast_row shape mismatch");
+    assert_eq!(
+        vv.dims(),
+        &[mv.dims()[1]],
+        "mul_broadcast_row shape mismatch"
+    );
     let c = mv.dims()[1];
     let mut out = mv.clone();
     {
@@ -576,7 +576,11 @@ pub fn logsumexp_axis(a: &Tensor, axis: usize) -> Tensor {
     assert_eq!(av.shape().rank(), 2, "logsumexp_axis requires rank-2");
     assert!(axis < 2);
     let (r, c) = (av.dims()[0], av.dims()[1]);
-    let work = if axis == 1 { av.clone() } else { av.transpose2() };
+    let work = if axis == 1 {
+        av.clone()
+    } else {
+        av.transpose2()
+    };
     let (n, k) = (work.dims()[0], work.dims()[1]);
     let mut out = vec![0.0f32; n];
     for (i, row) in work.data().chunks(k).enumerate() {
@@ -603,7 +607,11 @@ pub fn logsumexp_axis(a: &Tensor, axis: usize) -> Tensor {
                         (j, av2.at(&[i, j]))
                     };
                     let lse = out.data()[ridx];
-                    let p = if lse.is_finite() { (x - lse).exp() } else { 0.0 };
+                    let p = if lse.is_finite() {
+                        (x - lse).exp()
+                    } else {
+                        0.0
+                    };
                     dm[i * c + j] = g.data()[ridx] * p;
                 }
             }
@@ -644,7 +652,12 @@ pub fn layer_norm_rows(a: &Tensor, eps: f32) -> Tensor {
                 let grow = &g.data()[i * c..(i + 1) * c];
                 let yrow = &out.data()[i * c..(i + 1) * c];
                 let gmean: f32 = grow.iter().sum::<f32>() / cf;
-                let gymean: f32 = grow.iter().zip(yrow.iter()).map(|(&gv, &y)| gv * y).sum::<f32>() / cf;
+                let gymean: f32 = grow
+                    .iter()
+                    .zip(yrow.iter())
+                    .map(|(&gv, &y)| gv * y)
+                    .sum::<f32>()
+                    / cf;
                 for j in 0..c {
                     dm[i * c + j] = inv_std[i] * (grow[j] - gmean - yrow[j] * gymean);
                 }
@@ -737,7 +750,8 @@ pub fn concat_cols(parts: &[Tensor]) -> Tensor {
     for i in 0..r {
         let mut off = 0;
         for (v, &w) in values.iter().zip(widths.iter()) {
-            out[i * total + off..i * total + off + w].copy_from_slice(&v.data()[i * w..(i + 1) * w]);
+            out[i * total + off..i * total + off + w]
+                .copy_from_slice(&v.data()[i * w..(i + 1) * w]);
             off += w;
         }
     }
@@ -843,8 +857,7 @@ pub fn slice_cols(a: &Tensor, start: usize, len: usize) -> Tensor {
     assert!(start + len <= c, "slice_cols out of bounds");
     let mut out = vec![0.0f32; r * len];
     for i in 0..r {
-        out[i * len..(i + 1) * len]
-            .copy_from_slice(&av.data()[i * c + start..i * c + start + len]);
+        out[i * len..(i + 1) * len].copy_from_slice(&av.data()[i * c + start..i * c + start + len]);
     }
     let out = NdArray::from_vec(out, [r, len]);
     Tensor::from_op(
@@ -870,7 +883,14 @@ pub fn gather_elems(a: &Tensor, coords: &[(usize, usize)]) -> Tensor {
     let out: Vec<f32> = coords
         .iter()
         .map(|&(i, j)| {
-            assert!(i < r && j < c, "gather_elems: ({},{}) out of [{},{}]", i, j, r, c);
+            assert!(
+                i < r && j < c,
+                "gather_elems: ({},{}) out of [{},{}]",
+                i,
+                j,
+                r,
+                c
+            );
             av.data()[i * c + j]
         })
         .collect();
@@ -921,7 +941,11 @@ pub fn cross_entropy_rows(logits: &Tensor, targets: &[usize], weights: Option<&[
     let lv = logits.value();
     assert_eq!(lv.shape().rank(), 2, "cross_entropy_rows requires rank-2");
     let (r, c) = (lv.dims()[0], lv.dims()[1]);
-    assert_eq!(targets.len(), r, "cross_entropy_rows: targets/rows mismatch");
+    assert_eq!(
+        targets.len(),
+        r,
+        "cross_entropy_rows: targets/rows mismatch"
+    );
     let w: Vec<f32> = match weights {
         Some(w) => {
             assert_eq!(w.len(), r, "cross_entropy_rows: weights/rows mismatch");
@@ -968,7 +992,11 @@ pub fn cross_entropy_rows(logits: &Tensor, targets: &[usize], weights: Option<&[
 /// high-confidence token selection (weight 0 drops a token).
 pub fn soft_cross_entropy_rows(logits: &Tensor, soft: &NdArray, weights: Option<&[f32]>) -> Tensor {
     let lv = logits.value();
-    assert_eq!(lv.dims(), soft.dims(), "soft_cross_entropy_rows shape mismatch");
+    assert_eq!(
+        lv.dims(),
+        soft.dims(),
+        "soft_cross_entropy_rows shape mismatch"
+    );
     let (r, c) = (lv.dims()[0], lv.dims()[1]);
     let w: Vec<f32> = match weights {
         Some(w) => {
@@ -1056,8 +1084,7 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, stride: usize, pad: usize) -> Ten
                         for kx in 0..kw {
                             let y = (oy * stride + ky) as isize - pad as isize;
                             let x = (ox * stride + kx) as isize - pad as isize;
-                            acc += at_in(c, y, x)
-                                * wv.data()[((o * ci + c) * kh + ky) * kw + kx];
+                            acc += at_in(c, y, x) * wv.data()[((o * ci + c) * kh + ky) * kw + kx];
                         }
                     }
                 }
@@ -1109,7 +1136,10 @@ pub fn avg_pool2d(input: &Tensor, k: usize) -> Tensor {
     let iv = input.value();
     assert_eq!(iv.shape().rank(), 3, "avg_pool2d input must be [c,h,w]");
     let (c, h, w) = (iv.dims()[0], iv.dims()[1], iv.dims()[2]);
-    assert!(h % k == 0 && w % k == 0, "avg_pool2d: dims not divisible by k");
+    assert!(
+        h % k == 0 && w % k == 0,
+        "avg_pool2d: dims not divisible by k"
+    );
     let (oh, ow) = (h / k, w / k);
     let kk = (k * k) as f32;
     let mut out = vec![0.0f32; c * oh * ow];
@@ -1161,7 +1191,10 @@ pub fn max_pool2d(input: &Tensor, k: usize) -> Tensor {
     let iv = input.value();
     assert_eq!(iv.shape().rank(), 3, "max_pool2d input must be [c,h,w]");
     let (c, h, w) = (iv.dims()[0], iv.dims()[1], iv.dims()[2]);
-    assert!(h % k == 0 && w % k == 0, "max_pool2d: dims not divisible by k");
+    assert!(
+        h % k == 0 && w % k == 0,
+        "max_pool2d: dims not divisible by k"
+    );
     let (oh, ow) = (h / k, w / k);
     let mut out = vec![f32::NEG_INFINITY; c * oh * ow];
     let mut argmax = vec![0usize; c * oh * ow];

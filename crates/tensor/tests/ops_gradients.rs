@@ -25,17 +25,47 @@ fn rand_param(seed: u64, shape: impl Into<resuformer_tensor::Shape>) -> Tensor {
 fn grad_add_sub_mul_div() {
     let a = rand_param(1, [2, 3]);
     let b = param(vec![1.5, 0.8, -1.2, 2.0, 0.5, -0.9], [2, 3]);
-    assert_grads_close(&[a.clone(), b.clone()], |p| ops::mean_all(&ops::add(&p[0], &p[1])), EPS, TOL);
-    assert_grads_close(&[a.clone(), b.clone()], |p| ops::mean_all(&ops::sub(&p[0], &p[1])), EPS, TOL);
-    assert_grads_close(&[a.clone(), b.clone()], |p| ops::mean_all(&ops::mul(&p[0], &p[1])), EPS, TOL);
-    assert_grads_close(&[a, b], |p| ops::mean_all(&ops::div(&p[0], &p[1])), EPS, TOL);
+    assert_grads_close(
+        &[a.clone(), b.clone()],
+        |p| ops::mean_all(&ops::add(&p[0], &p[1])),
+        EPS,
+        TOL,
+    );
+    assert_grads_close(
+        &[a.clone(), b.clone()],
+        |p| ops::mean_all(&ops::sub(&p[0], &p[1])),
+        EPS,
+        TOL,
+    );
+    assert_grads_close(
+        &[a.clone(), b.clone()],
+        |p| ops::mean_all(&ops::mul(&p[0], &p[1])),
+        EPS,
+        TOL,
+    );
+    assert_grads_close(
+        &[a, b],
+        |p| ops::mean_all(&ops::div(&p[0], &p[1])),
+        EPS,
+        TOL,
+    );
 }
 
 #[test]
 fn grad_scalar_ops() {
     let a = rand_param(2, [5]);
-    assert_grads_close(&[a.clone()], |p| ops::mean_all(&ops::add_scalar(&p[0], 3.0)), EPS, TOL);
-    assert_grads_close(&[a.clone()], |p| ops::mean_all(&ops::mul_scalar(&p[0], -2.5)), EPS, TOL);
+    assert_grads_close(
+        &[a.clone()],
+        |p| ops::mean_all(&ops::add_scalar(&p[0], 3.0)),
+        EPS,
+        TOL,
+    );
+    assert_grads_close(
+        &[a.clone()],
+        |p| ops::mean_all(&ops::mul_scalar(&p[0], -2.5)),
+        EPS,
+        TOL,
+    );
     assert_grads_close(&[a], |p| ops::mean_all(&ops::neg(&p[0])), EPS, TOL);
 }
 
@@ -43,7 +73,12 @@ fn grad_scalar_ops() {
 fn grad_unary_smooth() {
     let a = rand_param(3, [6]);
     assert_grads_close(&[a.clone()], |p| ops::mean_all(&ops::exp(&p[0])), EPS, TOL);
-    assert_grads_close(&[a.clone()], |p| ops::mean_all(&ops::sigmoid(&p[0])), EPS, TOL);
+    assert_grads_close(
+        &[a.clone()],
+        |p| ops::mean_all(&ops::sigmoid(&p[0])),
+        EPS,
+        TOL,
+    );
     assert_grads_close(&[a.clone()], |p| ops::mean_all(&ops::tanh(&p[0])), EPS, TOL);
     assert_grads_close(&[a.clone()], |p| ops::mean_all(&ops::gelu(&p[0])), EPS, TOL);
     assert_grads_close(&[a], |p| ops::mean_all(&ops::square(&p[0])), EPS, TOL);
@@ -102,8 +137,18 @@ fn grad_broadcast_ops() {
 #[test]
 fn grad_reductions() {
     let m = rand_param(9, [3, 4]);
-    assert_grads_close(&[m.clone()], |p| ops::sum_all(&ops::square(&p[0])), EPS, TOL);
-    assert_grads_close(&[m.clone()], |p| ops::mean_all(&ops::square(&p[0])), EPS, TOL);
+    assert_grads_close(
+        &[m.clone()],
+        |p| ops::sum_all(&ops::square(&p[0])),
+        EPS,
+        TOL,
+    );
+    assert_grads_close(
+        &[m.clone()],
+        |p| ops::mean_all(&ops::square(&p[0])),
+        EPS,
+        TOL,
+    );
     assert_grads_close(
         &[m.clone()],
         |p| ops::mean_all(&ops::square(&ops::sum_axis(&p[0], 0))),
@@ -182,14 +227,24 @@ fn grad_gather_and_structure_ops() {
     let b = rand_param(18, [2, 2]);
     assert_grads_close(
         &[a.clone(), b],
-        |p| ops::mean_all(&ops::square(&ops::concat_cols(&[p[0].clone(), p[1].clone()]))),
+        |p| {
+            ops::mean_all(&ops::square(&ops::concat_cols(&[
+                p[0].clone(),
+                p[1].clone(),
+            ])))
+        },
         EPS,
         TOL,
     );
     let c = rand_param(19, [4, 3]);
     assert_grads_close(
         &[a, c],
-        |p| ops::mean_all(&ops::square(&ops::concat_rows(&[p[0].clone(), p[1].clone()]))),
+        |p| {
+            ops::mean_all(&ops::square(&ops::concat_rows(&[
+                p[0].clone(),
+                p[1].clone(),
+            ])))
+        },
         EPS,
         TOL,
     );
@@ -198,7 +253,12 @@ fn grad_gather_and_structure_ops() {
     let r1 = rand_param(21, [4]);
     assert_grads_close(
         &[r0, r1],
-        |p| ops::mean_all(&ops::square(&ops::stack_rows(&[p[0].clone(), p[1].clone()]))),
+        |p| {
+            ops::mean_all(&ops::square(&ops::stack_rows(&[
+                p[0].clone(),
+                p[1].clone(),
+            ])))
+        },
         EPS,
         TOL,
     );
@@ -369,7 +429,12 @@ fn grad_slice_cols_and_gather_elems() {
     );
     assert_grads_close(
         &[m],
-        |p| ops::mean_all(&ops::square(&ops::gather_elems(&p[0], &[(0, 0), (2, 4), (2, 4)]))),
+        |p| {
+            ops::mean_all(&ops::square(&ops::gather_elems(
+                &p[0],
+                &[(0, 0), (2, 4), (2, 4)],
+            )))
+        },
         EPS,
         TOL,
     );

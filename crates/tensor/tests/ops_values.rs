@@ -194,7 +194,10 @@ fn gather_concat_stack_slice_values() {
 
     let a = t(vec![1.0, 2.0], [1, 2]);
     let b = t(vec![3.0], [1, 1]);
-    assert_eq!(ops::concat_cols(&[a.clone(), b]).value().data(), &[1.0, 2.0, 3.0]);
+    assert_eq!(
+        ops::concat_cols(&[a.clone(), b]).value().data(),
+        &[1.0, 2.0, 3.0]
+    );
 
     let c = t(vec![5.0, 6.0], [1, 2]);
     let cat = ops::concat_rows(&[a, c]);

@@ -204,9 +204,7 @@ pub mod tie_or_break {
         }
         let gaps = (0..len.saturating_sub(1))
             .map(|i| {
-                let same_span = spans
-                    .iter()
-                    .any(|s| i >= s.start && i + 1 < s.end);
+                let same_span = spans.iter().any(|s| i >= s.start && i + 1 < s.end);
                 if same_span {
                     Gap::Tie
                 } else {
@@ -226,10 +224,7 @@ pub mod tie_or_break {
         while i < len {
             if let Some(c) = types[i] {
                 let mut j = i;
-                while j + 1 < len
-                    && gaps[j] == Gap::Tie
-                    && types[j + 1] == Some(c)
-                {
+                while j + 1 < len && gaps[j] == Gap::Tie && types[j + 1] == Some(c) {
                     j += 1;
                 }
                 spans.push(Span::new(i, j + 1, c));

@@ -88,7 +88,10 @@ pub fn is_year_month(s: &str) -> bool {
 
 /// True if `s` is a bare plausible year (1950–2035).
 pub fn is_year(s: &str) -> bool {
-    s.len() == 4 && s.parse::<u32>().map(|y| (1950..=2035).contains(&y)).unwrap_or(false)
+    s.len() == 4
+        && s.parse::<u32>()
+            .map(|y| (1950..=2035).contains(&y))
+            .unwrap_or(false)
 }
 
 /// True if `s` is a date-range terminator meaning "ongoing".
@@ -101,7 +104,9 @@ pub fn is_present_marker(s: &str) -> bool {
 
 /// True if `s` is a plausible age value (16–70).
 pub fn is_age_value(s: &str) -> bool {
-    s.parse::<u32>().map(|a| (16..=70).contains(&a)).unwrap_or(false)
+    s.parse::<u32>()
+        .map(|a| (16..=70).contains(&a))
+        .unwrap_or(false)
 }
 
 /// A date-range match inside a token stream.
@@ -125,8 +130,15 @@ pub fn find_date_ranges(tokens: &[&str]) -> Vec<DateRange> {
     while i < tokens.len() {
         let t = tokens[i];
         // Single-token compound range: "2018.09-2022.06".
-        if t.len() == 15 && is_year_month(&t[..7]) && t.as_bytes()[7] == b'-' && is_year_month(&t[8..]) {
-            out.push(DateRange { start: i, end: i + 1 });
+        if t.len() == 15
+            && is_year_month(&t[..7])
+            && t.as_bytes()[7] == b'-'
+            && is_year_month(&t[8..])
+        {
+            out.push(DateRange {
+                start: i,
+                end: i + 1,
+            });
             i += 1;
             continue;
         }
@@ -136,11 +148,17 @@ pub fn find_date_ranges(tokens: &[&str]) -> Vec<DateRange> {
                 && tokens[i + 1] == "-"
                 && (is_year_month(tokens[i + 2]) || is_present_marker(tokens[i + 2]))
             {
-                out.push(DateRange { start: i, end: i + 3 });
+                out.push(DateRange {
+                    start: i,
+                    end: i + 3,
+                });
                 i += 3;
                 continue;
             }
-            out.push(DateRange { start: i, end: i + 1 });
+            out.push(DateRange {
+                start: i,
+                end: i + 1,
+            });
         }
         i += 1;
     }
@@ -178,10 +196,22 @@ mod tests {
 
     #[test]
     fn phone_positive_and_negative_cases() {
-        for good in ["13812345678", "+8613812345678", "010-6552-1234", "555 123 4567"] {
+        for good in [
+            "13812345678",
+            "+8613812345678",
+            "010-6552-1234",
+            "555 123 4567",
+        ] {
             assert!(is_phone(good), "{good}");
         }
-        for bad in ["123", "phone", "138-", "-138123456", "12345678901234567", "13 8a5678901"] {
+        for bad in [
+            "123",
+            "phone",
+            "138-",
+            "-138123456",
+            "12345678901234567",
+            "13 8a5678901",
+        ] {
             assert!(!is_phone(bad), "{bad}");
         }
     }
@@ -191,7 +221,9 @@ mod tests {
         for good in ["2018.09", "1999-12", "2035/01"] {
             assert!(is_year_month(good), "{good}");
         }
-        for bad in ["2018.13", "1949.05", "2036.01", "201809", "2018.9", "abcd.09"] {
+        for bad in [
+            "2018.13", "1949.05", "2036.01", "201809", "2018.9", "abcd.09",
+        ] {
             assert!(!is_year_month(bad), "{bad}");
         }
         assert!(is_year("2020"));
@@ -215,14 +247,23 @@ mod tests {
         let r = find_date_ranges(&toks);
         assert_eq!(
             r,
-            vec![DateRange { start: 0, end: 3 }, DateRange { start: 4, end: 7 }]
+            vec![
+                DateRange { start: 0, end: 3 },
+                DateRange { start: 4, end: 7 }
+            ]
         );
 
         let toks2 = vec!["2018.09-2022.06"];
-        assert_eq!(find_date_ranges(&toks2), vec![DateRange { start: 0, end: 1 }]);
+        assert_eq!(
+            find_date_ranges(&toks2),
+            vec![DateRange { start: 0, end: 1 }]
+        );
 
         let toks3 = vec!["joined", "2020.05", "as"];
-        assert_eq!(find_date_ranges(&toks3), vec![DateRange { start: 1, end: 2 }]);
+        assert_eq!(
+            find_date_ranges(&toks3),
+            vec![DateRange { start: 1, end: 2 }]
+        );
     }
 
     proptest! {
@@ -278,8 +319,18 @@ pub fn is_url(s: &str) -> bool {
 
 /// Month-name table for textual dates.
 const MONTHS: [&str; 12] = [
-    "january", "february", "march", "april", "may", "june", "july",
-    "august", "september", "october", "november", "december",
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
 ];
 
 /// True if `s` is a month name or a standard 3-letter abbreviation
@@ -287,7 +338,9 @@ const MONTHS: [&str; 12] = [
 pub fn is_month_name(s: &str) -> bool {
     let l = s.to_ascii_lowercase();
     let l = l.trim_end_matches('.');
-    MONTHS.iter().any(|m| *m == l || (l.len() == 3 && m.starts_with(l)))
+    MONTHS
+        .iter()
+        .any(|m| *m == l || (l.len() == 3 && m.starts_with(l)))
 }
 
 /// True if the two tokens form a textual year-month ("Sep 2018").
@@ -301,10 +354,20 @@ mod extra_matcher_tests {
 
     #[test]
     fn urls() {
-        for good in ["https://github.com/liwei", "http://a.b.c/x", "www.example.com"] {
+        for good in [
+            "https://github.com/liwei",
+            "http://a.b.c/x",
+            "www.example.com",
+        ] {
             assert!(is_url(good), "{good}");
         }
-        for bad in ["github.com", "https://nohost", "ftp://x.y", "www.", "https://.com"] {
+        for bad in [
+            "github.com",
+            "https://nohost",
+            "ftp://x.y",
+            "www.",
+            "https://.com",
+        ] {
             assert!(!is_url(bad), "{bad}");
         }
     }

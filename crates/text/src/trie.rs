@@ -77,7 +77,11 @@ impl DictTrie {
                 Some(next) => {
                     node = next;
                     if let Some(class) = node.class {
-                        best = Some(DictMatch { start, end: start + off + 1, class });
+                        best = Some(DictMatch {
+                            start,
+                            end: start + off + 1,
+                            class,
+                        });
                     }
                 }
                 None => break,
@@ -121,7 +125,14 @@ mod tests {
         let t = sample();
         let toks = vec!["studied", "at", "Tsinghua", "University", "in", "Beijing"];
         let m = t.find_all(&toks);
-        assert_eq!(m, vec![DictMatch { start: 2, end: 4, class: 0 }]);
+        assert_eq!(
+            m,
+            vec![DictMatch {
+                start: 2,
+                end: 4,
+                class: 0
+            }]
+        );
     }
 
     #[test]
@@ -129,7 +140,14 @@ mod tests {
         let t = sample();
         let toks = vec!["Alibaba", "Cloud", "team"];
         let m = t.find_all(&toks);
-        assert_eq!(m, vec![DictMatch { start: 0, end: 2, class: 1 }]);
+        assert_eq!(
+            m,
+            vec![DictMatch {
+                start: 0,
+                end: 2,
+                class: 1
+            }]
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub struct WordPiece {
 impl WordPiece {
     /// Wrap an existing vocabulary.
     pub fn from_vocab(vocab: Vocab) -> Self {
-        WordPiece { vocab, max_chars_per_word: 64 }
+        WordPiece {
+            vocab,
+            max_chars_per_word: 64,
+        }
     }
 
     /// Build a tokenizer from a word corpus.
@@ -141,7 +144,14 @@ mod tests {
     use super::*;
 
     fn sample() -> WordPiece {
-        let corpus = ["engineer", "engineer", "engineering", "beijing", "beijing", "ring"];
+        let corpus = [
+            "engineer",
+            "engineer",
+            "engineering",
+            "beijing",
+            "beijing",
+            "ring",
+        ];
         WordPiece::build(corpus.iter().map(|s| s.to_string()), 2)
     }
 
@@ -161,7 +171,9 @@ mod tests {
         let ids = wp.tokenize_word("engineering");
         assert!(ids.len() > 1, "should split into pieces");
         assert_eq!(wp.vocab.token(ids[0]), "engineer");
-        assert!(ids[1..].iter().all(|&i| wp.vocab.token(i).starts_with("##")));
+        assert!(ids[1..]
+            .iter()
+            .all(|&i| wp.vocab.token(i).starts_with("##")));
     }
 
     #[test]

@@ -47,17 +47,35 @@ fn main() {
     println!("\nSelf-distillation self-training (Eq. 9 soft labels, γ=0.8 HCS)...");
     let mut rng = seeded_rng(seed);
     let proto = NerModel::new(&mut rng, NerConfig::tiny(vocab.len()));
-    let cfg = SelfTrainingConfig { teacher_epochs: 4, iterations: 4, batch: 16, ..Default::default() };
+    let cfg = SelfTrainingConfig {
+        teacher_epochs: 4,
+        iterations: 4,
+        batch: 16,
+        ..Default::default()
+    };
     let out = self_train(&proto, &train, &validation, &cfg, &mut rng);
     println!("  teacher validation entity F1: {:.3}", out.teacher_val);
-    println!("  student validation F1 trace : {:?}", out.val_trace.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!(
+        "  student validation F1 trace : {:?}",
+        out.val_trace
+            .iter()
+            .map(|v| (v * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
 
     let test_acc = token_accuracy(&out.model, &test, &mut rng);
     println!("  student TEST token accuracy: {:.3}", test_acc);
 
     // Extract entities from one test block.
-    let block = test.iter().max_by_key(|b| b.num_gold_entities(&scheme)).expect("non-empty");
-    println!("\nSample block ({:?}): {}", block.block_type, block.tokens.join(" "));
+    let block = test
+        .iter()
+        .max_by_key(|b| b.num_gold_entities(&scheme))
+        .expect("non-empty");
+    println!(
+        "\nSample block ({:?}): {}",
+        block.block_type,
+        block.tokens.join(" ")
+    );
     let pred = out.model.predict(&block.token_ids, &mut rng);
     for span in decode_spans(&scheme, &pred) {
         println!(

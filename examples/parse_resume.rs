@@ -14,7 +14,7 @@ use resuformer::data::{
 };
 use resuformer::encoder::HierarchicalEncoder;
 use resuformer::ner::{NerConfig, NerModel};
-use resuformer::pipeline::ResumeParser;
+use resuformer::pipeline::{EntityExtractor, ResumeParser};
 use resuformer::self_training::{self_train, SelfTrainingConfig};
 use resuformer_datagen::{Corpus, Dictionaries, DictionaryConfig, EntityType, Scale, Split};
 use resuformer_tensor::init::seeded_rng;
@@ -45,29 +45,49 @@ fn main() {
         .collect();
     let pairs: Vec<(&DocumentInput, &[usize])> =
         train.iter().map(|(d, l)| (d, l.as_slice())).collect();
-    classifier.finetune(&pairs, &FinetuneConfig { epochs: 6, ..Default::default() }, &mut rng);
+    classifier.finetune(
+        &pairs,
+        &FinetuneConfig {
+            epochs: 6,
+            ..Default::default()
+        },
+        &mut rng,
+    );
 
     // Stage 2: distantly-supervised NER via Algorithm 2.
     println!("Training the intra-block extractor (Algorithm 2)...");
     let dicts = Dictionaries::build(DictionaryConfig::default());
     let entity_scheme = entity_tag_scheme();
     let ner_train = build_ner_dataset(&corpus.pretrain, &dicts, &word_vocab, &entity_scheme, true);
-    let ner_val = build_ner_dataset(&corpus.validation, &dicts, &word_vocab, &entity_scheme, false);
+    let ner_val = build_ner_dataset(
+        &corpus.validation,
+        &dicts,
+        &word_vocab,
+        &entity_scheme,
+        false,
+    );
     let proto = NerModel::new(&mut rng, NerConfig::tiny(word_vocab.len()));
     let out = self_train(
         &proto,
         &ner_train,
         &ner_val,
-        &SelfTrainingConfig { teacher_epochs: 4, iterations: 3, batch: 16, ..Default::default() },
+        &SelfTrainingConfig {
+            teacher_epochs: 4,
+            iterations: 3,
+            batch: 16,
+            ..Default::default()
+        },
         &mut rng,
     );
 
     // Parse a held-out resume.
     let parser = ResumeParser {
         classifier,
-        ner: out.model,
+        extractor: EntityExtractor::Ner {
+            model: out.model,
+            vocab: word_vocab,
+        },
         wordpiece: wp,
-        word_vocab,
         config,
     };
     let target = &corpus.test[0];
@@ -87,14 +107,23 @@ fn main() {
             block.block_type.name(),
             block.sentence_range,
             block.entities.len(),
-            if block.entities.len() == 1 { "y" } else { "ies" }
+            if block.entities.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            }
         );
         for e in &block.entities {
             println!("              {:?}: {}", e.entity, e.text);
         }
     }
-    println!("\nGround truth: name={:?}, email={:?}", target.record.name, target.record.email);
-    println!("Extracted   : name={:?}, email={:?}",
+    println!(
+        "\nGround truth: name={:?}, email={:?}",
+        target.record.name, target.record.email
+    );
+    println!(
+        "Extracted   : name={:?}, email={:?}",
         parsed.entities_of(EntityType::Name),
-        parsed.entities_of(EntityType::Email));
+        parsed.entities_of(EntityType::Email)
+    );
 }

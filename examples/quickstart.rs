@@ -32,13 +32,13 @@ fn main() {
             .iter()
             .map(|&i| resume.doc.tokens[i].text.clone())
             .collect();
-        let preview: String = words
-            .iter()
-            .take(10)
-            .cloned()
-            .collect::<Vec<_>>()
-            .join(" ");
-        println!("[{:8}] {}{}", block_type.name(), preview, if words.len() > 10 { " ..." } else { "" });
+        let preview: String = words.iter().take(10).cloned().collect::<Vec<_>>().join(" ");
+        println!(
+            "[{:8}] {}{}",
+            block_type.name(),
+            preview,
+            if words.len() > 10 { " ..." } else { "" }
+        );
 
         // 3. Rule-based entity extraction (the D&R Match path).
         for e in rule_based_entities(&words, block_type, &dicts) {

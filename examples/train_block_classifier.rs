@@ -60,9 +60,16 @@ fn main() {
     let classifier = BlockClassifier::new(&mut rng, &config, encoder);
     let pairs: Vec<(&DocumentInput, &[usize])> =
         train.iter().map(|(d, l)| (d, l.as_slice())).collect();
-    let ft = FinetuneConfig { epochs: 6, ..Default::default() };
+    let ft = FinetuneConfig {
+        epochs: 6,
+        ..Default::default()
+    };
     let loss_trace = classifier.finetune(&pairs, &ft, &mut rng);
-    println!("  loss: {:.2} -> {:.2}", loss_trace[0], loss_trace.last().unwrap());
+    println!(
+        "  loss: {:.2} -> {:.2}",
+        loss_trace[0],
+        loss_trace.last().unwrap()
+    );
 
     // Segment a held-out resume.
     let (doc, gold) = &test[0];
@@ -73,9 +80,18 @@ fn main() {
         .filter(|(a, b)| scheme.class_of(**a) == scheme.class_of(**b))
         .count() as f32
         / gold.len() as f32;
-    println!("\nHeld-out resume ({} sentences): sentence-class accuracy {:.3}", gold.len(), acc);
+    println!(
+        "\nHeld-out resume ({} sentences): sentence-class accuracy {:.3}",
+        gold.len(),
+        acc
+    );
     println!("Predicted segmentation:");
     for (start, end, class) in segment_blocks(&scheme, &pred) {
-        println!("  sentences {:3}..{:3} -> {}", start, end, BlockType::ALL[class].name());
+        println!(
+            "  sentences {:3}..{:3} -> {}",
+            start,
+            end,
+            BlockType::ALL[class].name()
+        );
     }
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# The full local CI gate: build, test, formatting, lints.
+#
+#   ./scripts/ci.sh            # everything
+#   SKIP_CLIPPY=1 ./scripts/ci.sh
+#
+# Mirrors what a hosted pipeline would run; keep it green before pushing.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+if [[ -z "${SKIP_CLIPPY:-}" ]]; then
+    echo "==> cargo clippy --workspace -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "==> CI OK"

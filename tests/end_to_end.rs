@@ -11,7 +11,7 @@ use resuformer::data::{
 };
 use resuformer::encoder::HierarchicalEncoder;
 use resuformer::ner::{NerConfig, NerModel};
-use resuformer::pipeline::ResumeParser;
+use resuformer::pipeline::{EntityExtractor, ResumeParser};
 use resuformer::pretrain::{pretrain, Pretrainer};
 use resuformer::self_training::{self_train, SelfTrainingConfig};
 use resuformer_datagen::{Corpus, Dictionaries, DictionaryConfig, EntityType, Scale, Split};
@@ -54,7 +54,14 @@ fn full_pipeline_generates_trains_and_parses() {
     let classifier = BlockClassifier::new(&mut rng, &config, encoder);
     let pairs: Vec<(&DocumentInput, &[usize])> =
         train.iter().map(|(d, l)| (d, l.as_slice())).collect();
-    classifier.finetune(&pairs, &FinetuneConfig { epochs: 8, ..Default::default() }, &mut rng);
+    classifier.finetune(
+        &pairs,
+        &FinetuneConfig {
+            epochs: 8,
+            ..Default::default()
+        },
+        &mut rng,
+    );
 
     // Training-set segmentation accuracy must be strong.
     let (doc0, gold0) = &train[0];
@@ -71,24 +78,41 @@ fn full_pipeline_generates_trains_and_parses() {
     let dicts = Dictionaries::build(DictionaryConfig::default());
     let entity_scheme = entity_tag_scheme();
     let ner_train = build_ner_dataset(&corpus.pretrain, &dicts, &word_vocab, &entity_scheme, true);
-    let ner_val = build_ner_dataset(&corpus.validation, &dicts, &word_vocab, &entity_scheme, false);
+    let ner_val = build_ner_dataset(
+        &corpus.validation,
+        &dicts,
+        &word_vocab,
+        &entity_scheme,
+        false,
+    );
     assert!(!ner_train.is_empty());
     let proto = NerModel::new(&mut rng, NerConfig::tiny(word_vocab.len()));
     let out = self_train(
         &proto,
         &ner_train,
         &ner_val,
-        &SelfTrainingConfig { teacher_epochs: 3, iterations: 2, batch: 8, ..Default::default() },
+        &SelfTrainingConfig {
+            teacher_epochs: 3,
+            iterations: 2,
+            batch: 8,
+            ..Default::default()
+        },
         &mut rng,
     );
-    assert!(out.teacher_val > 0.5, "teacher validation accuracy {}", out.teacher_val);
+    assert!(
+        out.teacher_val > 0.5,
+        "teacher validation accuracy {}",
+        out.teacher_val
+    );
 
     // --- Stage 3: end-to-end parse ---------------------------------------
     let parser = ResumeParser {
         classifier,
-        ner: out.model,
+        extractor: EntityExtractor::Ner {
+            model: out.model,
+            vocab: word_vocab,
+        },
         wordpiece: wp,
-        word_vocab,
         config,
     };
     let target = &corpus.train[0]; // seen in training: parse must be coherent
@@ -97,7 +121,10 @@ fn full_pipeline_generates_trains_and_parses() {
     assert!(parsed.classify_seconds > 0.0);
 
     let total_entities: usize = parsed.blocks.iter().map(|b| b.entities.len()).sum();
-    assert!(total_entities >= 3, "only {total_entities} entities extracted");
+    assert!(
+        total_entities >= 3,
+        "only {total_entities} entities extracted"
+    );
 
     // Fixed-format entities (email/phone) are the easiest — at least one
     // email or phone must surface from PInfo.
@@ -126,7 +153,14 @@ fn model_persistence_survives_pipeline() {
     let encoder = HierarchicalEncoder::new(&mut rng, &config);
     let classifier = BlockClassifier::new(&mut rng, &config, encoder);
     let pairs: Vec<(&DocumentInput, &[usize])> = vec![(&input, labels.as_slice())];
-    classifier.finetune(&pairs, &FinetuneConfig { epochs: 3, ..Default::default() }, &mut rng);
+    classifier.finetune(
+        &pairs,
+        &FinetuneConfig {
+            epochs: 3,
+            ..Default::default()
+        },
+        &mut rng,
+    );
 
     let bytes = classifier.save_bytes();
 
@@ -194,7 +228,14 @@ fn pretraining_improves_downstream_over_random_init() {
         let clf = BlockClassifier::new(&mut rng, &config, encoder);
         let pairs: Vec<(&DocumentInput, &[usize])> =
             train.iter().map(|(d, l)| (d, l.as_slice())).collect();
-        clf.finetune(&pairs, &FinetuneConfig { epochs: 8, ..Default::default() }, &mut rng);
+        clf.finetune(
+            &pairs,
+            &FinetuneConfig {
+                epochs: 8,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         accuracy(&clf, &mut rng)
     };
 

@@ -8,7 +8,12 @@ use resuformer_datagen::{BlockType, Corpus, Scale, Split};
 #[test]
 fn table1_statistics_are_consistent() {
     let corpus = Corpus::generate(5, Scale::Smoke);
-    for split in [Split::Pretrain, Split::Train, Split::Validation, Split::Test] {
+    for split in [
+        Split::Pretrain,
+        Split::Train,
+        Split::Validation,
+        Split::Test,
+    ] {
         let s = corpus.stats(split);
         assert!(s.n_docs > 0);
         assert!(s.avg_tokens > 0.0);
@@ -46,7 +51,11 @@ fn table4_driver_rows_and_rendering() {
         .iter()
         .position(|(_, e)| *e == resuformer_datagen::EntityType::Email)
         .unwrap();
-    assert!(dr.per_row[email_idx].f1() > 0.9, "email F1 {}", dr.per_row[email_idx].f1());
+    assert!(
+        dr.per_row[email_idx].f1() > 0.9,
+        "email F1 {}",
+        dr.per_row[email_idx].f1()
+    );
 }
 
 #[test]
@@ -74,7 +83,11 @@ fn corpus_splits_do_not_leak() {
     // Train/test documents must be distinct (different names with very
     // high probability across the whole splits).
     let corpus = Corpus::generate(9, Scale::Smoke);
-    let train_names: Vec<&str> = corpus.train.iter().map(|r| r.record.name.as_str()).collect();
+    let train_names: Vec<&str> = corpus
+        .train
+        .iter()
+        .map(|r| r.record.name.as_str())
+        .collect();
     let dup = corpus
         .test
         .iter()

@@ -126,5 +126,8 @@ fn multimodal_headers_disambiguate_block_classes() {
     use resuformer_datagen::{BlockType, TemplateStyle};
     let compact_work = TemplateStyle::Compact.header(BlockType::WorkExp).unwrap();
     let labeled_proj = TemplateStyle::Labeled.header(BlockType::ProjExp).unwrap();
-    assert_eq!(compact_work, labeled_proj, "ambiguous header text must be shared");
+    assert_eq!(
+        compact_work, labeled_proj,
+        "ambiguous header text must be shared"
+    );
 }
