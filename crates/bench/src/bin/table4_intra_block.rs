@@ -1,7 +1,7 @@
 //! Regenerates **Table IV**: intra-block information extraction F1
 //! (Recall/Precision) per block/tag for the five methods.
 
-use resuformer_bench::ner_exp::render_ner_table;
+use resuformer_bench::ner_exp::{render_ner_latency, render_ner_table};
 use resuformer_bench::{parse_args, NerBench};
 
 fn main() {
@@ -40,5 +40,6 @@ fn main() {
             &results
         )
     );
+    println!("\n{}", render_ner_latency(&results));
     println!("\nJSON:\n{}", resuformer_eval::report::to_json(&results));
 }

@@ -1,7 +1,7 @@
 //! Regenerates **Table V**: the ablation of the distantly-supervised NER —
 //! full method vs w/o HCS, w/o SL, w/o SD.
 
-use resuformer_bench::ner_exp::render_ner_table;
+use resuformer_bench::ner_exp::{render_ner_latency, render_ner_table};
 use resuformer_bench::{parse_args, NerBench};
 
 fn main() {
@@ -32,5 +32,6 @@ fn main() {
             &results
         )
     );
+    println!("\n{}", render_ner_latency(&results));
     println!("\nJSON:\n{}", resuformer_eval::report::to_json(&results));
 }

@@ -1,7 +1,11 @@
 //! Regenerates **Table VI**: statistics of the intra-block information
-//! extraction datasets.
+//! extraction datasets, plus per-split distant-annotation latency
+//! percentiles (the cost of labeling one block with the D&R matcher).
 
+use resuformer_baselines::DrMatch;
 use resuformer_bench::{parse_args, NerBench};
+use resuformer_datagen::{Dictionaries, DictionaryConfig};
+use resuformer_eval::Stopwatch;
 
 fn main() {
     let args = parse_args();
@@ -42,6 +46,34 @@ fn main() {
     stats("Train Set", &bench.train, true);
     stats("Validation Set", &bench.validation, false);
     stats("Test Set", &bench.test, false);
+
+    // Per-split distant-annotation latency: time the D&R matcher on every
+    // block of each split and report the per-block distribution, not just
+    // the mean — tail latency is what bounds annotation throughput.
+    let dm = DrMatch::new(Dictionaries::build(DictionaryConfig::default()));
+    let latency = |name: &str, data: &[resuformer::annotate::AnnotatedBlock]| {
+        let mut sw = Stopwatch::new();
+        for b in data {
+            sw.time(|| dm.predict(&b.tokens, b.block_type));
+        }
+        println!(
+            "{:<16} | {:>10.3} | {:>10.3} | {:>10.3} | {:>10.3}",
+            name,
+            sw.mean_seconds() * 1e3,
+            sw.p50_seconds() * 1e3,
+            sw.p95_seconds() * 1e3,
+            sw.p99_seconds() * 1e3
+        );
+    };
+    println!("\nDistant-annotation latency per block (ms):");
+    println!(
+        "{:<16} | {:>10} | {:>10} | {:>10} | {:>10}",
+        "Dataset", "mean", "p50", "p95", "p99"
+    );
+    println!("{}", "-".repeat(72));
+    latency("Train Set", &bench.train);
+    latency("Validation Set", &bench.validation);
+    latency("Test Set", &bench.test);
 
     println!("\nPaper reference (Table VI):");
     println!("  Train Set      | 20,000 | 362 | 3.5");

@@ -30,4 +30,4 @@ pub mod stats;
 
 pub use args::{parse_args, Budget, ExpArgs};
 pub use block_exp::{BlockBench, MethodBlockResult};
-pub use ner_exp::{MethodNerResult, NerBench, TABLE4_ROWS};
+pub use ner_exp::{MethodNerResult, NerBench, NerTiming, TABLE4_ROWS};

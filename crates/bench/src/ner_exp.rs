@@ -10,7 +10,7 @@ use resuformer_baselines::{AutoNer, BertBilstmCrf, BertBilstmFcrf, DrMatch};
 use resuformer_datagen::{
     BlockType, Corpus, Dictionaries, DictionaryConfig, EntityType, Scale, Split,
 };
-use resuformer_eval::{EntityScorer, Prf};
+use resuformer_eval::{EntityScorer, Prf, Stopwatch};
 use resuformer_tensor::init::seeded_rng;
 use resuformer_text::{decode_spans, TagScheme, Vocab};
 use serde::Serialize;
@@ -35,6 +35,32 @@ pub const TABLE4_ROWS: [(BlockType, EntityType); 14] = [
     (BlockType::ProjExp, EntityType::Date),
 ];
 
+/// Per-block inference latency of one method (seconds), summarized from a
+/// [`Stopwatch`] that timed every test-set prediction.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct NerTiming {
+    /// Mean seconds per block.
+    pub mean: f64,
+    /// Median seconds per block.
+    pub p50: f64,
+    /// 95th-percentile seconds per block.
+    pub p95: f64,
+    /// 99th-percentile seconds per block.
+    pub p99: f64,
+}
+
+impl NerTiming {
+    /// Summarize a stopwatch's samples.
+    pub fn from_stopwatch(sw: &Stopwatch) -> Self {
+        NerTiming {
+            mean: sw.mean_seconds(),
+            p50: sw.p50_seconds(),
+            p95: sw.p95_seconds(),
+            p99: sw.p99_seconds(),
+        }
+    }
+}
+
 /// Result of one method on the NER benchmark: one [`Prf`] per Table IV row.
 #[derive(Clone, Debug, Serialize)]
 pub struct MethodNerResult {
@@ -42,6 +68,17 @@ pub struct MethodNerResult {
     pub name: String,
     /// Per-row counts, indexed like [`TABLE4_ROWS`].
     pub per_row: Vec<Prf>,
+    /// Per-block inference latency, when the method's predictions were
+    /// produced through the timed path ([`None`] for e.g. random preds).
+    pub timing: Option<NerTiming>,
+}
+
+impl MethodNerResult {
+    /// Attach the latency distribution measured while predicting.
+    pub fn with_timing(mut self, sw: &Stopwatch) -> Self {
+        self.timing = Some(NerTiming::from_stopwatch(sw));
+        self
+    }
 }
 
 /// Shared data for the NER experiments.
@@ -143,14 +180,20 @@ impl NerBench {
         MethodNerResult {
             name: name.to_string(),
             per_row,
+            timing: None,
         }
     }
 
-    fn predict_all<F>(&self, mut f: F) -> Vec<Vec<usize>>
+    /// Run `f` over every test block, timing each prediction individually
+    /// so the per-block latency distribution (p50/p95/p99) is observable,
+    /// not just the mean.
+    fn predict_all<F>(&self, mut f: F) -> (Vec<Vec<usize>>, Stopwatch)
     where
         F: FnMut(&AnnotatedBlock) -> Vec<usize>,
     {
-        self.test.iter().map(|b| f(b)).collect()
+        let mut sw = Stopwatch::new();
+        let preds = self.test.iter().map(|b| sw.time(|| f(b))).collect();
+        (preds, sw)
     }
 
     // ------------------------------------------------------------------
@@ -160,8 +203,8 @@ impl NerBench {
     /// D&R Match: dictionaries + regular expressions as the predictor.
     pub fn run_dr_match(&self) -> MethodNerResult {
         let dm = DrMatch::new(Dictionaries::build(DictionaryConfig::default()));
-        let preds = self.predict_all(|b| dm.predict(&b.tokens, b.block_type));
-        self.evaluate("D&R Match", &preds)
+        let (preds, sw) = self.predict_all(|b| dm.predict(&b.tokens, b.block_type));
+        self.evaluate("D&R Match", &preds).with_timing(&sw)
     }
 
     /// BERT+BiLSTM+CRF on distant hard labels.
@@ -170,8 +213,8 @@ impl NerBench {
         let model = BertBilstmCrf::new(&mut rng, self.ner_config);
         model.train(&self.train, self.budget.ner_baseline_epochs, 1e-3, &mut rng);
         let mut prng = seeded_rng(self.seed ^ 0xC130);
-        let preds = self.predict_all(|b| model.predict(&b.token_ids, &mut prng));
-        self.evaluate("BERT+BiLSTM+CRF", &preds)
+        let (preds, sw) = self.predict_all(|b| model.predict(&b.token_ids, &mut prng));
+        self.evaluate("BERT+BiLSTM+CRF", &preds).with_timing(&sw)
     }
 
     /// BERT+BiLSTM+FCRF with fuzzy partial-annotation training.
@@ -180,8 +223,8 @@ impl NerBench {
         let model = BertBilstmFcrf::new(&mut rng, self.ner_config);
         model.train(&self.train, self.budget.ner_baseline_epochs, 1e-3, &mut rng);
         let mut prng = seeded_rng(self.seed ^ 0xFC30);
-        let preds = self.predict_all(|b| model.predict(&b.token_ids, &mut prng));
-        self.evaluate("BERT+BiLSTM+FCRF", &preds)
+        let (preds, sw) = self.predict_all(|b| model.predict(&b.token_ids, &mut prng));
+        self.evaluate("BERT+BiLSTM+FCRF", &preds).with_timing(&sw)
     }
 
     /// AutoNER with the Tie-or-Break scheme.
@@ -190,8 +233,8 @@ impl NerBench {
         let model = AutoNer::new(&mut rng, self.ner_config);
         model.train(&self.train, self.budget.ner_baseline_epochs, 1e-3, &mut rng);
         let mut prng = seeded_rng(self.seed ^ 0xA071);
-        let preds = self.predict_all(|b| model.predict(&b.token_ids, &mut prng));
-        self.evaluate("AutoNER", &preds)
+        let (preds, sw) = self.predict_all(|b| model.predict(&b.token_ids, &mut prng));
+        self.evaluate("AutoNER", &preds).with_timing(&sw)
     }
 
     /// Our method: self-distillation self-training with the given ablation
@@ -216,8 +259,8 @@ impl NerBench {
         };
         let out = self_train(&proto, &self.train, &self.validation, &cfg, &mut rng);
         let mut prng = seeded_rng(self.seed ^ 0x0526);
-        let preds = self.predict_all(|b| out.model.predict(&b.token_ids, &mut prng));
-        self.evaluate(name, &preds)
+        let (preds, sw) = self.predict_all(|b| out.model.predict(&b.token_ids, &mut prng));
+        self.evaluate(name, &preds).with_timing(&sw)
     }
 
     /// Random predictions: a sanity floor used by tests.
@@ -257,6 +300,30 @@ pub fn render_ner_table(title: &str, results: &[MethodNerResult]) -> String {
         cells.push(row);
     }
     format_f1_table(title, &row_refs, &col_names, &cells)
+}
+
+/// Render each method's per-block inference latency (mean / p50 / p95 /
+/// p99, milliseconds). Methods without timing are skipped.
+pub fn render_ner_latency(results: &[MethodNerResult]) -> String {
+    let mut out = String::from("Per-block inference latency (ms):\n");
+    out.push_str(&format!(
+        "{:<20} | {:>9} | {:>9} | {:>9} | {:>9}\n",
+        "Method", "mean", "p50", "p95", "p99"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(68)));
+    for r in results {
+        if let Some(t) = &r.timing {
+            out.push_str(&format!(
+                "{:<20} | {:>9.3} | {:>9.3} | {:>9.3} | {:>9.3}\n",
+                r.name,
+                t.mean * 1e3,
+                t.p50 * 1e3,
+                t.p95 * 1e3,
+                t.p99 * 1e3
+            ));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -312,9 +379,30 @@ mod tests {
     fn render_contains_all_rows() {
         let b = NerBench::new(Scale::Smoke, 5);
         let r = b.run_dr_match();
-        let t = render_ner_table("Table IV", &[r]);
+        let t = render_ner_table("Table IV", std::slice::from_ref(&r));
         assert!(t.contains("PInfo/Name"));
         assert!(t.contains("ProjExp/Date"));
         assert!(t.contains("D&R Match"));
+
+        // The timed path recorded one sample per test block and the
+        // percentiles are ordered as percentiles must be.
+        let timing = r.timing.expect("timed method carries latency");
+        assert!(timing.mean > 0.0);
+        assert!(timing.p50 <= timing.p95);
+        assert!(timing.p95 <= timing.p99);
+        let lat = render_ner_latency(&[r]);
+        assert!(lat.contains("D&R Match"));
+        assert!(lat.contains("p99"));
+    }
+
+    #[test]
+    fn random_predictions_carry_no_timing() {
+        let b = NerBench::new(Scale::Smoke, 6);
+        let mut rng = seeded_rng(7);
+        let r = b.run_random(&mut rng);
+        assert!(r.timing.is_none());
+        // render_ner_latency skips untimed methods instead of printing 0s.
+        let lat = render_ner_latency(&[r]);
+        assert!(!lat.contains("random"));
     }
 }

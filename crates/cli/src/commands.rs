@@ -38,6 +38,9 @@ pub struct Options {
     workers: usize,
     max_batch: usize,
     max_wait_ms: u64,
+    sync_every: usize,
+    checkpoint_every: usize,
+    resume: Option<String>,
 }
 
 impl Options {
@@ -61,6 +64,9 @@ impl Options {
                 .unwrap_or(2),
             max_batch: 8,
             max_wait_ms: 20,
+            sync_every: 8,
+            checkpoint_every: 1,
+            resume: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -89,6 +95,11 @@ impl Options {
                 "--max-wait-ms" => {
                     o.max_wait_ms = value.parse().map_err(|_| "bad --max-wait-ms")?
                 }
+                "--sync-every" => o.sync_every = value.parse().map_err(|_| "bad --sync-every")?,
+                "--checkpoint-every" => {
+                    o.checkpoint_every = value.parse().map_err(|_| "bad --checkpoint-every")?
+                }
+                "--resume" => o.resume = Some(value.clone()),
                 "--scale" => {
                     o.scale = match value.as_str() {
                         "smoke" => Scale::Smoke,
@@ -238,6 +249,82 @@ pub fn train(o: &Options) -> Result<(), String> {
         save_model(model_path, &classifier, &config, &wp, init_seed)?;
     }
     println!("saved model to {model_path}");
+    Ok(())
+}
+
+/// `pretrain`: data-parallel three-objective pre-training (Eq. 7) over
+/// `--data`, checkpointing to `--model` every `--checkpoint-every` epochs.
+/// `--resume <ckpt>` continues an interrupted run bit-identically.
+pub fn pretrain(o: &Options) -> Result<(), String> {
+    use resuformer::config::PretrainConfig;
+    use resuformer_train::{TrainConfig, Trainer};
+
+    let model_path = o.model.as_deref().ok_or("--model is required")?;
+    let resumes = o.load_resumes()?;
+    if resumes.is_empty() {
+        return Err("no documents in --data".into());
+    }
+
+    let (mut trainer, workers) = match &o.resume {
+        Some(ckpt_path) => {
+            let ckpt = resuformer::model_io::load_checkpoint(ckpt_path)?;
+            let workers = ckpt.meta.workers;
+            println!(
+                "resuming from {ckpt_path}: epoch {}/{} ({} workers)",
+                ckpt.meta.next_epoch, ckpt.meta.total_epochs, workers
+            );
+            if o.workers != workers {
+                println!("note: optimizer state is per-worker; using {workers} workers");
+            }
+            (Trainer::from_checkpoint(ckpt), workers)
+        }
+        None => {
+            let wp = build_tokenizer(
+                resumes
+                    .iter()
+                    .flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
+                1,
+            );
+            let config = ModelConfig::tiny(wp.vocab.len());
+            let trainer = Trainer::new(wp, config, PretrainConfig::default(), o.seed, o.seed ^ 1);
+            (trainer, o.workers)
+        }
+    };
+
+    let docs: Vec<DocumentInput> = resumes
+        .iter()
+        .map(|r| prepare_document(&r.doc, trainer.wordpiece(), trainer.model_config()).0)
+        .collect();
+    if trainer.next_epoch() >= o.epochs {
+        println!(
+            "checkpoint already covers {} of {} epochs; nothing to do",
+            trainer.next_epoch(),
+            o.epochs
+        );
+        return Ok(());
+    }
+
+    let trace = trainer.train(
+        &docs,
+        &TrainConfig {
+            workers,
+            epochs: o.epochs,
+            sync_every: o.sync_every,
+            checkpoint_every: o.checkpoint_every,
+            checkpoint_path: Some(model_path.to_string()),
+        },
+        |m| println!("{}", m.render()),
+    )?;
+    let tokens: u64 = trace.iter().map(|m| m.tokens).sum();
+    let wall: f64 = trace.iter().map(|m| m.wall_seconds).sum();
+    println!(
+        "pre-trained on {} documents for {} epochs with {} workers ({:.0} tok/s overall)",
+        docs.len(),
+        trace.len(),
+        workers,
+        tokens as f64 / wall.max(1e-9)
+    );
+    println!("saved checkpoint to {model_path}");
     Ok(())
 }
 
@@ -465,6 +552,43 @@ mod tests {
         assert_eq!(resumes.len(), 2);
         resumes[0].doc.validate().unwrap();
         std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn pretrain_then_resume_round_trip() {
+        let dir = std::env::temp_dir().join("resuformer_cli_pretrain");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("r.json");
+        let ckpt = dir.join("c.bin");
+        let data_s = data.to_str().unwrap().to_string();
+        let ckpt_s = ckpt.to_str().unwrap().to_string();
+
+        let mut o = opts(&[
+            ("--count", "2"),
+            ("--seed", "6"),
+            ("--epochs", "1"),
+            ("--workers", "2"),
+            ("--sync-every", "1"),
+        ]);
+        o.out = Some(data_s.clone());
+        generate(&o).unwrap();
+        o.data = Some(data_s.clone());
+        o.model = Some(ckpt_s.clone());
+        pretrain(&o).unwrap();
+
+        // Continue the run from its own checkpoint for one more epoch.
+        o.resume = Some(ckpt_s.clone());
+        o.epochs = 2;
+        pretrain(&o).unwrap();
+        let restored = resuformer::model_io::load_checkpoint(&ckpt_s).unwrap();
+        assert_eq!(restored.meta.next_epoch, 2);
+
+        // Asking for fewer epochs than already done is a clean no-op.
+        o.epochs = 1;
+        pretrain(&o).unwrap();
+
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&ckpt).ok();
     }
 
     #[test]

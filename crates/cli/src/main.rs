@@ -3,6 +3,7 @@
 //! ```text
 //! resuformer-cli generate --count 3 --out resumes.json [--scale paper] [--seed 7]
 //! resuformer-cli train    --data resumes.json --model model.bin [--epochs 8] [--ner-epochs 4]
+//! resuformer-cli pretrain --data resumes.json --model ckpt.bin [--workers 4] [--resume ckpt.bin]
 //! resuformer-cli parse    --data resumes.json --model model.bin [--index 0 | --all]
 //! resuformer-cli serve    --model model.bin [--port 8080] [--workers 2]
 //! resuformer-cli rules    --data resumes.json [--index 0]
@@ -35,6 +36,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "generate" => commands::generate(&opts),
         "train" => commands::train(&opts),
+        "pretrain" => commands::pretrain(&opts),
         "parse" => commands::parse(&opts),
         "serve" => commands::serve(&opts),
         "rules" => commands::rules(&opts),
@@ -61,6 +63,8 @@ COMMANDS:
     generate   generate synthetic resumes to --out (JSON)
     train      train a block classifier (and optionally the NER stage)
                on --data, save to --model
+    pretrain   data-parallel three-objective pre-training on --data,
+               checkpointing to --model (resumable with --resume)
     parse      parse a document from --data with a trained --model
     serve      run the HTTP micro-batching inference server on --model
     rules      rule-based entity extraction (no model needed)
@@ -80,7 +84,12 @@ OPTIONS:
     --seed <N>          RNG seed [default: 42]
     --host <ADDR>       serve: bind host [default: 127.0.0.1]
     --port <N>          serve: bind port [default: 8080]
-    --workers <N>       serve: worker threads [default: #cores, max 4]
+    --workers <N>       serve/pretrain: worker threads [default: #cores, max 4]
     --max-batch <N>     serve: largest micro-batch [default: 8]
-    --max-wait-ms <N>   serve: batching window in ms [default: 20]"
+    --max-wait-ms <N>   serve: batching window in ms [default: 20]
+    --sync-every <K>    pretrain: docs per worker between parameter
+                        averagings [default: 8]
+    --checkpoint-every <K>
+                        pretrain: checkpoint every K epochs [default: 1]
+    --resume <CKPT>     pretrain: continue from a checkpoint file"
 }

@@ -49,5 +49,8 @@ pub use block_classifier::BlockClassifier;
 pub use config::{ModelConfig, PretrainConfig};
 pub use data::{block_tag_scheme, entity_tag_scheme, DocumentInput};
 pub use encoder::HierarchicalEncoder;
-pub use model_io::{load_bundle, load_model, save_bundle, save_model, ModelBundle};
+pub use model_io::{
+    load_bundle, load_checkpoint, load_model, save_bundle, save_checkpoint, save_model,
+    CheckpointMeta, ModelBundle, TrainCheckpoint,
+};
 pub use pipeline::{EntityExtractor, ResumeParser};

@@ -12,29 +12,36 @@
 //!   header_len | header | u64 clf_len | clf weights | u64 ner_len |
 //!   ner weights`. The header records both architectures and both
 //!   vocabularies.
+//! * `RESUTRN3` — pre-training checkpoint: `magic | u64 header_len |
+//!   header | u64 weights_len | encoder+pretrainer weights | u64
+//!   n_states | (u64 len | optimizer state)*`. The header carries the
+//!   full model + pre-training hyper-parameters, the RNG seeds and the
+//!   epoch cursor; the trailing blobs are per-worker Adam states. A
+//!   killed run restored from one of these continues bit-identically.
 //!
-//! Byte-slice variants (`*_bytes`) back the serving layer, which keeps
-//! one copy of the file in memory and rebuilds a warm parser per worker
-//! thread (the autograd graph is `Rc`-based, hence not shareable across
-//! threads).
+//! Byte-slice variants (`*_bytes`) back the serving layer, which keeps one
+//! copy of the file in memory and builds a single warm parser shared by all
+//! worker threads (the autograd graph is `Arc`-based and `Sync`).
 
 use std::io::Write;
 
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use resuformer_datagen::{Dictionaries, DictionaryConfig};
-use resuformer_nn::Module;
+use resuformer_nn::{Module, ParamList};
 use resuformer_text::{Vocab, WordPiece};
 use serde::{Deserialize, Serialize};
 
 use crate::block_classifier::BlockClassifier;
-use crate::config::ModelConfig;
+use crate::config::{ModelConfig, PretrainConfig};
 use crate::encoder::HierarchicalEncoder;
 use crate::ner::{NerConfig, NerModel};
 use crate::pipeline::{EntityExtractor, ResumeParser};
+use crate::pretrain::{build_pretrain_model, ObjectiveSwitches, Pretrainer};
 
 const MAGIC_V1: &[u8; 8] = b"RESUCLI1";
 const MAGIC_V2: &[u8; 8] = b"RESUFMT2";
+const MAGIC_V3: &[u8; 8] = b"RESUTRN3";
 
 /// Serializable classifier configuration (mirrors [`ModelConfig`]).
 #[derive(Serialize, Deserialize)]
@@ -385,6 +392,250 @@ pub fn load_model(path: &str) -> Result<(BlockClassifier, ModelConfig, WordPiece
     Ok((bundle.classifier, bundle.config, bundle.wordpiece))
 }
 
+// ---------------------------------------------------------------------------
+// v3: pre-training checkpoints
+// ---------------------------------------------------------------------------
+
+/// Serializable v3 checkpoint header: architecture + pre-training
+/// hyper-parameters + seeds + epoch cursor.
+#[derive(Serialize, Deserialize)]
+struct TrainHeader {
+    // Model architecture. Unlike the inference formats, dropout is kept:
+    // a resumed run must train with the original regularisation.
+    vocab_size: usize,
+    hidden: usize,
+    sent_layers: usize,
+    doc_layers: usize,
+    heads: usize,
+    ff: usize,
+    dropout: f32,
+    max_sent_tokens: usize,
+    max_doc_sentences: usize,
+    visual_dim: usize,
+    coord_buckets: usize,
+    max_pages: usize,
+    vocab: Vec<String>,
+    // Pre-training hyper-parameters (Eq. 7 weights, ratios, optimizer).
+    mlm_ratio: f32,
+    scl_ratio: f32,
+    dnsp_ratio: f32,
+    tau: f32,
+    lambda_wp: f32,
+    lambda_cl: f32,
+    lambda_ns: f32,
+    lr: f32,
+    weight_decay: f32,
+    wmp: bool,
+    scl: bool,
+    dnsp: bool,
+    dynamic_masking: bool,
+    // Seeds and training cursor.
+    init_seed: u64,
+    base_seed: u64,
+    next_epoch: usize,
+    total_epochs: usize,
+    workers: usize,
+}
+
+/// Run description + epoch cursor stored in a v3 training checkpoint.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointMeta {
+    /// Seed the model architecture was initialised from.
+    pub init_seed: u64,
+    /// Seed driving data order and objective sampling.
+    pub base_seed: u64,
+    /// First epoch a resumed run should execute.
+    pub next_epoch: usize,
+    /// Epoch target of the run that wrote the checkpoint.
+    pub total_epochs: usize,
+    /// Worker count of the writing run (optimizer states are per-worker).
+    pub workers: usize,
+}
+
+/// A restored pre-training checkpoint, ready to continue training.
+pub struct TrainCheckpoint {
+    /// The restored hierarchical encoder.
+    pub encoder: HierarchicalEncoder,
+    /// The restored pre-training heads (`ĥ`, `W_d`) and objective config.
+    pub pretrainer: Pretrainer,
+    /// WordPiece tokenizer for document preparation.
+    pub wordpiece: WordPiece,
+    /// Model architecture (dropout preserved).
+    pub config: ModelConfig,
+    /// Seeds and epoch cursor.
+    pub meta: CheckpointMeta,
+    /// Per-worker serialized Adam states, in worker order.
+    pub optimizer_states: Vec<Vec<u8>>,
+}
+
+fn checkpoint_params(encoder: &HierarchicalEncoder, pretrainer: &Pretrainer) -> ParamList {
+    let mut params = encoder.parameters();
+    params.extend(pretrainer.parameters());
+    ParamList(params)
+}
+
+/// Serialize a pre-training checkpoint (v3) to bytes.
+pub fn save_checkpoint_bytes(
+    encoder: &HierarchicalEncoder,
+    pretrainer: &Pretrainer,
+    wp: &WordPiece,
+    config: &ModelConfig,
+    meta: &CheckpointMeta,
+    optimizer_states: &[Vec<u8>],
+) -> Result<Vec<u8>, String> {
+    let pc = pretrainer.config;
+    let header = TrainHeader {
+        vocab_size: config.vocab_size,
+        hidden: config.hidden,
+        sent_layers: config.sent_layers,
+        doc_layers: config.doc_layers,
+        heads: config.heads,
+        ff: config.ff,
+        dropout: config.dropout,
+        max_sent_tokens: config.max_sent_tokens,
+        max_doc_sentences: config.max_doc_sentences,
+        visual_dim: config.visual_dim,
+        coord_buckets: config.coord_buckets,
+        max_pages: config.max_pages,
+        vocab: (0..wp.vocab.len())
+            .map(|i| wp.vocab.token(i).to_string())
+            .collect(),
+        mlm_ratio: pc.mlm_ratio,
+        scl_ratio: pc.scl_ratio,
+        dnsp_ratio: pc.dnsp_ratio,
+        tau: pc.tau,
+        lambda_wp: pc.lambda_wp,
+        lambda_cl: pc.lambda_cl,
+        lambda_ns: pc.lambda_ns,
+        lr: pc.lr,
+        weight_decay: pc.weight_decay,
+        wmp: pretrainer.switches.wmp,
+        scl: pretrainer.switches.scl,
+        dnsp: pretrainer.switches.dnsp,
+        dynamic_masking: pretrainer.dynamic_masking,
+        init_seed: meta.init_seed,
+        base_seed: meta.base_seed,
+        next_epoch: meta.next_epoch,
+        total_epochs: meta.total_epochs,
+        workers: meta.workers,
+    };
+    let header_bytes =
+        serde_json::to_vec(&header).map_err(|e| format!("serializing header: {e}"))?;
+    let weights = checkpoint_params(encoder, pretrainer).save_bytes();
+
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC_V3);
+    out.extend_from_slice(&(header_bytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(&header_bytes);
+    out.extend_from_slice(&(weights.len() as u64).to_le_bytes());
+    out.extend_from_slice(&weights);
+    out.extend_from_slice(&(optimizer_states.len() as u64).to_le_bytes());
+    for state in optimizer_states {
+        out.extend_from_slice(&(state.len() as u64).to_le_bytes());
+        out.extend_from_slice(state);
+    }
+    Ok(out)
+}
+
+/// Save a pre-training checkpoint (v3) to a file.
+pub fn save_checkpoint(
+    path: &str,
+    encoder: &HierarchicalEncoder,
+    pretrainer: &Pretrainer,
+    wp: &WordPiece,
+    config: &ModelConfig,
+    meta: &CheckpointMeta,
+    optimizer_states: &[Vec<u8>],
+) -> Result<(), String> {
+    let bytes = save_checkpoint_bytes(encoder, pretrainer, wp, config, meta, optimizer_states)?;
+    let mut f = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+    f.write_all(&bytes).map_err(|e| e.to_string())
+}
+
+/// Restore a pre-training checkpoint from bytes produced by
+/// [`save_checkpoint_bytes`].
+pub fn load_checkpoint_bytes(bytes: &[u8]) -> Result<TrainCheckpoint, String> {
+    let mut r = Reader::new(bytes);
+    if r.take(8)? != MAGIC_V3 {
+        return Err("not a resuformer training checkpoint".to_string());
+    }
+    let header_len = r.u64()? as usize;
+    let header: TrainHeader =
+        serde_json::from_slice(r.take(header_len)?).map_err(|e| format!("parsing header: {e}"))?;
+    let weights_len = r.u64()? as usize;
+    let weights = r.take(weights_len)?;
+    let n_states = r.u64()? as usize;
+    let mut optimizer_states = Vec::with_capacity(n_states);
+    for _ in 0..n_states {
+        let len = r.u64()? as usize;
+        optimizer_states.push(r.take(len)?.to_vec());
+    }
+
+    let config = ModelConfig {
+        vocab_size: header.vocab_size,
+        hidden: header.hidden,
+        sent_layers: header.sent_layers,
+        doc_layers: header.doc_layers,
+        heads: header.heads,
+        ff: header.ff,
+        dropout: header.dropout,
+        max_sent_tokens: header.max_sent_tokens,
+        max_doc_sentences: header.max_doc_sentences,
+        visual_dim: header.visual_dim,
+        coord_buckets: header.coord_buckets,
+        max_pages: header.max_pages,
+    };
+    let pretrain_config = PretrainConfig {
+        mlm_ratio: header.mlm_ratio,
+        scl_ratio: header.scl_ratio,
+        dnsp_ratio: header.dnsp_ratio,
+        tau: header.tau,
+        lambda_wp: header.lambda_wp,
+        lambda_cl: header.lambda_cl,
+        lambda_ns: header.lambda_ns,
+        lr: header.lr,
+        weight_decay: header.weight_decay,
+    };
+    let wordpiece = WordPiece::from_vocab(rebuild_vocab(&header.vocab));
+
+    // Rebuild the architecture from the recorded init seed — this also
+    // restores the frozen visual extractor, which is excluded from the
+    // serialized parameters — then overwrite the trainable weights.
+    let (encoder, mut pretrainer) =
+        build_pretrain_model(header.init_seed, &config, pretrain_config);
+    pretrainer.switches = ObjectiveSwitches {
+        wmp: header.wmp,
+        scl: header.scl,
+        dnsp: header.dnsp,
+    };
+    pretrainer.dynamic_masking = header.dynamic_masking;
+    checkpoint_params(&encoder, &pretrainer)
+        .load_bytes(weights)
+        .map_err(|e| format!("loading checkpoint weights: {e}"))?;
+
+    Ok(TrainCheckpoint {
+        encoder,
+        pretrainer,
+        wordpiece,
+        config,
+        meta: CheckpointMeta {
+            init_seed: header.init_seed,
+            base_seed: header.base_seed,
+            next_epoch: header.next_epoch,
+            total_epochs: header.total_epochs,
+            workers: header.workers,
+        },
+        optimizer_states,
+    })
+}
+
+/// Restore a pre-training checkpoint from a file saved by
+/// [`save_checkpoint`].
+pub fn load_checkpoint(path: &str) -> Result<TrainCheckpoint, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("opening {path}: {e}"))?;
+    load_checkpoint_bytes(&bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,6 +675,68 @@ mod tests {
             "loaded model must predict identically"
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_round_trips_weights_and_meta() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let resume = generate_resume(&mut rng, &GeneratorConfig::smoke());
+        let wp = build_tokenizer(resume.doc.tokens.iter().map(|t| t.text.clone()), 1);
+        let config = ModelConfig::tiny(wp.vocab.len());
+        let (encoder, pretrainer) =
+            build_pretrain_model(42, &config, crate::config::PretrainConfig::default());
+
+        let meta = CheckpointMeta {
+            init_seed: 42,
+            base_seed: 7,
+            next_epoch: 3,
+            total_epochs: 8,
+            workers: 2,
+        };
+        let states = vec![vec![1u8, 2, 3], vec![4u8, 5]];
+        let bytes =
+            save_checkpoint_bytes(&encoder, &pretrainer, &wp, &config, &meta, &states).unwrap();
+        assert_eq!(&bytes[..8], MAGIC_V3);
+
+        let ckpt = load_checkpoint_bytes(&bytes).unwrap();
+        assert_eq!(ckpt.meta.next_epoch, 3);
+        assert_eq!(ckpt.meta.workers, 2);
+        assert_eq!(ckpt.meta.base_seed, 7);
+        assert_eq!(ckpt.optimizer_states, states);
+        assert_eq!(ckpt.wordpiece.vocab.len(), wp.vocab.len());
+        assert_eq!(ckpt.config.dropout, config.dropout, "dropout must survive");
+
+        // Every trainable weight — and the frozen visual extractor rebuilt
+        // from the init seed — must match bit-for-bit: same loss under the
+        // same RNG stream.
+        let saved = checkpoint_params(&encoder, &pretrainer).parameters();
+        let loaded = checkpoint_params(&ckpt.encoder, &ckpt.pretrainer).parameters();
+        assert_eq!(saved.len(), loaded.len());
+        for (a, b) in saved.iter().zip(loaded.iter()) {
+            assert_eq!(a.value().data(), b.value().data());
+        }
+        let (input, _) = prepare_document(&resume.doc, &wp, &config);
+        let (_, m1) = pretrainer.loss(&encoder, &input, 0, &mut ChaCha8Rng::seed_from_u64(9));
+        let (_, m2) =
+            ckpt.pretrainer
+                .loss(&ckpt.encoder, &input, 0, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(m1.total, m2.total);
+
+        // Garbage and wrong-magic inputs must fail cleanly.
+        assert!(load_checkpoint_bytes(b"RESUTRN3").is_err());
+        let v1 = save_bundle_bytes(
+            &BlockClassifier::new(
+                &mut ChaCha8Rng::seed_from_u64(1),
+                &config,
+                HierarchicalEncoder::new(&mut ChaCha8Rng::seed_from_u64(1), &config),
+            ),
+            &config,
+            &wp,
+            1,
+            None,
+        )
+        .unwrap();
+        assert!(load_checkpoint_bytes(&v1).is_err());
     }
 
     #[test]

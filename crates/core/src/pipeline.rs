@@ -164,17 +164,26 @@ impl ResumeParser {
 
     /// Parse a batch of documents with one warm parser.
     ///
+    /// Convenience wrapper over [`ResumeParser::parse_documents_ref`] for
+    /// callers that own a `&[Document]` slice.
+    pub fn parse_documents(&self, docs: &[Document], base_seed: u64) -> Vec<ParsedResume> {
+        let refs: Vec<&Document> = docs.iter().collect();
+        self.parse_documents_ref(&refs, base_seed)
+    }
+
+    /// Parse a batch of borrowed documents with one warm parser.
+    ///
     /// Each document gets an independent deterministic RNG stream seeded
     /// from `base_seed + index`, so results never depend on batch
     /// composition or ordering — a batch of one is bit-identical to the
     /// same document inside a batch of fifty.
     ///
-    /// The loop is sequential by design: the autograd graph underneath the
-    /// models is `Rc`-based (single-threaded), so intra-process data
-    /// parallelism does not apply here. Throughput-oriented callers (the
-    /// `resuformer-serve` worker pool) run one warm parser per worker
-    /// thread and feed each a slice of the batch.
-    pub fn parse_documents(&self, docs: &[Document], base_seed: u64) -> Vec<ParsedResume> {
+    /// The loop inside ONE call is sequential, but the parser itself is
+    /// `Send + Sync` (the autograd graph is `Arc`-based), so
+    /// throughput-oriented callers — the `resuformer-serve` worker pool —
+    /// share a single warm parser across threads and call this
+    /// concurrently, each with its own batch of borrowed `Job` documents.
+    pub fn parse_documents_ref(&self, docs: &[&Document], base_seed: u64) -> Vec<ParsedResume> {
         docs.iter()
             .enumerate()
             .map(|(i, doc)| {
@@ -358,6 +367,14 @@ mod tests {
         let json = serde_json::to_string(&single).expect("serialize parse result");
         let back: ParsedResume = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(texts(&single), texts(&back));
+    }
+
+    #[test]
+    fn parser_is_send_and_sync() {
+        // The serving worker pool shares ONE warm parser across threads;
+        // this is what makes that sound (autograd graph is `Arc`-based).
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ResumeParser>();
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //! [`ObjectiveSwitches`] disables individual objectives for the Table III
 //! ablation; `dynamic_masking = false` gives the static-masking ablation.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -79,7 +79,7 @@ pub struct Pretrainer {
     /// Whether SCL re-samples mask positions every step (the paper's
     /// dynamic masking); `false` fixes them per document (ablation).
     pub dynamic_masking: bool,
-    static_mask_cache: RefCell<HashMap<usize, Vec<usize>>>,
+    static_mask_cache: Mutex<HashMap<usize, Vec<usize>>>,
 }
 
 impl Pretrainer {
@@ -95,7 +95,7 @@ impl Pretrainer {
             config,
             switches: ObjectiveSwitches::default(),
             dynamic_masking: true,
-            static_mask_cache: RefCell::new(HashMap::new()),
+            static_mask_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -163,7 +163,8 @@ impl Pretrainer {
                 sample_indices(m, k, rng)
             } else {
                 self.static_mask_cache
-                    .borrow_mut()
+                    .lock()
+                    .unwrap()
                     .entry(doc_key)
                     .or_insert_with(|| sample_indices(m, k, rng))
                     .clone()
@@ -279,6 +280,24 @@ fn replace_rows(x: &Tensor, rows: &[usize], replacement: &Tensor) -> Tensor {
         }
     }
     ops::concat_rows(&parts)
+}
+
+/// Build an encoder + pre-trainer pair from one init seed.
+///
+/// Training replicas and checkpoint restore must construct the architecture
+/// through this single path: the RNG consumption order fixes every parameter
+/// shape and rebuilds the frozen visual extractor (which is excluded from
+/// serialized parameters) bit-identically.
+pub fn build_pretrain_model(
+    init_seed: u64,
+    model: &ModelConfig,
+    config: PretrainConfig,
+) -> (HierarchicalEncoder, Pretrainer) {
+    use rand_chacha::rand_core::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(init_seed);
+    let enc = HierarchicalEncoder::new(&mut rng, model);
+    let pt = Pretrainer::new(&mut rng, model, config);
+    (enc, pt)
 }
 
 /// Pre-train an encoder over a document set; returns the per-epoch metric

@@ -147,13 +147,24 @@ mod tests {
 
     #[test]
     fn time_measures_closures() {
+        // Bound the sample by an outer stopwatch instead of a fixed upper
+        // constant: sleep can overshoot arbitrarily on a loaded machine,
+        // but the inner sample can never exceed the enclosing wall-clock.
+        let outer = Instant::now();
         let mut sw = Stopwatch::new();
         let v = sw.time(|| {
             std::thread::sleep(std::time::Duration::from_millis(5));
             42
         });
+        let outer_seconds = outer.elapsed().as_secs_f64();
         assert_eq!(v, 42);
         assert!(sw.mean_seconds() >= 0.004, "{}", sw.mean_seconds());
+        assert!(
+            sw.mean_seconds() <= outer_seconds,
+            "sample {} exceeds enclosing wall-clock {}",
+            sw.mean_seconds(),
+            outer_seconds
+        );
         assert!(!sw.is_empty());
     }
 }

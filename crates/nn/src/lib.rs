@@ -42,7 +42,7 @@ pub use embedding::Embedding;
 pub use gcn::GcnLayer;
 pub use linear::{Linear, Mlp};
 pub use lstm::{BiLstm, Lstm};
-pub use module::Module;
+pub use module::{Module, ParamList};
 pub use norm::LayerNorm;
 pub use schedule::LinearWarmupDecay;
 pub use transformer::{TransformerEncoder, TransformerLayer};

@@ -9,9 +9,10 @@
 //!   into batches (up to `max_batch`, waiting at most `max_wait_ms`) so
 //!   the per-request fixed costs amortize under load.
 //! - **Model registry** ([`registry`]): the model bundle is read and
-//!   validated once at startup; each worker thread gets its own warm
-//!   parser replica (the autograd graph is `Rc`-based and cannot be
-//!   shared across threads).
+//!   validated once at startup; ONE warm parser is built from it and
+//!   shared by every worker thread behind an `Arc` (the autograd graph
+//!   is `Arc`-based and `Sync`), so serving memory stays constant in the
+//!   worker count.
 //! - **Observability** ([`metrics`]): request/batch counters, queue
 //!   depth, and p50/p95/p99 latency, served as JSON at `/metrics`.
 //! - **Graceful shutdown** ([`signal`], [`Server::shutdown`]): SIGINT

@@ -1,11 +1,11 @@
 //! The model registry: loads and validates a saved model bundle once at
-//! startup, then stamps out one warm parser per worker thread.
+//! startup, then builds the single warm parser the worker pool shares.
 //!
-//! The autograd graph underneath the models is `Rc`-based and therefore
-//! neither `Send` nor `Sync`, so a loaded parser cannot cross threads.
-//! The registry holds only the raw file bytes (plain `Vec<u8>`, freely
-//! shareable behind an `Arc`) and rebuilds a parser inside each worker —
-//! paying the load cost once per worker at startup, never per request.
+//! The autograd graph underneath the models is `Arc`-based (`Send + Sync`),
+//! so one loaded parser serves every worker thread — the server builds it
+//! once via [`ModelRegistry::build_parser`] and hands out `Arc` clones.
+//! The registry keeps the raw file bytes alongside the metadata so callers
+//! can rebuild additional replicas (tests, A/B comparisons) if they want.
 
 use resuformer::model_io;
 use resuformer::pipeline::ResumeParser;
@@ -56,7 +56,8 @@ impl ModelRegistry {
         Ok(ModelRegistry { bytes, info })
     }
 
-    /// Rebuild a warm parser replica (called once per worker thread).
+    /// Build a warm parser from the validated bytes. The server calls this
+    /// once and shares the result across the worker pool behind an `Arc`.
     pub fn build_parser(&self) -> Result<ResumeParser, String> {
         Ok(model_io::load_bundle_bytes(&self.bytes)?.into_parser())
     }

@@ -1,5 +1,5 @@
 //! The serving loop: accept connections, route requests, and run the
-//! micro-batching pipeline across a pool of warm parser replicas.
+//! micro-batching pipeline across a worker pool sharing one warm parser.
 //!
 //! Thread layout:
 //!
@@ -11,7 +11,7 @@
 //!                                              batches channel (mpmc)
 //!                                               │        │        │
 //!                                            worker 0  worker 1  worker N
-//!                                            (each owns a parser replica)
+//!                                         (all share ONE parser replica)
 //! ```
 //!
 //! Shutdown drains rather than drops: the acceptor stops taking new
@@ -47,7 +47,7 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Longest the scheduler waits to fill a batch before shipping it.
     pub max_wait_ms: u64,
-    /// Worker threads, each with its own warm parser replica.
+    /// Worker threads, all sharing one warm parser replica.
     pub workers: usize,
 }
 
@@ -81,8 +81,9 @@ struct Health<'a> {
 }
 
 impl Server {
-    /// Bind, spin up the worker pool (validating that each replica loads),
-    /// and start accepting connections in the background.
+    /// Bind, build the shared parser (so a corrupt model fails startup,
+    /// not a request), spin up the worker pool, and start accepting
+    /// connections in the background.
     pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Result<Server, String> {
         let listener =
             TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
@@ -99,41 +100,35 @@ impl Server {
         let (req_tx, req_rx) = unbounded::<Job>();
         let (batch_tx, batch_rx) = unbounded::<Vec<Job>>();
 
-        // Worker pool: one parser replica per thread, rebuilt from the
-        // shared model bytes (the autograd graph is Rc-based, so a loaded
-        // parser cannot cross threads). Seeds come from a shared counter
-        // so every document still gets a distinct deterministic stream.
+        // Worker pool: the autograd graph is Arc-based (`Send + Sync`), so
+        // every thread shares ONE warm parser built once from the model
+        // bytes — memory stays constant in the worker count instead of
+        // growing `workers×`. Seeds come from a shared counter so every
+        // document still gets a distinct deterministic stream.
+        let parser = Arc::new(
+            registry
+                .build_parser()
+                .map_err(|e| format!("loading model replica: {e}"))?,
+        );
         let seed_counter = Arc::new(AtomicU64::new(0x5EED));
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for worker_id in 0..config.workers.max(1) {
             let rx = batch_rx.clone();
-            let registry = registry.clone();
+            let parser = parser.clone();
             let metrics = metrics.clone();
             let seed_counter = seed_counter.clone();
-            // Load on this thread, but fail startup if the replica can't
-            // be built: probe once here on the caller's thread first.
-            if worker_id == 0 {
-                registry
-                    .build_parser()
-                    .map_err(|e| format!("loading model replica: {e}"))?;
-            }
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("resuformer-worker-{worker_id}"))
                     .spawn(move || {
-                        let parser = match registry.build_parser() {
-                            Ok(p) => p,
-                            Err(e) => {
-                                eprintln!("worker {worker_id}: failed to load parser: {e}");
-                                return;
-                            }
-                        };
                         while let Ok(batch) = rx.recv() {
-                            let docs: Vec<Document> = batch.iter().map(|j| j.doc.clone()).collect();
+                            // Borrow the documents straight out of the jobs:
+                            // the hot path never clones a Document.
+                            let docs: Vec<&Document> = batch.iter().map(|j| &j.doc).collect();
                             let base_seed =
                                 seed_counter.fetch_add(docs.len() as u64, Ordering::Relaxed);
                             let start = Instant::now();
-                            let results = parser.parse_documents(&docs, base_seed);
+                            let results = parser.parse_documents_ref(&docs, base_seed);
                             metrics.note_batch_done(batch.len(), start.elapsed().as_secs_f64());
                             for (job, parsed) in batch.into_iter().zip(results) {
                                 metrics.note_request_done(job.enqueued.elapsed().as_secs_f64());

@@ -6,13 +6,16 @@
 //! graph and runs the closures in reverse order, accumulating gradients into
 //! every node with `requires_grad`.
 //!
-//! The graph is single-threaded (`Rc`/`RefCell`); heavy kernels parallelise
-//! internally over raw buffers with rayon.
+//! The graph is thread-safe (`Arc` + locks): model replicas can move across
+//! worker threads, and a read-only model can be shared by many inference
+//! threads at once. Each thread builds and differentiates its *own* graphs;
+//! the locks make sharing leaf parameters safe, they do not make a single
+//! `backward` call parallel. Heavy kernels still parallelise internally over
+//! raw buffers with rayon.
 
-use std::cell::RefCell;
 use std::collections::HashSet;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use crate::array::NdArray;
 
@@ -21,13 +24,15 @@ static NEXT_ID: AtomicU64 = AtomicU64::new(0);
 /// Backward closure: `(grad_out, out_value, parents)`.
 ///
 /// Implementations must call [`Tensor::accumulate_grad`] on the parents they
-/// differentiate with respect to.
-pub type BackwardFn = Box<dyn Fn(&NdArray, &NdArray, &[Tensor])>;
+/// differentiate with respect to. Closures capture only plain values
+/// (`NdArray`, shapes, indices), so they are `Send + Sync` and whole graphs
+/// can cross thread boundaries.
+pub type BackwardFn = Box<dyn Fn(&NdArray, &NdArray, &[Tensor]) + Send + Sync>;
 
 pub(crate) struct Node {
     id: u64,
-    value: RefCell<NdArray>,
-    grad: RefCell<Option<NdArray>>,
+    value: RwLock<NdArray>,
+    grad: Mutex<Option<NdArray>>,
     parents: Vec<Tensor>,
     backward: Option<BackwardFn>,
     requires_grad: bool,
@@ -44,16 +49,19 @@ pub(crate) struct Node {
 /// assert_eq!(w.grad().unwrap().item(), 4.0); // d(w²)/dw = 2w
 /// ```
 #[derive(Clone)]
-pub struct Tensor(pub(crate) Rc<Node>);
+pub struct Tensor(pub(crate) Arc<Node>);
 
 // Dropping a deep graph (e.g. an LSTM unrolled over hundreds of steps) must
 // not recurse through the `parents` chain; this steals parents into an
-// explicit worklist so each node drops with no parents left.
+// explicit worklist so each node drops with no parents left. `try_unwrap`
+// stops the walk at nodes still referenced elsewhere (e.g. parameters shared
+// with another thread), which is exactly where the recursive drop would have
+// stopped too.
 impl Drop for Node {
     fn drop(&mut self) {
         let mut stack: Vec<Tensor> = std::mem::take(&mut self.parents);
         while let Some(t) = stack.pop() {
-            if let Ok(mut node) = Rc::try_unwrap(t.0) {
+            if let Ok(mut node) = Arc::try_unwrap(t.0) {
                 stack.append(&mut node.parents);
             }
         }
@@ -63,10 +71,10 @@ impl Drop for Node {
 impl Tensor {
     /// A leaf tensor that participates in gradient computation (a parameter).
     pub fn param(value: NdArray) -> Tensor {
-        Tensor(Rc::new(Node {
+        Tensor(Arc::new(Node {
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
-            value: RefCell::new(value),
-            grad: RefCell::new(None),
+            value: RwLock::new(value),
+            grad: Mutex::new(None),
             parents: Vec::new(),
             backward: None,
             requires_grad: true,
@@ -75,10 +83,10 @@ impl Tensor {
 
     /// A leaf tensor excluded from gradient computation (input data).
     pub fn constant(value: NdArray) -> Tensor {
-        Tensor(Rc::new(Node {
+        Tensor(Arc::new(Node {
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
-            value: RefCell::new(value),
-            grad: RefCell::new(None),
+            value: RwLock::new(value),
+            grad: Mutex::new(None),
             parents: Vec::new(),
             backward: None,
             requires_grad: false,
@@ -97,10 +105,10 @@ impl Tensor {
     pub fn from_op(value: NdArray, parents: Vec<Tensor>, backward: BackwardFn) -> Tensor {
         let requires_grad = parents.iter().any(|p| p.0.requires_grad);
         if requires_grad {
-            Tensor(Rc::new(Node {
+            Tensor(Arc::new(Node {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
-                value: RefCell::new(value),
-                grad: RefCell::new(None),
+                value: RwLock::new(value),
+                grad: Mutex::new(None),
                 parents,
                 backward: Some(backward),
                 requires_grad: true,
@@ -117,17 +125,17 @@ impl Tensor {
 
     /// Snapshot of the current value (O(1): copy-on-write clone).
     pub fn value(&self) -> NdArray {
-        self.0.value.borrow().clone()
+        self.0.value.read().unwrap().clone()
     }
 
     /// Dimension sizes of the value.
     pub fn dims(&self) -> Vec<usize> {
-        self.0.value.borrow().dims().to_vec()
+        self.0.value.read().unwrap().dims().to_vec()
     }
 
     /// The single value of a scalar tensor.
     pub fn item(&self) -> f32 {
-        self.0.value.borrow().item()
+        self.0.value.read().unwrap().item()
     }
 
     /// Whether this node accumulates gradient.
@@ -137,22 +145,19 @@ impl Tensor {
 
     /// Replace the stored value (optimizer updates on leaf parameters).
     pub fn set_value(&self, value: NdArray) {
-        assert_eq!(
-            self.0.value.borrow().dims(),
-            value.dims(),
-            "set_value: shape mismatch"
-        );
-        *self.0.value.borrow_mut() = value;
+        let mut slot = self.0.value.write().unwrap();
+        assert_eq!(slot.dims(), value.dims(), "set_value: shape mismatch");
+        *slot = value;
     }
 
     /// Current gradient, if any has been accumulated.
     pub fn grad(&self) -> Option<NdArray> {
-        self.0.grad.borrow().clone()
+        self.0.grad.lock().unwrap().clone()
     }
 
     /// Clear the accumulated gradient.
     pub fn zero_grad(&self) {
-        *self.0.grad.borrow_mut() = None;
+        *self.0.grad.lock().unwrap() = None;
     }
 
     /// Add `g` into this node's gradient buffer (no-op unless
@@ -162,13 +167,13 @@ impl Tensor {
             return;
         }
         debug_assert_eq!(
-            self.0.value.borrow().dims(),
+            self.0.value.read().unwrap().dims(),
             g.dims(),
             "accumulate_grad: gradient shape {:?} does not match value shape {:?}",
             g.dims(),
-            self.0.value.borrow().dims()
+            self.0.value.read().unwrap().dims()
         );
-        let mut slot = self.0.grad.borrow_mut();
+        let mut slot = self.0.grad.lock().unwrap();
         match slot.as_mut() {
             Some(acc) => acc.add_assign(g),
             None => *slot = Some(g.clone()),
@@ -180,13 +185,16 @@ impl Tensor {
     /// Seeds the output gradient with 1.0. Panics if the tensor is not a
     /// scalar; use [`Tensor::backward_with`] to seed arbitrary shapes.
     pub fn backward(&self) {
-        assert_eq!(
-            self.0.value.borrow().numel(),
-            1,
-            "backward() requires a scalar loss; got shape {:?}",
-            self.dims()
-        );
-        let seed = NdArray::full(self.0.value.borrow().shape().clone(), 1.0);
+        let seed = {
+            let value = self.0.value.read().unwrap();
+            assert_eq!(
+                value.numel(),
+                1,
+                "backward() requires a scalar loss; got shape {:?}",
+                value.dims()
+            );
+            NdArray::full(value.shape().clone(), 1.0)
+        };
         self.backward_with(&seed);
     }
 
@@ -201,14 +209,17 @@ impl Tensor {
         // sequences are deep enough to overflow the stack with recursion).
         let order = self.topo_order();
         for node in order.iter().rev() {
-            let grad = node.0.grad.borrow().clone();
+            // Snapshot grad and value and release the locks before running
+            // the closure: the closure takes parent locks, and a reused node
+            // (`mul(&a, &a)`) may even be its own parent.
+            let grad = node.0.grad.lock().unwrap().clone();
             let Some(grad) = grad else { continue };
             if let Some(backward) = &node.0.backward {
-                let value = node.0.value.borrow().clone();
+                let value = node.0.value.read().unwrap().clone();
                 backward(&grad, &value, &node.0.parents);
                 // Intermediate gradients are transient: only leaves (which
                 // have no backward closure) accumulate across backward calls.
-                *node.0.grad.borrow_mut() = None;
+                *node.0.grad.lock().unwrap() = None;
             }
         }
     }
@@ -249,7 +260,7 @@ impl std::fmt::Debug for Tensor {
             f,
             "Tensor(id={}, {:?}, requires_grad={})",
             self.0.id,
-            self.0.value.borrow(),
+            self.0.value.read().unwrap(),
             self.0.requires_grad
         )
     }
@@ -326,5 +337,40 @@ mod tests {
             x = ops::add(&x, &Tensor::scalar(0.0));
         }
         x.backward();
+    }
+
+    #[test]
+    fn tensor_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
+        assert_send_sync::<NdArray>();
+    }
+
+    #[test]
+    fn graph_crosses_thread_boundary() {
+        // Build a graph on one thread, backprop it on another: the whole
+        // point of the Arc-based refactor.
+        let a = Tensor::param(NdArray::scalar(2.0));
+        let y = ops::mul(&a, &a);
+        let a2 = a.clone();
+        std::thread::spawn(move || y.backward()).join().unwrap();
+        assert_eq!(a2.grad().unwrap().item(), 4.0);
+    }
+
+    #[test]
+    fn shared_param_trains_from_worker_threads() {
+        // Two workers each compute grads on graphs over the SAME leaf;
+        // accumulation is serialized by the grad mutex.
+        let a = Tensor::param(NdArray::scalar(1.0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let a = a.clone();
+                std::thread::spawn(move || ops::mul(&a, &Tensor::scalar(3.0)).backward())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.grad().unwrap().item(), 6.0);
     }
 }

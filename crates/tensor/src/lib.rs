@@ -17,6 +17,9 @@
 //!   runs a topological sweep.
 //! * Matrix multiplication is blocked and parallelised with rayon; it is the
 //!   kernel that dominates training throughput here.
+//! * The graph is `Send + Sync` (`Arc` + locks): data-parallel trainers move
+//!   replicas across worker threads, and the serving stack shares a single
+//!   read-only model between all of its workers.
 //!
 //! The engine is intentionally small but complete: it supports everything a
 //! Transformer encoder, an LSTM, a CRF (via `logsumexp` compositions) and a

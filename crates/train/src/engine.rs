@@ -1,0 +1,395 @@
+//! The coordinator: epoch sharding, parameter averaging, checkpointing.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::unbounded;
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use resuformer::config::{ModelConfig, PretrainConfig};
+use resuformer::data::DocumentInput;
+use resuformer::model_io::{self, CheckpointMeta, TrainCheckpoint};
+use resuformer::pretrain::{build_pretrain_model, PretrainMetrics, Pretrainer};
+use resuformer::HierarchicalEncoder;
+use resuformer_nn::Module;
+use resuformer_tensor::{NdArray, Tensor};
+use resuformer_text::WordPiece;
+
+use crate::metrics::EpochMetrics;
+use crate::worker::{epoch_seed, worker_loop, FromWorker, RoundResult, ToWorker, WorkerSpec};
+
+/// How a training run is executed (the model itself lives in [`Trainer`]).
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Worker threads. A resumed run must use the checkpoint's count.
+    pub workers: usize,
+    /// Train until this many epochs have completed (total, not additional:
+    /// resuming an interrupted 8-epoch run passes 8 again).
+    pub epochs: usize,
+    /// Documents each worker processes between parameter averagings.
+    pub sync_every: usize,
+    /// Write a checkpoint every K completed epochs (0 = only the final
+    /// one). Requires `checkpoint_path`.
+    pub checkpoint_every: usize,
+    /// Where checkpoints (periodic and final) are written.
+    pub checkpoint_path: Option<String>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            workers: 1,
+            epochs: 8,
+            sync_every: 8,
+            checkpoint_every: 0,
+            checkpoint_path: None,
+        }
+    }
+}
+
+/// A pre-training run: the model being trained plus the cursor state needed
+/// to continue or checkpoint it.
+pub struct Trainer {
+    encoder: HierarchicalEncoder,
+    pretrainer: Pretrainer,
+    wordpiece: WordPiece,
+    config: ModelConfig,
+    init_seed: u64,
+    base_seed: u64,
+    next_epoch: usize,
+    /// Per-worker Adam blobs carried across `train` calls / checkpoints.
+    optimizer_states: Vec<Vec<u8>>,
+    /// Set once optimizer state exists: later runs must match this count.
+    resume_workers: Option<usize>,
+}
+
+impl Trainer {
+    /// A fresh run: architecture initialised from `init_seed`, data order
+    /// and objective sampling driven by `base_seed`.
+    pub fn new(
+        wordpiece: WordPiece,
+        config: ModelConfig,
+        pretrain: PretrainConfig,
+        init_seed: u64,
+        base_seed: u64,
+    ) -> Self {
+        let (encoder, pretrainer) = build_pretrain_model(init_seed, &config, pretrain);
+        Trainer {
+            encoder,
+            pretrainer,
+            wordpiece,
+            config,
+            init_seed,
+            base_seed,
+            next_epoch: 0,
+            optimizer_states: Vec::new(),
+            resume_workers: None,
+        }
+    }
+
+    /// Continue a run restored from a v3 checkpoint.
+    pub fn from_checkpoint(ckpt: TrainCheckpoint) -> Self {
+        Trainer {
+            encoder: ckpt.encoder,
+            pretrainer: ckpt.pretrainer,
+            wordpiece: ckpt.wordpiece,
+            config: ckpt.config,
+            init_seed: ckpt.meta.init_seed,
+            base_seed: ckpt.meta.base_seed,
+            next_epoch: ckpt.meta.next_epoch,
+            resume_workers: Some(ckpt.meta.workers),
+            optimizer_states: ckpt.optimizer_states,
+        }
+    }
+
+    /// The tokenizer documents must be prepared with.
+    pub fn wordpiece(&self) -> &WordPiece {
+        &self.wordpiece
+    }
+
+    /// The model architecture.
+    pub fn model_config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// First epoch the next `train` call will execute.
+    pub fn next_epoch(&self) -> usize {
+        self.next_epoch
+    }
+
+    /// Worker count this run is locked to (set after training or resume).
+    pub fn required_workers(&self) -> Option<usize> {
+        self.resume_workers
+    }
+
+    /// The trained model (e.g. to fine-tune after pre-training).
+    pub fn into_model(self) -> (HierarchicalEncoder, Pretrainer) {
+        (self.encoder, self.pretrainer)
+    }
+
+    /// Run epochs `next_epoch..tc.epochs`, calling `on_epoch` after each.
+    ///
+    /// Returns the per-epoch metrics. The run is deterministic in
+    /// `(seeds, workers, sync_every)`: interrupting it and resuming from a
+    /// checkpoint yields bit-identical parameters (with dynamic masking,
+    /// the paper default — static-masking caches are not checkpointed).
+    pub fn train(
+        &mut self,
+        docs: &[DocumentInput],
+        tc: &TrainConfig,
+        mut on_epoch: impl FnMut(&EpochMetrics),
+    ) -> Result<Vec<EpochMetrics>, String> {
+        if docs.is_empty() {
+            return Err("no documents to pre-train on".to_string());
+        }
+        let workers = tc.workers.max(1);
+        if let Some(rw) = self.resume_workers {
+            if workers != rw {
+                return Err(format!(
+                    "optimizer state is per-worker: run has {rw} workers, got {workers}"
+                ));
+            }
+        }
+
+        // ---- Spawn the worker pool -------------------------------------
+        let docs_arc = Arc::new(docs.to_vec());
+        let (from_tx, from_rx) = unbounded::<FromWorker>();
+        let mut to_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let (tx, rx) = unbounded::<ToWorker>();
+            to_txs.push(tx);
+            let spec = WorkerSpec {
+                worker,
+                init_seed: self.init_seed,
+                base_seed: self.base_seed,
+                config: self.config,
+                pretrain: self.pretrainer.config,
+                switches: self.pretrainer.switches,
+                dynamic_masking: self.pretrainer.dynamic_masking,
+                docs: docs_arc.clone(),
+            };
+            let from_tx = from_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("resuformer-train-{worker}"))
+                .spawn(move || worker_loop(spec, rx, from_tx))
+                .map_err(|e| format!("spawning worker {worker}: {e}"))?;
+            handles.push(handle);
+        }
+        drop(from_tx);
+
+        let run = self.run_epochs(docs.len(), workers, tc, &to_txs, &from_rx, &mut on_epoch);
+
+        // Tear down: closing the senders ends the worker loops.
+        drop(to_txs);
+        for h in handles {
+            let _ = h.join();
+        }
+        run
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_epochs(
+        &mut self,
+        n_docs: usize,
+        workers: usize,
+        tc: &TrainConfig,
+        to_txs: &[crossbeam::channel::Sender<ToWorker>],
+        from_rx: &crossbeam::channel::Receiver<FromWorker>,
+        on_epoch: &mut impl FnMut(&EpochMetrics),
+    ) -> Result<Vec<EpochMetrics>, String> {
+        // Restore per-worker optimizer state from a prior run/checkpoint.
+        if !self.optimizer_states.is_empty() {
+            for (w, blob) in self.optimizer_states.iter().enumerate() {
+                to_txs[w]
+                    .send(ToWorker::LoadState(blob.clone()))
+                    .map_err(|_| format!("worker {w} died"))?;
+            }
+            for _ in 0..workers {
+                match from_rx.recv() {
+                    Ok(FromWorker::StateLoaded { worker, result }) => {
+                        result.map_err(|e| format!("worker {worker} optimizer state: {e}"))?
+                    }
+                    Ok(_) => return Err("unexpected worker message".to_string()),
+                    Err(_) => return Err("worker pool died during state restore".to_string()),
+                }
+            }
+        }
+
+        let mut global = self.encoder.parameters();
+        global.extend(self.pretrainer.parameters());
+
+        let mut trace = Vec::new();
+        for epoch in self.next_epoch..tc.epochs {
+            let t0 = Instant::now();
+            let mut order: Vec<usize> = (0..n_docs).collect();
+            let mut erng = ChaCha8Rng::seed_from_u64(epoch_seed(self.base_seed, epoch));
+            order.shuffle(&mut erng);
+
+            let round_size = tc.sync_every.max(1) * workers;
+            let mut acc = PretrainMetrics::default();
+            let mut docs_done = 0usize;
+            let mut tokens = 0u64;
+            let mut busy = 0.0f64;
+            for (round, slice) in order.chunks(round_size).enumerate() {
+                let values: Vec<NdArray> = global.iter().map(|p| p.value()).collect();
+                // Round-robin so a short tail round still spreads evenly.
+                let mut shards: Vec<Vec<usize>> = vec![Vec::new(); workers];
+                for (i, &di) in slice.iter().enumerate() {
+                    shards[i % workers].push(di);
+                }
+                for (w, shard) in shards.into_iter().enumerate() {
+                    to_txs[w]
+                        .send(ToWorker::Round {
+                            epoch,
+                            round,
+                            doc_ids: shard,
+                            params: values.clone(),
+                        })
+                        .map_err(|_| format!("worker {w} died"))?;
+                }
+
+                let mut results: Vec<Option<RoundResult>> = (0..workers).map(|_| None).collect();
+                for _ in 0..workers {
+                    match from_rx.recv() {
+                        Ok(FromWorker::Round(r)) => results[r.worker] = Some(r),
+                        Ok(_) => return Err("unexpected worker message".to_string()),
+                        Err(_) => return Err("worker pool died mid-round".to_string()),
+                    }
+                }
+                let results: Vec<RoundResult> = results
+                    .into_iter()
+                    .map(|r| r.ok_or_else(|| "duplicate worker round result".to_string()))
+                    .collect::<Result<_, _>>()?;
+
+                average_into(&global, &results);
+                for r in &results {
+                    acc.wp += r.metrics.wp;
+                    acc.cl += r.metrics.cl;
+                    acc.ns += r.metrics.ns;
+                    acc.total += r.metrics.total;
+                    docs_done += r.docs;
+                    tokens += r.tokens;
+                    busy += r.busy_seconds;
+                }
+            }
+
+            let wall = t0.elapsed().as_secs_f64();
+            let n = docs_done.max(1) as f32;
+            let m = EpochMetrics {
+                epoch,
+                wp: acc.wp / n,
+                cl: acc.cl / n,
+                ns: acc.ns / n,
+                total: acc.total / n,
+                docs: docs_done,
+                tokens,
+                wall_seconds: wall,
+                tokens_per_sec: tokens as f64 / wall.max(1e-9),
+                utilization: (busy / (wall.max(1e-9) * workers as f64)).min(1.0),
+            };
+            on_epoch(&m);
+            trace.push(m);
+
+            let completed = epoch + 1;
+            self.next_epoch = completed;
+            let periodic = tc.checkpoint_every > 0 && completed % tc.checkpoint_every == 0;
+            if let Some(path) = &tc.checkpoint_path {
+                if periodic && completed < tc.epochs {
+                    self.optimizer_states = collect_states(to_txs, from_rx, workers)?;
+                    self.resume_workers = Some(workers);
+                    self.write_checkpoint(path, workers, tc.epochs)?;
+                }
+            }
+        }
+
+        // Pull final optimizer state so a later `train` call (or the final
+        // checkpoint) continues exactly where this run stopped.
+        self.optimizer_states = collect_states(to_txs, from_rx, workers)?;
+        self.resume_workers = Some(workers);
+        if let Some(path) = &tc.checkpoint_path {
+            self.write_checkpoint(path, workers, tc.epochs)?;
+        }
+        Ok(trace)
+    }
+
+    fn write_checkpoint(
+        &self,
+        path: &str,
+        workers: usize,
+        total_epochs: usize,
+    ) -> Result<(), String> {
+        let meta = CheckpointMeta {
+            init_seed: self.init_seed,
+            base_seed: self.base_seed,
+            next_epoch: self.next_epoch,
+            total_epochs,
+            workers,
+        };
+        model_io::save_checkpoint(
+            path,
+            &self.encoder,
+            &self.pretrainer,
+            &self.wordpiece,
+            &self.config,
+            &meta,
+            &self.optimizer_states,
+        )
+    }
+}
+
+/// Deterministic weighted parameter average: fixed worker order, weights
+/// proportional to documents processed. A round with no non-empty documents
+/// leaves the global parameters unchanged.
+fn average_into(global: &[Tensor], results: &[RoundResult]) {
+    let total_docs: usize = results.iter().map(|r| r.docs).sum();
+    if total_docs == 0 {
+        return;
+    }
+    for (pi, p) in global.iter().enumerate() {
+        let mut sum: Option<NdArray> = None;
+        for r in results {
+            if r.docs == 0 {
+                continue;
+            }
+            let w = r.docs as f32 / total_docs as f32;
+            match &mut sum {
+                None => {
+                    let mut a = r.params[pi].clone();
+                    for x in a.data_mut() {
+                        *x *= w;
+                    }
+                    sum = Some(a);
+                }
+                Some(a) => a.axpy(w, &r.params[pi]),
+            }
+        }
+        if let Some(avg) = sum {
+            p.set_value(avg);
+        }
+    }
+}
+
+fn collect_states(
+    to_txs: &[crossbeam::channel::Sender<ToWorker>],
+    from_rx: &crossbeam::channel::Receiver<FromWorker>,
+    workers: usize,
+) -> Result<Vec<Vec<u8>>, String> {
+    for (w, tx) in to_txs.iter().enumerate() {
+        tx.send(ToWorker::SaveState)
+            .map_err(|_| format!("worker {w} died"))?;
+    }
+    let mut states: Vec<Option<Vec<u8>>> = (0..workers).map(|_| None).collect();
+    for _ in 0..workers {
+        match from_rx.recv() {
+            Ok(FromWorker::State { worker, bytes }) => states[worker] = Some(bytes),
+            Ok(_) => return Err("unexpected worker message".to_string()),
+            Err(_) => return Err("worker pool died during state save".to_string()),
+        }
+    }
+    states
+        .into_iter()
+        .map(|s| s.ok_or_else(|| "missing worker state".to_string()))
+        .collect()
+}

@@ -1,0 +1,37 @@
+//! # resuformer-train
+//!
+//! Multi-worker data-parallel pre-training for the ResuFormer encoder.
+//!
+//! The paper's three-objective pre-training (Eq. 7) is the most expensive
+//! stage of the reproduction; this crate turns the single-threaded
+//! [`resuformer::pretrain::pretrain`] reference loop into an operational
+//! subsystem:
+//!
+//! * **Data parallelism.** Each epoch's shuffled document order is cut into
+//!   rounds; within a round every worker thread trains its own model
+//!   replica on its shard, then the coordinator averages the replicas'
+//!   parameters (weighted by documents processed) and broadcasts the result
+//!   — local SGD with periodic parameter averaging. Workers are persistent
+//!   threads talking over crossbeam channels, the same idiom as
+//!   `resuformer-serve`'s worker pool, enabled by the `Arc`-based
+//!   (`Send + Sync`) autograd graph in `resuformer-tensor`.
+//! * **Determinism.** The shuffle is seeded per `(base_seed, epoch)` and
+//!   every worker's objective sampling per `(base_seed, epoch, round,
+//!   worker)`, so a run is a pure function of its seeds, worker count and
+//!   sync cadence.
+//! * **Durability.** At a configurable epoch cadence the coordinator writes
+//!   a v3 checkpoint through [`resuformer::model_io`]: model weights,
+//!   per-worker Adam states, RNG seeds and the epoch cursor. A killed run
+//!   resumed from the checkpoint continues *bit-identically* with the
+//!   uninterrupted run (with the paper-default dynamic masking).
+//! * **Observability.** Every epoch yields an [`EpochMetrics`] row: loss
+//!   per objective, tokens/sec and worker utilization.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod metrics;
+mod worker;
+
+pub use engine::{TrainConfig, Trainer};
+pub use metrics::EpochMetrics;

@@ -1,0 +1,71 @@
+//! Per-epoch training metrics.
+
+/// One epoch of the pre-training log: per-objective losses (averaged over
+/// documents), throughput and worker utilization.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochMetrics {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Mean masked layout-language loss.
+    pub wp: f32,
+    /// Mean contrastive loss.
+    pub cl: f32,
+    /// Mean next-sentence loss.
+    pub ns: f32,
+    /// Mean weighted total loss (Eq. 7).
+    pub total: f32,
+    /// Non-empty documents trained on this epoch.
+    pub docs: usize,
+    /// Input tokens consumed this epoch.
+    pub tokens: u64,
+    /// Wall-clock duration of the epoch in seconds.
+    pub wall_seconds: f64,
+    /// Throughput: `tokens / wall_seconds`.
+    pub tokens_per_sec: f64,
+    /// Fraction of `workers × wall` the workers spent training (1.0 = no
+    /// idle time at round barriers).
+    pub utilization: f64,
+}
+
+impl EpochMetrics {
+    /// One-line human-readable rendering for the training log.
+    pub fn render(&self) -> String {
+        format!(
+            "epoch {:>3} | loss {:.4} (wp {:.4} cl {:.4} ns {:.4}) | {} docs | {:>8.0} tok/s | util {:>5.1}%",
+            self.epoch,
+            self.total,
+            self.wp,
+            self.cl,
+            self.ns,
+            self.docs,
+            self.tokens_per_sec,
+            self.utilization * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_mentions_every_headline_number() {
+        let m = EpochMetrics {
+            epoch: 4,
+            wp: 1.25,
+            cl: 2.5,
+            ns: 0.75,
+            total: 4.5,
+            docs: 16,
+            tokens: 12_000,
+            wall_seconds: 2.0,
+            tokens_per_sec: 6_000.0,
+            utilization: 0.875,
+        };
+        let line = m.render();
+        assert!(line.contains("epoch   4"), "{line}");
+        assert!(line.contains("4.5"), "{line}");
+        assert!(line.contains("6000 tok/s"), "{line}");
+        assert!(line.contains("87.5%"), "{line}");
+    }
+}

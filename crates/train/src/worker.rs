@@ -1,0 +1,184 @@
+//! Worker threads: each owns a model replica + local Adam state and trains
+//! on the document shards the coordinator sends it.
+
+use crossbeam::channel::{Receiver, Sender};
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use resuformer::config::{ModelConfig, PretrainConfig};
+use resuformer::data::DocumentInput;
+use resuformer::pretrain::{build_pretrain_model, ObjectiveSwitches, PretrainMetrics};
+use resuformer_nn::{Adam, Module};
+use resuformer_tensor::NdArray;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Deterministic per-epoch shuffle seed.
+pub(crate) fn epoch_seed(base_seed: u64, epoch: usize) -> u64 {
+    base_seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Deterministic per-(epoch, round, worker) objective-sampling seed.
+pub(crate) fn round_seed(base_seed: u64, epoch: usize, round: usize, worker: usize) -> u64 {
+    base_seed
+        ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (round as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03)
+        ^ (worker as u64 + 1).wrapping_mul(0x94D0_49BB_1331_11EB)
+}
+
+/// Coordinator → worker messages.
+pub(crate) enum ToWorker {
+    /// Overwrite the replica with `params` and train on `doc_ids`.
+    Round {
+        epoch: usize,
+        round: usize,
+        doc_ids: Vec<usize>,
+        params: Vec<NdArray>,
+    },
+    /// Reply with the serialized local Adam state.
+    SaveState,
+    /// Restore the local Adam state from a checkpoint blob.
+    LoadState(Vec<u8>),
+}
+
+/// One worker's result for one round.
+pub(crate) struct RoundResult {
+    pub worker: usize,
+    /// Replica parameter values after the local updates.
+    pub params: Vec<NdArray>,
+    /// Losses summed over the documents this worker processed.
+    pub metrics: PretrainMetrics,
+    /// Non-empty documents processed.
+    pub docs: usize,
+    /// Input tokens consumed.
+    pub tokens: u64,
+    /// Time spent inside the round (for utilization accounting).
+    pub busy_seconds: f64,
+}
+
+/// Worker → coordinator messages.
+pub(crate) enum FromWorker {
+    Round(RoundResult),
+    State {
+        worker: usize,
+        bytes: Vec<u8>,
+    },
+    StateLoaded {
+        worker: usize,
+        result: Result<(), String>,
+    },
+}
+
+/// Immutable description a worker needs to build its replica.
+pub(crate) struct WorkerSpec {
+    pub worker: usize,
+    pub init_seed: u64,
+    pub base_seed: u64,
+    pub config: ModelConfig,
+    pub pretrain: PretrainConfig,
+    pub switches: ObjectiveSwitches,
+    pub dynamic_masking: bool,
+    pub docs: Arc<Vec<DocumentInput>>,
+}
+
+/// The persistent worker loop. Exits when the coordinator drops its sender.
+pub(crate) fn worker_loop(spec: WorkerSpec, rx: Receiver<ToWorker>, tx: Sender<FromWorker>) {
+    let (enc, mut pt) = build_pretrain_model(spec.init_seed, &spec.config, spec.pretrain);
+    pt.switches = spec.switches;
+    pt.dynamic_masking = spec.dynamic_masking;
+    let mut params = enc.parameters();
+    params.extend(pt.parameters());
+    let mut opt = Adam::new(params.clone(), spec.pretrain.lr, spec.pretrain.weight_decay);
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToWorker::Round {
+                epoch,
+                round,
+                doc_ids,
+                params: new_values,
+            } => {
+                let t0 = Instant::now();
+                for (p, v) in params.iter().zip(new_values) {
+                    p.set_value(v);
+                }
+                let mut rng = ChaCha8Rng::seed_from_u64(round_seed(
+                    spec.base_seed,
+                    epoch,
+                    round,
+                    spec.worker,
+                ));
+                let mut acc = PretrainMetrics::default();
+                let mut docs_done = 0usize;
+                let mut tokens = 0u64;
+                for &di in &doc_ids {
+                    let doc = &spec.docs[di];
+                    if doc.is_empty() {
+                        continue;
+                    }
+                    opt.zero_grad();
+                    let (loss, m) = pt.loss(&enc, doc, di, &mut rng);
+                    loss.backward();
+                    opt.clip_grad_norm(5.0);
+                    opt.step();
+                    acc.wp += m.wp;
+                    acc.cl += m.cl;
+                    acc.ns += m.ns;
+                    acc.total += m.total;
+                    docs_done += 1;
+                    tokens += doc
+                        .sentences
+                        .iter()
+                        .map(|s| s.token_ids.len() as u64)
+                        .sum::<u64>();
+                }
+                let out = params.iter().map(|p| p.value()).collect();
+                let sent = tx.send(FromWorker::Round(RoundResult {
+                    worker: spec.worker,
+                    params: out,
+                    metrics: acc,
+                    docs: docs_done,
+                    tokens,
+                    busy_seconds: t0.elapsed().as_secs_f64(),
+                }));
+                if sent.is_err() {
+                    break;
+                }
+            }
+            ToWorker::SaveState => {
+                let sent = tx.send(FromWorker::State {
+                    worker: spec.worker,
+                    bytes: opt.save_state_bytes(),
+                });
+                if sent.is_err() {
+                    break;
+                }
+            }
+            ToWorker::LoadState(bytes) => {
+                let result = opt.load_state_bytes(&bytes);
+                let sent = tx.send(FromWorker::StateLoaded {
+                    worker: spec.worker,
+                    result,
+                });
+                if sent.is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_distinct_across_axes() {
+        let s = round_seed(7, 1, 2, 3);
+        assert_ne!(s, round_seed(7, 2, 2, 3), "epoch must matter");
+        assert_ne!(s, round_seed(7, 1, 3, 3), "round must matter");
+        assert_ne!(s, round_seed(7, 1, 2, 4), "worker must matter");
+        assert_ne!(s, round_seed(8, 1, 2, 3), "base seed must matter");
+        assert_ne!(epoch_seed(7, 0), epoch_seed(7, 1));
+    }
+}

@@ -1,0 +1,212 @@
+//! Checkpoint/resume correctness: a run killed at epoch k and resumed from
+//! its checkpoint must match the uninterrupted seeded run bit-for-bit.
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use resuformer::config::{ModelConfig, PretrainConfig};
+use resuformer::data::{build_tokenizer, prepare_document, DocumentInput};
+use resuformer::model_io;
+use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
+use resuformer_nn::Module;
+use resuformer_text::WordPiece;
+use resuformer_train::{TrainConfig, Trainer};
+
+const INIT_SEED: u64 = 42;
+const BASE_SEED: u64 = 7;
+
+fn corpus(n_docs: usize) -> (WordPiece, ModelConfig, Vec<DocumentInput>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let resumes: Vec<_> = (0..n_docs)
+        .map(|_| generate_resume(&mut rng, &GeneratorConfig::smoke()))
+        .collect();
+    let wp = build_tokenizer(
+        resumes
+            .iter()
+            .flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone())),
+        1,
+    );
+    let config = ModelConfig::tiny(wp.vocab.len());
+    let docs = resumes
+        .iter()
+        .map(|r| prepare_document(&r.doc, &wp, &config).0)
+        .collect();
+    (wp, config, docs)
+}
+
+fn temp_path(name: &str) -> String {
+    let dir = std::env::temp_dir().join("resuformer_train_resume");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_str().unwrap().to_string()
+}
+
+fn param_values(
+    enc_pt: &(
+        resuformer::HierarchicalEncoder,
+        resuformer::pretrain::Pretrainer,
+    ),
+) -> Vec<Vec<f32>> {
+    let mut params = enc_pt.0.parameters();
+    params.extend(enc_pt.1.parameters());
+    params.iter().map(|p| p.value().data().to_vec()).collect()
+}
+
+#[test]
+fn killed_and_resumed_run_matches_uninterrupted_bit_for_bit() {
+    let (wp, config, docs) = corpus(4);
+    let workers = 2;
+
+    // Uninterrupted reference: 4 epochs straight through.
+    let mut full = Trainer::new(
+        wp.clone(),
+        config,
+        PretrainConfig::default(),
+        INIT_SEED,
+        BASE_SEED,
+    );
+    let full_trace = full
+        .train(
+            &docs,
+            &TrainConfig {
+                workers,
+                epochs: 4,
+                sync_every: 1,
+                ..TrainConfig::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+
+    // "Killed" run: identical seeds, stopped after epoch 2 with a
+    // checkpoint on disk. Epochs are seeded independently of the target
+    // epoch count, so training 0..2 here is exactly the prefix of the
+    // 4-epoch run above.
+    let ckpt_path = temp_path("killed.ckpt");
+    let mut killed = Trainer::new(
+        wp.clone(),
+        config,
+        PretrainConfig::default(),
+        INIT_SEED,
+        BASE_SEED,
+    );
+    killed
+        .train(
+            &docs,
+            &TrainConfig {
+                workers,
+                epochs: 2,
+                sync_every: 1,
+                checkpoint_path: Some(ckpt_path.clone()),
+                ..TrainConfig::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+
+    // Resume from the checkpoint and finish epochs 2..4.
+    let ckpt = model_io::load_checkpoint(&ckpt_path).unwrap();
+    assert_eq!(ckpt.meta.next_epoch, 2);
+    assert_eq!(ckpt.meta.workers, workers);
+    let mut resumed = Trainer::from_checkpoint(ckpt);
+    assert_eq!(resumed.next_epoch(), 2);
+    let resumed_trace = resumed
+        .train(
+            &docs,
+            &TrainConfig {
+                workers,
+                epochs: 4,
+                sync_every: 1,
+                ..TrainConfig::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+
+    // Per-epoch losses for epochs 2 and 3 must agree exactly...
+    assert_eq!(resumed_trace.len(), 2);
+    for (r, f) in resumed_trace.iter().zip(&full_trace[2..]) {
+        assert_eq!(r.epoch, f.epoch);
+        assert_eq!(r.total, f.total, "epoch {} loss diverged", r.epoch);
+        assert_eq!(r.wp, f.wp);
+        assert_eq!(r.cl, f.cl);
+        assert_eq!(r.ns, f.ns);
+        assert_eq!(r.docs, f.docs);
+        assert_eq!(r.tokens, f.tokens);
+    }
+
+    // ...and so must every final parameter, bit for bit.
+    let full_params = param_values(&full.into_model());
+    let resumed_params = param_values(&resumed.into_model());
+    assert_eq!(full_params.len(), resumed_params.len());
+    for (a, b) in full_params.iter().zip(resumed_params.iter()) {
+        assert_eq!(a, b, "resumed parameters diverged from uninterrupted run");
+    }
+
+    std::fs::remove_file(&ckpt_path).ok();
+}
+
+#[test]
+fn resume_rejects_mismatched_worker_count() {
+    let (wp, config, docs) = corpus(2);
+    let ckpt_path = temp_path("workers.ckpt");
+    let mut t = Trainer::new(wp, config, PretrainConfig::default(), 1, 2);
+    t.train(
+        &docs,
+        &TrainConfig {
+            workers: 2,
+            epochs: 1,
+            sync_every: 1,
+            checkpoint_path: Some(ckpt_path.clone()),
+            ..TrainConfig::default()
+        },
+        |_| {},
+    )
+    .unwrap();
+
+    let ckpt = model_io::load_checkpoint(&ckpt_path).unwrap();
+    let mut resumed = Trainer::from_checkpoint(ckpt);
+    assert_eq!(resumed.required_workers(), Some(2));
+    let err = resumed
+        .train(
+            &docs,
+            &TrainConfig {
+                workers: 3,
+                epochs: 2,
+                sync_every: 1,
+                ..TrainConfig::default()
+            },
+            |_| {},
+        )
+        .unwrap_err();
+    assert!(err.contains("workers"), "{err}");
+    std::fs::remove_file(&ckpt_path).ok();
+}
+
+#[test]
+fn multi_worker_training_reduces_loss_and_reports_throughput() {
+    let (wp, config, docs) = corpus(4);
+    let mut t = Trainer::new(wp, config, PretrainConfig::default(), 5, 6);
+    let trace = t
+        .train(
+            &docs,
+            &TrainConfig {
+                workers: 2,
+                epochs: 6,
+                sync_every: 1,
+                ..TrainConfig::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+    let first = trace.first().unwrap();
+    let last = trace.last().unwrap();
+    assert!(
+        last.total < first.total * 0.95,
+        "data-parallel pre-training loss did not decrease: {} -> {}",
+        first.total,
+        last.total
+    );
+    assert!(first.tokens > 0);
+    assert!(first.tokens_per_sec > 0.0);
+    assert!(first.utilization > 0.0 && first.utilization <= 1.0);
+    assert_eq!(first.docs, 4);
+}

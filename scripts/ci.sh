@@ -21,6 +21,23 @@ cargo fmt --all -- --check
 if [[ -z "${SKIP_CLIPPY:-}" ]]; then
     echo "==> cargo clippy --workspace -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings
+    # The training engine is new: lint it explicitly so a workspace-level
+    # exclusion can never silently skip it.
+    echo "==> cargo clippy -p resuformer-train -- -D warnings"
+    cargo clippy -p resuformer-train --all-targets -- -D warnings
 fi
+
+echo "==> pretrain smoke: 2-worker run, kill point, resume"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+CLI=target/release/resuformer-cli
+"$CLI" generate --count 4 --out "$SMOKE_DIR/resumes.json" --seed 7
+"$CLI" pretrain --data "$SMOKE_DIR/resumes.json" --model "$SMOKE_DIR/ckpt.bin" \
+    --workers 2 --epochs 1 --sync-every 1 --checkpoint-every 1 --seed 42
+"$CLI" pretrain --data "$SMOKE_DIR/resumes.json" --model "$SMOKE_DIR/ckpt.bin" \
+    --resume "$SMOKE_DIR/ckpt.bin" --epochs 2
+# Resuming a finished run must be a clean no-op.
+"$CLI" pretrain --data "$SMOKE_DIR/resumes.json" --model "$SMOKE_DIR/ckpt.bin" \
+    --resume "$SMOKE_DIR/ckpt.bin" --epochs 2
 
 echo "==> CI OK"
