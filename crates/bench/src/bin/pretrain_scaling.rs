@@ -18,8 +18,9 @@ use resuformer::data::{build_tokenizer, prepare_document, DocumentInput};
 use resuformer_bench::parse_args;
 use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
 use resuformer_datagen::Scale;
+use resuformer_telemetry::span;
 use resuformer_text::WordPiece;
-use resuformer_train::{TrainConfig, Trainer};
+use resuformer_train::{PhaseBreakdown, TrainConfig, Trainer};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -78,7 +79,11 @@ fn main() {
     println!("{}", "-".repeat(70));
 
     let mut baseline_tps: Option<f64> = None;
+    let mut breakdowns: Vec<(usize, PhaseBreakdown)> = Vec::new();
     for &workers in &WORKER_COUNTS {
+        // Each row gets its own span window so phase totals don't bleed
+        // between worker counts.
+        span::reset();
         let mut trainer = Trainer::new(
             wp.clone(),
             config,
@@ -124,6 +129,12 @@ fn main() {
             util * 100.0,
             final_loss
         );
+        breakdowns.push((workers, PhaseBreakdown::capture()));
+    }
+
+    for (workers, breakdown) in &breakdowns {
+        println!("\nPer-phase breakdown, {workers} worker(s) (thread-seconds sum across workers):");
+        print!("{}", breakdown.render_table());
     }
 
     println!("\nNote: workers train on round-robin shards and average parameters");

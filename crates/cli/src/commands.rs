@@ -41,6 +41,7 @@ pub struct Options {
     sync_every: usize,
     checkpoint_every: usize,
     resume: Option<String>,
+    trace_out: Option<String>,
 }
 
 impl Options {
@@ -67,6 +68,7 @@ impl Options {
             sync_every: 8,
             checkpoint_every: 1,
             resume: None,
+            trace_out: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -100,6 +102,7 @@ impl Options {
                     o.checkpoint_every = value.parse().map_err(|_| "bad --checkpoint-every")?
                 }
                 "--resume" => o.resume = Some(value.clone()),
+                "--trace-out" => o.trace_out = Some(value.clone()),
                 "--scale" => {
                     o.scale = match value.as_str() {
                         "smoke" => Scale::Smoke,
@@ -257,9 +260,12 @@ pub fn train(o: &Options) -> Result<(), String> {
 /// `--resume <ckpt>` continues an interrupted run bit-identically.
 pub fn pretrain(o: &Options) -> Result<(), String> {
     use resuformer::config::PretrainConfig;
-    use resuformer_train::{TrainConfig, Trainer};
+    use resuformer_train::{PhaseBreakdown, TrainConfig, Trainer};
 
     let model_path = o.model.as_deref().ok_or("--model is required")?;
+    if o.trace_out.is_some() {
+        resuformer_telemetry::trace::enable();
+    }
     let resumes = o.load_resumes()?;
     if resumes.is_empty() {
         return Err("no documents in --data".into());
@@ -325,6 +331,15 @@ pub fn pretrain(o: &Options) -> Result<(), String> {
         tokens as f64 / wall.max(1e-9)
     );
     println!("saved checkpoint to {model_path}");
+    let breakdown = PhaseBreakdown::capture();
+    if breakdown.accounted_seconds() > 0.0 {
+        println!("\nper-phase breakdown (thread-seconds sum across workers):");
+        print!("{}", breakdown.render_table());
+    }
+    if let Some(path) = &o.trace_out {
+        let events = resuformer_telemetry::export::write_chrome_trace(path)?;
+        println!("wrote {events} trace events to {path} (open in chrome://tracing)");
+    }
     Ok(())
 }
 
@@ -419,6 +434,9 @@ fn parse_all(o: &Options, resumes: &[LabeledResume], model_path: &str) -> Result
 /// `serve`: run the micro-batching HTTP inference server until SIGINT.
 pub fn serve(o: &Options) -> Result<(), String> {
     let model_path = o.model.as_deref().ok_or("--model is required")?;
+    if o.trace_out.is_some() {
+        resuformer_telemetry::trace::enable();
+    }
     resuformer_serve::install_sigint_handler();
     let registry = std::sync::Arc::new(ModelRegistry::load(model_path)?);
     println!(
@@ -447,10 +465,11 @@ pub fn serve(o: &Options) -> Result<(), String> {
         o.max_batch,
         o.max_wait_ms
     );
-    println!("  GET  /healthz      model metadata");
-    println!("  GET  /metrics      counters and latency percentiles");
-    println!("  POST /parse        Document JSON -> ParsedResume JSON");
-    println!("  POST /parse_batch  [Document] -> [ParsedResume]");
+    println!("  GET  /healthz             model metadata");
+    println!("  GET  /metrics             counters and latency percentiles (JSON)");
+    println!("  GET  /metrics/prometheus  same counters, Prometheus text format");
+    println!("  POST /parse               Document JSON -> ParsedResume JSON");
+    println!("  POST /parse_batch         [Document] -> [ParsedResume]");
     println!("press Ctrl-C to drain in-flight requests and stop");
     while !resuformer_serve::sigint_received() {
         std::thread::sleep(std::time::Duration::from_millis(100));
@@ -463,6 +482,10 @@ pub fn serve(o: &Options) -> Result<(), String> {
         "served {} requests in {} batches (mean batch size {:.2}, {} errors)",
         s.requests, s.batches, s.mean_batch_size, s.errors
     );
+    if let Some(path) = &o.trace_out {
+        let events = resuformer_telemetry::export::write_chrome_trace(path)?;
+        println!("wrote {events} trace events to {path} (open in chrome://tracing)");
+    }
     Ok(())
 }
 

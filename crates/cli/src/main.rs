@@ -91,5 +91,7 @@ OPTIONS:
                         averagings [default: 8]
     --checkpoint-every <K>
                         pretrain: checkpoint every K epochs [default: 1]
-    --resume <CKPT>     pretrain: continue from a checkpoint file"
+    --resume <CKPT>     pretrain: continue from a checkpoint file
+    --trace-out <FILE>  pretrain/serve: capture telemetry spans and write
+                        a Chrome trace-event JSON (chrome://tracing) on exit"
 }

@@ -48,15 +48,11 @@ impl Stopwatch {
     }
 
     /// The `p`-th percentile (nearest rank over the sorted samples),
-    /// `p` in `[0, 100]`. Returns 0.0 with no samples.
+    /// `p` in `[0, 100]`. Returns 0.0 with no samples. The math is the
+    /// workspace-wide reference implementation in
+    /// `resuformer_telemetry::quantile`.
     pub fn percentile(&self, p: f64) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
-        sorted[rank.round() as usize]
+        resuformer_telemetry::quantile::nearest_rank(&self.samples, p)
     }
 
     /// Median seconds (p50).

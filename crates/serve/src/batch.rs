@@ -46,6 +46,7 @@ pub fn run_scheduler(
             // All senders gone and the queue fully drained: shut down.
             Err(RecvTimeoutError::Disconnected) => break,
         };
+        let assembly = resuformer_telemetry::span("serve.batch_assembly");
         let mut batch = vec![first];
         let deadline = Instant::now() + max_wait;
         while batch.len() < max_batch {
@@ -54,7 +55,11 @@ pub fn run_scheduler(
                 Err(_) => break, // deadline hit or disconnected: ship what we have
             }
         }
+        for job in &batch {
+            metrics.note_queue_wait(job.enqueued.elapsed().as_secs_f64());
+        }
         metrics.note_batch_formed(batch.len());
+        drop(assembly);
         if batches.send(batch).is_err() {
             break; // worker pool gone
         }

@@ -1,12 +1,22 @@
 //! Load generator for the ResuFormer inference server.
 //!
-//! Generates synthetic resumes, fires them at `/parse` from a pool of
-//! concurrent client threads, and reports throughput, client-side latency
-//! percentiles, and the server's own `/metrics` snapshot.
+//! Generates synthetic resumes and fires them at the server from a pool
+//! of concurrent client threads, reporting throughput, client-side
+//! latency percentiles, and the server's own `/metrics` snapshot.
 //!
 //! ```bash
+//! # Fixed mode: N requests as fast as the pool can push them.
 //! cargo run --release -p resuformer-serve --bin loadgen -- \
 //!     --addr 127.0.0.1:8080 --requests 200 --concurrency 8
+//!
+//! # Ramp mode: step offered load from 5 to 50 req/s in 4 steps,
+//! # printing a per-step latency row (find the knee of the curve).
+//! cargo run --release -p resuformer-serve --bin loadgen -- \
+//!     --addr 127.0.0.1:8080 --ramp 5:50:4 --step-seconds 5
+//!
+//! # Client-side batching: POST /parse_batch with 4 documents per call.
+//! cargo run --release -p resuformer-serve --bin loadgen -- \
+//!     --addr 127.0.0.1:8080 --endpoint parse_batch --batch-size 4
 //! ```
 //!
 //! Exits nonzero if any request fails — the acceptance gate for the
@@ -23,12 +33,71 @@ use resuformer_eval::Stopwatch;
 use resuformer_serve::client::http_request;
 use resuformer_serve::MetricsSnapshot;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Endpoint {
+    Parse,
+    ParseBatch,
+}
+
+impl Endpoint {
+    fn path(self) -> &'static str {
+        match self {
+            Endpoint::Parse => "/parse",
+            Endpoint::ParseBatch => "/parse_batch",
+        }
+    }
+}
+
+/// `--ramp LOW:TARGET:STEPS` — step the offered request rate from `low`
+/// to `target` req/s across `steps` equal increments.
+#[derive(Clone, Copy)]
+struct Ramp {
+    low: f64,
+    target: f64,
+    steps: usize,
+}
+
+impl Ramp {
+    fn parse(s: &str) -> Result<Ramp, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let [low, target, steps] = parts.as_slice() else {
+            return Err(format!("bad --ramp {s:?}: expected LOW:TARGET:STEPS"));
+        };
+        let ramp = Ramp {
+            low: low.parse().map_err(|_| format!("bad ramp low: {low}"))?,
+            target: target
+                .parse()
+                .map_err(|_| format!("bad ramp target: {target}"))?,
+            steps: steps
+                .parse()
+                .map_err(|_| format!("bad ramp steps: {steps}"))?,
+        };
+        if ramp.low <= 0.0 || ramp.target < ramp.low || ramp.steps == 0 {
+            return Err("--ramp needs 0 < LOW <= TARGET and STEPS >= 1".to_string());
+        }
+        Ok(ramp)
+    }
+
+    /// Offered req/s for step `i` (0-based), linearly interpolated.
+    fn rate(&self, i: usize) -> f64 {
+        if self.steps == 1 {
+            self.target
+        } else {
+            self.low + (self.target - self.low) * i as f64 / (self.steps - 1) as f64
+        }
+    }
+}
+
 struct Args {
     addr: String,
     requests: usize,
     concurrency: usize,
     docs: usize,
     seed: u64,
+    endpoint: Endpoint,
+    batch_size: usize,
+    ramp: Option<Ramp>,
+    step_seconds: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +107,10 @@ fn parse_args() -> Result<Args, String> {
         concurrency: 8,
         docs: 16,
         seed: 7,
+        endpoint: Endpoint::Parse,
+        batch_size: 4,
+        ramp: None,
+        step_seconds: 5.0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -63,20 +136,190 @@ fn parse_args() -> Result<Args, String> {
             }
             "--docs" => args.docs = value.parse().map_err(|_| format!("bad --docs: {value}"))?,
             "--seed" => args.seed = value.parse().map_err(|_| format!("bad --seed: {value}"))?,
+            "--endpoint" => {
+                args.endpoint = match value.as_str() {
+                    "parse" => Endpoint::Parse,
+                    "parse_batch" => Endpoint::ParseBatch,
+                    other => return Err(format!("unknown endpoint {other} (parse|parse_batch)")),
+                }
+            }
+            "--batch-size" => {
+                args.batch_size = value
+                    .parse()
+                    .map_err(|_| format!("bad --batch-size: {value}"))?
+            }
+            "--ramp" => args.ramp = Some(Ramp::parse(value)?),
+            "--step-seconds" => {
+                args.step_seconds = value
+                    .parse()
+                    .map_err(|_| format!("bad --step-seconds: {value}"))?
+            }
             _ => return Err(format!("unknown flag: {flag}")),
         }
         i += 2;
     }
-    if args.requests == 0 || args.concurrency == 0 || args.docs == 0 {
-        return Err("--requests, --concurrency, and --docs must be positive".to_string());
+    if args.requests == 0 || args.concurrency == 0 || args.docs == 0 || args.batch_size == 0 {
+        return Err(
+            "--requests, --concurrency, --docs, and --batch-size must be positive".to_string(),
+        );
+    }
+    if args.step_seconds <= 0.0 {
+        return Err("--step-seconds must be positive".to_string());
     }
     Ok(args)
 }
 
 fn usage() {
     eprintln!(
-        "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency N] [--docs N] [--seed N]"
+        "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency N] [--docs N] [--seed N]
+               [--endpoint parse|parse_batch] [--batch-size N]
+               [--ramp LOW:TARGET:STEPS] [--step-seconds S]"
     );
+}
+
+/// Pre-serialized request bodies plus how many documents each carries and
+/// how to validate the response.
+struct Workload {
+    bodies: Vec<Vec<u8>>,
+    endpoint: Endpoint,
+    docs_per_request: usize,
+}
+
+impl Workload {
+    fn build(args: &Args) -> Workload {
+        let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+        let config = GeneratorConfig::smoke();
+        let docs: Vec<resuformer_doc::Document> = (0..args.docs)
+            .map(|_| generate_resume(&mut rng, &config).doc)
+            .collect();
+        match args.endpoint {
+            Endpoint::Parse => Workload {
+                bodies: docs
+                    .iter()
+                    .map(|d| serde_json::to_vec(d).expect("document serializes"))
+                    .collect(),
+                endpoint: Endpoint::Parse,
+                docs_per_request: 1,
+            },
+            Endpoint::ParseBatch => {
+                // Rotate through the corpus so consecutive batch bodies
+                // differ, like distinct clients batching their own docs.
+                let bodies = (0..docs.len())
+                    .map(|start| {
+                        let group: Vec<&resuformer_doc::Document> = (0..args.batch_size)
+                            .map(|k| &docs[(start + k) % docs.len()])
+                            .collect();
+                        serde_json::to_vec(&group).expect("document array serializes")
+                    })
+                    .collect();
+                Workload {
+                    bodies,
+                    endpoint: Endpoint::ParseBatch,
+                    docs_per_request: args.batch_size,
+                }
+            }
+        }
+    }
+
+    /// Fire request `i`; returns client-side seconds on a valid response.
+    fn fire(&self, addr: &str, i: usize, timeout: Duration) -> Result<f64, String> {
+        let body = &self.bodies[i % self.bodies.len()];
+        let t0 = Instant::now();
+        let resp = http_request(addr, "POST", self.endpoint.path(), body, timeout)?;
+        if resp.status != 200 {
+            return Err(format!(
+                "status {} ({})",
+                resp.status,
+                String::from_utf8_lossy(&resp.body)
+            ));
+        }
+        // A response only counts if it is a well-formed parse, not just a
+        // 200 — and batch responses must echo one parse per document.
+        let v: serde_json::Value =
+            serde_json::from_slice(&resp.body).map_err(|e| format!("malformed body: {e}"))?;
+        let valid = match self.endpoint {
+            Endpoint::Parse => v.get("blocks").is_some(),
+            Endpoint::ParseBatch => v
+                .as_array()
+                .is_some_and(|a| a.len() == self.docs_per_request),
+        };
+        if !valid {
+            return Err("200 but malformed parse body".to_string());
+        }
+        Ok(t0.elapsed().as_secs_f64())
+    }
+}
+
+/// Run `total` requests through a closed-loop thread pool. When `pace` is
+/// set, each request is held until its scheduled offered-load slot.
+fn run_pool(
+    workload: &Arc<Workload>,
+    addr: &str,
+    total: usize,
+    concurrency: usize,
+    pace: Option<f64>,
+    timeout: Duration,
+) -> (Stopwatch, usize) {
+    let next = Arc::new(AtomicUsize::new(0));
+    let errors = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..concurrency {
+        let next = next.clone();
+        let errors = errors.clone();
+        let workload = workload.clone();
+        let addr = addr.to_string();
+        handles.push(std::thread::spawn(move || {
+            let mut sw = Stopwatch::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                if let Some(rps) = pace {
+                    // Open-loop pacing: request i is offered at i/rps.
+                    let due = started + Duration::from_secs_f64(i as f64 / rps);
+                    if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                }
+                match workload.fire(&addr, i, timeout) {
+                    Ok(seconds) => sw.record(seconds),
+                    Err(e) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("request {i}: {e}");
+                    }
+                }
+            }
+            sw
+        }));
+    }
+    let mut latency = Stopwatch::new();
+    for h in handles {
+        if let Ok(sw) = h.join() {
+            latency.merge(&sw);
+        }
+    }
+    (latency, errors.load(Ordering::Relaxed))
+}
+
+fn print_server_metrics(addr: &str, timeout: Duration) {
+    match resuformer_serve::client::get_json::<MetricsSnapshot>(addr, "/metrics", timeout) {
+        Ok(m) => {
+            println!(
+                "server      : {} requests in {} batches (mean batch size {:.2}), {} errors",
+                m.requests, m.batches, m.mean_batch_size, m.errors
+            );
+            println!(
+                "server ms   : request p50 {:.1} / p95 {:.1} / p99 {:.1} | batch p50 {:.1}",
+                m.request_latency_ms.p50,
+                m.request_latency_ms.p95,
+                m.request_latency_ms.p99,
+                m.batch_latency_ms.p50,
+            );
+        }
+        Err(e) => eprintln!("fetching /metrics failed: {e}"),
+    }
 }
 
 fn main() {
@@ -97,115 +340,101 @@ fn main() {
         "Generating {} synthetic resumes (seed {})...",
         args.docs, args.seed
     );
-    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
-    let config = GeneratorConfig::smoke();
-    let bodies: Arc<Vec<Vec<u8>>> = Arc::new(
-        (0..args.docs)
-            .map(|_| {
-                let resume = generate_resume(&mut rng, &config);
-                serde_json::to_vec(&resume.doc).expect("document serializes")
-            })
-            .collect(),
-    );
-
-    println!(
-        "Firing {} requests at {} with concurrency {}...",
-        args.requests, args.addr, args.concurrency
-    );
-    let next = Arc::new(AtomicUsize::new(0));
-    let errors = Arc::new(AtomicUsize::new(0));
-    let started = Instant::now();
+    let workload = Arc::new(Workload::build(&args));
     let timeout = Duration::from_secs(60);
-    let mut handles = Vec::new();
-    for _ in 0..args.concurrency {
-        let next = next.clone();
-        let errors = errors.clone();
-        let bodies = bodies.clone();
-        let addr = args.addr.clone();
-        let total = args.requests;
-        handles.push(std::thread::spawn(move || {
-            let mut sw = Stopwatch::new();
-            loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
-                let body = &bodies[i % bodies.len()];
-                let t0 = Instant::now();
-                match http_request(&addr, "POST", "/parse", body, timeout) {
-                    Ok(resp) if resp.status == 200 => {
-                        // A response only counts if it is a well-formed
-                        // parse, not just a 200.
-                        match serde_json::from_slice::<serde_json::Value>(&resp.body) {
-                            Ok(v) if v.get("blocks").is_some() => {
-                                sw.record(t0.elapsed().as_secs_f64());
-                            }
-                            _ => {
-                                errors.fetch_add(1, Ordering::Relaxed);
-                                eprintln!("request {i}: 200 but malformed parse body");
-                            }
-                        }
-                    }
-                    Ok(resp) => {
-                        errors.fetch_add(1, Ordering::Relaxed);
-                        eprintln!(
-                            "request {i}: status {} ({})",
-                            resp.status,
-                            String::from_utf8_lossy(&resp.body)
-                        );
-                    }
-                    Err(e) => {
-                        errors.fetch_add(1, Ordering::Relaxed);
-                        eprintln!("request {i}: {e}");
-                    }
-                }
-            }
-            sw
-        }));
-    }
 
-    let mut latency = Stopwatch::new();
-    for h in handles {
-        if let Ok(sw) = h.join() {
-            latency.merge(&sw);
-        }
-    }
-    let elapsed = started.elapsed().as_secs_f64();
-    let failed = errors.load(Ordering::Relaxed);
-    let ok = args.requests - failed.min(args.requests);
-
-    println!("\n=== loadgen report ===");
-    println!("requests    : {} ok, {} failed", ok, failed);
-    println!(
-        "wall time   : {elapsed:.2}s  ({:.1} req/s)",
-        args.requests as f64 / elapsed
-    );
-    println!(
-        "latency ms  : mean {:.1} | p50 {:.1} | p95 {:.1} | p99 {:.1}",
-        latency.mean_seconds() * 1e3,
-        latency.p50_seconds() * 1e3,
-        latency.p95_seconds() * 1e3,
-        latency.p99_seconds() * 1e3,
-    );
-
-    match resuformer_serve::client::get_json::<MetricsSnapshot>(&args.addr, "/metrics", timeout) {
-        Ok(m) => {
-            println!(
-                "server      : {} requests in {} batches (mean batch size {:.2}), {} errors",
-                m.requests, m.batches, m.mean_batch_size, m.errors
+    let total_failed = if let Some(ramp) = args.ramp {
+        // Ramp mode: one paced stage per step, a latency row each.
+        println!(
+            "Ramping {} from {:.1} to {:.1} req/s in {} steps of {:.1}s (concurrency {})...",
+            workload.endpoint.path(),
+            ramp.low,
+            ramp.target,
+            ramp.steps,
+            args.step_seconds,
+            args.concurrency
+        );
+        println!(
+            "\n{:>4} | {:>9} | {:>9} | {:>6} | {:>6} | {:>8} | {:>8} | {:>8}",
+            "step", "offered/s", "actual/s", "ok", "fail", "p50 ms", "p95 ms", "p99 ms"
+        );
+        println!("{}", "-".repeat(78));
+        let mut failed = 0usize;
+        for step in 0..ramp.steps {
+            let rps = ramp.rate(step);
+            let total = ((rps * args.step_seconds).ceil() as usize).max(1);
+            let t0 = Instant::now();
+            let (latency, errs) = run_pool(
+                &workload,
+                &args.addr,
+                total,
+                args.concurrency,
+                Some(rps),
+                timeout,
             );
+            let elapsed = t0.elapsed().as_secs_f64();
+            failed += errs;
             println!(
-                "server ms   : request p50 {:.1} / p95 {:.1} / p99 {:.1} | batch p50 {:.1}",
-                m.request_latency_ms.p50,
-                m.request_latency_ms.p95,
-                m.request_latency_ms.p99,
-                m.batch_latency_ms.p50,
+                "{:>4} | {:>9.1} | {:>9.1} | {:>6} | {:>6} | {:>8.1} | {:>8.1} | {:>8.1}",
+                step,
+                rps,
+                total as f64 / elapsed.max(1e-9),
+                total - errs.min(total),
+                errs,
+                latency.p50_seconds() * 1e3,
+                latency.p95_seconds() * 1e3,
+                latency.p99_seconds() * 1e3,
             );
         }
-        Err(e) => eprintln!("fetching /metrics failed: {e}"),
-    }
+        println!();
+        print_server_metrics(&args.addr, timeout);
+        failed
+    } else {
+        // Fixed mode: N requests as fast as the pool can push them.
+        println!(
+            "Firing {} {} requests at {} with concurrency {}...",
+            args.requests,
+            workload.endpoint.path(),
+            args.addr,
+            args.concurrency
+        );
+        let started = Instant::now();
+        let (latency, failed) = run_pool(
+            &workload,
+            &args.addr,
+            args.requests,
+            args.concurrency,
+            None,
+            timeout,
+        );
+        let elapsed = started.elapsed().as_secs_f64();
+        let ok = args.requests - failed.min(args.requests);
 
-    if failed > 0 {
+        println!("\n=== loadgen report ===");
+        println!("requests    : {} ok, {} failed", ok, failed);
+        if workload.docs_per_request > 1 {
+            println!(
+                "documents   : {} ({} per request)",
+                ok * workload.docs_per_request,
+                workload.docs_per_request
+            );
+        }
+        println!(
+            "wall time   : {elapsed:.2}s  ({:.1} req/s)",
+            args.requests as f64 / elapsed
+        );
+        println!(
+            "latency ms  : mean {:.1} | p50 {:.1} | p95 {:.1} | p99 {:.1}",
+            latency.mean_seconds() * 1e3,
+            latency.p50_seconds() * 1e3,
+            latency.p95_seconds() * 1e3,
+            latency.p99_seconds() * 1e3,
+        );
+        print_server_metrics(&args.addr, timeout);
+        failed
+    };
+
+    if total_failed > 0 {
         std::process::exit(1);
     }
 }

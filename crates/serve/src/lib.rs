@@ -14,7 +14,10 @@
 //!   is `Arc`-based and `Sync`), so serving memory stays constant in the
 //!   worker count.
 //! - **Observability** ([`metrics`]): request/batch counters, queue
-//!   depth, and p50/p95/p99 latency, served as JSON at `/metrics`.
+//!   depth, and p50/p95/p99 latency, backed by `resuformer-telemetry`
+//!   and served as JSON at `/metrics` and Prometheus text at
+//!   `/metrics/prometheus`; pipeline stages (`serve.batch_assembly`,
+//!   `serve.parse`, `serve.serialize`) record telemetry spans.
 //! - **Graceful shutdown** ([`signal`], [`Server::shutdown`]): SIGINT
 //!   stops the acceptor, drains the queue, and joins every thread —
 //!   in-flight requests get answers, not resets.
@@ -25,6 +28,7 @@
 //! |---|---|---|---|
 //! | `/healthz` | GET | — | model metadata |
 //! | `/metrics` | GET | — | [`metrics::MetricsSnapshot`] |
+//! | `/metrics/prometheus` | GET | — | Prometheus text exposition |
 //! | `/parse` | POST | `Document` JSON | `ParsedResume` JSON |
 //! | `/parse_batch` | POST | `[Document, ...]` | `[ParsedResume, ...]` |
 //!

@@ -1,11 +1,16 @@
-//! Serving observability: lock-free counters + latency distributions,
-//! exported as the `/metrics` JSON document.
+//! Serving observability, backed by `resuformer-telemetry`.
+//!
+//! This module no longer owns any counter or percentile logic: every
+//! number lives in a [`resuformer_telemetry::Registry`] (counters, a
+//! queue-depth gauge, and log-bucketed latency histograms), and this file
+//! only maps them onto the wire formats — the original `/metrics` JSON
+//! document (shape unchanged since PR 1) and the Prometheus text
+//! exposition served at `/metrics/prometheus`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
-use resuformer_eval::Stopwatch;
+use resuformer_telemetry::{export, Counter, Gauge, Histogram, HistogramSummary, Registry};
 use serde::{Deserialize, Serialize};
 
 /// Latency distribution summary in milliseconds.
@@ -22,12 +27,12 @@ pub struct LatencyMs {
 }
 
 impl LatencyMs {
-    fn from_stopwatch(sw: &Stopwatch) -> Self {
+    fn from_summary(s: &HistogramSummary) -> Self {
         LatencyMs {
-            mean: sw.mean_seconds() * 1e3,
-            p50: sw.p50_seconds() * 1e3,
-            p95: sw.p95_seconds() * 1e3,
-            p99: sw.p99_seconds() * 1e3,
+            mean: s.mean * 1e3,
+            p50: s.p50 * 1e3,
+            p95: s.p95 * 1e3,
+            p99: s.p99 * 1e3,
         }
     }
 }
@@ -57,18 +62,23 @@ pub struct MetricsSnapshot {
     pub batch_latency_ms: LatencyMs,
 }
 
-/// Shared server counters. All methods take `&self`; cheap atomics on the
-/// hot path, a mutex only around the latency sample vectors.
+/// Shared server counters. All methods take `&self`; the hot path is
+/// atomics only (the histograms are lock-free log-bucketed ones).
+///
+/// Each server owns its own telemetry [`Registry`] so several servers in
+/// one process (tests) never share counters; the registry is reachable
+/// through [`Metrics::registry`] for exporters.
 pub struct Metrics {
     started: Instant,
-    requests: AtomicU64,
-    errors: AtomicU64,
-    batches: AtomicU64,
-    batched_docs: AtomicU64,
-    enqueued: AtomicU64,
-    dequeued: AtomicU64,
-    request_latency: Mutex<Stopwatch>,
-    batch_latency: Mutex<Stopwatch>,
+    registry: Arc<Registry>,
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    batches: Arc<Counter>,
+    batched_docs: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    request_latency: Arc<Histogram>,
+    batch_latency: Arc<Histogram>,
+    queue_wait: Arc<Histogram>,
 }
 
 impl Default for Metrics {
@@ -80,57 +90,67 @@ impl Default for Metrics {
 impl Metrics {
     /// Fresh counters, clock starting now.
     pub fn new() -> Self {
+        let registry = Arc::new(Registry::new());
         Metrics {
             started: Instant::now(),
-            requests: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            batched_docs: AtomicU64::new(0),
-            enqueued: AtomicU64::new(0),
-            dequeued: AtomicU64::new(0),
-            request_latency: Mutex::new(Stopwatch::new()),
-            batch_latency: Mutex::new(Stopwatch::new()),
+            requests: registry.counter("serve.requests_total"),
+            errors: registry.counter("serve.errors_total"),
+            batches: registry.counter("serve.batches_total"),
+            batched_docs: registry.counter("serve.batched_docs_total"),
+            queue_depth: registry.gauge("serve.queue_depth"),
+            request_latency: registry.histogram("serve.request_seconds"),
+            batch_latency: registry.histogram("serve.batch_seconds"),
+            queue_wait: registry.histogram("serve.queue_wait_seconds"),
+            registry,
         }
+    }
+
+    /// The underlying telemetry registry (for exporters).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// A request entered the batching queue.
     pub fn note_enqueued(&self) {
-        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.add(1);
     }
 
     /// The scheduler formed a batch of `size` queued requests.
     pub fn note_batch_formed(&self, size: usize) {
-        self.dequeued.fetch_add(size as u64, Ordering::Relaxed);
+        self.queue_depth.add(-(size as i64));
+    }
+
+    /// One job waited `seconds` between enqueue and batch formation.
+    pub fn note_queue_wait(&self, seconds: f64) {
+        self.queue_wait.record(seconds);
     }
 
     /// A worker finished a batch of `size` documents in `seconds`.
     pub fn note_batch_done(&self, size: usize, seconds: f64) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_docs.fetch_add(size as u64, Ordering::Relaxed);
-        self.batch_latency.lock().record(seconds);
+        self.batches.inc();
+        self.batched_docs.add(size as u64);
+        self.batch_latency.record(seconds);
     }
 
     /// A request completed successfully after `seconds` end to end.
     pub fn note_request_done(&self, seconds: f64) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.request_latency.lock().record(seconds);
+        self.requests.inc();
+        self.request_latency.record(seconds);
     }
 
     /// A request failed (anywhere in the pipeline).
     pub fn note_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
     }
 
     /// Snapshot every counter for `/metrics`.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let batches = self.batches.load(Ordering::Relaxed);
-        let batched_docs = self.batched_docs.load(Ordering::Relaxed);
-        let enq = self.enqueued.load(Ordering::Relaxed);
-        let deq = self.dequeued.load(Ordering::Relaxed);
+        let batches = self.batches.get();
+        let batched_docs = self.batched_docs.get();
         MetricsSnapshot {
             uptime_seconds: self.started.elapsed().as_secs_f64(),
-            requests: self.requests.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
+            requests: self.requests.get(),
+            errors: self.errors.get(),
             batches,
             batched_docs,
             mean_batch_size: if batches == 0 {
@@ -138,10 +158,22 @@ impl Metrics {
             } else {
                 batched_docs as f64 / batches as f64
             },
-            queue_depth: enq.saturating_sub(deq),
-            request_latency_ms: LatencyMs::from_stopwatch(&self.request_latency.lock()),
-            batch_latency_ms: LatencyMs::from_stopwatch(&self.batch_latency.lock()),
+            queue_depth: self.queue_depth.get().max(0) as u64,
+            request_latency_ms: LatencyMs::from_summary(&self.request_latency.summary()),
+            batch_latency_ms: LatencyMs::from_summary(&self.batch_latency.summary()),
         }
+    }
+
+    /// Render every counter, gauge and histogram in the Prometheus text
+    /// exposition format (the `/metrics/prometheus` body), plus an uptime
+    /// gauge the JSON snapshot also reports.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = export::prometheus(&self.registry);
+        out.push_str(&format!(
+            "# TYPE serve_uptime_seconds gauge\nserve_uptime_seconds {}\n",
+            self.started.elapsed().as_secs_f64()
+        ));
+        out
     }
 }
 
@@ -173,5 +205,47 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back.requests, 2);
+    }
+
+    #[test]
+    fn queue_depth_clamps_at_zero() {
+        // The scheduler's unit tests form batches for jobs that never went
+        // through note_enqueued; the exported depth must not wrap.
+        let m = Metrics::new();
+        m.note_batch_formed(5);
+        assert_eq!(m.snapshot().queue_depth, 0);
+    }
+
+    #[test]
+    fn latency_percentiles_track_the_histogram() {
+        let m = Metrics::new();
+        for i in 1..=100 {
+            m.note_request_done(i as f64 * 1e-3);
+        }
+        let s = m.snapshot();
+        assert!((s.request_latency_ms.p50 - 50.0).abs() <= 2.0, "{s:?}");
+        assert!((s.request_latency_ms.p99 - 99.0).abs() <= 2.5, "{s:?}");
+        assert!((s.request_latency_ms.mean - 50.5).abs() <= 1.0, "{s:?}");
+    }
+
+    #[test]
+    fn prometheus_text_carries_the_same_numbers() {
+        let m = Metrics::new();
+        m.note_request_done(0.010);
+        m.note_request_done(0.030);
+        m.note_error();
+        let text = m.prometheus_text();
+        assert!(
+            text.contains("# TYPE serve_requests_total counter\nserve_requests_total 2\n"),
+            "{text}"
+        );
+        assert!(text.contains("serve_errors_total 1\n"), "{text}");
+        assert!(text.contains("serve_request_seconds_count 2\n"), "{text}");
+        assert!(
+            text.contains("serve_request_seconds{quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(text.contains("serve_uptime_seconds"), "{text}");
+        assert!(text.contains("# TYPE serve_queue_depth gauge"), "{text}");
     }
 }

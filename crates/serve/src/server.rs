@@ -29,7 +29,7 @@ use resuformer_doc::Document;
 use serde::Serialize;
 
 use crate::batch::{run_scheduler, Job};
-use crate::http::{read_request, write_error, write_json, Request};
+use crate::http::{read_request, write_error, write_json, write_response, Request};
 use crate::metrics::Metrics;
 use crate::registry::{ModelInfo, ModelRegistry};
 
@@ -128,7 +128,9 @@ impl Server {
                             let base_seed =
                                 seed_counter.fetch_add(docs.len() as u64, Ordering::Relaxed);
                             let start = Instant::now();
-                            let results = parser.parse_documents_ref(&docs, base_seed);
+                            let results = resuformer_telemetry::span::time("serve.parse", || {
+                                parser.parse_documents_ref(&docs, base_seed)
+                            });
                             metrics.note_batch_done(batch.len(), start.elapsed().as_secs_f64());
                             for (job, parsed) in batch.into_iter().zip(results) {
                                 metrics.note_request_done(job.enqueued.elapsed().as_secs_f64());
@@ -278,6 +280,14 @@ fn handle_connection(
         ("GET", "/metrics") => {
             write_json(&mut stream, 200, &metrics.snapshot());
         }
+        ("GET", "/metrics/prometheus") => {
+            write_response(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4",
+                metrics.prometheus_text().as_bytes(),
+            );
+        }
         ("POST", "/parse") => handle_parse(stream, &request, req_tx, metrics, shutdown),
         ("POST", "/parse_batch") => handle_parse_batch(stream, &request, req_tx, metrics, shutdown),
         ("GET", _) | ("POST", _) => {
@@ -337,7 +347,11 @@ fn handle_parse(
         return;
     }
     match resp_rx.recv_timeout(RESPONSE_TIMEOUT) {
-        Ok(Ok(parsed)) => write_json(&mut stream, 200, &parsed),
+        Ok(Ok(parsed)) => {
+            resuformer_telemetry::span::time("serve.serialize", || {
+                write_json(&mut stream, 200, &parsed)
+            });
+        }
         Ok(Err(e)) => {
             metrics.note_error();
             write_error(&mut stream, 500, &e);
@@ -417,5 +431,5 @@ fn handle_parse_batch(
             }
         }
     }
-    write_json(&mut stream, 200, &parsed);
+    resuformer_telemetry::span::time("serve.serialize", || write_json(&mut stream, 200, &parsed));
 }

@@ -130,6 +130,38 @@ fn server_round_trip_over_real_sockets() {
     assert!(m.request_latency_ms.p50 > 0.0);
     assert!(m.uptime_seconds > 0.0);
 
+    // The Prometheus rendering of the same registry must agree with the
+    // JSON snapshot (counters can only have grown since `m` was taken).
+    let resp = http_request(&addr, "GET", "/metrics/prometheus", &[], timeout)
+        .expect("prometheus endpoint reachable");
+    assert_eq!(resp.status, 200);
+    let text = String::from_utf8(resp.body).expect("prometheus body is UTF-8");
+    assert!(
+        text.contains("# TYPE serve_requests_total counter"),
+        "{text}"
+    );
+    let prom_requests: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("serve_requests_total "))
+        .expect("requests counter rendered")
+        .parse()
+        .expect("counter value parses");
+    assert!(
+        prom_requests >= m.requests,
+        "prometheus ({prom_requests}) lags JSON ({})",
+        m.requests
+    );
+    assert!(
+        text.contains("# TYPE serve_request_seconds summary"),
+        "{text}"
+    );
+    assert!(
+        text.contains("serve_request_seconds{quantile=\"0.99\"}"),
+        "{text}"
+    );
+    assert!(text.contains("serve_queue_wait_seconds_count"), "{text}");
+    assert!(text.contains("serve_uptime_seconds"), "{text}");
+
     // Graceful shutdown joins every thread without hanging the test.
     server.shutdown();
 }

@@ -1,0 +1,253 @@
+//! Exporters: JSON snapshot, Prometheus text, Chrome trace-event JSON.
+//!
+//! All three are hand-rolled writers — this crate sits below every other
+//! workspace member and must stay dependency-free. The formats are small
+//! and fully covered by golden-output tests.
+
+use crate::registry::{Registry, RegistrySnapshot};
+use crate::trace::TraceEvent;
+
+/// Escape a string for a JSON string literal (no surrounding quotes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a finite JSON number (NaN/inf are not representable; emit 0).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Render a registry snapshot as a stable JSON document:
+/// `{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,min,max,p50,p95,p99}}}`
+/// with keys in name order.
+pub fn json_snapshot(snap: &RegistrySnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", json_escape(name), v));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", json_escape(name), v));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"sum\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            json_escape(name),
+            h.count,
+            json_num(h.sum),
+            json_num(h.mean),
+            json_num(h.min),
+            json_num(h.max),
+            json_num(h.p50),
+            json_num(h.p95),
+            json_num(h.p99),
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Convenience: snapshot `registry` and render it as JSON.
+pub fn json(registry: &Registry) -> String {
+    json_snapshot(&registry.snapshot())
+}
+
+/// Make a metric name legal for the Prometheus exposition format:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` (dots become underscores).
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Render a registry snapshot in the Prometheus text exposition format.
+/// Counters and gauges map directly; histograms render as summaries
+/// (`quantile` series plus `_sum`/`_count`), which is the right shape for
+/// client-side quantile reconstruction.
+pub fn prometheus_snapshot(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let n = prometheus_name(name);
+        out.push_str(&format!("# TYPE {n} summary\n"));
+        for (q, v) in [(0.5, h.p50), (0.95, h.p95), (0.99, h.p99)] {
+            out.push_str(&format!("{n}{{quantile=\"{q}\"}} {}\n", json_num(v)));
+        }
+        out.push_str(&format!("{n}_sum {}\n", json_num(h.sum)));
+        out.push_str(&format!("{n}_count {}\n", h.count));
+    }
+    out
+}
+
+/// Convenience: snapshot `registry` and render it as Prometheus text.
+pub fn prometheus(registry: &Registry) -> String {
+    prometheus_snapshot(&registry.snapshot())
+}
+
+/// Render span events as a Chrome trace-event file (the JSON-object form
+/// with `traceEvents`, accepted by `chrome://tracing` and Perfetto).
+/// Every span becomes a complete event (`"ph":"X"`).
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}}}",
+            json_escape(e.name),
+            e.tid,
+            json_num(e.ts_us),
+            json_num(e.dur_us),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Drain the captured trace events and write them to `path` as a Chrome
+/// trace-event file. Returns how many events were written.
+pub fn write_chrome_trace(path: &str) -> Result<usize, String> {
+    let events = crate::trace::take_events();
+    let body = chrome_trace_json(&events);
+    std::fs::write(path, body).map_err(|e| format!("writing trace to {path}: {e}"))?;
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::HistogramSummary;
+
+    fn sample_snapshot() -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: vec![
+                ("serve.errors_total".to_string(), 2),
+                ("serve.requests_total".to_string(), 40),
+            ],
+            gauges: vec![("serve.queue_depth".to_string(), 3)],
+            histograms: vec![(
+                "serve.request_seconds".to_string(),
+                HistogramSummary {
+                    count: 4,
+                    sum: 0.5,
+                    mean: 0.125,
+                    min: 0.1,
+                    max: 0.2,
+                    p50: 0.125,
+                    p95: 0.2,
+                    p99: 0.2,
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn json_golden() {
+        assert_eq!(
+            json_snapshot(&sample_snapshot()),
+            "{\"counters\":{\"serve.errors_total\":2,\"serve.requests_total\":40},\
+             \"gauges\":{\"serve.queue_depth\":3},\
+             \"histograms\":{\"serve.request_seconds\":{\"count\":4,\"sum\":0.5,\"mean\":0.125,\
+             \"min\":0.1,\"max\":0.2,\"p50\":0.125,\"p95\":0.2,\"p99\":0.2}}}"
+        );
+    }
+
+    #[test]
+    fn prometheus_golden() {
+        assert_eq!(
+            prometheus_snapshot(&sample_snapshot()),
+            "# TYPE serve_errors_total counter\n\
+             serve_errors_total 2\n\
+             # TYPE serve_requests_total counter\n\
+             serve_requests_total 40\n\
+             # TYPE serve_queue_depth gauge\n\
+             serve_queue_depth 3\n\
+             # TYPE serve_request_seconds summary\n\
+             serve_request_seconds{quantile=\"0.5\"} 0.125\n\
+             serve_request_seconds{quantile=\"0.95\"} 0.2\n\
+             serve_request_seconds{quantile=\"0.99\"} 0.2\n\
+             serve_request_seconds_sum 0.5\n\
+             serve_request_seconds_count 4\n"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_golden() {
+        let events = vec![
+            TraceEvent {
+                name: "train.forward",
+                tid: 2,
+                ts_us: 10.5,
+                dur_us: 100.0,
+            },
+            TraceEvent {
+                name: "train.backward",
+                tid: 2,
+                ts_us: 111.0,
+                dur_us: 250.25,
+            },
+        ];
+        assert_eq!(
+            chrome_trace_json(&events),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+             {\"name\":\"train.forward\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":10.5,\"dur\":100},\
+             {\"name\":\"train.backward\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":111,\"dur\":250.25}]}"
+        );
+    }
+
+    #[test]
+    fn names_are_sanitized_for_prometheus() {
+        assert_eq!(
+            prometheus_name("serve.request_seconds"),
+            "serve_request_seconds"
+        );
+        assert_eq!(prometheus_name("9lives"), "_lives");
+        assert_eq!(prometheus_name(""), "_");
+    }
+
+    #[test]
+    fn json_escaping_covers_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,58 @@
+//! The reference quantile: nearest-rank over exact samples.
+//!
+//! This is the ground truth the log-bucketed [`crate::histogram`] is
+//! unit-tested against, and the single percentile implementation the rest
+//! of the workspace delegates to (e.g. `resuformer-eval`'s `Stopwatch`).
+
+/// Nearest-rank percentile over **already sorted** samples, `p` in
+/// `[0, 100]`. Returns `0.0` for an empty slice.
+///
+/// The rank convention is `round(p/100 * (n-1))` — the same interpolation
+/// the workspace has used since the seed, so swapping callers onto this
+/// function is behavior-preserving.
+pub fn nearest_rank_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    sorted[rank.round() as usize]
+}
+
+/// Nearest-rank percentile over unsorted samples (sorts a copy).
+pub fn nearest_rank(samples: &[f64], p: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    nearest_rank_sorted(&sorted, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(nearest_rank(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(nearest_rank(&[7.0], p), 7.0);
+        }
+    }
+
+    #[test]
+    fn known_distribution() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(nearest_rank_sorted(&samples, 0.0), 1.0);
+        assert_eq!(nearest_rank_sorted(&samples, 100.0), 100.0);
+        assert!((nearest_rank_sorted(&samples, 50.0) - 50.0).abs() <= 1.0);
+        assert!((nearest_rank_sorted(&samples, 95.0) - 95.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_first() {
+        assert_eq!(nearest_rank(&[9.0, 1.0, 5.0], 0.0), 1.0);
+        assert_eq!(nearest_rank(&[9.0, 1.0, 5.0], 100.0), 9.0);
+    }
+}

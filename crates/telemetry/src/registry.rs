@@ -1,0 +1,194 @@
+//! The named-metric registry: counters, gauges, histograms.
+//!
+//! Registration (first lookup of a name) takes a write lock; after that
+//! callers hold an `Arc` handle and touch only atomics. A process-wide
+//! registry is available through [`crate::global`], but consumers that
+//! need isolation (tests, multiple servers in one process) can own a
+//! `Registry` instance directly — the exporters work on either.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::histogram::{Histogram, HistogramSummary};
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one. No-op while telemetry is disabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`. No-op while telemetry is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::disabled() {
+            return;
+        }
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depths, in-flight work).
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Add `delta` (may be negative). No-op while telemetry is disabled.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if crate::disabled() {
+            return;
+        }
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time copy of every registered metric, ready to export.
+#[derive(Clone, Debug, Default)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` for every counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, name-sorted.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, summary)` for every histogram, name-sorted.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+/// A set of named metrics. Cheap to share (`Arc<Registry>`); the maps are
+/// only locked at registration and snapshot time.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(m) = map.read().unwrap_or_else(|e| e.into_inner()).get(name) {
+        return m.clone();
+    }
+    map.write()
+        .unwrap_or_else(|e| e.into_inner())
+        .entry(name.to_string())
+        .or_default()
+        .clone()
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, creating it on first use. Cache the
+    /// returned handle — repeated lookups pay a read lock.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        intern(&self.counters, name)
+    }
+
+    /// The gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        intern(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        intern(&self.histograms, name)
+    }
+
+    /// Copy every metric out (for the exporters in [`crate::export`]).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let r = Registry::new();
+        let a = r.counter("requests_total");
+        let b = r.counter("requests_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.counter("requests_total").get(), 3);
+        assert_eq!(r.counter("other").get(), 0);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let r = Registry::new();
+        let g = r.gauge("queue_depth");
+        g.add(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        g.set(0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("b").inc();
+        r.counter("a").inc();
+        r.gauge("g").set(7);
+        r.histogram("h").record(0.5);
+        let s = r.snapshot();
+        assert_eq!(
+            s.counters
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert_eq!(s.gauges, vec![("g".to_string(), 7)]);
+        assert_eq!(s.histograms.len(), 1);
+        assert_eq!(s.histograms[0].1.count, 1);
+    }
+}

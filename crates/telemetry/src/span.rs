@@ -1,0 +1,338 @@
+//! Hierarchical wall-time spans.
+//!
+//! `let _g = telemetry::span("train.forward");` opens a span that closes
+//! when the guard drops (including during a panic unwind). Each thread
+//! keeps its own implicit span stack (a single thread-local `Cell` holding
+//! the current node id), and every `(parent, name)` pair is interned once
+//! into a global arena — after interning, opening and closing a span is
+//! two `Instant` reads, a read-locked hash lookup and two relaxed atomic
+//! adds: no allocation on the hot path.
+//!
+//! Closed spans aggregate into a per-phase wall-time tree
+//! ([`snapshot`] / [`SpanTree::render_table`]) and, when trace capture is
+//! on ([`crate::trace::enable`]), also append a Chrome trace event so the
+//! run can be opened as a flamegraph in `chrome://tracing`.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+use crate::trace;
+
+/// Aggregated totals for one interned span node.
+#[derive(Default)]
+struct SpanStats {
+    total_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+struct SpanNode {
+    name: &'static str,
+    parent: u32,
+    stats: Arc<SpanStats>,
+}
+
+#[derive(Default)]
+struct SpanArena {
+    /// Index 0 is the root sentinel.
+    nodes: RwLock<Vec<SpanNode>>,
+    index: RwLock<HashMap<(u32, &'static str), u32>>,
+}
+
+fn arena() -> &'static SpanArena {
+    static ARENA: OnceLock<SpanArena> = OnceLock::new();
+    ARENA.get_or_init(|| {
+        let a = SpanArena::default();
+        a.nodes.write().unwrap().push(SpanNode {
+            name: "",
+            parent: 0,
+            stats: Arc::new(SpanStats::default()),
+        });
+        a
+    })
+}
+
+thread_local! {
+    /// The innermost open span on this thread (0 = none).
+    static CURRENT: Cell<u32> = const { Cell::new(0) };
+}
+
+fn intern(parent: u32, name: &'static str) -> (u32, Arc<SpanStats>) {
+    let a = arena();
+    let key = (parent, name);
+    if let Some(&id) = a.index.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
+        let nodes = a.nodes.read().unwrap_or_else(|e| e.into_inner());
+        return (id, nodes[id as usize].stats.clone());
+    }
+    let mut nodes = a.nodes.write().unwrap_or_else(|e| e.into_inner());
+    let mut index = a.index.write().unwrap_or_else(|e| e.into_inner());
+    if let Some(&id) = index.get(&key) {
+        return (id, nodes[id as usize].stats.clone());
+    }
+    let id = nodes.len() as u32;
+    let stats = Arc::new(SpanStats::default());
+    nodes.push(SpanNode {
+        name,
+        parent,
+        stats: stats.clone(),
+    });
+    index.insert(key, id);
+    (id, stats)
+}
+
+/// RAII guard for an open span; the span closes when this drops.
+pub struct SpanGuard {
+    /// `None` when telemetry was disabled at entry (zero-cost close).
+    live: Option<LiveSpan>,
+}
+
+struct LiveSpan {
+    name: &'static str,
+    parent: u32,
+    stats: Arc<SpanStats>,
+    start: Instant,
+}
+
+/// Open a span named `name` as a child of the thread's current span.
+///
+/// Names must be `'static` (string literals) — that is what keeps the
+/// hot path allocation-free. Use stable dotted names (`"train.forward"`);
+/// see `docs/OBSERVABILITY.md` for the workspace taxonomy.
+#[inline]
+pub fn enter(name: &'static str) -> SpanGuard {
+    if crate::disabled() {
+        return SpanGuard { live: None };
+    }
+    let parent = CURRENT.with(|c| c.get());
+    // A stale id can survive a `reset()` on threads that were idle across
+    // it; fall back to the root rather than attaching to a recycled slot.
+    let parent = if (parent as usize)
+        < arena()
+            .nodes
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    {
+        parent
+    } else {
+        0
+    };
+    let (id, stats) = intern(parent, name);
+    CURRENT.with(|c| c.set(id));
+    SpanGuard {
+        live: Some(LiveSpan {
+            name,
+            parent,
+            stats,
+            start: Instant::now(),
+        }),
+    }
+}
+
+/// Time a closure inside a span; returns the closure's output.
+pub fn time<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let _g = enter(name);
+    f()
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let elapsed = live.start.elapsed();
+        live.stats
+            .total_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        live.stats.count.fetch_add(1, Ordering::Relaxed);
+        CURRENT.with(|c| c.set(live.parent));
+        trace::record_span(live.name, live.start, elapsed);
+    }
+}
+
+/// One aggregated node of the span tree.
+#[derive(Clone, Debug)]
+pub struct SpanTreeNode {
+    /// The span name as passed to [`enter`].
+    pub name: String,
+    /// Total wall-clock seconds spent inside this node.
+    pub total_seconds: f64,
+    /// Times the span was opened and closed.
+    pub count: u64,
+    /// Child spans, sorted by descending total time.
+    pub children: Vec<SpanTreeNode>,
+}
+
+/// The aggregated per-phase wall-time tree.
+#[derive(Clone, Debug, Default)]
+pub struct SpanTree {
+    /// Top-level spans (opened with no enclosing span), sorted by
+    /// descending total time.
+    pub roots: Vec<SpanTreeNode>,
+}
+
+impl SpanTree {
+    /// Whether any span has closed.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Total `(seconds, count)` across every node named `name`, anywhere
+    /// in the tree (a phase may appear under several parents).
+    pub fn total(&self, name: &str) -> (f64, u64) {
+        fn walk(nodes: &[SpanTreeNode], name: &str, acc: &mut (f64, u64)) {
+            for n in nodes {
+                if n.name == name {
+                    acc.0 += n.total_seconds;
+                    acc.1 += n.count;
+                }
+                walk(&n.children, name, acc);
+            }
+        }
+        let mut acc = (0.0, 0);
+        walk(&self.roots, name, &mut acc);
+        acc
+    }
+
+    /// Render the tree as an aligned table: name (indented by depth),
+    /// calls, total seconds, mean milliseconds, share of parent.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} | {:>8} | {:>9} | {:>9} | {:>8}\n",
+            "phase", "calls", "total s", "mean ms", "% parent"
+        ));
+        out.push_str(&"-".repeat(74));
+        out.push('\n');
+        let total: f64 = self.roots.iter().map(|r| r.total_seconds).sum();
+        fn walk(out: &mut String, nodes: &[SpanTreeNode], depth: usize, parent_total: f64) {
+            for n in nodes {
+                let mean_ms = if n.count == 0 {
+                    0.0
+                } else {
+                    n.total_seconds * 1e3 / n.count as f64
+                };
+                let share = if parent_total > 0.0 {
+                    100.0 * n.total_seconds / parent_total
+                } else {
+                    0.0
+                };
+                let label = format!("{}{}", "  ".repeat(depth), n.name);
+                out.push_str(&format!(
+                    "{:<28} | {:>8} | {:>9.3} | {:>9.3} | {:>7.1}%\n",
+                    label, n.count, n.total_seconds, mean_ms, share
+                ));
+                walk(out, &n.children, depth + 1, n.total_seconds);
+            }
+        }
+        walk(&mut out, &self.roots, 0, total);
+        out
+    }
+}
+
+/// Aggregate every closed span into a [`SpanTree`].
+pub fn snapshot() -> SpanTree {
+    let a = arena();
+    let nodes = a.nodes.read().unwrap_or_else(|e| e.into_inner());
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
+    for (id, node) in nodes.iter().enumerate().skip(1) {
+        children[node.parent as usize].push(id as u32);
+    }
+    fn build(nodes: &[SpanNode], children: &[Vec<u32>], id: u32) -> SpanTreeNode {
+        let node = &nodes[id as usize];
+        let mut kids: Vec<SpanTreeNode> = children[id as usize]
+            .iter()
+            .map(|&c| build(nodes, children, c))
+            .collect();
+        kids.sort_by(|a, b| b.total_seconds.total_cmp(&a.total_seconds));
+        SpanTreeNode {
+            name: node.name.to_string(),
+            total_seconds: node.stats.total_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            count: node.stats.count.load(Ordering::Relaxed),
+            children: kids,
+        }
+    }
+    let mut roots: Vec<SpanTreeNode> = children[0]
+        .iter()
+        .map(|&c| build(&nodes, &children, c))
+        .collect();
+    roots.sort_by(|a, b| b.total_seconds.total_cmp(&a.total_seconds));
+    SpanTree { roots }
+}
+
+/// Forget every interned span and its totals. Intended for between-run
+/// isolation (e.g. a scaling driver measuring one configuration at a
+/// time); spans still open while this runs keep recording into detached
+/// stats and simply stop being reported.
+pub fn reset() {
+    let a = arena();
+    let mut nodes = a.nodes.write().unwrap_or_else(|e| e.into_inner());
+    let mut index = a.index.write().unwrap_or_else(|e| e.into_inner());
+    nodes.truncate(1);
+    index.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Span tests share one global arena with every other test in this
+    /// binary, so they use unique names and assert on those only.
+    #[test]
+    fn nested_spans_build_a_tree() {
+        {
+            let _outer = enter("t.outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            for _ in 0..3 {
+                let _inner = enter("t.inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let tree = snapshot();
+        let (outer_s, outer_n) = tree.total("t.outer");
+        let (inner_s, inner_n) = tree.total("t.inner");
+        assert_eq!(outer_n, 1);
+        assert_eq!(inner_n, 3);
+        assert!(outer_s >= inner_s, "parent {outer_s} must cover {inner_s}");
+        assert!(inner_s > 0.0);
+
+        // The inner span must be nested under the outer one, not a root.
+        fn find<'a>(nodes: &'a [SpanTreeNode], name: &str) -> Option<&'a SpanTreeNode> {
+            nodes.iter().find(|n| n.name == name)
+        }
+        let outer = find(&tree.roots, "t.outer").expect("outer is a root");
+        assert!(find(&outer.children, "t.inner").is_some(), "inner nests");
+        let table = tree.render_table();
+        assert!(table.contains("t.outer"), "{table}");
+        assert!(table.contains("  t.inner"), "indented: {table}");
+    }
+
+    #[test]
+    fn panic_unwind_closes_the_span_and_restores_the_stack() {
+        let result = std::panic::catch_unwind(|| {
+            let _g = enter("t.panics");
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        let (_, n) = snapshot().total("t.panics");
+        assert_eq!(n, 1, "unwound span must still close");
+        // The stack must be back at the root: a new span is a root span.
+        {
+            let _g = enter("t.after_panic");
+        }
+        let tree = snapshot();
+        assert!(
+            tree.roots.iter().any(|r| r.name == "t.after_panic"),
+            "stack not restored: {tree:?}"
+        );
+    }
+
+    #[test]
+    fn time_returns_the_closure_output() {
+        assert_eq!(time("t.time", || 41 + 1), 42);
+        let (_, n) = snapshot().total("t.time");
+        assert!(n >= 1);
+    }
+}

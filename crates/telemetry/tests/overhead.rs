@@ -1,0 +1,69 @@
+//! The overhead contract: recording must stay cheap enough for hot paths,
+//! and the disabled() fast path cheaper still.
+//!
+//! Own binary because it flips the global enable flag, which would race
+//! recording tests in any shared process. Thresholds are deliberately
+//! loose and load-tolerant (min-of-K batches, generous ceilings) — the
+//! point is catching a 100× regression (a lock or allocation landing on
+//! the record path), not benchmarking.
+
+use std::time::Instant;
+
+use resuformer_telemetry::{span, Histogram};
+
+/// Best (minimum) mean cost per op over `k` batches of `n` calls.
+fn min_cost_ns(k: usize, n: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..k {
+        let t0 = Instant::now();
+        for _ in 0..n {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / n as f64);
+    }
+    best
+}
+
+#[test]
+fn record_and_span_costs_stay_bounded() {
+    // -- enabled ---------------------------------------------------------
+    let h = Histogram::new();
+    let mut x = 0.001f64;
+    let enabled_hist = min_cost_ns(5, 50_000, || {
+        h.record(std::hint::black_box(x));
+        x = (x * 1.000001).min(10.0);
+    });
+    assert!(
+        enabled_hist < 2_000.0,
+        "histogram record: {enabled_hist:.0} ns/op (no-alloc contract broken?)"
+    );
+
+    let enabled_span = min_cost_ns(5, 20_000, || {
+        let _g = span::enter("ovh.span");
+    });
+    assert!(
+        enabled_span < 5_000.0,
+        "span enter+drop: {enabled_span:.0} ns/op"
+    );
+
+    // -- disabled fast path ---------------------------------------------
+    resuformer_telemetry::set_enabled(false);
+    let before = h.count();
+    let disabled_hist = min_cost_ns(5, 50_000, || {
+        h.record(std::hint::black_box(0.001));
+    });
+    let disabled_span = min_cost_ns(5, 50_000, || {
+        let _g = span::enter("ovh.disabled");
+    });
+    resuformer_telemetry::set_enabled(true);
+
+    assert_eq!(h.count(), before, "disabled record must be a no-op");
+    assert!(
+        disabled_hist < 500.0,
+        "disabled histogram record: {disabled_hist:.0} ns/op — should be ~one atomic load"
+    );
+    assert!(
+        disabled_span < 500.0,
+        "disabled span: {disabled_span:.0} ns/op — should be ~one atomic load"
+    );
+}

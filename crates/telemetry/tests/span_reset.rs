@@ -1,0 +1,27 @@
+//! `span::reset` isolation (own binary: it clears the global arena, which
+//! would race any other span test running in the same process).
+
+use resuformer_telemetry::span;
+
+#[test]
+fn reset_forgets_history_without_breaking_new_spans() {
+    {
+        let _g = span::enter("reset.before");
+    }
+    assert_eq!(span::snapshot().total("reset.before").1, 1);
+    span::reset();
+    assert_eq!(
+        span::snapshot().total("reset.before").1,
+        0,
+        "history cleared"
+    );
+    // New spans intern fresh nodes after the wipe.
+    {
+        let _outer = span::enter("reset.outer");
+        let _inner = span::enter("reset.inner");
+    }
+    let tree = span::snapshot();
+    assert_eq!(tree.total("reset.outer").1, 1);
+    let outer = tree.roots.iter().find(|r| r.name == "reset.outer").unwrap();
+    assert!(outer.children.iter().any(|c| c.name == "reset.inner"));
+}

@@ -1,0 +1,60 @@
+//! Span aggregation across threads: phases recorded on worker threads
+//! merge with the coordinator's by `(parent, name)`, the way the train
+//! engine and serve pipeline record them.
+
+use resuformer_telemetry::span;
+
+#[test]
+fn spans_from_many_threads_merge_by_name() {
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(|| {
+                for _ in 0..8 {
+                    let _g = span::enter("mt.work");
+                    std::hint::black_box(0u64);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let tree = span::snapshot();
+    let (_, count) = tree.total("mt.work");
+    assert_eq!(count, 32, "4 threads × 8 spans merge into one node");
+
+    // All were root spans on their threads, so the tree has one root row.
+    let roots: Vec<_> = tree.roots.iter().filter(|r| r.name == "mt.work").collect();
+    assert_eq!(roots.len(), 1, "{:?}", tree.roots);
+}
+
+#[test]
+fn deep_nesting_keeps_parentage_straight() {
+    {
+        let _a = span::enter("deep.a");
+        let _b = span::enter("deep.b");
+        let _c = span::enter("deep.c");
+    }
+    let tree = span::snapshot();
+    let a = tree
+        .roots
+        .iter()
+        .find(|r| r.name == "deep.a")
+        .expect("a is a root");
+    let b = a
+        .children
+        .iter()
+        .find(|c| c.name == "deep.b")
+        .expect("b under a");
+    assert!(
+        b.children.iter().any(|c| c.name == "deep.c"),
+        "c under b: {b:?}"
+    );
+    // Wall time is inclusive going up the stack.
+    let c = b.children.iter().find(|c| c.name == "deep.c").unwrap();
+    assert!(a.total_seconds >= b.total_seconds);
+    assert!(b.total_seconds >= c.total_seconds);
+}
+
+// NOTE: `span::reset` is exercised in `tests/span_reset.rs`, its own
+// binary — clearing the global arena here would race the tests above.

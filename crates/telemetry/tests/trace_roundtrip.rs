@@ -1,0 +1,42 @@
+//! End-to-end trace capture: enable, run spans, write the Chrome trace
+//! file, and structurally validate the JSON (own binary: it owns the
+//! global capture buffer).
+
+use resuformer_telemetry::{export, span, trace};
+
+#[test]
+fn spans_round_trip_into_a_chrome_trace_file() {
+    trace::enable();
+    {
+        let _outer = span::enter("rt.pipeline");
+        for _ in 0..3 {
+            let _inner = span::enter("rt.stage");
+            std::hint::black_box(0u64);
+        }
+    }
+    trace::disable();
+
+    let path = std::env::temp_dir().join("resuformer_trace_roundtrip.json");
+    let path_s = path.to_str().unwrap();
+    let written = export::write_chrome_trace(path_s).expect("trace writes");
+    assert!(written >= 4, "3 inner + 1 outer events, got {written}");
+
+    let body = std::fs::read_to_string(&path).unwrap();
+    // Structural checks strong enough to catch broken JSON emission
+    // without a JSON parser dependency: balanced braces/brackets, the
+    // trace-event envelope, and one complete event per span.
+    assert!(body.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(body.ends_with("]}"));
+    assert_eq!(
+        body.matches('{').count(),
+        body.matches('}').count(),
+        "balanced braces"
+    );
+    assert_eq!(body.matches("\"ph\":\"X\"").count(), written);
+    assert_eq!(body.matches("\"name\":\"rt.stage\"").count(), 3);
+    assert_eq!(body.matches("\"name\":\"rt.pipeline\"").count(), 1);
+
+    // The buffer drains on write: a second write is empty.
+    assert_eq!(export::write_chrome_trace(path_s).unwrap(), 0);
+    std::fs::remove_file(&path).ok();
+}

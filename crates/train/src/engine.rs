@@ -233,21 +233,26 @@ impl Trainer {
             let mut tokens = 0u64;
             let mut busy = 0.0f64;
             for (round, slice) in order.chunks(round_size).enumerate() {
-                let values: Vec<NdArray> = global.iter().map(|p| p.value()).collect();
-                // Round-robin so a short tail round still spreads evenly.
-                let mut shards: Vec<Vec<usize>> = vec![Vec::new(); workers];
-                for (i, &di) in slice.iter().enumerate() {
-                    shards[i % workers].push(di);
-                }
-                for (w, shard) in shards.into_iter().enumerate() {
-                    to_txs[w]
-                        .send(ToWorker::Round {
-                            epoch,
-                            round,
-                            doc_ids: shard,
-                            params: values.clone(),
-                        })
-                        .map_err(|_| format!("worker {w} died"))?;
+                {
+                    // Send half of the broadcast phase: clone the global
+                    // parameters once per worker and ship them.
+                    let _g = resuformer_telemetry::span("train.broadcast");
+                    let values: Vec<NdArray> = global.iter().map(|p| p.value()).collect();
+                    // Round-robin so a short tail round still spreads evenly.
+                    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); workers];
+                    for (i, &di) in slice.iter().enumerate() {
+                        shards[i % workers].push(di);
+                    }
+                    for (w, shard) in shards.into_iter().enumerate() {
+                        to_txs[w]
+                            .send(ToWorker::Round {
+                                epoch,
+                                round,
+                                doc_ids: shard,
+                                params: values.clone(),
+                            })
+                            .map_err(|_| format!("worker {w} died"))?;
+                    }
                 }
 
                 let mut results: Vec<Option<RoundResult>> = (0..workers).map(|_| None).collect();
@@ -263,7 +268,9 @@ impl Trainer {
                     .map(|r| r.ok_or_else(|| "duplicate worker round result".to_string()))
                     .collect::<Result<_, _>>()?;
 
-                average_into(&global, &results);
+                resuformer_telemetry::span::time("train.averaging", || {
+                    average_into(&global, &results)
+                });
                 for r in &results {
                     acc.wp += r.metrics.wp;
                     acc.cl += r.metrics.cl;
@@ -297,6 +304,7 @@ impl Trainer {
             let periodic = tc.checkpoint_every > 0 && completed % tc.checkpoint_every == 0;
             if let Some(path) = &tc.checkpoint_path {
                 if periodic && completed < tc.epochs {
+                    let _g = resuformer_telemetry::span("train.checkpoint");
                     self.optimizer_states = collect_states(to_txs, from_rx, workers)?;
                     self.resume_workers = Some(workers);
                     self.write_checkpoint(path, workers, tc.epochs)?;
@@ -306,10 +314,13 @@ impl Trainer {
 
         // Pull final optimizer state so a later `train` call (or the final
         // checkpoint) continues exactly where this run stopped.
-        self.optimizer_states = collect_states(to_txs, from_rx, workers)?;
-        self.resume_workers = Some(workers);
-        if let Some(path) = &tc.checkpoint_path {
-            self.write_checkpoint(path, workers, tc.epochs)?;
+        {
+            let _g = resuformer_telemetry::span("train.checkpoint");
+            self.optimizer_states = collect_states(to_txs, from_rx, workers)?;
+            self.resume_workers = Some(workers);
+            if let Some(path) = &tc.checkpoint_path {
+                self.write_checkpoint(path, workers, tc.epochs)?;
+            }
         }
         Ok(trace)
     }

@@ -25,7 +25,12 @@
 //!   resumed from the checkpoint continues *bit-identically* with the
 //!   uninterrupted run (with the paper-default dynamic masking).
 //! * **Observability.** Every epoch yields an [`EpochMetrics`] row: loss
-//!   per objective, tokens/sec and worker utilization.
+//!   per objective, tokens/sec and worker utilization. The engine also
+//!   records `resuformer-telemetry` spans around each pipeline phase
+//!   (`train.forward`, `train.backward`, `train.averaging`,
+//!   `train.broadcast`, `train.checkpoint`); [`PhaseBreakdown`] turns the
+//!   aggregated span tree into a per-phase wall-time table, and with
+//!   trace capture on the run can be opened in `chrome://tracing`.
 
 #![warn(missing_docs)]
 
@@ -34,4 +39,4 @@ pub mod metrics;
 mod worker;
 
 pub use engine::{TrainConfig, Trainer};
-pub use metrics::EpochMetrics;
+pub use metrics::{EpochMetrics, PhaseBreakdown, PhaseTotal, TRAIN_PHASES};

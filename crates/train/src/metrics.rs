@@ -1,4 +1,97 @@
-//! Per-epoch training metrics.
+//! Per-epoch training metrics and the per-phase wall-time breakdown.
+
+use resuformer_telemetry::SpanTree;
+
+/// The span names the training engine records, in pipeline order. Worker
+/// threads record `train.forward` / `train.backward` (and the receive half
+/// of `train.broadcast`); the coordinator records `train.averaging`,
+/// the send half of `train.broadcast`, and `train.checkpoint`.
+pub const TRAIN_PHASES: [&str; 5] = [
+    "train.forward",
+    "train.backward",
+    "train.averaging",
+    "train.broadcast",
+    "train.checkpoint",
+];
+
+/// Total time spent in one training phase, summed across every thread
+/// that recorded it (so with N busy workers a phase can accumulate up to
+/// N seconds per wall-clock second).
+#[derive(Clone, Debug)]
+pub struct PhaseTotal {
+    /// Span name (one of [`TRAIN_PHASES`]).
+    pub name: &'static str,
+    /// Accumulated seconds across all threads.
+    pub seconds: f64,
+    /// Times the span was entered.
+    pub calls: u64,
+}
+
+/// Per-phase wall-time totals for a training run, extracted from the
+/// telemetry span tree.
+#[derive(Clone, Debug)]
+pub struct PhaseBreakdown {
+    /// One row per phase in [`TRAIN_PHASES`] order (zero rows included).
+    pub phases: Vec<PhaseTotal>,
+}
+
+impl PhaseBreakdown {
+    /// Extract the training phases from an aggregated span tree.
+    pub fn from_tree(tree: &SpanTree) -> Self {
+        PhaseBreakdown {
+            phases: TRAIN_PHASES
+                .iter()
+                .map(|&name| {
+                    let (seconds, calls) = tree.total(name);
+                    PhaseTotal {
+                        name,
+                        seconds,
+                        calls,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Snapshot the global span state and extract the training phases.
+    pub fn capture() -> Self {
+        PhaseBreakdown::from_tree(&resuformer_telemetry::span::snapshot())
+    }
+
+    /// Seconds accounted to any phase (the denominator for shares).
+    pub fn accounted_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.seconds).sum()
+    }
+
+    /// Aligned table: phase, calls, total thread-seconds, mean ms/call,
+    /// and share of the accounted time.
+    pub fn render_table(&self) -> String {
+        let accounted = self.accounted_seconds();
+        let mut out = format!(
+            "{:<18} | {:>8} | {:>10} | {:>9} | {:>7}\n",
+            "phase", "calls", "thread s", "mean ms", "share"
+        );
+        out.push_str(&"-".repeat(64));
+        out.push('\n');
+        for p in &self.phases {
+            let mean_ms = if p.calls == 0 {
+                0.0
+            } else {
+                p.seconds * 1e3 / p.calls as f64
+            };
+            let share = if accounted > 0.0 {
+                100.0 * p.seconds / accounted
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:<18} | {:>8} | {:>10.3} | {:>9.3} | {:>6.1}%\n",
+                p.name, p.calls, p.seconds, mean_ms, share
+            ));
+        }
+        out
+    }
+}
 
 /// One epoch of the pre-training log: per-objective losses (averaged over
 /// documents), throughput and worker utilization.
@@ -47,6 +140,45 @@ impl EpochMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn phase_breakdown_extracts_named_totals_from_a_tree() {
+        use resuformer_telemetry::span::SpanTreeNode;
+        let tree = SpanTree {
+            roots: vec![
+                SpanTreeNode {
+                    name: "train.forward".to_string(),
+                    total_seconds: 6.0,
+                    count: 30,
+                    children: Vec::new(),
+                },
+                SpanTreeNode {
+                    name: "train.backward".to_string(),
+                    total_seconds: 3.0,
+                    count: 30,
+                    children: Vec::new(),
+                },
+                SpanTreeNode {
+                    name: "train.averaging".to_string(),
+                    total_seconds: 1.0,
+                    count: 5,
+                    children: Vec::new(),
+                },
+            ],
+        };
+        let b = PhaseBreakdown::from_tree(&tree);
+        assert_eq!(b.phases.len(), TRAIN_PHASES.len());
+        assert_eq!(b.phases[0].name, "train.forward");
+        assert_eq!(b.phases[0].calls, 30);
+        assert!((b.accounted_seconds() - 10.0).abs() < 1e-9);
+        // Unrecorded phases still render as zero rows.
+        assert_eq!(b.phases[4].name, "train.checkpoint");
+        assert_eq!(b.phases[4].calls, 0);
+        let table = b.render_table();
+        assert!(table.contains("train.forward"), "{table}");
+        assert!(table.contains("60.0%"), "forward is 6/10: {table}");
+        assert!(table.contains("train.checkpoint"), "{table}");
+    }
 
     #[test]
     fn render_mentions_every_headline_number() {

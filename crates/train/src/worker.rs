@@ -99,8 +99,13 @@ pub(crate) fn worker_loop(spec: WorkerSpec, rx: Receiver<ToWorker>, tx: Sender<F
                 params: new_values,
             } => {
                 let t0 = Instant::now();
-                for (p, v) in params.iter().zip(new_values) {
-                    p.set_value(v);
+                {
+                    // Applying the averaged parameters is the receive half
+                    // of the broadcast phase.
+                    let _g = resuformer_telemetry::span("train.broadcast");
+                    for (p, v) in params.iter().zip(new_values) {
+                        p.set_value(v);
+                    }
                 }
                 let mut rng = ChaCha8Rng::seed_from_u64(round_seed(
                     spec.base_seed,
@@ -117,10 +122,14 @@ pub(crate) fn worker_loop(spec: WorkerSpec, rx: Receiver<ToWorker>, tx: Sender<F
                         continue;
                     }
                     opt.zero_grad();
-                    let (loss, m) = pt.loss(&enc, doc, di, &mut rng);
-                    loss.backward();
-                    opt.clip_grad_norm(5.0);
-                    opt.step();
+                    let (loss, m) = resuformer_telemetry::span::time("train.forward", || {
+                        pt.loss(&enc, doc, di, &mut rng)
+                    });
+                    resuformer_telemetry::span::time("train.backward", || {
+                        loss.backward();
+                        opt.clip_grad_norm(5.0);
+                        opt.step();
+                    });
                     acc.wp += m.wp;
                     acc.cl += m.cl;
                     acc.ns += m.ns;

@@ -25,19 +25,38 @@ if [[ -z "${SKIP_CLIPPY:-}" ]]; then
     # exclusion can never silently skip it.
     echo "==> cargo clippy -p resuformer-train -- -D warnings"
     cargo clippy -p resuformer-train --all-targets -- -D warnings
+    # Same for the telemetry substrate every other crate now records into.
+    echo "==> cargo clippy -p resuformer-telemetry -- -D warnings"
+    cargo clippy -p resuformer-telemetry --all-targets -- -D warnings
 fi
 
-echo "==> pretrain smoke: 2-worker run, kill point, resume"
+echo "==> pretrain smoke: 2-worker run, kill point, resume, trace capture"
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 CLI=target/release/resuformer-cli
 "$CLI" generate --count 4 --out "$SMOKE_DIR/resumes.json" --seed 7
 "$CLI" pretrain --data "$SMOKE_DIR/resumes.json" --model "$SMOKE_DIR/ckpt.bin" \
-    --workers 2 --epochs 1 --sync-every 1 --checkpoint-every 1 --seed 42
+    --workers 2 --epochs 1 --sync-every 1 --checkpoint-every 1 --seed 42 \
+    --trace-out "$SMOKE_DIR/trace.json"
 "$CLI" pretrain --data "$SMOKE_DIR/resumes.json" --model "$SMOKE_DIR/ckpt.bin" \
     --resume "$SMOKE_DIR/ckpt.bin" --epochs 2
 # Resuming a finished run must be a clean no-op.
 "$CLI" pretrain --data "$SMOKE_DIR/resumes.json" --model "$SMOKE_DIR/ckpt.bin" \
     --resume "$SMOKE_DIR/ckpt.bin" --epochs 2
+
+echo "==> trace smoke: --trace-out wrote a valid Chrome trace"
+python3 - "$SMOKE_DIR/trace.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "trace must contain at least one span event"
+names = {e["name"] for e in events}
+assert "train.forward" in names, f"no forward spans in {sorted(names)}"
+assert "train.backward" in names, f"no backward spans in {sorted(names)}"
+for e in events:
+    assert e["ph"] == "X" and e["ts"] >= 0 and e["dur"] >= 0, e
+print(f"    {len(events)} events, phases: {', '.join(sorted(names))}")
+PY
 
 echo "==> CI OK"
