@@ -1,19 +1,27 @@
-//! Data-parallel pre-training scaling driver: tokens/sec at 1/2/4/8
-//! workers over the same corpus, same seeds, same epoch budget.
+//! Data-parallel pre-training scaling driver: barrier vs bounded-staleness
+//! averaging at 1/2/4/8 workers over the same *skewed* corpus, same seeds,
+//! same epoch budget.
 //!
 //! ```text
 //! cargo run --release -p resuformer-bench --bin pretrain_scaling -- \
 //!     --scale smoke --seed 42
 //! ```
 //!
+//! The corpus is deliberately bimodal (every 4th document is paper-sized,
+//! the rest small) so round-robin shards are *uneven*: under the barrier
+//! every round waits for whichever worker drew the long documents, and
+//! that idle time shows up as the `averaging`+`broadcast` wait share.
+//! `stale:<K>` lets fast workers run up to K rounds ahead, shrinking the
+//! sync share — the table prints it per (workers, mode) row, with speedup
+//! relative to the barrier at the same worker count.
+//!
 //! Each row trains from scratch with `resuformer_train::Trainer`, so the
-//! numbers include parameter broadcast + averaging overhead — this is the
-//! honest end-to-end throughput, not a per-worker microbenchmark. The
-//! speedup column is relative to the 1-worker row.
+//! numbers include parameter broadcast + fold overhead — this is the
+//! honest end-to-end throughput, not a per-worker microbenchmark.
 
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use resuformer::config::{ModelConfig, PretrainConfig};
+use resuformer::config::{ModelConfig, PretrainConfig, SyncMode};
 use resuformer::data::{build_tokenizer, prepare_document, DocumentInput};
 use resuformer_bench::parse_args;
 use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
@@ -23,15 +31,28 @@ use resuformer_text::WordPiece;
 use resuformer_train::{PhaseBreakdown, TrainConfig, Trainer};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const MODES: [SyncMode; 4] = [
+    SyncMode::Barrier,
+    SyncMode::Stale { max_lag: 1 },
+    SyncMode::Stale { max_lag: 2 },
+    SyncMode::Stale { max_lag: 4 },
+];
 
+/// Skewed-shard corpus: a bimodal document-length mix so some round-robin
+/// shards are much heavier than others.
 fn corpus(scale: Scale, seed: u64) -> (WordPiece, ModelConfig, Vec<DocumentInput>) {
-    let (n_docs, gen_cfg) = match scale {
-        Scale::Smoke => (16, GeneratorConfig::smoke()),
-        Scale::Paper => (64, GeneratorConfig::paper()),
+    let n_docs = match scale {
+        Scale::Smoke => 32,
+        Scale::Paper => 64,
     };
+    let long_cfg = GeneratorConfig::paper();
+    let short_cfg = GeneratorConfig::smoke();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let resumes: Vec<_> = (0..n_docs)
-        .map(|_| generate_resume(&mut rng, &gen_cfg))
+        .map(|i| {
+            let cfg = if i % 4 == 0 { &long_cfg } else { &short_cfg };
+            generate_resume(&mut rng, cfg)
+        })
         .collect();
     let wp = build_tokenizer(
         resumes
@@ -47,6 +68,27 @@ fn corpus(scale: Scale, seed: u64) -> (WordPiece, ModelConfig, Vec<DocumentInput
     (wp, config, docs)
 }
 
+/// Share of the accounted phase time spent synchronising rather than
+/// training: averaging/fold work plus broadcast and staleness waits.
+fn sync_share(b: &PhaseBreakdown) -> f64 {
+    let accounted = b.accounted_seconds();
+    if accounted <= 0.0 {
+        return 0.0;
+    }
+    let sync: f64 = b
+        .phases
+        .iter()
+        .filter(|p| {
+            matches!(
+                p.name,
+                "train.averaging" | "train.broadcast" | "train.wait_stale" | "train.fold"
+            )
+        })
+        .map(|p| p.seconds)
+        .sum();
+    sync / accounted
+}
+
 fn main() {
     let args = parse_args();
     let epochs = match args.scale {
@@ -54,90 +96,114 @@ fn main() {
         Scale::Paper => 3,
     };
     eprintln!(
-        "[pretrain_scaling] generating corpus ({:?}, seed {})...",
+        "[pretrain_scaling] generating skewed corpus ({:?}, seed {})...",
         args.scale, args.seed
     );
     let (wp, config, docs) = corpus(args.scale, args.seed);
     eprintln!(
-        "[pretrain_scaling] {} documents, vocab {}, {} epochs per row",
+        "[pretrain_scaling] {} documents (every 4th paper-sized), vocab {}, {} epochs per row",
         docs.len(),
         wp.vocab.len(),
         epochs
     );
 
     println!(
-        "Pre-training scaling (scale {:?}, seed {}, {} docs, {} epochs)\n",
+        "Pre-training scaling, barrier vs bounded staleness (scale {:?}, seed {}, {} skewed docs, {} epochs)\n",
         args.scale,
         args.seed,
         docs.len(),
         epochs
     );
     println!(
-        "{:>7} | {:>10} | {:>9} | {:>7} | {:>11} | {:>10}",
-        "workers", "tokens/sec", "wall (s)", "speedup", "utilization", "final loss"
+        "{:>7} | {:>8} | {:>10} | {:>9} | {:>7} | {:>11} | {:>10} | {:>10}",
+        "workers",
+        "sync",
+        "tokens/sec",
+        "wall (s)",
+        "speedup",
+        "utilization",
+        "sync share",
+        "final loss"
     );
-    println!("{}", "-".repeat(70));
+    println!("{}", "-".repeat(94));
 
-    let mut baseline_tps: Option<f64> = None;
-    let mut breakdowns: Vec<(usize, PhaseBreakdown)> = Vec::new();
+    let mut breakdowns: Vec<(usize, SyncMode, PhaseBreakdown)> = Vec::new();
     for &workers in &WORKER_COUNTS {
-        // Each row gets its own span window so phase totals don't bleed
-        // between worker counts.
-        span::reset();
-        let mut trainer = Trainer::new(
-            wp.clone(),
-            config,
-            PretrainConfig::default(),
-            args.seed,
-            args.seed ^ 1,
-        );
-        let trace = trainer
-            .train(
-                &docs,
-                &TrainConfig {
-                    workers,
-                    epochs,
-                    sync_every: 4,
-                    ..TrainConfig::default()
-                },
-                |m| eprintln!("[pretrain_scaling] workers={workers} {}", m.render()),
-            )
-            .expect("training failed");
-        let tokens: u64 = trace.iter().map(|m| m.tokens).sum();
-        let wall: f64 = trace.iter().map(|m| m.wall_seconds).sum();
-        let tps = if wall > 0.0 {
-            tokens as f64 / wall
-        } else {
-            0.0
-        };
-        let speedup = match baseline_tps {
-            Some(base) if base > 0.0 => tps / base,
-            _ => {
-                baseline_tps = Some(tps);
-                1.0
-            }
-        };
-        let util: f64 =
-            trace.iter().map(|m| m.utilization).sum::<f64>() / trace.len().max(1) as f64;
-        let final_loss = trace.last().map(|m| m.total).unwrap_or(f32::NAN);
-        println!(
-            "{:>7} | {:>10.0} | {:>9.2} | {:>6.2}x | {:>10.1}% | {:>10.4}",
-            workers,
-            tps,
-            wall,
-            speedup,
-            util * 100.0,
-            final_loss
-        );
-        breakdowns.push((workers, PhaseBreakdown::capture()));
+        let mut barrier_tps: Option<f64> = None;
+        for &sync in &MODES {
+            // Each row gets its own span window so phase totals don't
+            // bleed between configurations.
+            span::reset();
+            let mut trainer = Trainer::new(
+                wp.clone(),
+                config,
+                PretrainConfig::default(),
+                args.seed,
+                args.seed ^ 1,
+            );
+            let trace = trainer
+                .train(
+                    &docs,
+                    &TrainConfig {
+                        workers,
+                        epochs,
+                        sync_every: 1,
+                        sync,
+                        ..TrainConfig::default()
+                    },
+                    |m| {
+                        eprintln!(
+                            "[pretrain_scaling] workers={workers} sync={sync} {}",
+                            m.render()
+                        )
+                    },
+                )
+                .expect("training failed");
+            let tokens: u64 = trace.iter().map(|m| m.tokens).sum();
+            let wall: f64 = trace.iter().map(|m| m.wall_seconds).sum();
+            let tps = if wall > 0.0 {
+                tokens as f64 / wall
+            } else {
+                0.0
+            };
+            // Speedup vs the barrier at the same worker count: this is the
+            // utilization the staleness window buys, holding scale fixed.
+            let speedup = match barrier_tps {
+                Some(base) if base > 0.0 => tps / base,
+                _ => {
+                    barrier_tps = Some(tps);
+                    1.0
+                }
+            };
+            let util: f64 =
+                trace.iter().map(|m| m.utilization).sum::<f64>() / trace.len().max(1) as f64;
+            let final_loss = trace.last().map(|m| m.total).unwrap_or(f32::NAN);
+            let breakdown = PhaseBreakdown::capture();
+            println!(
+                "{:>7} | {:>8} | {:>10.0} | {:>9.2} | {:>6.2}x | {:>10.1}% | {:>9.1}% | {:>10.4}",
+                workers,
+                sync.to_string(),
+                tps,
+                wall,
+                speedup,
+                util * 100.0,
+                sync_share(&breakdown) * 100.0,
+                final_loss
+            );
+            breakdowns.push((workers, sync, breakdown));
+        }
+        println!();
     }
 
-    for (workers, breakdown) in &breakdowns {
-        println!("\nPer-phase breakdown, {workers} worker(s) (thread-seconds sum across workers):");
+    for (workers, sync, breakdown) in &breakdowns {
+        println!(
+            "\nPer-phase breakdown, {workers} worker(s), sync {sync} (thread-seconds sum across workers):"
+        );
         print!("{}", breakdown.render_table());
     }
 
-    println!("\nNote: workers train on round-robin shards and average parameters");
-    println!("every sync_every=4 documents per worker; speedup saturates once");
-    println!("shards get too small to amortize the broadcast/averaging barrier.");
+    println!("\nNote: shards are round-robin over a bimodal corpus, so barrier rounds");
+    println!("idle on the worker holding the long documents. stale:<K> lets fast");
+    println!("workers run up to K rounds ahead (results still fold in deterministic");
+    println!("(round, worker) order), trading parameter freshness for wait time.");
 }

@@ -42,6 +42,9 @@ pub struct Options {
     checkpoint_every: usize,
     resume: Option<String>,
     trace_out: Option<String>,
+    sync_mode: resuformer::config::SyncMode,
+    trace_capacity: Option<usize>,
+    metrics_out: Option<String>,
 }
 
 impl Options {
@@ -69,6 +72,9 @@ impl Options {
             checkpoint_every: 1,
             resume: None,
             trace_out: None,
+            sync_mode: resuformer::config::SyncMode::Barrier,
+            trace_capacity: None,
+            metrics_out: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -103,6 +109,11 @@ impl Options {
                 }
                 "--resume" => o.resume = Some(value.clone()),
                 "--trace-out" => o.trace_out = Some(value.clone()),
+                "--sync-mode" => o.sync_mode = resuformer::config::SyncMode::parse(value)?,
+                "--trace-capacity" => {
+                    o.trace_capacity = Some(value.parse().map_err(|_| "bad --trace-capacity")?)
+                }
+                "--metrics-out" => o.metrics_out = Some(value.clone()),
                 "--scale" => {
                     o.scale = match value.as_str() {
                         "smoke" => Scale::Smoke,
@@ -264,25 +275,29 @@ pub fn pretrain(o: &Options) -> Result<(), String> {
 
     let model_path = o.model.as_deref().ok_or("--model is required")?;
     if o.trace_out.is_some() {
-        resuformer_telemetry::trace::enable();
+        enable_trace(o);
     }
     let resumes = o.load_resumes()?;
     if resumes.is_empty() {
         return Err("no documents in --data".into());
     }
 
-    let (mut trainer, workers) = match &o.resume {
+    let (mut trainer, workers, sync) = match &o.resume {
         Some(ckpt_path) => {
             let ckpt = resuformer::model_io::load_checkpoint(ckpt_path)?;
             let workers = ckpt.meta.workers;
+            let sync = ckpt.meta.sync;
             println!(
-                "resuming from {ckpt_path}: epoch {}/{} ({} workers)",
-                ckpt.meta.next_epoch, ckpt.meta.total_epochs, workers
+                "resuming from {ckpt_path}: epoch {}/{} ({} workers, sync {})",
+                ckpt.meta.next_epoch, ckpt.meta.total_epochs, workers, sync
             );
             if o.workers != workers {
                 println!("note: optimizer state is per-worker; using {workers} workers");
             }
-            (Trainer::from_checkpoint(ckpt), workers)
+            if o.sync_mode != sync {
+                println!("note: sync mode is part of the run; using {sync}");
+            }
+            (Trainer::from_checkpoint(ckpt), workers, sync)
         }
         None => {
             let wp = build_tokenizer(
@@ -293,7 +308,7 @@ pub fn pretrain(o: &Options) -> Result<(), String> {
             );
             let config = ModelConfig::tiny(wp.vocab.len());
             let trainer = Trainer::new(wp, config, PretrainConfig::default(), o.seed, o.seed ^ 1);
-            (trainer, o.workers)
+            (trainer, o.workers, o.sync_mode)
         }
     };
 
@@ -318,16 +333,18 @@ pub fn pretrain(o: &Options) -> Result<(), String> {
             sync_every: o.sync_every,
             checkpoint_every: o.checkpoint_every,
             checkpoint_path: Some(model_path.to_string()),
+            sync,
         },
         |m| println!("{}", m.render()),
     )?;
     let tokens: u64 = trace.iter().map(|m| m.tokens).sum();
     let wall: f64 = trace.iter().map(|m| m.wall_seconds).sum();
     println!(
-        "pre-trained on {} documents for {} epochs with {} workers ({:.0} tok/s overall)",
+        "pre-trained on {} documents for {} epochs with {} workers, sync {} ({:.0} tok/s overall)",
         docs.len(),
         trace.len(),
         workers,
+        sync,
         tokens as f64 / wall.max(1e-9)
     );
     println!("saved checkpoint to {model_path}");
@@ -336,9 +353,31 @@ pub fn pretrain(o: &Options) -> Result<(), String> {
         println!("\nper-phase breakdown (thread-seconds sum across workers):");
         print!("{}", breakdown.render_table());
     }
+    write_trace_and_metrics(o)
+}
+
+/// Turn on Chrome-trace capture, honoring `--trace-capacity`.
+fn enable_trace(o: &Options) {
+    match o.trace_capacity {
+        Some(cap) => resuformer_telemetry::trace::enable_with_capacity(cap),
+        None => resuformer_telemetry::trace::enable(),
+    }
+}
+
+/// Shared `--trace-out` / `--metrics-out` epilogue for pretrain and serve.
+fn write_trace_and_metrics(o: &Options) -> Result<(), String> {
     if let Some(path) = &o.trace_out {
         let events = resuformer_telemetry::export::write_chrome_trace(path)?;
         println!("wrote {events} trace events to {path} (open in chrome://tracing)");
+        let dropped = resuformer_telemetry::trace::dropped_events();
+        if dropped > 0 {
+            println!("note: ring buffer dropped {dropped} older events (trace is the tail)");
+        }
+    }
+    if let Some(path) = &o.metrics_out {
+        let text = resuformer_telemetry::export::prometheus(resuformer_telemetry::global());
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote Prometheus metrics to {path}");
     }
     Ok(())
 }
@@ -435,7 +474,7 @@ fn parse_all(o: &Options, resumes: &[LabeledResume], model_path: &str) -> Result
 pub fn serve(o: &Options) -> Result<(), String> {
     let model_path = o.model.as_deref().ok_or("--model is required")?;
     if o.trace_out.is_some() {
-        resuformer_telemetry::trace::enable();
+        enable_trace(o);
     }
     resuformer_serve::install_sigint_handler();
     let registry = std::sync::Arc::new(ModelRegistry::load(model_path)?);
@@ -482,11 +521,7 @@ pub fn serve(o: &Options) -> Result<(), String> {
         "served {} requests in {} batches (mean batch size {:.2}, {} errors)",
         s.requests, s.batches, s.mean_batch_size, s.errors
     );
-    if let Some(path) = &o.trace_out {
-        let events = resuformer_telemetry::export::write_chrome_trace(path)?;
-        println!("wrote {events} trace events to {path} (open in chrome://tracing)");
-    }
-    Ok(())
+    write_trace_and_metrics(o)
 }
 
 /// `rules`: rule-based entity extraction over the gold block segmentation.
@@ -539,6 +574,19 @@ mod tests {
         assert!(!o.all);
         assert!(Options::parse(&["--bogus".into(), "1".into()]).is_err());
         assert!(Options::parse(&["--count".into()]).is_err());
+
+        let o = opts(&[
+            ("--sync-mode", "stale:2"),
+            ("--trace-capacity", "64"),
+            ("--metrics-out", "m.prom"),
+        ]);
+        assert_eq!(
+            o.sync_mode,
+            resuformer::config::SyncMode::Stale { max_lag: 2 }
+        );
+        assert_eq!(o.trace_capacity, Some(64));
+        assert_eq!(o.metrics_out.as_deref(), Some("m.prom"));
+        assert!(Options::parse(&["--sync-mode".into(), "later".into()]).is_err());
 
         // --all is a boolean flag: it takes no value and can sit between
         // `--flag value` pairs.

@@ -92,6 +92,15 @@ OPTIONS:
     --checkpoint-every <K>
                         pretrain: checkpoint every K epochs [default: 1]
     --resume <CKPT>     pretrain: continue from a checkpoint file
+    --sync-mode <M>     pretrain: barrier | stale:<K> — bounded-staleness
+                        averaging with at most K rounds of worker lead
+                        [default: barrier]
     --trace-out <FILE>  pretrain/serve: capture telemetry spans and write
-                        a Chrome trace-event JSON (chrome://tracing) on exit"
+                        a Chrome trace-event JSON (chrome://tracing) on exit
+    --trace-capacity <N>
+                        ring-buffer capacity for --trace-out (oldest events
+                        are dropped past it) [default: 262144]
+    --metrics-out <FILE>
+                        pretrain/serve: write Prometheus-format metrics on
+                        exit (includes telemetry_trace_dropped_events)"
 }

@@ -142,6 +142,75 @@ impl Default for PretrainConfig {
     }
 }
 
+/// How data-parallel pre-training workers synchronise parameters.
+///
+/// Lives next to the other training hyper-parameters (rather than in
+/// `resuformer-train`) because `model_io` records it in v3 checkpoints: a
+/// run is only bit-reproducible under the *same* sync mode, so the mode is
+/// part of a checkpoint's identity just like the seeds and worker count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Synchronous local SGD: every round, all workers block on a full
+    /// parameter averaging + broadcast barrier.
+    #[default]
+    Barrier,
+    /// Bounded staleness: workers push round results to the coordinator
+    /// and immediately continue on the freshest *deterministically
+    /// available* global snapshot (the state after round
+    /// `r - 1 - max_lag` folded); a worker blocks only when it would run
+    /// more than `max_lag` rounds ahead of the slowest peer. `max_lag = 0`
+    /// degenerates to [`SyncMode::Barrier`] bit for bit.
+    Stale {
+        /// Most rounds any worker may run ahead of the slowest peer.
+        max_lag: usize,
+    },
+}
+
+impl SyncMode {
+    /// Parse the CLI syntax: `barrier` or `stale:<max_lag>`.
+    pub fn parse(s: &str) -> Result<SyncMode, String> {
+        if s == "barrier" {
+            return Ok(SyncMode::Barrier);
+        }
+        if let Some(k) = s.strip_prefix("stale:") {
+            let max_lag = k
+                .parse()
+                .map_err(|_| format!("bad staleness bound {k:?} (want stale:<K>)"))?;
+            return Ok(SyncMode::Stale { max_lag });
+        }
+        Err(format!(
+            "unknown sync mode {s:?} (want barrier or stale:<K>)"
+        ))
+    }
+
+    /// The staleness bound: `None` for the barrier, `Some(max_lag)` for
+    /// bounded staleness. Round-trips with [`SyncMode::from_max_lag`] —
+    /// this is the shape v3 checkpoint headers store.
+    pub fn max_lag(self) -> Option<usize> {
+        match self {
+            SyncMode::Barrier => None,
+            SyncMode::Stale { max_lag } => Some(max_lag),
+        }
+    }
+
+    /// Inverse of [`SyncMode::max_lag`].
+    pub fn from_max_lag(max_lag: Option<usize>) -> SyncMode {
+        match max_lag {
+            None => SyncMode::Barrier,
+            Some(max_lag) => SyncMode::Stale { max_lag },
+        }
+    }
+}
+
+impl std::fmt::Display for SyncMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncMode::Barrier => write!(f, "barrier"),
+            SyncMode::Stale { max_lag } => write!(f, "stale:{max_lag}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +236,22 @@ mod tests {
         assert_eq!((p.lambda_wp, p.lambda_cl, p.lambda_ns), (0.4, 1.0, 0.6));
         assert_eq!(p.scl_ratio, 0.2);
         assert_eq!(p.dnsp_ratio, 0.2);
+    }
+
+    #[test]
+    fn sync_mode_parses_and_round_trips() {
+        assert_eq!(SyncMode::parse("barrier").unwrap(), SyncMode::Barrier);
+        assert_eq!(
+            SyncMode::parse("stale:3").unwrap(),
+            SyncMode::Stale { max_lag: 3 }
+        );
+        assert!(SyncMode::parse("stale:x").is_err());
+        assert!(SyncMode::parse("async").is_err());
+        for mode in [SyncMode::Barrier, SyncMode::Stale { max_lag: 2 }] {
+            assert_eq!(SyncMode::from_max_lag(mode.max_lag()), mode);
+            assert_eq!(SyncMode::parse(&mode.to_string()).unwrap(), mode);
+        }
+        assert_eq!(SyncMode::default(), SyncMode::Barrier);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod self_training;
 pub mod visual;
 
 pub use block_classifier::BlockClassifier;
-pub use config::{ModelConfig, PretrainConfig};
+pub use config::{ModelConfig, PretrainConfig, SyncMode};
 pub use data::{block_tag_scheme, entity_tag_scheme, DocumentInput};
 pub use encoder::HierarchicalEncoder;
 pub use model_io::{

@@ -33,7 +33,7 @@ use resuformer_text::{Vocab, WordPiece};
 use serde::{Deserialize, Serialize};
 
 use crate::block_classifier::BlockClassifier;
-use crate::config::{ModelConfig, PretrainConfig};
+use crate::config::{ModelConfig, PretrainConfig, SyncMode};
 use crate::encoder::HierarchicalEncoder;
 use crate::ner::{NerConfig, NerModel};
 use crate::pipeline::{EntityExtractor, ResumeParser};
@@ -435,6 +435,13 @@ struct TrainHeader {
     next_epoch: usize,
     total_epochs: usize,
     workers: usize,
+    // Staleness cursor (v3-compatible extension: absent in files written
+    // before bounded-staleness averaging existed, and unknown to — hence
+    // ignored by — readers from before it; `None`/0 mean barrier mode).
+    #[serde(default)]
+    sync_max_lag: Option<usize>,
+    #[serde(default)]
+    rounds_folded: u64,
 }
 
 /// Run description + epoch cursor stored in a v3 training checkpoint.
@@ -450,6 +457,14 @@ pub struct CheckpointMeta {
     pub total_epochs: usize,
     /// Worker count of the writing run (optimizer states are per-worker).
     pub workers: usize,
+    /// Parameter-synchronisation mode of the writing run. A resumed run
+    /// must use the same mode to stay bit-identical with an uninterrupted
+    /// one; files from before this field existed read as `Barrier`.
+    pub sync: SyncMode,
+    /// Staleness cursor: total rounds folded into the global parameters
+    /// so far (advances in both modes; checkpoints are written at epoch
+    /// boundaries, after the staleness window has drained).
+    pub rounds_folded: u64,
 }
 
 /// A restored pre-training checkpoint, ready to continue training.
@@ -518,6 +533,8 @@ pub fn save_checkpoint_bytes(
         next_epoch: meta.next_epoch,
         total_epochs: meta.total_epochs,
         workers: meta.workers,
+        sync_max_lag: meta.sync.max_lag(),
+        rounds_folded: meta.rounds_folded,
     };
     let header_bytes =
         serde_json::to_vec(&header).map_err(|e| format!("serializing header: {e}"))?;
@@ -624,6 +641,8 @@ pub fn load_checkpoint_bytes(bytes: &[u8]) -> Result<TrainCheckpoint, String> {
             next_epoch: header.next_epoch,
             total_epochs: header.total_epochs,
             workers: header.workers,
+            sync: SyncMode::from_max_lag(header.sync_max_lag),
+            rounds_folded: header.rounds_folded,
         },
         optimizer_states,
     })
@@ -692,6 +711,8 @@ mod tests {
             next_epoch: 3,
             total_epochs: 8,
             workers: 2,
+            sync: SyncMode::Stale { max_lag: 2 },
+            rounds_folded: 12,
         };
         let states = vec![vec![1u8, 2, 3], vec![4u8, 5]];
         let bytes =
@@ -702,6 +723,26 @@ mod tests {
         assert_eq!(ckpt.meta.next_epoch, 3);
         assert_eq!(ckpt.meta.workers, 2);
         assert_eq!(ckpt.meta.base_seed, 7);
+        assert_eq!(ckpt.meta.sync, SyncMode::Stale { max_lag: 2 });
+        assert_eq!(ckpt.meta.rounds_folded, 12);
+
+        // v3 compatibility: a header written before the staleness cursor
+        // existed (no sync_max_lag / rounds_folded keys) reads as barrier.
+        let header_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let header = std::str::from_utf8(&bytes[16..16 + header_len]).unwrap();
+        let stripped =
+            header
+                .replacen(",\"sync_max_lag\":2", "", 1)
+                .replacen(",\"rounds_folded\":12", "", 1);
+        assert_ne!(stripped, header, "fixture must actually strip the keys");
+        let mut old = Vec::new();
+        old.extend_from_slice(MAGIC_V3);
+        old.extend_from_slice(&(stripped.len() as u64).to_le_bytes());
+        old.extend_from_slice(stripped.as_bytes());
+        old.extend_from_slice(&bytes[16 + header_len..]);
+        let old_ckpt = load_checkpoint_bytes(&old).unwrap();
+        assert_eq!(old_ckpt.meta.sync, SyncMode::Barrier);
+        assert_eq!(old_ckpt.meta.rounds_folded, 0);
         assert_eq!(ckpt.optimizer_states, states);
         assert_eq!(ckpt.wordpiece.vocab.len(), wp.vocab.len());
         assert_eq!(ckpt.config.dropout, config.dropout, "dropout must survive");

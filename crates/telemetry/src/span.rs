@@ -6,7 +6,10 @@
 //! the current node id), and every `(parent, name)` pair is interned once
 //! into a global arena — after interning, opening and closing a span is
 //! two `Instant` reads, a read-locked hash lookup and two relaxed atomic
-//! adds: no allocation on the hot path.
+//! adds: no allocation on the hot path. The arena is capped at
+//! [`MAX_SPAN_NODES`] distinct nodes; spans interned past the cap are
+//! attributed to a `<overflow>` sentinel and counted in
+//! [`OVERFLOW_COUNTER`] instead of growing memory without bound.
 //!
 //! Closed spans aggregate into a per-phase wall-time tree
 //! ([`snapshot`] / [`SpanTree::render_table`]) and, when trace capture is
@@ -19,7 +22,22 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Instant;
 
+use crate::registry::Counter;
 use crate::trace;
+
+/// Most distinct `(parent, name)` nodes the arena will intern. Span names
+/// are meant to be a small fixed taxonomy, but recursive call shapes (or a
+/// name leak) can mint unbounded node *pairs*; past this cap, new pairs
+/// all alias the [`OVERFLOW_NAME`] sentinel instead of growing the arena —
+/// time is still accounted (loudly), memory stays bounded.
+pub const MAX_SPAN_NODES: usize = 1024;
+
+/// Name of the sentinel node that absorbs spans interned past
+/// [`MAX_SPAN_NODES`]; shows up in [`snapshot`] trees like any other span.
+pub const OVERFLOW_NAME: &str = "<overflow>";
+
+/// Counter bumped once per span attributed to the overflow sentinel.
+pub const OVERFLOW_COUNTER: &str = "telemetry.span_arena_overflow";
 
 /// Aggregated totals for one interned span node.
 #[derive(Default)]
@@ -59,6 +77,11 @@ thread_local! {
     static CURRENT: Cell<u32> = const { Cell::new(0) };
 }
 
+fn overflow_counter() -> &'static Arc<Counter> {
+    static COUNTER: OnceLock<Arc<Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| crate::global().counter(OVERFLOW_COUNTER))
+}
+
 fn intern(parent: u32, name: &'static str) -> (u32, Arc<SpanStats>) {
     let a = arena();
     let key = (parent, name);
@@ -66,20 +89,51 @@ fn intern(parent: u32, name: &'static str) -> (u32, Arc<SpanStats>) {
         let nodes = a.nodes.read().unwrap_or_else(|e| e.into_inner());
         return (id, nodes[id as usize].stats.clone());
     }
-    let mut nodes = a.nodes.write().unwrap_or_else(|e| e.into_inner());
-    let mut index = a.index.write().unwrap_or_else(|e| e.into_inner());
-    if let Some(&id) = index.get(&key) {
-        return (id, nodes[id as usize].stats.clone());
+    let out = {
+        let mut nodes = a.nodes.write().unwrap_or_else(|e| e.into_inner());
+        let mut index = a.index.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(&id) = index.get(&key) {
+            return (id, nodes[id as usize].stats.clone());
+        }
+        if nodes.len() >= MAX_SPAN_NODES {
+            // Arena full: attribute this span to the root-level overflow
+            // sentinel (created lazily — it may claim the one slot past
+            // the cap) rather than growing, or worse, dropping the time.
+            let sentinel = (0u32, OVERFLOW_NAME);
+            let id = match index.get(&sentinel) {
+                Some(&id) => id,
+                None => {
+                    let id = nodes.len() as u32;
+                    nodes.push(SpanNode {
+                        name: OVERFLOW_NAME,
+                        parent: 0,
+                        stats: Arc::new(SpanStats::default()),
+                    });
+                    index.insert(sentinel, id);
+                    id
+                }
+            };
+            Err((id, nodes[id as usize].stats.clone()))
+        } else {
+            let id = nodes.len() as u32;
+            let stats = Arc::new(SpanStats::default());
+            nodes.push(SpanNode {
+                name,
+                parent,
+                stats: stats.clone(),
+            });
+            index.insert(key, id);
+            Ok((id, stats))
+        }
+    };
+    match out {
+        Ok(interned) => interned,
+        Err(overflowed) => {
+            // Counter bump outside the arena locks.
+            overflow_counter().inc();
+            overflowed
+        }
     }
-    let id = nodes.len() as u32;
-    let stats = Arc::new(SpanStats::default());
-    nodes.push(SpanNode {
-        name,
-        parent,
-        stats: stats.clone(),
-    });
-    index.insert(key, id);
-    (id, stats)
 }
 
 /// RAII guard for an open span; the span closes when this drops.

@@ -5,10 +5,27 @@
 //! complete ("ph":"X") trace event — name, thread, microsecond timestamp,
 //! duration — which [`crate::export::chrome_trace_json`] renders into a
 //! file `chrome://tracing` / Perfetto opens as a flamegraph.
+//!
+//! The capture buffer is a **bounded ring**: once `capacity` events are
+//! held, each new event evicts the oldest one, so a long pretrain/serve
+//! run keeps the *latest* window of activity in constant memory instead
+//! of growing without bound. Evictions are observable — they bump the
+//! `telemetry.trace_dropped_events` counter in [`crate::global`] (exported
+//! by Prometheus/JSON like any metric) and [`dropped_events`].
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+use crate::registry::Counter;
+
+/// Default ring capacity: enough for minutes of dense span traffic while
+/// bounding memory to a few tens of MB of events.
+pub const DEFAULT_CAPACITY: usize = 262_144;
+
+/// Counter name bumped once per event evicted from a full ring.
+pub const DROPPED_COUNTER: &str = "telemetry.trace_dropped_events";
 
 /// One complete span occurrence (all times in microseconds).
 #[derive(Clone, Debug)]
@@ -23,17 +40,33 @@ pub struct TraceEvent {
     pub dur_us: f64,
 }
 
+struct RingState {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    /// Events evicted over the buffer's lifetime (mirrors the counter).
+    dropped: u64,
+}
+
 struct TraceBuffer {
     enabled: AtomicBool,
-    events: Mutex<Vec<TraceEvent>>,
+    ring: Mutex<RingState>,
 }
 
 fn buffer() -> &'static TraceBuffer {
     static BUF: OnceLock<TraceBuffer> = OnceLock::new();
     BUF.get_or_init(|| TraceBuffer {
         enabled: AtomicBool::new(false),
-        events: Mutex::new(Vec::new()),
+        ring: Mutex::new(RingState {
+            events: VecDeque::new(),
+            capacity: DEFAULT_CAPACITY,
+            dropped: 0,
+        }),
     })
+}
+
+fn dropped_counter() -> &'static Arc<Counter> {
+    static COUNTER: OnceLock<Arc<Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| crate::global().counter(DROPPED_COUNTER))
 }
 
 /// The instant timestamps are measured from (first use of this module).
@@ -50,10 +83,31 @@ fn thread_id() -> u64 {
     TID.with(|t| *t)
 }
 
-/// Start capturing span events (idempotent). Pins the trace epoch.
+/// Start capturing span events into a ring of [`DEFAULT_CAPACITY`]
+/// (idempotent). Pins the trace epoch.
 pub fn enable() {
+    enable_with_capacity(DEFAULT_CAPACITY);
+}
+
+/// Start capturing with an explicit ring capacity (minimum 1). Shrinking
+/// below the number of already-buffered events evicts the oldest ones,
+/// counted as drops. Registers the dropped-events counter eagerly so it
+/// exports as `0` even before the first eviction.
+pub fn enable_with_capacity(capacity: usize) {
     epoch();
-    buffer().enabled.store(true, Ordering::Relaxed);
+    let buf = buffer();
+    let mut evicted = 0u64;
+    {
+        let mut ring = buf.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.capacity = capacity.max(1);
+        while ring.events.len() > ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+            evicted += 1;
+        }
+    }
+    dropped_counter().add(evicted);
+    buf.enabled.store(true, Ordering::Relaxed);
 }
 
 /// Stop capturing (already-captured events are kept until [`take_events`]).
@@ -64,6 +118,16 @@ pub fn disable() {
 /// Whether capture is on.
 pub fn is_enabled() -> bool {
     buffer().enabled.load(Ordering::Relaxed)
+}
+
+/// Events evicted from the ring over the process lifetime. Non-zero means
+/// the captured trace is the *tail* of the run, not the whole run.
+pub fn dropped_events() -> u64 {
+    buffer()
+        .ring
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .dropped
 }
 
 /// Called by [`crate::span`] when a span closes.
@@ -80,23 +144,39 @@ pub(crate) fn record_span(name: &'static str, start: Instant, dur: Duration) {
         ts_us,
         dur_us: dur.as_secs_f64() * 1e6,
     };
-    buf.events
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .push(event);
+    let dropped = {
+        let mut ring = buf.ring.lock().unwrap_or_else(|e| e.into_inner());
+        let dropped = ring.events.len() >= ring.capacity;
+        if dropped {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event);
+        dropped
+    };
+    if dropped {
+        dropped_counter().inc();
+    }
 }
 
-/// Drain and return every captured event (oldest first).
+/// Drain and return every captured event (oldest first). The lifetime
+/// dropped-event count is unaffected.
 pub fn take_events() -> Vec<TraceEvent> {
-    std::mem::take(&mut *buffer().events.lock().unwrap_or_else(|e| e.into_inner()))
+    let mut ring = buffer().ring.lock().unwrap_or_else(|e| e.into_inner());
+    ring.events.drain(..).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The capture buffer is process-global; tests that reconfigure or
+    /// drain it serialize on this lock.
+    static BUFFER_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn events_only_flow_while_enabled() {
+        let _own = BUFFER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         // This test owns the global buffer: drain whatever other tests in
         // this binary may have left behind, then check the gate.
         disable();
@@ -123,5 +203,45 @@ mod tests {
         assert!(e.dur_us >= 500.0, "{:?}", e);
         assert!(e.ts_us >= 0.0);
         assert!(e.tid >= 1);
+    }
+
+    #[test]
+    fn full_ring_evicts_oldest_and_counts_drops() {
+        let _own = BUFFER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        disable();
+        let _ = take_events();
+        let dropped_before = dropped_events();
+        let counter_before = dropped_counter().get();
+
+        enable_with_capacity(4);
+        for name in ["tr.ring.a", "tr.ring.b", "tr.ring.c"] {
+            for _ in 0..2 {
+                let _g = crate::span::enter(name);
+            }
+        }
+        disable();
+
+        // Other tests in this binary may record a stray span while capture
+        // is on, so assert ring invariants, not exact event identity.
+        let events = take_events();
+        assert_eq!(events.len(), 4, "ring holds exactly its capacity");
+        assert!(
+            events.iter().all(|e| e.name != "tr.ring.a"),
+            "oldest events evicted first: {events:?}"
+        );
+        assert!(
+            events.iter().any(|e| e.name == "tr.ring.c"),
+            "newest events kept: {events:?}"
+        );
+        assert!(dropped_events() - dropped_before >= 2);
+        assert_eq!(
+            dropped_counter().get() - counter_before,
+            dropped_events() - dropped_before,
+            "counter mirrors the ring's lifetime drop count"
+        );
+
+        // Restore the default so later tests see a roomy buffer.
+        enable();
+        disable();
     }
 }

@@ -1,0 +1,53 @@
+//! Span arena overflow must be loud, not silent: past `MAX_SPAN_NODES`
+//! distinct `(parent, name)` nodes, time lands on the `<overflow>`
+//! sentinel and the `telemetry.span_arena_overflow` counter grows.
+//!
+//! This lives in its own integration binary because it deliberately
+//! saturates the process-global arena — the unit tests in `span.rs` must
+//! not share a process with it.
+
+use resuformer_telemetry::span::{self, MAX_SPAN_NODES, OVERFLOW_COUNTER, OVERFLOW_NAME};
+
+/// Recursive spans mint a fresh `(parent, name)` node per depth — exactly
+/// the shape that used to grow the arena without bound.
+fn deep(depth: usize) {
+    if depth == 0 {
+        return;
+    }
+    let _g = span::enter("overflow.deep");
+    deep(depth - 1);
+}
+
+#[test]
+fn saturated_arena_attributes_to_a_sentinel_and_counts() {
+    let counter = resuformer_telemetry::global().counter(OVERFLOW_COUNTER);
+    let before = counter.get();
+
+    let extra = 50;
+    deep(MAX_SPAN_NODES + extra);
+
+    let tree = span::snapshot();
+    let (overflow_s, overflow_n) = tree.total(OVERFLOW_NAME);
+    assert!(
+        overflow_n >= extra as u64,
+        "deepest {extra}+ spans must land on the sentinel, got {overflow_n}"
+    );
+    assert!(overflow_s >= 0.0);
+    assert!(
+        counter.get() - before >= extra as u64,
+        "overflow counter must record every overflowed span"
+    );
+
+    // The arena stayed bounded: interned names are the recursive one, the
+    // sentinel, and whatever the root sentinel contributes — snapshotting
+    // must not explode into one node per depth past the cap.
+    let (named_s, named_n) = tree.total("overflow.deep");
+    assert!(named_n >= (MAX_SPAN_NODES - 1) as u64);
+    assert!(named_s >= 0.0);
+
+    // Overflowed spans keep recording on repeat visits (the sentinel is
+    // interned once, then hits the read-locked fast path).
+    deep(MAX_SPAN_NODES + 10);
+    let (_, overflow_n2) = span::snapshot().total(OVERFLOW_NAME);
+    assert!(overflow_n2 > overflow_n);
+}

@@ -7,7 +7,7 @@ use crossbeam::channel::unbounded;
 use rand::seq::SliceRandom;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use resuformer::config::{ModelConfig, PretrainConfig};
+use resuformer::config::{ModelConfig, PretrainConfig, SyncMode};
 use resuformer::data::DocumentInput;
 use resuformer::model_io::{self, CheckpointMeta, TrainCheckpoint};
 use resuformer::pretrain::{build_pretrain_model, PretrainMetrics, Pretrainer};
@@ -17,6 +17,7 @@ use resuformer_tensor::{NdArray, Tensor};
 use resuformer_text::WordPiece;
 
 use crate::metrics::EpochMetrics;
+use crate::stale::StaleScheduler;
 use crate::worker::{epoch_seed, worker_loop, FromWorker, RoundResult, ToWorker, WorkerSpec};
 
 /// How a training run is executed (the model itself lives in [`Trainer`]).
@@ -34,6 +35,10 @@ pub struct TrainConfig {
     pub checkpoint_every: usize,
     /// Where checkpoints (periodic and final) are written.
     pub checkpoint_path: Option<String>,
+    /// How workers synchronise parameters each round. A resumed run must
+    /// use the checkpoint's mode (it changes the arithmetic, so it is part
+    /// of a run's identity like the seeds).
+    pub sync: SyncMode,
 }
 
 impl Default for TrainConfig {
@@ -44,6 +49,7 @@ impl Default for TrainConfig {
             sync_every: 8,
             checkpoint_every: 0,
             checkpoint_path: None,
+            sync: SyncMode::Barrier,
         }
     }
 }
@@ -62,6 +68,11 @@ pub struct Trainer {
     optimizer_states: Vec<Vec<u8>>,
     /// Set once optimizer state exists: later runs must match this count.
     resume_workers: Option<usize>,
+    /// Set once training has run: later runs must match this sync mode.
+    resume_sync: Option<SyncMode>,
+    /// Staleness cursor: total rounds folded into the global parameters
+    /// over the run's lifetime (carried through checkpoints).
+    rounds_folded: u64,
 }
 
 impl Trainer {
@@ -85,6 +96,8 @@ impl Trainer {
             next_epoch: 0,
             optimizer_states: Vec::new(),
             resume_workers: None,
+            resume_sync: None,
+            rounds_folded: 0,
         }
     }
 
@@ -99,6 +112,8 @@ impl Trainer {
             base_seed: ckpt.meta.base_seed,
             next_epoch: ckpt.meta.next_epoch,
             resume_workers: Some(ckpt.meta.workers),
+            resume_sync: Some(ckpt.meta.sync),
+            rounds_folded: ckpt.meta.rounds_folded,
             optimizer_states: ckpt.optimizer_states,
         }
     }
@@ -123,6 +138,11 @@ impl Trainer {
         self.resume_workers
     }
 
+    /// Sync mode this run is locked to (set after training or resume).
+    pub fn required_sync(&self) -> Option<SyncMode> {
+        self.resume_sync
+    }
+
     /// The trained model (e.g. to fine-tune after pre-training).
     pub fn into_model(self) -> (HierarchicalEncoder, Pretrainer) {
         (self.encoder, self.pretrainer)
@@ -131,9 +151,12 @@ impl Trainer {
     /// Run epochs `next_epoch..tc.epochs`, calling `on_epoch` after each.
     ///
     /// Returns the per-epoch metrics. The run is deterministic in
-    /// `(seeds, workers, sync_every)`: interrupting it and resuming from a
-    /// checkpoint yields bit-identical parameters (with dynamic masking,
-    /// the paper default — static-masking caches are not checkpointed).
+    /// `(seeds, workers, sync_every, sync)`: interrupting it and resuming
+    /// from a checkpoint yields bit-identical parameters (with dynamic
+    /// masking, the paper default — static-masking caches are not
+    /// checkpointed). This holds for `SyncMode::Stale` too: results fold
+    /// in (round, worker) order with pinned broadcast bases, never in
+    /// arrival order (see [`crate::stale`]).
     pub fn train(
         &mut self,
         docs: &[DocumentInput],
@@ -148,6 +171,14 @@ impl Trainer {
             if workers != rw {
                 return Err(format!(
                     "optimizer state is per-worker: run has {rw} workers, got {workers}"
+                ));
+            }
+        }
+        if let Some(rs) = self.resume_sync {
+            if tc.sync != rs {
+                return Err(format!(
+                    "sync mode changes the arithmetic: run uses {rs}, got {}",
+                    tc.sync
                 ));
             }
         }
@@ -169,6 +200,7 @@ impl Trainer {
                 switches: self.pretrainer.switches,
                 dynamic_masking: self.pretrainer.dynamic_masking,
                 docs: docs_arc.clone(),
+                stale: matches!(tc.sync, SyncMode::Stale { .. }),
             };
             let from_tx = from_tx.clone();
             let handle = std::thread::Builder::new()
@@ -228,50 +260,26 @@ impl Trainer {
             order.shuffle(&mut erng);
 
             let round_size = tc.sync_every.max(1) * workers;
+            // Per-round, per-worker shards, fixed before any round runs:
+            // round-robin within a round so a short tail still spreads
+            // evenly, identical regardless of sync mode.
+            let shards: Vec<Vec<Vec<usize>>> = order
+                .chunks(round_size)
+                .map(|slice| {
+                    let mut s: Vec<Vec<usize>> = vec![Vec::new(); workers];
+                    for (i, &di) in slice.iter().enumerate() {
+                        s[i % workers].push(di);
+                    }
+                    s
+                })
+                .collect();
+
             let mut acc = PretrainMetrics::default();
             let mut docs_done = 0usize;
             let mut tokens = 0u64;
             let mut busy = 0.0f64;
-            for (round, slice) in order.chunks(round_size).enumerate() {
-                {
-                    // Send half of the broadcast phase: clone the global
-                    // parameters once per worker and ship them.
-                    let _g = resuformer_telemetry::span("train.broadcast");
-                    let values: Vec<NdArray> = global.iter().map(|p| p.value()).collect();
-                    // Round-robin so a short tail round still spreads evenly.
-                    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); workers];
-                    for (i, &di) in slice.iter().enumerate() {
-                        shards[i % workers].push(di);
-                    }
-                    for (w, shard) in shards.into_iter().enumerate() {
-                        to_txs[w]
-                            .send(ToWorker::Round {
-                                epoch,
-                                round,
-                                doc_ids: shard,
-                                params: values.clone(),
-                            })
-                            .map_err(|_| format!("worker {w} died"))?;
-                    }
-                }
-
-                let mut results: Vec<Option<RoundResult>> = (0..workers).map(|_| None).collect();
-                for _ in 0..workers {
-                    match from_rx.recv() {
-                        Ok(FromWorker::Round(r)) => results[r.worker] = Some(r),
-                        Ok(_) => return Err("unexpected worker message".to_string()),
-                        Err(_) => return Err("worker pool died mid-round".to_string()),
-                    }
-                }
-                let results: Vec<RoundResult> = results
-                    .into_iter()
-                    .map(|r| r.ok_or_else(|| "duplicate worker round result".to_string()))
-                    .collect::<Result<_, _>>()?;
-
-                resuformer_telemetry::span::time("train.averaging", || {
-                    average_into(&global, &results)
-                });
-                for r in &results {
+            let mut tally = |results: &[RoundResult]| {
+                for r in results {
                     acc.wp += r.metrics.wp;
                     acc.cl += r.metrics.cl;
                     acc.ns += r.metrics.ns;
@@ -280,8 +288,84 @@ impl Trainer {
                     tokens += r.tokens;
                     busy += r.busy_seconds;
                 }
-            }
+            };
+            // Broadcast one round with the *current* global values.
+            let broadcast = |round: usize, send_delta: bool| -> Result<(), String> {
+                let _g = resuformer_telemetry::span("train.broadcast");
+                let values: Vec<NdArray> = global.iter().map(|p| p.value()).collect();
+                for (w, shard) in shards[round].iter().enumerate() {
+                    to_txs[w]
+                        .send(ToWorker::Round {
+                            epoch,
+                            round,
+                            doc_ids: shard.clone(),
+                            params: values.clone(),
+                            send_delta,
+                        })
+                        .map_err(|_| format!("worker {w} died"))?;
+                }
+                Ok(())
+            };
 
+            match tc.sync {
+                SyncMode::Barrier => {
+                    for round in 0..shards.len() {
+                        broadcast(round, false)?;
+                        let mut results: Vec<Option<RoundResult>> =
+                            (0..workers).map(|_| None).collect();
+                        for _ in 0..workers {
+                            match from_rx.recv() {
+                                Ok(FromWorker::Round(r)) => results[r.worker] = Some(r),
+                                Ok(_) => return Err("unexpected worker message".to_string()),
+                                Err(_) => return Err("worker pool died mid-round".to_string()),
+                            }
+                        }
+                        let results: Vec<RoundResult> = results
+                            .into_iter()
+                            .map(|r| r.ok_or_else(|| "duplicate worker round result".to_string()))
+                            .collect::<Result<_, _>>()?;
+
+                        resuformer_telemetry::span::time("train.averaging", || {
+                            average_into(&global, &results)
+                        });
+                        self.rounds_folded += 1;
+                        tally(&results);
+                    }
+                }
+                SyncMode::Stale { max_lag } => {
+                    let mut sched: StaleScheduler<RoundResult> =
+                        StaleScheduler::new(workers, shards.len(), max_lag);
+                    loop {
+                        // Dispatch eagerly after every fold so each round's
+                        // broadcast base is exactly its pinned snapshot.
+                        for round in sched.take_dispatches() {
+                            broadcast(round, sched.uses_delta(round))?;
+                        }
+                        if sched.done() {
+                            break;
+                        }
+                        // Fold one round, then loop to re-dispatch before
+                        // folding the next — base pinning depends on it.
+                        if let Some((round, results)) = sched.pop_foldable() {
+                            resuformer_telemetry::span::time("train.fold", || {
+                                if sched.uses_delta(round) {
+                                    fold_deltas(&global, &results);
+                                } else {
+                                    average_into(&global, &results);
+                                }
+                            });
+                            self.rounds_folded += 1;
+                            tally(&results);
+                            continue;
+                        }
+                        match from_rx.recv() {
+                            Ok(FromWorker::Round(r)) => sched.record(r.round, r.worker, r)?,
+                            Ok(_) => return Err("unexpected worker message".to_string()),
+                            Err(_) => return Err("worker pool died mid-round".to_string()),
+                        }
+                    }
+                }
+            }
             let wall = t0.elapsed().as_secs_f64();
             let n = docs_done.max(1) as f32;
             let m = EpochMetrics {
@@ -307,6 +391,7 @@ impl Trainer {
                     let _g = resuformer_telemetry::span("train.checkpoint");
                     self.optimizer_states = collect_states(to_txs, from_rx, workers)?;
                     self.resume_workers = Some(workers);
+                    self.resume_sync = Some(tc.sync);
                     self.write_checkpoint(path, workers, tc.epochs)?;
                 }
             }
@@ -318,6 +403,7 @@ impl Trainer {
             let _g = resuformer_telemetry::span("train.checkpoint");
             self.optimizer_states = collect_states(to_txs, from_rx, workers)?;
             self.resume_workers = Some(workers);
+            self.resume_sync = Some(tc.sync);
             if let Some(path) = &tc.checkpoint_path {
                 self.write_checkpoint(path, workers, tc.epochs)?;
             }
@@ -337,6 +423,8 @@ impl Trainer {
             next_epoch: self.next_epoch,
             total_epochs,
             workers,
+            sync: self.resume_sync.unwrap_or_default(),
+            rounds_folded: self.rounds_folded,
         };
         model_io::save_checkpoint(
             path,
@@ -379,6 +467,28 @@ fn average_into(global: &[Tensor], results: &[RoundResult]) {
         if let Some(avg) = sum {
             p.set_value(avg);
         }
+    }
+}
+
+/// Stale-mode fold: add the document-weighted average of the workers'
+/// *deltas* (local progress relative to each round's pinned broadcast base)
+/// onto the current global parameters. Deterministic for the same reasons
+/// as [`average_into`]: fixed worker order, weights from document counts.
+fn fold_deltas(global: &[Tensor], results: &[RoundResult]) {
+    let total_docs: usize = results.iter().map(|r| r.docs).sum();
+    if total_docs == 0 {
+        return;
+    }
+    for (pi, p) in global.iter().enumerate() {
+        let mut v = p.value();
+        for r in results {
+            if r.docs == 0 {
+                continue;
+            }
+            let w = r.docs as f32 / total_docs as f32;
+            v.axpy(w, &r.params[pi]);
+        }
+        p.set_value(v);
     }
 }
 

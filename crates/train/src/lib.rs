@@ -18,7 +18,10 @@
 //! * **Determinism.** The shuffle is seeded per `(base_seed, epoch)` and
 //!   every worker's objective sampling per `(base_seed, epoch, round,
 //!   worker)`, so a run is a pure function of its seeds, worker count and
-//!   sync cadence.
+//!   sync cadence and sync mode. That includes [`SyncMode::Stale`]:
+//!   bounded-staleness runs fold round results in (round, worker) order
+//!   against pinned broadcast bases, never in arrival order, so the
+//!   asynchrony buys utilization without sacrificing reproducibility.
 //! * **Durability.** At a configurable epoch cadence the coordinator writes
 //!   a v3 checkpoint through [`resuformer::model_io`]: model weights,
 //!   per-worker Adam states, RNG seeds and the epoch cursor. A killed run
@@ -28,7 +31,8 @@
 //!   per objective, tokens/sec and worker utilization. The engine also
 //!   records `resuformer-telemetry` spans around each pipeline phase
 //!   (`train.forward`, `train.backward`, `train.averaging`,
-//!   `train.broadcast`, `train.checkpoint`); [`PhaseBreakdown`] turns the
+//!   `train.broadcast`, `train.checkpoint`, plus `train.wait_stale` and
+//!   `train.fold` under bounded staleness); [`PhaseBreakdown`] turns the
 //!   aggregated span tree into a per-phase wall-time table, and with
 //!   trace capture on the run can be opened in `chrome://tracing`.
 
@@ -36,7 +40,9 @@
 
 pub mod engine;
 pub mod metrics;
+mod stale;
 mod worker;
 
 pub use engine::{TrainConfig, Trainer};
 pub use metrics::{EpochMetrics, PhaseBreakdown, PhaseTotal, TRAIN_PHASES};
+pub use resuformer::config::SyncMode;

@@ -5,13 +5,18 @@ use resuformer_telemetry::SpanTree;
 /// The span names the training engine records, in pipeline order. Worker
 /// threads record `train.forward` / `train.backward` (and the receive half
 /// of `train.broadcast`); the coordinator records `train.averaging`,
-/// the send half of `train.broadcast`, and `train.checkpoint`.
-pub const TRAIN_PHASES: [&str; 5] = [
+/// the send half of `train.broadcast`, and `train.checkpoint`. The last
+/// two phases only appear under `SyncMode::Stale`: `train.wait_stale` is
+/// worker time blocked on the staleness window, `train.fold` is the
+/// coordinator folding a round's results into the global parameters.
+pub const TRAIN_PHASES: [&str; 7] = [
     "train.forward",
     "train.backward",
     "train.averaging",
     "train.broadcast",
     "train.checkpoint",
+    "train.wait_stale",
+    "train.fold",
 ];
 
 /// Total time spent in one training phase, summed across every thread

@@ -1,0 +1,251 @@
+//! Bounded-staleness round scheduling (the deterministic core of
+//! [`crate::engine`]'s `SyncMode::Stale`).
+//!
+//! The scheduler is a pure state machine over round indices — it owns no
+//! channels, threads or tensors, which keeps every scheduling invariant
+//! unit-testable without spinning up a worker pool (this file is std-only
+//! and compiles standalone with `rustc --edition 2021 --test`).
+//!
+//! Invariants it enforces:
+//!
+//! * **Pinned bases.** Round `r` is *eligible for dispatch* exactly when
+//!   round `r - 1 - max_lag` has been folded (rounds `0..=max_lag` are
+//!   eligible immediately). Because the engine dispatches eagerly after
+//!   every single fold, the broadcast base for round `r` is always the
+//!   global parameter state `G_{max(r-1-max_lag, -1)}` — a pure function
+//!   of the configuration, never of arrival timing.
+//! * **Bounded lag.** The fold cursor advances only when the *slowest*
+//!   worker has returned a round, so no worker can ever start a round more
+//!   than `max_lag` ahead of the slowest peer.
+//! * **Deterministic fold order.** Rounds fold strictly in index order and
+//!   each round's results are released in worker-index order, regardless
+//!   of arrival order.
+//! * **Degeneracy.** With `max_lag = 0` the schedule *is* the barrier
+//!   schedule: one round in flight, folded from raw parameters
+//!   ([`StaleScheduler::uses_delta`] is false for every round), so the
+//!   arithmetic matches barrier mode bit for bit.
+
+use std::collections::VecDeque;
+
+/// Schedules rounds of one epoch under a bounded-staleness window.
+///
+/// Generic over the per-worker result payload `R` so the state machine can
+/// be tested with plain integers.
+pub(crate) struct StaleScheduler<R> {
+    workers: usize,
+    n_rounds: usize,
+    max_lag: usize,
+    /// First round not yet handed out by [`take_dispatches`].
+    next_dispatch: usize,
+    /// Highest folded round (`-1` = none yet).
+    folded: i64,
+    /// Arrived-but-unfolded results for rounds `folded+1 ..`, one slot per
+    /// worker. Front = round `folded + 1`.
+    pending: VecDeque<Vec<Option<R>>>,
+}
+
+impl<R> StaleScheduler<R> {
+    pub(crate) fn new(workers: usize, n_rounds: usize, max_lag: usize) -> Self {
+        assert!(workers > 0, "scheduler needs at least one worker");
+        StaleScheduler {
+            workers,
+            n_rounds,
+            max_lag,
+            next_dispatch: 0,
+            folded: -1,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Rounds that became eligible since the last call, in order. The
+    /// caller must broadcast each with the *current* global parameters:
+    /// eligibility is granted exactly when the round's pinned base is the
+    /// freshest folded state.
+    pub(crate) fn take_dispatches(&mut self) -> Vec<usize> {
+        let mut out = Vec::new();
+        while self.next_dispatch < self.n_rounds
+            && self.next_dispatch as i64 <= self.folded + 1 + self.max_lag as i64
+        {
+            out.push(self.next_dispatch);
+            self.next_dispatch += 1;
+        }
+        out
+    }
+
+    /// Whether round `round`'s results are deltas against their pinned
+    /// base (`true`) or raw parameters to average directly (`false`; only
+    /// round 0 and every round of a `max_lag = 0` schedule, where the
+    /// pinned base *is* the fold predecessor).
+    pub(crate) fn uses_delta(&self, round: usize) -> bool {
+        round > 0 && self.max_lag > 0
+    }
+
+    /// Record worker `worker`'s result for `round`. Errors on duplicate or
+    /// out-of-window results (a protocol bug, not a data condition).
+    pub(crate) fn record(&mut self, round: usize, worker: usize, result: R) -> Result<(), String> {
+        if worker >= self.workers {
+            return Err(format!("round result from unknown worker {worker}"));
+        }
+        if round >= self.next_dispatch || (round as i64) <= self.folded {
+            return Err(format!("round {round} result outside the staleness window"));
+        }
+        let idx = (round as i64 - self.folded - 1) as usize;
+        while self.pending.len() <= idx {
+            self.pending
+                .push_back((0..self.workers).map(|_| None).collect());
+        }
+        let slot = &mut self.pending[idx][worker];
+        if slot.is_some() {
+            return Err(format!(
+                "duplicate result for round {round} worker {worker}"
+            ));
+        }
+        *slot = Some(result);
+        Ok(())
+    }
+
+    /// If the next round in fold order is complete, advance the cursor and
+    /// return `(round, results in worker order)`. Folds are released one
+    /// at a time so the caller can re-dispatch (pinning the next round's
+    /// base) between folds.
+    pub(crate) fn pop_foldable(&mut self) -> Option<(usize, Vec<R>)> {
+        let front = self.pending.front()?;
+        if front.iter().any(|r| r.is_none()) {
+            return None;
+        }
+        let results = self
+            .pending
+            .pop_front()
+            .expect("front exists")
+            .into_iter()
+            .map(|r| r.expect("checked complete"))
+            .collect();
+        self.folded += 1;
+        Some((self.folded as usize, results))
+    }
+
+    /// Whether every round has been folded.
+    pub(crate) fn done(&self) -> bool {
+        self.folded + 1 >= self.n_rounds as i64
+    }
+
+    /// Rounds folded so far.
+    pub(crate) fn rounds_folded(&self) -> u64 {
+        (self.folded + 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a schedule to completion with a given per-worker completion
+    /// order, returning the fold order observed.
+    fn drive(
+        workers: usize,
+        n_rounds: usize,
+        max_lag: usize,
+        reversed_arrival: bool,
+    ) -> Vec<usize> {
+        let mut s: StaleScheduler<(usize, usize)> = StaleScheduler::new(workers, n_rounds, max_lag);
+        let mut folds = Vec::new();
+        let mut inbox: Vec<(usize, usize)> = Vec::new();
+        loop {
+            for r in s.take_dispatches() {
+                for w in 0..workers {
+                    inbox.push((r, w));
+                }
+            }
+            if s.done() {
+                break;
+            }
+            if let Some((round, results)) = s.pop_foldable() {
+                assert_eq!(results.len(), workers);
+                for (w, (rr, rw)) in results.iter().enumerate() {
+                    assert_eq!((*rr, *rw), (round, w), "results in worker order");
+                }
+                folds.push(round);
+                continue;
+            }
+            // Deliver one outstanding result; adversarial arrival order
+            // must not change the fold order.
+            let i = if reversed_arrival { inbox.len() - 1 } else { 0 };
+            let (r, w) = inbox.remove(i);
+            s.record(r, w, (r, w)).unwrap();
+        }
+        folds
+    }
+
+    #[test]
+    fn folds_in_round_order_regardless_of_arrival() {
+        for &lag in &[0usize, 1, 2, 4, 100] {
+            let want: Vec<usize> = (0..7).collect();
+            assert_eq!(drive(3, 7, lag, false), want, "lag {lag} fifo");
+            assert_eq!(drive(3, 7, lag, true), want, "lag {lag} lifo");
+        }
+    }
+
+    #[test]
+    fn zero_lag_is_the_barrier_schedule() {
+        let mut s: StaleScheduler<u32> = StaleScheduler::new(2, 3, 0);
+        assert_eq!(s.take_dispatches(), vec![0], "one round in flight");
+        assert_eq!(s.take_dispatches(), Vec::<usize>::new());
+        s.record(0, 0, 1).unwrap();
+        assert!(s.pop_foldable().is_none(), "waits for the slow worker");
+        s.record(0, 1, 2).unwrap();
+        assert_eq!(s.pop_foldable(), Some((0, vec![1, 2])));
+        assert_eq!(s.take_dispatches(), vec![1], "next round only after fold");
+        for r in 0..3 {
+            assert!(!s.uses_delta(r), "zero lag always folds raw parameters");
+        }
+    }
+
+    #[test]
+    fn lag_bounds_how_far_ahead_dispatch_runs() {
+        let mut s: StaleScheduler<u32> = StaleScheduler::new(2, 10, 2);
+        // Rounds 0..=max_lag are eligible immediately.
+        assert_eq!(s.take_dispatches(), vec![0, 1, 2]);
+        // A fast worker finishing rounds 0..=2 unlocks nothing by itself:
+        // the fold cursor waits on the slowest peer.
+        for r in 0..3 {
+            s.record(r, 0, 0).unwrap();
+        }
+        assert!(s.pop_foldable().is_none());
+        assert_eq!(s.take_dispatches(), Vec::<usize>::new());
+        // The slow worker returning round 0 folds it and unlocks round 3.
+        s.record(0, 1, 0).unwrap();
+        assert_eq!(s.pop_foldable(), Some((0, vec![0, 0])));
+        assert_eq!(s.take_dispatches(), vec![3]);
+        assert_eq!(s.rounds_folded(), 1);
+    }
+
+    #[test]
+    fn delta_folding_skips_round_zero_only() {
+        let s: StaleScheduler<u32> = StaleScheduler::new(2, 5, 3);
+        assert!(!s.uses_delta(0), "round 0's base is the initial state");
+        for r in 1..5 {
+            assert!(s.uses_delta(r), "round {r} folds deltas");
+        }
+    }
+
+    #[test]
+    fn protocol_violations_are_errors() {
+        let mut s: StaleScheduler<u32> = StaleScheduler::new(2, 4, 1);
+        let _ = s.take_dispatches();
+        s.record(0, 0, 7).unwrap();
+        assert!(s.record(0, 0, 7).is_err(), "duplicate result");
+        assert!(s.record(0, 9, 7).is_err(), "unknown worker");
+        assert!(s.record(3, 0, 7).is_err(), "undispatched round");
+        s.record(0, 1, 7).unwrap();
+        let _ = s.pop_foldable();
+        assert!(s.record(0, 1, 7).is_err(), "already-folded round");
+    }
+
+    #[test]
+    fn empty_epoch_is_immediately_done() {
+        let mut s: StaleScheduler<u32> = StaleScheduler::new(3, 0, 2);
+        assert!(s.done());
+        assert_eq!(s.take_dispatches(), Vec::<usize>::new());
+        assert_eq!(s.rounds_folded(), 0);
+    }
+}

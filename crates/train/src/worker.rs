@@ -34,6 +34,10 @@ pub(crate) enum ToWorker {
         round: usize,
         doc_ids: Vec<usize>,
         params: Vec<NdArray>,
+        /// Stale mode: return `trained − params` deltas instead of raw
+        /// parameters, so the coordinator can fold local progress onto a
+        /// global state that has advanced since this broadcast.
+        send_delta: bool,
     },
     /// Reply with the serialized local Adam state.
     SaveState,
@@ -44,7 +48,11 @@ pub(crate) enum ToWorker {
 /// One worker's result for one round.
 pub(crate) struct RoundResult {
     pub worker: usize,
-    /// Replica parameter values after the local updates.
+    /// Which round this result answers (barrier mode has exactly one in
+    /// flight; stale mode routes by this index).
+    pub round: usize,
+    /// Replica parameter values after the local updates, or deltas against
+    /// the broadcast base when the round asked for `send_delta`.
     pub params: Vec<NdArray>,
     /// Losses summed over the documents this worker processed.
     pub metrics: PretrainMetrics,
@@ -79,6 +87,9 @@ pub(crate) struct WorkerSpec {
     pub switches: ObjectiveSwitches,
     pub dynamic_masking: bool,
     pub docs: Arc<Vec<DocumentInput>>,
+    /// Stale mode: time between sending a result and the next instruction
+    /// is the bounded-staleness wait, recorded as `train.wait_stale`.
+    pub stale: bool,
 }
 
 /// The persistent worker loop. Exits when the coordinator drops its sender.
@@ -90,23 +101,37 @@ pub(crate) fn worker_loop(spec: WorkerSpec, rx: Receiver<ToWorker>, tx: Sender<F
     params.extend(pt.parameters());
     let mut opt = Adam::new(params.clone(), spec.pretrain.lr, spec.pretrain.weight_decay);
 
+    // Stale mode: open between sending a result and receiving the next
+    // instruction, so per-phase tables show time blocked on the staleness
+    // window rather than burying it in idle.
+    let mut wait: Option<resuformer_telemetry::SpanGuard> = None;
     while let Ok(msg) = rx.recv() {
+        drop(wait.take());
         match msg {
             ToWorker::Round {
                 epoch,
                 round,
                 doc_ids,
                 params: new_values,
+                send_delta,
             } => {
                 let t0 = Instant::now();
-                {
+                let base: Option<Vec<NdArray>> = {
                     // Applying the averaged parameters is the receive half
                     // of the broadcast phase.
                     let _g = resuformer_telemetry::span("train.broadcast");
-                    for (p, v) in params.iter().zip(new_values) {
-                        p.set_value(v);
+                    if send_delta {
+                        for (p, v) in params.iter().zip(new_values.iter()) {
+                            p.set_value(v.clone());
+                        }
+                        Some(new_values)
+                    } else {
+                        for (p, v) in params.iter().zip(new_values) {
+                            p.set_value(v);
+                        }
+                        None
                     }
-                }
+                };
                 let mut rng = ChaCha8Rng::seed_from_u64(round_seed(
                     spec.base_seed,
                     epoch,
@@ -141,9 +166,23 @@ pub(crate) fn worker_loop(spec: WorkerSpec, rx: Receiver<ToWorker>, tx: Sender<F
                         .map(|s| s.token_ids.len() as u64)
                         .sum::<u64>();
                 }
-                let out = params.iter().map(|p| p.value()).collect();
+                let out: Vec<NdArray> = match &base {
+                    Some(base) => params
+                        .iter()
+                        .zip(base)
+                        .map(|(p, b)| {
+                            let mut d = p.value();
+                            for (x, y) in d.data_mut().iter_mut().zip(b.data()) {
+                                *x -= *y;
+                            }
+                            d
+                        })
+                        .collect(),
+                    None => params.iter().map(|p| p.value()).collect(),
+                };
                 let sent = tx.send(FromWorker::Round(RoundResult {
                     worker: spec.worker,
+                    round,
                     params: out,
                     metrics: acc,
                     docs: docs_done,
@@ -152,6 +191,9 @@ pub(crate) fn worker_loop(spec: WorkerSpec, rx: Receiver<ToWorker>, tx: Sender<F
                 }));
                 if sent.is_err() {
                     break;
+                }
+                if spec.stale {
+                    wait = Some(resuformer_telemetry::span("train.wait_stale"));
                 }
             }
             ToWorker::SaveState => {

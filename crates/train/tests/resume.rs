@@ -9,7 +9,7 @@ use resuformer::model_io;
 use resuformer_datagen::generator::{generate_resume, GeneratorConfig};
 use resuformer_nn::Module;
 use resuformer_text::WordPiece;
-use resuformer_train::{TrainConfig, Trainer};
+use resuformer_train::{SyncMode, TrainConfig, Trainer};
 
 const INIT_SEED: u64 = 42;
 const BASE_SEED: u64 = 7;
@@ -141,6 +141,190 @@ fn killed_and_resumed_run_matches_uninterrupted_bit_for_bit() {
         assert_eq!(a, b, "resumed parameters diverged from uninterrupted run");
     }
 
+    std::fs::remove_file(&ckpt_path).ok();
+}
+
+#[test]
+fn stale_killed_and_resumed_matches_uninterrupted_bit_for_bit() {
+    let (wp, config, docs) = corpus(4);
+    let sync = SyncMode::Stale { max_lag: 2 };
+    let tc = |epochs: usize, checkpoint_path: Option<String>| TrainConfig {
+        workers: 2,
+        epochs,
+        sync_every: 1,
+        sync,
+        checkpoint_path,
+        ..TrainConfig::default()
+    };
+
+    // Uninterrupted reference: 4 epochs straight through, with the final
+    // checkpoint on disk for the byte-level comparison.
+    let full_path = temp_path("stale_full.ckpt");
+    let mut full = Trainer::new(
+        wp.clone(),
+        config,
+        PretrainConfig::default(),
+        INIT_SEED,
+        BASE_SEED,
+    );
+    let full_trace = full
+        .train(&docs, &tc(4, Some(full_path.clone())), |_| {})
+        .unwrap();
+    assert_eq!(full_trace.len(), 4);
+
+    // Killed after epoch 2, resumed to 4 (same seeds; epoch seeding is
+    // independent of the target epoch count).
+    let killed_path = temp_path("stale_killed.ckpt");
+    let mut killed = Trainer::new(
+        wp.clone(),
+        config,
+        PretrainConfig::default(),
+        INIT_SEED,
+        BASE_SEED,
+    );
+    killed
+        .train(&docs, &tc(2, Some(killed_path.clone())), |_| {})
+        .unwrap();
+
+    let ckpt = model_io::load_checkpoint(&killed_path).unwrap();
+    assert_eq!(ckpt.meta.sync, sync, "checkpoint carries the sync mode");
+    assert!(ckpt.meta.rounds_folded > 0, "staleness cursor recorded");
+    let mut resumed = Trainer::from_checkpoint(ckpt);
+    assert_eq!(resumed.required_sync(), Some(sync));
+    let resumed_trace = resumed
+        .train(&docs, &tc(4, Some(killed_path.clone())), |_| {})
+        .unwrap();
+
+    assert_eq!(resumed_trace.len(), 2);
+    for (r, f) in resumed_trace.iter().zip(&full_trace[2..]) {
+        assert_eq!(r.total, f.total, "epoch {} loss diverged", r.epoch);
+        assert_eq!(r.docs, f.docs);
+        assert_eq!(r.tokens, f.tokens);
+    }
+    let full_params = param_values(&full.into_model());
+    let resumed_params = param_values(&resumed.into_model());
+    for (a, b) in full_params.iter().zip(resumed_params.iter()) {
+        assert_eq!(a, b, "stale-mode resume diverged from uninterrupted run");
+    }
+    // The resumed run's final checkpoint must be byte-identical to the
+    // uninterrupted run's (same weights, optimizer states and cursors).
+    let full_bytes = std::fs::read(&full_path).unwrap();
+    let resumed_bytes = std::fs::read(&killed_path).unwrap();
+    assert_eq!(full_bytes, resumed_bytes, "checkpoint bytes diverged");
+
+    std::fs::remove_file(&full_path).ok();
+    std::fs::remove_file(&killed_path).ok();
+}
+
+#[test]
+fn stale_mode_two_runs_are_byte_identical() {
+    let (wp, config, docs) = corpus(4);
+    let paths = [temp_path("det_a.ckpt"), temp_path("det_b.ckpt")];
+    for path in &paths {
+        let mut t = Trainer::new(
+            wp.clone(),
+            config,
+            PretrainConfig::default(),
+            INIT_SEED,
+            BASE_SEED,
+        );
+        t.train(
+            &docs,
+            &TrainConfig {
+                workers: 3,
+                epochs: 2,
+                sync_every: 1,
+                sync: SyncMode::Stale { max_lag: 4 },
+                checkpoint_path: Some(path.clone()),
+                ..TrainConfig::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+    }
+    let a = std::fs::read(&paths[0]).unwrap();
+    let b = std::fs::read(&paths[1]).unwrap();
+    assert_eq!(a, b, "same config must give byte-identical checkpoints");
+    for path in &paths {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn stale_zero_lag_matches_barrier_bit_for_bit() {
+    let (wp, config, docs) = corpus(4);
+    let run = |sync: SyncMode| {
+        let mut t = Trainer::new(
+            wp.clone(),
+            config,
+            PretrainConfig::default(),
+            INIT_SEED,
+            BASE_SEED,
+        );
+        let trace = t
+            .train(
+                &docs,
+                &TrainConfig {
+                    workers: 2,
+                    epochs: 2,
+                    sync_every: 1,
+                    sync,
+                    ..TrainConfig::default()
+                },
+                |_| {},
+            )
+            .unwrap();
+        (trace, param_values(&t.into_model()))
+    };
+    let (barrier_trace, barrier_params) = run(SyncMode::Barrier);
+    let (stale_trace, stale_params) = run(SyncMode::Stale { max_lag: 0 });
+    for (b, s) in barrier_trace.iter().zip(&stale_trace) {
+        assert_eq!(b.total, s.total, "epoch {} loss diverged", b.epoch);
+    }
+    for (a, b) in barrier_params.iter().zip(stale_params.iter()) {
+        assert_eq!(a, b, "stale:0 must degenerate to the barrier schedule");
+    }
+}
+
+#[test]
+fn resume_rejects_mismatched_sync_mode() {
+    let (wp, config, docs) = corpus(2);
+    let ckpt_path = temp_path("syncmode.ckpt");
+    let mut t = Trainer::new(wp, config, PretrainConfig::default(), 1, 2);
+    t.train(
+        &docs,
+        &TrainConfig {
+            workers: 2,
+            epochs: 1,
+            sync_every: 1,
+            sync: SyncMode::Stale { max_lag: 1 },
+            checkpoint_path: Some(ckpt_path.clone()),
+            ..TrainConfig::default()
+        },
+        |_| {},
+    )
+    .unwrap();
+
+    let ckpt = model_io::load_checkpoint(&ckpt_path).unwrap();
+    let mut resumed = Trainer::from_checkpoint(ckpt);
+    assert_eq!(
+        resumed.required_sync(),
+        Some(SyncMode::Stale { max_lag: 1 })
+    );
+    let err = resumed
+        .train(
+            &docs,
+            &TrainConfig {
+                workers: 2,
+                epochs: 2,
+                sync_every: 1,
+                sync: SyncMode::Barrier,
+                ..TrainConfig::default()
+            },
+            |_| {},
+        )
+        .unwrap_err();
+    assert!(err.contains("sync"), "{err}");
     std::fs::remove_file(&ckpt_path).ok();
 }
 

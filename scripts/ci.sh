@@ -59,4 +59,40 @@ for e in events:
 print(f"    {len(events)} events, phases: {', '.join(sorted(names))}")
 PY
 
+echo "==> stale smoke: 2-worker stale:2 run, kill point, resume, bit-identity"
+# Full uninterrupted run vs killed-at-epoch-1 + resumed: the final
+# checkpoints must be byte-identical (the determinism contract).
+"$CLI" pretrain --data "$SMOKE_DIR/resumes.json" --model "$SMOKE_DIR/stale_full.ckpt" \
+    --workers 2 --epochs 2 --sync-every 1 --checkpoint-every 0 --seed 42 \
+    --sync-mode stale:2
+"$CLI" pretrain --data "$SMOKE_DIR/resumes.json" --model "$SMOKE_DIR/stale_resume.ckpt" \
+    --workers 2 --epochs 1 --sync-every 1 --checkpoint-every 1 --seed 42 \
+    --sync-mode stale:2
+# Resume without --sync-mode: the checkpoint's mode must be adopted.
+"$CLI" pretrain --data "$SMOKE_DIR/resumes.json" --model "$SMOKE_DIR/stale_resume.ckpt" \
+    --resume "$SMOKE_DIR/stale_resume.ckpt" --epochs 2 --sync-every 1 \
+    --checkpoint-every 0 --seed 42
+cmp "$SMOKE_DIR/stale_full.ckpt" "$SMOKE_DIR/stale_resume.ckpt" \
+    || { echo "stale kill/resume checkpoint diverged"; exit 1; }
+
+echo "==> trace ring smoke: tiny capacity drops events and exports the counter"
+"$CLI" pretrain --data "$SMOKE_DIR/resumes.json" --model "$SMOKE_DIR/ring.ckpt" \
+    --workers 2 --epochs 1 --sync-every 1 --checkpoint-every 0 --seed 42 \
+    --trace-out "$SMOKE_DIR/ring_trace.json" --trace-capacity 8 \
+    --metrics-out "$SMOKE_DIR/metrics.prom"
+grep -q '^telemetry_trace_dropped_events ' "$SMOKE_DIR/metrics.prom" \
+    || { echo "dropped-event counter missing from Prometheus export"; exit 1; }
+DROPPED=$(awk '/^telemetry_trace_dropped_events /{print $2}' "$SMOKE_DIR/metrics.prom")
+[[ "$DROPPED" -gt 0 ]] \
+    || { echo "expected drops with --trace-capacity 8, got $DROPPED"; exit 1; }
+python3 - "$SMOKE_DIR/ring_trace.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert 0 < len(events) <= 8, f"ring capacity 8 violated: {len(events)} events"
+print(f"    ring kept {len(events)} events (capacity 8)")
+PY
+echo "    ring dropped $DROPPED events, counter exported"
+
 echo "==> CI OK"
