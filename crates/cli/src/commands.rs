@@ -38,6 +38,8 @@ pub struct Options {
     workers: usize,
     max_batch: usize,
     max_wait_ms: u64,
+    max_queue: usize,
+    request_timeout_ms: u64,
     sync_every: usize,
     checkpoint_every: usize,
     resume: Option<String>,
@@ -68,6 +70,8 @@ impl Options {
                 .unwrap_or(2),
             max_batch: 8,
             max_wait_ms: 20,
+            max_queue: 0,
+            request_timeout_ms: 60_000,
             sync_every: 8,
             checkpoint_every: 1,
             resume: None,
@@ -102,6 +106,10 @@ impl Options {
                 "--max-batch" => o.max_batch = value.parse().map_err(|_| "bad --max-batch")?,
                 "--max-wait-ms" => {
                     o.max_wait_ms = value.parse().map_err(|_| "bad --max-wait-ms")?
+                }
+                "--max-queue" => o.max_queue = value.parse().map_err(|_| "bad --max-queue")?,
+                "--request-timeout-ms" => {
+                    o.request_timeout_ms = value.parse().map_err(|_| "bad --request-timeout-ms")?
                 }
                 "--sync-every" => o.sync_every = value.parse().map_err(|_| "bad --sync-every")?,
                 "--checkpoint-every" => {
@@ -488,21 +496,25 @@ pub fn serve(o: &Options) -> Result<(), String> {
             "rule-based"
         }
     );
-    let server = Server::start(
-        registry,
-        ServeConfig {
-            addr: format!("{}:{}", o.host, o.port),
-            max_batch: o.max_batch,
-            max_wait_ms: o.max_wait_ms,
-            workers: o.workers,
-        },
-    )?;
+    let config = ServeConfig {
+        addr: format!("{}:{}", o.host, o.port),
+        max_batch: o.max_batch,
+        max_wait_ms: o.max_wait_ms,
+        workers: o.workers,
+        max_queue: o.max_queue,
+        request_timeout_ms: o.request_timeout_ms,
+    };
+    let queue_capacity = config.queue_capacity();
+    let request_timeout_ms = o.request_timeout_ms;
+    let server = Server::start(registry, config)?;
     println!(
-        "listening on http://{} ({} workers, max batch {}, window {}ms)",
+        "listening on http://{} ({} workers, max batch {}, window {}ms, queue {}, timeout {}ms)",
         server.local_addr(),
         o.workers,
         o.max_batch,
-        o.max_wait_ms
+        o.max_wait_ms,
+        queue_capacity,
+        request_timeout_ms
     );
     println!("  GET  /healthz             model metadata");
     println!("  GET  /metrics             counters and latency percentiles (JSON)");
@@ -587,6 +599,11 @@ mod tests {
         assert_eq!(o.trace_capacity, Some(64));
         assert_eq!(o.metrics_out.as_deref(), Some("m.prom"));
         assert!(Options::parse(&["--sync-mode".into(), "later".into()]).is_err());
+
+        let o = opts(&[("--max-queue", "16"), ("--request-timeout-ms", "250")]);
+        assert_eq!(o.max_queue, 16);
+        assert_eq!(o.request_timeout_ms, 250);
+        assert!(Options::parse(&["--max-queue".into(), "lots".into()]).is_err());
 
         // --all is a boolean flag: it takes no value and can sit between
         // `--flag value` pairs.

@@ -87,6 +87,12 @@ OPTIONS:
     --workers <N>       serve/pretrain: worker threads [default: #cores, max 4]
     --max-batch <N>     serve: largest micro-batch [default: 8]
     --max-wait-ms <N>   serve: batching window in ms [default: 20]
+    --max-queue <N>     serve: bound on the request queue; a full queue
+                        answers 429 + Retry-After [default: 0 = auto,
+                        max-batch x workers x 4]
+    --request-timeout-ms <N>
+                        serve: per-request deadline; expired requests are
+                        shed with 504 [default: 60000]
     --sync-every <K>    pretrain: docs per worker between parameter
                         averagings [default: 8]
     --checkpoint-every <K>

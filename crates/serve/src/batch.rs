@@ -1,10 +1,17 @@
 //! The dynamic micro-batching scheduler.
 //!
-//! Connection handlers enqueue [`Job`]s onto a crossbeam channel; one
-//! scheduler thread drains up to `max_batch` jobs or waits `max_wait`,
+//! Connection handlers enqueue [`Job`]s onto a bounded crossbeam channel;
+//! one scheduler thread drains up to `max_batch` jobs or waits `max_wait`,
 //! whichever comes first, and hands the batch to the worker pool. Under
 //! load the wait never triggers (batches fill instantly); at low traffic
 //! a lone request pays at most `max_wait` of extra latency.
+//!
+//! Every job carries a **deadline**. The scheduler sheds jobs that are
+//! already expired when it pulls them off the queue — their handlers have
+//! answered 504 and nobody is waiting, so spending a batch slot (and a
+//! model forward) on them would only push the deadline of every job
+//! behind them. Workers shed on the same rule just before parsing
+//! ([`Job::expired`]), so an expired job never reaches the model.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -15,6 +22,20 @@ use resuformer_doc::Document;
 
 use crate::metrics::Metrics;
 
+/// Why a job did not produce a [`ParsedResume`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The job outlived its deadline and was shed before (or instead of)
+    /// parsing; the handler maps this to `504`.
+    Expired,
+    /// The worker could not parse the document (a poisoned document that
+    /// panicked the parser, or an injected fault); maps to `500`.
+    Failed(String),
+}
+
+/// What a worker sends back for one job.
+pub type JobResult = Result<ParsedResume, JobError>;
+
 /// One queued parse request: the document plus the response channel the
 /// connection handler is blocked on.
 pub struct Job {
@@ -22,8 +43,25 @@ pub struct Job {
     pub doc: Document,
     /// When the request entered the queue (end-to-end latency anchor).
     pub enqueued: Instant,
+    /// When nobody will be waiting for the answer anymore: the handler
+    /// stops listening at this instant, so the pipeline sheds the job
+    /// rather than burn a batch slot on it.
+    pub deadline: Instant,
     /// Where the worker sends the result.
-    pub resp: std::sync::mpsc::Sender<Result<ParsedResume, String>>,
+    pub resp: std::sync::mpsc::Sender<JobResult>,
+}
+
+impl Job {
+    /// Whether the deadline has passed (the handler is gone).
+    pub fn expired(&self, now: Instant) -> bool {
+        self.deadline <= now
+    }
+
+    /// Reply `Expired` (the handler may already have hung up — that is
+    /// fine) so the shed is visible to anyone still listening.
+    pub fn shed(self) {
+        let _ = self.resp.send(Err(JobError::Expired));
+    }
 }
 
 /// Drain the request queue into batches until every request sender is
@@ -38,20 +76,37 @@ pub fn run_scheduler(
     metrics: Arc<Metrics>,
 ) {
     let max_batch = max_batch.max(1);
-    loop {
-        // Block for the first job of the next batch.
-        let first = match requests.recv_timeout(Duration::from_millis(100)) {
-            Ok(job) => job,
-            Err(RecvTimeoutError::Timeout) => continue,
-            // All senders gone and the queue fully drained: shut down.
-            Err(RecvTimeoutError::Disconnected) => break,
+    'next_batch: loop {
+        // Block for the first live job of the next batch, shedding any
+        // job whose handler has already stopped waiting.
+        let first = loop {
+            match requests.recv_timeout(Duration::from_millis(100)) {
+                Ok(job) => {
+                    if job.expired(Instant::now()) {
+                        metrics.note_job_expired_queued();
+                        job.shed();
+                        continue;
+                    }
+                    break job;
+                }
+                Err(RecvTimeoutError::Timeout) => continue 'next_batch,
+                // All senders gone and the queue fully drained: shut down.
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
         };
         let assembly = resuformer_telemetry::span("serve.batch_assembly");
         let mut batch = vec![first];
         let deadline = Instant::now() + max_wait;
         while batch.len() < max_batch {
             match requests.recv_deadline(deadline) {
-                Ok(job) => batch.push(job),
+                Ok(job) => {
+                    if job.expired(Instant::now()) {
+                        metrics.note_job_expired_queued();
+                        job.shed();
+                        continue;
+                    }
+                    batch.push(job);
+                }
                 Err(_) => break, // deadline hit or disconnected: ship what we have
             }
         }
@@ -71,12 +126,20 @@ mod tests {
     use super::*;
     use crossbeam::channel::unbounded;
 
-    fn job(doc: Document) -> (Job, std::sync::mpsc::Receiver<Result<ParsedResume, String>>) {
+    fn job(doc: Document) -> (Job, std::sync::mpsc::Receiver<JobResult>) {
+        job_with_deadline(doc, Instant::now() + Duration::from_secs(60))
+    }
+
+    fn job_with_deadline(
+        doc: Document,
+        deadline: Instant,
+    ) -> (Job, std::sync::mpsc::Receiver<JobResult>) {
         let (tx, rx) = std::sync::mpsc::channel();
         (
             Job {
                 doc,
                 enqueued: Instant::now(),
+                deadline,
                 resp: tx,
             },
             rx,
@@ -129,5 +192,42 @@ mod tests {
         assert_eq!(batch.len(), 1);
         drop(req_tx);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn scheduler_sheds_expired_jobs_before_batch_assembly() {
+        let (req_tx, req_rx) = unbounded();
+        let (batch_tx, batch_rx) = unbounded();
+        let metrics = Arc::new(Metrics::new());
+
+        // Two already-expired jobs around one live job: only the live one
+        // may reach a batch, and the expired ones get an Expired reply.
+        let past = Instant::now() - Duration::from_millis(1);
+        let (dead1, dead1_rx) = job_with_deadline(Document::default(), past);
+        let (live, live_rx) = job(Document::default());
+        let (dead2, dead2_rx) = job_with_deadline(Document::default(), past);
+        req_tx.send(dead1).unwrap();
+        req_tx.send(live).unwrap();
+        req_tx.send(dead2).unwrap();
+        drop(req_tx);
+
+        let m = metrics.clone();
+        let handle = std::thread::spawn(move || {
+            run_scheduler(req_rx, batch_tx, 8, Duration::from_millis(5), m);
+        });
+        handle.join().unwrap();
+
+        let sizes: Vec<usize> = batch_rx.iter().map(|b: Vec<Job>| b.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 1, "only the live job ships");
+        assert_eq!(
+            dead1_rx.try_recv(),
+            Ok(Err(JobError::Expired)),
+            "shed jobs must be answered, not dropped"
+        );
+        assert_eq!(dead2_rx.try_recv(), Ok(Err(JobError::Expired)));
+        assert!(live_rx.try_recv().is_err(), "live job awaits a worker");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.jobs_expired, 2);
+        assert_eq!(snap.queue_depth, 0, "shed jobs must leave the gauge");
     }
 }

@@ -19,8 +19,20 @@
 //!     --addr 127.0.0.1:8080 --endpoint parse_batch --batch-size 4
 //! ```
 //!
+//! ```bash
+//! # Chaos mode: mix malformed, empty, and oversized requests in with the
+//! # real ones and tally every status instead of failing on non-200s —
+//! # for driving a server with armed failpoints (RESUFORMER_FAILPOINTS).
+//! cargo run --release -p resuformer-serve --bin loadgen -- \
+//!     --addr 127.0.0.1:8080 --requests 200 --chaos
+//! ```
+//!
 //! Exits nonzero if any request fails — the acceptance gate for the
 //! serving stack is "zero errors under concurrency, mean batch size > 1".
+//! In `--chaos` mode a degraded status (400/429/500/503/504) is an
+//! expected, tallied outcome; only a transport error (dropped connection,
+//! no response) or a malformed 200 fails the run — the gate becomes
+//! "every request gets a well-formed terminal answer".
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -98,6 +110,7 @@ struct Args {
     batch_size: usize,
     ramp: Option<Ramp>,
     step_seconds: f64,
+    chaos: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -111,6 +124,7 @@ fn parse_args() -> Result<Args, String> {
         batch_size: 4,
         ramp: None,
         step_seconds: 5.0,
+        chaos: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -118,6 +132,11 @@ fn parse_args() -> Result<Args, String> {
         let flag = argv[i].as_str();
         if flag == "--help" || flag == "-h" {
             return Err(String::new());
+        }
+        if flag == "--chaos" {
+            args.chaos = true;
+            i += 1;
+            continue;
         }
         let value = argv
             .get(i + 1)
@@ -173,7 +192,7 @@ fn usage() {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency N] [--docs N] [--seed N]
                [--endpoint parse|parse_batch] [--batch-size N]
-               [--ramp LOW:TARGET:STEPS] [--step-seconds S]"
+               [--ramp LOW:TARGET:STEPS] [--step-seconds S] [--chaos]"
     );
 }
 
@@ -250,6 +269,138 @@ impl Workload {
     }
 }
 
+/// The chaos workload: mostly real documents, salted with requests a
+/// robust server must reject cleanly — invalid JSON, an empty document,
+/// and a body over the size cap. Every 8th-index slot cycles through the
+/// three bad kinds; the other five are normal.
+struct ChaosWorkload {
+    normal: Workload,
+    invalid_json: Vec<u8>,
+    empty_doc: Vec<u8>,
+    oversized: Vec<u8>,
+}
+
+impl ChaosWorkload {
+    fn build(args: &Args) -> ChaosWorkload {
+        ChaosWorkload {
+            normal: Workload::build(args),
+            invalid_json: b"{definitely not json".to_vec(),
+            empty_doc: br#"{"tokens":[],"pages":[]}"#.to_vec(),
+            oversized: vec![b'x'; resuformer_serve::http::MAX_BODY_BYTES + 1],
+        }
+    }
+
+    /// Fire request `i` and return its status. `Err` means the request
+    /// got no well-formed terminal answer: a transport failure, or a 200
+    /// whose body is not a valid parse (or that a bad input should never
+    /// have received).
+    fn fire(&self, addr: &str, i: usize, timeout: Duration) -> Result<u16, String> {
+        let (body, is_normal): (&[u8], bool) = match i % 8 {
+            5 => (&self.invalid_json, false),
+            6 => (&self.empty_doc, false),
+            7 => (&self.oversized, false),
+            _ => (&self.normal.bodies[i % self.normal.bodies.len()], true),
+        };
+        let resp = http_request(addr, "POST", self.normal.endpoint.path(), body, timeout)?;
+        if resp.status == 200 {
+            if !is_normal {
+                return Err("bad input got a 200".to_string());
+            }
+            let v: serde_json::Value =
+                serde_json::from_slice(&resp.body).map_err(|e| format!("malformed body: {e}"))?;
+            let valid = match self.normal.endpoint {
+                Endpoint::Parse => v.get("blocks").is_some(),
+                Endpoint::ParseBatch => v
+                    .as_array()
+                    .is_some_and(|a| a.len() == self.normal.docs_per_request),
+            };
+            if !valid {
+                return Err("200 but malformed parse body".to_string());
+            }
+        }
+        Ok(resp.status)
+    }
+}
+
+/// Per-status tallies from one chaos stage. Degraded statuses are
+/// outcomes to report, not failures; `failed` counts requests that never
+/// got a well-formed terminal answer.
+#[derive(Default)]
+struct Tally {
+    n200: AtomicUsize,
+    n400: AtomicUsize,
+    n429: AtomicUsize,
+    n500: AtomicUsize,
+    n503: AtomicUsize,
+    n504: AtomicUsize,
+    other: AtomicUsize,
+    failed: AtomicUsize,
+}
+
+impl Tally {
+    fn note(&self, status: u16) {
+        let slot = match status {
+            200 => &self.n200,
+            400 => &self.n400,
+            429 => &self.n429,
+            500 => &self.n500,
+            503 => &self.n503,
+            504 => &self.n504,
+            _ => &self.other,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn get(&self, slot: &AtomicUsize) -> usize {
+        slot.load(Ordering::Relaxed)
+    }
+}
+
+/// Chaos twin of [`run_pool`]: same closed-loop pool and pacing, but
+/// statuses are tallied instead of judged.
+fn run_chaos_pool(
+    workload: &Arc<ChaosWorkload>,
+    addr: &str,
+    total: usize,
+    concurrency: usize,
+    pace: Option<f64>,
+    timeout: Duration,
+) -> Arc<Tally> {
+    let next = Arc::new(AtomicUsize::new(0));
+    let tally = Arc::new(Tally::default());
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..concurrency {
+        let next = next.clone();
+        let tally = tally.clone();
+        let workload = workload.clone();
+        let addr = addr.to_string();
+        handles.push(std::thread::spawn(move || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= total {
+                break;
+            }
+            if let Some(rps) = pace {
+                let due = started + Duration::from_secs_f64(i as f64 / rps);
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+            }
+            match workload.fire(&addr, i, timeout) {
+                Ok(status) => tally.note(status),
+                Err(e) => {
+                    tally.failed.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("request {i}: {e}");
+                }
+            }
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    tally
+}
+
 /// Run `total` requests through a closed-loop thread pool. When `pace` is
 /// set, each request is held until its scheduled offered-load slot.
 fn run_pool(
@@ -322,6 +473,82 @@ fn print_server_metrics(addr: &str, timeout: Duration) {
     }
 }
 
+/// The server-side fault-tolerance counters — the interesting numbers
+/// when failpoints are armed or the queue bound is being hit.
+fn print_fault_metrics(addr: &str, timeout: Duration) {
+    match resuformer_serve::client::get_json::<MetricsSnapshot>(addr, "/metrics", timeout) {
+        Ok(m) => {
+            println!(
+                "server fault: {} rejected (429), {} expired (504), {} worker panics, \
+                 {} docs poisoned, {} abandoned, {} restarts, {} workers alive",
+                m.queue_rejected,
+                m.jobs_expired,
+                m.worker_panics,
+                m.docs_poisoned,
+                m.responses_abandoned,
+                m.worker_restarts,
+                m.workers_alive
+            );
+        }
+        Err(e) => eprintln!("fetching /metrics failed: {e}"),
+    }
+}
+
+/// Chaos mode: fire the mixed workload (paced per ramp step when `--ramp`
+/// is given) and report a status-tally row per stage. Returns the number
+/// of requests that never got a well-formed terminal answer.
+fn run_chaos(args: &Args, timeout: Duration) -> usize {
+    let workload = Arc::new(ChaosWorkload::build(args));
+    println!(
+        "Chaos mode: {} with invalid/empty/oversized requests mixed in (3 of every 8)",
+        workload.normal.endpoint.path()
+    );
+    println!(
+        "\n{:>4} | {:>9} | {:>6} | {:>6} | {:>6} | {:>6} | {:>6} | {:>6} | {:>6}",
+        "step", "offered/s", "200", "400", "429", "500", "503/4", "other", "fail"
+    );
+    println!("{}", "-".repeat(78));
+    let mut failed = 0usize;
+    let steps: Vec<(usize, Option<f64>, usize)> = match args.ramp {
+        Some(ramp) => (0..ramp.steps)
+            .map(|step| {
+                let rps = ramp.rate(step);
+                let total = ((rps * args.step_seconds).ceil() as usize).max(1);
+                (step, Some(rps), total)
+            })
+            .collect(),
+        None => vec![(0, None, args.requests)],
+    };
+    for (step, pace, total) in steps {
+        let tally = run_chaos_pool(
+            &workload,
+            &args.addr,
+            total,
+            args.concurrency,
+            pace,
+            timeout,
+        );
+        failed += tally.get(&tally.failed);
+        println!(
+            "{:>4} | {:>9} | {:>6} | {:>6} | {:>6} | {:>6} | {:>6} | {:>6} | {:>6}",
+            step,
+            pace.map(|r| format!("{r:.1}"))
+                .unwrap_or_else(|| "max".to_string()),
+            tally.get(&tally.n200),
+            tally.get(&tally.n400),
+            tally.get(&tally.n429),
+            tally.get(&tally.n500),
+            tally.get(&tally.n503) + tally.get(&tally.n504),
+            tally.get(&tally.other),
+            tally.get(&tally.failed),
+        );
+    }
+    println!();
+    print_server_metrics(&args.addr, timeout);
+    print_fault_metrics(&args.addr, timeout);
+    failed
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -340,8 +567,17 @@ fn main() {
         "Generating {} synthetic resumes (seed {})...",
         args.docs, args.seed
     );
-    let workload = Arc::new(Workload::build(&args));
     let timeout = Duration::from_secs(60);
+
+    if args.chaos {
+        let failed = run_chaos(&args, timeout);
+        if failed > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let workload = Arc::new(Workload::build(&args));
 
     let total_failed = if let Some(ramp) = args.ramp {
         // Ramp mode: one paced stage per step, a latency row each.

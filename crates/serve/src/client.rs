@@ -7,19 +7,36 @@ use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-/// Response from [`http_request`]: status code and raw body.
+/// Response from [`http_request`]: status code, headers, raw body.
 #[derive(Debug)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// Response headers as `(name, value)` pairs, in wire order.
+    pub headers: Vec<(String, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The first header named `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Issue one blocking HTTP request and read the full response.
 ///
 /// `addr` is `host:port`; `timeout` bounds connect, read, and write
 /// individually (not the total exchange).
+///
+/// A failed body write does not abort the exchange: the server rejects
+/// oversized requests (and requests during overload) after reading only
+/// the headers, so the connection may carry a complete response even
+/// though our write hit a reset pipe. In that case the response wins.
 pub fn http_request(
     addr: &str,
     method: &str,
@@ -43,27 +60,45 @@ pub fn http_request(
     );
     stream
         .write_all(head.as_bytes())
-        .and_then(|_| stream.write_all(body))
-        .map_err(|e| format!("sending request: {e}"))?;
+        .map_err(|e| format!("sending request head: {e}"))?;
+    let write_err = stream
+        .write_all(body)
+        .err()
+        .map(|e| format!("sending request body: {e}"));
 
     let mut raw = Vec::new();
-    stream
-        .read_to_end(&mut raw)
-        .map_err(|e| format!("reading response: {e}"))?;
+    if let Err(e) = stream.read_to_end(&mut raw) {
+        return Err(write_err.unwrap_or_else(|| format!("reading response: {e}")));
+    }
+    match parse_response(&raw) {
+        Ok(resp) => Ok(resp),
+        // An early-rejecting server may close before reading our body; if
+        // no parseable response came back either, report the write error.
+        Err(parse_err) => Err(write_err.unwrap_or(parse_err)),
+    }
+}
 
+/// Split a raw HTTP/1.1 byte exchange into status, headers, and body.
+fn parse_response(raw: &[u8]) -> Result<Response, String> {
     let header_end = raw
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
         .ok_or("malformed response: no header terminator")?;
     let head_text = String::from_utf8_lossy(&raw[..header_end]);
-    let status_line = head_text.lines().next().unwrap_or_default();
+    let mut lines = head_text.lines();
+    let status_line = lines.next().unwrap_or_default();
     let status = status_line
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("malformed status line: {status_line}"))?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
+        .collect();
     Ok(Response {
         status,
+        headers,
         body: raw[header_end + 4..].to_vec(),
     })
 }

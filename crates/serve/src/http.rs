@@ -66,19 +66,37 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
 
 /// Write a complete response and close out the exchange.
 pub fn write_response(stream: &mut TcpStream, status: u16, content_type: &str, body: &[u8]) {
+    write_response_with_headers(stream, status, content_type, &[], body);
+}
+
+/// Write a complete response with extra headers (e.g. `Retry-After` on a
+/// 429) and close out the exchange.
+pub fn write_response_with_headers(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Internal Server Error",
     };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     // Best effort: the client may already have hung up, and there is no
     // useful recovery from a failed write on a closing connection.
     let _ = stream.write_all(head.as_bytes());
@@ -99,9 +117,30 @@ pub fn write_json<T: serde::Serialize>(stream: &mut TcpStream, status: u16, valu
 
 /// Send a JSON error body `{"error": ...}` with the given status.
 pub fn write_error(stream: &mut TcpStream, status: u16, message: &str) {
+    write_error_with_headers(stream, status, message, &[]);
+}
+
+/// Send a JSON error body `{"error": ...}` with extra headers.
+pub fn write_error_with_headers(
+    stream: &mut TcpStream,
+    status: u16,
+    message: &str,
+    extra_headers: &[(&str, String)],
+) {
     #[derive(serde::Serialize)]
     struct ErrorBody<'a> {
         error: &'a str,
     }
-    write_json(stream, status, &ErrorBody { error: message });
+    match serde_json::to_vec(&ErrorBody { error: message }) {
+        Ok(body) => {
+            write_response_with_headers(stream, status, "application/json", extra_headers, &body)
+        }
+        Err(_) => write_response_with_headers(
+            stream,
+            status,
+            "application/json",
+            extra_headers,
+            b"{\"error\":\"error\"}",
+        ),
+    }
 }

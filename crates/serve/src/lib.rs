@@ -18,6 +18,16 @@
 //!   and served as JSON at `/metrics` and Prometheus text at
 //!   `/metrics/prometheus`; pipeline stages (`serve.batch_assembly`,
 //!   `serve.parse`, `serve.serialize`) record telemetry spans.
+//! - **Fault tolerance** ([`server`]): admission is bounded (a full
+//!   queue answers `429` with a `Retry-After` estimate instead of
+//!   growing without limit), every job carries a deadline (expired jobs
+//!   are shed as `504` before they reach the model), and workers run
+//!   each batch under `catch_unwind` — a panic is retried one document
+//!   at a time so only the poisoned document's request fails, and a
+//!   supervisor respawns any worker thread that dies so the pool never
+//!   shrinks. All of it is testable deterministically through
+//!   `resuformer_telemetry::failpoint` (see
+//!   [`server::failpoint_sites`]).
 //! - **Graceful shutdown** ([`signal`], [`Server::shutdown`]): SIGINT
 //!   stops the acceptor, drains the queue, and joins every thread —
 //!   in-flight requests get answers, not resets.

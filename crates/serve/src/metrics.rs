@@ -4,8 +4,8 @@
 //! number lives in a [`resuformer_telemetry::Registry`] (counters, a
 //! queue-depth gauge, and log-bucketed latency histograms), and this file
 //! only maps them onto the wire formats — the original `/metrics` JSON
-//! document (shape unchanged since PR 1) and the Prometheus text
-//! exposition served at `/metrics/prometheus`.
+//! document (shape unchanged since PR 1, extended additively since) and
+//! the Prometheus text exposition served at `/metrics/prometheus`.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -38,6 +38,9 @@ impl LatencyMs {
 }
 
 /// Point-in-time view of the server counters (the `/metrics` body).
+///
+/// The fault-tolerance fields (`queue_rejected` onward) are additive and
+/// default to zero when decoding an older snapshot.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Seconds since the server started.
@@ -56,6 +59,31 @@ pub struct MetricsSnapshot {
     pub mean_batch_size: f64,
     /// Requests currently enqueued, waiting for a batch slot.
     pub queue_depth: u64,
+    /// Requests answered 429 because the bounded queue was full.
+    #[serde(default)]
+    pub queue_rejected: u64,
+    /// Jobs shed (by the scheduler or a worker) after their deadline.
+    #[serde(default)]
+    pub jobs_expired: u64,
+    /// Worker panics caught while parsing a batch (the batch is retried
+    /// one document at a time).
+    #[serde(default)]
+    pub worker_panics: u64,
+    /// Documents that panicked the parser even on individual retry; their
+    /// requests got a 500, everyone else in the batch succeeded.
+    #[serde(default)]
+    pub docs_poisoned: u64,
+    /// Batch-endpoint responses abandoned after an earlier document in
+    /// the same request failed (their parses may still complete, unread).
+    #[serde(default)]
+    pub responses_abandoned: u64,
+    /// Crashed worker threads respawned by the supervisor.
+    #[serde(default)]
+    pub worker_restarts: u64,
+    /// Worker threads currently alive (the pool is at full strength when
+    /// this equals the configured worker count).
+    #[serde(default)]
+    pub workers_alive: u64,
     /// End-to-end request latency (enqueue → parsed), milliseconds.
     pub request_latency_ms: LatencyMs,
     /// Per-batch parse latency, milliseconds.
@@ -76,6 +104,13 @@ pub struct Metrics {
     batches: Arc<Counter>,
     batched_docs: Arc<Counter>,
     queue_depth: Arc<Gauge>,
+    queue_rejected: Arc<Counter>,
+    jobs_expired: Arc<Counter>,
+    worker_panics: Arc<Counter>,
+    docs_poisoned: Arc<Counter>,
+    responses_abandoned: Arc<Counter>,
+    worker_restarts: Arc<Counter>,
+    workers_alive: Arc<Gauge>,
     request_latency: Arc<Histogram>,
     batch_latency: Arc<Histogram>,
     queue_wait: Arc<Histogram>,
@@ -98,6 +133,13 @@ impl Metrics {
             batches: registry.counter("serve.batches_total"),
             batched_docs: registry.counter("serve.batched_docs_total"),
             queue_depth: registry.gauge("serve.queue_depth"),
+            queue_rejected: registry.counter("serve.queue_rejected_total"),
+            jobs_expired: registry.counter("serve.jobs_expired_total"),
+            worker_panics: registry.counter("serve.worker_panics_total"),
+            docs_poisoned: registry.counter("serve.docs_poisoned_total"),
+            responses_abandoned: registry.counter("serve.responses_abandoned_total"),
+            worker_restarts: registry.counter("serve.worker_restarts_total"),
+            workers_alive: registry.gauge("serve.workers_alive"),
             request_latency: registry.histogram("serve.request_seconds"),
             batch_latency: registry.histogram("serve.batch_seconds"),
             queue_wait: registry.histogram("serve.queue_wait_seconds"),
@@ -113,6 +155,53 @@ impl Metrics {
     /// A request entered the batching queue.
     pub fn note_enqueued(&self) {
         self.queue_depth.add(1);
+    }
+
+    /// A request was answered 429 because the bounded queue was full.
+    pub fn note_queue_rejected(&self) {
+        self.queue_rejected.inc();
+    }
+
+    /// The scheduler shed a queued job whose deadline had passed.
+    pub fn note_job_expired_queued(&self) {
+        self.queue_depth.add(-1);
+        self.jobs_expired.inc();
+    }
+
+    /// A worker shed an in-flight job (already off the queue) whose
+    /// deadline had passed.
+    pub fn note_job_expired_inflight(&self) {
+        self.jobs_expired.inc();
+    }
+
+    /// A worker panicked while parsing a batch (caught and retried).
+    pub fn note_worker_panic(&self) {
+        self.worker_panics.inc();
+    }
+
+    /// A document panicked the parser even alone; its request failed.
+    pub fn note_doc_poisoned(&self) {
+        self.docs_poisoned.inc();
+    }
+
+    /// A batch handler walked away from `n` pending responses.
+    pub fn note_responses_abandoned(&self, n: u64) {
+        self.responses_abandoned.add(n);
+    }
+
+    /// The supervisor respawned a crashed worker thread.
+    pub fn note_worker_restart(&self) {
+        self.worker_restarts.inc();
+    }
+
+    /// A worker thread came up (startup or respawn).
+    pub fn note_worker_up(&self) {
+        self.workers_alive.add(1);
+    }
+
+    /// A worker thread went down (crash or drain).
+    pub fn note_worker_down(&self) {
+        self.workers_alive.add(-1);
     }
 
     /// The scheduler formed a batch of `size` queued requests.
@@ -143,6 +232,17 @@ impl Metrics {
         self.errors.inc();
     }
 
+    /// Observed mean batch service time in seconds (0.0 before the first
+    /// batch) — the base of the `Retry-After` estimate on 429s.
+    pub fn mean_batch_seconds(&self) -> f64 {
+        let s = self.batch_latency.summary();
+        if s.count == 0 {
+            0.0
+        } else {
+            s.mean
+        }
+    }
+
     /// Snapshot every counter for `/metrics`.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let batches = self.batches.get();
@@ -159,6 +259,13 @@ impl Metrics {
                 batched_docs as f64 / batches as f64
             },
             queue_depth: self.queue_depth.get().max(0) as u64,
+            queue_rejected: self.queue_rejected.get(),
+            jobs_expired: self.jobs_expired.get(),
+            worker_panics: self.worker_panics.get(),
+            docs_poisoned: self.docs_poisoned.get(),
+            responses_abandoned: self.responses_abandoned.get(),
+            worker_restarts: self.worker_restarts.get(),
+            workers_alive: self.workers_alive.get().max(0) as u64,
             request_latency_ms: LatencyMs::from_summary(&self.request_latency.summary()),
             batch_latency_ms: LatencyMs::from_summary(&self.batch_latency.summary()),
         }
@@ -208,6 +315,54 @@ mod tests {
     }
 
     #[test]
+    fn fault_counters_accumulate_and_round_trip() {
+        let m = Metrics::new();
+        m.note_queue_rejected();
+        m.note_job_expired_queued();
+        m.note_job_expired_inflight();
+        m.note_worker_panic();
+        m.note_doc_poisoned();
+        m.note_responses_abandoned(3);
+        m.note_worker_restart();
+        m.note_worker_up();
+        m.note_worker_up();
+        m.note_worker_down();
+        let s = m.snapshot();
+        assert_eq!(s.queue_rejected, 1);
+        assert_eq!(s.jobs_expired, 2);
+        assert_eq!(s.worker_panics, 1);
+        assert_eq!(s.docs_poisoned, 1);
+        assert_eq!(s.responses_abandoned, 3);
+        assert_eq!(s.worker_restarts, 1);
+        assert_eq!(s.workers_alive, 1);
+
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.jobs_expired, 2);
+        assert_eq!(back.workers_alive, 1);
+
+        // A pre-fault-tolerance snapshot (no new fields) still decodes.
+        let legacy: MetricsSnapshot = serde_json::from_str(
+            r#"{"uptime_seconds":1.0,"requests":5,"errors":0,"batches":2,
+                "batched_docs":5,"mean_batch_size":2.5,"queue_depth":0,
+                "request_latency_ms":{"mean":1.0,"p50":1.0,"p95":1.0,"p99":1.0},
+                "batch_latency_ms":{"mean":1.0,"p50":1.0,"p95":1.0,"p99":1.0}}"#,
+        )
+        .unwrap();
+        assert_eq!(legacy.queue_rejected, 0);
+        assert_eq!(legacy.workers_alive, 0);
+    }
+
+    #[test]
+    fn mean_batch_seconds_tracks_batches() {
+        let m = Metrics::new();
+        assert_eq!(m.mean_batch_seconds(), 0.0, "no batches yet");
+        m.note_batch_done(4, 0.100);
+        m.note_batch_done(4, 0.300);
+        assert!((m.mean_batch_seconds() - 0.200).abs() < 0.01);
+    }
+
+    #[test]
     fn queue_depth_clamps_at_zero() {
         // The scheduler's unit tests form batches for jobs that never went
         // through note_enqueued; the exported depth must not wrap.
@@ -234,12 +389,17 @@ mod tests {
         m.note_request_done(0.010);
         m.note_request_done(0.030);
         m.note_error();
+        m.note_queue_rejected();
+        m.note_worker_up();
         let text = m.prometheus_text();
         assert!(
             text.contains("# TYPE serve_requests_total counter\nserve_requests_total 2\n"),
             "{text}"
         );
         assert!(text.contains("serve_errors_total 1\n"), "{text}");
+        assert!(text.contains("serve_queue_rejected_total 1\n"), "{text}");
+        assert!(text.contains("serve_workers_alive 1\n"), "{text}");
+        assert!(text.contains("serve_worker_panics_total 0\n"), "{text}");
         assert!(text.contains("serve_request_seconds_count 2\n"), "{text}");
         assert!(
             text.contains("serve_request_seconds{quantile=\"0.5\"}"),

@@ -1,42 +1,80 @@
 //! The serving loop: accept connections, route requests, and run the
-//! micro-batching pipeline across a worker pool sharing one warm parser.
+//! micro-batching pipeline across a supervised worker pool sharing one
+//! warm parser.
 //!
 //! Thread layout:
 //!
 //! ```text
-//! acceptor ──spawns──▶ connection handlers ──Job──▶ requests channel
-//!                                                        │
-//!                                                   scheduler (batching)
+//! acceptor ──spawns──▶ connection handlers ──Job──▶ bounded requests channel
+//!                                                        │ (full → 429)
+//!                                                   scheduler (batching,
+//!                                                    sheds expired jobs)
 //!                                                        │ Vec<Job>
 //!                                              batches channel (mpmc)
 //!                                               │        │        │
 //!                                            worker 0  worker 1  worker N
-//!                                         (all share ONE parser replica)
+//!                                         (all share ONE parser replica,
+//!                                          supervised: a crashed thread
+//!                                          is respawned, a panicking
+//!                                          batch is retried per-document)
 //! ```
+//!
+//! Overload and faults degrade instead of collapsing:
+//!
+//! - admission is **bounded**: when the request queue is full the handler
+//!   answers `429` immediately with a `Retry-After` estimate, so memory
+//!   and tail latency stay bounded under any offered load;
+//! - every job carries a **deadline**; the scheduler and the workers shed
+//!   expired jobs (`504` was already on the wire) instead of parsing for
+//!   nobody;
+//! - workers run each batch under `catch_unwind`; a panic is retried one
+//!   document at a time so only the poisoned document's request fails
+//!   (`500`), and the **supervisor** respawns any worker thread that
+//!   still dies, keeping the pool at full strength.
+//!
+//! Fault injection for all of the above goes through
+//! `resuformer_telemetry::failpoint` — see the sites in
+//! [`failpoint_sites`].
 //!
 //! Shutdown drains rather than drops: the acceptor stops taking new
 //! connections, in-flight handlers finish enqueuing and get replies, the
 //! scheduler empties the queue, and only then do the workers exit.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use resuformer_doc::Document;
+use resuformer_telemetry::failpoint;
 use serde::Serialize;
 
-use crate::batch::{run_scheduler, Job};
-use crate::http::{read_request, write_error, write_json, write_response, Request};
+use crate::batch::{run_scheduler, Job, JobError, JobResult};
+use crate::http::{
+    read_request, write_error, write_error_with_headers, write_json, write_response, Request,
+};
 use crate::metrics::Metrics;
 use crate::registry::{ModelInfo, ModelRegistry};
 
-/// How long a connection handler waits for its parse result before
-/// answering 504. Generous: a batch on a cold replica takes well under a
-/// second even for large documents.
-const RESPONSE_TIMEOUT: Duration = Duration::from_secs(60);
+/// The failpoint sites this server exercises (see
+/// `resuformer_telemetry::failpoint` for arming them):
+///
+/// | site | where it fires |
+/// |---|---|
+/// | `serve.worker.parse` | worker, inside `catch_unwind`, before the batched (and each retried) parse — `panic` exercises per-document retry, `err` fails the batch, `delay` simulates a slow model |
+/// | `serve.worker.recv` | worker loop, outside `catch_unwind`, after a batch is received — `panic` kills the thread and exercises supervision |
+/// | `serve.acceptor.spawn` | acceptor, before spawning a connection handler — `err` simulates thread-spawn failure (the connection gets a `503`) |
+pub mod failpoint_sites {
+    /// Worker parse step (inside the unwind guard).
+    pub const WORKER_PARSE: &str = "serve.worker.parse";
+    /// Worker batch receive (outside the unwind guard — kills the thread).
+    pub const WORKER_RECV: &str = "serve.worker.recv";
+    /// Acceptor handler spawn.
+    pub const ACCEPTOR_SPAWN: &str = "serve.acceptor.spawn";
+}
 
 /// Tunables for [`Server::start`].
 #[derive(Clone, Debug)]
@@ -49,6 +87,13 @@ pub struct ServeConfig {
     pub max_wait_ms: u64,
     /// Worker threads, all sharing one warm parser replica.
     pub workers: usize,
+    /// Bound on the request queue; a full queue answers `429` with a
+    /// `Retry-After` estimate. `0` means `max_batch × workers × 4`.
+    pub max_queue: usize,
+    /// Per-request deadline in milliseconds: time from admission to the
+    /// last instant anyone is still waiting for the answer. Expired jobs
+    /// are shed (`504`) instead of parsed.
+    pub request_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -58,7 +103,25 @@ impl Default for ServeConfig {
             max_batch: 8,
             max_wait_ms: 20,
             workers: 2,
+            max_queue: 0,
+            request_timeout_ms: 60_000,
         }
+    }
+}
+
+impl ServeConfig {
+    /// The effective queue bound (resolves the `0` default).
+    pub fn queue_capacity(&self) -> usize {
+        if self.max_queue > 0 {
+            self.max_queue
+        } else {
+            (self.max_batch.max(1) * self.workers.max(1) * 4).max(1)
+        }
+    }
+
+    /// The per-request deadline as a [`Duration`].
+    pub fn request_timeout(&self) -> Duration {
+        Duration::from_millis(self.request_timeout_ms.max(1))
     }
 }
 
@@ -70,8 +133,9 @@ pub struct Server {
     metrics: Arc<Metrics>,
     acceptor: Option<JoinHandle<()>>,
     scheduler: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     active_connections: Arc<AtomicUsize>,
+    request_timeout: Duration,
 }
 
 #[derive(Serialize)]
@@ -80,11 +144,44 @@ struct Health<'a> {
     model: &'a ModelInfo,
 }
 
+/// Everything a connection handler needs, bundled once instead of six
+/// argument slots per call.
+struct HandlerCtx {
+    req_tx: Sender<Job>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    info: ModelInfo,
+    request_timeout: Duration,
+    queue_capacity: usize,
+    max_batch: usize,
+    workers: usize,
+}
+
+impl HandlerCtx {
+    /// Seconds a rejected client should wait before retrying: the time
+    /// the worker pool needs to drain a full queue, estimated from the
+    /// observed mean batch service time. Clamped to `[1, 60]`; before the
+    /// first batch completes there is no observation, so answer 1.
+    fn retry_after_seconds(&self) -> u64 {
+        let mean_batch = self.metrics.mean_batch_seconds();
+        if mean_batch <= 0.0 {
+            return 1;
+        }
+        let batches_to_drain =
+            (self.queue_capacity as f64 / (self.max_batch * self.workers).max(1) as f64).ceil();
+        (mean_batch * batches_to_drain).ceil() as u64
+    }
+}
+
 impl Server {
     /// Bind, build the shared parser (so a corrupt model fails startup,
-    /// not a request), spin up the worker pool, and start accepting
-    /// connections in the background.
+    /// not a request), spin up the supervised worker pool, and start
+    /// accepting connections in the background.
     pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Result<Server, String> {
+        // Honor RESUFORMER_FAILPOINTS in every embedding binary (lazy and
+        // idempotent; a malformed spec warns instead of failing startup).
+        let _ = failpoint::init_from_env();
+
         let listener =
             TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
         let local_addr = listener
@@ -97,8 +194,14 @@ impl Server {
         let shutdown = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(Metrics::new());
         let active_connections = Arc::new(AtomicUsize::new(0));
-        let (req_tx, req_rx) = unbounded::<Job>();
-        let (batch_tx, batch_rx) = unbounded::<Vec<Job>>();
+        let queue_capacity = config.queue_capacity();
+        let (req_tx, req_rx) = bounded::<Job>(queue_capacity);
+        // The batch channel is bounded too (one staged batch per worker):
+        // if it were unbounded the scheduler would drain the admission
+        // queue into it as fast as requests arrive and the queue bound
+        // would never be felt. With both bounded, backpressure propagates
+        // workers → scheduler → admission queue → 429.
+        let (batch_tx, batch_rx) = bounded::<Vec<Job>>(config.workers.max(1));
 
         // Worker pool: the autograd graph is Arc-based (`Send + Sync`), so
         // every thread shares ONE warm parser built once from the model
@@ -111,37 +214,14 @@ impl Server {
                 .map_err(|e| format!("loading model replica: {e}"))?,
         );
         let seed_counter = Arc::new(AtomicU64::new(0x5EED));
-        let mut workers = Vec::with_capacity(config.workers.max(1));
-        for worker_id in 0..config.workers.max(1) {
-            let rx = batch_rx.clone();
-            let parser = parser.clone();
-            let metrics = metrics.clone();
-            let seed_counter = seed_counter.clone();
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("resuformer-worker-{worker_id}"))
-                    .spawn(move || {
-                        while let Ok(batch) = rx.recv() {
-                            // Borrow the documents straight out of the jobs:
-                            // the hot path never clones a Document.
-                            let docs: Vec<&Document> = batch.iter().map(|j| &j.doc).collect();
-                            let base_seed =
-                                seed_counter.fetch_add(docs.len() as u64, Ordering::Relaxed);
-                            let start = Instant::now();
-                            let results = resuformer_telemetry::span::time("serve.parse", || {
-                                parser.parse_documents_ref(&docs, base_seed)
-                            });
-                            metrics.note_batch_done(batch.len(), start.elapsed().as_secs_f64());
-                            for (job, parsed) in batch.into_iter().zip(results) {
-                                metrics.note_request_done(job.enqueued.elapsed().as_secs_f64());
-                                let _ = job.resp.send(Ok(parsed));
-                            }
-                        }
-                    })
-                    .map_err(|e| format!("spawning worker: {e}"))?,
-            );
-        }
-        drop(batch_rx);
+        let pool = WorkerPool {
+            batch_rx,
+            parser,
+            metrics: metrics.clone(),
+            seed_counter,
+            shutdown: shutdown.clone(),
+        };
+        let supervisor = pool.start(config.workers.max(1))?;
 
         // Scheduler thread.
         let scheduler = {
@@ -157,40 +237,32 @@ impl Server {
         // Acceptor thread: polls the nonblocking listener so it can also
         // notice the shutdown flag between connections.
         let acceptor = {
+            let ctx = Arc::new(HandlerCtx {
+                req_tx,
+                metrics: metrics.clone(),
+                shutdown: shutdown.clone(),
+                info: registry.info.clone(),
+                request_timeout: config.request_timeout(),
+                queue_capacity,
+                max_batch: config.max_batch.max(1),
+                workers: config.workers.max(1),
+            });
             let shutdown = shutdown.clone();
-            let metrics = metrics.clone();
             let active = active_connections.clone();
-            let info = registry.info.clone();
             std::thread::Builder::new()
                 .name("resuformer-acceptor".to_string())
                 .spawn(move || {
-                    // req_tx moves in here: once the acceptor exits and
-                    // every handler finishes, all request senders are gone
-                    // and the scheduler drains to a stop.
-                    let req_tx = req_tx;
+                    // ctx (and with it the request sender) lives in this
+                    // closure: once the acceptor exits and every handler
+                    // finishes, all request senders are gone and the
+                    // scheduler drains to a stop.
                     loop {
                         if shutdown.load(Ordering::Relaxed) {
                             break;
                         }
                         match listener.accept() {
                             Ok((stream, _peer)) => {
-                                active.fetch_add(1, Ordering::SeqCst);
-                                let req_tx = req_tx.clone();
-                                let metrics = metrics.clone();
-                                let shutdown = shutdown.clone();
-                                let active = active.clone();
-                                let info = info.clone();
-                                let spawned = std::thread::Builder::new()
-                                    .name("resuformer-conn".to_string())
-                                    .spawn(move || {
-                                        handle_connection(
-                                            stream, &req_tx, &metrics, &shutdown, &info,
-                                        );
-                                        active.fetch_sub(1, Ordering::SeqCst);
-                                    });
-                                if spawned.is_err() {
-                                    active.fetch_sub(1, Ordering::SeqCst);
-                                }
+                                accept_connection(stream, &ctx, &active);
                             }
                             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                                 std::thread::sleep(Duration::from_millis(5));
@@ -208,8 +280,9 @@ impl Server {
             metrics,
             acceptor: Some(acceptor),
             scheduler: Some(scheduler),
-            workers,
+            supervisor: Some(supervisor),
             active_connections,
+            request_timeout: config.request_timeout(),
         })
     }
 
@@ -231,34 +304,264 @@ impl Server {
             let _ = h.join();
         }
         // Handlers still running hold request senders; give them (bounded)
-        // time to finish so their jobs get processed, not dropped.
-        let deadline = Instant::now() + RESPONSE_TIMEOUT;
+        // time to finish so their jobs get processed, not dropped. Every
+        // handler answers by its own deadline, so the request timeout plus
+        // slack bounds the wait.
+        let deadline = Instant::now() + self.request_timeout + Duration::from_secs(5);
         while self.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
         if let Some(h) = self.scheduler.take() {
             let _ = h.join();
         }
-        for h in self.workers.drain(..) {
+        if let Some(h) = self.supervisor.take() {
             let _ = h.join();
         }
     }
 }
 
-/// Parse one request off the stream, route it, and reply.
-fn handle_connection(
-    mut stream: TcpStream,
-    req_tx: &Sender<Job>,
-    metrics: &Arc<Metrics>,
-    shutdown: &Arc<AtomicBool>,
-    info: &ModelInfo,
+/// Hand one accepted connection to a handler thread; if the thread cannot
+/// be spawned, the client still gets an answer (`503`) instead of a
+/// silently dropped connection.
+fn accept_connection(stream: TcpStream, ctx: &Arc<HandlerCtx>, active: &Arc<AtomicUsize>) {
+    active.fetch_add(1, Ordering::SeqCst);
+    if let Err(e) = failpoint::hit(failpoint_sites::ACCEPTOR_SPAWN) {
+        // Simulated spawn failure: same degraded path as the real one.
+        active.fetch_sub(1, Ordering::SeqCst);
+        ctx.metrics.note_error();
+        let mut stream = stream;
+        write_error(
+            &mut stream,
+            503,
+            &format!("cannot spawn connection handler: {e}"),
+        );
+        return;
+    }
+    // Keep a clone of the socket: if the spawn fails, the closure (and
+    // the primary stream inside it) is dropped, but the clone still
+    // reaches the peer for a 503.
+    let fallback = stream.try_clone().ok();
+    let ctx_clone = ctx.clone();
+    let active_clone = active.clone();
+    let spawned = std::thread::Builder::new()
+        .name("resuformer-conn".to_string())
+        .spawn(move || {
+            handle_connection(stream, &ctx_clone);
+            active_clone.fetch_sub(1, Ordering::SeqCst);
+        });
+    if let Err(e) = spawned {
+        active.fetch_sub(1, Ordering::SeqCst);
+        ctx.metrics.note_error();
+        if let Some(mut stream) = fallback {
+            write_error(
+                &mut stream,
+                503,
+                &format!("cannot spawn connection handler: {e}"),
+            );
+        }
+    }
+}
+
+/// The supervised worker pool: spawns the workers, then watches them from
+/// a supervisor thread that respawns any thread that dies by panic, so
+/// the pool never shrinks below its configured strength.
+struct WorkerPool {
+    batch_rx: Receiver<Vec<Job>>,
+    parser: Arc<resuformer::pipeline::ResumeParser>,
+    metrics: Arc<Metrics>,
+    seed_counter: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl WorkerPool {
+    fn spawn_worker(&self, worker_id: usize) -> std::io::Result<JoinHandle<()>> {
+        let rx = self.batch_rx.clone();
+        let parser = self.parser.clone();
+        let metrics = self.metrics.clone();
+        let seed_counter = self.seed_counter.clone();
+        metrics.note_worker_up();
+        let spawned = std::thread::Builder::new()
+            .name(format!("resuformer-worker-{worker_id}"))
+            .spawn(move || run_worker(rx, parser, metrics, seed_counter));
+        if spawned.is_err() {
+            self.metrics.note_worker_down();
+        }
+        spawned
+    }
+
+    /// Spawn `count` workers plus the supervisor thread that owns their
+    /// join handles. The returned handle joins every worker before it
+    /// finishes, so `Server::shutdown` only has to join the supervisor.
+    fn start(self, count: usize) -> Result<JoinHandle<()>, String> {
+        let mut slots: Vec<Option<JoinHandle<()>>> = Vec::with_capacity(count);
+        for worker_id in 0..count {
+            slots.push(Some(
+                self.spawn_worker(worker_id)
+                    .map_err(|e| format!("spawning worker: {e}"))?,
+            ));
+        }
+        std::thread::Builder::new()
+            .name("resuformer-supervisor".to_string())
+            .spawn(move || self.supervise(slots))
+            .map_err(|e| format!("spawning supervisor: {e}"))
+    }
+
+    fn supervise(self, mut slots: Vec<Option<JoinHandle<()>>>) {
+        loop {
+            let mut alive = 0usize;
+            for (worker_id, slot) in slots.iter_mut().enumerate() {
+                let finished = slot.as_ref().is_some_and(|h| h.is_finished());
+                if finished {
+                    let crashed = slot.take().expect("slot checked Some").join().is_err();
+                    self.metrics.note_worker_down();
+                    if crashed && !self.shutdown.load(Ordering::Relaxed) {
+                        // A panic escaped the batch guard (or hit the
+                        // worker loop itself): restore pool strength.
+                        self.metrics.note_worker_restart();
+                        match self.spawn_worker(worker_id) {
+                            Ok(h) => {
+                                *slot = Some(h);
+                                alive += 1;
+                            }
+                            Err(e) => {
+                                eprintln!("respawning worker {worker_id}: {e}");
+                            }
+                        }
+                    }
+                    // A clean exit means the batch channel closed — the
+                    // drain path; leave the slot empty.
+                } else if slot.is_some() {
+                    alive += 1;
+                }
+            }
+            if alive == 0 && self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            if alive == 0 && self.batch_rx.is_empty() {
+                // All workers exited cleanly without a shutdown flag:
+                // every upstream sender is gone, nothing left to do.
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+/// One worker thread: pull batches until the channel closes, parsing each
+/// under a panic guard.
+fn run_worker(
+    rx: Receiver<Vec<Job>>,
+    parser: Arc<resuformer::pipeline::ResumeParser>,
+    metrics: Arc<Metrics>,
+    seed_counter: Arc<AtomicU64>,
 ) {
+    while let Ok(batch) = rx.recv() {
+        // Outside the unwind guard: arming `panic` here kills the whole
+        // thread (dropping the batch in hand) — the supervision path.
+        let _ = failpoint::hit(failpoint_sites::WORKER_RECV);
+        process_batch(batch, &parser, &metrics, &seed_counter);
+    }
+}
+
+/// Parse one batch: shed expired jobs, run the batched parse under
+/// `catch_unwind`, and on a panic retry one document at a time so only
+/// the poisoned document's request fails.
+fn process_batch(
+    batch: Vec<Job>,
+    parser: &Arc<resuformer::pipeline::ResumeParser>,
+    metrics: &Arc<Metrics>,
+    seed_counter: &Arc<AtomicU64>,
+) {
+    // Shed jobs whose handler already gave up: a 504 is on the wire, and
+    // parsing them would only delay the live ones behind them.
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(batch.len());
+    for job in batch {
+        if job.expired(now) {
+            metrics.note_job_expired_inflight();
+            job.shed();
+        } else {
+            live.push(job);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // Borrow the documents straight out of the jobs: the hot path never
+    // clones a Document.
+    let docs: Vec<&Document> = live.iter().map(|j| &j.doc).collect();
+    let base_seed = seed_counter.fetch_add(docs.len() as u64, Ordering::Relaxed);
+    let start = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        failpoint::hit(failpoint_sites::WORKER_PARSE)?;
+        Ok(resuformer_telemetry::span::time("serve.parse", || {
+            parser.parse_documents_ref(&docs, base_seed)
+        }))
+    }));
+    match outcome {
+        Ok(Ok(results)) => {
+            metrics.note_batch_done(live.len(), start.elapsed().as_secs_f64());
+            for (job, parsed) in live.into_iter().zip(results) {
+                metrics.note_request_done(job.enqueued.elapsed().as_secs_f64());
+                let _ = job.resp.send(Ok(parsed));
+            }
+        }
+        Ok(Err(msg)) => {
+            // A fallible parse step (today: only an `err` failpoint)
+            // fails the whole batch without a panic.
+            for job in live {
+                let _ = job.resp.send(Err(JobError::Failed(msg.clone())));
+            }
+        }
+        Err(_) => {
+            // The batch panicked. Retry each document alone: every
+            // healthy request still succeeds, and only the poisoned
+            // document's request gets an error.
+            metrics.note_worker_panic();
+            for job in live {
+                let seed = seed_counter.fetch_add(1, Ordering::Relaxed);
+                let retry_start = Instant::now();
+                let retry = catch_unwind(AssertUnwindSafe(|| {
+                    failpoint::hit(failpoint_sites::WORKER_PARSE)?;
+                    Ok(resuformer_telemetry::span::time("serve.parse", || {
+                        parser.parse_documents_ref(&[&job.doc], seed)
+                    }))
+                }));
+                match retry {
+                    Ok(Ok(mut results)) if !results.is_empty() => {
+                        metrics.note_batch_done(1, retry_start.elapsed().as_secs_f64());
+                        metrics.note_request_done(job.enqueued.elapsed().as_secs_f64());
+                        let _ = job.resp.send(Ok(results.remove(0)));
+                    }
+                    Ok(Ok(_)) => {
+                        let _ = job.resp.send(Err(JobError::Failed(
+                            "parser returned no result for the document".to_string(),
+                        )));
+                    }
+                    Ok(Err(msg)) => {
+                        let _ = job.resp.send(Err(JobError::Failed(msg)));
+                    }
+                    Err(_) => {
+                        metrics.note_doc_poisoned();
+                        let _ = job.resp.send(Err(JobError::Failed(
+                            "worker panicked while parsing this document".to_string(),
+                        )));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parse one request off the stream, route it, and reply.
+fn handle_connection(mut stream: TcpStream, ctx: &HandlerCtx) {
     stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
     stream.set_write_timeout(Some(Duration::from_secs(10))).ok();
     let request = match read_request(&mut stream) {
         Ok(r) => r,
         Err(e) => {
-            metrics.note_error();
+            ctx.metrics.note_error();
             write_error(&mut stream, 400, &e);
             return;
         }
@@ -273,23 +576,23 @@ fn handle_connection(
                 200,
                 &Health {
                     status: "ok",
-                    model: info,
+                    model: &ctx.info,
                 },
             );
         }
         ("GET", "/metrics") => {
-            write_json(&mut stream, 200, &metrics.snapshot());
+            write_json(&mut stream, 200, &ctx.metrics.snapshot());
         }
         ("GET", "/metrics/prometheus") => {
             write_response(
                 &mut stream,
                 200,
                 "text/plain; version=0.0.4",
-                metrics.prometheus_text().as_bytes(),
+                ctx.metrics.prometheus_text().as_bytes(),
             );
         }
-        ("POST", "/parse") => handle_parse(stream, &request, req_tx, metrics, shutdown),
-        ("POST", "/parse_batch") => handle_parse_batch(stream, &request, req_tx, metrics, shutdown),
+        ("POST", "/parse") => handle_parse(stream, &request, ctx),
+        ("POST", "/parse_batch") => handle_parse_batch(stream, &request, ctx),
         ("GET", _) | ("POST", _) => {
             write_error(&mut stream, 404, "unknown path");
         }
@@ -307,78 +610,121 @@ fn check_document(doc: &Document) -> Result<(), String> {
     Ok(())
 }
 
-fn handle_parse(
-    mut stream: TcpStream,
-    request: &Request,
-    req_tx: &Sender<Job>,
-    metrics: &Arc<Metrics>,
-    shutdown: &Arc<AtomicBool>,
-) {
-    if shutdown.load(Ordering::Relaxed) {
-        metrics.note_error();
+/// Admission: try to enqueue one job on the bounded queue. `Ok(receiver)`
+/// means the job is in; otherwise the error response has already been
+/// written and the request is over.
+fn try_enqueue(
+    stream: &mut TcpStream,
+    ctx: &HandlerCtx,
+    doc: Document,
+    deadline: Instant,
+) -> Result<std::sync::mpsc::Receiver<JobResult>, ()> {
+    let (resp_tx, resp_rx) = std::sync::mpsc::channel();
+    let job = Job {
+        doc,
+        enqueued: Instant::now(),
+        deadline,
+        resp: resp_tx,
+    };
+    match ctx.req_tx.try_send(job) {
+        Ok(()) => {
+            ctx.metrics.note_enqueued();
+            Ok(resp_rx)
+        }
+        Err(TrySendError::Full(_)) => {
+            ctx.metrics.note_queue_rejected();
+            ctx.metrics.note_error();
+            let retry_after = ctx.retry_after_seconds();
+            write_error_with_headers(
+                stream,
+                429,
+                "request queue is full, retry later",
+                &[("Retry-After", retry_after.to_string())],
+            );
+            Err(())
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            ctx.metrics.note_error();
+            write_error(stream, 503, "request queue is closed");
+            Err(())
+        }
+    }
+}
+
+/// Wait for one job's result and translate it onto the wire. The wait is
+/// bounded by the job's own deadline, so a handler never outlives the
+/// window in which the pipeline may still answer it.
+enum Reply {
+    Ok(resuformer::pipeline::ParsedResume),
+    /// `(status, message)` — the error has NOT been written yet.
+    Err(u16, String),
+}
+
+fn await_result(rx: &std::sync::mpsc::Receiver<JobResult>, deadline: Instant) -> Reply {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    match rx.recv_timeout(remaining) {
+        Ok(Ok(parsed)) => Reply::Ok(parsed),
+        Ok(Err(JobError::Expired)) => {
+            Reply::Err(504, "request deadline exceeded before parse".to_string())
+        }
+        Ok(Err(JobError::Failed(e))) => Reply::Err(500, e),
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            Reply::Err(504, "request deadline exceeded".to_string())
+        }
+        // The response sender was dropped without an answer: the worker
+        // holding this job died. Distinct from a deadline expiry.
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            Reply::Err(500, "worker failed".to_string())
+        }
+    }
+}
+
+fn handle_parse(mut stream: TcpStream, request: &Request, ctx: &HandlerCtx) {
+    if ctx.shutdown.load(Ordering::Relaxed) {
+        ctx.metrics.note_error();
         write_error(&mut stream, 503, "server is shutting down");
         return;
     }
     let doc: Document = match serde_json::from_slice(&request.body) {
         Ok(d) => d,
         Err(e) => {
-            metrics.note_error();
+            ctx.metrics.note_error();
             write_error(&mut stream, 400, &format!("invalid document JSON: {e}"));
             return;
         }
     };
     if let Err(e) = check_document(&doc) {
-        metrics.note_error();
+        ctx.metrics.note_error();
         write_error(&mut stream, 400, &e);
         return;
     }
-    let (resp_tx, resp_rx) = std::sync::mpsc::channel();
-    metrics.note_enqueued();
-    if req_tx
-        .send(Job {
-            doc,
-            enqueued: Instant::now(),
-            resp: resp_tx,
-        })
-        .is_err()
-    {
-        metrics.note_error();
-        write_error(&mut stream, 503, "request queue is closed");
+    let deadline = Instant::now() + ctx.request_timeout;
+    let Ok(resp_rx) = try_enqueue(&mut stream, ctx, doc, deadline) else {
         return;
-    }
-    match resp_rx.recv_timeout(RESPONSE_TIMEOUT) {
-        Ok(Ok(parsed)) => {
+    };
+    match await_result(&resp_rx, deadline) {
+        Reply::Ok(parsed) => {
             resuformer_telemetry::span::time("serve.serialize", || {
                 write_json(&mut stream, 200, &parsed)
             });
         }
-        Ok(Err(e)) => {
-            metrics.note_error();
-            write_error(&mut stream, 500, &e);
-        }
-        Err(_) => {
-            metrics.note_error();
-            write_error(&mut stream, 504, "parse timed out");
+        Reply::Err(status, msg) => {
+            ctx.metrics.note_error();
+            write_error(&mut stream, status, &msg);
         }
     }
 }
 
-fn handle_parse_batch(
-    mut stream: TcpStream,
-    request: &Request,
-    req_tx: &Sender<Job>,
-    metrics: &Arc<Metrics>,
-    shutdown: &Arc<AtomicBool>,
-) {
-    if shutdown.load(Ordering::Relaxed) {
-        metrics.note_error();
+fn handle_parse_batch(mut stream: TcpStream, request: &Request, ctx: &HandlerCtx) {
+    if ctx.shutdown.load(Ordering::Relaxed) {
+        ctx.metrics.note_error();
         write_error(&mut stream, 503, "server is shutting down");
         return;
     }
     let docs: Vec<Document> = match serde_json::from_slice(&request.body) {
         Ok(d) => d,
         Err(e) => {
-            metrics.note_error();
+            ctx.metrics.note_error();
             write_error(
                 &mut stream,
                 400,
@@ -388,48 +734,63 @@ fn handle_parse_batch(
         }
     };
     if docs.is_empty() {
-        metrics.note_error();
+        ctx.metrics.note_error();
         write_error(&mut stream, 400, "empty document array");
         return;
     }
     if let Some(e) = docs.iter().find_map(|d| check_document(d).err()) {
-        metrics.note_error();
+        ctx.metrics.note_error();
         write_error(&mut stream, 400, &e);
         return;
     }
+    // One deadline for the whole batch request: every document shares it.
+    let deadline = Instant::now() + ctx.request_timeout;
     let mut receivers = Vec::with_capacity(docs.len());
     for doc in docs {
-        let (resp_tx, resp_rx) = std::sync::mpsc::channel();
-        metrics.note_enqueued();
-        if req_tx
-            .send(Job {
-                doc,
-                enqueued: Instant::now(),
-                resp: resp_tx,
-            })
-            .is_err()
-        {
-            metrics.note_error();
-            write_error(&mut stream, 503, "request queue is closed");
-            return;
-        }
-        receivers.push(resp_rx);
-    }
-    let mut parsed = Vec::with_capacity(receivers.len());
-    for rx in receivers {
-        match rx.recv_timeout(RESPONSE_TIMEOUT) {
-            Ok(Ok(p)) => parsed.push(p),
-            Ok(Err(e)) => {
-                metrics.note_error();
-                write_error(&mut stream, 500, &e);
+        match try_enqueue(&mut stream, ctx, doc, deadline) {
+            Ok(rx) => receivers.push(rx),
+            Err(()) => {
+                // The rejection (429/503) is on the wire; walk away from
+                // the documents already enqueued — their results will go
+                // unread (the metric keeps the divergence observable).
+                abandon(ctx, receivers);
                 return;
             }
-            Err(_) => {
-                metrics.note_error();
-                write_error(&mut stream, 504, "parse timed out");
+        }
+    }
+    let mut parsed = Vec::with_capacity(receivers.len());
+    let mut pending = receivers.into_iter();
+    for rx in pending.by_ref() {
+        match await_result(&rx, deadline) {
+            Reply::Ok(p) => parsed.push(p),
+            Reply::Err(status, msg) => {
+                ctx.metrics.note_error();
+                write_error(&mut stream, status, &msg);
+                // Don't leak the rest of the batch: drain whatever is
+                // already there and walk away from the remainder so
+                // workers aren't parsing for a closed connection longer
+                // than they must.
+                abandon(ctx, pending.collect());
                 return;
             }
         }
     }
     resuformer_telemetry::span::time("serve.serialize", || write_json(&mut stream, 200, &parsed));
+}
+
+/// Walk away from in-flight batch members after the request already
+/// failed: consume anything already answered (non-blocking) and count the
+/// rest so `requests_enqueued`-vs-`answered` divergence stays observable.
+fn abandon(ctx: &HandlerCtx, receivers: Vec<std::sync::mpsc::Receiver<JobResult>>) {
+    let mut abandoned = 0u64;
+    for rx in receivers {
+        // One non-blocking poll: a completed result is consumed, a
+        // pending one is abandoned (its worker send will just fail).
+        if rx.try_recv().is_err() {
+            abandoned += 1;
+        }
+    }
+    if abandoned > 0 {
+        ctx.metrics.note_responses_abandoned(abandoned);
+    }
 }

@@ -1,0 +1,305 @@
+//! Chaos tests: prove the server *survives* faults instead of merely
+//! reporting them. Every scenario arms a deterministic failpoint
+//! (`resuformer_telemetry::failpoint`), drives real HTTP traffic at a
+//! real server, and asserts the degraded behavior is exactly the designed
+//! one — poisoned documents fail alone, overload answers `429` with a
+//! retry hint, expired requests are shed as `504`, dead workers are
+//! respawned, and a handler that cannot even be spawned still yields a
+//! `503`.
+//!
+//! Failpoints are process-global, so everything runs sequentially inside
+//! one test function (each scenario on a fresh server, disarming behind
+//! itself).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use resuformer::block_classifier::BlockClassifier;
+use resuformer::config::ModelConfig;
+use resuformer::data::build_tokenizer;
+use resuformer::encoder::HierarchicalEncoder;
+use resuformer_datagen::{generate_resume, GeneratorConfig};
+use resuformer_doc::Document;
+use resuformer_serve::client::http_request;
+use resuformer_serve::server::failpoint_sites;
+use resuformer_serve::{MetricsSnapshot, ModelRegistry, ServeConfig, Server};
+use resuformer_telemetry::failpoint::{self, Action};
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Tiny untrained model + a document to throw at it (accuracy is not
+/// under test here, survival is).
+fn tiny_registry(seed: u64) -> (Arc<ModelRegistry>, Vec<u8>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let gen = GeneratorConfig::smoke();
+    let resumes: Vec<_> = (0..4).map(|_| generate_resume(&mut rng, &gen)).collect();
+    let words = resumes
+        .iter()
+        .flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone()));
+    let wp = build_tokenizer(words, 1);
+    let config = ModelConfig::tiny(wp.vocab.len());
+    let encoder = HierarchicalEncoder::new(&mut rng, &config);
+    let classifier = BlockClassifier::new(&mut rng, &config, encoder);
+    let bytes = resuformer::model_io::save_bundle_bytes(&classifier, &config, &wp, seed, None)
+        .expect("bundle serializes");
+    let registry = ModelRegistry::from_bytes(bytes, "in-memory").expect("bundle loads back");
+    let doc: &Document = &resumes[0].doc;
+    let body = serde_json::to_vec(doc).expect("document serializes");
+    (Arc::new(registry), body)
+}
+
+fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> (Server, String) {
+    let server = Server::start(registry, config).expect("server starts");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn metrics(addr: &str) -> MetricsSnapshot {
+    resuformer_serve::client::get_json(addr, "/metrics", CLIENT_TIMEOUT).expect("metrics decodes")
+}
+
+/// Fire `n` copies of `body` at `/parse` from `threads` client threads;
+/// return every status observed. Panics on a transport failure — in these
+/// tests every request must get a terminal HTTP answer.
+fn burst(addr: &str, body: &[u8], n: usize, threads: usize) -> Vec<u16> {
+    let addr = addr.to_string();
+    let body = body.to_vec();
+    let next = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..threads {
+        let addr = addr.clone();
+        let body = body.clone();
+        let next = next.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut statuses = Vec::new();
+            loop {
+                if next.fetch_add(1, std::sync::atomic::Ordering::Relaxed) >= n {
+                    break;
+                }
+                let resp = http_request(&addr, "POST", "/parse", &body, CLIENT_TIMEOUT)
+                    .expect("every request must get a terminal response");
+                statuses.push(resp.status);
+            }
+            statuses
+        }));
+    }
+    handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect()
+}
+
+#[test]
+fn server_survives_injected_faults() {
+    let (registry, body) = tiny_registry(43);
+
+    // --- Scenario 1: a panicking parse poisons one document, not the
+    // pool. Budget 2: the batch-level panic (fire 1) triggers the
+    // per-document retry, whose first document re-fires (fire 2) and is
+    // poisoned; every other document parses. (Under racy scheduling two
+    // workers can consume both fires at batch level instead — then their
+    // retries all succeed and zero documents are poisoned. Either way
+    // the invariant below holds exactly.)
+    {
+        let (server, addr) = start(
+            registry.clone(),
+            ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                max_batch: 4,
+                max_wait_ms: 5,
+                workers: 2,
+                ..ServeConfig::default()
+            },
+        );
+        failpoint::arm_one_shot(failpoint_sites::WORKER_PARSE, Action::Panic, 2);
+        let statuses = burst(&addr, &body, 100, 8);
+        assert_eq!(statuses.len(), 100);
+        let n500 = statuses.iter().filter(|&&s| s == 500).count();
+        let n200 = statuses.iter().filter(|&&s| s == 200).count();
+        assert_eq!(n200 + n500, 100, "only 200/500 expected, got {statuses:?}");
+        let m = metrics(&addr);
+        assert!(m.worker_panics >= 1, "the armed panic must have fired");
+        assert_eq!(
+            n500 as u64, m.docs_poisoned,
+            "exactly the poisoned documents may fail"
+        );
+        assert_eq!(m.workers_alive, 2, "caught panics must not shrink the pool");
+        assert_eq!(m.worker_restarts, 0, "no thread died, none respawned");
+        failpoint::disarm(failpoint_sites::WORKER_PARSE);
+        server.shutdown();
+    }
+
+    // --- Scenario 2: a full bounded queue answers 429 + Retry-After
+    // immediately — it never hangs and never grows without limit.
+    {
+        let (server, addr) = start(
+            registry.clone(),
+            ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                max_batch: 1,
+                max_wait_ms: 1,
+                workers: 1,
+                max_queue: 1,
+                ..ServeConfig::default()
+            },
+        );
+        failpoint::arm(failpoint_sites::WORKER_PARSE, Action::Delay(150));
+        let statuses = burst(&addr, &body, 8, 8);
+        failpoint::disarm(failpoint_sites::WORKER_PARSE);
+        assert!(
+            statuses.iter().all(|s| *s == 200 || *s == 429),
+            "slow worker + queue bound 1 must only yield 200/429: {statuses:?}"
+        );
+        let n429 = statuses.iter().filter(|&&s| s == 429).count();
+        assert!(n429 >= 1, "8 instant requests must overflow a queue of 1");
+        let m = metrics(&addr);
+        assert_eq!(m.queue_rejected, n429 as u64);
+
+        // The rejection carries a machine-readable retry hint. Pipeline
+        // capacity here is 1 parsing + 1 staged batch + 1 in the
+        // scheduler's hand + 1 queued = 4, so 8 simultaneous posts must
+        // overflow it.
+        failpoint::arm(failpoint_sites::WORKER_PARSE, Action::Delay(150));
+        let rejected = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        http_request(&addr, "POST", "/parse", &body, CLIENT_TIMEOUT).unwrap()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .filter(|r| r.status == 429)
+                .collect::<Vec<_>>()
+        });
+        failpoint::disarm(failpoint_sites::WORKER_PARSE);
+        assert!(
+            !rejected.is_empty(),
+            "8 simultaneous posts must hit the bound"
+        );
+        for resp in &rejected {
+            let secs: u64 = resp
+                .header("Retry-After")
+                .expect("429 must carry Retry-After")
+                .parse()
+                .expect("Retry-After must be integral seconds");
+            assert!((1..=60).contains(&secs), "hint out of range: {secs}");
+        }
+        server.shutdown();
+    }
+
+    // --- Scenario 3: deadline propagation — a request that cannot be
+    // answered inside its timeout is shed as 504, and the shed is
+    // counted, not silent.
+    {
+        let (server, addr) = start(
+            registry.clone(),
+            ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                max_batch: 1,
+                max_wait_ms: 1,
+                workers: 1,
+                request_timeout_ms: 80,
+                ..ServeConfig::default()
+            },
+        );
+        failpoint::arm(failpoint_sites::WORKER_PARSE, Action::Delay(300));
+        let statuses = burst(&addr, &body, 3, 3);
+        failpoint::disarm(failpoint_sites::WORKER_PARSE);
+        assert!(
+            statuses.iter().all(|s| *s == 200 || *s == 504),
+            "a 300ms parse against an 80ms deadline yields 504s: {statuses:?}"
+        );
+        assert!(
+            statuses.iter().any(|s| *s == 504),
+            "at least one request must be shed: {statuses:?}"
+        );
+        // Give the worker time to reach the queued-behind jobs and shed
+        // them (that is where the counter increments).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if metrics(&addr).jobs_expired >= 1 || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(metrics(&addr).jobs_expired >= 1, "sheds must be counted");
+        server.shutdown();
+    }
+
+    // --- Scenario 4: a worker thread that dies outright is detected —
+    // its in-flight request gets "worker failed" (500, NOT a 504: nobody
+    // timed out) — and the supervisor restores pool strength.
+    {
+        let (server, addr) = start(
+            registry.clone(),
+            ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                max_batch: 4,
+                max_wait_ms: 1,
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        );
+        failpoint::arm_one_shot(failpoint_sites::WORKER_RECV, Action::Panic, 1);
+        let resp = http_request(&addr, "POST", "/parse", &body, CLIENT_TIMEOUT).unwrap();
+        assert_eq!(resp.status, 500, "a dead worker is a 500, not a timeout");
+        assert!(
+            String::from_utf8_lossy(&resp.body).contains("worker failed"),
+            "body: {}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        // The supervisor polls every 10ms; wait for the respawn.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let m = metrics(&addr);
+            if (m.worker_restarts >= 1 && m.workers_alive == 1) || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let m = metrics(&addr);
+        assert!(m.worker_restarts >= 1, "the crash must be respawned");
+        assert_eq!(m.workers_alive, 1, "pool back at full strength");
+        // And the respawned worker actually serves.
+        let resp = http_request(&addr, "POST", "/parse", &body, CLIENT_TIMEOUT).unwrap();
+        assert_eq!(resp.status, 200, "respawned worker must parse");
+        server.shutdown();
+    }
+
+    // --- Scenario 5: failing to spawn a connection handler still answers
+    // the connection (503) instead of silently dropping the socket.
+    {
+        let (server, addr) = start(
+            registry.clone(),
+            ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                max_batch: 4,
+                max_wait_ms: 1,
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        );
+        failpoint::arm_one_shot(
+            failpoint_sites::ACCEPTOR_SPAWN,
+            Action::Err("out of threads".to_string()),
+            1,
+        );
+        let resp = http_request(&addr, "GET", "/healthz", &[], CLIENT_TIMEOUT)
+            .expect("a failed spawn must still answer the socket");
+        assert_eq!(resp.status, 503);
+        assert!(
+            String::from_utf8_lossy(&resp.body).contains("cannot spawn connection handler"),
+            "body: {}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        // The budget is spent; the next connection is served normally.
+        let resp = http_request(&addr, "GET", "/healthz", &[], CLIENT_TIMEOUT).unwrap();
+        assert_eq!(resp.status, 200);
+        server.shutdown();
+    }
+}

@@ -56,6 +56,7 @@ fn server_round_trip_over_real_sockets() {
             max_batch: 4,
             max_wait_ms: 5,
             workers: 1,
+            ..ServeConfig::default()
         },
     )
     .expect("server starts on an ephemeral port");

@@ -1,0 +1,115 @@
+//! Graceful shutdown under live load: every request the server accepts
+//! gets a terminal HTTP response — 200, 429, 500, 503, or 504 — and
+//! never a silently closed socket, even when `Server::shutdown` lands in
+//! the middle of a burst with slow (failpoint-delayed) workers.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use resuformer::block_classifier::BlockClassifier;
+use resuformer::config::ModelConfig;
+use resuformer::data::build_tokenizer;
+use resuformer::encoder::HierarchicalEncoder;
+use resuformer_datagen::{generate_resume, GeneratorConfig};
+use resuformer_serve::client::http_request;
+use resuformer_serve::server::failpoint_sites;
+use resuformer_serve::{ModelRegistry, ServeConfig, Server};
+use resuformer_telemetry::failpoint::{self, Action};
+
+fn tiny_registry(seed: u64) -> (Arc<ModelRegistry>, Vec<u8>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let gen = GeneratorConfig::smoke();
+    let resumes: Vec<_> = (0..4).map(|_| generate_resume(&mut rng, &gen)).collect();
+    let words = resumes
+        .iter()
+        .flat_map(|r| r.doc.tokens.iter().map(|t| t.text.clone()));
+    let wp = build_tokenizer(words, 1);
+    let config = ModelConfig::tiny(wp.vocab.len());
+    let encoder = HierarchicalEncoder::new(&mut rng, &config);
+    let classifier = BlockClassifier::new(&mut rng, &config, encoder);
+    let bytes = resuformer::model_io::save_bundle_bytes(&classifier, &config, &wp, seed, None)
+        .expect("bundle serializes");
+    let registry = ModelRegistry::from_bytes(bytes, "in-memory").expect("bundle loads back");
+    let body = serde_json::to_vec(&resumes[0].doc).expect("document serializes");
+    (Arc::new(registry), body)
+}
+
+#[test]
+fn shutdown_under_load_answers_every_accepted_request() {
+    let (registry, body) = tiny_registry(47);
+    let server = Server::start(
+        registry,
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_batch: 4,
+            max_wait_ms: 5,
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    // Slow the workers so shutdown lands with requests genuinely in
+    // flight (queued, batched, and mid-parse).
+    failpoint::arm(failpoint_sites::WORKER_PARSE, Action::Delay(100));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let completed = Arc::new(AtomicUsize::new(0));
+    let violations = Arc::new(AtomicUsize::new(0));
+    let mut clients = Vec::new();
+    for _ in 0..12 {
+        let addr = addr.clone();
+        let body = body.clone();
+        let stop = stop.clone();
+        let completed = completed.clone();
+        let violations = violations.clone();
+        clients.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match http_request(&addr, "POST", "/parse", &body, Duration::from_secs(30)) {
+                    Ok(resp) => {
+                        if matches!(resp.status, 200 | 429 | 500 | 503 | 504) {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            eprintln!("unexpected status {}", resp.status);
+                            violations.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // A refused connect means the listener is already
+                    // gone — the request was never accepted; that is the
+                    // one legitimate non-response.
+                    Err(e) if e.starts_with("connecting to") => break,
+                    Err(e) => {
+                        eprintln!("accepted request got no response: {e}");
+                        violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+
+    // Let load build, then stop issuing NEW requests a beat before the
+    // shutdown so no client is racing its connect against the listener
+    // teardown — the ones already on the wire are what's under test.
+    std::thread::sleep(Duration::from_millis(300));
+    stop.store(true, Ordering::SeqCst);
+    std::thread::sleep(Duration::from_millis(50));
+    server.shutdown();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    failpoint::disarm(failpoint_sites::WORKER_PARSE);
+
+    assert_eq!(
+        violations.load(Ordering::SeqCst),
+        0,
+        "every accepted request must get a terminal response"
+    );
+    assert!(
+        completed.load(Ordering::SeqCst) > 0,
+        "the burst must actually have exercised the server"
+    );
+}

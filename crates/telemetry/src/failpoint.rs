@@ -1,0 +1,432 @@
+//! Deterministic failpoints for chaos testing.
+//!
+//! A failpoint is a **named site** in production code — e.g. the serve
+//! worker's parse step hits `failpoint::hit("serve.worker.parse")` — that
+//! normally does nothing, but can be armed (programmatically or through
+//! the `RESUFORMER_FAILPOINTS` environment variable) to inject a fault:
+//!
+//! | action | effect at the site |
+//! |---|---|
+//! | `off` | nothing (explicitly disarm a site) |
+//! | `panic` | `panic!` — exercises unwind/supervision paths |
+//! | `delay(ms)` | sleep `ms` milliseconds — simulates a slow dependency |
+//! | `err(msg)` | `hit` returns `Err(msg)` — simulates a fallible step |
+//!
+//! Any action can carry a **fire budget**: `one_shot_panic` fires once
+//! and then disarms itself; `one_shot(3)_delay(50)` fires three times.
+//! Budgets decrement atomically under the site lock, so exactly `n`
+//! concurrent hits fire no matter how threads race — that determinism is
+//! what lets a chaos test assert "exactly the poisoned documents failed".
+//!
+//! Spec grammar (env var or [`configure`]): `site=action` pairs separated
+//! by `;`, e.g.
+//!
+//! ```text
+//! RESUFORMER_FAILPOINTS='serve.worker.parse=one_shot_panic;serve.worker.recv=delay(10)'
+//! ```
+//!
+//! Like the rest of this crate, the disarmed fast path is **one relaxed
+//! atomic load** (see `tests/overhead.rs`): production binaries pay
+//! nothing for carrying their failpoint sites. The environment variable
+//! is read lazily on the first `hit` in the process (or eagerly via
+//! [`init_from_env`]), so every binary that links this crate honors it
+//! without wiring.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What an armed failpoint does when its site is hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Do nothing (an explicit disarm in a spec string).
+    Off,
+    /// Panic at the site.
+    Panic,
+    /// Sleep for the given number of milliseconds, then continue.
+    Delay(u64),
+    /// Make [`hit`] return `Err` with this message.
+    Err(String),
+}
+
+/// Global arming state, checked on the `hit` fast path with one relaxed
+/// load. Three-valued so the very first hit can lazily read the
+/// environment: until then the state is "unknown", which routes through
+/// the slow path exactly once.
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ARMED: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+
+struct Site {
+    action: Action,
+    /// Remaining fires before self-disarm; `None` = unlimited.
+    remaining: Option<u64>,
+    /// Total times this site fired a non-`Off` action.
+    fires: u64,
+}
+
+#[derive(Default)]
+struct FailpointTable {
+    sites: BTreeMap<String, Site>,
+}
+
+impl FailpointTable {
+    fn armed_count(&self) -> usize {
+        self.sites
+            .iter()
+            .filter(|(_, s)| s.action != Action::Off && s.remaining != Some(0))
+            .count()
+    }
+}
+
+fn table() -> &'static Mutex<FailpointTable> {
+    static TABLE: OnceLock<Mutex<FailpointTable>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(FailpointTable::default()))
+}
+
+fn lock_table() -> std::sync::MutexGuard<'static, FailpointTable> {
+    // A panic while holding the lock (only possible in `hit_slow`, which
+    // releases it before panicking) must not wedge every later hit.
+    table().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Refresh `STATE` from the table. Callers must hold the table lock (the
+/// guard argument proves it) so state and table can never disagree.
+fn refresh_state(t: &FailpointTable) {
+    let state = if t.armed_count() > 0 {
+        STATE_ARMED
+    } else {
+        STATE_OFF
+    };
+    STATE.store(state, Ordering::Relaxed);
+}
+
+/// Read `RESUFORMER_FAILPOINTS` and arm whatever it specifies. Idempotent:
+/// only the first call (or the first [`hit`] in the process, which calls
+/// this) consults the environment. Returns how many sites the variable
+/// armed, or the parse error — a malformed spec never panics production
+/// code, it is reported and ignored.
+pub fn init_from_env() -> Result<usize, String> {
+    static INIT: OnceLock<Result<usize, String>> = OnceLock::new();
+    INIT.get_or_init(|| {
+        let spec = match std::env::var("RESUFORMER_FAILPOINTS") {
+            Ok(s) if !s.trim().is_empty() => s,
+            _ => {
+                // Nothing to arm; settle the fast path out of UNINIT.
+                let t = lock_table();
+                refresh_state(&t);
+                return Ok(0);
+            }
+        };
+        match configure(&spec) {
+            Ok(n) => Ok(n),
+            Err(e) => {
+                eprintln!("warning: ignoring RESUFORMER_FAILPOINTS: {e}");
+                let t = lock_table();
+                refresh_state(&t);
+                Err(e)
+            }
+        }
+    })
+    .clone()
+}
+
+/// Arm `site` with `action`, firing on every hit until disarmed.
+pub fn arm(site: &str, action: Action) {
+    arm_budgeted(site, action, None);
+}
+
+/// Arm `site` with `action` for at most `n` fires, then self-disarm.
+pub fn arm_one_shot(site: &str, action: Action, n: u64) {
+    arm_budgeted(site, action, Some(n));
+}
+
+fn arm_budgeted(site: &str, action: Action, remaining: Option<u64>) {
+    let mut t = lock_table();
+    let fires = t.sites.get(site).map(|s| s.fires).unwrap_or(0);
+    t.sites.insert(
+        site.to_string(),
+        Site {
+            action,
+            remaining,
+            fires,
+        },
+    );
+    refresh_state(&t);
+}
+
+/// Disarm `site` (a no-op if it was never armed). Fire counts survive.
+pub fn disarm(site: &str) {
+    arm(site, Action::Off);
+}
+
+/// Disarm every site and forget all fire counts.
+pub fn reset() {
+    let mut t = lock_table();
+    t.sites.clear();
+    refresh_state(&t);
+}
+
+/// Times `site` fired a non-`off` action since the last [`reset`].
+pub fn fires(site: &str) -> u64 {
+    lock_table().sites.get(site).map(|s| s.fires).unwrap_or(0)
+}
+
+/// Names of all currently armed sites (budget not yet exhausted).
+pub fn armed() -> Vec<String> {
+    lock_table()
+        .sites
+        .iter()
+        .filter(|(_, s)| s.action != Action::Off && s.remaining != Some(0))
+        .map(|(name, _)| name.clone())
+        .collect()
+}
+
+/// Parse and apply a failpoint spec: `site=action` pairs separated by
+/// `;`. Returns how many sites were armed (non-`off`). See the module
+/// docs for the action grammar.
+pub fn configure(spec: &str) -> Result<usize, String> {
+    // Parse everything before arming anything, so a bad trailing entry
+    // can't leave the table half-configured.
+    let mut parsed = Vec::new();
+    for entry in spec.split(';') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (site, action_spec) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("bad failpoint entry {entry:?}: expected site=action"))?;
+        let site = site.trim();
+        if site.is_empty() {
+            return Err(format!("bad failpoint entry {entry:?}: empty site name"));
+        }
+        let (action, budget) = parse_action(action_spec.trim())?;
+        parsed.push((site.to_string(), action, budget));
+    }
+    let mut armed_count = 0;
+    for (site, action, budget) in parsed {
+        if action != Action::Off {
+            armed_count += 1;
+        }
+        let mut t = lock_table();
+        let fires = t.sites.get(&site).map(|s| s.fires).unwrap_or(0);
+        t.sites.insert(
+            site,
+            Site {
+                action,
+                remaining: budget,
+                fires,
+            },
+        );
+        refresh_state(&t);
+    }
+    Ok(armed_count)
+}
+
+/// Parse one action spec, returning the action plus an optional fire
+/// budget: `panic`, `delay(50)`, `err(boom)`, `one_shot_panic`,
+/// `one_shot(3)_err(msg)`, `off`.
+fn parse_action(spec: &str) -> Result<(Action, Option<u64>), String> {
+    let (budget, base) = if let Some(rest) = spec.strip_prefix("one_shot") {
+        if let Some(rest) = rest.strip_prefix('_') {
+            (Some(1), rest)
+        } else if let Some(rest) = rest.strip_prefix('(') {
+            let (n, tail) = rest
+                .split_once(')')
+                .ok_or_else(|| format!("bad one_shot budget in {spec:?}: missing ')'"))?;
+            let n: u64 = n
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad one_shot budget {n:?} in {spec:?}"))?;
+            let tail = tail
+                .strip_prefix('_')
+                .ok_or_else(|| format!("bad action {spec:?}: expected one_shot(N)_<action>"))?;
+            (Some(n), tail)
+        } else {
+            return Err(format!(
+                "bad action {spec:?}: expected one_shot_<action> or one_shot(N)_<action>"
+            ));
+        }
+    } else {
+        (None, spec)
+    };
+    let action = if base == "off" {
+        Action::Off
+    } else if base == "panic" {
+        Action::Panic
+    } else if let Some(ms) = base
+        .strip_prefix("delay(")
+        .and_then(|s| s.strip_suffix(')'))
+    {
+        Action::Delay(
+            ms.trim()
+                .parse()
+                .map_err(|_| format!("bad delay milliseconds {ms:?} in {spec:?}"))?,
+        )
+    } else if let Some(msg) = base.strip_prefix("err(").and_then(|s| s.strip_suffix(')')) {
+        Action::Err(msg.to_string())
+    } else {
+        return Err(format!(
+            "unknown failpoint action {base:?} (off | panic | delay(ms) | err(msg))"
+        ));
+    };
+    Ok((action, budget))
+}
+
+/// Hit a failpoint site. While nothing is armed anywhere in the process
+/// this is one relaxed atomic load; when `site` is armed it executes the
+/// configured action — panicking, sleeping, or returning `Err(msg)`.
+///
+/// Call sites that cannot propagate an error may `let _ = hit(...)` —
+/// `panic` and `delay` still take effect through the side channel.
+#[inline]
+pub fn hit(site: &str) -> Result<(), String> {
+    if STATE.load(Ordering::Relaxed) == STATE_OFF {
+        return Ok(());
+    }
+    hit_slow(site)
+}
+
+#[cold]
+fn hit_slow(site: &str) -> Result<(), String> {
+    if STATE.load(Ordering::Relaxed) == STATE_UNINIT {
+        let _ = init_from_env();
+        if STATE.load(Ordering::Relaxed) == STATE_OFF {
+            return Ok(());
+        }
+    }
+    let action = {
+        let mut t = lock_table();
+        let Some(s) = t.sites.get_mut(site) else {
+            return Ok(());
+        };
+        if s.action == Action::Off || s.remaining == Some(0) {
+            return Ok(());
+        }
+        if let Some(r) = &mut s.remaining {
+            *r -= 1;
+        }
+        s.fires += 1;
+        let action = s.action.clone();
+        if s.remaining == Some(0) {
+            s.action = Action::Off;
+            refresh_state(&t);
+        }
+        action
+    };
+    // Execute outside the table lock: a panic or a long sleep must never
+    // hold up hits on other sites.
+    match action {
+        Action::Off => Ok(()),
+        Action::Panic => panic!("failpoint {site} fired: panic"),
+        Action::Delay(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(())
+        }
+        Action::Err(msg) => Err(format!("failpoint {site} fired: {msg}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests share one process-global table with each other (cargo
+    // runs them on parallel threads), so every test uses its own site
+    // names and never calls `reset()`.
+
+    #[test]
+    fn unarmed_site_is_a_no_op() {
+        assert_eq!(hit("fp.t.unarmed"), Ok(()));
+        assert_eq!(fires("fp.t.unarmed"), 0);
+    }
+
+    #[test]
+    fn err_action_propagates_and_disarm_stops_it() {
+        arm("fp.t.err", Action::Err("boom".to_string()));
+        let e = hit("fp.t.err").unwrap_err();
+        assert!(e.contains("fp.t.err") && e.contains("boom"), "{e}");
+        assert_eq!(fires("fp.t.err"), 1);
+        disarm("fp.t.err");
+        assert_eq!(hit("fp.t.err"), Ok(()));
+        assert_eq!(fires("fp.t.err"), 1, "disarmed hits must not count");
+    }
+
+    #[test]
+    fn panic_action_panics() {
+        arm("fp.t.panic", Action::Panic);
+        let r = std::panic::catch_unwind(|| hit("fp.t.panic"));
+        assert!(r.is_err(), "panic action must panic");
+        disarm("fp.t.panic");
+    }
+
+    #[test]
+    fn delay_action_sleeps() {
+        arm("fp.t.delay", Action::Delay(20));
+        let t0 = std::time::Instant::now();
+        assert_eq!(hit("fp.t.delay"), Ok(()));
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        disarm("fp.t.delay");
+    }
+
+    #[test]
+    fn one_shot_budget_fires_exactly_n_times() {
+        arm_one_shot("fp.t.budget", Action::Err("x".to_string()), 2);
+        assert!(hit("fp.t.budget").is_err());
+        assert!(hit("fp.t.budget").is_err());
+        assert_eq!(hit("fp.t.budget"), Ok(()), "budget exhausted");
+        assert_eq!(fires("fp.t.budget"), 2);
+        assert!(!armed().contains(&"fp.t.budget".to_string()));
+    }
+
+    #[test]
+    fn one_shot_budget_is_race_free() {
+        arm_one_shot("fp.t.race", Action::Err("x".to_string()), 3);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            handles.push(std::thread::spawn(|| {
+                (0..4).filter(|_| hit("fp.t.race").is_err()).count()
+            }));
+        }
+        let fired: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(fired, 3, "exactly the budget fires under contention");
+        assert_eq!(fires("fp.t.race"), 3);
+    }
+
+    #[test]
+    fn configure_parses_the_full_grammar() {
+        let n = configure(
+            "fp.t.ca=panic; fp.t.cb=delay(7);fp.t.cc=err(msg with spaces);\
+             fp.t.cd=one_shot(2)_err(q);fp.t.ce=off;",
+        )
+        .unwrap();
+        assert_eq!(n, 4, "off entries are not counted as armed");
+        let armed = armed();
+        for site in ["fp.t.ca", "fp.t.cb", "fp.t.cc", "fp.t.cd"] {
+            assert!(armed.contains(&site.to_string()), "{site} in {armed:?}");
+        }
+        assert!(!armed.contains(&"fp.t.ce".to_string()));
+        assert!(hit("fp.t.cc").unwrap_err().contains("msg with spaces"));
+        // Clean up the long-lived actions so `armed()` in other tests
+        // stays meaningful.
+        for site in ["fp.t.ca", "fp.t.cb", "fp.t.cc", "fp.t.cd"] {
+            disarm(site);
+        }
+    }
+
+    #[test]
+    fn configure_rejects_malformed_specs() {
+        assert!(configure("no-equals-sign").is_err());
+        assert!(configure("s=explode").is_err());
+        assert!(configure("s=delay(abc)").is_err());
+        assert!(configure("s=one_shot(x)_panic").is_err());
+        assert!(configure("=panic").is_err());
+        // A bad entry must not arm the good ones before it.
+        assert!(configure("fp.t.good=panic;bad").is_err());
+        assert_eq!(hit("fp.t.good"), Ok(()));
+    }
+}

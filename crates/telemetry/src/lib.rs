@@ -14,6 +14,10 @@
 //! * **Exporters** ([`export`]): a JSON snapshot, the Prometheus text
 //!   exposition format, and a Chrome trace-event (`chrome://tracing`)
 //!   writer fed by the opt-in capture buffer in [`trace`].
+//! * **Failpoints** ([`failpoint`]): named fault-injection sites for
+//!   deterministic chaos testing (`panic`, `delay(ms)`, `err(msg)`, with
+//!   `one_shot(n)` fire budgets), configured programmatically or through
+//!   `RESUFORMER_FAILPOINTS`; disarmed sites cost one relaxed load.
 //!
 //! Everything is `&self`/atomic and allocation-free on the hot path, and
 //! the whole crate can be switched off at runtime ([`set_enabled`]) — a
@@ -28,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod failpoint;
 pub mod histogram;
 pub mod quantile;
 pub mod registry;

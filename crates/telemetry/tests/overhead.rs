@@ -67,3 +67,36 @@ fn record_and_span_costs_stay_bounded() {
         "disabled span: {disabled_span:.0} ns/op — should be ~one atomic load"
     );
 }
+
+#[test]
+fn disarmed_failpoint_costs_one_atomic_load() {
+    use resuformer_telemetry::failpoint;
+
+    // Settle the lazy env init so the measured path is the steady state,
+    // then make sure nothing is armed (this binary never arms anything).
+    let _ = failpoint::init_from_env();
+    assert!(
+        failpoint::armed().is_empty(),
+        "overhead run must start disarmed: {:?}",
+        failpoint::armed()
+    );
+    let disarmed = min_cost_ns(5, 50_000, || {
+        let _ = failpoint::hit(std::hint::black_box("ovh.failpoint.unarmed"));
+    });
+    assert!(
+        disarmed < 500.0,
+        "disarmed failpoint hit: {disarmed:.0} ns/op — should be ~one atomic load"
+    );
+
+    // Arming ANY site moves other sites off the fast path (they take the
+    // table lock) — but disarming again must restore the no-op cost.
+    failpoint::arm("ovh.failpoint.other", failpoint::Action::Delay(1));
+    failpoint::reset();
+    let restored = min_cost_ns(5, 50_000, || {
+        let _ = failpoint::hit(std::hint::black_box("ovh.failpoint.unarmed"));
+    });
+    assert!(
+        restored < 500.0,
+        "fast path not restored after reset: {restored:.0} ns/op"
+    );
+}

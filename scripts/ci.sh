@@ -95,4 +95,40 @@ print(f"    ring kept {len(events)} events (capacity 8)")
 PY
 echo "    ring dropped $DROPPED events, counter exported"
 
+echo "==> chaos smoke: armed failpoint + mixed burst, pool stays at full strength"
+"$CLI" train --data "$SMOKE_DIR/resumes.json" --model "$SMOKE_DIR/serve_model.bin" \
+    --epochs 1 --seed 42
+RESUFORMER_FAILPOINTS='serve.worker.parse=one_shot_panic' \
+    "$CLI" serve --model "$SMOKE_DIR/serve_model.bin" --port 0 --workers 2 \
+    --max-wait-ms 2 >"$SMOKE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's|^listening on http://\([0-9.:]*\).*|\1|p' "$SMOKE_DIR/serve.log")
+    [[ -n "$ADDR" ]] && break
+    sleep 0.1
+done
+[[ -n "$ADDR" ]] || { echo "server never announced its address"; cat "$SMOKE_DIR/serve.log"; exit 1; }
+# Chaos burst: 3 of every 8 requests are deliberately malformed, and the
+# armed failpoint panics one worker parse. Exit gate: every request gets
+# a well-formed terminal answer.
+target/release/loadgen --addr "$ADDR" --requests 64 --concurrency 8 --seed 42 --chaos
+python3 - "$ADDR" <<'PY'
+import json, sys, urllib.request
+addr = sys.argv[1]
+with urllib.request.urlopen(f"http://{addr}/healthz", timeout=10) as r:
+    assert r.status == 200, f"healthz after chaos: {r.status}"
+with urllib.request.urlopen(f"http://{addr}/metrics", timeout=10) as r:
+    m = json.load(r)
+assert m["workers_alive"] == 2, f"pool shrank: {m['workers_alive']}/2 workers alive"
+assert m["worker_restarts"] == 0, f"caught panic must not kill a worker: {m}"
+assert m["worker_panics"] >= 1, f"the armed failpoint never fired: {m}"
+print(f"    survived: {m['requests']} ok / {m['errors']} degraded, "
+      f"panics {m['worker_panics']}, poisoned {m['docs_poisoned']}, pool 2/2")
+PY
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+
 echo "==> CI OK"
